@@ -1,0 +1,49 @@
+//! Analytic-model benchmarks: the lightweight profiling pass
+//! (accuracy bound + r_t) and the closed-form latency model — the costs
+//! that make the workflow's pruning stage cheap (Table 2's "Profiling"
+//! and "Prune" rows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greuse::{accuracy_bound, LatencyModel, PatternOps, RandomHashProvider, ReusePattern};
+use greuse_mcu::Board;
+use greuse_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn redundant(n: usize, k: usize, protos: usize, seed: u64) -> Tensor<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let base = Tensor::from_fn(&[protos, k], |_| rng.gen_range(-1.0f32..1.0));
+    Tensor::from_fn(&[n, k], |i| {
+        let (r, c) = (i / k, i % k);
+        base[[r % protos, c]] + rng.gen_range(-0.05..0.05)
+    })
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytic_models");
+    let x = redundant(1024, 75, 24, 3);
+    let mut rng = SmallRng::seed_from_u64(4);
+    let w = Tensor::from_fn(&[64, 75], |_| rng.gen_range(-0.5f32..0.5));
+    let hashes = RandomHashProvider::new(5);
+    let pattern = ReusePattern::conventional(25, 3);
+
+    group.bench_function("accuracy_bound_1024x75", |b| {
+        b.iter(|| accuracy_bound(&x, &w, &pattern, &hashes).unwrap())
+    });
+
+    let model = LatencyModel::new(Board::Stm32F469i);
+    group.bench_function("latency_predict", |b| {
+        b.iter(|| model.predict(1024, 1600, 64, &pattern, 0.95).total_ms())
+    });
+    group.bench_function("pattern_ops_derive", |b| {
+        b.iter(|| PatternOps::derive(1024, 1600, 64, &pattern, 0.95))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_models
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! LSH hashing + online clustering benchmarks at typical (n, L, H)
+//! operating points, plus random vs data-adapted family construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greuse_lsh::{cluster_rows, top_principal_directions, HashFamily};
+use greuse_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn redundant(n: usize, l: usize, protos: usize, seed: u64) -> Tensor<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let base = Tensor::from_fn(&[protos, l], |_| rng.gen_range(-1.0f32..1.0));
+    Tensor::from_fn(&[n, l], |i| {
+        let (r, c) = (i / l, i % l);
+        base[[r % protos, c]] + rng.gen_range(-0.02..0.02)
+    })
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    for &(n, l, h) in &[(4096usize, 20usize, 3usize), (1024, 75, 6), (256, 300, 5)] {
+        let data = redundant(n, l, 32, 7);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let family = HashFamily::random(h, l, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("cluster_rows", format!("n{n}_L{l}_H{h}")),
+            &(),
+            |bch, _| bch.iter(|| cluster_rows(&data, &family).unwrap()),
+        );
+    }
+    // Family construction: random vs data-adapted (the "learned" stand-in).
+    let data = redundant(512, 75, 32, 9);
+    group.bench_function("family_random_H6_L75", |bch| {
+        bch.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            HashFamily::random(6, 75, &mut rng)
+        })
+    });
+    group.bench_function("family_adapted_H6_L75", |bch| {
+        bch.iter(|| HashFamily::data_adapted(&data, 6).unwrap())
+    });
+    group.bench_function("pca_top3_512x75", |bch| {
+        bch.iter(|| top_principal_directions(&data, 3, 40).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_clustering
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! End-to-end inference benchmarks: one CifarNet forward pass under the
+//! dense backend vs the reuse backend (conventional and generalized
+//! patterns), on host hardware. MCU latencies come from the analytic
+//! model; this bench tracks the host-side executor overheads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greuse::{AdaptedHashProvider, RandomHashProvider, ReuseBackend, ReuseOrder, ReusePattern};
+use greuse_data::SyntheticDataset;
+use greuse_nn::{models::CifarNet, DenseBackend, Network};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    let mut rng = SmallRng::seed_from_u64(0);
+    let net = CifarNet::new(10, &mut rng);
+    let image = SyntheticDataset::cifar_like(1).generate(1, 2).remove(0).0;
+
+    group.bench_function("cifarnet_dense", |b| {
+        b.iter(|| net.forward(&image, &DenseBackend).unwrap())
+    });
+
+    let conventional = ReuseBackend::new(RandomHashProvider::new(3))
+        .with_pattern("conv1", ReusePattern::conventional(25, 4))
+        .with_pattern("conv2", ReusePattern::conventional(20, 3));
+    group.bench_function("cifarnet_reuse_conventional", |b| {
+        b.iter(|| net.forward(&image, &conventional).unwrap())
+    });
+
+    let generalized = ReuseBackend::new(AdaptedHashProvider::new())
+        .with_pattern(
+            "conv1",
+            ReusePattern::conventional(25, 4).with_block_rows(2),
+        )
+        .with_pattern(
+            "conv2",
+            ReusePattern::conventional(20, 3).with_order(ReuseOrder::ChannelFirst),
+        );
+    group.bench_function("cifarnet_reuse_generalized", |b| {
+        b.iter(|| net.forward(&image, &generalized).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Reorder-cost ablation (DESIGN.md choice 1): the eager row/column
+//! permutation passes that materialize generalized reuse orders, compared
+//! to the im2col expansion itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greuse::{column_permutation, row_permutation, ReuseOrder, RowOrder};
+use greuse_tensor::{im2col, im2col_permuted, ConvSpec, Tensor};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_reorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorder");
+    let spec = ConvSpec::new(64, 64, 5, 5).with_padding(2); // CifarNet conv2
+    let mut rng = SmallRng::seed_from_u64(1);
+    let img = Tensor::from_fn(&[64, 16, 16], |_| rng.gen_range(-1.0f32..1.0));
+    let x = im2col(&img, &spec).unwrap(); // 256 x 1600
+
+    group.bench_function("im2col_conv2", |b| b.iter(|| im2col(&img, &spec).unwrap()));
+
+    let col_perm = column_permutation(ReuseOrder::ChannelFirst, &spec);
+    group.bench_function("col_permute_256x1600", |b| {
+        b.iter(|| col_perm.apply_cols(&x).unwrap())
+    });
+
+    let row_perm = row_permutation(RowOrder::SpatialTiles(2), 16, 16);
+    group.bench_function("row_permute_256x1600", |b| {
+        b.iter(|| row_perm.apply_rows(&x).unwrap())
+    });
+
+    group.bench_function("perm_generation_channel_first", |b| {
+        b.iter(|| column_permutation(ReuseOrder::ChannelFirst, &spec))
+    });
+
+    // DESIGN.md ablation 1: eager (im2col then permute) vs fused
+    // (permutation applied during expansion).
+    group.bench_function("eager_im2col_then_permute", |b| {
+        b.iter(|| {
+            let x = im2col(&img, &spec).unwrap();
+            col_perm.apply_cols(&x).unwrap()
+        })
+    });
+    let (oh, ow) = spec.output_hw(16, 16).unwrap();
+    group.bench_function("fused_im2col_permuted", |b| {
+        let mut buf = vec![0.0f32; oh * ow * spec.patch_len()];
+        b.iter(|| im2col_permuted(&img, &spec, &col_perm, &mut buf).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_reorder
+}
+criterion_main!(benches);

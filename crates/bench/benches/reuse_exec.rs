@@ -1,0 +1,62 @@
+//! Reuse-executor benchmarks: dense GEMM vs vertical vs horizontal reuse
+//! on a redundant im2col matrix, plus the 2-D-block ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greuse::{execute_reuse, RandomHashProvider, ReuseDirection, ReusePattern};
+use greuse_tensor::{gemm_f32, Tensor};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn redundant(n: usize, k: usize, protos: usize, seed: u64) -> Tensor<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let base = Tensor::from_fn(&[protos, k], |_| rng.gen_range(-1.0f32..1.0));
+    Tensor::from_fn(&[n, k], |i| {
+        let (r, c) = (i / k, i % k);
+        base[[r % protos, c]] + rng.gen_range(-0.02..0.02)
+    })
+}
+
+fn bench_exec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reuse_exec");
+    let (n, k, m) = (1024usize, 75usize, 64usize);
+    let x = redundant(n, k, 24, 5);
+    let mut rng = SmallRng::seed_from_u64(6);
+    let w = Tensor::from_fn(&[m, k], |_| rng.gen_range(-0.5f32..0.5));
+    let wt = w.transpose();
+    let hashes = RandomHashProvider::new(7);
+
+    group.bench_function("dense_gemm", |b| b.iter(|| gemm_f32(&x, &wt).unwrap()));
+    group.bench_function("vertical_L25_H4", |b| {
+        b.iter(|| execute_reuse(&x, &w, &ReusePattern::conventional(25, 4), &hashes).unwrap())
+    });
+    group.bench_function("vertical_block2_L25_H4", |b| {
+        b.iter(|| {
+            execute_reuse(
+                &x,
+                &w,
+                &ReusePattern::conventional(25, 4).with_block_rows(2),
+                &hashes,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("horizontal_L64_H4", |b| {
+        b.iter(|| {
+            execute_reuse(
+                &x,
+                &w,
+                &ReusePattern::conventional(64, 4).with_direction(ReuseDirection::Horizontal),
+                &hashes,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_exec
+}
+criterion_main!(benches);

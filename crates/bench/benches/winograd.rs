@@ -1,0 +1,47 @@
+//! Winograd-domain benchmarks: direct conv vs plain Winograd vs
+//! DREW-style Winograd reuse (tile clustering) on a redundant input.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greuse::{winograd_reuse_conv2d, RandomHashProvider};
+use greuse_nn::layers::winograd_conv2d;
+use greuse_nn::{ConvBackend, DenseBackend};
+use greuse_tensor::{im2col, ConvSpec, Tensor};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_winograd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("winograd");
+    let spec = ConvSpec::new(16, 32, 3, 3).with_padding(1);
+    let mut rng = SmallRng::seed_from_u64(1);
+    // Redundant input: 4x4 blocks repeat, so Winograd tiles cluster.
+    let proto = Tensor::from_fn(&[16, 4, 4], |_| rng.gen_range(-1.0f32..1.0));
+    let input = Tensor::from_fn(&[16, 32, 32], |i| {
+        let ch = i / (32 * 32);
+        let y = (i / 32) % 32;
+        let x = i % 32;
+        proto[[ch, y % 4, x % 4]]
+    });
+    let weights = Tensor::from_fn(&[32, 16 * 9], |_| rng.gen_range(-0.5f32..0.5));
+    let hashes = RandomHashProvider::new(2);
+
+    group.bench_function("direct_im2col_gemm", |b| {
+        b.iter(|| {
+            let x = im2col(&input, &spec).unwrap();
+            DenseBackend.conv_gemm("c", &spec, &x, &weights).unwrap()
+        })
+    });
+    group.bench_function("winograd_dense", |b| {
+        b.iter(|| winograd_conv2d(&input, &weights, &spec).unwrap())
+    });
+    group.bench_function("winograd_reuse_H8", |b| {
+        b.iter(|| winograd_reuse_conv2d(&input, &weights, &spec, 8, &hashes).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_winograd
+}
+criterion_main!(benches);

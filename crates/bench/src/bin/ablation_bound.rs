@@ -1,0 +1,91 @@
+//! Ablation (DESIGN.md §5.3): tightness of the §4.1 analytic accuracy
+//! bound — the ratio of the bound to the measured `‖Y − Ŷ‖²_F`, across
+//! the pattern space and across layers. A sound bound has ratio ≥ 1
+//! everywhere; a useful one is not astronomically loose within one
+//! structure family.
+//!
+//! ```text
+//! cargo run --release -p greuse-bench --bin ablation_bound [-- --quick]
+//! ```
+
+use greuse::{
+    accuracy_bound_with_spec, measured_error_with_spec, workflow::capture_im2col,
+    AdaptedHashProvider, ReuseDirection, ReuseOrder, ReusePattern,
+};
+use greuse_bench::{cifar_splits, quick_mode, train_model, ModelKind};
+
+fn main() {
+    let quick = quick_mode();
+    let (n_train, epochs) = if quick { (40, 1) } else { (120, 2) };
+    let (train, _) = cifar_splits(n_train, 10);
+    let net = train_model(ModelKind::CifarNet, &train, epochs, 42);
+    let hashes = AdaptedHashProvider::new();
+
+    println!("=== Ablation: analytic-bound tightness (bound / measured error) ===\n");
+    println!(
+        "{:<8} {:<28} {:>14} {:>14} {:>8}",
+        "layer", "pattern", "bound", "measured", "ratio"
+    );
+
+    let mut worst: f64 = 0.0;
+    let mut violations = 0usize;
+    for layer in ["conv1", "conv2"] {
+        let info = net
+            .conv_layers()
+            .into_iter()
+            .find(|i| i.name == layer)
+            .expect("layer");
+        let xs = capture_im2col(net.as_ref(), layer, &train, 1).expect("capture");
+        let w = net
+            .convs()
+            .into_iter()
+            .find(|c| c.name == layer)
+            .expect("w")
+            .weights
+            .clone();
+        let l = (info.gemm_k() / 4).clamp(5, 32);
+        let patterns = [
+            ReusePattern::conventional(info.gemm_k().min(75), 4),
+            ReusePattern::conventional(l, 4),
+            ReusePattern::conventional(l, 1),
+            ReusePattern::conventional(l, 4).with_order(ReuseOrder::ChannelFirst),
+            ReusePattern::conventional(l, 4).with_block_rows(2),
+            ReusePattern::conventional(64, 4).with_direction(ReuseDirection::Horizontal),
+        ];
+        for p in patterns {
+            if p.validate(info.gemm_n(), info.gemm_k()).is_err() {
+                continue;
+            }
+            let est = accuracy_bound_with_spec(&xs[0], &w, &info.spec, &p, &hashes).expect("bound");
+            let measured =
+                measured_error_with_spec(&xs[0], &w, &info.spec, &p, &hashes).expect("err");
+            let ratio = if measured > 0.0 {
+                est.error_bound / measured
+            } else {
+                f64::INFINITY
+            };
+            if est.error_bound * 1.05 + 1e-6 < measured {
+                violations += 1;
+            }
+            if ratio.is_finite() {
+                worst = worst.max(ratio);
+            }
+            println!(
+                "{:<8} {:<28} {:>14.1} {:>14.1} {:>8.1}",
+                layer,
+                p.label(),
+                est.error_bound,
+                measured,
+                ratio
+            );
+        }
+    }
+    println!("\nsoundness violations: {violations} (must be 0)");
+    println!("loosest ratio observed: {worst:.1}x");
+    println!(
+        "\ntakeaway: the bound is sound everywhere; it is tight-ish within the 1-D\n\
+         vertical family and loose for 2-D blocks (trace vs top-eigenvalue) — the\n\
+         reason the selection workflow ranks by the profiled sample error instead."
+    );
+    assert_eq!(violations, 0, "bound must dominate measured error");
+}

@@ -1,0 +1,54 @@
+//! Figure 11 (E4): effect of the reuse order — channel-last (C1) vs
+//! channel-first (C2) — on CifarNet Conv1 and Conv2. The paper finds C1
+//! better on Conv1 (raw RGB: reuse lives within a channel) and C2 better
+//! on Conv2 (activation maps: a position across channels is the natural
+//! unit).
+//!
+//! ```text
+//! cargo run --release -p greuse-bench --bin fig11_reuse_order [-- --quick]
+//! ```
+
+use greuse::{AdaptedHashProvider, LatencyModel, ReuseBackend, ReuseOrder, ReusePattern};
+use greuse_bench::{cifar_splits, quick_mode, train_model, ModelKind};
+use greuse_mcu::Board;
+use greuse_nn::evaluate_accuracy;
+
+fn main() {
+    let quick = quick_mode();
+    let (n_train, n_test, epochs) = if quick { (60, 30, 1) } else { (200, 80, 3) };
+    let (train, test) = cifar_splits(n_train, n_test);
+    let net = train_model(ModelKind::CifarNet, &train, epochs, 42);
+    let model = LatencyModel::new(Board::Stm32F469i);
+
+    println!("=== Figure 11: reuse order (C1 channel-last vs C2 channel-first) ===\n");
+    let hs: &[usize] = if quick { &[2, 4] } else { &[1, 2, 4, 6] };
+    for (layer, l) in [("conv1", 15usize), ("conv2", 20usize)] {
+        println!("--- CifarNet {layer} ---");
+        println!(
+            "{:<8} {:>3} {:>10} {:>12} {:>7}",
+            "order", "H", "accuracy", "latency ms", "r_t"
+        );
+        for order in [ReuseOrder::ChannelLast, ReuseOrder::ChannelFirst] {
+            for &h in hs {
+                let pattern = ReusePattern::conventional(l, h).with_order(order);
+                let backend =
+                    ReuseBackend::new(AdaptedHashProvider::new()).with_pattern(layer, pattern);
+                let eval = evaluate_accuracy(net.as_ref(), &backend, &test).expect("eval");
+                let stats = backend.layer_stats(layer).unwrap_or_default();
+                println!(
+                    "{:<8} {:>3} {:>10.3} {:>12.2} {:>7.3}",
+                    order.label(),
+                    h,
+                    eval.accuracy,
+                    model.from_ops(&stats.mean_ops()).total_ms(),
+                    stats.redundancy_ratio()
+                );
+            }
+        }
+        println!();
+    }
+    println!(
+        "paper shape: C1 dominates on Conv1 (raw channels), C2 dominates on Conv2\n\
+         (post-convolution activation maps)."
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 12 (E5): effect of the reuse direction — vertical (M1) vs
+//! horizontal (M2) — on CifarNet Conv1 and Conv2. The paper finds
+//! vertical consistently better on Conv2 while horizontal sometimes wins
+//! on Conv1.
+//!
+//! ```text
+//! cargo run --release -p greuse-bench --bin fig12_reuse_direction [-- --quick]
+//! ```
+
+use greuse::{AdaptedHashProvider, LatencyModel, ReuseBackend, ReuseDirection, ReusePattern};
+use greuse_bench::{cifar_splits, quick_mode, train_model, ModelKind};
+use greuse_mcu::Board;
+use greuse_nn::evaluate_accuracy;
+
+fn main() {
+    let quick = quick_mode();
+    let (n_train, n_test, epochs) = if quick { (60, 30, 1) } else { (200, 80, 3) };
+    let (train, test) = cifar_splits(n_train, n_test);
+    let net = train_model(ModelKind::CifarNet, &train, epochs, 42);
+    let model = LatencyModel::new(Board::Stm32F469i);
+
+    println!("=== Figure 12: reuse direction (M1 vertical vs M2 horizontal) ===\n");
+    let hs: &[usize] = if quick { &[2, 4] } else { &[1, 2, 4, 6] };
+    for layer in ["conv1", "conv2"] {
+        let info = net
+            .conv_layers()
+            .into_iter()
+            .find(|i| i.name == layer)
+            .expect("layer");
+        println!(
+            "--- CifarNet {layer} (N={}, K={}) ---",
+            info.gemm_n(),
+            info.gemm_k()
+        );
+        println!(
+            "{:<5} {:>4} {:>3} {:>10} {:>12} {:>7}",
+            "dir", "L", "H", "accuracy", "latency ms", "r_t"
+        );
+        for direction in [ReuseDirection::Vertical, ReuseDirection::Horizontal] {
+            // Granularity adapted per direction: L slices columns for M1,
+            // rows for M2.
+            let l = match direction {
+                ReuseDirection::Vertical => (info.gemm_k() / 4).clamp(5, 32),
+                ReuseDirection::Horizontal => (info.gemm_n() / 16).clamp(8, 64),
+            };
+            for &h in hs {
+                let pattern = ReusePattern::conventional(l, h).with_direction(direction);
+                let backend =
+                    ReuseBackend::new(AdaptedHashProvider::new()).with_pattern(layer, pattern);
+                let eval = evaluate_accuracy(net.as_ref(), &backend, &test).expect("eval");
+                let stats = backend.layer_stats(layer).unwrap_or_default();
+                println!(
+                    "{:<5} {:>4} {:>3} {:>10.3} {:>12.2} {:>7.3}",
+                    direction.label(),
+                    l,
+                    h,
+                    eval.accuracy,
+                    model.from_ops(&stats.mean_ops()).total_ms(),
+                    stats.redundancy_ratio()
+                );
+            }
+        }
+        println!();
+    }
+    println!(
+        "paper shape: vertical (M1) consistently better on Conv2; horizontal (M2)\n\
+         occasionally competitive on Conv1."
+    );
+}

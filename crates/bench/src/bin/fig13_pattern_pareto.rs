@@ -1,0 +1,89 @@
+//! Figure 13 (E6): five reuse patterns on CifarNet Conv1, showing how the
+//! pattern choice moves a layer across the accuracy/latency plane, and
+//! which points are Pareto-optimal.
+//!
+//! ```text
+//! cargo run --release -p greuse-bench --bin fig13_pattern_pareto [-- --quick]
+//! ```
+
+use greuse::{
+    pareto_front, AdaptedHashProvider, LatencyModel, ReuseBackend, ReuseDirection, ReuseOrder,
+    ReusePattern, RowOrder,
+};
+use greuse_bench::{cifar_splits, quick_mode, train_model, ModelKind};
+use greuse_mcu::Board;
+use greuse_nn::evaluate_accuracy;
+
+fn main() {
+    let quick = quick_mode();
+    let (n_train, n_test, epochs) = if quick { (60, 30, 1) } else { (200, 80, 3) };
+    let (train, test) = cifar_splits(n_train, n_test);
+    let net = train_model(ModelKind::CifarNet, &train, epochs, 42);
+    let model = LatencyModel::new(Board::Stm32F469i);
+
+    println!("=== Figure 13: five reuse patterns on CifarNet Conv1 ===\n");
+    let patterns: Vec<(&str, ReusePattern)> = vec![
+        ("P1 conventional (C1/M1)", ReusePattern::conventional(15, 4)),
+        (
+            "P2 channel-first (C2/M1)",
+            ReusePattern::conventional(15, 4).with_order(ReuseOrder::ChannelFirst),
+        ),
+        (
+            "P3 horizontal (C1/M2)",
+            ReusePattern::conventional(64, 4).with_direction(ReuseDirection::Horizontal),
+        ),
+        (
+            "P4 2-D block + tiles",
+            ReusePattern::conventional(15, 4)
+                .with_block_rows(2)
+                .with_row_order(RowOrder::SpatialTiles(2)),
+        ),
+        (
+            "P5 coarse (L=25, H=2)",
+            ReusePattern::conventional(25, 2).with_order(ReuseOrder::ChannelFirst),
+        ),
+    ];
+
+    let mut points = Vec::new();
+    println!(
+        "{:<28} {:>10} {:>12} {:>7}",
+        "pattern", "accuracy", "latency ms", "r_t"
+    );
+    for (name, pattern) in &patterns {
+        let backend = ReuseBackend::new(AdaptedHashProvider::new()).with_pattern("conv1", *pattern);
+        let eval = evaluate_accuracy(net.as_ref(), &backend, &test).expect("eval");
+        let stats = backend.layer_stats("conv1").unwrap_or_default();
+        let ms = model.from_ops(&stats.mean_ops()).total_ms();
+        println!(
+            "{:<28} {:>10.3} {:>12.2} {:>7.3}",
+            name,
+            eval.accuracy,
+            ms,
+            stats.redundancy_ratio()
+        );
+        points.push((ms, f64::from(eval.accuracy)));
+    }
+
+    let front = pareto_front(&points);
+    println!("\nPareto-optimal patterns:");
+    for &i in &front {
+        println!(
+            "  {} (accuracy {:.3}, latency {:.2} ms)",
+            patterns[i].0, points[i].1, points[i].0
+        );
+    }
+    let figure = greuse_bench::plot::scatter(
+        &[greuse_bench::plot::Series::new(
+            'P',
+            "patterns P1-P5",
+            points.clone(),
+        )],
+        56,
+        12,
+    );
+    println!("\n{figure}");
+    println!(
+        "paper shape: the pattern choice spans a wide accuracy/latency range on one\n\
+         layer; users pick from the Pareto front per their requirements."
+    );
+}

@@ -1,0 +1,275 @@
+//! Table 1 (E3): single-layer performance benefits — per-layer reuse
+//! configurations (L, H, D), redundancy ratio `r_t`, speedup vs the
+//! dense CMSIS-NN baseline, speedup vs conventional reuse, and the
+//! accuracy delta vs conventional reuse. All latencies use the F4 model,
+//! as in the paper.
+//!
+//! ```text
+//! cargo run --release -p greuse-bench --bin table1_single_layer [-- --quick]
+//! ```
+
+use greuse::{AdaptedHashProvider, LatencyModel, ReuseBackend, ReuseDirection, ReusePattern};
+use greuse_bench::{cifar_splits, quick_mode, train_model, ModelKind};
+use greuse_mcu::Board;
+use greuse_nn::{evaluate_accuracy, evaluate_dense, Example, Network};
+
+struct Row {
+    layer: String,
+    l: usize,
+    h: usize,
+    direction: ReuseDirection,
+}
+
+fn direction_label(d: ReuseDirection) -> &'static str {
+    match d {
+        ReuseDirection::Vertical => "M-1",
+        ReuseDirection::Horizontal => "M-2",
+    }
+}
+
+fn pattern_for(row: &Row) -> ReusePattern {
+    ReusePattern::conventional(row.l, row.h).with_direction(row.direction)
+}
+
+fn eval_layer(
+    net: &dyn Network,
+    test: &[Example],
+    layer: &str,
+    pattern: ReusePattern,
+) -> (f64, f64, f64) {
+    let backend = ReuseBackend::new(AdaptedHashProvider::new()).with_pattern(layer, pattern);
+    let eval = evaluate_accuracy(net, &backend, test).expect("eval");
+    let stats = backend.layer_stats(layer).unwrap_or_default();
+    let model = LatencyModel::new(Board::Stm32F469i);
+    let ms = model.from_ops(&stats.mean_ops()).total_ms();
+    (f64::from(eval.accuracy), ms, stats.redundancy_ratio())
+}
+
+fn run_model(
+    title: &str,
+    kind: ModelKind,
+    rows: &[Row],
+    train: &[Example],
+    test: &[Example],
+    epochs: usize,
+) {
+    println!("--- Table 1: {title} ---");
+    let net = train_model(kind, train, epochs, 7);
+    let dense_acc = evaluate_dense(net.as_ref(), test)
+        .expect("dense eval")
+        .accuracy as f64;
+    let model = LatencyModel::new(Board::Stm32F469i);
+    println!(
+        "{:<24} {:>5} {:>3} {:>4} {:>7} {:>12} {:>12} {:>9}",
+        "ConvLayer", "L", "H", "D", "r_t", "vs CMSIS-NN", "vs Reuse", "dAcc"
+    );
+    for row in rows {
+        let info = net
+            .conv_layers()
+            .into_iter()
+            .find(|i| i.name == row.layer)
+            .expect("layer exists");
+        let dense_ms = model
+            .dense(info.gemm_n(), info.gemm_k(), info.gemm_m())
+            .total_ms();
+        // Conventional reuse baseline: same L (capped) and H, M-1, C1.
+        let conv_l = row.l.min(info.gemm_k());
+        let conv_pattern = ReusePattern::conventional(conv_l, row.h);
+        let (conv_acc, conv_ms, _) = eval_layer(net.as_ref(), test, &row.layer, conv_pattern);
+        // The table's (possibly generalized) configuration.
+        let l = match row.direction {
+            ReuseDirection::Vertical => row.l.min(info.gemm_k()),
+            ReuseDirection::Horizontal => row.l.min(info.gemm_n()),
+        };
+        let ours = pattern_for(&Row {
+            layer: row.layer.clone(),
+            l,
+            h: row.h,
+            direction: row.direction,
+        });
+        let (acc, ms, rt) = eval_layer(net.as_ref(), test, &row.layer, ours);
+        println!(
+            "{:<24} {:>5} {:>3} {:>4} {:>7.3} {:>11.2}x {:>11.2}x {:>+9.4}",
+            row.layer,
+            l,
+            row.h,
+            direction_label(row.direction),
+            rt,
+            dense_ms / ms,
+            conv_ms / ms,
+            acc - conv_acc
+        );
+    }
+    println!("(original dense accuracy: {dense_acc:.3})\n");
+}
+
+fn main() {
+    let quick = quick_mode();
+    let (n_train, n_test, epochs) = if quick { (60, 30, 1) } else { (200, 80, 3) };
+    let (train, test) = cifar_splits(n_train, n_test);
+
+    // Paper Table 1(a): CifarNet configurations.
+    run_model(
+        "(a) CifarNet",
+        ModelKind::CifarNet,
+        &[
+            Row {
+                layer: "conv1".into(),
+                l: 15,
+                h: 4,
+                direction: ReuseDirection::Horizontal,
+            },
+            Row {
+                layer: "conv1".into(),
+                l: 15,
+                h: 6,
+                direction: ReuseDirection::Vertical,
+            },
+            Row {
+                layer: "conv1".into(),
+                l: 20,
+                h: 3,
+                direction: ReuseDirection::Horizontal,
+            },
+            Row {
+                layer: "conv2".into(),
+                l: 20,
+                h: 3,
+                direction: ReuseDirection::Vertical,
+            },
+            Row {
+                layer: "conv2".into(),
+                l: 32,
+                h: 3,
+                direction: ReuseDirection::Vertical,
+            },
+            Row {
+                layer: "conv2".into(),
+                l: 20,
+                h: 1,
+                direction: ReuseDirection::Vertical,
+            },
+        ],
+        &train,
+        &test,
+        epochs,
+    );
+
+    // Paper Table 1(b): ZfNet.
+    run_model(
+        "(b) ZfNet",
+        ModelKind::ZfNet,
+        &[
+            Row {
+                layer: "conv1".into(),
+                l: 21,
+                h: 10,
+                direction: ReuseDirection::Vertical,
+            },
+            Row {
+                layer: "conv2".into(),
+                l: 300,
+                h: 5,
+                direction: ReuseDirection::Vertical,
+            },
+        ],
+        &train,
+        &test,
+        epochs,
+    );
+
+    // Paper Table 1(c): SqueezeNet expand-3x3 layers (representative
+    // configurations; the paper lists three per layer).
+    let sq_rows = if quick {
+        vec![
+            Row {
+                layer: "fire2.expand3x3".into(),
+                l: 24,
+                h: 2,
+                direction: ReuseDirection::Vertical,
+            },
+            Row {
+                layer: "fire5.expand3x3".into(),
+                l: 40,
+                h: 2,
+                direction: ReuseDirection::Vertical,
+            },
+        ]
+    } else {
+        vec![
+            Row {
+                layer: "fire2.expand3x3".into(),
+                l: 24,
+                h: 2,
+                direction: ReuseDirection::Vertical,
+            },
+            Row {
+                layer: "fire2.expand3x3".into(),
+                l: 32,
+                h: 1,
+                direction: ReuseDirection::Vertical,
+            },
+            Row {
+                layer: "fire3.expand3x3".into(),
+                l: 24,
+                h: 5,
+                direction: ReuseDirection::Horizontal,
+            },
+            Row {
+                layer: "fire3.expand3x3".into(),
+                l: 24,
+                h: 5,
+                direction: ReuseDirection::Vertical,
+            },
+            Row {
+                layer: "fire4.expand3x3".into(),
+                l: 144,
+                h: 3,
+                direction: ReuseDirection::Horizontal,
+            },
+            Row {
+                layer: "fire4.expand3x3".into(),
+                l: 144,
+                h: 5,
+                direction: ReuseDirection::Vertical,
+            },
+            Row {
+                layer: "fire5.expand3x3".into(),
+                l: 40,
+                h: 2,
+                direction: ReuseDirection::Vertical,
+            },
+            Row {
+                layer: "fire6.expand3x3".into(),
+                l: 25,
+                h: 3,
+                direction: ReuseDirection::Vertical,
+            },
+            Row {
+                layer: "fire7.expand3x3".into(),
+                l: 25,
+                h: 2,
+                direction: ReuseDirection::Vertical,
+            },
+            Row {
+                layer: "fire8.expand3x3".into(),
+                l: 144,
+                h: 5,
+                direction: ReuseDirection::Horizontal,
+            },
+        ]
+    };
+    run_model(
+        "(c) SqueezeNet",
+        ModelKind::SqueezeNetVanilla,
+        &sq_rows,
+        &train,
+        &test,
+        epochs,
+    );
+
+    println!(
+        "paper shape: r_t ~ 0.89-0.999; speedups vs CMSIS-NN > 1.3x, vs conventional\n\
+         reuse 1.0-5.3x; generalized configs match or beat conventional accuracy."
+    );
+}

@@ -1,0 +1,155 @@
+//! Table 2 (E8): time breakdown of the exploration process. 100 candidate
+//! patterns are profiled with the lightweight pass and pruned to 20 by
+//! the analytic models; only the pruned set would be trained and measured
+//! on the device. Profiling and pruning are *measured* wall-clock here;
+//! the training and on-MCU measurement stages are *modeled* with the
+//! paper's per-pattern costs (37 min training, 18 s on-device
+//! measurement), since this workspace substitutes both (see DESIGN.md).
+//!
+//! ```text
+//! cargo run --release -p greuse-bench --bin table2_exploration_time [-- --quick]
+//! ```
+
+use std::time::Instant;
+
+use greuse::{
+    accuracy_bound, pareto_front, workflow::capture_im2col, LatencyModel, RandomHashProvider,
+    ReuseOrder, ReusePattern, RowOrder,
+};
+use greuse_bench::{cifar_splits, quick_mode, train_model, ModelKind};
+use greuse_mcu::Board;
+
+/// 100 candidate patterns over L, H, order, blocks, rows.
+fn hundred_candidates() -> Vec<ReusePattern> {
+    let mut out = Vec::new();
+    for l in [12usize, 16, 20, 32, 48] {
+        for h in [1usize, 2, 3, 6, 10] {
+            for variant in 0..4 {
+                let p = ReusePattern::conventional(l, h);
+                out.push(match variant {
+                    0 => p,
+                    1 => p.with_order(ReuseOrder::ChannelFirst),
+                    2 => p.with_block_rows(2),
+                    _ => p.with_row_order(RowOrder::SpatialTiles(2)),
+                });
+            }
+        }
+    }
+    assert_eq!(out.len(), 100);
+    out
+}
+
+fn main() {
+    let quick = quick_mode();
+    let (n_train, n_test, epochs) = if quick { (40, 10, 1) } else { (120, 20, 2) };
+    let (train, _test) = cifar_splits(n_train, n_test);
+    // The paper uses SqueezeNet for this table; we profile its largest
+    // expand layer.
+    let net = train_model(ModelKind::SqueezeNetVanilla, &train, epochs, 21);
+    let layer = "fire2.expand3x3";
+    let info = net
+        .conv_layers()
+        .into_iter()
+        .find(|i| i.name == layer)
+        .expect("layer");
+    let candidates = hundred_candidates();
+
+    println!(
+        "=== Table 2: exploration-time breakdown ({} candidates -> 20) ===\n",
+        candidates.len()
+    );
+
+    // Stage 1: lightweight profiling (measured).
+    let t0 = Instant::now();
+    let xs = capture_im2col(net.as_ref(), layer, &train, 2).expect("capture");
+    let w = net
+        .convs()
+        .into_iter()
+        .find(|c| c.name == layer)
+        .expect("w")
+        .weights
+        .clone();
+    let lightweight = RandomHashProvider::new(3);
+    let model = LatencyModel::new(Board::Stm32F469i);
+    let mut scores = Vec::new();
+    for p in &candidates {
+        let mut bound = 0.0;
+        let mut rt = 0.0;
+        for x in &xs {
+            let est = accuracy_bound(x, &w, p, &lightweight).expect("bound");
+            bound += est.error_bound;
+            rt += est.redundancy_ratio;
+        }
+        bound /= xs.len() as f64;
+        rt /= xs.len() as f64;
+        let ms = model
+            .predict(info.gemm_n(), info.gemm_k(), info.gemm_m(), p, rt)
+            .total_ms();
+        scores.push((bound, ms));
+    }
+    let profiling = t0.elapsed();
+
+    // Stage 2: analytic pruning to 20 (measured).
+    let t1 = Instant::now();
+    let points: Vec<(f64, f64)> = scores.iter().map(|&(b, ms)| (ms, -b)).collect();
+    let mut keep = pareto_front(&points);
+    let mut rest: Vec<usize> = (0..candidates.len())
+        .filter(|i| !keep.contains(i))
+        .collect();
+    rest.sort_by(|&a, &b| scores[a].0.total_cmp(&scores[b].0));
+    for i in rest {
+        if keep.len() >= 20 {
+            break;
+        }
+        keep.push(i);
+    }
+    keep.truncate(20);
+    let prune = t1.elapsed();
+
+    // Stages 3-4: modeled with the paper's per-pattern costs.
+    let train_min_per_pattern = 37.0;
+    let mcu_min_total_ours = 6.0;
+    let mcu_min_total_std = 30.0;
+    let ours_training = keep.len() as f64 * train_min_per_pattern;
+    let std_training = candidates.len() as f64 * train_min_per_pattern;
+
+    println!("{:<26} {:>16} {:>16}", "", "Our Method", "Standard");
+    println!(
+        "{:<26} {:>16} {:>16}",
+        "Profiling",
+        format!("{:.1} s", profiling.as_secs_f64()),
+        "-"
+    );
+    println!(
+        "{:<26} {:>16} {:>16}",
+        "Prune",
+        format!("{:.3} s", prune.as_secs_f64()),
+        "-"
+    );
+    println!(
+        "{:<26} {:>16} {:>16}",
+        "Training (modeled)",
+        format!("{}x37 min", keep.len()),
+        format!("{}x37 min", candidates.len())
+    );
+    println!(
+        "{:<26} {:>16} {:>16}",
+        "Measuring on MCU (modeled)",
+        format!("{mcu_min_total_ours:.0} min"),
+        format!("{mcu_min_total_std:.0} min")
+    );
+    let ours_total_h = (profiling.as_secs_f64() + prune.as_secs_f64()) / 3600.0
+        + (ours_training + mcu_min_total_ours) / 60.0;
+    let std_total_h = (std_training + mcu_min_total_std) / 60.0;
+    println!(
+        "{:<26} {:>16} {:>16}",
+        "Total exploration time",
+        format!("~{ours_total_h:.1} h"),
+        format!(">{std_total_h:.0} h")
+    );
+    println!(
+        "\nexploration-time saving: {:.0}%",
+        (1.0 - ours_total_h / std_total_h) * 100.0
+    );
+    println!("paper shape: ~12 h vs >60 h, an ~80% saving.");
+}

@@ -1,0 +1,49 @@
+//! Table 4 (E10): out-of-distribution behaviour. A CifarNet trained on
+//! the in-distribution (synthetic CIFAR) data is tested on synthetic SVHN
+//! (the OOD shift); accuracy collapses toward chance, and max-softmax
+//! detection (threshold 0.7) flags a larger share of OOD inputs when the
+//! model runs with reuse.
+//!
+//! ```text
+//! cargo run --release -p greuse-bench --bin table4_ood [-- --quick]
+//! ```
+
+use greuse::{max_softmax_detection, AdaptedHashProvider, ReuseBackend, ReusePattern};
+use greuse_bench::{cifar_splits, quick_mode, svhn_test, train_model, ModelKind};
+use greuse_nn::{ConvBackend, DenseBackend};
+
+fn main() {
+    let quick = quick_mode();
+    let (n_train, n_test, epochs) = if quick { (60, 30, 1) } else { (240, 80, 3) };
+    let (train, id_test) = cifar_splits(n_train, n_test);
+    let ood = svhn_test(n_test);
+    let net = train_model(ModelKind::CifarNet, &train, epochs, 42);
+    let threshold = 0.7f32;
+
+    println!("=== Table 4: OOD performance (max-softmax, threshold {threshold}) ===\n");
+    println!(
+        "{:<18} {:>8} {:>8} {:>10} {:>10} {:>15}",
+        "Model", "ID", "OOD", "Acc (ID)", "Acc (OOD)", "Detection rate"
+    );
+
+    let reuse_backend = ReuseBackend::new(AdaptedHashProvider::new())
+        .with_pattern("conv1", ReusePattern::conventional(25, 4))
+        .with_pattern("conv2", ReusePattern::conventional(20, 2));
+
+    for (label, backend) in [
+        ("Traditional CNN", &DenseBackend as &dyn ConvBackend),
+        ("CNN with reuse", &reuse_backend as &dyn ConvBackend),
+    ] {
+        let id = max_softmax_detection(net.as_ref(), backend, &id_test, threshold).expect("id");
+        let ood_rep = max_softmax_detection(net.as_ref(), backend, &ood, threshold).expect("ood");
+        println!(
+            "{:<18} {:>8} {:>8} {:>10.3} {:>10.3} {:>15.3}",
+            label, "cifar", "svhn", id.accuracy, ood_rep.accuracy, ood_rep.detection_rate
+        );
+    }
+    println!(
+        "\npaper shape: OOD accuracy collapses toward chance (~0.1); the reuse model's\n\
+         ID accuracy dips slightly while its OOD detection rate rises substantially\n\
+         (0.363 -> 0.674 in the paper)."
+    );
+}

@@ -1,0 +1,384 @@
+//! # greuse-bench
+//!
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper's evaluation (§5), plus Criterion benches of
+//! the underlying kernels. See DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub mod plot;
+
+use std::collections::HashMap;
+
+use greuse::{
+    workflow::network_latency, AdaptedHashProvider, LayerStats, ReuseBackend, ReusePattern,
+};
+use greuse_data::SyntheticDataset;
+use greuse_mcu::Board;
+use greuse_nn::{
+    evaluate_accuracy, evaluate_dense, models::CifarNet, models::ResNet18, models::SqueezeNet,
+    models::SqueezeNetVariant, models::ZfNet, Example, Network, TrainableNetwork, Trainer,
+    TrainerConfig,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Standard experiment datasets: synthetic CIFAR-10 train/test splits.
+pub fn cifar_splits(n_train: usize, n_test: usize) -> (Vec<Example>, Vec<Example>) {
+    SyntheticDataset::cifar_like(2024).train_test(n_train, n_test, 17)
+}
+
+/// Synthetic SVHN (OOD) test set.
+pub fn svhn_test(n: usize) -> Vec<Example> {
+    SyntheticDataset::svhn_like(2024).generate(n, 18)
+}
+
+/// Synthetic ImageNet-64×64 splits.
+pub fn imagenet64_splits(n_train: usize, n_test: usize) -> (Vec<Example>, Vec<Example>) {
+    SyntheticDataset::imagenet64_like(2024).train_test(n_train, n_test, 19)
+}
+
+/// Which network an experiment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// CifarNet (2 conv layers).
+    CifarNet,
+    /// ZfNet (2 large conv layers).
+    ZfNet,
+    /// SqueezeNet without bypass.
+    SqueezeNetVanilla,
+    /// SqueezeNet with bypass.
+    SqueezeNetBypass,
+    /// ResNet-18 (narrow instance for tractable training).
+    ResNet18,
+}
+
+impl ModelKind {
+    /// Display name matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelKind::CifarNet => "CifarNet",
+            ModelKind::ZfNet => "ZfNet",
+            ModelKind::SqueezeNetVanilla => "SqueezeNet (vanilla)",
+            ModelKind::SqueezeNetBypass => "SqueezeNet (bypass)",
+            ModelKind::ResNet18 => "ResNet-18",
+        }
+    }
+
+    /// All CIFAR-scale models (Figures 9/10).
+    pub fn cifar_models() -> [ModelKind; 4] {
+        [
+            ModelKind::CifarNet,
+            ModelKind::ZfNet,
+            ModelKind::SqueezeNetVanilla,
+            ModelKind::SqueezeNetBypass,
+        ]
+    }
+}
+
+/// A trained model behind the [`Network`] trait.
+pub type BoxedNet = Box<dyn Network>;
+
+/// Trains a model of the given kind on `train` with a fast schedule
+/// sized for the experiment harness. Deterministic per `seed`.
+pub fn train_model(kind: ModelKind, train: &[Example], epochs: usize, seed: u64) -> BoxedNet {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let config = TrainerConfig::fast(epochs, 0.01);
+    match kind {
+        ModelKind::CifarNet => {
+            let mut net = CifarNet::new(10, &mut rng);
+            train_into(&mut net, train, config);
+            Box::new(net)
+        }
+        ModelKind::ZfNet => {
+            let mut net = ZfNet::new(10, &mut rng);
+            train_into(&mut net, train, config);
+            Box::new(net)
+        }
+        ModelKind::SqueezeNetVanilla => {
+            let mut net = SqueezeNet::new(SqueezeNetVariant::Vanilla, 10, &mut rng);
+            // The deep, normalization-free stack needs a hotter schedule
+            // than the two-conv models at these data scales.
+            train_into(&mut net, train, TrainerConfig::fast(epochs * 4, 0.02));
+            Box::new(net)
+        }
+        ModelKind::SqueezeNetBypass => {
+            let mut net = SqueezeNet::new(SqueezeNetVariant::Bypass, 10, &mut rng);
+            train_into(&mut net, train, TrainerConfig::fast(epochs * 4, 0.02));
+            Box::new(net)
+        }
+        ModelKind::ResNet18 => {
+            // Narrow width keeps from-scratch training tractable; the
+            // architecture (stages, blocks, shortcuts) is unchanged.
+            let mut net = ResNet18::with_width(10, 16, &mut rng);
+            train_into(&mut net, train, TrainerConfig::fast(epochs, 0.02));
+            Box::new(net)
+        }
+    }
+}
+
+fn train_into(net: &mut dyn TrainableNetwork, train: &[Example], config: TrainerConfig) {
+    let mut trainer = Trainer::new(config);
+    trainer.train(net, train).expect("training failed");
+}
+
+/// One measured operating point of a deployed network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPoint {
+    /// Label of the configuration (e.g. "H=3 L=20").
+    pub label: String,
+    /// Test accuracy.
+    pub accuracy: f64,
+    /// End-to-end modeled latency (ms) on the chosen board.
+    pub latency_ms: f64,
+    /// Mean redundancy ratio across reuse layers.
+    pub mean_rt: f64,
+    /// Per-layer stats of the run.
+    pub layer_stats: HashMap<String, LayerStats>,
+}
+
+/// Evaluates one assignment of patterns to layers: accuracy over `test`
+/// plus end-to-end modeled latency on `board`.
+pub fn measure_point(
+    net: &dyn Network,
+    test: &[Example],
+    patterns: &[(String, ReusePattern)],
+    board: Board,
+    label: impl Into<String>,
+) -> OperatingPoint {
+    let backend =
+        ReuseBackend::new(AdaptedHashProvider::new()).with_patterns(patterns.iter().cloned());
+    let eval = evaluate_accuracy(net, &backend, test).expect("evaluation failed");
+    let stats = backend.stats();
+    let latency_ms = network_latency(net, &stats, board);
+    let mean_rt = if stats.is_empty() {
+        0.0
+    } else {
+        stats.values().map(|s| s.redundancy_ratio()).sum::<f64>() / stats.len() as f64
+    };
+    OperatingPoint {
+        label: label.into(),
+        accuracy: f64::from(eval.accuracy),
+        latency_ms,
+        mean_rt,
+        layer_stats: stats,
+    }
+}
+
+/// The dense baseline as an operating point.
+pub fn dense_point(net: &dyn Network, test: &[Example], board: Board) -> OperatingPoint {
+    let eval = evaluate_dense(net, test).expect("evaluation failed");
+    OperatingPoint {
+        label: "dense".into(),
+        accuracy: f64::from(eval.accuracy),
+        latency_ms: network_latency(net, &HashMap::new(), board),
+        mean_rt: 0.0,
+        layer_stats: HashMap::new(),
+    }
+}
+
+/// Names of a network's convolution layers worth applying reuse to: all
+/// conv layers with K ≥ 27 (reuse on tiny 1×1 squeeze layers is not
+/// profitable, matching the paper's focus on expand/main convolutions).
+pub fn reuse_layers(net: &dyn Network) -> Vec<(String, usize, usize, usize)> {
+    net.conv_layers()
+        .into_iter()
+        .filter(|i| i.gemm_k() >= 27)
+        .map(|i| (i.name.clone(), i.gemm_n(), i.gemm_k(), i.gemm_m()))
+        .collect()
+}
+
+/// Builds a *fixed* per-layer pattern assignment with granularity adapted
+/// to each layer's K (L ≈ K/4, capped) and the given H: conventional
+/// (SOTA) when `generalized` is false, otherwise a blanket generalized
+/// recipe (channel-first on deep layers, 2-D blocks, spatial tiles).
+/// Prefer [`selected_patterns`] — the analytic per-layer selection the
+/// figure binaries use; this fixed variant exists for ablations that need
+/// selection-free assignments.
+pub fn uniform_patterns(
+    layers: &[(String, usize, usize, usize)],
+    h: usize,
+    generalized: bool,
+) -> Vec<(String, ReusePattern)> {
+    layers
+        .iter()
+        .map(|(name, _n, k, _m)| {
+            let l = (*k / 4).clamp(5, 64).min(*k);
+            let mut p = ReusePattern::conventional(l, h);
+            if generalized {
+                // Generalized defaults informed by the paper's analysis
+                // (5.3.2): first-layer inputs favor channel-last while
+                // deeper activation maps favor channel-first; deeper,
+                // smaller maps also profit from 2-D blocks.
+                if !name.ends_with("conv1") && *k >= 100 {
+                    p = p.with_order(greuse::ReuseOrder::ChannelFirst);
+                }
+                p = p
+                    .with_block_rows(2)
+                    .with_row_order(greuse::RowOrder::SpatialTiles(2));
+            }
+            (name.clone(), p)
+        })
+        .collect()
+}
+
+/// Per-layer analytic pattern selection at a fixed `H` — the harness-side
+/// equivalent of the paper's method: each layer profiles a small candidate
+/// set (always including the conventional pattern, since the generalized
+/// space contains it) with the analytic models and keeps the predicted-
+/// fastest candidate whose error bound stays within `bound_slack` of the
+/// best bound. `generalized = false` restricts candidates to conventional
+/// deep-reuse patterns (the SOTA arm).
+pub fn selected_patterns(
+    net: &dyn Network,
+    train: &[Example],
+    layers: &[(String, usize, usize, usize)],
+    h: usize,
+    generalized: bool,
+    board: Board,
+) -> Vec<(String, ReusePattern)> {
+    use greuse::{
+        accuracy_bound_with_spec, measured_error_with_spec, workflow::capture_im2col, LatencyModel,
+    };
+    let model = LatencyModel::new(board);
+    // Profile with the same (data-adapted) hashing the deployment uses:
+    // unlike TREC's learned vectors, adapted hashing needs no training,
+    // so the profiling pass can afford deployment-matched clusters.
+    let lightweight = AdaptedHashProvider::new();
+    let bound_slack = 1.3f64;
+    let mut out = Vec::new();
+    for (name, n, k, m) in layers {
+        let Ok(xs) = capture_im2col(net, name, train, 1) else {
+            continue;
+        };
+        let x = &xs[0];
+        let conv = net
+            .convs()
+            .into_iter()
+            .find(|c| &c.name == name)
+            .expect("layer exists");
+        let spec = conv.spec;
+        let w = conv.weights.clone();
+        let l_base = (*k / 4).clamp(5, 64).min(*k);
+        let mut candidates = vec![
+            ReusePattern::conventional(l_base, h),
+            ReusePattern::conventional((l_base * 2).min(*k), h),
+        ];
+        if generalized {
+            let p = ReusePattern::conventional(l_base, h);
+            candidates.push(p.with_order(greuse::ReuseOrder::ChannelFirst));
+            candidates.push(p.with_block_rows(2));
+            candidates.push(
+                p.with_block_rows(2)
+                    .with_row_order(greuse::RowOrder::SpatialTiles(2)),
+            );
+            candidates.push(
+                ReusePattern::conventional((*n / 8).clamp(8, 128).min(*n), h)
+                    .with_direction(greuse::ReuseDirection::Horizontal),
+            );
+            candidates.push(
+                ReusePattern::conventional((l_base * 2).min(*k), h)
+                    .with_order(greuse::ReuseOrder::ChannelFirst),
+            );
+        }
+        let mut scored: Vec<(ReusePattern, f64, f64)> = Vec::new();
+        for p in candidates {
+            if p.validate(*n, *k).is_err() {
+                continue;
+            }
+            let Ok(est) = accuracy_bound_with_spec(x, &w, &spec, &p, &lightweight) else {
+                continue;
+            };
+            // Rank by the sample-measured error (the lightweight pass is
+            // a real reuse execution on profile data), not the loose
+            // bound — bounds of different structure families are not
+            // mutually comparable.
+            let Ok(err) = measured_error_with_spec(x, &w, &spec, &p, &lightweight) else {
+                continue;
+            };
+            let ms = model
+                .predict(*n, *k, *m, &p, est.redundancy_ratio)
+                .total_ms();
+            scored.push((p, err, ms));
+        }
+        if scored.is_empty() {
+            continue;
+        }
+        // Acceptance is *baseline-relative*: the conventional candidate
+        // (index 0, always present) anchors the error budget, so the
+        // generalized arm never picks something materially worse than
+        // the SOTA pick — it either wins latency at comparable error or
+        // wins error outright.
+        let baseline_err = scored[0].1.max(1e-12);
+        let best_err = scored.iter().map(|s| s.1).fold(f64::INFINITY, f64::min);
+        let budget = (baseline_err * bound_slack).max(best_err * bound_slack);
+        let pick = scored
+            .iter()
+            .filter(|s| s.1 <= budget + 1e-12)
+            .min_by(|a, b| a.2.total_cmp(&b.2).then(a.1.total_cmp(&b.1)))
+            .expect("nonempty after filter");
+        out.push((name.clone(), pick.0));
+    }
+    out
+}
+
+/// Simple fixed-width table printer for the experiment binaries.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths.iter())
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Parses `--board f4|f7` from CLI args (default f4).
+pub fn board_from_args() -> Board {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--board" {
+            if let Some(v) = args.get(i + 1) {
+                return match v.as_str() {
+                    "f7" => Board::Stm32F767zi,
+                    _ => Board::Stm32F469i,
+                };
+            }
+        }
+    }
+    Board::Stm32F469i
+}
+
+/// Parses `--quick` (smaller sample counts for CI-speed runs).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_layers() {
+        let (train, test) = cifar_splits(10, 5);
+        assert_eq!(train.len(), 10);
+        assert_eq!(test.len(), 5);
+        let net = train_model(ModelKind::CifarNet, &train, 1, 0);
+        let layers = reuse_layers(net.as_ref());
+        assert_eq!(layers.len(), 2);
+        let pats = uniform_patterns(&layers, 3, true);
+        assert_eq!(pats.len(), 2);
+    }
+
+    #[test]
+    fn measure_point_produces_latency() {
+        let (train, test) = cifar_splits(10, 5);
+        let net = train_model(ModelKind::CifarNet, &train, 1, 1);
+        let layers = reuse_layers(net.as_ref());
+        let pats = uniform_patterns(&layers, 2, false);
+        let p = measure_point(net.as_ref(), &test, &pats, Board::Stm32F469i, "t");
+        let d = dense_point(net.as_ref(), &test, Board::Stm32F469i);
+        assert!(p.latency_ms > 0.0 && p.latency_ms < d.latency_ms);
+        assert!(p.mean_rt > 0.0);
+    }
+}

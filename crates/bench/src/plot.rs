@@ -1,0 +1,136 @@
+//! Terminal scatter plots for the figure binaries: the paper's figures
+//! are accuracy-vs-latency scatters, and an ASCII rendering makes the
+//! regenerated "figures" actually figures.
+
+/// One plotted series: a glyph and its points `(x = latency, y = accuracy)`.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Single-character marker.
+    pub glyph: char,
+    /// Legend label.
+    pub label: String,
+    /// Points as `(x, y)`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(glyph: char, label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            glyph,
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Renders an ASCII scatter plot (x: latency ms, y: accuracy) into a
+/// string. Series later in the slice overdraw earlier ones on collisions.
+pub fn scatter(series: &[Series], width: usize, height: usize) -> String {
+    let width = width.max(20);
+    let height = height.max(8);
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    if all.is_empty() {
+        return "(no points)\n".to_string();
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    // Pad degenerate ranges.
+    if (x1 - x0).abs() < 1e-12 {
+        x0 -= 1.0;
+        x1 += 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y0 -= 0.05;
+        y1 += 0.05;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = s.glyph;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let y_here = y1 - (y1 - y0) * r as f64 / (height - 1) as f64;
+        let axis_label = if r == 0 || r == height - 1 || r == height / 2 {
+            format!("{y_here:6.3} |")
+        } else {
+            "       |".to_string()
+        };
+        out.push_str(&axis_label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str("       +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "        {:<12.1}{:>width$.1} ms\n",
+        x0,
+        x1,
+        width = width.saturating_sub(8)
+    ));
+    for s in series {
+        out.push_str(&format!("        {} = {}\n", s.glyph, s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_series_glyphs() {
+        let s = vec![
+            Series::new('o', "sota", vec![(100.0, 0.7), (200.0, 0.8)]),
+            Series::new('x', "ours", vec![(80.0, 0.7), (150.0, 0.85)]),
+        ];
+        let plot = scatter(&s, 40, 10);
+        assert!(plot.contains('o'));
+        assert!(plot.contains('x'));
+        assert!(plot.contains("sota"));
+        assert!(plot.contains("ours"));
+    }
+
+    #[test]
+    fn empty_series_ok() {
+        assert_eq!(scatter(&[], 40, 10), "(no points)\n");
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let s = vec![Series::new('*', "one", vec![(5.0, 0.5)])];
+        let plot = scatter(&s, 30, 8);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn points_land_in_correct_half() {
+        // A high-accuracy point must appear above a low-accuracy one.
+        let s = vec![
+            Series::new('h', "high", vec![(100.0, 0.9)]),
+            Series::new('l', "low", vec![(100.0, 0.1)]),
+        ];
+        let plot = scatter(&s, 30, 10);
+        let hpos = plot.find('h').unwrap();
+        let lpos = plot.find('l').unwrap();
+        assert!(
+            hpos < lpos,
+            "high-accuracy point should render first (higher row)"
+        );
+    }
+}

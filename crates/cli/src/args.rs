@@ -1,0 +1,93 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    values: HashMap<String, String>,
+}
+
+impl Options {
+    /// Parses `--key value` pairs; bare `--flag` stores `"true"`.
+    pub fn parse(args: &[String]) -> Options {
+        let mut values = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            if let Some(key) = arg.strip_prefix("--") {
+                let next_is_value = args
+                    .get(i + 1)
+                    .map(|v| !v.starts_with("--"))
+                    .unwrap_or(false);
+                if next_is_value {
+                    values.insert(key.to_string(), args[i + 1].clone());
+                    i += 2;
+                } else {
+                    values.insert(key.to_string(), "true".to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Options { values }
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// String option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Parsed numeric option with a default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got `{v}`")),
+        }
+    }
+
+    /// Required option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Boolean flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(s: &[&str]) -> Options {
+        Options::parse(&s.iter().map(|v| v.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let o = opts(&["--model", "cifarnet", "--quick", "--epochs", "3"]);
+        assert_eq!(o.get("model"), Some("cifarnet"));
+        assert!(o.flag("quick"));
+        assert_eq!(o.num::<usize>("epochs", 1).unwrap(), 3);
+        assert_eq!(o.num::<usize>("absent", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn require_and_errors() {
+        let o = opts(&["--k", "abc"]);
+        assert!(o.require("k").is_ok());
+        assert!(o.require("missing").is_err());
+        assert!(o.num::<usize>("k", 0).is_err());
+    }
+}

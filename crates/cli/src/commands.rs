@@ -1,0 +1,321 @@
+//! CLI subcommand implementations.
+
+use greuse::{
+    workflow::{network_latency, select_patterns_for_layer, WorkflowConfig},
+    AdaptedHashProvider, DeploymentPlan, LatencyModel, ReuseBackend, ReusePattern, Scope,
+};
+use greuse_data::SyntheticDataset;
+use greuse_mcu::{inference_energy_mj, Board, PhaseOps};
+use greuse_nn::{
+    evaluate_accuracy, evaluate_dense, models::CifarNet, models::SqueezeNet,
+    models::SqueezeNetVariant, models::ZfNet, StateDict, TrainableNetwork, Trainer, TrainerConfig,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+use crate::args::Options;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+greuse — generalized reuse patterns for DNN inference on MCUs
+
+USAGE:
+  greuse train    --model <cifarnet|zfnet|squeezenet|squeezenet-bypass>
+                  [--epochs N] [--samples N] [--out FILE]
+  greuse eval     --model <...> [--weights FILE] [--reuse L,H | --plan FILE]
+                  [--board f4|f7] [--samples N]
+  greuse select   --model <...> [--weights FILE] --layer NAME
+                  [--prune-to N] [--board f4|f7] [--plan-out FILE] [--all]
+  greuse simulate --n N --k K --m M [--rt R] [--l L] [--h H] [--board f4|f7]
+  greuse scope    --n N --k K
+  greuse help";
+
+type AnyNet = Box<dyn TrainableNetwork>;
+
+fn build_model(name: &str, seed: u64) -> Result<AnyNet, String> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Ok(match name {
+        "cifarnet" => Box::new(CifarNet::new(10, &mut rng)),
+        "zfnet" => Box::new(ZfNet::new(10, &mut rng)),
+        "squeezenet" => Box::new(SqueezeNet::new(SqueezeNetVariant::Vanilla, 10, &mut rng)),
+        "squeezenet-bypass" => Box::new(SqueezeNet::new(SqueezeNetVariant::Bypass, 10, &mut rng)),
+        other => return Err(format!("unknown model `{other}`")),
+    })
+}
+
+fn board(opts: &Options) -> Board {
+    match opts.get_or("board", "f4") {
+        "f7" => Board::Stm32F767zi,
+        _ => Board::Stm32F469i,
+    }
+}
+
+fn load_weights(net: &mut dyn TrainableNetwork, opts: &Options) -> Result<(), String> {
+    if let Some(path) = opts.get("weights") {
+        let dict = StateDict::load(path).map_err(|e| e.to_string())?;
+        dict.restore(net).map_err(|e| e.to_string())?;
+        println!("loaded {} parameters from {path}", dict.param_count());
+    }
+    Ok(())
+}
+
+fn parse_reuse(opts: &Options) -> Result<Option<(usize, usize)>, String> {
+    let Some(spec) = opts.get("reuse") else {
+        return Ok(None);
+    };
+    let parts: Vec<&str> = spec.split(',').collect();
+    if parts.len() != 2 {
+        return Err(format!("--reuse expects L,H (e.g. 20,3), got `{spec}`"));
+    }
+    let l = parts[0]
+        .parse()
+        .map_err(|_| format!("bad L in --reuse `{spec}`"))?;
+    let h = parts[1]
+        .parse()
+        .map_err(|_| format!("bad H in --reuse `{spec}`"))?;
+    Ok(Some((l, h)))
+}
+
+/// `greuse train` — train a model on synthetic data and save a state dict.
+pub fn train(opts: &Options) -> Result<(), String> {
+    let model = opts.require("model")?;
+    let epochs: usize = opts.num("epochs", 3)?;
+    let samples: usize = opts.num("samples", 200)?;
+    let out = opts.get_or("out", "model.grsd");
+    let mut net = build_model(model, opts.num("seed", 42u64)?)?;
+    let (train_set, test_set) = SyntheticDataset::cifar_like(opts.num("data-seed", 2024u64)?)
+        .train_test(samples, samples / 4, 17);
+    println!("training {model}: {epochs} epochs on {samples} synthetic images...");
+    let mut trainer = Trainer::new(TrainerConfig::fast(epochs, 0.01));
+    let report = trainer
+        .train(net.as_mut(), &train_set)
+        .map_err(|e| e.to_string())?;
+    println!("final train accuracy: {:.3}", report.final_accuracy());
+    let eval = evaluate_dense(net.as_ref(), &test_set).map_err(|e| e.to_string())?;
+    println!("held-out accuracy:    {:.3}", eval.accuracy);
+    StateDict::capture(net.as_mut())
+        .save(out)
+        .map_err(|e| e.to_string())?;
+    println!("weights saved to {out}");
+    Ok(())
+}
+
+/// `greuse eval` — accuracy + modeled latency, dense or under reuse.
+pub fn eval(opts: &Options) -> Result<(), String> {
+    let model = opts.require("model")?;
+    let samples: usize = opts.num("samples", 80)?;
+    let mut net = build_model(model, opts.num("seed", 42u64)?)?;
+    load_weights(net.as_mut(), opts)?;
+    let test = SyntheticDataset::cifar_like(opts.num("data-seed", 2024u64)?).generate(samples, 18);
+    let b = board(opts);
+    if let Some(path) = opts.get("plan") {
+        let plan = DeploymentPlan::load(path).map_err(|e| e.to_string())?;
+        let backend = plan.to_backend(AdaptedHashProvider::new());
+        let eval = evaluate_accuracy(net.as_ref(), &backend, &test).map_err(|e| e.to_string())?;
+        let ms = network_latency(net.as_ref(), &backend.stats(), b);
+        let dense_ms = network_latency(net.as_ref(), &HashMap::new(), b);
+        println!(
+            "plan {path} ({} layers): accuracy {:.3}, latency {ms:.1} ms on {b} ({:.2}x vs dense)",
+            plan.len(),
+            eval.accuracy,
+            dense_ms / ms
+        );
+        for (layer, stats) in backend.stats() {
+            println!("  {layer}: r_t = {:.3}", stats.redundancy_ratio());
+        }
+        return Ok(());
+    }
+    match parse_reuse(opts)? {
+        None => {
+            let eval = evaluate_dense(net.as_ref(), &test).map_err(|e| e.to_string())?;
+            let ms = network_latency(net.as_ref(), &HashMap::new(), b);
+            println!(
+                "dense: accuracy {:.3}, latency {ms:.1} ms on {b}",
+                eval.accuracy
+            );
+            println!(
+                "energy per inference: {:.1} mJ",
+                b.power().active_watts * ms
+            );
+        }
+        Some((l, h)) => {
+            let backend = {
+                let mut bk = ReuseBackend::new(AdaptedHashProvider::new());
+                for info in net.conv_layers() {
+                    if info.gemm_k() >= 27 {
+                        bk = bk.with_pattern(
+                            info.name.clone(),
+                            ReusePattern::conventional(l.min(info.gemm_k()), h),
+                        );
+                    }
+                }
+                bk
+            };
+            let eval =
+                evaluate_accuracy(net.as_ref(), &backend, &test).map_err(|e| e.to_string())?;
+            let ms = network_latency(net.as_ref(), &backend.stats(), b);
+            let dense_ms = network_latency(net.as_ref(), &HashMap::new(), b);
+            println!(
+                "reuse L={l} H={h}: accuracy {:.3}, latency {ms:.1} ms on {b} ({:.2}x vs dense)",
+                eval.accuracy,
+                dense_ms / ms
+            );
+            for (layer, stats) in backend.stats() {
+                println!("  {layer}: r_t = {:.3}", stats.redundancy_ratio());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `greuse select` — run the §4.3 workflow on one layer.
+pub fn select(opts: &Options) -> Result<(), String> {
+    let model = opts.require("model")?;
+    let layer = opts.require("layer")?;
+    let mut net = build_model(model, opts.num("seed", 42u64)?)?;
+    load_weights(net.as_mut(), opts)?;
+    let data = SyntheticDataset::cifar_like(opts.num("data-seed", 2024u64)?);
+    let (train_set, test_set) = data.train_test(8, opts.num("samples", 40)?, 19);
+    let config = WorkflowConfig {
+        scope: Scope::default_scope(),
+        board: board(opts),
+        prune_to: opts.num("prune-to", 5)?,
+        profile_samples: 2,
+        seed: 7,
+        profile_adapted: true,
+    };
+    let sel = select_patterns_for_layer(net.as_ref(), layer, &train_set, &test_set, &config)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{} candidates scored analytically; {} fully checked; timings: profile {:.2?}, prune {:.2?}, check {:.2?}",
+        sel.evaluations.len(),
+        sel.promising.len(),
+        sel.timing.profiling,
+        sel.timing.prune,
+        sel.timing.full_check
+    );
+    if opts.flag("all") {
+        println!("\nall analytic scores (sample error ascending):");
+        let mut by_err: Vec<_> = sel.evaluations.iter().collect();
+        by_err.sort_by(|a, b| a.sample_error.total_cmp(&b.sample_error));
+        for e in by_err {
+            println!(
+                "  {:<28} err {:.1}  bound {:.1}  r_t {:.3}  predicted {:.2} ms",
+                e.pattern.label(),
+                e.sample_error,
+                e.error_bound,
+                e.redundancy_ratio,
+                e.predicted_latency_ms
+            );
+        }
+    }
+    println!("\nPareto-optimal patterns for {layer}:");
+    for &i in &sel.pareto {
+        let e = &sel.evaluations[i];
+        let m = e.measured.expect("pareto points are measured");
+        println!(
+            "  {:<28} accuracy {:.3}  latency {:.2} ms  r_t {:.3}",
+            e.pattern.label(),
+            m.accuracy,
+            m.latency_ms,
+            m.redundancy_ratio
+        );
+    }
+    if let Some(path) = opts.get("plan-out") {
+        let best = sel
+            .best_accuracy()
+            .ok_or("no measured pattern to write into the plan")?;
+        let mut plan = DeploymentPlan::new(model);
+        plan.set(layer, best.pattern);
+        plan.save(path).map_err(|e| e.to_string())?;
+        println!(
+            "\nwrote {} ({} entry) — evaluate with `greuse eval --plan {}`",
+            path,
+            plan.len(),
+            path
+        );
+    }
+    Ok(())
+}
+
+/// `greuse simulate` — the latency/energy calculator for one layer.
+pub fn simulate(opts: &Options) -> Result<(), String> {
+    let n: usize = opts
+        .require("n")?
+        .parse()
+        .map_err(|_| "--n expects a number")?;
+    let k: usize = opts
+        .require("k")?
+        .parse()
+        .map_err(|_| "--k expects a number")?;
+    let m: usize = opts
+        .require("m")?
+        .parse()
+        .map_err(|_| "--m expects a number")?;
+    let b = board(opts);
+    let model = LatencyModel::new(b);
+    let dense = model.dense(n, k, m);
+    println!("layer N={n} K={k} M={m} on {b}");
+    println!(
+        "dense:  {:.2} ms  ({:.2} mJ)",
+        dense.total_ms(),
+        inference_energy_mj(b, &dense)
+    );
+    let rt: f64 = opts.num("rt", 0.95)?;
+    let l: usize = opts.num("l", (k / 4).clamp(1, 64))?;
+    let h: usize = opts.num("h", 3)?;
+    let pattern = ReusePattern::conventional(l.min(k), h);
+    let reuse = model.predict(n, k, m, &pattern, rt);
+    println!(
+        "reuse (L={l}, H={h}, r_t={rt}): {:.2} ms  ({:.2} mJ)  -> {:.2}x speedup",
+        reuse.total_ms(),
+        inference_energy_mj(b, &reuse),
+        dense.total_ms() / reuse.total_ms()
+    );
+    println!(
+        "  phases: transform {:.2} / cluster {:.2} / gemm {:.2} / recover {:.2} ms",
+        reuse.transform_ms, reuse.clustering_ms, reuse.gemm_ms, reuse.recover_ms
+    );
+    println!(
+        "key condition H/D_out < r_t: {}",
+        greuse::key_condition_holds(h, m, rt)
+    );
+    let spec = b.spec();
+    let sram = greuse_mcu::activation_bytes(n, k, m, 1);
+    match spec.check_memory(m * k, sram) {
+        Ok(rep) => println!(
+            "memory: flash {:.1}% / SRAM {:.1}%",
+            rep.flash_utilization() * 100.0,
+            rep.sram_utilization() * 100.0
+        ),
+        Err(e) => println!("memory: {e}"),
+    }
+    let _ = PhaseOps::default();
+    Ok(())
+}
+
+/// `greuse scope` — show the candidate space for a layer shape.
+pub fn scope(opts: &Options) -> Result<(), String> {
+    let n: usize = opts
+        .require("n")?
+        .parse()
+        .map_err(|_| "--n expects a number")?;
+    let k: usize = opts
+        .require("k")?
+        .parse()
+        .map_err(|_| "--k expects a number")?;
+    let default = Scope::default_scope();
+    let conventional = Scope::conventional_scope();
+    println!(
+        "layer N={n} K={k}: default scope {} Cartesian -> {} valid candidates; conventional scope {} valid",
+        default.cartesian_size(),
+        default.candidates(n, k).len(),
+        conventional.candidates(n, k).len()
+    );
+    for c in default.candidates(n, k).iter().take(10) {
+        println!("  {c}");
+    }
+    println!("  ...");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! `greuse` — command-line front end for the generalized-reuse workspace.
+//!
+//! ```text
+//! greuse train    --model cifarnet --epochs 3 --samples 200 --out model.grsd
+//! greuse eval     --model cifarnet --weights model.grsd [--reuse L,H] [--board f4|f7]
+//! greuse select   --model cifarnet --weights model.grsd --layer conv2 [--prune-to 5]
+//! greuse simulate --n 256 --k 1600 --m 64 [--rt 0.95] [--l 20] [--h 3] [--board f4]
+//! greuse scope    --n 1024 --k 75
+//! ```
+//!
+//! Datasets are the workspace's seeded synthetic generators, so every
+//! command is reproducible offline.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let opts = args::Options::parse(rest);
+    let result = match cmd.as_str() {
+        "train" => commands::train(&opts),
+        "eval" => commands::eval(&opts),
+        "select" => commands::select(&opts),
+        "simulate" => commands::simulate(&opts),
+        "scope" => commands::scope(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

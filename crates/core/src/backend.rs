@@ -1,0 +1,218 @@
+//! [`ReuseBackend`]: plugs per-layer reuse patterns into any `greuse-nn`
+//! network by implementing its [`ConvBackend`] seam. Layers without an
+//! assigned pattern run dense, so partial deployments (e.g. "reuse only
+//! on conv2") are expressed naturally.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use greuse_mcu::PhaseOps;
+use greuse_nn::{ConvBackend, DenseBackend};
+use greuse_tensor::{ConvSpec, Tensor, TensorError};
+
+use crate::exec::execute_reuse_with_spec;
+use crate::hash_provider::HashProvider;
+use crate::pattern::ReusePattern;
+
+/// Accumulated per-layer execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// Images (calls) processed.
+    pub calls: u64,
+    /// Summed operation counts across calls.
+    pub ops: PhaseOps,
+    /// Summed neuron vectors.
+    pub n_vectors: u64,
+    /// Summed clusters.
+    pub n_clusters: u64,
+}
+
+impl LayerStats {
+    /// Mean redundancy ratio across calls.
+    pub fn redundancy_ratio(&self) -> f64 {
+        if self.n_vectors == 0 {
+            0.0
+        } else {
+            1.0 - self.n_clusters as f64 / self.n_vectors as f64
+        }
+    }
+
+    /// Mean per-image operation counts.
+    pub fn mean_ops(&self) -> PhaseOps {
+        if self.calls == 0 {
+            return PhaseOps::default();
+        }
+        let c = self.calls;
+        PhaseOps {
+            transform_elems: self.ops.transform_elems / c,
+            clustering_macs: self.ops.clustering_macs / c,
+            clustering_vectors: self.ops.clustering_vectors / c,
+            gemm_macs: self.ops.gemm_macs / c,
+            recover_elems: self.ops.recover_elems / c,
+        }
+    }
+}
+
+/// A convolution backend that applies reuse patterns per layer.
+pub struct ReuseBackend<P: HashProvider> {
+    patterns: HashMap<String, ReusePattern>,
+    hashes: P,
+    stats: Mutex<HashMap<String, LayerStats>>,
+}
+
+impl<P: HashProvider> ReuseBackend<P> {
+    /// Creates a backend with no patterns assigned (all layers dense).
+    pub fn new(hashes: P) -> Self {
+        ReuseBackend {
+            patterns: HashMap::new(),
+            hashes,
+            stats: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Assigns a pattern to a layer (builder style).
+    pub fn with_pattern(mut self, layer: impl Into<String>, pattern: ReusePattern) -> Self {
+        self.patterns.insert(layer.into(), pattern);
+        self
+    }
+
+    /// Assigns patterns for many layers at once.
+    pub fn with_patterns<I, S>(mut self, patterns: I) -> Self
+    where
+        I: IntoIterator<Item = (S, ReusePattern)>,
+        S: Into<String>,
+    {
+        for (layer, p) in patterns {
+            self.patterns.insert(layer.into(), p);
+        }
+        self
+    }
+
+    /// The pattern assigned to a layer, if any.
+    pub fn pattern(&self, layer: &str) -> Option<&ReusePattern> {
+        self.patterns.get(layer)
+    }
+
+    /// Per-layer statistics accumulated so far (reuse layers only).
+    pub fn stats(&self) -> HashMap<String, LayerStats> {
+        self.stats.lock().clone()
+    }
+
+    /// Statistics of one layer.
+    pub fn layer_stats(&self, layer: &str) -> Option<LayerStats> {
+        self.stats.lock().get(layer).copied()
+    }
+
+    /// Clears accumulated statistics.
+    pub fn reset_stats(&self) {
+        self.stats.lock().clear();
+    }
+
+    /// The hash provider in use.
+    pub fn hash_provider(&self) -> &P {
+        &self.hashes
+    }
+}
+
+impl<P: HashProvider> ConvBackend for ReuseBackend<P> {
+    fn conv_gemm(
+        &self,
+        layer: &str,
+        spec: &ConvSpec,
+        x: &Tensor<f32>,
+        weights: &Tensor<f32>,
+    ) -> Result<Tensor<f32>, TensorError> {
+        match self.patterns.get(layer) {
+            None => DenseBackend.conv_gemm(layer, spec, x, weights),
+            Some(pattern) => {
+                let out = execute_reuse_with_spec(x, weights, spec, pattern, &self.hashes, layer)
+                    .map_err(|e| match e {
+                    crate::GreuseError::Tensor(t) => t,
+                    other => TensorError::ShapeMismatch {
+                        op: "reuse backend",
+                        expected: vec![],
+                        actual: vec![other.to_string().len()],
+                    },
+                })?;
+                let mut stats = self.stats.lock();
+                let entry = stats.entry(layer.to_string()).or_default();
+                entry.calls += 1;
+                entry.ops = entry.ops.combined(&out.stats.ops);
+                entry.n_vectors += out.stats.n_vectors;
+                entry.n_clusters += out.stats.n_clusters;
+                Ok(out.y)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash_provider::RandomHashProvider;
+    use greuse_nn::{models::CifarNet, Network};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn net_and_image() -> (CifarNet, Tensor<f32>) {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let net = CifarNet::new(10, &mut rng);
+        let image = Tensor::from_fn(&[3, 32, 32], |i| ((i / 97) as f32 * 0.3).sin());
+        (net, image)
+    }
+
+    #[test]
+    fn no_patterns_matches_dense_exactly() {
+        let (net, image) = net_and_image();
+        let backend = ReuseBackend::new(RandomHashProvider::new(1));
+        let a = net.forward(&image, &backend).unwrap();
+        let b = net.forward(&image, &DenseBackend).unwrap();
+        assert_eq!(a, b);
+        assert!(backend.stats().is_empty());
+    }
+
+    #[test]
+    fn high_h_pattern_close_to_dense() {
+        let (net, image) = net_and_image();
+        let backend = ReuseBackend::new(RandomHashProvider::new(2))
+            .with_pattern("conv1", ReusePattern::conventional(25, 48));
+        let a = net.forward(&image, &backend).unwrap();
+        let b = net.forward(&image, &DenseBackend).unwrap();
+        let scale = b.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1.0);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 0.05 * scale, "{x} vs {y}");
+        }
+        let stats = backend.layer_stats("conv1").unwrap();
+        assert_eq!(stats.calls, 1);
+        assert!(stats.n_vectors > 0);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let (net, image) = net_and_image();
+        let backend = ReuseBackend::new(RandomHashProvider::new(3))
+            .with_pattern("conv1", ReusePattern::conventional(15, 2));
+        let _ = net.forward(&image, &backend).unwrap();
+        let _ = net.forward(&image, &backend).unwrap();
+        let s = backend.layer_stats("conv1").unwrap();
+        assert_eq!(s.calls, 2);
+        assert!(s.redundancy_ratio() > 0.0);
+        let mean = s.mean_ops();
+        assert_eq!(mean.transform_elems, s.ops.transform_elems / 2);
+        backend.reset_stats();
+        assert!(backend.stats().is_empty());
+    }
+
+    #[test]
+    fn with_patterns_bulk() {
+        let backend = ReuseBackend::new(RandomHashProvider::new(4)).with_patterns([
+            ("conv1", ReusePattern::conventional(15, 2)),
+            ("conv2", ReusePattern::conventional(20, 3)),
+        ]);
+        assert!(backend.pattern("conv1").is_some());
+        assert!(backend.pattern("conv2").is_some());
+        assert!(backend.pattern("conv3").is_none());
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the generalized-reuse runtime.
+
+use std::fmt;
+
+use greuse_mcu::McuError;
+use greuse_nn::NnError;
+use greuse_tensor::TensorError;
+
+/// Error produced by the reuse runtime and selection workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GreuseError {
+    /// A tensor-level operation failed.
+    Tensor(TensorError),
+    /// A network-level operation failed.
+    Nn(NnError),
+    /// An MCU-model operation failed.
+    Mcu(McuError),
+    /// A reuse pattern is invalid for the layer it was applied to.
+    InvalidPattern {
+        /// Description of the incompatibility.
+        detail: String,
+    },
+    /// The selection workflow was configured inconsistently.
+    InvalidWorkflow {
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GreuseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GreuseError::Tensor(e) => write!(f, "tensor error: {e}"),
+            GreuseError::Nn(e) => write!(f, "network error: {e}"),
+            GreuseError::Mcu(e) => write!(f, "mcu model error: {e}"),
+            GreuseError::InvalidPattern { detail } => write!(f, "invalid reuse pattern: {detail}"),
+            GreuseError::InvalidWorkflow { detail } => write!(f, "invalid workflow: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for GreuseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GreuseError::Tensor(e) => Some(e),
+            GreuseError::Nn(e) => Some(e),
+            GreuseError::Mcu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for GreuseError {
+    fn from(e: TensorError) -> Self {
+        GreuseError::Tensor(e)
+    }
+}
+
+impl From<NnError> for GreuseError {
+    fn from(e: NnError) -> Self {
+        GreuseError::Nn(e)
+    }
+}
+
+impl From<McuError> for GreuseError {
+    fn from(e: McuError) -> Self {
+        GreuseError::Mcu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e: GreuseError = TensorError::IndexOutOfBounds { index: 1, bound: 0 }.into();
+        assert!(e.to_string().contains("tensor"));
+        let e = GreuseError::InvalidPattern {
+            detail: "L larger than K".into(),
+        };
+        assert!(e.to_string().contains("invalid reuse pattern"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GreuseError>();
+    }
+}

@@ -1,0 +1,197 @@
+//! Batch-level reuse: the paper's pattern-3 (Fig. 4 / Fig. 6(e)).
+//!
+//! When several images are processed together, their im2col matrices can
+//! be stacked into one batch matrix, and a *row reorder* of that stack
+//! interleaves rows of different images — so one neuron block spans tiles
+//! of two (or more) images, exactly the pattern-3 definition. Clustering
+//! then discovers similarity *across* images as well as within them.
+
+use greuse_tensor::{Permutation, Tensor};
+
+use crate::exec::{execute_reuse_named, ReuseOutput};
+use crate::hash_provider::HashProvider;
+use crate::pattern::ReusePattern;
+use crate::{GreuseError, Result};
+
+/// How the rows of the stacked batch matrix are ordered before reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchStacking {
+    /// Images concatenated one after another (no cross-image blocks).
+    Sequential,
+    /// Rows interleaved round-robin across images: row `i` of image 0,
+    /// row `i` of image 1, ... — a 2-D neuron block of height ≥ 2 now
+    /// spans the *same position in different images* (pattern-3).
+    Interleaved,
+}
+
+impl BatchStacking {
+    /// The row permutation from sequential stacking to this ordering,
+    /// for `images` matrices of `rows_per_image` rows each.
+    pub fn permutation(&self, images: usize, rows_per_image: usize) -> Permutation {
+        let n = images * rows_per_image;
+        match self {
+            BatchStacking::Sequential => Permutation::identity(n),
+            BatchStacking::Interleaved => {
+                let mut map = Vec::with_capacity(n);
+                for r in 0..rows_per_image {
+                    for img in 0..images {
+                        map.push(img * rows_per_image + r);
+                    }
+                }
+                Permutation::from_vec(map).expect("round-robin interleave is a bijection")
+            }
+        }
+    }
+}
+
+/// Executes reuse over a batch of im2col matrices (all `N x K`) stacked
+/// under the given ordering, returning one [`ReuseOutput`] per image (in
+/// input order) plus the shared statistics.
+///
+/// # Errors
+///
+/// Returns [`GreuseError::InvalidPattern`] for an empty batch or
+/// mismatched matrix shapes, and propagates executor errors.
+pub fn execute_reuse_batch(
+    xs: &[Tensor<f32>],
+    w: &Tensor<f32>,
+    pattern: &ReusePattern,
+    hashes: &dyn HashProvider,
+    stacking: BatchStacking,
+) -> Result<(Vec<Tensor<f32>>, ReuseOutput)> {
+    let first = xs.first().ok_or_else(|| GreuseError::InvalidPattern {
+        detail: "empty batch".into(),
+    })?;
+    let (n, k) = (first.rows(), first.cols());
+    for x in xs {
+        if x.shape().dims() != [n, k] {
+            return Err(GreuseError::InvalidPattern {
+                detail: format!(
+                    "batch matrices must share one shape; got {:?} and {:?}",
+                    first.shape().dims(),
+                    x.shape().dims()
+                ),
+            });
+        }
+    }
+    // Stack sequentially, then apply the batch ordering.
+    let images = xs.len();
+    let mut stacked = Tensor::zeros(&[images * n, k]);
+    for (i, x) in xs.iter().enumerate() {
+        for r in 0..n {
+            stacked.row_mut(i * n + r).copy_from_slice(x.row(r));
+        }
+    }
+    let perm = stacking.permutation(images, n);
+    let ordered = perm.apply_rows(&stacked).map_err(GreuseError::from)?;
+
+    let out = execute_reuse_named(&ordered, w, pattern, hashes, "batch")?;
+
+    // Un-stack: invert the ordering, then split per image.
+    let y = perm
+        .inverse()
+        .apply_rows(&out.y)
+        .map_err(GreuseError::from)?;
+    let m = w.rows();
+    let mut per_image = Vec::with_capacity(images);
+    for i in 0..images {
+        let mut yi = Tensor::zeros(&[n, m]);
+        for r in 0..n {
+            yi.row_mut(r).copy_from_slice(y.row(i * n + r));
+        }
+        per_image.push(yi);
+    }
+    Ok((per_image, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash_provider::RandomHashProvider;
+    use greuse_tensor::gemm_f32;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_mat(r: usize, c: usize, seed: u64) -> Tensor<f32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Tensor::from_fn(&[r, c], |_| rng.gen_range(-1.0f32..1.0))
+    }
+
+    #[test]
+    fn interleave_permutation_round_robin() {
+        let p = BatchStacking::Interleaved.permutation(2, 3);
+        // Sequential rows [a0 a1 a2 b0 b1 b2] -> [a0 b0 a1 b1 a2 b2].
+        assert_eq!(p.as_slice(), &[0, 3, 1, 4, 2, 5]);
+        assert!(BatchStacking::Sequential.permutation(2, 3).is_identity());
+    }
+
+    #[test]
+    fn batch_reuse_matches_per_image_order() {
+        // With H = 64 (singleton clusters) both stackings reproduce the
+        // exact per-image GEMM.
+        let xs = vec![
+            rand_mat(12, 10, 1),
+            rand_mat(12, 10, 2),
+            rand_mat(12, 10, 3),
+        ];
+        let w = rand_mat(4, 10, 4);
+        let hashes = RandomHashProvider::new(5);
+        let pattern = ReusePattern::conventional(10, 64);
+        for stacking in [BatchStacking::Sequential, BatchStacking::Interleaved] {
+            let (ys, _) = execute_reuse_batch(&xs, &w, &pattern, &hashes, stacking).unwrap();
+            assert_eq!(ys.len(), 3);
+            for (x, y) in xs.iter().zip(ys.iter()) {
+                let exact = gemm_f32(x, &w.transpose()).unwrap();
+                for (a, b) in y.as_slice().iter().zip(exact.as_slice()) {
+                    assert!((a - b).abs() < 1e-3, "{stacking:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_image_redundancy_found_by_interleaving() {
+        // Two images whose rows cycle through the same 4 prototypes:
+        // an interleaved 2-row block pairs the prototype at position r of
+        // both images, so blocks repeat with period 4 — 4 clusters over
+        // 16 blocks (r_t = 0.75), and identical blocks make the result
+        // exact (pattern-3 reuse across images).
+        let protos = rand_mat(4, 8, 7);
+        let image = Tensor::from_fn(&[16, 8], |i| {
+            let (r, c) = (i / 8, i % 8);
+            protos[[r % 4, c]]
+        });
+        let xs = vec![image.clone(), image.clone()];
+        let w = rand_mat(3, 8, 8);
+        let hashes = RandomHashProvider::new(9);
+        let pattern = ReusePattern::conventional(8, 6).with_block_rows(2);
+        let (ys, inter) =
+            execute_reuse_batch(&xs, &w, &pattern, &hashes, BatchStacking::Interleaved).unwrap();
+        assert!(
+            inter.stats.redundancy_ratio >= 0.7,
+            "interleaved r_t {} should reflect the period-4 prototypes",
+            inter.stats.redundancy_ratio
+        );
+        // Identical blocks cluster; centroid of identical = original.
+        let exact = gemm_f32(&image, &w.transpose()).unwrap();
+        for y in &ys {
+            for (p, q) in y.as_slice().iter().zip(exact.as_slice()) {
+                assert!((p - q).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_ragged_batches_rejected() {
+        let w = rand_mat(3, 8, 1);
+        let hashes = RandomHashProvider::new(2);
+        let pattern = ReusePattern::conventional(8, 4);
+        assert!(
+            execute_reuse_batch(&[], &w, &pattern, &hashes, BatchStacking::Sequential).is_err()
+        );
+        let xs = vec![rand_mat(8, 8, 3), rand_mat(9, 8, 4)];
+        assert!(
+            execute_reuse_batch(&xs, &w, &pattern, &hashes, BatchStacking::Sequential).is_err()
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Vertical reuse (the paper's M-1 direction, Fig. 3), generalized to
+//! 2-D neuron blocks (§3.3).
+//!
+//! The im2col matrix is sliced into vertical panels of width `L`. Within
+//! a panel, the reuse unit is a block of `block_rows` consecutive rows ×
+//! `L` columns (`block_rows = 1` is the conventional neuron vector).
+//! Blocks are clustered by LSH; each cluster's centroid block multiplies
+//! the panel's weight slice once, and the result is duplicated to every
+//! member (the *recovery* step). Panel results accumulate into `Y`.
+
+use greuse_lsh::cluster_rows;
+use greuse_tensor::{gemm_f32, Tensor};
+
+use crate::exec::{ReuseOutput, ReuseStats};
+use crate::hash_provider::HashProvider;
+use crate::pattern::ReusePattern;
+use crate::Result;
+
+pub(crate) fn vertical_reuse(
+    x: &Tensor<f32>,
+    w: &Tensor<f32>,
+    pattern: &ReusePattern,
+    hashes: &dyn HashProvider,
+    layer: &str,
+) -> Result<ReuseOutput> {
+    let (n, k) = (x.rows(), x.cols());
+    let m = w.rows();
+    let l = pattern.l.min(k);
+    let b = pattern.block_rows.min(n);
+    let mut y = Tensor::zeros(&[n, m]);
+    let mut stats = ReuseStats::default();
+
+    let mut panel = 0usize;
+    let mut col0 = 0usize;
+    while col0 < k {
+        let col1 = (col0 + l).min(k);
+        let lw = col1 - col0;
+        // Weight slice Wp: M x lw.
+        let mut wp = Tensor::zeros(&[m, lw]);
+        for r in 0..m {
+            wp.row_mut(r).copy_from_slice(&w.row(r)[col0..col1]);
+        }
+        let wp_t = wp.transpose(); // lw x M
+
+        // Full blocks of b rows; the ragged tail is computed exactly.
+        let full_blocks = n / b;
+        let tail_rows = n - full_blocks * b;
+
+        if full_blocks > 0 {
+            // Gather block vectors: full_blocks x (b*lw).
+            let dim = b * lw;
+            let mut blocks = Tensor::zeros(&[full_blocks, dim]);
+            for g in 0..full_blocks {
+                let dst = blocks.row_mut(g);
+                for br in 0..b {
+                    let src = &x.row(g * b + br)[col0..col1];
+                    dst[br * lw..(br + 1) * lw].copy_from_slice(src);
+                }
+            }
+            let family = hashes.family(layer, panel, pattern.h, &blocks)?;
+            let clustering = cluster_rows(&blocks, &family)?;
+            let n_c = clustering.num_clusters();
+            stats.n_vectors += full_blocks as u64;
+            stats.n_clusters += n_c as u64;
+            stats.ops.clustering_vectors += full_blocks as u64;
+            stats.ops.clustering_macs += family.hashing_macs(full_blocks);
+
+            // Centroid blocks stacked: (n_c * b) x lw.
+            let centroids = clustering.centroids_with(dim, |g| blocks.row(g).to_vec());
+            let mut stacked = Tensor::zeros(&[n_c * b, lw]);
+            for c in 0..n_c {
+                for br in 0..b {
+                    stacked
+                        .row_mut(c * b + br)
+                        .copy_from_slice(&centroids.row(c)[br * lw..(br + 1) * lw]);
+                }
+            }
+            // Centroid GEMM: (n_c*b) x lw × lw x M.
+            let yc = gemm_f32(&stacked, &wp_t)?;
+            stats.ops.gemm_macs += (n_c * b * lw * m) as u64;
+
+            // Recovery: duplicate each cluster's block result to members.
+            for (g, &c) in clustering.assignments().iter().enumerate() {
+                for br in 0..b {
+                    let dst = y.row_mut(g * b + br);
+                    let src = yc.row(c * b + br);
+                    for (d, s) in dst.iter_mut().zip(src.iter()) {
+                        *d += s;
+                    }
+                }
+            }
+            stats.ops.recover_elems += (full_blocks * b * m) as u64;
+        }
+
+        if tail_rows > 0 {
+            // Exact computation for the ragged tail.
+            let mut tail = Tensor::zeros(&[tail_rows, lw]);
+            for r in 0..tail_rows {
+                tail.row_mut(r)
+                    .copy_from_slice(&x.row(full_blocks * b + r)[col0..col1]);
+            }
+            let yt = gemm_f32(&tail, &wp_t)?;
+            stats.ops.gemm_macs += (tail_rows * lw * m) as u64;
+            for r in 0..tail_rows {
+                let dst = y.row_mut(full_blocks * b + r);
+                for (d, s) in dst.iter_mut().zip(yt.row(r).iter()) {
+                    *d += s;
+                }
+            }
+            stats.ops.recover_elems += (tail_rows * m) as u64;
+        }
+
+        panel += 1;
+        col0 = col1;
+    }
+
+    Ok(ReuseOutput { y, stats })
+}

@@ -1,0 +1,181 @@
+//! Sources of LSH hash vectors for the reuse executors.
+//!
+//! The paper's TREC baseline *learns* hash vectors during DNN training;
+//! random vectors are used by the lightweight profiling pass (§4.1). We
+//! provide both: [`RandomHashProvider`] (seeded Gaussian projections) and
+//! [`AdaptedHashProvider`] (data-adapted principal directions, our
+//! stand-in for learned hashing — see DESIGN.md).
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+use greuse_lsh::HashFamily;
+use greuse_tensor::Tensor;
+
+use crate::Result;
+
+/// Supplies a hash family for clustering vectors of length `dim` in panel
+/// `panel` of layer `layer`. Implementations must be deterministic per
+/// `(layer, panel, dim)` so repeated inference of one image is stable.
+pub trait HashProvider: Sync {
+    /// Returns the `H x dim` family used for the given panel.
+    ///
+    /// `data` holds the vectors about to be clustered (one per row) —
+    /// adapted providers derive directions from it, random providers
+    /// ignore it.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail on malformed data (e.g. empty panels).
+    fn family(&self, layer: &str, panel: usize, h: usize, data: &Tensor<f32>)
+        -> Result<HashFamily>;
+
+    /// Human-readable provider name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Seeded random Gaussian projections — the paper's "lightweight deep
+/// reuse" configuration. Families are cached per `(layer, panel, h, dim)`
+/// so every image of a dataset sees identical hash vectors, matching a
+/// deployed model with frozen (randomly initialized) hash parameters.
+#[derive(Debug)]
+pub struct RandomHashProvider {
+    seed: u64,
+    cache: Mutex<HashMap<(String, usize, usize, usize), HashFamily>>,
+}
+
+impl RandomHashProvider {
+    /// Creates a provider; all families derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        RandomHashProvider {
+            seed,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl HashProvider for RandomHashProvider {
+    fn family(
+        &self,
+        layer: &str,
+        panel: usize,
+        h: usize,
+        data: &Tensor<f32>,
+    ) -> Result<HashFamily> {
+        let dim = data.cols();
+        let key = (layer.to_string(), panel, h, dim);
+        let mut cache = self.cache.lock();
+        if let Some(f) = cache.get(&key) {
+            return Ok(f.clone());
+        }
+        // Stable per-key seed.
+        let mut s = self.seed ^ (panel as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for b in layer.bytes() {
+            s = s.wrapping_mul(31).wrapping_add(u64::from(b));
+        }
+        s ^= (h as u64) << 32 | dim as u64;
+        let mut rng = SmallRng::seed_from_u64(s);
+        let family = HashFamily::random(h, dim, &mut rng);
+        cache.insert(key, family.clone());
+        Ok(family)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Data-adapted hashing: hash vectors are the top principal directions of
+/// the vectors being clustered — the stand-in for TREC's learned hashing.
+/// Directions follow maximum-variance axes, which yields tighter clusters
+/// (lower within-cluster eigenvalues) and a higher redundancy ratio than
+/// random projections at equal `H`.
+#[derive(Debug, Default)]
+pub struct AdaptedHashProvider;
+
+impl AdaptedHashProvider {
+    /// Creates the provider.
+    pub fn new() -> Self {
+        AdaptedHashProvider
+    }
+}
+
+impl HashProvider for AdaptedHashProvider {
+    fn family(
+        &self,
+        _layer: &str,
+        _panel: usize,
+        h: usize,
+        data: &Tensor<f32>,
+    ) -> Result<HashFamily> {
+        Ok(HashFamily::data_adapted(data, h)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "data-adapted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn sample_data(seed: u64) -> Tensor<f32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Tensor::from_fn(&[40, 12], |_| rng.gen_range(-1.0f32..1.0))
+    }
+
+    #[test]
+    fn random_provider_is_cached_and_deterministic() {
+        let p = RandomHashProvider::new(7);
+        let d = sample_data(0);
+        let a = p.family("conv1", 0, 4, &d).unwrap();
+        let b = p.family("conv1", 0, 4, &d).unwrap();
+        assert_eq!(a, b);
+        let c = p.family("conv1", 1, 4, &d).unwrap();
+        assert_ne!(a, c, "different panels get different families");
+        let d2 = p.family("conv2", 0, 4, &d).unwrap();
+        assert_ne!(a, d2, "different layers get different families");
+    }
+
+    #[test]
+    fn providers_report_names() {
+        assert_eq!(RandomHashProvider::new(0).name(), "random");
+        assert_eq!(AdaptedHashProvider::new().name(), "data-adapted");
+    }
+
+    #[test]
+    fn adapted_provider_shapes() {
+        let p = AdaptedHashProvider::new();
+        let d = sample_data(1);
+        let f = p.family("x", 0, 3, &d).unwrap();
+        assert_eq!(f.h(), 3);
+        assert_eq!(f.l(), 12);
+    }
+
+    #[test]
+    fn adapted_beats_random_on_anisotropic_data() {
+        // Data varying along one axis: adapted hashing should split along
+        // it and produce at least as many distinct clusters per bit.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let d = Tensor::from_fn(&[60, 6], |i| {
+            if i % 6 == 0 {
+                rng.gen_range(-4.0..4.0)
+            } else {
+                rng.gen_range(-0.01..0.01)
+            }
+        });
+        let adapted = AdaptedHashProvider::new().family("x", 0, 1, &d).unwrap();
+        // The single adapted hash vector must be dominated by axis 0.
+        let v = adapted.matrix().row(0);
+        let dominant = v[0].abs();
+        let rest: f32 = v[1..].iter().map(|x| x.abs()).sum();
+        assert!(
+            dominant > rest,
+            "adapted direction should align with variance"
+        );
+    }
+}

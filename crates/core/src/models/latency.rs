@@ -1,0 +1,203 @@
+//! The analytic latency model (§4.2).
+//!
+//! The model predicts a pattern's inference latency from the layer's GEMM
+//! dimensions (`N`, `D_in = K`, `D_out = M`), the pattern parameters
+//! (`L`, `H`, direction, block height, reorder passes) and the measured
+//! redundancy ratio `r_t` — no execution of the pattern is needed beyond
+//! the lightweight profiling pass that supplies `r_t`.
+
+use serde::{Deserialize, Serialize};
+
+use greuse_mcu::{Board, PhaseLatency, PhaseOps};
+
+use crate::pattern::{ReuseDirection, ReusePattern};
+
+/// The paper's key condition (§4.2): reuse saves computation iff
+/// `H / D_out < r_t`.
+pub fn key_condition_holds(h: usize, d_out: usize, r_t: f64) -> bool {
+    (h as f64) / (d_out as f64) < r_t
+}
+
+/// Analytically derived per-phase operation counts for a pattern on a
+/// layer, given a redundancy ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternOps {
+    /// The derived counts.
+    pub ops: PhaseOps,
+    /// Number of neuron vectors the model assumed.
+    pub n_vectors: u64,
+    /// Number of centroids the model assumed (`(1−r_t)·n`).
+    pub n_centroids: u64,
+}
+
+impl PatternOps {
+    /// Derives operation counts for `pattern` on a layer with GEMM shape
+    /// `N x K x M`, assuming redundancy ratio `r_t`.
+    ///
+    /// Mirrors the executor's accounting exactly (the executor measures
+    /// the same quantities; the model just substitutes `r_t` for the
+    /// measured cluster count).
+    pub fn derive(n: usize, k: usize, m: usize, pattern: &ReusePattern, r_t: f64) -> PatternOps {
+        let r_t = r_t.clamp(0.0, 1.0);
+        let layout_passes = 1
+            + u64::from(pattern.order.needs_layout_pass())
+            + u64::from(pattern.row_order.needs_layout_pass());
+        let mut ops = PhaseOps {
+            transform_elems: (n * k) as u64 * layout_passes,
+            ..PhaseOps::default()
+        };
+        let (n_vectors, n_centroids);
+        match pattern.direction {
+            ReuseDirection::Vertical => {
+                let l = pattern.l.min(k).max(1);
+                let b = pattern.block_rows.min(n).max(1);
+                let panels = k.div_ceil(l) as u64;
+                let blocks_per_panel = (n / b) as u64;
+                n_vectors = panels * blocks_per_panel;
+                n_centroids = (((1.0 - r_t) * n_vectors as f64).ceil() as u64).max(panels);
+                ops.clustering_vectors = n_vectors;
+                // Panel widths sum to K (the last panel may be ragged), so
+                // hashing MACs total blocks · H · b · K exactly.
+                ops.clustering_macs = blocks_per_panel * pattern.h as u64 * (b * k) as u64;
+                // Centroid GEMM at the mean panel width K/panels.
+                ops.gemm_macs =
+                    (n_centroids as f64 * b as f64 * k as f64 / panels as f64 * m as f64) as u64;
+                // Ragged tail rows are computed exactly (widths sum to K).
+                let tail = (n % b) as u64;
+                ops.gemm_macs += tail * (k * m) as u64;
+                ops.recover_elems = (n * m) as u64 * panels;
+            }
+            ReuseDirection::Horizontal => {
+                let l = pattern.l.min(n).max(1);
+                let panels = n.div_ceil(l) as u64;
+                n_vectors = panels * k as u64;
+                n_centroids = (((1.0 - r_t) * n_vectors as f64).ceil() as u64).max(panels);
+                ops.clustering_vectors = n_vectors;
+                // Panel heights sum to N: hashing MACs = K · H · N.
+                ops.clustering_macs = (k * pattern.h * n) as u64;
+                // Weight folding + centroid GEMM at the mean panel height.
+                ops.gemm_macs = panels * (k * m) as u64
+                    + (n_centroids as f64 * n as f64 / panels as f64 * m as f64) as u64;
+                ops.recover_elems = (n * m) as u64;
+            }
+        }
+        PatternOps {
+            ops,
+            n_vectors,
+            n_centroids,
+        }
+    }
+}
+
+/// Latency predictions for a board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Board the model targets.
+    pub board: Board,
+}
+
+impl LatencyModel {
+    /// Creates a model for a board.
+    pub fn new(board: Board) -> Self {
+        LatencyModel { board }
+    }
+
+    /// Predicted latency of `pattern` on a layer (`N x K x M`) at
+    /// redundancy ratio `r_t`.
+    pub fn predict(
+        &self,
+        n: usize,
+        k: usize,
+        m: usize,
+        pattern: &ReusePattern,
+        r_t: f64,
+    ) -> PhaseLatency {
+        let derived = PatternOps::derive(n, k, m, pattern, r_t);
+        self.board.spec().latency(&derived.ops)
+    }
+
+    /// Latency of the dense (CMSIS-NN) baseline for the same layer.
+    pub fn dense(&self, n: usize, k: usize, m: usize) -> PhaseLatency {
+        self.board.spec().latency(&PhaseOps::dense_conv(n, k, m))
+    }
+
+    /// Latency from executor-measured operation counts.
+    pub fn from_ops(&self, ops: &PhaseOps) -> PhaseLatency {
+        self.board.spec().latency(ops)
+    }
+
+    /// Predicted speedup of `pattern` over the dense baseline.
+    pub fn speedup(&self, n: usize, k: usize, m: usize, pattern: &ReusePattern, r_t: f64) -> f64 {
+        self.dense(n, k, m).total_ms() / self.predict(n, k, m, pattern, r_t).total_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::ReusePattern;
+
+    #[test]
+    fn key_condition() {
+        assert!(key_condition_holds(3, 64, 0.9)); // 0.047 < 0.9
+        assert!(!key_condition_holds(60, 64, 0.9)); // 0.94 > 0.9
+        assert!(!key_condition_holds(1, 64, 0.01)); // 0.016 > 0.01
+    }
+
+    #[test]
+    fn derive_counts_vertical() {
+        let p = ReusePattern::conventional(20, 3);
+        let d = PatternOps::derive(1024, 75, 64, &p, 0.95);
+        // ceil(75/20) = 4 panels, 1024 blocks each; hashing MACs cover
+        // every panel's actual width (Σ widths = K = 75).
+        assert_eq!(d.n_vectors, 4 * 1024);
+        assert_eq!(d.ops.clustering_macs, 1024 * 3 * 75);
+        assert_eq!(d.ops.recover_elems, 1024 * 64 * 4);
+        assert!(d.n_centroids < d.n_vectors / 10);
+    }
+
+    #[test]
+    fn higher_rt_lower_latency() {
+        let model = LatencyModel::new(Board::Stm32F469i);
+        let p = ReusePattern::conventional(20, 3);
+        let slow = model.predict(1024, 1600, 64, &p, 0.5).total_ms();
+        let fast = model.predict(1024, 1600, 64, &p, 0.99).total_ms();
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn speedup_over_dense_under_key_condition() {
+        let model = LatencyModel::new(Board::Stm32F469i);
+        // CifarNet conv2-like layer with high redundancy: reuse wins.
+        let p = ReusePattern::conventional(20, 1);
+        assert!(model.speedup(256, 1600, 64, &p, 0.96) > 1.0);
+    }
+
+    #[test]
+    fn no_speedup_when_condition_fails() {
+        let model = LatencyModel::new(Board::Stm32F469i);
+        // H = 60 on a 64-channel layer with low redundancy: hashing alone
+        // costs nearly a full GEMM.
+        let p = ReusePattern::conventional(20, 60);
+        assert!(model.speedup(256, 1600, 64, &p, 0.05) < 1.0);
+    }
+
+    #[test]
+    fn layout_passes_increase_transform() {
+        let p0 = ReusePattern::conventional(20, 3);
+        let p1 = p0.with_order(crate::ReuseOrder::ChannelFirst);
+        let d0 = PatternOps::derive(100, 60, 8, &p0, 0.9);
+        let d1 = PatternOps::derive(100, 60, 8, &p1, 0.9);
+        assert_eq!(d1.ops.transform_elems, 2 * d0.ops.transform_elems);
+    }
+
+    #[test]
+    fn horizontal_counts() {
+        let p = ReusePattern::conventional(16, 2).with_direction(crate::ReuseDirection::Horizontal);
+        let d = PatternOps::derive(64, 30, 8, &p, 0.5);
+        // 4 panels x 30 columns.
+        assert_eq!(d.n_vectors, 120);
+        assert_eq!(d.ops.clustering_macs, 120 * 2 * 16);
+        assert_eq!(d.ops.recover_elems, 64 * 8);
+    }
+}

@@ -1,0 +1,5 @@
+//! The two analytic models of §4: accuracy (Frobenius/eigenvalue bound)
+//! and latency (redundancy-ratio FLOPs model).
+
+pub mod accuracy;
+pub mod latency;

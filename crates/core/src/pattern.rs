@@ -1,0 +1,300 @@
+//! Reuse patterns: points in the paper's 3-D reuse space
+//! (order × direction × granularity), plus the LSH parameter `H`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Column reorder of the im2col matrix — the paper's *reuse order*
+/// dimension (Insight-2: reuse-unit definitions correspond to row/column
+/// reorders of the matrix view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReuseOrder {
+    /// The default im2col layout (Fig. 6(b)): a row segment is a tile of
+    /// one channel ("C1"/channel-last in Fig. 11).
+    ChannelLast,
+    /// Channel varies fastest (Fig. 6(d)): a row segment covers one pixel
+    /// position across all channels ("C2"/channel-first).
+    ChannelFirst,
+    /// Kernel window transposed within each channel (`(ch, kx, ky)`
+    /// ordering) — a permutation of the kernel height/width axes.
+    KernelTranspose,
+    /// Columns grouped in interleaved tiles of the given width: column
+    /// `j` maps by splitting the default order into `t` interleaved
+    /// groups. Generalizes the "with tiling" reorders of §3.3.
+    Tiled(
+        /// Interleave factor (must divide nothing in particular; any
+        /// value ≥ 1 is valid).
+        u8,
+    ),
+    /// A seeded pseudo-random column permutation — "theoretically
+    /// speaking, any row or column reorder can be used" (§3.3).
+    Random(
+        /// Seed of the permutation.
+        u32,
+    ),
+}
+
+impl ReuseOrder {
+    /// Short label used in reports ("C1", "C2", ...).
+    pub fn label(&self) -> String {
+        match self {
+            ReuseOrder::ChannelLast => "C1".to_string(),
+            ReuseOrder::ChannelFirst => "C2".to_string(),
+            ReuseOrder::KernelTranspose => "KT".to_string(),
+            ReuseOrder::Tiled(t) => format!("T{t}"),
+            ReuseOrder::Random(s) => format!("R{s}"),
+        }
+    }
+
+    /// Whether this order requires a layout pass beyond plain im2col
+    /// (affects the transformation phase of the latency model; the
+    /// default layout is produced by im2col directly).
+    pub fn needs_layout_pass(&self) -> bool {
+        !matches!(self, ReuseOrder::ChannelLast)
+    }
+}
+
+/// Row reorder of the im2col matrix (output-position ordering). Row order
+/// changes which positions fall into the same 2-D neuron block or the
+/// same horizontal slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowOrder {
+    /// Natural raster order of output positions.
+    Natural,
+    /// Positions grouped by square spatial tiles of the given edge —
+    /// consecutive rows are spatially adjacent, so 2-D blocks span
+    /// coherent image regions.
+    SpatialTiles(
+        /// Tile edge in output positions.
+        u8,
+    ),
+    /// A seeded pseudo-random row permutation.
+    Random(
+        /// Seed of the permutation.
+        u32,
+    ),
+}
+
+impl RowOrder {
+    /// Short label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            RowOrder::Natural => "N".to_string(),
+            RowOrder::SpatialTiles(t) => format!("S{t}"),
+            RowOrder::Random(s) => format!("r{s}"),
+        }
+    }
+
+    /// Whether this order requires permuting rows (latency model input).
+    pub fn needs_layout_pass(&self) -> bool {
+        !matches!(self, RowOrder::Natural)
+    }
+}
+
+/// Reuse direction (§3.4): the paper's M-1 (vertical, Fig. 3) and M-2
+/// (horizontal, Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReuseDirection {
+    /// Cluster neuron vectors within vertical panels; duplicate centroid
+    /// results to recover the output (conventional deep reuse).
+    Vertical,
+    /// Cluster neuron vectors within horizontal panels; fold the weight
+    /// matrix by cluster using distributivity.
+    Horizontal,
+}
+
+impl ReuseDirection {
+    /// The paper's labels: "M-1" (vertical) and "M-2" (horizontal).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReuseDirection::Vertical => "M-1",
+            ReuseDirection::Horizontal => "M-2",
+        }
+    }
+}
+
+/// A complete reuse pattern: one point in the generalized reuse space,
+/// plus the LSH hash count `H`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReusePattern {
+    /// Column (reuse-unit) reorder.
+    pub order: ReuseOrder,
+    /// Row (output-position) reorder.
+    pub row_order: RowOrder,
+    /// Reuse direction.
+    pub direction: ReuseDirection,
+    /// Granularity `L`: neuron-vector length (vertical: columns per
+    /// panel; horizontal: rows per slice).
+    pub l: usize,
+    /// Block height of a 2-D neuron block (vertical direction only;
+    /// 1 recovers the conventional 1-D neuron vector).
+    pub block_rows: usize,
+    /// Number of LSH hash functions `H` (1..=64).
+    pub h: usize,
+}
+
+impl ReusePattern {
+    /// The conventional deep-reuse/TREC pattern (§3.1): channel-last
+    /// order, natural rows, vertical direction, 1-D neuron vectors.
+    pub fn conventional(l: usize, h: usize) -> Self {
+        ReusePattern {
+            order: ReuseOrder::ChannelLast,
+            row_order: RowOrder::Natural,
+            direction: ReuseDirection::Vertical,
+            l,
+            block_rows: 1,
+            h,
+        }
+    }
+
+    /// Builder: sets the column order.
+    pub fn with_order(mut self, order: ReuseOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Builder: sets the row order.
+    pub fn with_row_order(mut self, row_order: RowOrder) -> Self {
+        self.row_order = row_order;
+        self
+    }
+
+    /// Builder: sets the direction.
+    pub fn with_direction(mut self, direction: ReuseDirection) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// Builder: sets the 2-D block height.
+    pub fn with_block_rows(mut self, block_rows: usize) -> Self {
+        self.block_rows = block_rows;
+        self
+    }
+
+    /// Whether this pattern is expressible by conventional deep reuse
+    /// (used to split "SOTA" from "generalized" candidates in the
+    /// evaluation).
+    pub fn is_conventional(&self) -> bool {
+        self.order == ReuseOrder::ChannelLast
+            && self.row_order == RowOrder::Natural
+            && self.direction == ReuseDirection::Vertical
+            && self.block_rows == 1
+    }
+
+    /// Validates the pattern against a layer's GEMM dimensions
+    /// (`n` rows × `k` columns of the im2col matrix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GreuseError::InvalidPattern`] when `L`, `H` or
+    /// the block height cannot apply to the layer.
+    pub fn validate(&self, n: usize, k: usize) -> crate::Result<()> {
+        let fail = |detail: String| Err(crate::GreuseError::InvalidPattern { detail });
+        if self.h == 0 || self.h > 64 {
+            return fail(format!("H must be in 1..=64, got {}", self.h));
+        }
+        if self.l == 0 {
+            return fail("L must be positive".to_string());
+        }
+        if self.block_rows == 0 {
+            return fail("block_rows must be positive".to_string());
+        }
+        match self.direction {
+            ReuseDirection::Vertical => {
+                if self.l > k {
+                    return fail(format!("L={} exceeds K={k}", self.l));
+                }
+                if self.block_rows > n {
+                    return fail(format!("block_rows={} exceeds N={n}", self.block_rows));
+                }
+            }
+            ReuseDirection::Horizontal => {
+                if self.l > n {
+                    return fail(format!("horizontal L={} exceeds N={n}", self.l));
+                }
+                if self.block_rows != 1 {
+                    return fail("2-D blocks apply to the vertical direction only".to_string());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compact display label, e.g. `C2/N/M-1 L=20 b=1 H=3`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{} L={} b={} H={}",
+            self.order.label(),
+            self.row_order.label(),
+            self.direction.label(),
+            self.l,
+            self.block_rows,
+            self.h
+        )
+    }
+}
+
+impl fmt::Display for ReusePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventional_is_conventional() {
+        let p = ReusePattern::conventional(20, 3);
+        assert!(p.is_conventional());
+        assert!(!p.with_order(ReuseOrder::ChannelFirst).is_conventional());
+        assert!(!p
+            .with_direction(ReuseDirection::Horizontal)
+            .is_conventional());
+        assert!(!p.with_block_rows(2).is_conventional());
+        assert!(!p
+            .with_row_order(RowOrder::SpatialTiles(2))
+            .is_conventional());
+    }
+
+    #[test]
+    fn validate_bounds() {
+        let p = ReusePattern::conventional(20, 3);
+        assert!(p.validate(100, 75).is_ok());
+        assert!(p.validate(100, 10).is_err()); // L > K
+        let p = ReusePattern::conventional(20, 0);
+        assert!(p.validate(100, 75).is_err()); // H = 0
+        let p = ReusePattern::conventional(20, 65);
+        assert!(p.validate(100, 75).is_err()); // H > 64
+        let p = ReusePattern::conventional(0, 3);
+        assert!(p.validate(100, 75).is_err()); // L = 0
+    }
+
+    #[test]
+    fn horizontal_validation() {
+        let p = ReusePattern::conventional(20, 3).with_direction(ReuseDirection::Horizontal);
+        assert!(p.validate(100, 75).is_ok()); // L <= N
+        assert!(p.validate(10, 75).is_err()); // L > N
+        let p2 = p.with_block_rows(2);
+        assert!(p2.validate(100, 75).is_err()); // 2-D blocks vertical-only
+    }
+
+    #[test]
+    fn labels() {
+        let p = ReusePattern::conventional(20, 3);
+        assert_eq!(p.label(), "C1/N/M-1 L=20 b=1 H=3");
+        assert_eq!(ReuseDirection::Horizontal.label(), "M-2");
+        assert_eq!(ReuseOrder::ChannelFirst.label(), "C2");
+        assert_eq!(ReuseOrder::Tiled(4).label(), "T4");
+        assert_eq!(RowOrder::SpatialTiles(2).label(), "S2");
+    }
+
+    #[test]
+    fn layout_pass_flags() {
+        assert!(!ReuseOrder::ChannelLast.needs_layout_pass());
+        assert!(ReuseOrder::ChannelFirst.needs_layout_pass());
+        assert!(!RowOrder::Natural.needs_layout_pass());
+        assert!(RowOrder::Random(3).needs_layout_pass());
+    }
+}

@@ -1,0 +1,190 @@
+//! Materializing reuse orders as explicit permutations of the im2col
+//! matrix (Insight-2 of §3.2: every reuse-unit definition corresponds to
+//! a row/column reorder of the matrix view).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use greuse_tensor::{ConvSpec, Im2colLayout, Permutation};
+
+use crate::pattern::{ReuseOrder, RowOrder};
+
+/// The column permutation materializing a [`ReuseOrder`] for a layer.
+/// Output column `j` of the reordered matrix takes input column
+/// `perm[j]` of the default (channel-last) im2col matrix.
+pub fn column_permutation(order: ReuseOrder, spec: &ConvSpec) -> Permutation {
+    let k = spec.patch_len();
+    match order {
+        ReuseOrder::ChannelLast => Permutation::identity(k),
+        ReuseOrder::ChannelFirst => {
+            // For each new position j = (ky*kw + kx)*C + ch, source
+            // column is ch*kh*kw + ky*kw + kx.
+            let mut map = vec![0usize; k];
+            for ch in 0..spec.in_channels {
+                for ky in 0..spec.kernel_h {
+                    for kx in 0..spec.kernel_w {
+                        let src = Im2colLayout::ChannelLast.column(spec, ch, ky, kx);
+                        let dst = Im2colLayout::ChannelFirst.column(spec, ch, ky, kx);
+                        map[dst] = src;
+                    }
+                }
+            }
+            Permutation::from_vec(map).expect("channel-first mapping is a bijection")
+        }
+        ReuseOrder::KernelTranspose => {
+            // (ch, ky, kx) -> (ch, kx, ky).
+            let mut map = vec![0usize; k];
+            for ch in 0..spec.in_channels {
+                for ky in 0..spec.kernel_h {
+                    for kx in 0..spec.kernel_w {
+                        let src = Im2colLayout::ChannelLast.column(spec, ch, ky, kx);
+                        let dst = ch * spec.kernel_h * spec.kernel_w + kx * spec.kernel_h + ky;
+                        map[dst] = src;
+                    }
+                }
+            }
+            Permutation::from_vec(map).expect("kernel transpose is a bijection")
+        }
+        ReuseOrder::Tiled(t) => {
+            // Deal the default columns round-robin into `t` groups; the
+            // reordered matrix concatenates the groups. t = 1 is identity.
+            let t = usize::from(t).max(1);
+            let mut map = Vec::with_capacity(k);
+            for group in 0..t {
+                let mut col = group;
+                while col < k {
+                    map.push(col);
+                    col += t;
+                }
+            }
+            Permutation::from_vec(map).expect("tiled dealing is a bijection")
+        }
+        ReuseOrder::Random(seed) => {
+            let mut rng = SmallRng::seed_from_u64(u64::from(seed) ^ 0xC0FF_EE00);
+            Permutation::random(k, &mut rng)
+        }
+    }
+}
+
+/// The row permutation materializing a [`RowOrder`] for a layer whose
+/// output is `out_h x out_w` positions (row-major raster order by
+/// default).
+pub fn row_permutation(order: RowOrder, out_h: usize, out_w: usize) -> Permutation {
+    let n = out_h * out_w;
+    match order {
+        RowOrder::Natural => Permutation::identity(n),
+        RowOrder::SpatialTiles(t) => {
+            let t = usize::from(t).max(1);
+            let mut map = Vec::with_capacity(n);
+            let mut ty = 0;
+            while ty < out_h {
+                let mut tx = 0;
+                while tx < out_w {
+                    for y in ty..(ty + t).min(out_h) {
+                        for x in tx..(tx + t).min(out_w) {
+                            map.push(y * out_w + x);
+                        }
+                    }
+                    tx += t;
+                }
+                ty += t;
+            }
+            Permutation::from_vec(map).expect("tile scan is a bijection")
+        }
+        RowOrder::Random(seed) => {
+            let mut rng = SmallRng::seed_from_u64(u64::from(seed) ^ 0xDEAD_BEEF);
+            Permutation::random(n, &mut rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greuse_tensor::{im2col, im2col_into, Tensor};
+    use rand::Rng;
+
+    fn all_orders() -> Vec<ReuseOrder> {
+        vec![
+            ReuseOrder::ChannelLast,
+            ReuseOrder::ChannelFirst,
+            ReuseOrder::KernelTranspose,
+            ReuseOrder::Tiled(3),
+            ReuseOrder::Random(5),
+        ]
+    }
+
+    #[test]
+    fn every_order_is_valid_permutation() {
+        let spec = ConvSpec::new(3, 8, 5, 5);
+        for order in all_orders() {
+            let p = column_permutation(order, &spec);
+            assert_eq!(p.len(), 75, "{order:?}");
+            // Permutation::from_vec already validates; identity check:
+            let inv = p.inverse();
+            assert!(p.compose(&inv).unwrap().is_identity());
+        }
+    }
+
+    #[test]
+    fn channel_first_matches_im2col_layout() {
+        // Applying the ChannelFirst permutation to the default matrix
+        // must equal im2col with the ChannelFirst layout.
+        let spec = ConvSpec::new(2, 1, 3, 3);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let img = Tensor::from_fn(&[2, 5, 5], |_| rng.gen_range(-1.0f32..1.0));
+        let default = im2col(&img, &spec).unwrap();
+        let p = column_permutation(ReuseOrder::ChannelFirst, &spec);
+        let reordered = p.apply_cols(&default).unwrap();
+        let (oh, ow) = spec.output_hw(5, 5).unwrap();
+        let mut direct = vec![0.0f32; oh * ow * spec.patch_len()];
+        im2col_into(&img, &spec, Im2colLayout::ChannelFirst, &mut direct).unwrap();
+        assert_eq!(reordered.as_slice(), &direct[..]);
+    }
+
+    #[test]
+    fn kernel_transpose_is_involution_for_square_kernels() {
+        let spec = ConvSpec::new(2, 1, 3, 3);
+        let p = column_permutation(ReuseOrder::KernelTranspose, &spec);
+        let twice = p.compose(&p).unwrap();
+        assert!(twice.is_identity());
+    }
+
+    #[test]
+    fn tiled_one_is_identity() {
+        let spec = ConvSpec::new(3, 1, 3, 3);
+        assert!(column_permutation(ReuseOrder::Tiled(1), &spec).is_identity());
+    }
+
+    #[test]
+    fn random_orders_differ_by_seed() {
+        let spec = ConvSpec::new(3, 1, 5, 5);
+        let a = column_permutation(ReuseOrder::Random(1), &spec);
+        let b = column_permutation(ReuseOrder::Random(2), &spec);
+        assert_ne!(a, b);
+        // Deterministic per seed.
+        assert_eq!(a, column_permutation(ReuseOrder::Random(1), &spec));
+    }
+
+    #[test]
+    fn spatial_tiles_group_adjacent_positions() {
+        // 4x4 output, 2x2 tiles: first four rows must be positions
+        // (0,0), (0,1), (1,0), (1,1) = indices 0, 1, 4, 5.
+        let p = row_permutation(RowOrder::SpatialTiles(2), 4, 4);
+        assert_eq!(&p.as_slice()[..4], &[0, 1, 4, 5]);
+        assert_eq!(p.len(), 16);
+    }
+
+    #[test]
+    fn spatial_tiles_handle_ragged_edges() {
+        let p = row_permutation(RowOrder::SpatialTiles(3), 5, 5);
+        assert_eq!(p.len(), 25);
+        let inv = p.inverse();
+        assert!(p.compose(&inv).unwrap().is_identity());
+    }
+
+    #[test]
+    fn natural_rows_identity() {
+        assert!(row_permutation(RowOrder::Natural, 7, 3).is_identity());
+    }
+}

@@ -1,0 +1,148 @@
+//! The *scope of reuse patterns* (§4.3): the configurable set of reorders,
+//! directions and granularities the workflow enumerates into candidate
+//! patterns. The paper's framework ships a "default scope file that
+//! includes the most common options"; [`Scope::default_scope`] is that
+//! default here.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pattern::{ReuseDirection, ReuseOrder, ReusePattern, RowOrder};
+
+/// The candidate-generation scope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scope {
+    /// Column orders to consider.
+    pub orders: Vec<ReuseOrder>,
+    /// Row orders to consider.
+    pub row_orders: Vec<RowOrder>,
+    /// Directions to consider.
+    pub directions: Vec<ReuseDirection>,
+    /// Granularities `L` to consider.
+    pub ls: Vec<usize>,
+    /// Hash counts `H` to consider.
+    pub hs: Vec<usize>,
+    /// 2-D block heights to consider (vertical direction only).
+    pub block_rows: Vec<usize>,
+}
+
+impl Scope {
+    /// The default scope: the most common options of each dimension.
+    pub fn default_scope() -> Self {
+        Scope {
+            orders: vec![ReuseOrder::ChannelLast, ReuseOrder::ChannelFirst],
+            row_orders: vec![RowOrder::Natural, RowOrder::SpatialTiles(2)],
+            directions: vec![ReuseDirection::Vertical, ReuseDirection::Horizontal],
+            ls: vec![8, 16, 32],
+            hs: vec![1, 3, 6],
+            block_rows: vec![1, 2],
+        }
+    }
+
+    /// A minimal scope covering only conventional deep-reuse patterns —
+    /// the paper's SOTA baseline space.
+    pub fn conventional_scope() -> Self {
+        Scope {
+            orders: vec![ReuseOrder::ChannelLast],
+            row_orders: vec![RowOrder::Natural],
+            directions: vec![ReuseDirection::Vertical],
+            ls: vec![8, 16, 32],
+            hs: vec![1, 3, 6],
+            block_rows: vec![1],
+        }
+    }
+
+    /// Enumerates all valid candidate patterns for a layer with GEMM
+    /// shape `n x k` (invalid combinations are silently skipped; 2-D
+    /// blocks are only paired with the vertical direction).
+    pub fn candidates(&self, n: usize, k: usize) -> Vec<ReusePattern> {
+        let mut out = Vec::new();
+        for &order in &self.orders {
+            for &row_order in &self.row_orders {
+                for &direction in &self.directions {
+                    for &l in &self.ls {
+                        for &h in &self.hs {
+                            for &b in &self.block_rows {
+                                if direction == ReuseDirection::Horizontal && b != 1 {
+                                    continue;
+                                }
+                                let p = ReusePattern {
+                                    order,
+                                    row_order,
+                                    direction,
+                                    l,
+                                    block_rows: b,
+                                    h,
+                                };
+                                if p.validate(n, k).is_ok() {
+                                    out.push(p);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Size of the full Cartesian space (before validity filtering) —
+    /// used by reports to show how much the analytic models prune.
+    pub fn cartesian_size(&self) -> usize {
+        self.orders.len()
+            * self.row_orders.len()
+            * self.directions.len()
+            * self.ls.len()
+            * self.hs.len()
+            * self.block_rows.len()
+    }
+}
+
+impl Default for Scope {
+    fn default() -> Self {
+        Scope::default_scope()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scope_generates_candidates() {
+        let scope = Scope::default_scope();
+        let cands = scope.candidates(1024, 75);
+        assert!(!cands.is_empty());
+        assert!(cands.len() <= scope.cartesian_size());
+        // Every candidate validates.
+        for c in &cands {
+            assert!(c.validate(1024, 75).is_ok(), "{c}");
+        }
+        // Generalized patterns present.
+        assert!(cands.iter().any(|c| !c.is_conventional()));
+    }
+
+    #[test]
+    fn conventional_scope_is_conventional() {
+        let cands = Scope::conventional_scope().candidates(1024, 75);
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|c| c.is_conventional()));
+    }
+
+    #[test]
+    fn small_layers_prune_invalid_ls() {
+        let scope = Scope::default_scope();
+        // K = 9: L = 16, 32 invalid for vertical.
+        let cands = scope.candidates(64, 9);
+        assert!(cands
+            .iter()
+            .all(|c| c.direction != ReuseDirection::Vertical || c.l <= 9));
+    }
+
+    #[test]
+    fn horizontal_never_blocked() {
+        let cands = Scope::default_scope().candidates(256, 75);
+        assert!(cands
+            .iter()
+            .all(|c| c.direction != ReuseDirection::Horizontal || c.block_rows == 1));
+    }
+}

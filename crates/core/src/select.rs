@@ -1,0 +1,185 @@
+//! Pattern ranking and Pareto selection (§4.3 and Fig. 14).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How to rank candidate patterns when picking the top-`k` to fully
+/// check. The three strategies compared in the paper's Figure 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelectionStrategy {
+    /// Our analytic model: rank by the §4.1 error bound (ascending),
+    /// tie-broken by predicted latency.
+    Analytic,
+    /// Heuristic baseline: rank by redundancy ratio (descending) — "uses
+    /// redundancy ratio as heuristic indication of the potential quality
+    /// of a reuse pattern".
+    Heuristic,
+    /// Random order (seeded).
+    Random(
+        /// Shuffle seed.
+        u64,
+    ),
+}
+
+/// Scores of one candidate pattern, as produced by the profiling pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternScore {
+    /// Analytic error bound (lower is better for accuracy).
+    pub error_bound: f64,
+    /// Redundancy ratio (higher is better for latency).
+    pub redundancy_ratio: f64,
+    /// Predicted latency in ms (lower is better).
+    pub predicted_latency_ms: f64,
+}
+
+/// Returns candidate indices ordered by the strategy's preference
+/// (best first).
+pub fn rank_patterns(strategy: SelectionStrategy, scores: &[PatternScore]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    match strategy {
+        SelectionStrategy::Analytic => {
+            idx.sort_by(|&a, &b| {
+                scores[a]
+                    .error_bound
+                    .total_cmp(&scores[b].error_bound)
+                    .then(
+                        scores[a]
+                            .predicted_latency_ms
+                            .total_cmp(&scores[b].predicted_latency_ms),
+                    )
+            });
+        }
+        SelectionStrategy::Heuristic => {
+            idx.sort_by(|&a, &b| {
+                scores[b]
+                    .redundancy_ratio
+                    .total_cmp(&scores[a].redundancy_ratio)
+            });
+        }
+        SelectionStrategy::Random(seed) => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            idx.shuffle(&mut rng);
+        }
+    }
+    idx
+}
+
+/// Computes the Pareto front of `(latency, accuracy)` points: a point is
+/// on the front iff no other point has both lower latency and higher (or
+/// equal, with one strict) accuracy. Returns indices sorted by latency.
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'outer: for (i, &(lat_i, acc_i)) in points.iter().enumerate() {
+        for (j, &(lat_j, acc_j)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let dominates = (lat_j < lat_i && acc_j >= acc_i) || (lat_j <= lat_i && acc_j > acc_i);
+            if dominates {
+                continue 'outer;
+            }
+        }
+        front.push(i);
+    }
+    front.sort_by(|&a, &b| points[a].0.total_cmp(&points[b].0));
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores() -> Vec<PatternScore> {
+        vec![
+            PatternScore {
+                error_bound: 3.0,
+                redundancy_ratio: 0.99,
+                predicted_latency_ms: 10.0,
+            },
+            PatternScore {
+                error_bound: 1.0,
+                redundancy_ratio: 0.50,
+                predicted_latency_ms: 40.0,
+            },
+            PatternScore {
+                error_bound: 2.0,
+                redundancy_ratio: 0.90,
+                predicted_latency_ms: 20.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn analytic_ranks_by_bound() {
+        assert_eq!(
+            rank_patterns(SelectionStrategy::Analytic, &scores()),
+            vec![1, 2, 0]
+        );
+    }
+
+    #[test]
+    fn heuristic_ranks_by_rt() {
+        assert_eq!(
+            rank_patterns(SelectionStrategy::Heuristic, &scores()),
+            vec![0, 2, 1]
+        );
+    }
+
+    #[test]
+    fn random_is_permutation_and_deterministic() {
+        let a = rank_patterns(SelectionStrategy::Random(1), &scores());
+        let b = rank_patterns(SelectionStrategy::Random(1), &scores());
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pareto_front_basic() {
+        // (latency, accuracy)
+        let pts = vec![
+            (10.0, 0.70), // on front (fastest)
+            (20.0, 0.80), // on front
+            (30.0, 0.75), // dominated by (20, 0.80)
+            (40.0, 0.90), // on front (most accurate)
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn pareto_front_single_point() {
+        assert_eq!(pareto_front(&[(5.0, 0.5)]), vec![0]);
+    }
+
+    #[test]
+    fn pareto_duplicate_points_kept() {
+        // Identical points do not dominate each other (strictness rule).
+        let pts = vec![(10.0, 0.5), (10.0, 0.5)];
+        assert_eq!(pareto_front(&pts).len(), 2);
+    }
+
+    #[test]
+    fn pareto_empty() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn analytic_tiebreak_by_latency() {
+        let s = vec![
+            PatternScore {
+                error_bound: 1.0,
+                redundancy_ratio: 0.1,
+                predicted_latency_ms: 50.0,
+            },
+            PatternScore {
+                error_bound: 1.0,
+                redundancy_ratio: 0.2,
+                predicted_latency_ms: 5.0,
+            },
+        ];
+        assert_eq!(rank_patterns(SelectionStrategy::Analytic, &s), vec![1, 0]);
+    }
+}

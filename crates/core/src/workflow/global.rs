@@ -1,0 +1,262 @@
+//! Cross-layer (global) pattern selection.
+//!
+//! §5.1 notes that "finding an optimal pattern for each layer separately
+//! and combining them can be sub-optimal as this is a global optimization
+//! problem; the full search space is the Cartesian product of the pattern
+//! spaces for each layer". This module implements the natural
+//! model-guided treatment:
+//!
+//! 1. run the per-layer workflow to get each layer's measured Pareto
+//!    options (plus "dense" as the identity option);
+//! 2. under the additive surrogate (total latency = Σ layer latencies,
+//!    total accuracy regret ≈ Σ per-layer regrets), every scalarization
+//!    `latency + λ·regret` decomposes per layer, so a sweep over λ traces
+//!    the surrogate's Pareto frontier of *combined* assignments without
+//!    enumerating the Cartesian product;
+//! 3. every swept assignment is then fully measured end-to-end (the
+//!    surrogate only proposes; measurements decide).
+
+use serde::{Deserialize, Serialize};
+
+use greuse_nn::{Example, Network};
+
+use crate::backend::ReuseBackend;
+use crate::hash_provider::AdaptedHashProvider;
+use crate::pattern::ReusePattern;
+use crate::select::pareto_front;
+use crate::workflow::{network_latency, select_patterns_for_layer, WorkflowConfig};
+use crate::{GreuseError, Result};
+
+/// One per-layer deployment option considered by the global selector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct LayerOption {
+    /// `None` means "run this layer dense".
+    pattern: Option<ReusePattern>,
+    /// Measured per-layer latency (ms).
+    latency_ms: f64,
+    /// Per-layer accuracy regret vs the per-layer measured best.
+    regret: f64,
+}
+
+/// One fully-measured network-level assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalAssignment {
+    /// Chosen pattern per layer (layers omitted run dense).
+    pub patterns: Vec<(String, ReusePattern)>,
+    /// Measured end-to-end accuracy.
+    pub accuracy: f64,
+    /// Modeled end-to-end latency (ms) on the configured board.
+    pub latency_ms: f64,
+    /// The scalarization weight that produced this assignment.
+    pub lambda: f64,
+}
+
+/// Result of the global selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalSelection {
+    /// Every measured assignment, in λ order.
+    pub assignments: Vec<GlobalAssignment>,
+    /// Indices of the end-to-end Pareto-optimal assignments.
+    pub pareto: Vec<usize>,
+}
+
+impl GlobalSelection {
+    /// The Pareto assignment with the highest measured accuracy.
+    pub fn best_accuracy(&self) -> Option<&GlobalAssignment> {
+        self.pareto
+            .iter()
+            .map(|&i| &self.assignments[i])
+            .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
+    }
+
+    /// The Pareto assignment with the lowest latency.
+    pub fn best_latency(&self) -> Option<&GlobalAssignment> {
+        self.pareto.first().map(|&i| &self.assignments[i])
+    }
+}
+
+/// Runs global selection over the named layers.
+///
+/// `lambdas` are the scalarization weights swept (ms of latency one unit
+/// of accuracy regret is worth); pass a few decades, e.g.
+/// `[0, 10, 100, 1000, 1e4]`.
+///
+/// # Errors
+///
+/// Propagates per-layer workflow errors; rejects an empty layer list or
+/// λ sweep.
+pub fn select_patterns_global(
+    net: &dyn Network,
+    layers: &[&str],
+    train_data: &[Example],
+    test_data: &[Example],
+    config: &WorkflowConfig,
+    lambdas: &[f64],
+) -> Result<GlobalSelection> {
+    if layers.is_empty() || lambdas.is_empty() {
+        return Err(GreuseError::InvalidWorkflow {
+            detail: "global selection needs at least one layer and one lambda".into(),
+        });
+    }
+
+    // Stage 1: per-layer options from the per-layer workflow.
+    let mut options: Vec<(String, Vec<LayerOption>)> = Vec::new();
+    for layer in layers {
+        let sel = select_patterns_for_layer(net, layer, train_data, test_data, config)?;
+        let dense_latency = crate::models::latency::LatencyModel::new(config.board)
+            .dense(sel.layer.gemm_n(), sel.layer.gemm_k(), sel.layer.gemm_m())
+            .total_ms();
+        let best_acc = sel
+            .pareto
+            .iter()
+            .filter_map(|&i| sel.evaluations[i].measured)
+            .map(|m| m.accuracy)
+            .fold(0.0f64, f64::max);
+        let mut opts = vec![LayerOption {
+            pattern: None,
+            latency_ms: dense_latency,
+            // Dense is the accuracy reference: regret 0 (its end-to-end
+            // accuracy is at least the per-layer best by construction).
+            regret: 0.0,
+        }];
+        for &i in &sel.pareto {
+            let e = &sel.evaluations[i];
+            if let Some(m) = e.measured {
+                opts.push(LayerOption {
+                    pattern: Some(e.pattern),
+                    latency_ms: m.latency_ms,
+                    regret: (best_acc - m.accuracy).max(0.0),
+                });
+            }
+        }
+        options.push((layer.to_string(), opts));
+    }
+
+    // Stages 2-3: λ sweep + full measurement of each proposed assignment.
+    let mut assignments: Vec<GlobalAssignment> = Vec::new();
+    let mut seen: Vec<Vec<usize>> = Vec::new();
+    for &lambda in lambdas {
+        // Additive surrogate decomposes: per layer pick the option
+        // minimizing latency + λ·regret.
+        let choice: Vec<usize> = options
+            .iter()
+            .map(|(_, opts)| {
+                opts.iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        (a.1.latency_ms + lambda * a.1.regret)
+                            .total_cmp(&(b.1.latency_ms + lambda * b.1.regret))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("options nonempty")
+            })
+            .collect();
+        if seen.contains(&choice) {
+            continue; // identical assignment already measured
+        }
+        seen.push(choice.clone());
+
+        let patterns: Vec<(String, ReusePattern)> = options
+            .iter()
+            .zip(&choice)
+            .filter_map(|((layer, opts), &c)| opts[c].pattern.map(|p| (layer.clone(), p)))
+            .collect();
+        let backend =
+            ReuseBackend::new(AdaptedHashProvider::new()).with_patterns(patterns.iter().cloned());
+        let mut correct = 0usize;
+        for (image, label) in test_data {
+            let logits = net.forward(image, &backend)?;
+            let pred = logits
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            if pred == *label {
+                correct += 1;
+            }
+        }
+        let accuracy = correct as f64 / test_data.len().max(1) as f64;
+        let latency_ms = network_latency(net, &backend.stats(), config.board);
+        assignments.push(GlobalAssignment {
+            patterns,
+            accuracy,
+            latency_ms,
+            lambda,
+        });
+    }
+
+    let pts: Vec<(f64, f64)> = assignments
+        .iter()
+        .map(|a| (a.latency_ms, a.accuracy))
+        .collect();
+    let pareto = pareto_front(&pts);
+    Ok(GlobalSelection {
+        assignments,
+        pareto,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::Scope;
+    use greuse_data::SyntheticDataset;
+    use greuse_mcu::Board;
+    use greuse_nn::models::CifarNet;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn global_selection_produces_pareto_assignments() {
+        let data = SyntheticDataset::cifar_like(13);
+        let (train, test) = data.train_test(4, 10, 5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = CifarNet::new(10, &mut rng);
+        let config = WorkflowConfig {
+            scope: Scope {
+                ls: vec![15],
+                hs: vec![2, 4],
+                ..Scope::conventional_scope()
+            },
+            board: Board::Stm32F469i,
+            prune_to: 2,
+            profile_samples: 1,
+            seed: 3,
+            profile_adapted: true,
+        };
+        let sel = select_patterns_global(
+            &net,
+            &["conv1", "conv2"],
+            &train,
+            &test,
+            &config,
+            &[0.0, 100.0, 1e5],
+        )
+        .unwrap();
+        assert!(!sel.assignments.is_empty());
+        assert!(!sel.pareto.is_empty());
+        // λ = 0 ignores regret: the proposal is the latency-greedy
+        // assignment and should use reuse everywhere it helps.
+        let fastest = sel.best_latency().unwrap();
+        let most_accurate = sel.best_accuracy().unwrap();
+        assert!(fastest.latency_ms <= most_accurate.latency_ms + 1e-9);
+        // Deduplication: all measured assignments are distinct.
+        for (i, a) in sel.assignments.iter().enumerate() {
+            for b in &sel.assignments[i + 1..] {
+                assert_ne!(a.patterns, b.patterns);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let data = SyntheticDataset::cifar_like(14);
+        let (train, test) = data.train_test(2, 2, 6);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let net = CifarNet::new(10, &mut rng);
+        let config = WorkflowConfig::default();
+        assert!(select_patterns_global(&net, &[], &train, &test, &config, &[1.0]).is_err());
+        assert!(select_patterns_global(&net, &["conv1"], &train, &test, &config, &[]).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # greuse-data
+//!
+//! Seeded synthetic image datasets standing in for CIFAR-10, SVHN and
+//! ImageNet-64×64 (the evaluation datasets of the paper; see DESIGN.md's
+//! substitution table — the offline environment has no dataset downloads).
+//!
+//! The generator is built so that the two properties reuse-based DNN
+//! optimization depends on are *controlled*, not accidental:
+//!
+//! 1. **Within-image tile redundancy** — images are composed from a small
+//!    per-class dictionary of smooth tiles, with a tunable probability of
+//!    repeating tiles inside one image ([`DatasetSpec::redundancy`]). This
+//!    is exactly the "similar tiles in a channel" structure of the paper's
+//!    Figure 1.
+//! 2. **Learnable class structure** — each class has its own tile
+//!    dictionary and color bias, so small CNNs reach CIFAR-like accuracy
+//!    with modest training budgets and the accuracy cost of reuse is a
+//!    real, measured quantity.
+//!
+//! ## Example
+//!
+//! ```
+//! use greuse_data::SyntheticDataset;
+//!
+//! let data = SyntheticDataset::cifar_like(42);
+//! let (train, test) = data.train_test(100, 20, 7);
+//! assert_eq!(train.len(), 100);
+//! assert_eq!(test.len(), 20);
+//! assert_eq!(train[0].0.shape().dims(), &[3, 32, 32]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod generator;
+
+pub use generator::{DatasetSpec, Example, SyntheticDataset};

@@ -1,0 +1,81 @@
+//! Property-based tests for the synthetic dataset generators.
+
+use proptest::prelude::*;
+
+use greuse_data::{DatasetSpec, SyntheticDataset};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generation_deterministic_across_calls(seed in any::<u64>(), gen_seed in any::<u64>()) {
+        let d = SyntheticDataset::cifar_like(seed);
+        let a = d.generate(6, gen_seed);
+        let b = d.generate(6, gen_seed);
+        for ((ia, la), (ib, lb)) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(la, lb);
+            prop_assert_eq!(ia.as_slice(), ib.as_slice());
+        }
+    }
+
+    #[test]
+    fn labels_cycle_and_stay_in_range(seed in any::<u64>(), n in 1usize..40) {
+        let d = SyntheticDataset::cifar_like(seed);
+        let data = d.generate(n, 3);
+        for (i, (_, label)) in data.iter().enumerate() {
+            prop_assert_eq!(*label, i % d.spec().classes);
+        }
+    }
+
+    #[test]
+    fn pixel_values_bounded(seed in any::<u64>()) {
+        // Tiles are sums of unit-amplitude sinusoids + bias + noise; pixel
+        // magnitudes stay small and finite.
+        let d = SyntheticDataset::cifar_like(seed);
+        let data = d.generate(4, 1);
+        for (img, _) in &data {
+            for v in img.as_slice() {
+                prop_assert!(v.is_finite());
+                prop_assert!(v.abs() < 4.0, "pixel {v} out of expected range");
+            }
+        }
+    }
+
+    #[test]
+    fn different_dataset_seeds_differ(s1 in any::<u64>(), s2 in any::<u64>()) {
+        prop_assume!(s1 != s2);
+        let a = SyntheticDataset::cifar_like(s1).generate(1, 0);
+        let b = SyntheticDataset::cifar_like(s2).generate(1, 0);
+        prop_assert_ne!(a[0].0.as_slice(), b[0].0.as_slice());
+    }
+
+    #[test]
+    fn custom_specs_respect_geometry(
+        classes in 1usize..6,
+        grid in 2usize..5,
+        tile in proptest::sample::select(vec![4usize, 8]),
+    ) {
+        let hw = grid * tile;
+        let spec = DatasetSpec {
+            classes,
+            image_hw: (hw, hw),
+            tile,
+            redundancy: 0.5,
+            noise: 0.01,
+            dictionary_size: 3,
+        };
+        let d = SyntheticDataset::with_spec("prop", spec, 9);
+        let data = d.generate(classes, 7);
+        for (img, label) in &data {
+            prop_assert_eq!(img.shape().dims(), &[3, hw, hw]);
+            prop_assert!(*label < classes);
+        }
+    }
+
+    #[test]
+    fn ood_generator_differs_from_id(seed in any::<u64>()) {
+        let id = SyntheticDataset::cifar_like(seed).generate(1, 0);
+        let ood = SyntheticDataset::svhn_like(seed).generate(1, 0);
+        prop_assert_ne!(id[0].0.as_slice(), ood[0].0.as_slice());
+    }
+}

@@ -1,0 +1,264 @@
+//! Online clustering from LSH signatures, cluster centroids, and the
+//! redundancy-ratio bookkeeping used by the paper's latency model.
+
+use std::collections::HashMap;
+
+use greuse_tensor::{Tensor, TensorError};
+
+use crate::family::{HashFamily, Signature};
+
+/// Result of clustering `n` vectors: an assignment of each vector to a
+/// cluster, cluster sizes, and per-cluster member lists.
+///
+/// Cluster ids are dense (`0..num_clusters`), ordered by first appearance —
+/// matching the online (single-pass) clustering of deep reuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    assignments: Vec<usize>,
+    members: Vec<Vec<usize>>,
+    signatures: Vec<Signature>,
+}
+
+impl Clustering {
+    /// Groups vectors by equal signatures (single pass, first-appearance
+    /// cluster ids).
+    pub fn from_signatures(sigs: &[Signature]) -> Self {
+        let mut ids: HashMap<Signature, usize> = HashMap::new();
+        let mut assignments = Vec::with_capacity(sigs.len());
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut signatures = Vec::new();
+        for (i, s) in sigs.iter().enumerate() {
+            let next_id = members.len();
+            let id = *ids.entry(*s).or_insert(next_id);
+            if id == members.len() {
+                members.push(Vec::new());
+                signatures.push(*s);
+            }
+            members[id].push(i);
+            assignments.push(id);
+        }
+        Clustering {
+            assignments,
+            members,
+            signatures,
+        }
+    }
+
+    /// Number of vectors clustered (`n`).
+    pub fn num_vectors(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Number of clusters (`n_c` contribution of this sub-matrix).
+    pub fn num_clusters(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Cluster id of each vector, in input order.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Sizes `m_i` of every cluster — the weights in the analytic accuracy
+    /// bound.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.members.iter().map(Vec::len).collect()
+    }
+
+    /// Member indices of cluster `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= num_clusters()`.
+    pub fn members(&self, c: usize) -> &[usize] {
+        &self.members[c]
+    }
+
+    /// Signature shared by the members of cluster `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= num_clusters()`.
+    pub fn signature(&self, c: usize) -> Signature {
+        self.signatures[c]
+    }
+
+    /// Fraction of vectors eliminated by clustering:
+    /// `1 − n_c / n` (this sub-matrix's contribution to the paper's `r_t`).
+    pub fn redundancy_ratio(&self) -> f64 {
+        if self.assignments.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.num_clusters() as f64 / self.num_vectors() as f64
+    }
+
+    /// Computes the centroid matrix (`n_c x dim`) for vectors provided by
+    /// `vector(i)` returning the `i`-th input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any provided vector's length differs from `dim`.
+    pub fn centroids_with(&self, dim: usize, vector: impl Fn(usize) -> Vec<f32>) -> Tensor<f32> {
+        let mut out = Tensor::zeros(&[self.num_clusters(), dim]);
+        for (c, members) in self.members.iter().enumerate() {
+            let row = out.row_mut(c);
+            for &m in members {
+                let v = vector(m);
+                assert_eq!(v.len(), dim, "vector length mismatch in centroids_with");
+                for (r, x) in row.iter_mut().zip(v.iter()) {
+                    *r += x;
+                }
+            }
+            let inv = 1.0 / members.len() as f32;
+            for r in row.iter_mut() {
+                *r *= inv;
+            }
+        }
+        out
+    }
+}
+
+/// Clusters the **rows** of a rank-2 tensor whose width equals the
+/// family's `L`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `x` is not rank 2 or its
+/// width differs from `family.l()`.
+pub fn cluster_rows(x: &Tensor<f32>, family: &HashFamily) -> Result<Clustering, TensorError> {
+    if x.shape().rank() != 2 || x.cols() != family.l() {
+        return Err(TensorError::ShapeMismatch {
+            op: "cluster_rows",
+            expected: vec![family.l()],
+            actual: x.shape().dims().to_vec(),
+        });
+    }
+    let sigs: Vec<Signature> = (0..x.rows()).map(|r| family.hash(x.row(r))).collect();
+    Ok(Clustering::from_signatures(&sigs))
+}
+
+/// Clusters an explicit list of equal-length vectors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when any vector's length differs
+/// from `family.l()`.
+pub fn cluster_vectors(
+    vectors: &[Vec<f32>],
+    family: &HashFamily,
+) -> Result<Clustering, TensorError> {
+    for v in vectors {
+        if v.len() != family.l() {
+            return Err(TensorError::ShapeMismatch {
+                op: "cluster_vectors",
+                expected: vec![family.l()],
+                actual: vec![v.len()],
+            });
+        }
+    }
+    let sigs: Vec<Signature> = vectors.iter().map(|v| family.hash(v)).collect();
+    Ok(Clustering::from_signatures(&sigs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sigs(v: &[u64]) -> Vec<Signature> {
+        v.iter().map(|&b| Signature(b)).collect()
+    }
+
+    #[test]
+    fn from_signatures_groups() {
+        let c = Clustering::from_signatures(&sigs(&[3, 5, 3, 7, 5, 3]));
+        assert_eq!(c.num_clusters(), 3);
+        assert_eq!(c.assignments(), &[0, 1, 0, 2, 1, 0]);
+        assert_eq!(c.sizes(), vec![3, 2, 1]);
+        assert_eq!(c.members(0), &[0, 2, 5]);
+        assert_eq!(c.signature(2), Signature(7));
+    }
+
+    #[test]
+    fn redundancy_ratio_all_same() {
+        let c = Clustering::from_signatures(&sigs(&[9; 10]));
+        assert!((c.redundancy_ratio() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn redundancy_ratio_all_distinct() {
+        let c = Clustering::from_signatures(&sigs(&[1, 2, 3, 4]));
+        assert_eq!(c.redundancy_ratio(), 0.0);
+    }
+
+    #[test]
+    fn empty_clustering() {
+        let c = Clustering::from_signatures(&[]);
+        assert_eq!(c.num_clusters(), 0);
+        assert_eq!(c.redundancy_ratio(), 0.0);
+    }
+
+    #[test]
+    fn centroids_average_members() {
+        let c = Clustering::from_signatures(&sigs(&[1, 1, 2]));
+        let data = [vec![1.0f32, 0.0], vec![3.0, 0.0], vec![0.0, 5.0]];
+        let cent = c.centroids_with(2, |i| data[i].clone());
+        assert_eq!(cent.row(0), &[2.0, 0.0]);
+        assert_eq!(cent.row(1), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn cluster_rows_duplicates_collapse() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let family = HashFamily::random(8, 4, &mut rng);
+        let x = Tensor::from_vec(
+            vec![
+                1.0f32, 2.0, 3.0, 4.0, //
+                1.0, 2.0, 3.0, 4.0, //
+                -1.0, -2.0, -3.0, -4.0,
+            ],
+            &[3, 4],
+        )
+        .unwrap();
+        let c = cluster_rows(&x, &family).unwrap();
+        assert_eq!(c.assignments()[0], c.assignments()[1]);
+        assert!(c.num_clusters() <= 2);
+    }
+
+    #[test]
+    fn cluster_rows_rejects_width_mismatch() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let family = HashFamily::random(4, 5, &mut rng);
+        let x = Tensor::<f32>::zeros(&[3, 4]);
+        assert!(cluster_rows(&x, &family).is_err());
+    }
+
+    #[test]
+    fn cluster_vectors_rejects_ragged() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let family = HashFamily::random(4, 3, &mut rng);
+        let vs = vec![vec![1.0f32; 3], vec![1.0; 2]];
+        assert!(cluster_vectors(&vs, &family).is_err());
+    }
+
+    #[test]
+    fn more_hashes_more_clusters() {
+        // Granularity of clustering grows with H (paper §2: H controls
+        // cluster granularity).
+        let mut rng = SmallRng::seed_from_u64(4);
+        let x = Tensor::random(
+            &[200, 8],
+            &rand::distributions::Uniform::new(-1.0f32, 1.0),
+            &mut rng,
+        );
+        let mut prev = 0usize;
+        for h in [1usize, 4, 16, 64] {
+            let mut rng_h = SmallRng::seed_from_u64(99);
+            let family = HashFamily::random(h, 8, &mut rng_h);
+            let c = cluster_rows(&x, &family).unwrap();
+            assert!(c.num_clusters() >= prev, "H={h}");
+            prev = c.num_clusters();
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for LSH hashing and clustering invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use greuse_lsh::{cluster_rows, Clustering, HashFamily, Signature};
+use greuse_tensor::Tensor;
+
+fn sig_vec() -> impl Strategy<Value = Vec<Signature>> {
+    proptest::collection::vec((0u64..16).prop_map(Signature), 0..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn clustering_partitions_input(sigs in sig_vec()) {
+        let c = Clustering::from_signatures(&sigs);
+        // Sizes sum to n.
+        prop_assert_eq!(c.sizes().iter().sum::<usize>(), sigs.len());
+        // Every assignment is a valid cluster id.
+        for &a in c.assignments() {
+            prop_assert!(a < c.num_clusters());
+        }
+        // Members are disjoint and complete.
+        let mut seen = vec![false; sigs.len()];
+        for cl in 0..c.num_clusters() {
+            for &m in c.members(cl) {
+                prop_assert!(!seen[m], "member {m} in two clusters");
+                seen[m] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn equal_signatures_equal_clusters(sigs in sig_vec()) {
+        let c = Clustering::from_signatures(&sigs);
+        for i in 0..sigs.len() {
+            for j in 0..sigs.len() {
+                prop_assert_eq!(
+                    sigs[i] == sigs[j],
+                    c.assignments()[i] == c.assignments()[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn redundancy_ratio_in_range(sigs in sig_vec()) {
+        let c = Clustering::from_signatures(&sigs);
+        let r = c.redundancy_ratio();
+        prop_assert!((0.0..1.0).contains(&r) || r == 0.0);
+    }
+
+    #[test]
+    fn hashing_deterministic_and_scale_invariant(
+        seed in any::<u64>(),
+        data in proptest::collection::vec(-5.0f32..5.0, 8),
+        scale in 0.1f32..10.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = HashFamily::random(16, 8, &mut rng);
+        let a = f.hash(&data);
+        prop_assert_eq!(a, f.hash(&data));
+        // Positive scaling never changes any sign bit.
+        let scaled: Vec<f32> = data.iter().map(|v| v * scale).collect();
+        prop_assert_eq!(a, f.hash(&scaled));
+    }
+
+    #[test]
+    fn duplicate_rows_never_increase_clusters(
+        seed in any::<u64>(),
+        rows in 1usize..10,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = Tensor::from_fn(&[rows, 6], |i| ((i * 7 + 3) as f32 * 0.37).sin());
+        // Duplicate every row.
+        let mut data = base.as_slice().to_vec();
+        data.extend_from_slice(base.as_slice());
+        let doubled = Tensor::from_vec(data, &[rows * 2, 6]).unwrap();
+        let family = HashFamily::random(8, 6, &mut rng);
+        let c1 = cluster_rows(&base, &family).unwrap();
+        let c2 = cluster_rows(&doubled, &family).unwrap();
+        prop_assert_eq!(c1.num_clusters(), c2.num_clusters());
+    }
+
+    #[test]
+    fn centroid_of_singletons_is_identity(sigs in proptest::collection::vec(0u64..1_000_000u64, 1..20)) {
+        // Force distinct signatures -> all singletons.
+        let mut unique = sigs.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        let sigs: Vec<Signature> = unique.into_iter().map(Signature).collect();
+        let c = Clustering::from_signatures(&sigs);
+        prop_assert_eq!(c.num_clusters(), sigs.len());
+        let data: Vec<Vec<f32>> =
+            (0..sigs.len()).map(|i| vec![i as f32, (i * 2) as f32]).collect();
+        let centroids = c.centroids_with(2, |i| data[i].clone());
+        for (i, d) in data.iter().enumerate() {
+            prop_assert_eq!(centroids.row(i), &d[..]);
+        }
+    }
+
+    #[test]
+    fn hamming_distance_is_metric(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (sa, sb, sc) = (Signature(a), Signature(b), Signature(c));
+        prop_assert_eq!(sa.hamming_distance(&sb), sb.hamming_distance(&sa));
+        prop_assert_eq!(sa.hamming_distance(&sa), 0);
+        // Triangle inequality.
+        prop_assert!(sa.hamming_distance(&sc) <= sa.hamming_distance(&sb) + sb.hamming_distance(&sc));
+    }
+}

@@ -1,0 +1,95 @@
+//! Energy accounting. The paper motivates MCUs by their efficiency
+//! (§2: the F469I board draws 0.166 W); energy per inference is simply
+//! board power × modeled latency, plus an idle floor for duty-cycled
+//! deployments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::latency::PhaseLatency;
+use crate::spec::Board;
+
+/// Power characteristics of a board.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSpec {
+    /// Active power while computing, in watts.
+    pub active_watts: f64,
+    /// Idle/sleep power, in watts.
+    pub idle_watts: f64,
+}
+
+impl Board {
+    /// The board's power characteristics (paper §2 for the F4; the F7
+    /// draws proportionally more at its higher clock).
+    pub fn power(&self) -> PowerSpec {
+        match self {
+            Board::Stm32F469i => PowerSpec {
+                active_watts: 0.166,
+                idle_watts: 0.002,
+            },
+            Board::Stm32F767zi => PowerSpec {
+                active_watts: 0.22,
+                idle_watts: 0.003,
+            },
+        }
+    }
+}
+
+/// Energy of one inference, in millijoules.
+pub fn inference_energy_mj(board: Board, latency: &PhaseLatency) -> f64 {
+    board.power().active_watts * latency.total_ms()
+}
+
+/// Mean power of a duty-cycled deployment running `inferences_per_second`
+/// inferences of the given latency, sleeping otherwise. Saturates at
+/// always-active when the duty cycle exceeds 1.
+pub fn duty_cycled_power_w(
+    board: Board,
+    latency: &PhaseLatency,
+    inferences_per_second: f64,
+) -> f64 {
+    let p = board.power();
+    let duty = (latency.total_ms() * 1e-3 * inferences_per_second).clamp(0.0, 1.0);
+    p.active_watts * duty + p.idle_watts * (1.0 - duty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::PhaseOps;
+
+    fn sample_latency(board: Board) -> PhaseLatency {
+        board.spec().latency(&PhaseOps::dense_conv(256, 1600, 64))
+    }
+
+    #[test]
+    fn f4_power_matches_paper() {
+        assert!((Board::Stm32F469i.power().active_watts - 0.166).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_with_latency() {
+        let lat = sample_latency(Board::Stm32F469i);
+        let e = inference_energy_mj(Board::Stm32F469i, &lat);
+        assert!((e - 0.166 * lat.total_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_board_can_cost_less_energy() {
+        // The F7 draws more power but finishes much sooner; per-inference
+        // energy should not exceed the F4's by the full power ratio.
+        let f4 = inference_energy_mj(Board::Stm32F469i, &sample_latency(Board::Stm32F469i));
+        let f7 = inference_energy_mj(Board::Stm32F767zi, &sample_latency(Board::Stm32F767zi));
+        assert!(f7 < f4, "F7 energy {f7} should be below F4 {f4}");
+    }
+
+    #[test]
+    fn duty_cycle_saturates() {
+        let lat = sample_latency(Board::Stm32F469i);
+        let always = duty_cycled_power_w(Board::Stm32F469i, &lat, 1e9);
+        assert!((always - 0.166).abs() < 1e-9);
+        let idle = duty_cycled_power_w(Board::Stm32F469i, &lat, 0.0);
+        assert!((idle - 0.002).abs() < 1e-9);
+        let mid = duty_cycled_power_w(Board::Stm32F469i, &lat, 1.0);
+        assert!(mid > idle && mid < always);
+    }
+}

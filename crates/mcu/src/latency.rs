@@ -1,0 +1,221 @@
+//! Phase-level operation counts and their latency on a given core.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::McuSpec;
+
+/// Operation counts of one convolution layer execution, split into the
+/// paper's four phases (Table 3): transformation, clustering, GEMM and
+/// recovery. A dense (no-reuse) execution simply has zero clustering and
+/// recovery work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseOps {
+    /// Elements moved by im2col plus any reuse-order layout permutation.
+    pub transform_elems: u64,
+    /// Multiply-accumulates of the hashing matrix product `X_i · Hash`.
+    pub clustering_macs: u64,
+    /// Number of neuron vectors pushed through online clustering.
+    pub clustering_vectors: u64,
+    /// Multiply-accumulates of the (centroid) GEMM.
+    pub gemm_macs: u64,
+    /// Elements written while recovering/duplicating centroid results.
+    pub recover_elems: u64,
+}
+
+impl PhaseOps {
+    /// Ops of a dense convolution with GEMM dimensions `N x K x M`
+    /// (no clustering, no recovery).
+    pub fn dense_conv(n: usize, k: usize, m: usize) -> Self {
+        PhaseOps {
+            transform_elems: (n * k) as u64,
+            clustering_macs: 0,
+            clustering_vectors: 0,
+            gemm_macs: (n * k * m) as u64,
+            recover_elems: 0,
+        }
+    }
+
+    /// Element-wise sum (e.g. across the layers of a network).
+    pub fn combined(&self, other: &PhaseOps) -> PhaseOps {
+        PhaseOps {
+            transform_elems: self.transform_elems + other.transform_elems,
+            clustering_macs: self.clustering_macs + other.clustering_macs,
+            clustering_vectors: self.clustering_vectors + other.clustering_vectors,
+            gemm_macs: self.gemm_macs + other.gemm_macs,
+            recover_elems: self.recover_elems + other.recover_elems,
+        }
+    }
+
+    /// Total MACs across compute phases.
+    pub fn total_macs(&self) -> u64 {
+        self.clustering_macs + self.gemm_macs
+    }
+}
+
+/// Latency of one layer (or a whole network) split by phase, in
+/// milliseconds — the unit the paper reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseLatency {
+    /// im2col + layout transformation.
+    pub transform_ms: f64,
+    /// LSH hashing + online clustering.
+    pub clustering_ms: f64,
+    /// The (centroid) GEMM.
+    pub gemm_ms: f64,
+    /// Output recovery/duplication.
+    pub recover_ms: f64,
+}
+
+impl PhaseLatency {
+    /// Total latency.
+    pub fn total_ms(&self) -> f64 {
+        self.transform_ms + self.clustering_ms + self.gemm_ms + self.recover_ms
+    }
+
+    /// Element-wise sum.
+    pub fn combined(&self, other: &PhaseLatency) -> PhaseLatency {
+        PhaseLatency {
+            transform_ms: self.transform_ms + other.transform_ms,
+            clustering_ms: self.clustering_ms + other.clustering_ms,
+            gemm_ms: self.gemm_ms + other.gemm_ms,
+            recover_ms: self.recover_ms + other.recover_ms,
+        }
+    }
+}
+
+impl McuSpec {
+    /// Latency of the given operation counts on this core.
+    ///
+    /// Compute phases (hashing MACs, GEMM MACs) run at
+    /// `macs_per_cycle · issue_factor`; memory-bound phases (transform,
+    /// recovery, clustering bookkeeping) scale with `issue_factor` via
+    /// the dual-issued load/store stream.
+    pub fn latency(&self, ops: &PhaseOps) -> PhaseLatency {
+        let mac_rate = self.macs_per_cycle * self.issue_factor;
+        let mem_scale = 1.0 / self.issue_factor;
+        let transform_cycles =
+            ops.transform_elems as f64 * self.transform_cycles_per_elem * mem_scale;
+        let clustering_cycles = ops.clustering_macs as f64 / mac_rate
+            + ops.clustering_vectors as f64 * self.cluster_overhead_cycles * mem_scale;
+        let gemm_cycles = ops.gemm_macs as f64 / mac_rate;
+        let recover_cycles = ops.recover_elems as f64 * self.recover_cycles_per_elem * mem_scale;
+        PhaseLatency {
+            transform_ms: self.cycles_to_ms(transform_cycles),
+            clustering_ms: self.cycles_to_ms(clustering_cycles),
+            gemm_ms: self.cycles_to_ms(gemm_cycles),
+            recover_ms: self.cycles_to_ms(recover_cycles),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Board;
+
+    #[test]
+    fn dense_conv_ops_formula() {
+        let ops = PhaseOps::dense_conv(1024, 75, 64);
+        assert_eq!(ops.transform_elems, 1024 * 75);
+        assert_eq!(ops.gemm_macs, 1024 * 75 * 64);
+        assert_eq!(ops.clustering_macs, 0);
+    }
+
+    #[test]
+    fn calibration_near_table3_conv1() {
+        // CifarNet Conv1 with a typical reuse config (L=20, H=3, r_t≈0.95):
+        // paper Table 3 reports ≈ 15.8 / 17.3 / 3.8 / 13.15 ms on the F4.
+        let f4 = Board::Stm32F469i.spec();
+        let n: u64 = 1024;
+        let k: u64 = 75;
+        let m: u64 = 64;
+        let l: u64 = 20;
+        let h: u64 = 3;
+        let sub = k.div_ceil(l); // ceil(75/20) = 4 submatrices
+        let vectors = n * sub;
+        let n_c = vectors / 20; // r_t = 0.95
+        let ops = PhaseOps {
+            transform_elems: n * k,
+            clustering_macs: vectors * h * l,
+            clustering_vectors: vectors,
+            gemm_macs: n_c * l * m,
+            recover_elems: n * m * sub,
+        };
+        let lat = f4.latency(&ops);
+        assert!(
+            (lat.transform_ms - 15.8).abs() < 4.0,
+            "transform {}",
+            lat.transform_ms
+        );
+        assert!(
+            (lat.clustering_ms - 17.3).abs() < 5.0,
+            "clustering {}",
+            lat.clustering_ms
+        );
+        assert!((lat.gemm_ms - 3.8).abs() < 2.0, "gemm {}", lat.gemm_ms);
+        assert!(
+            (lat.recover_ms - 13.15).abs() < 4.0,
+            "recover {}",
+            lat.recover_ms
+        );
+        assert!(
+            (lat.total_ms() - 50.0).abs() < 10.0,
+            "total {}",
+            lat.total_ms()
+        );
+    }
+
+    #[test]
+    fn f7_about_twice_as_fast_as_f4() {
+        // §5.2: the F7's end-to-end time is less than half the F4's.
+        let ops = PhaseOps::dense_conv(1024, 75, 64);
+        let f4 = Board::Stm32F469i.spec().latency(&ops).total_ms();
+        let f7 = Board::Stm32F767zi.spec().latency(&ops).total_ms();
+        let ratio = f4 / f7;
+        assert!(ratio > 1.8 && ratio < 2.3, "F4/F7 ratio {ratio}");
+    }
+
+    #[test]
+    fn latency_monotone_in_ops() {
+        let f4 = Board::Stm32F469i.spec();
+        let small = PhaseOps::dense_conv(100, 10, 10);
+        let large = PhaseOps::dense_conv(200, 10, 10);
+        assert!(f4.latency(&large).total_ms() > f4.latency(&small).total_ms());
+    }
+
+    #[test]
+    fn combined_adds() {
+        let a = PhaseOps::dense_conv(10, 10, 10);
+        let c = a.combined(&a);
+        assert_eq!(c.gemm_macs, 2 * a.gemm_macs);
+        let f4 = Board::Stm32F469i.spec();
+        let la = f4.latency(&a);
+        let lc = la.combined(&la);
+        assert!((lc.total_ms() - 2.0 * la.total_ms()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reuse_saves_when_key_condition_holds() {
+        // §4.2 key condition: H/D_out < r_t implies reuse beats dense.
+        let (n, k, m) = (1024usize, 1600usize, 64usize);
+        let l = 20u64;
+        let h = 1u64; // H/D_out = 1/64
+        let r_t = 0.9; // >> 1/64
+        let sub = (k as u64).div_ceil(l);
+        let vectors = n as u64 * sub;
+        let n_c = ((1.0 - r_t) * vectors as f64) as u64;
+        let reuse_ops = PhaseOps {
+            transform_elems: (n * k) as u64,
+            clustering_macs: vectors * h * l,
+            clustering_vectors: vectors,
+            gemm_macs: n_c * l * m as u64,
+            recover_elems: n as u64 * m as u64 * sub,
+        };
+        let dense_ops = PhaseOps::dense_conv(n, k, m);
+        let f4 = Board::Stm32F469i.spec();
+        assert!(
+            f4.latency(&reuse_ops).total_ms() < f4.latency(&dense_ops).total_ms(),
+            "reuse should win under the key condition"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # greuse-mcu
+//!
+//! A cycle-approximate model of the two microcontrollers the paper
+//! evaluates on: the STM32F469I (Cortex-M4) and STM32F767ZI (Cortex-M7).
+//!
+//! The paper's latency results decompose per-layer time into four phases —
+//! *transformation* (im2col + layout reorder), *clustering*, *GEMM* and
+//! *recovering* (Table 3). Each phase's cost is a simple function of its
+//! operation counts and the core's throughput parameters (clock, SIMD MAC
+//! rate, dual-issue, memory streaming cost). This module computes exactly
+//! that function, so relative speedups — the reproducible part of the
+//! paper's evaluation — carry over even though no physical board is
+//! present (see DESIGN.md, substitution table).
+//!
+//! Calibration: the per-phase constants were fit so that CifarNet Conv1
+//! under a typical reuse configuration lands near the paper's Table 3 row
+//! (≈50 ms total on the F4, ≈16/17/4/13 ms split across phases).
+//!
+//! ## Example
+//!
+//! ```
+//! use greuse_mcu::{Board, PhaseOps};
+//!
+//! let f4 = Board::Stm32F469i.spec();
+//! let ops = PhaseOps::dense_conv(1024, 75, 64); // CifarNet conv1
+//! let lat = f4.latency(&ops);
+//! assert!(lat.total_ms() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod energy;
+mod latency;
+mod memory;
+mod spec;
+
+pub use energy::{duty_cycled_power_w, inference_energy_mj, PowerSpec};
+pub use latency::{PhaseLatency, PhaseOps};
+pub use memory::{activation_bytes, model_weight_bytes, MemoryReport};
+pub use spec::{Board, McuError, McuSpec};

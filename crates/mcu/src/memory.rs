@@ -1,0 +1,120 @@
+//! Memory-capacity accounting: weights live in on-chip flash (8-bit after
+//! quantization), activations and im2col buffers in SRAM. The paper notes
+//! ImageNet-resolution inputs run out of MCU memory (§5.1) — this module
+//! is how the workspace reproduces that constraint.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{McuError, McuSpec};
+
+/// Result of checking a deployment against a board's memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Bytes of flash required (weights, 1 byte each after quantization).
+    pub flash_required: usize,
+    /// Bytes of SRAM required at the peak (activations + im2col buffer).
+    pub sram_required: usize,
+    /// Flash capacity of the board.
+    pub flash_available: usize,
+    /// SRAM capacity of the board.
+    pub sram_available: usize,
+}
+
+impl MemoryReport {
+    /// Flash utilization in [0, ∞).
+    pub fn flash_utilization(&self) -> f64 {
+        self.flash_required as f64 / self.flash_available as f64
+    }
+
+    /// SRAM utilization in [0, ∞).
+    pub fn sram_utilization(&self) -> f64 {
+        self.sram_required as f64 / self.sram_available as f64
+    }
+}
+
+/// Weight bytes of a model with `param_count` parameters at 8-bit
+/// quantization (the paper's deployment format).
+pub fn model_weight_bytes(param_count: usize) -> usize {
+    param_count
+}
+
+/// Peak activation bytes for a layer with an `N x K` im2col matrix and an
+/// `N x M` output, at `bytes_per_value` (1 for q7, 2 for q15).
+pub fn activation_bytes(n: usize, k: usize, m: usize, bytes_per_value: usize) -> usize {
+    n * k * bytes_per_value + n * m * bytes_per_value
+}
+
+impl McuSpec {
+    /// Checks that a deployment fits this board.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McuError::OutOfMemory`] naming the exhausted memory.
+    pub fn check_memory(
+        &self,
+        weight_bytes: usize,
+        peak_sram_bytes: usize,
+    ) -> Result<MemoryReport, McuError> {
+        if weight_bytes > self.flash_bytes {
+            return Err(McuError::OutOfMemory {
+                which: "flash",
+                required: weight_bytes,
+                available: self.flash_bytes,
+            });
+        }
+        if peak_sram_bytes > self.sram_bytes {
+            return Err(McuError::OutOfMemory {
+                which: "SRAM",
+                required: peak_sram_bytes,
+                available: self.sram_bytes,
+            });
+        }
+        Ok(MemoryReport {
+            flash_required: weight_bytes,
+            sram_required: peak_sram_bytes,
+            flash_available: self.flash_bytes,
+            sram_available: self.sram_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Board;
+
+    #[test]
+    fn cifarnet_scale_model_fits_f4() {
+        let f4 = Board::Stm32F469i.spec();
+        // CifarNet: ~110k conv params + ~790k fc params, 8-bit.
+        let weights = model_weight_bytes(900_000);
+        // Largest im2col: conv2, N=256, K=1600 at 1 byte + output.
+        let sram = activation_bytes(256, 1600, 64, 1) / 2; // tiled buffer
+        assert!(f4.check_memory(weights, sram).is_ok());
+    }
+
+    #[test]
+    fn imagenet_resolution_oom() {
+        // 224x224 ResNet first layer im2col blows past 324 KB SRAM —
+        // the reason the paper restricts to CIFAR / ImageNet-64 (§5.1).
+        let f4 = Board::Stm32F469i.spec();
+        let sram = activation_bytes(112 * 112, 147, 64, 1);
+        let err = f4.check_memory(1_000_000, sram).unwrap_err();
+        assert!(matches!(err, McuError::OutOfMemory { which: "SRAM", .. }));
+    }
+
+    #[test]
+    fn flash_overflow_detected() {
+        let f4 = Board::Stm32F469i.spec();
+        let err = f4.check_memory(3 * 1024 * 1024, 1000).unwrap_err();
+        assert!(matches!(err, McuError::OutOfMemory { which: "flash", .. }));
+    }
+
+    #[test]
+    fn report_utilizations() {
+        let f4 = Board::Stm32F469i.spec();
+        let rep = f4.check_memory(1024 * 1024, 162 * 1024).unwrap();
+        assert!((rep.flash_utilization() - 0.5).abs() < 1e-9);
+        assert!((rep.sram_utilization() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the MCU model: latency monotonicity,
+//! additivity, board relations, and memory-check coherence.
+
+use proptest::prelude::*;
+
+use greuse_mcu::{activation_bytes, duty_cycled_power_w, inference_energy_mj, Board, PhaseOps};
+
+fn arb_ops() -> impl Strategy<Value = PhaseOps> {
+    (
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..10_000,
+        0u64..10_000_000,
+        0u64..1_000_000,
+    )
+        .prop_map(|(t, cm, cv, g, r)| PhaseOps {
+            transform_elems: t,
+            clustering_macs: cm,
+            clustering_vectors: cv,
+            gemm_macs: g,
+            recover_elems: r,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn latency_nonnegative_and_finite(ops in arb_ops()) {
+        for board in Board::all() {
+            let lat = board.spec().latency(&ops);
+            prop_assert!(lat.total_ms() >= 0.0);
+            prop_assert!(lat.total_ms().is_finite());
+            prop_assert!(lat.transform_ms >= 0.0 && lat.clustering_ms >= 0.0);
+            prop_assert!(lat.gemm_ms >= 0.0 && lat.recover_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn latency_additive_over_combined_ops(a in arb_ops(), b in arb_ops()) {
+        for board in Board::all() {
+            let spec = board.spec();
+            let separate = spec.latency(&a).total_ms() + spec.latency(&b).total_ms();
+            let combined = spec.latency(&a.combined(&b)).total_ms();
+            prop_assert!((separate - combined).abs() < 1e-9 * (1.0 + separate));
+        }
+    }
+
+    #[test]
+    fn latency_monotone_in_each_phase(ops in arb_ops(), extra in 1u64..1_000_000) {
+        let spec = Board::Stm32F469i.spec();
+        let base = spec.latency(&ops).total_ms();
+        for grow in [
+            PhaseOps { transform_elems: ops.transform_elems + extra, ..ops },
+            PhaseOps { clustering_macs: ops.clustering_macs + extra, ..ops },
+            PhaseOps { gemm_macs: ops.gemm_macs + extra, ..ops },
+            PhaseOps { recover_elems: ops.recover_elems + extra, ..ops },
+        ] {
+            prop_assert!(spec.latency(&grow).total_ms() >= base);
+        }
+    }
+
+    #[test]
+    fn f7_never_slower_than_f4(ops in arb_ops()) {
+        let f4 = Board::Stm32F469i.spec().latency(&ops).total_ms();
+        let f7 = Board::Stm32F767zi.spec().latency(&ops).total_ms();
+        prop_assert!(f7 <= f4 + 1e-12, "F7 {f7} slower than F4 {f4}");
+    }
+
+    #[test]
+    fn energy_proportional_to_latency(ops in arb_ops()) {
+        for board in Board::all() {
+            let lat = board.spec().latency(&ops);
+            let e = inference_energy_mj(board, &lat);
+            prop_assert!((e - board.power().active_watts * lat.total_ms()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn duty_cycle_power_bounded(ops in arb_ops(), rate in 0.0f64..1000.0) {
+        let board = Board::Stm32F469i;
+        let lat = board.spec().latency(&ops);
+        let p = duty_cycled_power_w(board, &lat, rate);
+        let pw = board.power();
+        prop_assert!(p >= pw.idle_watts - 1e-12);
+        prop_assert!(p <= pw.active_watts + 1e-12);
+    }
+
+    #[test]
+    fn memory_check_consistent(weights in 0usize..4_000_000, sram in 0usize..1_000_000) {
+        for board in Board::all() {
+            let spec = board.spec();
+            let result = spec.check_memory(weights, sram);
+            let fits = weights <= spec.flash_bytes && sram <= spec.sram_bytes;
+            prop_assert_eq!(result.is_ok(), fits);
+            if let Ok(rep) = result {
+                prop_assert!(rep.flash_utilization() <= 1.0);
+                prop_assert!(rep.sram_utilization() <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn activation_bytes_monotone(n in 1usize..1000, k in 1usize..2000, m in 1usize..512) {
+        prop_assert!(activation_bytes(n, k, m, 1) <= activation_bytes(n, k, m, 2));
+        prop_assert!(activation_bytes(n, k, m, 1) <= activation_bytes(n + 1, k, m, 1));
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for network construction, training and inference.
+
+use std::fmt;
+
+use greuse_tensor::TensorError;
+
+/// Error produced by the neural-network substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A tensor-level operation failed.
+    Tensor(TensorError),
+    /// The network received an input of the wrong shape.
+    BadInput {
+        /// Description of the expected input.
+        expected: String,
+        /// The offending shape.
+        actual: Vec<usize>,
+    },
+    /// A layer was used in a way that violates its protocol (e.g. backward
+    /// before forward).
+    Protocol {
+        /// Description of the misuse.
+        detail: String,
+    },
+    /// A configuration value was invalid.
+    InvalidConfig {
+        /// Description of the invalid value.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadInput { expected, actual } => {
+                write!(
+                    f,
+                    "bad network input: expected {expected}, got shape {actual:?}"
+                )
+            }
+            NnError::Protocol { detail } => write!(f, "layer protocol violation: {detail}"),
+            NnError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NnError::from(TensorError::IndexOutOfBounds { index: 3, bound: 2 });
+        assert!(e.to_string().contains("tensor error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let p = NnError::Protocol {
+            detail: "backward before forward".into(),
+        };
+        assert!(p.to_string().contains("backward"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,85 @@
+//! FLOPs accounting (used by Table 5 and the latency model's sanity
+//! checks). Convolution FLOPs are `2·N·K·M_eff` per layer where `M_eff`
+//! discounts structurally-zeroed (pruned) output channels.
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::Network;
+use crate::prune::zeroed_channels;
+
+/// Per-layer and total FLOPs of a model's convolutions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlopsBreakdown {
+    /// `(layer name, flops)` in execution order.
+    pub per_layer: Vec<(String, u64)>,
+    /// Sum over layers.
+    pub total: u64,
+}
+
+impl FlopsBreakdown {
+    /// FLOPs of a named layer, if present.
+    pub fn layer(&self, name: &str) -> Option<u64> {
+        self.per_layer
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, f)| *f)
+    }
+}
+
+/// Computes the convolution FLOPs of a model (2 FLOPs per MAC), skipping
+/// pruned (all-zero) output channels.
+pub fn model_flops(net: &dyn Network) -> FlopsBreakdown {
+    let convs = net.convs();
+    let infos = net.conv_layers();
+    let mut per_layer = Vec::with_capacity(infos.len());
+    let mut total = 0u64;
+    for info in &infos {
+        let zeroed = convs
+            .iter()
+            .find(|c| c.name == info.name)
+            .map(|c| zeroed_channels(c))
+            .unwrap_or(0);
+        let m_eff = info.gemm_m().saturating_sub(zeroed);
+        let flops = 2 * info.gemm_n() as u64 * info.gemm_k() as u64 * m_eff as u64;
+        total += flops;
+        per_layer.push((info.name.clone(), flops));
+    }
+    FlopsBreakdown { per_layer, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::CifarNet;
+    use crate::prune::prune_channels;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cifarnet_flops_match_formula() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let net = CifarNet::new(10, &mut rng);
+        let flops = model_flops(&net);
+        // conv1: 2 * 1024 * 75 * 64; conv2: 2 * 256 * 1600 * 64.
+        assert_eq!(flops.layer("conv1"), Some(2 * 1024 * 75 * 64));
+        assert_eq!(flops.layer("conv2"), Some(2 * 256 * 1600 * 64));
+        assert_eq!(flops.total, 2 * 1024 * 75 * 64 + 2 * 256 * 1600 * 64);
+    }
+
+    #[test]
+    fn pruning_reduces_flops() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut net = CifarNet::new(10, &mut rng);
+        let before = model_flops(&net).total;
+        prune_channels(&mut net, 0.5).unwrap();
+        let after = model_flops(&net).total;
+        assert_eq!(after, before / 2);
+    }
+
+    #[test]
+    fn missing_layer_lookup() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let net = CifarNet::new(10, &mut rng);
+        assert_eq!(model_flops(&net).layer("nope"), None);
+    }
+}

@@ -1,0 +1,96 @@
+//! Hyper-parameter grid search over learning rate and momentum (the
+//! "HPO" ingredient of the paper's Table 5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NnError, Result};
+
+/// One grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HpoConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum.
+    pub momentum: f32,
+}
+
+/// Outcome of a grid search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HpoResult {
+    /// The winning configuration.
+    pub best: HpoConfig,
+    /// Validation score of the winner (higher is better).
+    pub best_score: f32,
+    /// Every `(config, score)` evaluated.
+    pub trials: Vec<(HpoConfig, f32)>,
+}
+
+/// Evaluates every `(lr, momentum)` combination with the caller-provided
+/// train-and-score function and returns the best (highest score).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for an empty grid, and propagates
+/// the first evaluation error.
+pub fn grid_search(
+    lrs: &[f32],
+    momenta: &[f32],
+    mut train_and_score: impl FnMut(HpoConfig) -> Result<f32>,
+) -> Result<HpoResult> {
+    if lrs.is_empty() || momenta.is_empty() {
+        return Err(NnError::InvalidConfig {
+            detail: "empty hyper-parameter grid".into(),
+        });
+    }
+    let mut trials = Vec::new();
+    for &lr in lrs {
+        for &momentum in momenta {
+            let config = HpoConfig { lr, momentum };
+            let score = train_and_score(config)?;
+            trials.push((config, score));
+        }
+    }
+    let (best, best_score) = trials
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(c, s)| (*c, *s))
+        .expect("nonempty grid");
+    Ok(HpoResult {
+        best,
+        best_score,
+        trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_maximum() {
+        // Score peaks at lr = 0.01, momentum = 0.9.
+        let res = grid_search(&[0.001, 0.01, 0.1], &[0.0, 0.9], |c| {
+            Ok(-((c.lr - 0.01).abs() + (c.momentum - 0.9).abs()))
+        })
+        .unwrap();
+        assert_eq!(res.best.lr, 0.01);
+        assert_eq!(res.best.momentum, 0.9);
+        assert_eq!(res.trials.len(), 6);
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        assert!(grid_search(&[], &[0.9], |_| Ok(0.0)).is_err());
+        assert!(grid_search(&[0.1], &[], |_| Ok(0.0)).is_err());
+    }
+
+    #[test]
+    fn propagates_errors() {
+        let r = grid_search(&[0.1], &[0.9], |_| {
+            Err(NnError::InvalidConfig {
+                detail: "boom".into(),
+            })
+        });
+        assert!(r.is_err());
+    }
+}

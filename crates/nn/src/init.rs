@@ -1,0 +1,53 @@
+//! Weight initialization.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+use greuse_tensor::Tensor;
+
+/// He (Kaiming) normal initialization: zero-mean Gaussian with standard
+/// deviation `sqrt(2 / fan_in)`, the right scale for ReLU networks.
+pub fn he_normal(dims: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor<f32> {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    let normal = BoxMuller { std };
+    Tensor::random(dims, &normal, rng)
+}
+
+struct BoxMuller {
+    std: f32,
+}
+
+impl Distribution<f32> for BoxMuller {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        self.std * (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_scale_tracks_fan_in() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let w = he_normal(&[64, 100], 100, &mut rng);
+        let var: f32 = w.as_slice().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
+        let expected = 2.0 / 100.0;
+        assert!(
+            (var - expected).abs() < expected * 0.2,
+            "var {var} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn he_normal_zero_mean() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let w = he_normal(&[1000], 50, &mut rng);
+        let mean: f32 = w.sum() / w.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+    }
+}

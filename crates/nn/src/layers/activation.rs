@@ -1,0 +1,151 @@
+//! Activation functions.
+
+use greuse_tensor::Tensor;
+
+use crate::{NnError, Result};
+
+/// Rectified linear unit, usable on rank-3 feature maps and flat vectors.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+
+    /// Pure inference pass over a tensor.
+    pub fn forward(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let mut y = x.clone();
+        y.map_inplace(|v| v.max(0.0));
+        y
+    }
+
+    /// Pure inference pass over a flat vector.
+    pub fn forward_vec(&self, x: &[f32]) -> Vec<f32> {
+        x.iter().map(|v| v.max(0.0)).collect()
+    }
+
+    /// Training pass (caches the positive mask).
+    pub fn forward_train(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.mask = Some(x.as_slice().iter().map(|&v| v > 0.0).collect());
+        self.forward(x)
+    }
+
+    /// Training pass over a flat vector.
+    pub fn forward_train_vec(&mut self, x: &[f32]) -> Vec<f32> {
+        self.mask = Some(x.iter().map(|&v| v > 0.0).collect());
+        self.forward_vec(x)
+    }
+
+    /// Backward pass over a tensor gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Protocol`] without a preceding training pass or
+    /// on a length mismatch.
+    pub fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let mask = self.take_mask(grad_out.len())?;
+        let mut dx = grad_out.clone();
+        for (v, m) in dx.as_mut_slice().iter_mut().zip(mask.iter()) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        Ok(dx)
+    }
+
+    /// Backward pass over a flat gradient.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Relu::backward`].
+    pub fn backward_vec(&mut self, grad_out: &[f32]) -> Result<Vec<f32>> {
+        let mask = self.take_mask(grad_out.len())?;
+        Ok(grad_out
+            .iter()
+            .zip(mask.iter())
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect())
+    }
+
+    fn take_mask(&mut self, expected_len: usize) -> Result<Vec<bool>> {
+        let mask = self.mask.take().ok_or_else(|| NnError::Protocol {
+            detail: "relu backward without forward_train".into(),
+        })?;
+        if mask.len() != expected_len {
+            return Err(NnError::Protocol {
+                detail: format!(
+                    "relu gradient length {expected_len} does not match cached mask {}",
+                    mask.len()
+                ),
+            });
+        }
+        Ok(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let x = Tensor::from_vec(vec![-1.0f32, 0.0, 2.0], &[3]).unwrap();
+        let y = Relu::new().forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let x = Tensor::from_vec(vec![-1.0f32, 3.0], &[2]).unwrap();
+        let mut relu = Relu::new();
+        let _ = relu.forward_train(&x);
+        let g = Tensor::from_vec(vec![10.0f32, 10.0], &[2]).unwrap();
+        let dx = relu.backward(&g).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 10.0]);
+    }
+
+    #[test]
+    fn zero_input_has_zero_gradient() {
+        // ReLU'(0) = 0 by our convention (v > 0.0 strictly).
+        let x = Tensor::from_vec(vec![0.0f32], &[1]).unwrap();
+        let mut relu = Relu::new();
+        let _ = relu.forward_train(&x);
+        let g = Tensor::from_vec(vec![5.0f32], &[1]).unwrap();
+        assert_eq!(relu.backward(&g).unwrap().as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn vec_paths_match_tensor_paths() {
+        let vals = vec![-2.0f32, -0.5, 0.5, 2.0];
+        let x = Tensor::from_vec(vals.clone(), &[4]).unwrap();
+        let mut r1 = Relu::new();
+        let mut r2 = Relu::new();
+        let y1 = r1.forward_train(&x);
+        let y2 = r2.forward_train_vec(&vals);
+        assert_eq!(y1.as_slice(), y2.as_slice());
+        let g = vec![1.0f32; 4];
+        let gt = Tensor::from_vec(g.clone(), &[4]).unwrap();
+        assert_eq!(
+            r1.backward(&gt).unwrap().as_slice(),
+            r2.backward_vec(&g).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn protocol_error_without_forward() {
+        let mut relu = Relu::new();
+        assert!(relu.backward_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn mask_consumed_once() {
+        let mut relu = Relu::new();
+        let _ = relu.forward_train_vec(&[1.0]);
+        assert!(relu.backward_vec(&[1.0]).is_ok());
+        assert!(relu.backward_vec(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! Per-channel normalization over spatial positions, with running
+//! statistics for inference and fusion into a preceding convolution
+//! (the "typical optimization" the paper applies before deployment, §5.1).
+//!
+//! Training normalizes with per-image spatial statistics (we train one
+//! image at a time), while inference uses the running averages — the same
+//! train/infer split as standard batch normalization.
+
+use greuse_tensor::Tensor;
+
+use crate::layers::Conv2d;
+use crate::{NnError, Result};
+
+const EPS: f32 = 1e-5;
+
+/// Per-channel affine normalization.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    /// Number of channels.
+    pub channels: usize,
+    /// Learnable scale.
+    pub gamma: Vec<f32>,
+    /// Learnable shift.
+    pub beta: Vec<f32>,
+    /// Running mean used at inference time.
+    pub running_mean: Vec<f32>,
+    /// Running variance used at inference time.
+    pub running_var: Vec<f32>,
+    /// Gradient of `gamma`.
+    pub grad_gamma: Vec<f32>,
+    /// Gradient of `beta`.
+    pub grad_beta: Vec<f32>,
+    /// Running-average momentum.
+    pub momentum: f32,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    xhat: Tensor<f32>,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates an identity-initialized normalization layer.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            channels,
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            grad_gamma: vec![0.0; channels],
+            grad_beta: vec![0.0; channels],
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+
+    fn check(&self, x: &Tensor<f32>) -> Result<(usize, usize, usize)> {
+        let dims = x.shape().dims();
+        if dims.len() != 3 || dims[0] != self.channels {
+            return Err(NnError::BadInput {
+                expected: format!("rank-3 input with {} channels for batchnorm", self.channels),
+                actual: dims.to_vec(),
+            });
+        }
+        Ok((dims[0], dims[1], dims[2]))
+    }
+
+    /// Inference pass using running statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] on a shape mismatch.
+    pub fn forward(&self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let (c, h, w) = self.check(x)?;
+        let mut y = x.clone();
+        let ys = y.as_mut_slice();
+        for ch in 0..c {
+            let inv_std = 1.0 / (self.running_var[ch] + EPS).sqrt();
+            let scale = self.gamma[ch] * inv_std;
+            let shift = self.beta[ch] - self.running_mean[ch] * scale;
+            for v in &mut ys[ch * h * w..(ch + 1) * h * w] {
+                *v = *v * scale + shift;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Training pass using per-image spatial statistics; updates running
+    /// averages and caches normalized activations for backward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] on a shape mismatch.
+    pub fn forward_train(&mut self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let (c, h, w) = self.check(x)?;
+        let s = h * w;
+        let mut y = Tensor::zeros(&[c, h, w]);
+        let mut xhat = Tensor::zeros(&[c, h, w]);
+        let mut inv_stds = vec![0.0f32; c];
+        let xs = x.as_slice();
+        {
+            let ys = y.as_mut_slice();
+            let xh = xhat.as_mut_slice();
+            for ch in 0..c {
+                let seg = &xs[ch * s..(ch + 1) * s];
+                let mean = seg.iter().sum::<f32>() / s as f32;
+                let var = seg.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / s as f32;
+                let inv_std = 1.0 / (var + EPS).sqrt();
+                inv_stds[ch] = inv_std;
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                for i in 0..s {
+                    let xn = (seg[i] - mean) * inv_std;
+                    xh[ch * s + i] = xn;
+                    ys[ch * s + i] = self.gamma[ch] * xn + self.beta[ch];
+                }
+            }
+        }
+        self.cache = Some(Cache {
+            xhat,
+            inv_std: inv_stds,
+        });
+        Ok(y)
+    }
+
+    /// Backward pass; accumulates `grad_gamma`/`grad_beta` and returns
+    /// the input gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Protocol`] without a preceding `forward_train`.
+    pub fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let cache = self.cache.take().ok_or_else(|| NnError::Protocol {
+            detail: "batchnorm backward without forward_train".into(),
+        })?;
+        let (c, h, w) = self.check(grad_out)?;
+        let s = h * w;
+        let mut dx = Tensor::zeros(&[c, h, w]);
+        let dxs = dx.as_mut_slice();
+        let gs = grad_out.as_slice();
+        let xh = cache.xhat.as_slice();
+        for ch in 0..c {
+            let gseg = &gs[ch * s..(ch + 1) * s];
+            let xseg = &xh[ch * s..(ch + 1) * s];
+            let sum_g: f32 = gseg.iter().sum();
+            let sum_gx: f32 = gseg.iter().zip(xseg.iter()).map(|(g, x)| g * x).sum();
+            self.grad_beta[ch] += sum_g;
+            self.grad_gamma[ch] += sum_gx;
+            let scale = self.gamma[ch] * cache.inv_std[ch];
+            let mean_g = sum_g / s as f32;
+            let mean_gx = sum_gx / s as f32;
+            for i in 0..s {
+                dxs[ch * s + i] = scale * (gseg[i] - mean_g - xseg[i] * mean_gx);
+            }
+        }
+        Ok(dx)
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_gamma.iter_mut().for_each(|v| *v = 0.0);
+        self.grad_beta.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Folds this normalization into a preceding convolution (using the
+    /// running statistics), so that `fused(x) == bn(conv(x))` at inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] when channel counts disagree.
+    pub fn fuse_into(&self, conv: &Conv2d) -> Result<Conv2d> {
+        if conv.spec.out_channels != self.channels {
+            return Err(NnError::BadInput {
+                expected: format!("{} output channels", self.channels),
+                actual: vec![conv.spec.out_channels],
+            });
+        }
+        let mut fused = conv.clone();
+        for ch in 0..self.channels {
+            let inv_std = 1.0 / (self.running_var[ch] + EPS).sqrt();
+            let scale = self.gamma[ch] * inv_std;
+            for v in fused.weights.row_mut(ch) {
+                *v *= scale;
+            }
+            fused.bias[ch] = (conv.bias[ch] - self.running_mean[ch]) * scale + self.beta[ch];
+        }
+        Ok(fused)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DenseBackend;
+    use greuse_tensor::ConvSpec;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn train_output_is_normalized() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let x = Tensor::from_fn(&[2, 4, 4], |_| rng.gen_range(-3.0f32..5.0));
+        let y = bn.forward_train(&x).unwrap();
+        for ch in 0..2 {
+            let seg = &y.as_slice()[ch * 16..(ch + 1) * 16];
+            let mean: f32 = seg.iter().sum::<f32>() / 16.0;
+            let var: f32 = seg.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn inference_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.running_mean = vec![2.0];
+        bn.running_var = vec![4.0];
+        bn.gamma = vec![3.0];
+        bn.beta = vec![1.0];
+        let x = Tensor::from_vec(vec![2.0f32, 4.0], &[1, 1, 2]).unwrap();
+        let y = bn.forward(&x).unwrap();
+        // (2-2)/2*3+1 = 1; (4-2)/2*3+1 = 4.
+        assert!((y.as_slice()[0] - 1.0).abs() < 1e-3);
+        assert!((y.as_slice()[1] - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let x = Tensor::from_fn(&[1, 3, 3], |_| rng.gen_range(-1.0f32..1.0));
+        let mut bn = BatchNorm2d::new(1);
+        bn.gamma = vec![1.3];
+        bn.beta = vec![-0.2];
+        let y = bn.forward_train(&x).unwrap();
+        let dx = bn.backward(&y).unwrap();
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor<f32>| -> f32 {
+            0.5 * bn.forward_train(x).unwrap().norm_sq()
+        };
+        let eps = 1e-3;
+        for xi in [0usize, 4, 8] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[xi] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[xi] -= eps;
+            let mut bn_p = bn.clone();
+            let fd = (loss(&mut bn_p, &xp) - loss(&mut bn_p, &xm)) / (2.0 * eps);
+            assert!(
+                (fd - dx.as_slice()[xi]).abs() < 5e-2 * (1.0 + fd.abs()),
+                "xi={xi}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_beta_gradients() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let x = Tensor::from_fn(&[1, 2, 2], |_| rng.gen_range(-1.0f32..1.0));
+        let mut bn = BatchNorm2d::new(1);
+        let y = bn.forward_train(&x).unwrap();
+        let _ = bn.backward(&y).unwrap();
+        let eps = 1e-3;
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor<f32>| -> f32 {
+            0.5 * bn.forward_train(x).unwrap().norm_sq()
+        };
+        let orig = bn.gamma[0];
+        let mut b2 = bn.clone();
+        b2.gamma[0] = orig + eps;
+        let lp = loss(&mut b2, &x);
+        b2.gamma[0] = orig - eps;
+        let lm = loss(&mut b2, &x);
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!((fd - bn.grad_gamma[0]).abs() < 5e-2 * (1.0 + fd.abs()));
+    }
+
+    #[test]
+    fn fuse_matches_conv_then_bn() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let spec = ConvSpec::new(2, 3, 3, 3).with_padding(1);
+        let conv = Conv2d::new("c", spec, &mut rng);
+        let mut bn = BatchNorm2d::new(3);
+        bn.running_mean = vec![0.1, -0.2, 0.3];
+        bn.running_var = vec![0.5, 2.0, 1.2];
+        bn.gamma = vec![1.1, 0.9, 1.5];
+        bn.beta = vec![0.0, 0.5, -0.5];
+        let x = Tensor::from_fn(&[2, 5, 5], |i| ((i as f32) * 0.17).sin());
+        let unfused = bn
+            .forward(&conv.forward(&x, &DenseBackend).unwrap())
+            .unwrap();
+        let fused = bn
+            .fuse_into(&conv)
+            .unwrap()
+            .forward(&x, &DenseBackend)
+            .unwrap();
+        for (a, b) in unfused.as_slice().iter().zip(fused.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fuse_rejects_channel_mismatch() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let conv = Conv2d::new("c", ConvSpec::new(1, 2, 1, 1), &mut rng);
+        let bn = BatchNorm2d::new(3);
+        assert!(bn.fuse_into(&conv).is_err());
+    }
+
+    #[test]
+    fn protocol_error() {
+        let mut bn = BatchNorm2d::new(1);
+        assert!(bn.backward(&Tensor::zeros(&[1, 1, 1])).is_err());
+    }
+}

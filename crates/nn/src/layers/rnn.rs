@@ -1,0 +1,156 @@
+//! Elman recurrent layer — the paper's RNN extension (§3.1 cites TREC's
+//! follow-up applying transient-redundancy elimination to RNNs).
+//!
+//! The reuse hook is the *input projection*: all `T` timestep inputs are
+//! stacked into a `T x D` matrix and projected in one GEMM, which routes
+//! through the [`ConvBackend`] seam exactly like a convolution's im2col
+//! product — so sequences with redundant timesteps (sensor streams,
+//! audio frames) cluster and reuse the projection of a centroid timestep.
+//! The recurrence itself stays sequential (it is inherently so).
+
+use rand::Rng;
+
+use greuse_tensor::{ConvSpec, Tensor};
+
+use crate::backend::ConvBackend;
+use crate::init::he_normal;
+use crate::{NnError, Result};
+
+/// A single-layer Elman RNN: `h_t = tanh(W_ih x_t + W_hh h_{t-1} + b)`.
+#[derive(Debug, Clone)]
+pub struct ElmanRnn {
+    /// Layer name (passed to the backend for per-layer reuse patterns).
+    pub name: String,
+    /// Input-to-hidden weights `(hidden, input)`.
+    pub w_ih: Tensor<f32>,
+    /// Hidden-to-hidden weights `(hidden, hidden)`.
+    pub w_hh: Tensor<f32>,
+    /// Bias.
+    pub bias: Vec<f32>,
+}
+
+impl ElmanRnn {
+    /// Creates a randomly initialized cell.
+    pub fn new(name: impl Into<String>, input: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        ElmanRnn {
+            name: name.into(),
+            w_ih: he_normal(&[hidden, input], input, rng),
+            w_hh: he_normal(&[hidden, hidden], hidden, rng),
+            bias: vec![0.0; hidden],
+        }
+    }
+
+    /// Input feature count.
+    pub fn input_size(&self) -> usize {
+        self.w_ih.cols()
+    }
+
+    /// Hidden state size.
+    pub fn hidden_size(&self) -> usize {
+        self.w_ih.rows()
+    }
+
+    /// Runs the cell over a `T x input` sequence, returning the `T x
+    /// hidden` state trajectory. The input projection for all timesteps
+    /// executes as one backend GEMM (the reuse surface).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] for a sequence of the wrong width.
+    pub fn forward_sequence(
+        &self,
+        xs: &Tensor<f32>,
+        backend: &dyn ConvBackend,
+    ) -> Result<Tensor<f32>> {
+        if xs.shape().rank() != 2 || xs.cols() != self.input_size() {
+            return Err(NnError::BadInput {
+                expected: format!("T x {} sequence for rnn {}", self.input_size(), self.name),
+                actual: xs.shape().dims().to_vec(),
+            });
+        }
+        let t = xs.rows();
+        let h = self.hidden_size();
+        // Pseudo-spec: a 1x1 "convolution" over `input` channels.
+        let spec = ConvSpec::new(self.input_size(), h, 1, 1);
+        let projected = backend.conv_gemm(&self.name, &spec, xs, &self.w_ih)?; // T x H
+        let mut states = Tensor::zeros(&[t, h]);
+        let mut prev = vec![0.0f32; h];
+        for step in 0..t {
+            let proj = projected.row(step).to_vec();
+            let row = states.row_mut(step);
+            for (j, r) in row.iter_mut().enumerate() {
+                let rec: f32 = self
+                    .w_hh
+                    .row(j)
+                    .iter()
+                    .zip(prev.iter())
+                    .map(|(w, p)| w * p)
+                    .sum();
+                *r = (proj[j] + rec + self.bias[j]).tanh();
+            }
+            prev = row.to_vec();
+        }
+        Ok(states)
+    }
+
+    /// The final hidden state of a sequence (common classification head).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ElmanRnn::forward_sequence`]; also rejects empty
+    /// sequences.
+    pub fn final_state(&self, xs: &Tensor<f32>, backend: &dyn ConvBackend) -> Result<Vec<f32>> {
+        let states = self.forward_sequence(xs, backend)?;
+        if states.rows() == 0 {
+            return Err(NnError::BadInput {
+                expected: "nonempty sequence".into(),
+                actual: vec![0],
+            });
+        }
+        Ok(states.row(states.rows() - 1).to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DenseBackend;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sequence_shapes() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let rnn = ElmanRnn::new("rnn", 6, 4, &mut rng);
+        let xs = Tensor::from_fn(&[10, 6], |i| (i as f32 * 0.1).sin());
+        let states = rnn.forward_sequence(&xs, &DenseBackend).unwrap();
+        assert_eq!(states.shape().dims(), &[10, 4]);
+        assert!(states.as_slice().iter().all(|v| v.abs() <= 1.0));
+        let last = rnn.final_state(&xs, &DenseBackend).unwrap();
+        assert_eq!(&last[..], states.row(9));
+    }
+
+    #[test]
+    fn state_depends_on_history() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let rnn = ElmanRnn::new("rnn", 3, 5, &mut rng);
+        // Same final input, different histories -> different final state.
+        let mut a = Tensor::zeros(&[4, 3]);
+        let mut b = Tensor::zeros(&[4, 3]);
+        a.row_mut(0).copy_from_slice(&[1.0, -1.0, 0.5]);
+        b.row_mut(0).copy_from_slice(&[-1.0, 1.0, -0.5]);
+        a.row_mut(3).copy_from_slice(&[0.3, 0.3, 0.3]);
+        b.row_mut(3).copy_from_slice(&[0.3, 0.3, 0.3]);
+        let fa = rnn.final_state(&a, &DenseBackend).unwrap();
+        let fb = rnn.final_state(&b, &DenseBackend).unwrap();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let rnn = ElmanRnn::new("rnn", 6, 4, &mut rng);
+        let xs = Tensor::zeros(&[5, 7]);
+        assert!(rnn.forward_sequence(&xs, &DenseBackend).is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! Winograd convolution `F(2x2, 3x3)` — the fast-convolution substrate
+//! behind DREW ("efficient Winograd CNN inference with deep reuse"), the
+//! paper's cited extension of reuse beyond im2col GEMM.
+//!
+//! A 3×3/stride-1 convolution is computed per 4×4 input tile `d` as
+//! `Y = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A`, producing a 2×2 output tile with
+//! 16 multiplies instead of 36. The reuse hook: the **transformed input
+//! tiles** `Bᵀ d B` (flattened to 16-vectors per channel) are exactly the
+//! neuron vectors DREW clusters — redundant tiles transform to redundant
+//! Winograd-domain vectors, so one multiply-accumulate per centroid
+//! serves every member.
+
+use greuse_tensor::{ConvSpec, Tensor};
+
+use crate::{NnError, Result};
+
+/// `Bᵀ d B` for a 4×4 tile (standard F(2,3) matrices).
+fn transform_input_tile(d: &[f32; 16]) -> [f32; 16] {
+    // Bᵀ = [1 0 -1 0; 0 1 1 0; 0 -1 1 0; 0 1 0 -1]
+    let mut tmp = [0.0f32; 16];
+    for c in 0..4 {
+        let (d0, d1, d2, d3) = (d[c], d[4 + c], d[8 + c], d[12 + c]);
+        tmp[c] = d0 - d2;
+        tmp[4 + c] = d1 + d2;
+        tmp[8 + c] = d2 - d1;
+        tmp[12 + c] = d1 - d3;
+    }
+    let mut out = [0.0f32; 16];
+    for r in 0..4 {
+        let (t0, t1, t2, t3) = (tmp[r * 4], tmp[r * 4 + 1], tmp[r * 4 + 2], tmp[r * 4 + 3]);
+        out[r * 4] = t0 - t2;
+        out[r * 4 + 1] = t1 + t2;
+        out[r * 4 + 2] = t2 - t1;
+        out[r * 4 + 3] = t1 - t3;
+    }
+    out
+}
+
+/// `G g Gᵀ` for a 3×3 kernel.
+fn transform_kernel(g: &[f32]) -> [f32; 16] {
+    // G = [1 0 0; 1/2 1/2 1/2; 1/2 -1/2 1/2; 0 0 1]
+    debug_assert_eq!(g.len(), 9);
+    let mut tmp = [0.0f32; 12]; // 4x3: G g
+    for c in 0..3 {
+        let (g0, g1, g2) = (g[c], g[3 + c], g[6 + c]);
+        tmp[c] = g0;
+        tmp[3 + c] = 0.5 * (g0 + g1 + g2);
+        tmp[6 + c] = 0.5 * (g0 - g1 + g2);
+        tmp[9 + c] = g2;
+    }
+    let mut out = [0.0f32; 16]; // (G g) Gᵀ
+    for r in 0..4 {
+        let (t0, t1, t2) = (tmp[r * 3], tmp[r * 3 + 1], tmp[r * 3 + 2]);
+        out[r * 4] = t0;
+        out[r * 4 + 1] = 0.5 * (t0 + t1 + t2);
+        out[r * 4 + 2] = 0.5 * (t0 - t1 + t2);
+        out[r * 4 + 3] = t2;
+    }
+    out
+}
+
+/// `Aᵀ m A` for a 4×4 Winograd-domain product, yielding the 2×2 output.
+fn inverse_transform(m: &[f32; 16]) -> [f32; 4] {
+    // Aᵀ = [1 1 1 0; 0 1 -1 -1]
+    let mut tmp = [0.0f32; 8]; // 2x4
+    for c in 0..4 {
+        let (m0, m1, m2, m3) = (m[c], m[4 + c], m[8 + c], m[12 + c]);
+        tmp[c] = m0 + m1 + m2;
+        tmp[4 + c] = m1 - m2 - m3;
+    }
+    [
+        tmp[0] + tmp[1] + tmp[2],
+        tmp[1] - tmp[2] - tmp[3],
+        tmp[4] + tmp[5] + tmp[6],
+        tmp[5] - tmp[6] - tmp[7],
+    ]
+}
+
+/// The Winograd-domain view of an input: per tile position and channel,
+/// the flattened 16-vector `Bᵀ d B` — DREW's neuron vectors.
+#[derive(Debug, Clone)]
+pub struct WinogradDomain {
+    /// `(tiles_y * tiles_x * channels) x 16` matrix of transformed tiles;
+    /// row index = `(ty * tiles_x + tx) * channels + c`.
+    pub tiles: Tensor<f32>,
+    /// Tile grid height.
+    pub tiles_y: usize,
+    /// Tile grid width.
+    pub tiles_x: usize,
+    /// Channels.
+    pub channels: usize,
+}
+
+/// Transforms an input `(C, H, W)` into the Winograd domain for a
+/// 3×3/stride-1/pad-1 convolution. `H` and `W` must be even (2×2 output
+/// tiles tile the output exactly).
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] for non-rank-3 input or odd spatial dims.
+pub fn to_winograd_domain(input: &Tensor<f32>) -> Result<WinogradDomain> {
+    let dims = input.shape().dims();
+    if dims.len() != 3 || dims[1] % 2 != 0 || dims[2] % 2 != 0 {
+        return Err(NnError::BadInput {
+            expected: "rank-3 input with even H and W".into(),
+            actual: dims.to_vec(),
+        });
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let (tiles_y, tiles_x) = (h / 2, w / 2);
+    let mut tiles = Tensor::zeros(&[tiles_y * tiles_x * c, 16]);
+    let in_s = input.as_slice();
+    for ty in 0..tiles_y {
+        for tx in 0..tiles_x {
+            for ch in 0..c {
+                // Gather the padded 4x4 tile whose 2x2 output starts at
+                // (2ty, 2tx); with pad 1 the input window starts at -1.
+                let mut d = [0.0f32; 16];
+                for dy in 0..4 {
+                    let iy = (2 * ty + dy) as isize - 1;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for dx in 0..4 {
+                        let ix = (2 * tx + dx) as isize - 1;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        d[dy * 4 + dx] = in_s[(ch * h + iy as usize) * w + ix as usize];
+                    }
+                }
+                let row = (ty * tiles_x + tx) * c + ch;
+                tiles
+                    .row_mut(row)
+                    .copy_from_slice(&transform_input_tile(&d));
+            }
+        }
+    }
+    Ok(WinogradDomain {
+        tiles,
+        tiles_y,
+        tiles_x,
+        channels: c,
+    })
+}
+
+/// Full Winograd convolution: `weights` is `(M, C*9)` (the standard conv
+/// layout for 3×3 kernels); input `(C, H, W)` with even `H`, `W`; output
+/// `(M, H, W)` (stride 1, pad 1).
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] on shape mismatches.
+pub fn winograd_conv2d(
+    input: &Tensor<f32>,
+    weights: &Tensor<f32>,
+    spec: &ConvSpec,
+) -> Result<Tensor<f32>> {
+    if spec.kernel_h != 3 || spec.kernel_w != 3 || spec.stride != 1 || spec.padding != 1 {
+        return Err(NnError::BadInput {
+            expected: "3x3 stride-1 pad-1 convolution for Winograd".into(),
+            actual: vec![spec.kernel_h, spec.kernel_w, spec.stride, spec.padding],
+        });
+    }
+    let domain = to_winograd_domain(input)?;
+    let (c, m) = (domain.channels, spec.out_channels);
+    if weights.shape().dims() != [m, c * 9] {
+        return Err(NnError::BadInput {
+            expected: format!("{m} x {} weights", c * 9),
+            actual: weights.shape().dims().to_vec(),
+        });
+    }
+    // Pre-transform kernels: (M, C) -> 16-vector each.
+    let mut u = vec![[0.0f32; 16]; m * c];
+    for mm in 0..m {
+        for ch in 0..c {
+            u[mm * c + ch] = transform_kernel(&weights.row(mm)[ch * 9..(ch + 1) * 9]);
+        }
+    }
+    let (h2, w2) = (domain.tiles_y * 2, domain.tiles_x * 2);
+    let mut out = Tensor::zeros(&[m, h2, w2]);
+    let out_s = out.as_mut_slice();
+    for ty in 0..domain.tiles_y {
+        for tx in 0..domain.tiles_x {
+            for mm in 0..m {
+                // Accumulate the Winograd-domain product over channels.
+                let mut acc = [0.0f32; 16];
+                for ch in 0..c {
+                    let v = domain.tiles.row((ty * domain.tiles_x + tx) * c + ch);
+                    let k = &u[mm * c + ch];
+                    for i in 0..16 {
+                        acc[i] += v[i] * k[i];
+                    }
+                }
+                let y = inverse_transform(&acc);
+                let (oy, ox) = (2 * ty, 2 * tx);
+                out_s[(mm * h2 + oy) * w2 + ox] = y[0];
+                out_s[(mm * h2 + oy) * w2 + ox + 1] = y[1];
+                out_s[(mm * h2 + oy + 1) * w2 + ox] = y[2];
+                out_s[(mm * h2 + oy + 1) * w2 + ox + 1] = y[3];
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DenseBackend;
+    use crate::layers::Conv2d;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn kernel_transform_identity_kernel() {
+        // Kernel = delta at center: G g Gᵀ has a known closed form; check
+        // via the full pipeline instead: conv with delta kernel = input.
+        let mut g = [0.0f32; 9];
+        g[4] = 1.0;
+        let u = transform_kernel(&g);
+        // Winograd of the center-delta kernel: row/col pattern (0, .5, -.5, 0)^T x same.
+        let expected_1d = [0.0, 0.5, -0.5, 0.0];
+        for r in 0..4 {
+            for c in 0..4 {
+                let want = expected_1d[r] * expected_1d[c];
+                assert!((u[r * 4 + c] - want).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn winograd_matches_direct_convolution() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let spec = ConvSpec::new(3, 4, 3, 3).with_padding(1);
+        let conv = Conv2d::new("c", spec, &mut rng);
+        let input = Tensor::from_fn(&[3, 8, 8], |_| rng.gen_range(-1.0f32..1.0));
+        let direct = conv.forward(&input, &DenseBackend).unwrap();
+        let mut zero_bias = conv.clone();
+        zero_bias.bias = vec![0.0; 4];
+        let direct_nb = zero_bias.forward(&input, &DenseBackend).unwrap();
+        let wino = winograd_conv2d(&input, &conv.weights, &spec).unwrap();
+        assert_eq!(wino.shape().dims(), direct.shape().dims());
+        for (a, b) in wino.as_slice().iter().zip(direct_nb.as_slice()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn winograd_rejects_bad_geometry() {
+        let input = Tensor::<f32>::zeros(&[1, 8, 8]);
+        let w = Tensor::<f32>::zeros(&[1, 9]);
+        let bad_spec = ConvSpec::new(1, 1, 5, 5).with_padding(2);
+        assert!(winograd_conv2d(&input, &w, &bad_spec).is_err());
+        let odd = Tensor::<f32>::zeros(&[1, 7, 8]);
+        let spec = ConvSpec::new(1, 1, 3, 3).with_padding(1);
+        assert!(winograd_conv2d(&odd, &w, &spec).is_err());
+    }
+
+    #[test]
+    fn domain_tiles_shape() {
+        let input = Tensor::from_fn(&[2, 6, 8], |i| (i as f32 * 0.1).sin());
+        let d = to_winograd_domain(&input).unwrap();
+        assert_eq!(d.tiles_y, 3);
+        assert_eq!(d.tiles_x, 4);
+        assert_eq!(d.tiles.shape().dims(), &[3 * 4 * 2, 16]);
+    }
+
+    #[test]
+    fn redundant_tiles_transform_identically() {
+        // Two identical spatial tiles produce identical Winograd vectors —
+        // the property DREW's clustering exploits.
+        let mut input = Tensor::<f32>::zeros(&[1, 8, 8]);
+        // Tile (ty=1, tx=1)'s window starts at (1,1); tile (ty=2, tx=2)'s
+        // at (3,3). Write identical 4x4 windows at both places (the
+        // second write wins in the 2-cell overlap, which both windows
+        // share identically by construction below).
+        for dy in 0..4 {
+            for dx in 0..4 {
+                let v = ((dy + dx) % 2) as f32; // checkerboard: shift-consistent
+                input[[0usize, 1 + dy, 1 + dx]] = v;
+                input[[0usize, 3 + dy, 3 + dx]] = v;
+            }
+        }
+        let d = to_winograd_domain(&input).unwrap();
+        let a = d.tiles.row((d.tiles_x + 1) * d.channels).to_vec();
+        let b = d.tiles.row((2 * d.tiles_x + 2) * d.channels).to_vec();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,104 @@
+//! Softmax and cross-entropy loss.
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Softmax cross-entropy: returns `(loss, dL/dlogits)` for a single
+/// example with integer label `target`.
+///
+/// # Panics
+///
+/// Panics if `target >= logits.len()` or `logits` is empty.
+pub fn softmax_cross_entropy(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
+    assert!(!logits.is_empty(), "logits must be nonempty");
+    assert!(target < logits.len(), "target {target} out of range");
+    let p = softmax(logits);
+    let loss = -(p[target].max(1e-12)).ln();
+    let mut grad = p;
+    grad[target] -= 1.0;
+    (loss, grad)
+}
+
+/// Convenience struct bundling the loss for APIs that want a named type.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Computes `(loss, grad)`; see [`softmax_cross_entropy`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`softmax_cross_entropy`].
+    pub fn compute(&self, logits: &[f32], target: usize) -> (f32, Vec<f32>) {
+        softmax_cross_entropy(logits, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn uniform_logits_give_uniform_probs() {
+        let p = softmax(&[0.0; 5]);
+        assert!(p.iter().all(|&v| (v - 0.2).abs() < 1e-6));
+    }
+
+    #[test]
+    fn loss_decreases_with_confidence() {
+        let (low, _) = softmax_cross_entropy(&[0.0, 0.0], 0);
+        let (high, _) = softmax_cross_entropy(&[5.0, 0.0], 0);
+        assert!(high < low);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = vec![0.3f32, -0.7, 1.2];
+        let target = 1usize;
+        let (_, grad) = softmax_cross_entropy(&logits, target);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp[i] += eps;
+            let mut lm = logits.clone();
+            lm[i] -= eps;
+            let fd = (softmax_cross_entropy(&lp, target).0 - softmax_cross_entropy(&lm, target).0)
+                / (2.0 * eps);
+            assert!((fd - grad[i]).abs() < 1e-3, "i={i}");
+        }
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let (_, grad) = softmax_cross_entropy(&[1.0, 2.0, 3.0, 4.0], 2);
+        assert!(grad.iter().sum::<f32>().abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn target_out_of_range_panics() {
+        let _ = softmax_cross_entropy(&[1.0, 2.0], 5);
+    }
+}

@@ -1,0 +1,222 @@
+//! CifarNet: the paper's smallest workload — two 5×5 convolutions
+//! (K = 75 and K = 1600, M = 64 each, matching Table 1(a)) and a small
+//! MLP classifier.
+
+use rand::Rng;
+
+use greuse_tensor::{ConvSpec, Tensor};
+
+use crate::backend::ConvBackend;
+use crate::layers::{Conv2d, MaxPool2d, Relu};
+use crate::models::common::{FeatLayer, FeatStack, MlpHead};
+use crate::network::{ConvLayerInfo, Network, TrainableNetwork};
+use crate::{NnError, Result};
+
+/// CifarNet for 32×32×3 inputs.
+#[derive(Debug, Clone)]
+pub struct CifarNet {
+    features: FeatStack,
+    head: MlpHead,
+    classes: usize,
+}
+
+impl CifarNet {
+    /// Convolution geometry of `conv1` (K = 75, M = 64).
+    pub fn conv1_spec() -> ConvSpec {
+        ConvSpec::new(3, 64, 5, 5).with_padding(2)
+    }
+
+    /// Convolution geometry of `conv2` (K = 1600, M = 64).
+    pub fn conv2_spec() -> ConvSpec {
+        ConvSpec::new(64, 64, 5, 5).with_padding(2)
+    }
+
+    /// Creates a randomly initialized CifarNet with `classes` outputs.
+    pub fn new(classes: usize, rng: &mut impl Rng) -> Self {
+        let mut features = FeatStack::new();
+        features.push(FeatLayer::Conv(Conv2d::new(
+            "conv1",
+            Self::conv1_spec(),
+            rng,
+        )));
+        features.push(FeatLayer::Relu(Relu::new()));
+        features.push(FeatLayer::Pool(MaxPool2d::new(2)));
+        features.push(FeatLayer::Conv(Conv2d::new(
+            "conv2",
+            Self::conv2_spec(),
+            rng,
+        )));
+        features.push(FeatLayer::Relu(Relu::new()));
+        features.push(FeatLayer::Pool(MaxPool2d::new(2)));
+        // 64 x 8 x 8 = 4096 flattened features.
+        let head = MlpHead::new("cifarnet", 64 * 8 * 8, 192, classes, rng);
+        CifarNet {
+            features,
+            head,
+            classes,
+        }
+    }
+
+    fn check_input(&self, x: &Tensor<f32>) -> Result<()> {
+        if x.shape().dims() != self.input_shape() {
+            return Err(NnError::BadInput {
+                expected: "3x32x32 image".into(),
+                actual: x.shape().dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Network for CifarNet {
+    fn name(&self) -> &str {
+        "cifarnet"
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        [3, 32, 32]
+    }
+
+    fn forward(&self, x: &Tensor<f32>, backend: &dyn ConvBackend) -> Result<Vec<f32>> {
+        self.check_input(x)?;
+        let feat = self.features.forward(x, backend)?;
+        self.head.forward(&feat)
+    }
+
+    fn conv_layers(&self) -> Vec<ConvLayerInfo> {
+        vec![
+            ConvLayerInfo {
+                name: "conv1".into(),
+                spec: Self::conv1_spec(),
+                input_hw: (32, 32),
+            },
+            ConvLayerInfo {
+                name: "conv2".into(),
+                spec: Self::conv2_spec(),
+                input_hw: (16, 16),
+            },
+        ]
+    }
+
+    fn convs(&self) -> Vec<&Conv2d> {
+        self.features.convs()
+    }
+
+    fn convs_mut(&mut self) -> Vec<&mut Conv2d> {
+        self.features.convs_mut()
+    }
+}
+
+impl TrainableNetwork for CifarNet {
+    fn forward_train(&mut self, x: &Tensor<f32>) -> Result<Vec<f32>> {
+        self.check_input(x)?;
+        let feat = self.features.forward_train(x)?;
+        self.head.forward_train(&feat)
+    }
+
+    fn forward_train_with(
+        &mut self,
+        x: &Tensor<f32>,
+        backend: &dyn ConvBackend,
+    ) -> Result<Vec<f32>> {
+        self.check_input(x)?;
+        let feat = self.features.forward_train_with(x, backend)?;
+        self.head.forward_train(&feat)
+    }
+
+    fn backward(&mut self, grad_logits: &[f32]) -> Result<()> {
+        let g = self.head.backward(grad_logits)?;
+        let _ = self.features.backward(&g)?;
+        Ok(())
+    }
+
+    fn zero_grad(&mut self) {
+        self.features.zero_grad();
+        self.head.zero_grad();
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        self.features.visit_params(f);
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{DenseBackend, RecordingBackend};
+    use crate::loss::softmax_cross_entropy;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_produces_logits() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let net = CifarNet::new(10, &mut rng);
+        let x = Tensor::from_fn(&[3, 32, 32], |i| ((i as f32) * 0.01).sin());
+        let logits = net.forward(&x, &DenseBackend).unwrap();
+        assert_eq!(logits.len(), 10);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn conv_layer_info_matches_paper_table1a() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = CifarNet::new(10, &mut rng);
+        let infos = net.conv_layers();
+        assert_eq!(infos[0].gemm_k(), 75); // paper K for Conv1
+        assert_eq!(infos[0].gemm_m(), 64);
+        assert_eq!(infos[1].gemm_k(), 1600); // paper K for Conv2
+        assert_eq!(infos[1].gemm_m(), 64);
+    }
+
+    #[test]
+    fn recorded_calls_match_conv_layers() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let net = CifarNet::new(10, &mut rng);
+        let rec = RecordingBackend::new();
+        let x = Tensor::zeros(&[3, 32, 32]);
+        let _ = net.forward(&x, &rec).unwrap();
+        let calls = rec.calls();
+        let infos = net.conv_layers();
+        assert_eq!(calls.len(), infos.len());
+        for (call, info) in calls.iter().zip(infos.iter()) {
+            assert_eq!(call.layer, info.name);
+            assert_eq!(call.n, info.gemm_n());
+            assert_eq!(call.k, info.gemm_k());
+            assert_eq!(call.m, info.gemm_m());
+        }
+    }
+
+    #[test]
+    fn one_training_step_reduces_loss() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut net = CifarNet::new(10, &mut rng);
+        let x = Tensor::from_fn(&[3, 32, 32], |i| ((i as f32) * 0.02).cos());
+        let target = 4usize;
+        let logits0 = net.forward_train(&x).unwrap();
+        let (loss0, grad) = softmax_cross_entropy(&logits0, target);
+        net.backward(&grad).unwrap();
+        // Manual SGD step.
+        net.visit_params(&mut |p, g| {
+            for i in 0..p.len() {
+                p[i] -= 0.05 * g[i];
+            }
+        });
+        let logits1 = net.forward(&x, &DenseBackend).unwrap();
+        let (loss1, _) = softmax_cross_entropy(&logits1, target);
+        assert!(loss1 < loss0, "loss {loss0} -> {loss1}");
+    }
+
+    #[test]
+    fn rejects_wrong_input_shape() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let net = CifarNet::new(10, &mut rng);
+        let x = Tensor::zeros(&[3, 16, 16]);
+        assert!(net.forward(&x, &DenseBackend).is_err());
+    }
+}

@@ -1,0 +1,369 @@
+//! Shared building blocks for the concrete models: a sequential feature
+//! stack over rank-3 feature maps and an MLP classifier head.
+
+use greuse_tensor::Tensor;
+
+use crate::backend::ConvBackend;
+use crate::layers::{BatchNorm2d, Conv2d, Linear, MaxPool2d, Relu};
+use crate::{NnError, Result};
+
+/// One layer of a [`FeatStack`].
+#[derive(Debug, Clone)]
+pub enum FeatLayer {
+    /// Convolution.
+    Conv(Conv2d),
+    /// Per-channel normalization.
+    Bn(BatchNorm2d),
+    /// ReLU.
+    Relu(Relu),
+    /// Max pooling.
+    Pool(MaxPool2d),
+}
+
+impl FeatLayer {
+    fn forward(&self, x: &Tensor<f32>, backend: &dyn ConvBackend) -> Result<Tensor<f32>> {
+        match self {
+            FeatLayer::Conv(c) => c.forward(x, backend),
+            FeatLayer::Bn(b) => b.forward(x),
+            FeatLayer::Relu(r) => Ok(r.forward(x)),
+            FeatLayer::Pool(p) => p.forward(x),
+        }
+    }
+
+    fn forward_train(&mut self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        match self {
+            FeatLayer::Conv(c) => c.forward_train(x),
+            FeatLayer::Bn(b) => b.forward_train(x),
+            FeatLayer::Relu(r) => Ok(r.forward_train(x)),
+            FeatLayer::Pool(p) => p.forward_train(x),
+        }
+    }
+
+    fn forward_train_with(
+        &mut self,
+        x: &Tensor<f32>,
+        backend: &dyn ConvBackend,
+    ) -> Result<Tensor<f32>> {
+        match self {
+            FeatLayer::Conv(c) => c.forward_train_with(x, backend),
+            other => other.forward_train(x),
+        }
+    }
+
+    fn backward(&mut self, g: &Tensor<f32>) -> Result<Tensor<f32>> {
+        match self {
+            FeatLayer::Conv(c) => c.backward(g),
+            FeatLayer::Bn(b) => b.backward(g),
+            FeatLayer::Relu(r) => r.backward(g),
+            FeatLayer::Pool(p) => p.backward(g),
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        match self {
+            FeatLayer::Conv(c) => c.zero_grad(),
+            FeatLayer::Bn(b) => b.zero_grad(),
+            FeatLayer::Relu(_) | FeatLayer::Pool(_) => {}
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        match self {
+            FeatLayer::Conv(c) => {
+                f(c.weights.as_mut_slice(), c.grad_weights.as_slice());
+                f(&mut c.bias, &c.grad_bias);
+            }
+            FeatLayer::Bn(b) => {
+                f(&mut b.gamma, &b.grad_gamma);
+                f(&mut b.beta, &b.grad_beta);
+            }
+            FeatLayer::Relu(_) | FeatLayer::Pool(_) => {}
+        }
+    }
+}
+
+/// A sequential stack of feature-map layers.
+#[derive(Debug, Clone, Default)]
+pub struct FeatStack {
+    /// Layers, in execution order.
+    pub layers: Vec<FeatLayer>,
+}
+
+impl FeatStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        FeatStack { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(&mut self, layer: FeatLayer) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Pure inference pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing layer's error.
+    pub fn forward(&self, x: &Tensor<f32>, backend: &dyn ConvBackend) -> Result<Tensor<f32>> {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.forward(&cur, backend)?;
+        }
+        Ok(cur)
+    }
+
+    /// Caching training pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing layer's error.
+    pub fn forward_train(&mut self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward_train(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Straight-through training pass: convolutions forward through
+    /// `backend`, everything else as [`FeatStack::forward_train`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing layer's error.
+    pub fn forward_train_with(
+        &mut self,
+        x: &Tensor<f32>,
+        backend: &dyn ConvBackend,
+    ) -> Result<Tensor<f32>> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward_train_with(&cur, backend)?;
+        }
+        Ok(cur)
+    }
+
+    /// Backward pass through the whole stack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer protocol errors.
+    pub fn backward(&mut self, grad: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Zeroes every layer's gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Visits every parameter/gradient pair in order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Immutable references to the stack's convolutions, in order.
+    pub fn convs(&self) -> Vec<&Conv2d> {
+        self.layers
+            .iter()
+            .filter_map(|l| match l {
+                FeatLayer::Conv(c) => Some(c),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Mutable references to the stack's convolutions, in order.
+    pub fn convs_mut(&mut self) -> Vec<&mut Conv2d> {
+        self.layers
+            .iter_mut()
+            .filter_map(|l| match l {
+                FeatLayer::Conv(c) => Some(c),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A two-layer MLP classifier head: `flatten → fc1 → relu → fc2`.
+#[derive(Debug, Clone)]
+pub struct MlpHead {
+    /// Hidden layer.
+    pub fc1: Linear,
+    /// ReLU between the two layers.
+    pub relu: Relu,
+    /// Output layer (logits).
+    pub fc2: Linear,
+    flat_dims: Option<Vec<usize>>,
+}
+
+impl MlpHead {
+    /// Creates a head for `in_features → hidden → classes`.
+    pub fn new(
+        prefix: &str,
+        in_features: usize,
+        hidden: usize,
+        classes: usize,
+        rng: &mut impl rand::Rng,
+    ) -> Self {
+        MlpHead {
+            fc1: Linear::new(format!("{prefix}.fc1"), in_features, hidden, rng),
+            relu: Relu::new(),
+            fc2: Linear::new(format!("{prefix}.fc2"), hidden, classes, rng),
+            flat_dims: None,
+        }
+    }
+
+    /// Pure inference pass from a feature map to logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FC shape errors.
+    pub fn forward(&self, x: &Tensor<f32>) -> Result<Vec<f32>> {
+        let h = self.fc1.forward(x.as_slice())?;
+        let h = self.relu.forward_vec(&h);
+        self.fc2.forward(&h)
+    }
+
+    /// Caching training pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FC shape errors.
+    pub fn forward_train(&mut self, x: &Tensor<f32>) -> Result<Vec<f32>> {
+        self.flat_dims = Some(x.shape().dims().to_vec());
+        let h = self.fc1.forward_train(x.as_slice())?;
+        let h = self.relu.forward_train_vec(&h);
+        self.fc2.forward_train(&h)
+    }
+
+    /// Backward pass; returns the gradient reshaped to the feature map.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol error without a preceding training pass.
+    pub fn backward(&mut self, grad_logits: &[f32]) -> Result<Tensor<f32>> {
+        let dims = self.flat_dims.take().ok_or_else(|| NnError::Protocol {
+            detail: "mlp head backward without forward_train".into(),
+        })?;
+        let g = self.fc2.backward(grad_logits)?;
+        let g = self.relu.backward_vec(&g)?;
+        let g = self.fc1.backward(&g)?;
+        Ok(Tensor::from_vec(g, &dims)?)
+    }
+
+    /// Zeroes gradients.
+    pub fn zero_grad(&mut self) {
+        self.fc1.zero_grad();
+        self.fc2.zero_grad();
+    }
+
+    /// Visits parameter/gradient pairs.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        f(
+            self.fc1.weights.as_mut_slice(),
+            self.fc1.grad_weights.as_slice(),
+        );
+        f(&mut self.fc1.bias, &self.fc1.grad_bias);
+        f(
+            self.fc2.weights.as_mut_slice(),
+            self.fc2.grad_weights.as_slice(),
+        );
+        f(&mut self.fc2.bias, &self.fc2.grad_bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DenseBackend;
+    use greuse_tensor::ConvSpec;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny_stack(rng: &mut SmallRng) -> FeatStack {
+        let mut s = FeatStack::new();
+        s.push(FeatLayer::Conv(Conv2d::new(
+            "c1",
+            ConvSpec::new(1, 2, 3, 3).with_padding(1),
+            rng,
+        )));
+        s.push(FeatLayer::Relu(Relu::new()));
+        s.push(FeatLayer::Pool(MaxPool2d::new(2)));
+        s
+    }
+
+    #[test]
+    fn stack_forward_shapes() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let stack = tiny_stack(&mut rng);
+        let x = Tensor::from_fn(&[1, 8, 8], |i| (i as f32 * 0.1).sin());
+        let y = stack.forward(&x, &DenseBackend).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 4, 4]);
+    }
+
+    #[test]
+    fn stack_train_matches_inference() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut stack = tiny_stack(&mut rng);
+        let x = Tensor::from_fn(&[1, 8, 8], |i| (i as f32 * 0.1).cos());
+        let a = stack.forward(&x, &DenseBackend).unwrap();
+        let b = stack.forward_train(&x).unwrap();
+        for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((p - q).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn stack_backward_runs_and_accumulates() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut stack = tiny_stack(&mut rng);
+        let x = Tensor::from_fn(&[1, 8, 8], |i| (i as f32 * 0.3).sin());
+        let y = stack.forward_train(&x).unwrap();
+        let dx = stack.backward(&y).unwrap();
+        assert_eq!(dx.shape().dims(), x.shape().dims());
+        let convs = stack.convs();
+        assert!(convs[0].grad_weights.norm_sq() > 0.0);
+    }
+
+    #[test]
+    fn stack_visit_params_counts() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut stack = tiny_stack(&mut rng);
+        let mut count = 0;
+        stack.visit_params(&mut |_, _| count += 1);
+        assert_eq!(count, 2); // conv weights + bias
+    }
+
+    #[test]
+    fn mlp_head_end_to_end_gradient() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut head = MlpHead::new("h", 8, 6, 3, &mut rng);
+        let x = Tensor::from_fn(&[2, 2, 2], |i| (i as f32 * 0.5).sin());
+        let logits = head.forward_train(&x).unwrap();
+        assert_eq!(logits.len(), 3);
+        let g = head.backward(&[1.0, 0.0, -1.0]).unwrap();
+        assert_eq!(g.shape().dims(), &[2, 2, 2]);
+        assert!(head.fc1.grad_weights.norm_sq() > 0.0);
+    }
+
+    #[test]
+    fn mlp_head_inference_matches_train() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut head = MlpHead::new("h", 4, 4, 2, &mut rng);
+        let x = Tensor::from_fn(&[1, 2, 2], |i| i as f32);
+        let a = head.forward(&x).unwrap();
+        let b = head.forward_train(&x).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,14 @@
+//! The DNN models the paper evaluates: CifarNet, ZfNet, SqueezeNet
+//! (vanilla and with bypass) and ResNet-18.
+
+pub mod common;
+
+mod cifarnet;
+mod resnet;
+mod squeezenet;
+mod zfnet;
+
+pub use cifarnet::CifarNet;
+pub use resnet::ResNet18;
+pub use squeezenet::{SqueezeNet, SqueezeNetVariant};
+pub use zfnet::ZfNet;

@@ -1,0 +1,468 @@
+//! ResNet-18 for 64×64 inputs (the paper's §5.3.7 workload:
+//! ImageNet-64×64). Width is configurable so tests can use a narrow
+//! instance while the experiment binaries use the full model.
+
+use rand::Rng;
+
+use greuse_tensor::{ConvSpec, Tensor};
+
+use crate::backend::ConvBackend;
+use crate::layers::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, MaxPool2d, Relu};
+use crate::network::{ConvLayerInfo, Network, TrainableNetwork};
+use crate::{NnError, Result};
+
+/// A residual basic block: two 3×3 convolutions with batch norm and an
+/// identity (or 1×1 projection) shortcut.
+#[derive(Debug, Clone)]
+struct BasicBlock {
+    conv_a: Conv2d,
+    bn_a: BatchNorm2d,
+    relu_a: Relu,
+    conv_b: Conv2d,
+    bn_b: BatchNorm2d,
+    proj: Option<(Conv2d, BatchNorm2d)>,
+    relu_out: Relu,
+    input_hw: (usize, usize),
+}
+
+impl BasicBlock {
+    fn new(
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+        input_hw: (usize, usize),
+        rng: &mut impl Rng,
+    ) -> Self {
+        let conv_a = Conv2d::new(
+            format!("{name}.a"),
+            ConvSpec::new(in_ch, out_ch, 3, 3)
+                .with_stride(stride)
+                .with_padding(1),
+            rng,
+        );
+        let conv_b = Conv2d::new(
+            format!("{name}.b"),
+            ConvSpec::new(out_ch, out_ch, 3, 3).with_padding(1),
+            rng,
+        );
+        let proj = if stride != 1 || in_ch != out_ch {
+            Some((
+                Conv2d::new(
+                    format!("{name}.proj"),
+                    ConvSpec::new(in_ch, out_ch, 1, 1).with_stride(stride),
+                    rng,
+                ),
+                BatchNorm2d::new(out_ch),
+            ))
+        } else {
+            None
+        };
+        BasicBlock {
+            conv_a,
+            bn_a: BatchNorm2d::new(out_ch),
+            relu_a: Relu::new(),
+            conv_b,
+            bn_b: BatchNorm2d::new(out_ch),
+            proj,
+            relu_out: Relu::new(),
+            input_hw,
+        }
+    }
+
+    fn forward(&self, x: &Tensor<f32>, backend: &dyn ConvBackend) -> Result<Tensor<f32>> {
+        let mut main = self.bn_a.forward(&self.conv_a.forward(x, backend)?)?;
+        main = self.relu_a.forward(&main);
+        main = self.bn_b.forward(&self.conv_b.forward(&main, backend)?)?;
+        let skip = match &self.proj {
+            Some((conv, bn)) => bn.forward(&conv.forward(x, backend)?)?,
+            None => x.clone(),
+        };
+        main.add_assign(&skip)?;
+        Ok(self.relu_out.forward(&main))
+    }
+
+    fn forward_train(&mut self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let mut main = self.bn_a.forward_train(&self.conv_a.forward_train(x)?)?;
+        main = self.relu_a.forward_train(&main);
+        main = self
+            .bn_b
+            .forward_train(&self.conv_b.forward_train(&main)?)?;
+        let skip = match &mut self.proj {
+            Some((conv, bn)) => bn.forward_train(&conv.forward_train(x)?)?,
+            None => x.clone(),
+        };
+        main.add_assign(&skip)?;
+        Ok(self.relu_out.forward_train(&main))
+    }
+
+    fn backward(&mut self, grad: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let g = self.relu_out.backward(grad)?;
+        // Main branch.
+        let gm = self.bn_b.backward(&g)?;
+        let gm = self.conv_b.backward(&gm)?;
+        let gm = self.relu_a.backward(&gm)?;
+        let gm = self.bn_a.backward(&gm)?;
+        let mut gx = self.conv_a.backward(&gm)?;
+        // Shortcut branch.
+        let gs = match &mut self.proj {
+            Some((conv, bn)) => {
+                let t = bn.backward(&g)?;
+                conv.backward(&t)?
+            }
+            None => g,
+        };
+        gx.add_assign(&gs)?;
+        Ok(gx)
+    }
+
+    fn zero_grad(&mut self) {
+        self.conv_a.zero_grad();
+        self.bn_a.zero_grad();
+        self.conv_b.zero_grad();
+        self.bn_b.zero_grad();
+        if let Some((conv, bn)) = &mut self.proj {
+            conv.zero_grad();
+            bn.zero_grad();
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        f(
+            self.conv_a.weights.as_mut_slice(),
+            self.conv_a.grad_weights.as_slice(),
+        );
+        f(&mut self.conv_a.bias, &self.conv_a.grad_bias);
+        f(&mut self.bn_a.gamma, &self.bn_a.grad_gamma);
+        f(&mut self.bn_a.beta, &self.bn_a.grad_beta);
+        f(
+            self.conv_b.weights.as_mut_slice(),
+            self.conv_b.grad_weights.as_slice(),
+        );
+        f(&mut self.conv_b.bias, &self.conv_b.grad_bias);
+        f(&mut self.bn_b.gamma, &self.bn_b.grad_gamma);
+        f(&mut self.bn_b.beta, &self.bn_b.grad_beta);
+        if let Some((conv, bn)) = &mut self.proj {
+            f(conv.weights.as_mut_slice(), conv.grad_weights.as_slice());
+            f(&mut conv.bias, &conv.grad_bias);
+            f(&mut bn.gamma, &bn.grad_gamma);
+            f(&mut bn.beta, &bn.grad_beta);
+        }
+    }
+
+    fn convs(&self) -> Vec<&Conv2d> {
+        let mut v = vec![&self.conv_a, &self.conv_b];
+        if let Some((conv, _)) = &self.proj {
+            v.push(conv);
+        }
+        v
+    }
+
+    fn convs_mut(&mut self) -> Vec<&mut Conv2d> {
+        let mut v = vec![&mut self.conv_a, &mut self.conv_b];
+        if let Some((conv, _)) = &mut self.proj {
+            v.push(conv);
+        }
+        v
+    }
+
+    fn layer_infos(&self) -> Vec<ConvLayerInfo> {
+        let mut infos = vec![ConvLayerInfo {
+            name: self.conv_a.name.clone(),
+            spec: self.conv_a.spec,
+            input_hw: self.input_hw,
+        }];
+        let (oh, ow) = self
+            .conv_a
+            .spec
+            .output_hw(self.input_hw.0, self.input_hw.1)
+            .expect("valid block geometry");
+        infos.push(ConvLayerInfo {
+            name: self.conv_b.name.clone(),
+            spec: self.conv_b.spec,
+            input_hw: (oh, ow),
+        });
+        if let Some((conv, _)) = &self.proj {
+            infos.push(ConvLayerInfo {
+                name: conv.name.clone(),
+                spec: conv.spec,
+                input_hw: self.input_hw,
+            });
+        }
+        infos
+    }
+}
+
+/// ResNet-18: `conv1` + four stages of two basic blocks + GAP + FC.
+#[derive(Debug, Clone)]
+pub struct ResNet18 {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: Relu,
+    pool1: MaxPool2d,
+    blocks: Vec<BasicBlock>,
+    gap: GlobalAvgPool,
+    fc: Linear,
+    classes: usize,
+    width: usize,
+}
+
+impl ResNet18 {
+    /// Builds a ResNet-18 with base width `width` (64 for the standard
+    /// model; smaller values give cheap test instances with the same
+    /// structure).
+    pub fn with_width(classes: usize, width: usize, rng: &mut impl Rng) -> Self {
+        let w = width.max(1);
+        let conv1 = Conv2d::new(
+            "conv1",
+            ConvSpec::new(3, w, 7, 7).with_stride(2).with_padding(3),
+            rng,
+        );
+        // 64 -> 32 (conv1) -> 16 (pool).
+        let mut blocks = Vec::new();
+        let stages: [(usize, usize, usize, &str); 4] = [
+            (w, 1, 16, "conv2"),
+            (2 * w, 2, 16, "conv3"),
+            (4 * w, 2, 8, "conv4"),
+            (8 * w, 2, 4, "conv5"),
+        ];
+        let mut in_ch = w;
+        for &(out_ch, stride, hw, name) in &stages {
+            blocks.push(BasicBlock::new(
+                &format!("{name}_1"),
+                in_ch,
+                out_ch,
+                stride,
+                (hw, hw),
+                rng,
+            ));
+            let hw2 = hw / stride;
+            blocks.push(BasicBlock::new(
+                &format!("{name}_2"),
+                out_ch,
+                out_ch,
+                1,
+                (hw2, hw2),
+                rng,
+            ));
+            in_ch = out_ch;
+        }
+        let fc = Linear::new("fc", 8 * w, classes, rng);
+        ResNet18 {
+            conv1,
+            bn1: BatchNorm2d::new(w),
+            relu1: Relu::new(),
+            pool1: MaxPool2d::new(2),
+            blocks,
+            gap: GlobalAvgPool::new(),
+            fc,
+            classes,
+            width: w,
+        }
+    }
+
+    /// The standard width-64 model.
+    pub fn new(classes: usize, rng: &mut impl Rng) -> Self {
+        Self::with_width(classes, 64, rng)
+    }
+
+    /// Base width of this instance.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    fn check_input(&self, x: &Tensor<f32>) -> Result<()> {
+        if x.shape().dims() != self.input_shape() {
+            return Err(NnError::BadInput {
+                expected: "3x64x64 image".into(),
+                actual: x.shape().dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Network for ResNet18 {
+    fn name(&self) -> &str {
+        "resnet18"
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        [3, 64, 64]
+    }
+
+    fn forward(&self, x: &Tensor<f32>, backend: &dyn ConvBackend) -> Result<Vec<f32>> {
+        self.check_input(x)?;
+        let mut cur = self.bn1.forward(&self.conv1.forward(x, backend)?)?;
+        cur = self.pool1.forward(&self.relu1.forward(&cur))?;
+        for block in &self.blocks {
+            cur = block.forward(&cur, backend)?;
+        }
+        let feats = self.gap.forward(&cur)?;
+        self.fc.forward(&feats)
+    }
+
+    fn conv_layers(&self) -> Vec<ConvLayerInfo> {
+        let mut infos = vec![ConvLayerInfo {
+            name: "conv1".into(),
+            spec: self.conv1.spec,
+            input_hw: (64, 64),
+        }];
+        for block in &self.blocks {
+            infos.extend(block.layer_infos());
+        }
+        infos
+    }
+
+    fn convs(&self) -> Vec<&Conv2d> {
+        let mut v = vec![&self.conv1];
+        for block in &self.blocks {
+            v.extend(block.convs());
+        }
+        v
+    }
+
+    fn convs_mut(&mut self) -> Vec<&mut Conv2d> {
+        let mut v = vec![&mut self.conv1];
+        for block in &mut self.blocks {
+            v.extend(block.convs_mut());
+        }
+        v
+    }
+}
+
+impl TrainableNetwork for ResNet18 {
+    fn forward_train(&mut self, x: &Tensor<f32>) -> Result<Vec<f32>> {
+        self.check_input(x)?;
+        let mut cur = self.bn1.forward_train(&self.conv1.forward_train(x)?)?;
+        cur = self.pool1.forward_train(&self.relu1.forward_train(&cur))?;
+        for block in &mut self.blocks {
+            cur = block.forward_train(&cur)?;
+        }
+        let feats = self.gap.forward_train(&cur)?;
+        self.fc.forward_train(&feats)
+    }
+
+    fn backward(&mut self, grad_logits: &[f32]) -> Result<()> {
+        let g = self.fc.backward(grad_logits)?;
+        let mut g = self.gap.backward(&g)?;
+        for block in self.blocks.iter_mut().rev() {
+            g = block.backward(&g)?;
+        }
+        let g = self.pool1.backward(&g)?;
+        let g = self.relu1.backward(&g)?;
+        let g = self.bn1.backward(&g)?;
+        let _ = self.conv1.backward(&g)?;
+        Ok(())
+    }
+
+    fn zero_grad(&mut self) {
+        self.conv1.zero_grad();
+        self.bn1.zero_grad();
+        for block in &mut self.blocks {
+            block.zero_grad();
+        }
+        self.fc.zero_grad();
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        f(
+            self.conv1.weights.as_mut_slice(),
+            self.conv1.grad_weights.as_slice(),
+        );
+        f(&mut self.conv1.bias, &self.conv1.grad_bias);
+        f(&mut self.bn1.gamma, &self.bn1.grad_gamma);
+        f(&mut self.bn1.beta, &self.bn1.grad_beta);
+        for block in &mut self.blocks {
+            block.visit_params(f);
+        }
+        f(
+            self.fc.weights.as_mut_slice(),
+            self.fc.grad_weights.as_slice(),
+        );
+        f(&mut self.fc.bias, &self.fc.grad_bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DenseBackend;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn narrow_resnet_forward() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let net = ResNet18::with_width(10, 8, &mut rng);
+        let x = Tensor::from_fn(&[3, 64, 64], |i| (i as f32 * 0.005).sin());
+        let logits = net.forward(&x, &DenseBackend).unwrap();
+        assert_eq!(logits.len(), 10);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn has_eighteen_weight_layers() {
+        // ResNet-18 counts conv1 + 16 block convs + fc = 18 weight layers
+        // (projections excluded, per convention).
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = ResNet18::with_width(10, 4, &mut rng);
+        let main_convs = net
+            .convs()
+            .iter()
+            .filter(|c| !c.name.ends_with(".proj"))
+            .count();
+        assert_eq!(main_convs + 1, 18); // +1 for the fc layer
+    }
+
+    #[test]
+    fn train_step_accumulates_gradients() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut net = ResNet18::with_width(10, 4, &mut rng);
+        let x = Tensor::from_fn(&[3, 64, 64], |i| (i as f32 * 0.01).cos());
+        let logits = net.forward_train(&x).unwrap();
+        let grad: Vec<f32> = logits.iter().map(|v| v * 0.1 + 0.05).collect();
+        net.backward(&grad).unwrap();
+        for conv in net.convs() {
+            assert!(
+                conv.grad_weights.norm_sq() > 0.0,
+                "no grad at {}",
+                conv.name
+            );
+        }
+    }
+
+    #[test]
+    fn stage_names_match_figure15() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let net = ResNet18::with_width(10, 4, &mut rng);
+        let names: Vec<String> = net.conv_layers().iter().map(|i| i.name.clone()).collect();
+        for want in [
+            "conv1",
+            "conv2_1.a",
+            "conv2_2.b",
+            "conv3_1.a",
+            "conv4_2.b",
+            "conv5_1.proj",
+        ] {
+            assert!(
+                names.iter().any(|n| n == want),
+                "missing {want} in {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_geometry_consistent() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let net = ResNet18::with_width(10, 4, &mut rng);
+        for info in net.conv_layers() {
+            // Every declared layer must have valid geometry.
+            let _ = info.gemm_n();
+        }
+    }
+}

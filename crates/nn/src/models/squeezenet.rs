@@ -1,0 +1,481 @@
+//! SqueezeNet (vanilla and with simple bypass), scaled to 32×32 inputs.
+//!
+//! The Fire modules follow the original design: a 1×1 *squeeze*
+//! convolution followed by parallel 1×1 and 3×3 *expand* convolutions
+//! whose outputs are concatenated. The bypass variant adds identity skip
+//! connections around fire3/fire5/fire7 (the "complex bypass" dimensions
+//! would change channel counts; the paper's second variant uses bypass
+//! connections where input and output channels match).
+
+use rand::Rng;
+
+use greuse_tensor::{ConvSpec, Tensor};
+
+use crate::backend::ConvBackend;
+use crate::layers::{Conv2d, GlobalAvgPool, MaxPool2d, Relu};
+use crate::network::{ConvLayerInfo, Network, TrainableNetwork};
+use crate::{NnError, Result};
+
+/// Which SqueezeNet variant to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqueezeNetVariant {
+    /// No skip connections.
+    Vanilla,
+    /// Identity bypass around fire3, fire5 and fire7.
+    Bypass,
+}
+
+impl SqueezeNetVariant {
+    /// Short name used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SqueezeNetVariant::Vanilla => "squeezenet-vanilla",
+            SqueezeNetVariant::Bypass => "squeezenet-bypass",
+        }
+    }
+}
+
+/// One Fire module.
+#[derive(Debug, Clone)]
+struct Fire {
+    name: String,
+    squeeze: Conv2d,
+    squeeze_relu: Relu,
+    expand1: Conv2d,
+    expand3: Conv2d,
+    out_relu: Relu,
+    /// Channels produced by each expand branch.
+    e_channels: usize,
+    cache_spatial: Option<(usize, usize)>,
+}
+
+impl Fire {
+    fn new(name: &str, in_ch: usize, s_ch: usize, e_ch: usize, rng: &mut impl Rng) -> Self {
+        Fire {
+            name: name.to_string(),
+            squeeze: Conv2d::new(
+                format!("{name}.squeeze1x1"),
+                ConvSpec::new(in_ch, s_ch, 1, 1),
+                rng,
+            ),
+            squeeze_relu: Relu::new(),
+            expand1: Conv2d::new(
+                format!("{name}.expand1x1"),
+                ConvSpec::new(s_ch, e_ch, 1, 1),
+                rng,
+            ),
+            expand3: Conv2d::new(
+                format!("{name}.expand3x3"),
+                ConvSpec::new(s_ch, e_ch, 3, 3).with_padding(1),
+                rng,
+            ),
+            out_relu: Relu::new(),
+            e_channels: e_ch,
+            cache_spatial: None,
+        }
+    }
+
+    fn out_channels(&self) -> usize {
+        2 * self.e_channels
+    }
+
+    fn concat(&self, a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
+        let (h, w) = (a.shape().dims()[1], a.shape().dims()[2]);
+        let mut out = Tensor::zeros(&[self.out_channels(), h, w]);
+        let half = self.e_channels * h * w;
+        out.as_mut_slice()[..half].copy_from_slice(a.as_slice());
+        out.as_mut_slice()[half..].copy_from_slice(b.as_slice());
+        out
+    }
+
+    fn forward(&self, x: &Tensor<f32>, backend: &dyn ConvBackend) -> Result<Tensor<f32>> {
+        let s = self
+            .squeeze_relu
+            .forward(&self.squeeze.forward(x, backend)?);
+        let e1 = self.expand1.forward(&s, backend)?;
+        let e3 = self.expand3.forward(&s, backend)?;
+        Ok(self.out_relu.forward(&self.concat(&e1, &e3)))
+    }
+
+    fn forward_train(&mut self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let pre = self.squeeze.forward_train(x)?;
+        let s = self.squeeze_relu.forward_train(&pre);
+        let e1 = self.expand1.forward_train(&s)?;
+        let e3 = self.expand3.forward_train(&s)?;
+        let dims = e1.shape().dims();
+        self.cache_spatial = Some((dims[1], dims[2]));
+        let cat = self.concat(&e1, &e3);
+        Ok(self.out_relu.forward_train(&cat))
+    }
+
+    fn backward(&mut self, grad: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let (h, w) = self.cache_spatial.take().ok_or_else(|| NnError::Protocol {
+            detail: format!("fire {} backward without forward_train", self.name),
+        })?;
+        let g = self.out_relu.backward(grad)?;
+        let half = self.e_channels * h * w;
+        let g1 = Tensor::from_vec(g.as_slice()[..half].to_vec(), &[self.e_channels, h, w])?;
+        let g3 = Tensor::from_vec(g.as_slice()[half..].to_vec(), &[self.e_channels, h, w])?;
+        let mut ds = self.expand1.backward(&g1)?;
+        ds.add_assign(&self.expand3.backward(&g3)?)?;
+        let ds = self.squeeze_relu.backward(&ds)?;
+        self.squeeze.backward(&ds)
+    }
+
+    fn zero_grad(&mut self) {
+        self.squeeze.zero_grad();
+        self.expand1.zero_grad();
+        self.expand3.zero_grad();
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        for conv in [&mut self.squeeze, &mut self.expand1, &mut self.expand3] {
+            f(conv.weights.as_mut_slice(), conv.grad_weights.as_slice());
+            f(&mut conv.bias, &conv.grad_bias);
+        }
+    }
+
+    fn convs(&self) -> Vec<&Conv2d> {
+        vec![&self.squeeze, &self.expand1, &self.expand3]
+    }
+
+    fn convs_mut(&mut self) -> Vec<&mut Conv2d> {
+        vec![&mut self.squeeze, &mut self.expand1, &mut self.expand3]
+    }
+
+    fn layer_infos(&self, hw: (usize, usize)) -> Vec<ConvLayerInfo> {
+        vec![
+            ConvLayerInfo {
+                name: self.squeeze.name.clone(),
+                spec: self.squeeze.spec,
+                input_hw: hw,
+            },
+            ConvLayerInfo {
+                name: self.expand1.name.clone(),
+                spec: self.expand1.spec,
+                input_hw: hw,
+            },
+            ConvLayerInfo {
+                name: self.expand3.name.clone(),
+                spec: self.expand3.spec,
+                input_hw: hw,
+            },
+        ]
+    }
+}
+
+/// Fire-module channel plan (name, squeeze, expand-per-branch, spatial size).
+const FIRE_PLAN: [(&str, usize, usize, usize); 7] = [
+    ("fire2", 16, 64, 16),
+    ("fire3", 16, 64, 16),
+    ("fire4", 32, 128, 8),
+    ("fire5", 32, 128, 8),
+    ("fire6", 48, 192, 4),
+    ("fire7", 48, 192, 4),
+    ("fire8", 64, 256, 4),
+];
+
+/// SqueezeNet for 32×32×3 inputs with 7 Fire modules and a 1×1
+/// convolutional classifier (`conv10`) followed by global average pooling.
+#[derive(Debug, Clone)]
+pub struct SqueezeNet {
+    variant: SqueezeNetVariant,
+    conv1: Conv2d,
+    relu1: Relu,
+    pool1: MaxPool2d,
+    fires: Vec<Fire>,
+    pools_after: Vec<Option<MaxPool2d>>,
+    conv10: Conv2d,
+    gap: GlobalAvgPool,
+    classes: usize,
+    bypass_cache: Vec<bool>,
+}
+
+impl SqueezeNet {
+    /// Creates a randomly initialized SqueezeNet.
+    pub fn new(variant: SqueezeNetVariant, classes: usize, rng: &mut impl Rng) -> Self {
+        let conv1 = Conv2d::new("conv1", ConvSpec::new(3, 64, 3, 3).with_padding(1), rng);
+        let mut fires = Vec::new();
+        let mut in_ch = 64;
+        for &(name, s, e, _) in &FIRE_PLAN {
+            fires.push(Fire::new(name, in_ch, s, e, rng));
+            in_ch = 2 * e;
+        }
+        // Max pools after fire3 and fire5 (spatial 16 -> 8 -> 4).
+        let pools_after = FIRE_PLAN
+            .iter()
+            .map(|&(name, ..)| {
+                if name == "fire3" || name == "fire5" {
+                    Some(MaxPool2d::new(2))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let conv10 = Conv2d::new("conv10", ConvSpec::new(512, classes, 1, 1), rng);
+        SqueezeNet {
+            variant,
+            conv1,
+            relu1: Relu::new(),
+            pool1: MaxPool2d::new(2),
+            fires,
+            pools_after,
+            conv10,
+            gap: GlobalAvgPool::new(),
+            classes,
+            bypass_cache: Vec::new(),
+        }
+    }
+
+    /// The variant this instance was built with.
+    pub fn variant(&self) -> SqueezeNetVariant {
+        self.variant
+    }
+
+    fn has_bypass(&self, fire_idx: usize) -> bool {
+        // fire3 (idx 1), fire5 (idx 3), fire7 (idx 5): in == out channels.
+        self.variant == SqueezeNetVariant::Bypass && matches!(fire_idx, 1 | 3 | 5)
+    }
+
+    fn check_input(&self, x: &Tensor<f32>) -> Result<()> {
+        if x.shape().dims() != self.input_shape() {
+            return Err(NnError::BadInput {
+                expected: "3x32x32 image".into(),
+                actual: x.shape().dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Network for SqueezeNet {
+    fn name(&self) -> &str {
+        self.variant.label()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        [3, 32, 32]
+    }
+
+    fn forward(&self, x: &Tensor<f32>, backend: &dyn ConvBackend) -> Result<Vec<f32>> {
+        self.check_input(x)?;
+        let mut cur = self
+            .pool1
+            .forward(&self.relu1.forward(&self.conv1.forward(x, backend)?))?;
+        for (i, fire) in self.fires.iter().enumerate() {
+            let mut out = fire.forward(&cur, backend)?;
+            if self.has_bypass(i) {
+                out.add_assign(&cur)?;
+            }
+            cur = out;
+            if let Some(pool) = &self.pools_after[i] {
+                cur = pool.forward(&cur)?;
+            }
+        }
+        // No ReLU before GAP: signed class scores train far better at
+        // small data scales (the original's final ReLU is an ImageNet-
+        // scale detail irrelevant to the reuse evaluation).
+        let scores = self.conv10.forward(&cur, backend)?;
+        self.gap.forward(&scores)
+    }
+
+    fn conv_layers(&self) -> Vec<ConvLayerInfo> {
+        let mut infos = vec![ConvLayerInfo {
+            name: "conv1".into(),
+            spec: self.conv1.spec,
+            input_hw: (32, 32),
+        }];
+        for (fire, &(_, _, _, hw)) in self.fires.iter().zip(FIRE_PLAN.iter()) {
+            infos.extend(fire.layer_infos((hw, hw)));
+        }
+        infos.push(ConvLayerInfo {
+            name: "conv10".into(),
+            spec: self.conv10.spec,
+            input_hw: (4, 4),
+        });
+        infos
+    }
+
+    fn convs(&self) -> Vec<&Conv2d> {
+        let mut v = vec![&self.conv1];
+        for fire in &self.fires {
+            v.extend(fire.convs());
+        }
+        v.push(&self.conv10);
+        v
+    }
+
+    fn convs_mut(&mut self) -> Vec<&mut Conv2d> {
+        let mut v = vec![&mut self.conv1];
+        for fire in &mut self.fires {
+            v.extend(fire.convs_mut());
+        }
+        v.push(&mut self.conv10);
+        v
+    }
+}
+
+impl TrainableNetwork for SqueezeNet {
+    fn forward_train(&mut self, x: &Tensor<f32>) -> Result<Vec<f32>> {
+        self.check_input(x)?;
+        self.bypass_cache.clear();
+        let c1 = self.conv1.forward_train(x)?;
+        let mut cur = self.pool1.forward_train(&self.relu1.forward_train(&c1))?;
+        for i in 0..self.fires.len() {
+            let bypass = self.has_bypass(i);
+            self.bypass_cache.push(bypass);
+            let mut out = self.fires[i].forward_train(&cur)?;
+            if bypass {
+                out.add_assign(&cur)?;
+            }
+            cur = out;
+            if let Some(pool) = &mut self.pools_after[i] {
+                cur = pool.forward_train(&cur)?;
+            }
+        }
+        let scores = self.conv10.forward_train(&cur)?;
+        self.gap.forward_train(&scores)
+    }
+
+    fn backward(&mut self, grad_logits: &[f32]) -> Result<()> {
+        let g = self.gap.backward(grad_logits)?;
+        let mut g = self.conv10.backward(&g)?;
+        for i in (0..self.fires.len()).rev() {
+            if let Some(pool) = &mut self.pools_after[i] {
+                g = pool.backward(&g)?;
+            }
+            let fire_g = self.fires[i].backward(&g)?;
+            if *self.bypass_cache.get(i).unwrap_or(&false) {
+                // Identity bypass: gradient flows both through the fire
+                // module and directly.
+                let mut combined = fire_g;
+                combined.add_assign(&g)?;
+                g = combined;
+            } else {
+                g = fire_g;
+            }
+        }
+        let g = self.pool1.backward(&g)?;
+        let g = self.relu1.backward(&g)?;
+        let _ = self.conv1.backward(&g)?;
+        Ok(())
+    }
+
+    fn zero_grad(&mut self) {
+        self.conv1.zero_grad();
+        for fire in &mut self.fires {
+            fire.zero_grad();
+        }
+        self.conv10.zero_grad();
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        f(
+            self.conv1.weights.as_mut_slice(),
+            self.conv1.grad_weights.as_slice(),
+        );
+        f(&mut self.conv1.bias, &self.conv1.grad_bias);
+        for fire in &mut self.fires {
+            fire.visit_params(f);
+        }
+        f(
+            self.conv10.weights.as_mut_slice(),
+            self.conv10.grad_weights.as_slice(),
+        );
+        f(&mut self.conv10.bias, &self.conv10.grad_bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DenseBackend;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expand3x3_dims_match_paper_table1c() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let net = SqueezeNet::new(SqueezeNetVariant::Vanilla, 10, &mut rng);
+        let infos = net.conv_layers();
+        let find = |name: &str| {
+            infos
+                .iter()
+                .find(|i| i.name == name)
+                .unwrap_or_else(|| panic!("missing layer {name}"))
+                .clone()
+        };
+        // Paper's Fire2/Fire3 expand_3x3: K = 144, M = 64.
+        assert_eq!(find("fire2.expand3x3").gemm_k(), 144);
+        assert_eq!(find("fire2.expand3x3").gemm_m(), 64);
+        // Fire5: K = 288, M = 128; Fire7: K = 432, M = 192.
+        assert_eq!(find("fire5.expand3x3").gemm_k(), 288);
+        assert_eq!(find("fire5.expand3x3").gemm_m(), 128);
+        assert_eq!(find("fire7.expand3x3").gemm_k(), 432);
+        assert_eq!(find("fire7.expand3x3").gemm_m(), 192);
+    }
+
+    #[test]
+    fn vanilla_forward_shapes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = SqueezeNet::new(SqueezeNetVariant::Vanilla, 10, &mut rng);
+        let x = Tensor::from_fn(&[3, 32, 32], |i| (i as f32 * 0.01).sin());
+        let logits = net.forward(&x, &DenseBackend).unwrap();
+        assert_eq!(logits.len(), 10);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn bypass_changes_output() {
+        let mut rng1 = SmallRng::seed_from_u64(2);
+        let mut rng2 = SmallRng::seed_from_u64(2);
+        let vanilla = SqueezeNet::new(SqueezeNetVariant::Vanilla, 10, &mut rng1);
+        let bypass = SqueezeNet::new(SqueezeNetVariant::Bypass, 10, &mut rng2);
+        let x = Tensor::from_fn(&[3, 32, 32], |i| (i as f32 * 0.02).cos());
+        let a = vanilla.forward(&x, &DenseBackend).unwrap();
+        let b = bypass.forward(&x, &DenseBackend).unwrap();
+        assert_ne!(a, b, "bypass must alter the computation");
+    }
+
+    #[test]
+    fn train_and_infer_agree() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut net = SqueezeNet::new(SqueezeNetVariant::Bypass, 10, &mut rng);
+        let x = Tensor::from_fn(&[3, 32, 32], |i| (i as f32 * 0.015).sin());
+        let a = net.forward(&x, &DenseBackend).unwrap();
+        let b = net.forward_train(&x).unwrap();
+        for (p, q) in a.iter().zip(b.iter()) {
+            assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn backward_accumulates_everywhere() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut net = SqueezeNet::new(SqueezeNetVariant::Bypass, 10, &mut rng);
+        let x = Tensor::from_fn(&[3, 32, 32], |i| (i as f32 * 0.02).sin());
+        let logits = net.forward_train(&x).unwrap();
+        let grad: Vec<f32> = logits.iter().map(|v| v * 0.1 + 0.01).collect();
+        net.backward(&grad).unwrap();
+        for conv in net.convs() {
+            assert!(
+                conv.grad_weights.norm_sq() > 0.0,
+                "no gradient reached {}",
+                conv.name
+            );
+        }
+    }
+
+    #[test]
+    fn conv_count() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let net = SqueezeNet::new(SqueezeNetVariant::Vanilla, 10, &mut rng);
+        // conv1 + 7 fires x 3 + conv10 = 23.
+        assert_eq!(net.convs().len(), 23);
+        assert_eq!(net.conv_layers().len(), 23);
+    }
+}

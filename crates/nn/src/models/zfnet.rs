@@ -1,0 +1,185 @@
+//! ZfNet (Zeiler–Fergus), truncated to its two large early convolutions as
+//! evaluated by the paper's Table 1(b): `conv1` with K = 147 (3·7·7),
+//! M = 96, stride 2, and `conv2` with K = 2400 (96·5·5), M = 256 — adapted
+//! to 32×32 inputs as is standard for CIFAR-scale deployments on MCUs.
+
+use rand::Rng;
+
+use greuse_tensor::{ConvSpec, Tensor};
+
+use crate::backend::ConvBackend;
+use crate::layers::{Conv2d, MaxPool2d, Relu};
+use crate::models::common::{FeatLayer, FeatStack, MlpHead};
+use crate::network::{ConvLayerInfo, Network, TrainableNetwork};
+use crate::{NnError, Result};
+
+/// ZfNet for 32×32×3 inputs.
+#[derive(Debug, Clone)]
+pub struct ZfNet {
+    features: FeatStack,
+    head: MlpHead,
+    classes: usize,
+}
+
+impl ZfNet {
+    /// Geometry of `conv1` (K = 147, M = 96).
+    pub fn conv1_spec() -> ConvSpec {
+        ConvSpec::new(3, 96, 7, 7).with_stride(2).with_padding(3)
+    }
+
+    /// Geometry of `conv2` (K = 2400, M = 256).
+    pub fn conv2_spec() -> ConvSpec {
+        ConvSpec::new(96, 256, 5, 5).with_padding(2)
+    }
+
+    /// Creates a randomly initialized ZfNet.
+    pub fn new(classes: usize, rng: &mut impl Rng) -> Self {
+        let mut features = FeatStack::new();
+        features.push(FeatLayer::Conv(Conv2d::new(
+            "conv1",
+            Self::conv1_spec(),
+            rng,
+        )));
+        features.push(FeatLayer::Relu(Relu::new()));
+        features.push(FeatLayer::Pool(MaxPool2d::new(2)));
+        features.push(FeatLayer::Conv(Conv2d::new(
+            "conv2",
+            Self::conv2_spec(),
+            rng,
+        )));
+        features.push(FeatLayer::Relu(Relu::new()));
+        features.push(FeatLayer::Pool(MaxPool2d::new(2)));
+        // conv1: 32 -> 17 (stride 2, pad 3); pool -> 8; conv2 keeps 8; pool -> 4.
+        let head = MlpHead::new("zfnet", 256 * 4 * 4, 256, classes, rng);
+        ZfNet {
+            features,
+            head,
+            classes,
+        }
+    }
+
+    fn check_input(&self, x: &Tensor<f32>) -> Result<()> {
+        if x.shape().dims() != self.input_shape() {
+            return Err(NnError::BadInput {
+                expected: "3x32x32 image".into(),
+                actual: x.shape().dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Network for ZfNet {
+    fn name(&self) -> &str {
+        "zfnet"
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        [3, 32, 32]
+    }
+
+    fn forward(&self, x: &Tensor<f32>, backend: &dyn ConvBackend) -> Result<Vec<f32>> {
+        self.check_input(x)?;
+        let feat = self.features.forward(x, backend)?;
+        self.head.forward(&feat)
+    }
+
+    fn conv_layers(&self) -> Vec<ConvLayerInfo> {
+        vec![
+            ConvLayerInfo {
+                name: "conv1".into(),
+                spec: Self::conv1_spec(),
+                input_hw: (32, 32),
+            },
+            ConvLayerInfo {
+                name: "conv2".into(),
+                spec: Self::conv2_spec(),
+                input_hw: (8, 8),
+            },
+        ]
+    }
+
+    fn convs(&self) -> Vec<&Conv2d> {
+        self.features.convs()
+    }
+
+    fn convs_mut(&mut self) -> Vec<&mut Conv2d> {
+        self.features.convs_mut()
+    }
+}
+
+impl TrainableNetwork for ZfNet {
+    fn forward_train(&mut self, x: &Tensor<f32>) -> Result<Vec<f32>> {
+        self.check_input(x)?;
+        let feat = self.features.forward_train(x)?;
+        self.head.forward_train(&feat)
+    }
+
+    fn backward(&mut self, grad_logits: &[f32]) -> Result<()> {
+        let g = self.head.backward(grad_logits)?;
+        let _ = self.features.backward(&g)?;
+        Ok(())
+    }
+
+    fn zero_grad(&mut self) {
+        self.features.zero_grad();
+        self.head.zero_grad();
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        self.features.visit_params(f);
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{DenseBackend, RecordingBackend};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_table1b_dims() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let net = ZfNet::new(10, &mut rng);
+        let infos = net.conv_layers();
+        assert_eq!(infos[0].gemm_k(), 147);
+        assert_eq!(infos[0].gemm_m(), 96);
+        assert_eq!(infos[1].gemm_k(), 2400);
+        assert_eq!(infos[1].gemm_m(), 256);
+    }
+
+    #[test]
+    fn forward_and_record() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = ZfNet::new(10, &mut rng);
+        let rec = RecordingBackend::new();
+        let x = Tensor::from_fn(&[3, 32, 32], |i| (i as f32 * 0.01).sin());
+        let logits = net.forward(&x, &rec).unwrap();
+        assert_eq!(logits.len(), 10);
+        let calls = rec.calls();
+        let infos = net.conv_layers();
+        assert_eq!(calls.len(), 2);
+        for (call, info) in calls.iter().zip(infos.iter()) {
+            assert_eq!(call.n, info.gemm_n(), "layer {}", call.layer);
+        }
+    }
+
+    #[test]
+    fn train_step_runs() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut net = ZfNet::new(10, &mut rng);
+        let x = Tensor::from_fn(&[3, 32, 32], |i| (i as f32 * 0.03).cos());
+        let logits = net.forward_train(&x).unwrap();
+        let grad: Vec<f32> = logits.iter().map(|_| 0.1).collect();
+        net.backward(&grad).unwrap();
+        let convs = net.convs();
+        assert!(convs[0].grad_weights.norm_sq() > 0.0);
+        let _ = net.forward(&x, &DenseBackend).unwrap();
+    }
+}

@@ -1,0 +1,134 @@
+//! The [`Network`] and [`TrainableNetwork`] traits every model implements.
+
+use greuse_tensor::{ConvSpec, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::backend::ConvBackend;
+use crate::layers::Conv2d;
+use crate::Result;
+
+/// Static description of one convolution layer: everything the reuse
+/// pattern-selection workflow and the MCU latency model need to reason
+/// about the layer without running it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvLayerInfo {
+    /// Layer name (matches the name passed to [`ConvBackend::conv_gemm`]).
+    pub name: String,
+    /// Convolution geometry.
+    pub spec: ConvSpec,
+    /// Spatial size of this layer's input feature map.
+    pub input_hw: (usize, usize),
+}
+
+impl ConvLayerInfo {
+    /// Rows of this layer's im2col matrix (`N` = output positions).
+    pub fn gemm_n(&self) -> usize {
+        let (oh, ow) = self
+            .spec
+            .output_hw(self.input_hw.0, self.input_hw.1)
+            .expect("ConvLayerInfo holds valid geometry");
+        oh * ow
+    }
+
+    /// Columns of this layer's im2col matrix (`K = D_in`).
+    pub fn gemm_k(&self) -> usize {
+        self.spec.patch_len()
+    }
+
+    /// Output channels (`M = D_out`).
+    pub fn gemm_m(&self) -> usize {
+        self.spec.out_channels
+    }
+}
+
+/// An inference-capable model.
+///
+/// `forward` is pure so a shared model can be evaluated concurrently from
+/// several threads (the selection workflow scores many reuse patterns
+/// against one trained model).
+pub trait Network: Send + Sync {
+    /// Model name (e.g. `"cifarnet"`).
+    fn name(&self) -> &str;
+
+    /// Number of output classes.
+    fn num_classes(&self) -> usize;
+
+    /// Expected input shape `(C, H, W)`.
+    fn input_shape(&self) -> [usize; 3];
+
+    /// Computes class logits for one image, routing every convolution
+    /// through `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for malformed inputs.
+    fn forward(&self, x: &Tensor<f32>, backend: &dyn ConvBackend) -> Result<Vec<f32>>;
+
+    /// Static descriptions of all convolution layers, in execution order.
+    fn conv_layers(&self) -> Vec<ConvLayerInfo>;
+
+    /// Immutable references to all convolution layers, in execution order.
+    fn convs(&self) -> Vec<&Conv2d>;
+
+    /// Mutable references to all convolution layers, in execution order
+    /// (used by quantization and pruning passes).
+    fn convs_mut(&mut self) -> Vec<&mut Conv2d>;
+}
+
+/// A model that can be trained with backprop + SGD.
+pub trait TrainableNetwork: Network {
+    /// Caching forward pass for one image; returns logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for malformed inputs.
+    fn forward_train(&mut self, x: &Tensor<f32>) -> Result<Vec<f32>>;
+
+    /// Straight-through training pass: convolutions execute through
+    /// `backend` (so the network trains *under* reuse approximation, as
+    /// TREC's learned setup does) while gradients flow through the exact
+    /// cached operands. The default ignores the backend (dense training);
+    /// models override it to support reuse-aware fine-tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for malformed inputs.
+    fn forward_train_with(
+        &mut self,
+        x: &Tensor<f32>,
+        backend: &dyn ConvBackend,
+    ) -> Result<Vec<f32>> {
+        let _ = backend;
+        self.forward_train(x)
+    }
+
+    /// Backpropagates a logit gradient, accumulating parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol error when called without a forward pass.
+    fn backward(&mut self, grad_logits: &[f32]) -> Result<()>;
+
+    /// Zeroes all accumulated gradients.
+    fn zero_grad(&mut self);
+
+    /// Visits every `(parameters, gradients)` pair in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_layer_info_gemm_dims() {
+        let info = ConvLayerInfo {
+            name: "conv1".into(),
+            spec: ConvSpec::new(3, 64, 5, 5).with_padding(2),
+            input_hw: (32, 32),
+        };
+        assert_eq!(info.gemm_n(), 1024);
+        assert_eq!(info.gemm_k(), 75);
+        assert_eq!(info.gemm_m(), 64);
+    }
+}

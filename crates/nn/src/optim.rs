@@ -1,0 +1,256 @@
+//! SGD with momentum and weight decay, plus the paper's step learning-rate
+//! schedule (start at `lr0`, multiply by 0.1 every `step_epochs`; §5.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::TrainableNetwork;
+use crate::{NnError, Result};
+
+/// SGD hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SgdConfig {
+    /// Initial learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (paper: 0.95).
+    pub momentum: f32,
+    /// L2 weight decay (paper: 1e-4).
+    pub weight_decay: f32,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        // The paper's training setup (§5.1).
+        SgdConfig {
+            lr: 0.001,
+            momentum: 0.95,
+            weight_decay: 1e-4,
+        }
+    }
+}
+
+/// Step learning-rate schedule: `lr0 * decay^(epoch / step_epochs)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LrSchedule {
+    /// Initial learning rate.
+    pub lr0: f32,
+    /// Multiplicative decay applied every `step_epochs`.
+    pub decay: f32,
+    /// Epoch interval between decays (paper: 15).
+    pub step_epochs: usize,
+}
+
+impl LrSchedule {
+    /// The paper's schedule: start 0.001, ×0.1 every 15 epochs.
+    pub fn paper_default() -> Self {
+        LrSchedule {
+            lr0: 0.001,
+            decay: 0.1,
+            step_epochs: 15,
+        }
+    }
+
+    /// Learning rate at a given (0-based) epoch.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        self.lr0 * self.decay.powi((epoch / self.step_epochs.max(1)) as i32)
+    }
+}
+
+/// Stochastic gradient descent with momentum.
+///
+/// Velocity buffers are allocated lazily on the first step and matched to
+/// parameters by visitation order, which [`TrainableNetwork::visit_params`]
+/// guarantees to be stable.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    config: SgdConfig,
+    velocities: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an optimizer.
+    pub fn new(config: SgdConfig) -> Self {
+        Sgd {
+            config,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SgdConfig {
+        &self.config
+    }
+
+    /// Applies one update with the given learning rate and clears nothing —
+    /// call [`TrainableNetwork::zero_grad`] afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if a parameter tensor changed
+    /// size between steps (network structure must be static during
+    /// optimization).
+    pub fn step(&mut self, net: &mut dyn TrainableNetwork, lr: f32) -> Result<()> {
+        let mut idx = 0usize;
+        let mut err: Option<NnError> = None;
+        let cfg = self.config;
+        let velocities = &mut self.velocities;
+        net.visit_params(&mut |params, grads| {
+            if err.is_some() {
+                return;
+            }
+            if idx == velocities.len() {
+                velocities.push(vec![0.0; params.len()]);
+            }
+            let v = &mut velocities[idx];
+            if v.len() != params.len() {
+                err = Some(NnError::InvalidConfig {
+                    detail: format!(
+                        "parameter {idx} changed size ({} -> {})",
+                        v.len(),
+                        params.len()
+                    ),
+                });
+                return;
+            }
+            for i in 0..params.len() {
+                let g = grads[i] + cfg.weight_decay * params[i];
+                v[i] = cfg.momentum * v[i] + g;
+                params[i] -= lr * v[i];
+            }
+            idx += 1;
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ConvBackend;
+    use crate::network::{ConvLayerInfo, Network, TrainableNetwork};
+    use greuse_tensor::Tensor;
+
+    /// A 1-parameter quadratic "network" for optimizer tests:
+    /// L(w) = 0.5 w², so dL/dw = w.
+    struct Quad {
+        w: Vec<f32>,
+        g: Vec<f32>,
+    }
+
+    impl Network for Quad {
+        fn name(&self) -> &str {
+            "quad"
+        }
+        fn num_classes(&self) -> usize {
+            1
+        }
+        fn input_shape(&self) -> [usize; 3] {
+            [1, 1, 1]
+        }
+        fn forward(&self, _x: &Tensor<f32>, _b: &dyn ConvBackend) -> crate::Result<Vec<f32>> {
+            Ok(vec![self.w[0]])
+        }
+        fn conv_layers(&self) -> Vec<ConvLayerInfo> {
+            Vec::new()
+        }
+        fn convs(&self) -> Vec<&crate::layers::Conv2d> {
+            Vec::new()
+        }
+        fn convs_mut(&mut self) -> Vec<&mut crate::layers::Conv2d> {
+            Vec::new()
+        }
+    }
+
+    impl TrainableNetwork for Quad {
+        fn forward_train(&mut self, _x: &Tensor<f32>) -> crate::Result<Vec<f32>> {
+            Ok(vec![self.w[0]])
+        }
+        fn backward(&mut self, grad: &[f32]) -> crate::Result<()> {
+            self.g[0] += grad[0];
+            Ok(())
+        }
+        fn zero_grad(&mut self) {
+            self.g[0] = 0.0;
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+            f(&mut self.w, &self.g);
+        }
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut net = Quad {
+            w: vec![1.0],
+            g: vec![0.0],
+        };
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        });
+        for _ in 0..50 {
+            net.zero_grad();
+            let w = net.w[0];
+            net.backward(&[w]).unwrap();
+            opt.step(&mut net, 0.1).unwrap();
+        }
+        assert!(net.w[0].abs() < 1e-2, "w = {}", net.w[0]);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |momentum: f32| -> f32 {
+            let mut net = Quad {
+                w: vec![1.0],
+                g: vec![0.0],
+            };
+            let mut opt = Sgd::new(SgdConfig {
+                lr: 0.02,
+                momentum,
+                weight_decay: 0.0,
+            });
+            for _ in 0..20 {
+                net.zero_grad();
+                let w = net.w[0];
+                net.backward(&[w]).unwrap();
+                opt.step(&mut net, 0.02).unwrap();
+            }
+            net.w[0].abs()
+        };
+        assert!(run(0.9) < run(0.0), "momentum should converge faster here");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut net = Quad {
+            w: vec![1.0],
+            g: vec![0.0],
+        };
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.5,
+        });
+        // Zero gradient: only decay acts.
+        opt.step(&mut net, 0.1).unwrap();
+        assert!(net.w[0] < 1.0);
+    }
+
+    #[test]
+    fn lr_schedule_steps() {
+        let s = LrSchedule::paper_default();
+        assert!((s.lr_at(0) - 0.001).abs() < 1e-9);
+        assert!((s.lr_at(14) - 0.001).abs() < 1e-9);
+        assert!((s.lr_at(15) - 0.0001).abs() < 1e-9);
+        assert!((s.lr_at(30) - 0.00001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = SgdConfig::default();
+        assert_eq!(c.momentum, 0.95);
+        assert_eq!(c.weight_decay, 1e-4);
+    }
+}

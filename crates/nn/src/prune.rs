@@ -1,0 +1,149 @@
+//! Structured channel pruning (the "CP" of the paper's Table 5).
+//!
+//! Filters are ranked by the L1 norm of their weights; the lowest-norm
+//! fraction is zeroed. Zeroing (rather than removing) keeps tensor shapes
+//! stable — the FLOPs counter and the MCU latency model treat zeroed
+//! output channels as skipped, which models the compacted deployed network.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layers::Conv2d;
+use crate::network::Network;
+use crate::{NnError, Result};
+
+/// Summary of one pruning pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PruneReport {
+    /// Per-layer `(name, pruned_channels, total_channels)`.
+    pub per_layer: Vec<(String, usize, usize)>,
+}
+
+impl PruneReport {
+    /// Total channels pruned across layers.
+    pub fn total_pruned(&self) -> usize {
+        self.per_layer.iter().map(|(_, p, _)| p).sum()
+    }
+}
+
+/// Zeroes the `1 - keep_fraction` lowest-L1-norm output channels of every
+/// convolution except the final classifier (a conv with as many outputs as
+/// the model has classes is left untouched).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] when `keep_fraction` is outside
+/// `(0, 1]`.
+pub fn prune_channels(net: &mut dyn Network, keep_fraction: f32) -> Result<PruneReport> {
+    if !(keep_fraction > 0.0 && keep_fraction <= 1.0) {
+        return Err(NnError::InvalidConfig {
+            detail: format!("keep_fraction must be in (0, 1], got {keep_fraction}"),
+        });
+    }
+    let classes = net.num_classes();
+    let mut per_layer = Vec::new();
+    for conv in net.convs_mut() {
+        if conv.spec.out_channels == classes {
+            per_layer.push((conv.name.clone(), 0, conv.spec.out_channels));
+            continue;
+        }
+        let pruned = prune_conv(conv, keep_fraction);
+        per_layer.push((conv.name.clone(), pruned, conv.spec.out_channels));
+    }
+    Ok(PruneReport { per_layer })
+}
+
+/// Prunes one convolution; returns the number of channels zeroed.
+fn prune_conv(conv: &mut Conv2d, keep_fraction: f32) -> usize {
+    let m = conv.spec.out_channels;
+    let keep = ((m as f32 * keep_fraction).ceil() as usize).clamp(1, m);
+    let drop = m - keep;
+    if drop == 0 {
+        return 0;
+    }
+    let mut norms: Vec<(usize, f32)> = (0..m)
+        .map(|ch| {
+            (
+                ch,
+                conv.weights.row(ch).iter().map(|v| v.abs()).sum::<f32>(),
+            )
+        })
+        .collect();
+    norms.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for &(ch, _) in norms.iter().take(drop) {
+        for v in conv.weights.row_mut(ch) {
+            *v = 0.0;
+        }
+        conv.bias[ch] = 0.0;
+    }
+    drop
+}
+
+/// Number of output channels of `conv` that are entirely zero (treated as
+/// removed by the FLOPs counter and the latency model).
+pub fn zeroed_channels(conv: &Conv2d) -> usize {
+    (0..conv.spec.out_channels)
+        .filter(|&ch| conv.weights.row(ch).iter().all(|&v| v == 0.0))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::CifarNet;
+    use greuse_tensor::ConvSpec;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prunes_lowest_norm_channels() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut conv = Conv2d::new("c", ConvSpec::new(1, 4, 1, 1), &mut rng);
+        conv.weights = greuse_tensor::Tensor::from_vec(vec![0.1, 5.0, 0.2, 3.0], &[4, 1]).unwrap();
+        let dropped = prune_conv(&mut conv, 0.5);
+        assert_eq!(dropped, 2);
+        // Channels 0 and 2 (norms 0.1 and 0.2) must be zeroed.
+        assert_eq!(conv.weights.row(0), &[0.0]);
+        assert_eq!(conv.weights.row(2), &[0.0]);
+        assert_eq!(conv.weights.row(1), &[5.0]);
+        assert_eq!(zeroed_channels(&conv), 2);
+    }
+
+    #[test]
+    fn network_prune_skips_classifier() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut net = CifarNet::new(64, &mut rng); // classes == conv channels
+        let report = prune_channels(&mut net, 0.5).unwrap();
+        // Both convs have 64 output channels == classes, so nothing pruned.
+        assert_eq!(report.total_pruned(), 0);
+    }
+
+    #[test]
+    fn network_prune_reports() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut net = CifarNet::new(10, &mut rng);
+        let report = prune_channels(&mut net, 0.75).unwrap();
+        assert_eq!(report.per_layer.len(), 2);
+        assert_eq!(report.total_pruned(), 32); // 16 per 64-channel conv
+        for conv in net.convs() {
+            assert_eq!(zeroed_channels(conv), 16);
+        }
+    }
+
+    #[test]
+    fn keep_fraction_validated() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut net = CifarNet::new(10, &mut rng);
+        assert!(prune_channels(&mut net, 0.0).is_err());
+        assert!(prune_channels(&mut net, 1.5).is_err());
+        assert!(prune_channels(&mut net, 1.0).is_ok());
+    }
+
+    #[test]
+    fn keep_all_is_noop() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut conv = Conv2d::new("c", ConvSpec::new(2, 8, 3, 3), &mut rng);
+        let before = conv.weights.clone();
+        assert_eq!(prune_conv(&mut conv, 1.0), 0);
+        assert_eq!(conv.weights, before);
+    }
+}

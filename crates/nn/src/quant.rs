@@ -1,0 +1,281 @@
+//! Model quantization, mirroring the paper's two schemes:
+//!
+//! * **Fixed-point Q7** (§5.1): weights stored as 8-bit fixed point, the
+//!   CMSIS-NN default. We quantize-and-dequantize weights in place
+//!   ("simulated quantization"), so the accuracy impact is real while the
+//!   arithmetic stays `f32`; the MCU cost model independently charges
+//!   8/16-bit SIMD cycle costs.
+//! * **INT8 linear** (§5.3.8): affine quantization of weights *and*
+//!   activations; activation quantization is applied at the im2col matrix
+//!   via a decorating [`ConvBackend`].
+
+use greuse_tensor::{
+    dequantize_linear, gemm_q7_acc, quantize_linear, ConvSpec, LinearQuantParams, Tensor,
+    TensorError, Q7,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::backend::ConvBackend;
+use crate::network::Network;
+use crate::Result;
+
+/// Which quantization scheme to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QuantMode {
+    /// Fixed-point Q7 weights (per-layer fractional bits).
+    FixedPointQ7,
+    /// INT8 linear (affine) weights.
+    Int8Linear,
+}
+
+/// Per-layer record of the quantization applied.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerQuantInfo {
+    /// Layer name.
+    pub layer: String,
+    /// Scheme applied.
+    pub mode: QuantMode,
+    /// Mean absolute weight error introduced.
+    pub mean_abs_error: f32,
+}
+
+/// Quantizes every convolution's weights in place (round-trip through the
+/// 8-bit representation) and returns per-layer error statistics.
+///
+/// # Errors
+///
+/// Propagates quantization-parameter errors (e.g. an all-zero layer under
+/// INT8 linear gets a degenerate range and is left untouched instead).
+pub fn quantize_weights(net: &mut dyn Network, mode: QuantMode) -> Result<Vec<LayerQuantInfo>> {
+    let mut infos = Vec::new();
+    for conv in net.convs_mut() {
+        let absmax = conv
+            .weights
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |acc, v| acc.max(v.abs()));
+        if absmax == 0.0 {
+            infos.push(LayerQuantInfo {
+                layer: conv.name.clone(),
+                mode,
+                mean_abs_error: 0.0,
+            });
+            continue;
+        }
+        let before = conv.weights.clone();
+        match mode {
+            QuantMode::FixedPointQ7 => {
+                let fmt = Q7::fitting(absmax);
+                conv.weights = fmt.dequantize_tensor(&fmt.quantize_tensor(&conv.weights));
+            }
+            QuantMode::Int8Linear => {
+                let params = LinearQuantParams::symmetric(absmax).map_err(crate::NnError::from)?;
+                conv.weights = dequantize_linear(&quantize_linear(&conv.weights, &params));
+            }
+        }
+        let err: f32 = before
+            .as_slice()
+            .iter()
+            .zip(conv.weights.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / before.len() as f32;
+        infos.push(LayerQuantInfo {
+            layer: conv.name.clone(),
+            mode,
+            mean_abs_error: err,
+        });
+    }
+    Ok(infos)
+}
+
+/// A backend decorator that quantizes the im2col activations with INT8
+/// linear quantization before delegating — the activation half of §5.3.8.
+#[derive(Debug)]
+pub struct Int8ActivationBackend<B> {
+    inner: B,
+}
+
+impl<B: ConvBackend> Int8ActivationBackend<B> {
+    /// Wraps an inner backend.
+    pub fn new(inner: B) -> Self {
+        Int8ActivationBackend { inner }
+    }
+
+    /// Returns the wrapped backend.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+}
+
+impl<B: ConvBackend> ConvBackend for Int8ActivationBackend<B> {
+    fn conv_gemm(
+        &self,
+        layer: &str,
+        spec: &ConvSpec,
+        x: &Tensor<f32>,
+        weights: &Tensor<f32>,
+    ) -> std::result::Result<Tensor<f32>, TensorError> {
+        let absmax = x.as_slice().iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
+        if absmax == 0.0 {
+            return self.inner.conv_gemm(layer, spec, x, weights);
+        }
+        let params = LinearQuantParams::symmetric(absmax)?;
+        let xq = dequantize_linear(&quantize_linear(x, &params));
+        self.inner.conv_gemm(layer, spec, &xq, weights)
+    }
+}
+
+/// A backend executing every convolution in genuine 8-bit fixed-point
+/// arithmetic: activations and weights are quantized to per-call Q7
+/// formats, the product accumulates in `i32` (exactly the CMSIS-NN
+/// `arm_convolve_HWC_q7` pipeline before its output shift), and the raw
+/// accumulators are rescaled by the two format scales.
+///
+/// Unlike [`quantize_weights`] (which only rounds weights), this path
+/// reproduces *all* 8-bit rounding: weights, activations, and the integer
+/// product — the deployment arithmetic of §5.1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Q7InferenceBackend;
+
+impl ConvBackend for Q7InferenceBackend {
+    fn conv_gemm(
+        &self,
+        _layer: &str,
+        _spec: &ConvSpec,
+        x: &Tensor<f32>,
+        weights: &Tensor<f32>,
+    ) -> std::result::Result<Tensor<f32>, TensorError> {
+        let absmax = |t: &Tensor<f32>| t.as_slice().iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let xa = absmax(x);
+        let wa = absmax(weights);
+        if xa == 0.0 || wa == 0.0 {
+            return Ok(Tensor::zeros(&[x.rows(), weights.rows()]));
+        }
+        let x_fmt = Q7::fitting(xa);
+        let w_fmt = Q7::fitting(wa);
+        let xq = x_fmt.quantize_tensor(x);
+        let wq = w_fmt.quantize_tensor(&weights.transpose());
+        let acc = gemm_q7_acc(&xq, &wq)?;
+        // real = acc / (2^xf * 2^wf).
+        let scale = 1.0 / (f32::from(1u16 << x_fmt.frac_bits) * f32::from(1u16 << w_fmt.frac_bits));
+        Ok(Tensor::from_fn(acc.shape().dims(), |i| {
+            acc.as_slice()[i] as f32 * scale
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DenseBackend;
+    use crate::models::CifarNet;
+    use crate::Network;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn q7_quantization_bounds_weight_error() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut net = CifarNet::new(10, &mut rng);
+        let infos = quantize_weights(&mut net, QuantMode::FixedPointQ7).unwrap();
+        assert_eq!(infos.len(), 2);
+        for info in &infos {
+            assert!(
+                info.mean_abs_error < 0.02,
+                "{}: {}",
+                info.layer,
+                info.mean_abs_error
+            );
+        }
+    }
+
+    #[test]
+    fn int8_quantization_changes_little() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut net = CifarNet::new(10, &mut rng);
+        let x = Tensor::from_fn(&[3, 32, 32], |i| (i as f32 * 0.01).sin());
+        let before = net.forward(&x, &DenseBackend).unwrap();
+        quantize_weights(&mut net, QuantMode::Int8Linear).unwrap();
+        let after = net.forward(&x, &DenseBackend).unwrap();
+        let before_top = before
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let after_top = after
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        // 8-bit weights should rarely flip the argmax of a random net.
+        assert_eq!(before_top, after_top);
+    }
+
+    #[test]
+    fn activation_backend_close_to_dense() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let net = CifarNet::new(10, &mut rng);
+        let x = Tensor::from_fn(&[3, 32, 32], |i| (i as f32 * 0.013).cos());
+        let dense = net.forward(&x, &DenseBackend).unwrap();
+        let quant = net
+            .forward(&x, &Int8ActivationBackend::new(DenseBackend))
+            .unwrap();
+        let max_logit = dense.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        for (a, b) in dense.iter().zip(quant.iter()) {
+            assert!((a - b).abs() < 0.25 * max_logit.max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_weights_left_untouched() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut net = CifarNet::new(10, &mut rng);
+        for conv in net.convs_mut() {
+            conv.weights.map_inplace(|_| 0.0);
+        }
+        let infos = quantize_weights(&mut net, QuantMode::Int8Linear).unwrap();
+        assert!(infos.iter().all(|i| i.mean_abs_error == 0.0));
+    }
+
+    #[test]
+    fn q7_inference_backend_tracks_dense() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let net = CifarNet::new(10, &mut rng);
+        let x = Tensor::from_fn(&[3, 32, 32], |i| (i as f32 * 0.017).sin());
+        let dense = net.forward(&x, &DenseBackend).unwrap();
+        let q7 = net.forward(&x, &Q7InferenceBackend).unwrap();
+        let dense_top = dense
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let q7_top = q7
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(
+            dense_top, q7_top,
+            "8-bit arithmetic should preserve the argmax"
+        );
+        let scale = dense.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1.0);
+        for (a, b) in dense.iter().zip(q7.iter()) {
+            assert!((a - b).abs() < 0.35 * scale, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn q7_inference_zero_input_zero_output() {
+        use greuse_tensor::ConvSpec;
+        let x = Tensor::<f32>::zeros(&[4, 6]);
+        let w = Tensor::from_fn(&[3, 6], |i| (i as f32 * 0.1).cos());
+        let spec = ConvSpec::new(1, 3, 2, 3);
+        let y = Q7InferenceBackend.conv_gemm("c", &spec, &x, &w).unwrap();
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

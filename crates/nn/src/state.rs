@@ -1,0 +1,327 @@
+//! Model persistence: a named-parameter *state dict* with a compact,
+//! self-contained binary format (no external serialization crates), so
+//! experiment binaries can cache trained models and deployments can ship
+//! weights.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "GRSD" | version u32 | entry count u32 |
+//!   per entry: name_len u32 | name bytes | rank u32 | dims u64... |
+//!              f32 payload
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use greuse_tensor::Tensor;
+
+use crate::network::TrainableNetwork;
+use crate::{NnError, Result};
+
+const MAGIC: &[u8; 4] = b"GRSD";
+const VERSION: u32 = 1;
+
+/// An ordered map from parameter names to tensors.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateDict {
+    entries: BTreeMap<String, Tensor<f32>>,
+}
+
+impl StateDict {
+    /// Creates an empty state dict.
+    pub fn new() -> Self {
+        StateDict::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dict is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts (or replaces) an entry.
+    pub fn insert(&mut self, name: impl Into<String>, tensor: Tensor<f32>) {
+        self.entries.insert(name.into(), tensor);
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, name: &str) -> Option<&Tensor<f32>> {
+        self.entries.get(name)
+    }
+
+    /// Iterates entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Tensor<f32>)> {
+        self.entries.iter()
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.entries.values().map(Tensor::len).sum()
+    }
+
+    /// Captures every parameter of a trainable network, named by
+    /// visitation index (`p0000`, `p0001`, ...). Because
+    /// [`TrainableNetwork::visit_params`] guarantees a stable order, the
+    /// same architecture restores losslessly.
+    pub fn capture(net: &mut dyn TrainableNetwork) -> StateDict {
+        let mut dict = StateDict::new();
+        let mut idx = 0usize;
+        net.visit_params(&mut |params, _| {
+            dict.insert(
+                format!("p{idx:04}"),
+                Tensor::from_vec(params.to_vec(), &[params.len()])
+                    .expect("flat tensor always matches"),
+            );
+            idx += 1;
+        });
+        dict
+    }
+
+    /// Restores captured parameters into a network of the same
+    /// architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when the entry count or any
+    /// parameter length disagrees with the network.
+    pub fn restore(&self, net: &mut dyn TrainableNetwork) -> Result<()> {
+        let mut idx = 0usize;
+        let mut err: Option<NnError> = None;
+        net.visit_params(&mut |params, _| {
+            if err.is_some() {
+                return;
+            }
+            let name = format!("p{idx:04}");
+            match self.entries.get(&name) {
+                Some(t) if t.len() == params.len() => {
+                    params.copy_from_slice(t.as_slice());
+                }
+                Some(t) => {
+                    err = Some(NnError::InvalidConfig {
+                        detail: format!(
+                            "parameter {name}: stored {} values, network wants {}",
+                            t.len(),
+                            params.len()
+                        ),
+                    });
+                }
+                None => {
+                    err = Some(NnError::InvalidConfig {
+                        detail: format!("missing parameter {name}"),
+                    });
+                }
+            }
+            idx += 1;
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        if idx != self.entries.len() {
+            return Err(NnError::InvalidConfig {
+                detail: format!(
+                    "state dict has {} entries, network visited {idx}",
+                    self.entries.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] wrapping I/O failures.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<()> {
+        let io = |e: std::io::Error| NnError::InvalidConfig {
+            detail: format!("io: {e}"),
+        };
+        w.write_all(MAGIC).map_err(io)?;
+        w.write_all(&VERSION.to_le_bytes()).map_err(io)?;
+        w.write_all(&(self.entries.len() as u32).to_le_bytes())
+            .map_err(io)?;
+        for (name, t) in &self.entries {
+            w.write_all(&(name.len() as u32).to_le_bytes())
+                .map_err(io)?;
+            w.write_all(name.as_bytes()).map_err(io)?;
+            let dims = t.shape().dims();
+            w.write_all(&(dims.len() as u32).to_le_bytes())
+                .map_err(io)?;
+            for &d in dims {
+                w.write_all(&(d as u64).to_le_bytes()).map_err(io)?;
+            }
+            for v in t.as_slice() {
+                w.write_all(&v.to_le_bytes()).map_err(io)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes from a reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] on I/O failure, bad magic,
+    /// unsupported version, or a malformed payload.
+    pub fn read_from(r: &mut impl Read) -> Result<StateDict> {
+        let io = |e: std::io::Error| NnError::InvalidConfig {
+            detail: format!("io: {e}"),
+        };
+        let bad = |detail: &str| NnError::InvalidConfig {
+            detail: detail.to_string(),
+        };
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic).map_err(io)?;
+        if &magic != MAGIC {
+            return Err(bad("not a greuse state-dict file"));
+        }
+        let mut u32buf = [0u8; 4];
+        r.read_exact(&mut u32buf).map_err(io)?;
+        let version = u32::from_le_bytes(u32buf);
+        if version != VERSION {
+            return Err(NnError::InvalidConfig {
+                detail: format!("unsupported state-dict version {version}"),
+            });
+        }
+        r.read_exact(&mut u32buf).map_err(io)?;
+        let count = u32::from_le_bytes(u32buf) as usize;
+        let mut dict = StateDict::new();
+        let mut u64buf = [0u8; 8];
+        for _ in 0..count {
+            r.read_exact(&mut u32buf).map_err(io)?;
+            let name_len = u32::from_le_bytes(u32buf) as usize;
+            if name_len > 4096 {
+                return Err(bad("parameter name implausibly long"));
+            }
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name).map_err(io)?;
+            let name = String::from_utf8(name).map_err(|_| bad("parameter name is not UTF-8"))?;
+            r.read_exact(&mut u32buf).map_err(io)?;
+            let rank = u32::from_le_bytes(u32buf) as usize;
+            if rank > 8 {
+                return Err(bad("tensor rank implausibly large"));
+            }
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                r.read_exact(&mut u64buf).map_err(io)?;
+                dims.push(u64::from_le_bytes(u64buf) as usize);
+            }
+            let len: usize = dims.iter().product();
+            if len > 1 << 28 {
+                return Err(bad("tensor implausibly large"));
+            }
+            let mut data = Vec::with_capacity(len);
+            for _ in 0..len {
+                r.read_exact(&mut u32buf).map_err(io)?;
+                data.push(f32::from_le_bytes(u32buf));
+            }
+            dict.insert(name, Tensor::from_vec(data, &dims)?);
+        }
+        Ok(dict)
+    }
+
+    /// Saves to a file.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StateDict::write_to`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let mut f = std::fs::File::create(path).map_err(|e| NnError::InvalidConfig {
+            detail: format!("io: {e}"),
+        })?;
+        self.write_to(&mut f)
+    }
+
+    /// Loads from a file.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StateDict::read_from`].
+    pub fn load(path: impl AsRef<Path>) -> Result<StateDict> {
+        let mut f = std::fs::File::open(path).map_err(|e| NnError::InvalidConfig {
+            detail: format!("io: {e}"),
+        })?;
+        Self::read_from(&mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DenseBackend;
+    use crate::models::CifarNet;
+    use crate::network::Network;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let mut dict = StateDict::new();
+        dict.insert("a", Tensor::from_fn(&[2, 3], |i| i as f32));
+        dict.insert("b", Tensor::from_fn(&[4], |i| -(i as f32)));
+        let mut buf = Vec::new();
+        dict.write_to(&mut buf).unwrap();
+        let back = StateDict::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, dict);
+        assert_eq!(back.param_count(), 10);
+    }
+
+    #[test]
+    fn capture_restore_preserves_outputs() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut original = CifarNet::new(10, &mut rng);
+        let dict = StateDict::capture(&mut original);
+        let mut rng2 = SmallRng::seed_from_u64(999); // different init
+        let mut restored = CifarNet::new(10, &mut rng2);
+        let x = Tensor::from_fn(&[3, 32, 32], |i| (i as f32 * 0.01).sin());
+        let before = restored.forward(&x, &DenseBackend).unwrap();
+        dict.restore(&mut restored).unwrap();
+        let after = restored.forward(&x, &DenseBackend).unwrap();
+        let want = original.forward(&x, &DenseBackend).unwrap();
+        assert_ne!(before, want, "different inits must differ");
+        assert_eq!(after, want, "restored net must match the original exactly");
+    }
+
+    #[test]
+    fn restore_rejects_wrong_architecture() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut small = CifarNet::new(3, &mut rng);
+        let dict = StateDict::capture(&mut small);
+        let mut big = CifarNet::new(10, &mut rng);
+        assert!(dict.restore(&mut big).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00";
+        assert!(StateDict::read_from(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let mut dict = StateDict::new();
+        dict.insert("x", Tensor::from_fn(&[100], |i| i as f32));
+        let mut buf = Vec::new();
+        dict.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(StateDict::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut net = CifarNet::new(10, &mut rng);
+        let dict = StateDict::capture(&mut net);
+        let path = std::env::temp_dir().join("greuse_state_test.grsd");
+        dict.save(&path).unwrap();
+        let loaded = StateDict::load(&path).unwrap();
+        assert_eq!(loaded, dict);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the NN substrate: loss identities,
+//! quantization bounds, pruning invariants and layer algebra.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use greuse_nn::layers::{Conv2d, Linear, MaxPool2d, Relu};
+use greuse_nn::{softmax, softmax_cross_entropy, DenseBackend};
+use greuse_tensor::{ConvSpec, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn softmax_is_distribution(logits in proptest::collection::vec(-20.0f32..20.0, 1..12)) {
+        let p = softmax(&logits);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Order-preserving.
+        for i in 0..logits.len() {
+            for j in 0..logits.len() {
+                if logits[i] > logits[j] {
+                    prop_assert!(p[i] >= p[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_shift_invariance(
+        logits in proptest::collection::vec(-10.0f32..10.0, 2..8),
+        shift in -100.0f32..100.0,
+    ) {
+        let a = softmax(&logits);
+        let shifted: Vec<f32> = logits.iter().map(|v| v + shift).collect();
+        let b = softmax(&shifted);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad_sums_to_zero(
+        logits in proptest::collection::vec(-10.0f32..10.0, 2..8),
+        pick in any::<u8>(),
+    ) {
+        let target = pick as usize % logits.len();
+        let (loss, grad) = softmax_cross_entropy(&logits, target);
+        prop_assert!(loss >= 0.0);
+        prop_assert!(grad.iter().sum::<f32>().abs() < 1e-4);
+        // Target's gradient is negative (pushes its logit up).
+        prop_assert!(grad[target] <= 0.0);
+    }
+
+    #[test]
+    fn relu_idempotent(vals in proptest::collection::vec(-5.0f32..5.0, 1..32)) {
+        let relu = Relu::new();
+        let once = relu.forward_vec(&vals);
+        let twice = relu.forward_vec(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn maxpool_output_bounded_by_input(seed in any::<u64>(), hw in 2usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::from_fn(&[2, hw, hw], |_| rng.gen_range(-3.0f32..3.0));
+        let pool = MaxPool2d::new(2);
+        let y = pool.forward(&x).unwrap();
+        let max_in = x.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let max_out = y.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(max_out <= max_in + 1e-6);
+        // Every output value is present in the input.
+        for v in y.as_slice() {
+            prop_assert!(x.as_slice().contains(v));
+        }
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(seed in any::<u64>(), alpha in -2.0f32..2.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conv = Conv2d::new("c", ConvSpec::new(1, 2, 3, 3), &mut rng);
+        let x = Tensor::from_fn(&[1, 5, 5], |_| rng.gen_range(-1.0f32..1.0));
+        let mut scaled = x.clone();
+        scaled.scale(alpha);
+        // conv(alpha x) - bias_effect = alpha (conv(x) - bias_effect)
+        let zero = Tensor::zeros(&[1, 5, 5]);
+        let b = conv.forward(&zero, &DenseBackend).unwrap();
+        let y1 = conv.forward(&x, &DenseBackend).unwrap();
+        let y2 = conv.forward(&scaled, &DenseBackend).unwrap();
+        for i in 0..y1.len() {
+            let lhs = y2.as_slice()[i] - b.as_slice()[i];
+            let rhs = alpha * (y1.as_slice()[i] - b.as_slice()[i]);
+            prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + rhs.abs()));
+        }
+    }
+
+    #[test]
+    fn linear_layer_linearity(seed in any::<u64>(), alpha in -3.0f32..3.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fc = Linear::new("f", 6, 4, &mut rng);
+        let x: Vec<f32> = (0..6).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let scaled: Vec<f32> = x.iter().map(|v| v * alpha).collect();
+        let b = fc.forward(&[0.0; 6]).unwrap();
+        let y1 = fc.forward(&x).unwrap();
+        let y2 = fc.forward(&scaled).unwrap();
+        for i in 0..4 {
+            let lhs = y2[i] - b[i];
+            let rhs = alpha * (y1[i] - b[i]);
+            prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + rhs.abs()));
+        }
+    }
+
+    #[test]
+    fn pruning_monotone_in_keep_fraction(seed in any::<u64>()) {
+        use greuse_nn::{models::CifarNet, prune_channels, model_flops, Network};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keep_a = 0.9f32;
+        let keep_b = 0.5f32;
+        let mut net_a = CifarNet::new(10, &mut rng);
+        let mut net_b = net_a.clone();
+        prune_channels(&mut net_a, keep_a).unwrap();
+        prune_channels(&mut net_b, keep_b).unwrap();
+        prop_assert!(model_flops(&net_a).total >= model_flops(&net_b).total);
+        // Pruned channels are exactly zero rows.
+        for conv in net_b.convs() {
+            for ch in 0..conv.spec.out_channels {
+                let zero = conv.weights.row(ch).iter().all(|&v| v == 0.0);
+                let norm: f32 = conv.weights.row(ch).iter().map(|v| v.abs()).sum();
+                prop_assert!(zero == (norm == 0.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Convolution geometry and a naive reference implementation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Tensor, TensorError};
+
+/// Geometry of a 2-D convolution layer.
+///
+/// `K = in_channels * kernel_h * kernel_w` is the paper's per-row length of
+/// the `im2col` matrix and `M = out_channels` its output width (`D_out`).
+///
+/// ```
+/// use greuse_tensor::ConvSpec;
+/// let spec = ConvSpec::new(3, 64, 5, 5).with_padding(2);
+/// assert_eq!(spec.patch_len(), 75); // the paper's K for CifarNet Conv1
+/// assert_eq!(spec.output_hw(32, 32).unwrap(), (32, 32));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvSpec {
+    /// Number of input channels `C`.
+    pub in_channels: usize,
+    /// Number of filters / output channels `M` (the paper's `D_out`).
+    pub out_channels: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride (same for both axes).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl ConvSpec {
+    /// Creates a stride-1, zero-padding spec.
+    pub fn new(in_channels: usize, out_channels: usize, kernel_h: usize, kernel_w: usize) -> Self {
+        ConvSpec {
+            in_channels,
+            out_channels,
+            kernel_h,
+            kernel_w,
+            stride: 1,
+            padding: 0,
+        }
+    }
+
+    /// Sets the stride.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Sets the padding.
+    pub fn with_padding(mut self, padding: usize) -> Self {
+        self.padding = padding;
+        self
+    }
+
+    /// Length of one flattened input patch: `C * kh * kw` (the paper's `K`,
+    /// also `D_in` of the post-im2col GEMM).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel_h * self.kernel_w
+    }
+
+    /// Output spatial size for an `h x w` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidConvGeometry`] when the kernel does not
+    /// fit in the padded input or the stride is zero.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize), TensorError> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidConvGeometry {
+                detail: "stride must be > 0".into(),
+            });
+        }
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        if self.kernel_h == 0 || self.kernel_w == 0 || self.kernel_h > ph || self.kernel_w > pw {
+            return Err(TensorError::InvalidConvGeometry {
+                detail: format!(
+                    "kernel {}x{} does not fit padded input {}x{}",
+                    self.kernel_h, self.kernel_w, ph, pw
+                ),
+            });
+        }
+        Ok((
+            (ph - self.kernel_h) / self.stride + 1,
+            (pw - self.kernel_w) / self.stride + 1,
+        ))
+    }
+
+    /// MAC count of a dense (no-reuse) convolution over an `h x w` input:
+    /// `N * D_in * D_out` in the paper's notation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors from [`ConvSpec::output_hw`].
+    pub fn dense_macs(&self, h: usize, w: usize) -> Result<u64, TensorError> {
+        let (oh, ow) = self.output_hw(h, w)?;
+        Ok((oh * ow) as u64 * self.patch_len() as u64 * self.out_channels as u64)
+    }
+}
+
+/// Direct (nested-loop) convolution of a `(C, H, W)` input with weights
+/// `(M, C*kh*kw)`, producing `(M, out_h, out_w)`. Used as the correctness
+/// oracle for the im2col + GEMM path and for all reuse executors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the input or weight shapes
+/// disagree with `spec`, and propagates geometry errors.
+pub fn conv2d_naive(
+    input: &Tensor<f32>,
+    weights: &Tensor<f32>,
+    spec: &ConvSpec,
+) -> Result<Tensor<f32>, TensorError> {
+    let dims = input.shape().dims();
+    if dims.len() != 3 || dims[0] != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_naive input",
+            expected: vec![spec.in_channels],
+            actual: dims.to_vec(),
+        });
+    }
+    let wd = weights.shape().dims();
+    if wd.len() != 2 || wd[0] != spec.out_channels || wd[1] != spec.patch_len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_naive weights",
+            expected: vec![spec.out_channels, spec.patch_len()],
+            actual: wd.to_vec(),
+        });
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let mut out = Tensor::zeros(&[spec.out_channels, oh, ow]);
+    let pad = spec.padding as isize;
+    for m in 0..spec.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ch in 0..c {
+                    for ky in 0..spec.kernel_h {
+                        for kx in 0..spec.kernel_w {
+                            let iy = (oy * spec.stride + ky) as isize - pad;
+                            let ix = (ox * spec.stride + kx) as isize - pad;
+                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                continue;
+                            }
+                            let wi = ch * spec.kernel_h * spec.kernel_w + ky * spec.kernel_w + kx;
+                            acc += input[[ch, iy as usize, ix as usize]] * weights[[m, wi]];
+                        }
+                    }
+                }
+                out[[m, oy, ox]] = acc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_size_basic() {
+        let s = ConvSpec::new(3, 8, 3, 3);
+        assert_eq!(s.output_hw(32, 32).unwrap(), (30, 30));
+        let s = s.with_padding(1);
+        assert_eq!(s.output_hw(32, 32).unwrap(), (32, 32));
+        let s = s.with_stride(2);
+        assert_eq!(s.output_hw(32, 32).unwrap(), (16, 16));
+    }
+
+    #[test]
+    fn rejects_zero_stride_and_oversized_kernel() {
+        assert!(ConvSpec::new(1, 1, 3, 3)
+            .with_stride(0)
+            .output_hw(8, 8)
+            .is_err());
+        assert!(ConvSpec::new(1, 1, 9, 9).output_hw(8, 8).is_err());
+    }
+
+    #[test]
+    fn patch_len_matches_paper_k() {
+        // CifarNet Conv1: 3 channels, 5x5 -> K = 75; Conv2: 64 ch, 5x5 -> 1600.
+        assert_eq!(ConvSpec::new(3, 64, 5, 5).patch_len(), 75);
+        assert_eq!(ConvSpec::new(64, 64, 5, 5).patch_len(), 1600);
+        // ZfNet Conv1: 3x7x7 = 147.
+        assert_eq!(ConvSpec::new(3, 96, 7, 7).patch_len(), 147);
+    }
+
+    #[test]
+    fn dense_macs_formula() {
+        let s = ConvSpec::new(3, 4, 3, 3).with_padding(1);
+        // N = 8*8 = 64, D_in = 27, D_out = 4.
+        assert_eq!(s.dense_macs(8, 8).unwrap(), 64 * 27 * 4);
+    }
+
+    #[test]
+    fn identity_kernel_copies_center() {
+        // A 1x1 kernel with weight 1 reproduces the input channel.
+        let spec = ConvSpec::new(1, 1, 1, 1);
+        let input = Tensor::from_fn(&[1, 4, 4], |i| i as f32);
+        let weights = Tensor::from_vec(vec![1.0], &[1, 1]).unwrap();
+        let out = conv2d_naive(&input, &weights, &spec).unwrap();
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn padding_zeroes_contribute_nothing() {
+        let spec = ConvSpec::new(1, 1, 3, 3).with_padding(1);
+        let input = Tensor::full(&[1, 3, 3], 1.0f32);
+        let weights = Tensor::full(&[1, 9], 1.0f32);
+        let out = conv2d_naive(&input, &weights, &spec).unwrap();
+        // Center sees all 9 ones; corners see only 4.
+        assert_eq!(out[[0, 1, 1]], 9.0);
+        assert_eq!(out[[0, 0, 0]], 4.0);
+        assert_eq!(out[[0, 0, 1]], 6.0);
+    }
+
+    #[test]
+    fn rejects_mismatched_weights() {
+        let spec = ConvSpec::new(2, 3, 3, 3);
+        let input = Tensor::zeros(&[2, 8, 8]);
+        let weights = Tensor::zeros(&[3, 10]); // should be 3 x 18
+        assert!(conv2d_naive(&input, &weights, &spec).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type shared by all fallible tensor operations.
+
+use std::fmt;
+
+/// Error produced by tensor, GEMM, im2col and permutation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match (or be compatible) did not.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// The shape (or dimension list) that was expected.
+        expected: Vec<usize>,
+        /// The shape that was actually provided.
+        actual: Vec<usize>,
+    },
+    /// An index was out of bounds for the tensor it addressed.
+    IndexOutOfBounds {
+        /// The offending flat or per-axis index.
+        index: usize,
+        /// The bound that was violated.
+        bound: usize,
+    },
+    /// A permutation was not a bijection over `0..len`.
+    InvalidPermutation {
+        /// Length the permutation claims to cover.
+        len: usize,
+        /// Description of the defect (duplicate, out of range, ...).
+        reason: String,
+    },
+    /// Convolution geometry does not produce a positive output size.
+    InvalidConvGeometry {
+        /// Description of the inconsistent geometry.
+        detail: String,
+    },
+    /// A quantization parameter was invalid (e.g. non-positive scale).
+    InvalidQuantization {
+        /// Description of the invalid parameter.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shape mismatch in {op}: expected {expected:?}, got {actual:?}"
+            ),
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for length {bound}")
+            }
+            TensorError::InvalidPermutation { len, reason } => {
+                write!(f, "invalid permutation of length {len}: {reason}")
+            }
+            TensorError::InvalidConvGeometry { detail } => {
+                write!(f, "invalid convolution geometry: {detail}")
+            }
+            TensorError::InvalidQuantization { detail } => {
+                write!(f, "invalid quantization parameter: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            TensorError::ShapeMismatch {
+                op: "gemm",
+                expected: vec![2, 3],
+                actual: vec![3, 2],
+            },
+            TensorError::IndexOutOfBounds { index: 9, bound: 4 },
+            TensorError::InvalidPermutation {
+                len: 3,
+                reason: "duplicate entry 1".into(),
+            },
+            TensorError::InvalidConvGeometry {
+                detail: "kernel larger than input".into(),
+            },
+            TensorError::InvalidQuantization {
+                detail: "scale must be positive".into(),
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,406 @@
+//! General matrix multiplication kernels.
+//!
+//! Two families are provided:
+//!
+//! * [`gemm_f32`] / [`gemm_f32_parallel`] — cache-blocked `f32` kernels used
+//!   for training and for floating-point reuse experiments;
+//! * [`gemm_q7`] — a CMSIS-NN-style fixed-point kernel: `i8` (Q7) operands,
+//!   `i32` accumulation, with a right-shift requantization, mirroring the
+//!   `arm_convolve_*` kernels the paper runs on Cortex-M.
+
+use crate::{Tensor, TensorError};
+
+/// Micro-kernel block sizes tuned for small L1 caches; correctness does not
+/// depend on these values.
+const BLOCK_M: usize = 32;
+const BLOCK_N: usize = 64;
+const BLOCK_K: usize = 64;
+
+/// Marker struct grouping the GEMM entry points for documentation purposes.
+///
+/// ```
+/// use greuse_tensor::{Gemm, Tensor};
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+/// let c = Gemm::f32(&a, &b).unwrap();
+/// assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gemm;
+
+impl Gemm {
+    /// Convenience wrapper over [`gemm_f32`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on incompatible operands.
+    pub fn f32(a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<f32>, TensorError> {
+        gemm_f32(a, b)
+    }
+}
+
+fn check_rank2(
+    op: &'static str,
+    a: &Tensor<f32>,
+    b: &Tensor<f32>,
+) -> Result<(usize, usize, usize), TensorError> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            expected: vec![2, 2],
+            actual: vec![a.shape().rank(), b.shape().rank()],
+        });
+    }
+    let (m, k) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            expected: vec![m, k, n],
+            actual: vec![m, k2, n],
+        });
+    }
+    Ok((m, k, n))
+}
+
+/// Computes `C = A × B` for row-major rank-2 `f32` tensors.
+///
+/// The kernel is cache-blocked with an i-k-j inner ordering so the innermost
+/// loop streams both `B` and `C` rows sequentially.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the operands are not rank-2
+/// or the inner dimensions disagree.
+pub fn gemm_f32(a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<f32>, TensorError> {
+    let (m, k, n) = check_rank2("gemm_f32", a, b)?;
+    let mut c = Tensor::zeros(&[m, n]);
+    gemm_block(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n, 0, m);
+    Ok(c)
+}
+
+/// Multi-threaded variant of [`gemm_f32`]; splits rows of `A` across
+/// `threads` scoped worker threads (crossbeam).
+///
+/// # Errors
+///
+/// Same conditions as [`gemm_f32`].
+pub fn gemm_f32_parallel(
+    a: &Tensor<f32>,
+    b: &Tensor<f32>,
+    threads: usize,
+) -> Result<Tensor<f32>, TensorError> {
+    let (m, k, n) = check_rank2("gemm_f32_parallel", a, b)?;
+    let threads = threads.max(1).min(m.max(1));
+    if threads <= 1 || m < 2 * BLOCK_M {
+        return gemm_f32(a, b);
+    }
+    let mut c = Tensor::zeros(&[m, n]);
+    let rows_per = m.div_ceil(threads);
+    {
+        let a_s = a.as_slice();
+        let b_s = b.as_slice();
+        let chunks: Vec<&mut [f32]> = c.as_mut_slice().chunks_mut(rows_per * n).collect();
+        crossbeam::scope(|scope| {
+            for (t, chunk) in chunks.into_iter().enumerate() {
+                let row0 = t * rows_per;
+                let rows = chunk.len() / n;
+                scope.spawn(move |_| {
+                    gemm_block(
+                        &a_s[row0 * k..(row0 + rows) * k],
+                        b_s,
+                        chunk,
+                        rows,
+                        k,
+                        n,
+                        0,
+                        rows,
+                    );
+                });
+            }
+        })
+        .expect("gemm worker panicked");
+    }
+    Ok(c)
+}
+
+/// Blocked GEMM on raw slices over rows `row0..row1` of `a`/`c`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_block(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    _m: usize,
+    k: usize,
+    n: usize,
+    row0: usize,
+    row1: usize,
+) {
+    for i0 in (row0..row1).step_by(BLOCK_M) {
+        let i1 = (i0 + BLOCK_M).min(row1);
+        for k0 in (0..k).step_by(BLOCK_K) {
+            let k1 = (k0 + BLOCK_K).min(k);
+            for j0 in (0..n).step_by(BLOCK_N) {
+                let j1 = (j0 + BLOCK_N).min(n);
+                for i in i0..i1 {
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let c_row = &mut c[i * n + j0..i * n + j1];
+                    for kk in k0..k1 {
+                        let aval = a_row[kk];
+                        if aval == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[kk * n + j0..kk * n + j1];
+                        for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                            *cv += aval * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Computes `y = A × x` for a rank-2 `A` and vector `x`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `x.len() != A.cols()`.
+pub fn matvec_f32(a: &Tensor<f32>, x: &[f32]) -> Result<Vec<f32>, TensorError> {
+    if a.shape().rank() != 2 || a.cols() != x.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matvec_f32",
+            expected: vec![a.cols()],
+            actual: vec![x.len()],
+        });
+    }
+    let (m, k) = (a.rows(), a.cols());
+    let mut y = vec![0.0f32; m];
+    for (i, yi) in y.iter_mut().enumerate() {
+        let row = &a.as_slice()[i * k..(i + 1) * k];
+        *yi = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+    }
+    Ok(y)
+}
+
+/// CMSIS-NN-style fixed-point GEMM: `C = requant(A × B)` where `A` and `B`
+/// hold Q7 (`i8`) values, products accumulate in `i32`, and the result is
+/// arithmetic-shifted right by `out_shift` bits then saturated back to Q7.
+///
+/// This models the `arm_fully_connected_q7` / `arm_convolve_HWC_q7` kernels
+/// (16-bit SIMD MACs on Cortex-M4/M7) at the arithmetic level.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on incompatible operands.
+pub fn gemm_q7(a: &Tensor<i8>, b: &Tensor<i8>, out_shift: u8) -> Result<Tensor<i8>, TensorError> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_q7",
+            expected: vec![2, 2],
+            actual: vec![a.shape().rank(), b.shape().rank()],
+        });
+    }
+    let (m, k) = (a.shape().dims()[0], a.shape().dims()[1]);
+    let (k2, n) = (b.shape().dims()[0], b.shape().dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_q7",
+            expected: vec![m, k, n],
+            actual: vec![m, k2, n],
+        });
+    }
+    let mut c = Tensor::<i8>::zeros(&[m, n]);
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    let c_s = c.as_mut_slice();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc: i32 = 0;
+            for kk in 0..k {
+                acc += i32::from(a_s[i * k + kk]) * i32::from(b_s[kk * n + j]);
+            }
+            let shifted = acc >> out_shift;
+            c_s[i * n + j] = shifted.clamp(i32::from(i8::MIN), i32::from(i8::MAX)) as i8;
+        }
+    }
+    Ok(c)
+}
+
+/// Fixed-point GEMM returning the raw `i32` accumulators (no
+/// requantization) — the intermediate CMSIS-NN kernels hold before the
+/// output shift. Used by the full 8-bit inference path, where the caller
+/// rescales with the product of the input and weight scales.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on incompatible operands.
+pub fn gemm_q7_acc(a: &Tensor<i8>, b: &Tensor<i8>) -> Result<Tensor<i32>, TensorError> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_q7_acc",
+            expected: vec![2, 2],
+            actual: vec![a.shape().rank(), b.shape().rank()],
+        });
+    }
+    let (m, k) = (a.shape().dims()[0], a.shape().dims()[1]);
+    let (k2, n) = (b.shape().dims()[0], b.shape().dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_q7_acc",
+            expected: vec![m, k, n],
+            actual: vec![m, k2, n],
+        });
+    }
+    let mut c = Tensor::<i32>::zeros(&[m, n]);
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    let c_s = c.as_mut_slice();
+    for i in 0..m {
+        for kk in 0..k {
+            let av = i32::from(a_s[i * k + kk]);
+            if av == 0 {
+                continue;
+            }
+            let b_row = &b_s[kk * n..(kk + 1) * n];
+            let c_row = &mut c_s[i * n..(i + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += av * i32::from(*bv);
+            }
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn naive(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a[[i, kk]] * b[[kk, j]];
+                }
+                c[[i, j]] = s;
+            }
+        }
+        c
+    }
+
+    fn rand_mat(r: usize, c: usize, seed: u64) -> Tensor<f32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Tensor::from_fn(&[r, c], |_| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn gemm_matches_naive_small() {
+        let a = rand_mat(7, 5, 1);
+        let b = rand_mat(5, 9, 2);
+        let c = gemm_f32(&a, &b).unwrap();
+        let r = naive(&a, &b);
+        for (x, y) in c.as_slice().iter().zip(r.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_matches_naive_blocked_sizes() {
+        // Sizes straddling the block boundaries.
+        let a = rand_mat(65, 70, 3);
+        let b = rand_mat(70, 130, 4);
+        let c = gemm_f32(&a, &b).unwrap();
+        let r = naive(&a, &b);
+        for (x, y) in c.as_slice().iter().zip(r.as_slice()) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let a = rand_mat(97, 33, 5);
+        let b = rand_mat(33, 41, 6);
+        let s = gemm_f32(&a, &b).unwrap();
+        let p = gemm_f32_parallel(&a, &b, 4).unwrap();
+        for (x, y) in s.as_slice().iter().zip(p.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_rejects_bad_shapes() {
+        let a = rand_mat(3, 4, 7);
+        let b = rand_mat(5, 2, 8);
+        assert!(gemm_f32(&a, &b).is_err());
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let a = rand_mat(6, 6, 9);
+        let eye = Tensor::from_fn(&[6, 6], |i| if i / 6 == i % 6 { 1.0 } else { 0.0 });
+        let c = gemm_f32(&a, &eye).unwrap();
+        for (x, y) in c.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matvec_matches_gemm() {
+        let a = rand_mat(8, 5, 10);
+        let x: Vec<f32> = (0..5).map(|i| i as f32 * 0.3 - 1.0).collect();
+        let xm = Tensor::from_vec(x.clone(), &[5, 1]).unwrap();
+        let via_gemm = gemm_f32(&a, &xm).unwrap();
+        let via_mv = matvec_f32(&a, &x).unwrap();
+        for (g, v) in via_gemm.as_slice().iter().zip(via_mv.iter()) {
+            assert!((g - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matvec_rejects_bad_len() {
+        let a = rand_mat(4, 4, 11);
+        assert!(matvec_f32(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn q7_gemm_basic() {
+        // [1 2; 3 4] x [1 0; 0 1] = same, no shift.
+        let a = Tensor::from_vec(vec![1i8, 2, 3, 4], &[2, 2]).unwrap();
+        let eye = Tensor::from_vec(vec![1i8, 0, 0, 1], &[2, 2]).unwrap();
+        let c = gemm_q7(&a, &eye, 0).unwrap();
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn q7_gemm_saturates() {
+        let a = Tensor::from_vec(vec![127i8, 127], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![127i8, 127], &[2, 1]).unwrap();
+        let c = gemm_q7(&a, &b, 0).unwrap();
+        assert_eq!(c.as_slice(), &[127]); // clamped, not wrapped
+        let c_shift = gemm_q7(&a, &b, 8).unwrap();
+        assert_eq!(c_shift.as_slice(), &[126]); // (127*127*2)>>8 = 126
+    }
+
+    #[test]
+    fn q7_gemm_rejects_bad_shapes() {
+        let a = Tensor::<i8>::zeros(&[2, 3]);
+        let b = Tensor::<i8>::zeros(&[4, 2]);
+        assert!(gemm_q7(&a, &b, 0).is_err());
+    }
+
+    #[test]
+    fn q7_acc_matches_wide_product() {
+        let a = Tensor::from_vec(vec![127i8, -128, 64, 3], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![127i8, 1, -128, 2], &[2, 2]).unwrap();
+        let c = gemm_q7_acc(&a, &b).unwrap();
+        // Row 0: [127*127 + (-128)*(-128), 127*1 + (-128)*2]
+        assert_eq!(c.as_slice()[0], 127 * 127 + 128 * 128);
+        assert_eq!(c.as_slice()[1], 127 - 256);
+        assert!(gemm_q7_acc(&a, &Tensor::<i8>::zeros(&[3, 2])).is_err());
+    }
+}

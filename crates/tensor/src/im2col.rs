@@ -1,0 +1,418 @@
+//! The `im2col` expansion: from the paper's *image view* to its
+//! *im2col (matrix) view*.
+//!
+//! The default mapping follows the paper's Figure 6(b): one row of the
+//! matrix holds all values of one receptive-field tile, laid out **channel
+//! by channel** ("channel-last" in the paper's terminology — the kernel
+//! window coordinates vary fastest within each channel segment).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ConvSpec, Tensor, TensorError};
+
+/// How the columns of the im2col matrix are ordered.
+///
+/// Both layouts contain exactly the same values per row; they differ in the
+/// column permutation, which is precisely the paper's "reuse order" lever
+/// (Figure 6(b) vs Figure 6(d)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Im2colLayout {
+    /// `(channel, ky, kx)` — channel varies slowest. The paper's default
+    /// (Fig. 6(b)); a contiguous segment of a row is a tile of one channel.
+    #[default]
+    ChannelLast,
+    /// `(ky, kx, channel)` — channel varies fastest (Fig. 6(d)); a
+    /// contiguous segment of a row covers one pixel across all channels.
+    ChannelFirst,
+}
+
+impl Im2colLayout {
+    /// Maps `(channel, ky, kx)` to a column index under this layout.
+    pub fn column(&self, spec: &ConvSpec, ch: usize, ky: usize, kx: usize) -> usize {
+        match self {
+            Im2colLayout::ChannelLast => {
+                ch * spec.kernel_h * spec.kernel_w + ky * spec.kernel_w + kx
+            }
+            Im2colLayout::ChannelFirst => (ky * spec.kernel_w + kx) * spec.in_channels + ch,
+        }
+    }
+
+    /// The column permutation `p` such that
+    /// `layout_col = p[channel_last_col]`.
+    pub fn permutation_from_default(&self, spec: &ConvSpec) -> Vec<usize> {
+        let mut p = vec![0usize; spec.patch_len()];
+        for ch in 0..spec.in_channels {
+            for ky in 0..spec.kernel_h {
+                for kx in 0..spec.kernel_w {
+                    let default_col = Im2colLayout::ChannelLast.column(spec, ch, ky, kx);
+                    p[default_col] = self.column(spec, ch, ky, kx);
+                }
+            }
+        }
+        p
+    }
+}
+
+/// Expands a `(C, H, W)` image into the `(out_h*out_w) x (C*kh*kw)` im2col
+/// matrix using the default channel-last layout.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] for a non-rank-3 input or channel
+/// mismatch, and propagates geometry errors from [`ConvSpec::output_hw`].
+pub fn im2col(input: &Tensor<f32>, spec: &ConvSpec) -> Result<Tensor<f32>, TensorError> {
+    let dims = input.shape().dims().to_vec();
+    if dims.len() != 3 || dims[0] != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col input",
+            expected: vec![spec.in_channels],
+            actual: dims,
+        });
+    }
+    let (oh, ow) = spec.output_hw(dims[1], dims[2])?;
+    let mut out = Tensor::zeros(&[oh * ow, spec.patch_len()]);
+    im2col_into(input, spec, Im2colLayout::ChannelLast, out.as_mut_slice())?;
+    Ok(out)
+}
+
+/// Expands into a caller-provided buffer under an explicit column layout.
+/// The buffer must hold exactly `(out_h*out_w) * patch_len` elements.
+///
+/// Exposing the buffer lets the reuse runtime fuse the paper's reorder into
+/// the expansion instead of permuting afterwards.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the input or buffer size is
+/// wrong, and propagates geometry errors.
+pub fn im2col_into(
+    input: &Tensor<f32>,
+    spec: &ConvSpec,
+    layout: Im2colLayout,
+    out: &mut [f32],
+) -> Result<(), TensorError> {
+    let dims = input.shape().dims();
+    if dims.len() != 3 || dims[0] != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col_into input",
+            expected: vec![spec.in_channels],
+            actual: dims.to_vec(),
+        });
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let k = spec.patch_len();
+    if out.len() != oh * ow * k {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col_into buffer",
+            expected: vec![oh * ow * k],
+            actual: vec![out.len()],
+        });
+    }
+    let pad = spec.padding as isize;
+    let in_s = input.as_slice();
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = oy * ow + ox;
+            let base = row * k;
+            for ch in 0..c {
+                for ky in 0..spec.kernel_h {
+                    let iy = (oy * spec.stride + ky) as isize - pad;
+                    for kx in 0..spec.kernel_w {
+                        let ix = (ox * spec.stride + kx) as isize - pad;
+                        let col = layout.column(spec, ch, ky, kx);
+                        out[base + col] =
+                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                0.0
+                            } else {
+                                in_s[(ch * h + iy as usize) * w + ix as usize]
+                            };
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Expands into a caller-provided buffer with an arbitrary **column
+/// permutation fused into the expansion**: output column `j` receives the
+/// value that the default (channel-last) layout would place at column
+/// `perm[j]`. One pass instead of im2col + a separate permute —
+/// the "fused reorder" variant of DESIGN.md's ablation 1.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the input, buffer, or
+/// permutation length is wrong, and propagates geometry errors.
+pub fn im2col_permuted(
+    input: &Tensor<f32>,
+    spec: &ConvSpec,
+    perm: &crate::Permutation,
+    out: &mut [f32],
+) -> Result<(), TensorError> {
+    let dims = input.shape().dims();
+    if dims.len() != 3 || dims[0] != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col_permuted input",
+            expected: vec![spec.in_channels],
+            actual: dims.to_vec(),
+        });
+    }
+    let k = spec.patch_len();
+    if perm.len() != k {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col_permuted permutation",
+            expected: vec![k],
+            actual: vec![perm.len()],
+        });
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let (oh, ow) = spec.output_hw(h, w)?;
+    if out.len() != oh * ow * k {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col_permuted buffer",
+            expected: vec![oh * ow * k],
+            actual: vec![out.len()],
+        });
+    }
+    // Inverse map: where does default column d land in the output?
+    let inv = perm.inverse();
+    let dest = inv.as_slice();
+    let pad = spec.padding as isize;
+    let in_s = input.as_slice();
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = (oy * ow + ox) * k;
+            for ch in 0..c {
+                for ky in 0..spec.kernel_h {
+                    let iy = (oy * spec.stride + ky) as isize - pad;
+                    for kx in 0..spec.kernel_w {
+                        let ix = (ox * spec.stride + kx) as isize - pad;
+                        let default_col = Im2colLayout::ChannelLast.column(spec, ch, ky, kx);
+                        out[base + dest[default_col]] =
+                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                0.0
+                            } else {
+                                in_s[(ch * h + iy as usize) * w + ix as usize]
+                            };
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Scatter-accumulates an im2col-shaped gradient back to image shape
+/// (the adjoint of [`im2col`]); required by convolution backprop.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `cols` does not have the
+/// im2col shape for `(spec, h, w)`.
+pub fn col2im_accumulate(
+    cols: &Tensor<f32>,
+    spec: &ConvSpec,
+    h: usize,
+    w: usize,
+) -> Result<Tensor<f32>, TensorError> {
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let k = spec.patch_len();
+    let dims = cols.shape().dims();
+    if dims.len() != 2 || dims[0] != oh * ow || dims[1] != k {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im_accumulate",
+            expected: vec![oh * ow, k],
+            actual: dims.to_vec(),
+        });
+    }
+    let mut img = Tensor::zeros(&[spec.in_channels, h, w]);
+    let pad = spec.padding as isize;
+    let img_s = img.as_mut_slice();
+    let col_s = cols.as_slice();
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = oy * ow + ox;
+            let base = row * k;
+            for ch in 0..spec.in_channels {
+                for ky in 0..spec.kernel_h {
+                    let iy = (oy * spec.stride + ky) as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..spec.kernel_w {
+                        let ix = (ox * spec.stride + kx) as isize - pad;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let col = Im2colLayout::ChannelLast.column(spec, ch, ky, kx);
+                        img_s[(ch * h + iy as usize) * w + ix as usize] += col_s[base + col];
+                    }
+                }
+            }
+        }
+    }
+    Ok(img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{conv2d_naive, gemm_f32};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_image(c: usize, h: usize, w: usize, seed: u64) -> Tensor<f32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Tensor::from_fn(&[c, h, w], |_| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn im2col_gemm_matches_naive_conv() {
+        for &(pad, stride) in &[(0usize, 1usize), (1, 1), (2, 2)] {
+            let spec = ConvSpec::new(3, 4, 3, 3)
+                .with_padding(pad)
+                .with_stride(stride);
+            let img = rand_image(3, 9, 9, 42 + pad as u64 + stride as u64);
+            let mut rng = SmallRng::seed_from_u64(11);
+            let weights = Tensor::from_fn(&[4, spec.patch_len()], |_| rng.gen_range(-1.0f32..1.0));
+            let x = im2col(&img, &spec).unwrap();
+            let y = gemm_f32(&x, &weights.transpose()).unwrap(); // N x M
+            let reference = conv2d_naive(&img, &weights, &spec).unwrap();
+            let (oh, ow) = spec.output_hw(9, 9).unwrap();
+            for m in 0..4 {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let a = y[[oy * ow + ox, m]];
+                        let b = reference[[m, oy, ox]];
+                        assert!((a - b).abs() < 1e-4, "pad={pad} stride={stride}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_first_is_column_permutation_of_default() {
+        let spec = ConvSpec::new(2, 1, 2, 2);
+        let img = rand_image(2, 4, 4, 3);
+        let default = im2col(&img, &spec).unwrap();
+        let (oh, ow) = spec.output_hw(4, 4).unwrap();
+        let mut cf = vec![0.0f32; oh * ow * spec.patch_len()];
+        im2col_into(&img, &spec, Im2colLayout::ChannelFirst, &mut cf).unwrap();
+        let p = Im2colLayout::ChannelFirst.permutation_from_default(&spec);
+        for row in 0..oh * ow {
+            for col in 0..spec.patch_len() {
+                let want = default[[row, col]];
+                let got = cf[row * spec.patch_len() + p[col]];
+                assert_eq!(want, got);
+            }
+        }
+    }
+
+    #[test]
+    fn layouts_preserve_row_multiset() {
+        let spec = ConvSpec::new(3, 1, 3, 3);
+        let img = rand_image(3, 5, 5, 9);
+        let a = im2col(&img, &spec).unwrap();
+        let (oh, ow) = spec.output_hw(5, 5).unwrap();
+        let mut b = vec![0.0f32; oh * ow * spec.patch_len()];
+        im2col_into(&img, &spec, Im2colLayout::ChannelFirst, &mut b).unwrap();
+        for row in 0..oh * ow {
+            let mut ra: Vec<_> = a.row(row).iter().map(|v| v.to_bits()).collect();
+            let mut rb: Vec<_> = b[row * spec.patch_len()..(row + 1) * spec.patch_len()]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            ra.sort_unstable();
+            rb.sort_unstable();
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y (adjoint test).
+        let spec = ConvSpec::new(2, 1, 3, 3).with_padding(1);
+        let img = rand_image(2, 6, 6, 21);
+        let x = im2col(&img, &spec).unwrap();
+        let mut rng = SmallRng::seed_from_u64(22);
+        let y = Tensor::from_fn(x.shape().dims(), |_| rng.gen_range(-1.0f32..1.0));
+        let lhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let back = col2im_accumulate(&y, &spec, 6, 6).unwrap();
+        let rhs: f32 = img
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn buffer_size_checked() {
+        let spec = ConvSpec::new(1, 1, 2, 2);
+        let img = rand_image(1, 4, 4, 5);
+        let mut small = vec![0.0f32; 3];
+        assert!(im2col_into(&img, &spec, Im2colLayout::ChannelLast, &mut small).is_err());
+    }
+
+    #[test]
+    fn rejects_channel_mismatch() {
+        let spec = ConvSpec::new(4, 1, 2, 2);
+        let img = rand_image(2, 4, 4, 6);
+        assert!(im2col(&img, &spec).is_err());
+    }
+
+    #[test]
+    fn fused_permuted_matches_eager() {
+        use crate::Permutation;
+        let spec = ConvSpec::new(3, 1, 3, 3).with_padding(1);
+        let img = rand_image(3, 6, 6, 77);
+        let default = im2col(&img, &spec).unwrap();
+        let mut rng = SmallRng::seed_from_u64(78);
+        let perm = Permutation::random(spec.patch_len(), &mut rng);
+        let eager = perm.apply_cols(&default).unwrap();
+        let (oh, ow) = spec.output_hw(6, 6).unwrap();
+        let mut fused = vec![0.0f32; oh * ow * spec.patch_len()];
+        im2col_permuted(&img, &spec, &perm, &mut fused).unwrap();
+        assert_eq!(eager.as_slice(), &fused[..]);
+    }
+
+    #[test]
+    fn fused_permuted_identity_is_plain_im2col() {
+        use crate::Permutation;
+        let spec = ConvSpec::new(2, 1, 2, 2);
+        let img = rand_image(2, 4, 4, 79);
+        let default = im2col(&img, &spec).unwrap();
+        let (oh, ow) = spec.output_hw(4, 4).unwrap();
+        let mut fused = vec![0.0f32; oh * ow * spec.patch_len()];
+        im2col_permuted(
+            &img,
+            &spec,
+            &Permutation::identity(spec.patch_len()),
+            &mut fused,
+        )
+        .unwrap();
+        assert_eq!(default.as_slice(), &fused[..]);
+    }
+
+    #[test]
+    fn fused_permuted_validates() {
+        use crate::Permutation;
+        let spec = ConvSpec::new(1, 1, 2, 2);
+        let img = rand_image(1, 4, 4, 80);
+        let mut small = vec![0.0f32; 3];
+        let id = Permutation::identity(4);
+        assert!(im2col_permuted(&img, &spec, &id, &mut small).is_err());
+        let wrong = Permutation::identity(5);
+        let mut buf = vec![0.0f32; 9 * 4];
+        assert!(im2col_permuted(&img, &spec, &wrong, &mut buf).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! Validated permutations — the algebraic object behind the paper's
+//! row/column reorders of the im2col matrix view (Insight-2).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Tensor, TensorError};
+
+/// A bijection `0..len -> 0..len`, stored as the image list: position `i`
+/// of the output takes element `map[i]` of the input.
+///
+/// ```
+/// use greuse_tensor::Permutation;
+/// let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+/// let v = p.apply_slice(&[10, 20, 30]);
+/// assert_eq!(v, vec![30, 10, 20]);
+/// assert_eq!(p.inverse().apply_slice(&v), vec![10, 20, 30]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Permutation {
+    map: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation of length `len`.
+    pub fn identity(len: usize) -> Self {
+        Permutation {
+            map: (0..len).collect(),
+        }
+    }
+
+    /// Validates and wraps an image list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidPermutation`] when `map` is not a
+    /// bijection over `0..map.len()`.
+    pub fn from_vec(map: Vec<usize>) -> Result<Self, TensorError> {
+        let len = map.len();
+        let mut seen = vec![false; len];
+        for &m in &map {
+            if m >= len {
+                return Err(TensorError::InvalidPermutation {
+                    len,
+                    reason: format!("entry {m} out of range"),
+                });
+            }
+            if seen[m] {
+                return Err(TensorError::InvalidPermutation {
+                    len,
+                    reason: format!("duplicate entry {m}"),
+                });
+            }
+            seen[m] = true;
+        }
+        Ok(Permutation { map })
+    }
+
+    /// A uniformly random permutation.
+    pub fn random(len: usize, rng: &mut impl Rng) -> Self {
+        let mut map: Vec<usize> = (0..len).collect();
+        map.shuffle(rng);
+        Permutation { map }
+    }
+
+    /// Length of the permuted domain.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The raw image list.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.map
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, &m)| i == m)
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0usize; self.map.len()];
+        for (i, &m) in self.map.iter().enumerate() {
+            inv[m] = i;
+        }
+        Permutation { map: inv }
+    }
+
+    /// Composition `self ∘ other`: applying the result equals applying
+    /// `other` first, then `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidPermutation`] when lengths differ.
+    pub fn compose(&self, other: &Permutation) -> Result<Permutation, TensorError> {
+        if self.len() != other.len() {
+            return Err(TensorError::InvalidPermutation {
+                len: self.len(),
+                reason: format!("cannot compose with permutation of length {}", other.len()),
+            });
+        }
+        Ok(Permutation {
+            map: self.map.iter().map(|&i| other.map[i]).collect(),
+        })
+    }
+
+    /// Applies the permutation to a slice, producing a new `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != self.len()`.
+    pub fn apply_slice<T: Copy>(&self, src: &[T]) -> Vec<T> {
+        assert_eq!(src.len(), self.len(), "slice length must match permutation");
+        self.map.iter().map(|&i| src[i]).collect()
+    }
+
+    /// Permutes the **rows** of a rank-2 tensor: output row `i` is input
+    /// row `map[i]`. This is the paper's *row reorder* (Fig. 6(e)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the row count differs
+    /// from the permutation length or the tensor is not rank 2.
+    pub fn apply_rows(&self, t: &Tensor<f32>) -> Result<Tensor<f32>, TensorError> {
+        if t.shape().rank() != 2 || t.rows() != self.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "apply_rows",
+                expected: vec![self.len()],
+                actual: t.shape().dims().to_vec(),
+            });
+        }
+        let cols = t.cols();
+        let mut out = Tensor::zeros(&[t.rows(), cols]);
+        for (i, &src) in self.map.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(t.row(src));
+        }
+        Ok(out)
+    }
+
+    /// Permutes the **columns** of a rank-2 tensor: output column `j` is
+    /// input column `map[j]`. This is the paper's *column reorder*
+    /// (Fig. 6(d)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the column count differs
+    /// from the permutation length or the tensor is not rank 2.
+    pub fn apply_cols(&self, t: &Tensor<f32>) -> Result<Tensor<f32>, TensorError> {
+        if t.shape().rank() != 2 || t.cols() != self.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "apply_cols",
+                expected: vec![self.len()],
+                actual: t.shape().dims().to_vec(),
+            });
+        }
+        let (rows, cols) = (t.rows(), t.cols());
+        let mut out = Tensor::zeros(&[rows, cols]);
+        let src = t.as_slice();
+        let dst = out.as_mut_slice();
+        for r in 0..rows {
+            let base = r * cols;
+            for (j, &sj) in self.map.iter().enumerate() {
+                dst[base + j] = src[base + sj];
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(5);
+        assert!(p.is_identity());
+        assert_eq!(p.apply_slice(&[1, 2, 3, 4, 5]), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Permutation::from_vec(vec![0, 1, 1]).is_err());
+        assert!(Permutation::from_vec(vec![0, 3]).is_err());
+        assert!(Permutation::from_vec(vec![1, 0]).is_ok());
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let p = Permutation::random(20, &mut rng);
+        let composed = p.compose(&p.inverse()).unwrap();
+        assert!(composed.is_identity());
+        let composed2 = p.inverse().compose(&p).unwrap();
+        assert!(composed2.is_identity());
+    }
+
+    #[test]
+    fn compose_order() {
+        // self ∘ other applies other first.
+        let rot = Permutation::from_vec(vec![1, 2, 0]).unwrap(); // out[i]=in[i+1]
+        let swap = Permutation::from_vec(vec![1, 0, 2]).unwrap();
+        let both = swap.compose(&rot).unwrap();
+        let via_two = swap.apply_slice(&rot.apply_slice(&[10, 20, 30]));
+        assert_eq!(both.apply_slice(&[10, 20, 30]), via_two);
+    }
+
+    #[test]
+    fn row_and_col_permutes() {
+        let t = Tensor::from_fn(&[2, 3], |i| i as f32); // [[0,1,2],[3,4,5]]
+        let pr = Permutation::from_vec(vec![1, 0]).unwrap();
+        let rt = pr.apply_rows(&t).unwrap();
+        assert_eq!(rt.row(0), &[3.0, 4.0, 5.0]);
+        let pc = Permutation::from_vec(vec![2, 1, 0]).unwrap();
+        let ct = pc.apply_cols(&t).unwrap();
+        assert_eq!(ct.row(0), &[2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn row_permute_then_inverse_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let t = Tensor::from_fn(&[6, 4], |i| i as f32);
+        let p = Permutation::random(6, &mut rng);
+        let back = p.inverse().apply_rows(&p.apply_rows(&t).unwrap()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn col_permute_then_inverse_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let t = Tensor::from_fn(&[3, 7], |i| i as f32);
+        let p = Permutation::random(7, &mut rng);
+        let back = p.inverse().apply_cols(&p.apply_cols(&t).unwrap()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let t = Tensor::from_fn(&[3, 4], |i| i as f32);
+        let p = Permutation::identity(5);
+        assert!(p.apply_rows(&t).is_err());
+        assert!(p.apply_cols(&t).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Fixed-point (Q7) and INT8 linear quantization, mirroring the two
+//! quantization schemes evaluated in the paper (§5.1 fixed point,
+//! §5.3.8 INT8 linear).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Tensor, TensorError};
+
+/// A quantized `i8` tensor together with its quantization parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTensor {
+    /// Quantized storage.
+    pub values: Tensor<i8>,
+    /// Parameters needed to dequantize.
+    pub params: LinearQuantParams,
+}
+
+/// Affine (scale/zero-point) quantization parameters:
+/// `real = scale * (q - zero_point)`.
+///
+/// Fixed-point Q7 is the special case `scale = 2^-frac_bits`,
+/// `zero_point = 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearQuantParams {
+    /// Multiplicative scale (must be positive).
+    pub scale: f32,
+    /// Zero point in the quantized domain.
+    pub zero_point: i32,
+}
+
+impl LinearQuantParams {
+    /// Derives symmetric parameters covering `[-absmax, absmax]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidQuantization`] when `absmax` is not
+    /// finite and positive.
+    pub fn symmetric(absmax: f32) -> Result<Self, TensorError> {
+        if !absmax.is_finite() || absmax <= 0.0 {
+            return Err(TensorError::InvalidQuantization {
+                detail: format!("absmax must be finite and positive, got {absmax}"),
+            });
+        }
+        Ok(LinearQuantParams {
+            scale: absmax / 127.0,
+            zero_point: 0,
+        })
+    }
+
+    /// Derives asymmetric parameters covering `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidQuantization`] when the range is empty
+    /// or non-finite.
+    pub fn asymmetric(min: f32, max: f32) -> Result<Self, TensorError> {
+        if !min.is_finite() || !max.is_finite() || max <= min {
+            return Err(TensorError::InvalidQuantization {
+                detail: format!("invalid range [{min}, {max}]"),
+            });
+        }
+        let scale = (max - min) / 255.0;
+        let zero_point = (-128.0 - min / scale).round() as i32;
+        Ok(LinearQuantParams {
+            scale,
+            zero_point: zero_point.clamp(-128, 127),
+        })
+    }
+}
+
+/// The Q7 fixed-point format: `frac_bits` fractional bits,
+/// `real = q / 2^frac_bits`. CMSIS-NN's default weight format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Q7 {
+    /// Number of fractional bits (0..=7).
+    pub frac_bits: u8,
+}
+
+impl Q7 {
+    /// Creates a Q7 format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidQuantization`] when `frac_bits > 7`.
+    pub fn new(frac_bits: u8) -> Result<Self, TensorError> {
+        if frac_bits > 7 {
+            return Err(TensorError::InvalidQuantization {
+                detail: format!("Q7 supports at most 7 fractional bits, got {frac_bits}"),
+            });
+        }
+        Ok(Q7 { frac_bits })
+    }
+
+    /// Chooses the most precise format that can represent `absmax`.
+    pub fn fitting(absmax: f32) -> Q7 {
+        let mut frac_bits = 7u8;
+        while frac_bits > 0 {
+            let max_repr = 127.0 / f32::from(1u8 << frac_bits) * 1.0;
+            if absmax <= max_repr {
+                break;
+            }
+            frac_bits -= 1;
+        }
+        Q7 { frac_bits }
+    }
+
+    /// Quantizes a real value (round-to-nearest, saturating).
+    pub fn quantize(&self, v: f32) -> i8 {
+        let scaled = v * f32::from(1u16 << self.frac_bits);
+        scaled.round().clamp(-128.0, 127.0) as i8
+    }
+
+    /// Dequantizes back to a real value.
+    pub fn dequantize(&self, q: i8) -> f32 {
+        f32::from(q) / f32::from(1u16 << self.frac_bits)
+    }
+
+    /// Quantizes a whole tensor.
+    pub fn quantize_tensor(&self, t: &Tensor<f32>) -> Tensor<i8> {
+        Tensor::from_fn(t.shape().dims(), |i| self.quantize(t.as_slice()[i]))
+    }
+
+    /// Dequantizes a whole tensor.
+    pub fn dequantize_tensor(&self, t: &Tensor<i8>) -> Tensor<f32> {
+        Tensor::from_fn(t.shape().dims(), |i| self.dequantize(t.as_slice()[i]))
+    }
+
+    /// Worst-case absolute rounding error of this format (half a step).
+    pub fn max_rounding_error(&self) -> f32 {
+        0.5 / f32::from(1u16 << self.frac_bits)
+    }
+}
+
+/// Quantizes a tensor with INT8 linear (affine) quantization.
+pub fn quantize_linear(t: &Tensor<f32>, params: &LinearQuantParams) -> QTensor {
+    let values = Tensor::from_fn(t.shape().dims(), |i| {
+        let q = (t.as_slice()[i] / params.scale).round() as i32 + params.zero_point;
+        q.clamp(-128, 127) as i8
+    });
+    QTensor {
+        values,
+        params: *params,
+    }
+}
+
+/// Dequantizes an INT8-linear tensor back to `f32`.
+pub fn dequantize_linear(q: &QTensor) -> Tensor<f32> {
+    Tensor::from_fn(q.values.shape().dims(), |i| {
+        q.params.scale * (i32::from(q.values.as_slice()[i]) - q.params.zero_point) as f32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn q7_roundtrip_error_bounded() {
+        let fmt = Q7::new(7).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v: f32 = rng.gen_range(-0.99..0.99);
+            let err = (fmt.dequantize(fmt.quantize(v)) - v).abs();
+            assert!(err <= fmt.max_rounding_error() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn q7_saturates() {
+        let fmt = Q7::new(7).unwrap();
+        assert_eq!(fmt.quantize(10.0), 127);
+        assert_eq!(fmt.quantize(-10.0), -128);
+    }
+
+    #[test]
+    fn q7_fitting_picks_precise_format() {
+        assert_eq!(Q7::fitting(0.5).frac_bits, 7);
+        assert!(Q7::fitting(8.0).frac_bits < 7);
+        let fmt = Q7::fitting(8.0);
+        // Must be able to represent 8.0 without saturation error > step.
+        let back = fmt.dequantize(fmt.quantize(8.0));
+        assert!((back - 8.0).abs() <= 127.0); // representable at all
+    }
+
+    #[test]
+    fn q7_rejects_too_many_bits() {
+        assert!(Q7::new(8).is_err());
+    }
+
+    #[test]
+    fn linear_symmetric_roundtrip() {
+        let params = LinearQuantParams::symmetric(2.0).unwrap();
+        let t = Tensor::from_vec(vec![-2.0f32, -1.0, 0.0, 1.0, 2.0], &[5]).unwrap();
+        let q = quantize_linear(&t, &params);
+        let back = dequantize_linear(&q);
+        for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= params.scale / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn linear_asymmetric_covers_range() {
+        let params = LinearQuantParams::asymmetric(0.0, 6.0).unwrap();
+        let t = Tensor::from_vec(vec![0.0f32, 3.0, 6.0], &[3]).unwrap();
+        let q = quantize_linear(&t, &params);
+        let back = dequantize_linear(&q);
+        for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= params.scale + 1e-5);
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(LinearQuantParams::symmetric(0.0).is_err());
+        assert!(LinearQuantParams::symmetric(f32::NAN).is_err());
+        assert!(LinearQuantParams::asymmetric(3.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn tensor_quantize_shapes_preserved() {
+        let fmt = Q7::new(6).unwrap();
+        let t = Tensor::<f32>::zeros(&[2, 3, 4]);
+        let q = fmt.quantize_tensor(&t);
+        assert_eq!(q.shape().dims(), &[2, 3, 4]);
+        let d = fmt.dequantize_tensor(&q);
+        assert_eq!(d.shape().dims(), &[2, 3, 4]);
+    }
+}

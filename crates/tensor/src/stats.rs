@@ -1,0 +1,205 @@
+//! Statistical helpers backing the paper's analytic accuracy model (§4.1):
+//! per-cluster covariance matrices, their largest eigenvalue via power
+//! iteration, and the squared Frobenius norm.
+
+use crate::{Tensor, TensorError};
+
+/// Squared Frobenius norm `‖A‖²_F` (the squared sum of every element),
+/// the error metric of the paper's accuracy model.
+pub fn frobenius_norm_sq(t: &Tensor<f32>) -> f32 {
+    t.norm_sq()
+}
+
+/// Mean of the rows of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] for non-rank-2 or empty input.
+pub fn mean_rows(t: &Tensor<f32>) -> Result<Vec<f32>, TensorError> {
+    if t.shape().rank() != 2 || t.rows() == 0 {
+        return Err(TensorError::ShapeMismatch {
+            op: "mean_rows",
+            expected: vec![1, 0],
+            actual: t.shape().dims().to_vec(),
+        });
+    }
+    let (n, d) = (t.rows(), t.cols());
+    let mut mean = vec![0.0f32; d];
+    for r in 0..n {
+        for (m, v) in mean.iter_mut().zip(t.row(r)) {
+            *m += v;
+        }
+    }
+    let inv = 1.0 / n as f32;
+    for m in &mut mean {
+        *m *= inv;
+    }
+    Ok(mean)
+}
+
+/// Sample covariance matrix `Σ = (1/n) Σᵢ (xᵢ−μ)(xᵢ−μ)ᵀ` of the rows of a
+/// rank-2 tensor (population normalization, matching the paper's bound,
+/// where `m_i · λ_max(Σ)` bounds the within-cluster scatter).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] for non-rank-2 or empty input.
+pub fn covariance(t: &Tensor<f32>) -> Result<Tensor<f32>, TensorError> {
+    let mean = mean_rows(t)?;
+    let (n, d) = (t.rows(), t.cols());
+    let mut cov = Tensor::zeros(&[d, d]);
+    let cov_s = cov.as_mut_slice();
+    let mut centered = vec![0.0f32; d];
+    for r in 0..n {
+        for ((c, v), m) in centered.iter_mut().zip(t.row(r)).zip(mean.iter()) {
+            *c = v - m;
+        }
+        for i in 0..d {
+            let ci = centered[i];
+            if ci == 0.0 {
+                continue;
+            }
+            let row = &mut cov_s[i * d..(i + 1) * d];
+            for (cv, cj) in row.iter_mut().zip(centered.iter()) {
+                *cv += ci * cj;
+            }
+        }
+    }
+    let inv = 1.0 / n as f32;
+    for v in cov.as_mut_slice() {
+        *v *= inv;
+    }
+    Ok(cov)
+}
+
+/// Largest eigenvalue of a symmetric positive semi-definite matrix via
+/// power iteration. Deterministic: starts from a fixed seed vector.
+///
+/// `iters` of 50 is plenty for the cluster covariances the analytic model
+/// needs (we only need ~2 significant digits for ranking patterns).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] for a non-square input.
+pub fn max_eigenvalue(m: &Tensor<f32>, iters: usize) -> Result<f32, TensorError> {
+    if m.shape().rank() != 2 || m.rows() != m.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "max_eigenvalue",
+            expected: vec![m.rows(), m.rows()],
+            actual: m.shape().dims().to_vec(),
+        });
+    }
+    let d = m.rows();
+    if d == 0 {
+        return Ok(0.0);
+    }
+    // Deterministic pseudo-random start vector to avoid orthogonal-start
+    // pathologies without depending on an RNG.
+    let mut v: Vec<f32> = (0..d)
+        .map(|i| ((i as f32 * 12.9898).sin() * 43758.547).fract() + 0.1)
+        .collect();
+    let mut lambda = 0.0f32;
+    for _ in 0..iters.max(1) {
+        let mut next = vec![0.0f32; d];
+        for (i, nv) in next.iter_mut().enumerate() {
+            let row = &m.as_slice()[i * d..(i + 1) * d];
+            *nv = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+        }
+        let norm: f32 = next.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm < 1e-20 {
+            return Ok(0.0);
+        }
+        for x in &mut next {
+            *x /= norm;
+        }
+        // Rayleigh quotient.
+        let mut mv = vec![0.0f32; d];
+        for (i, mvv) in mv.iter_mut().enumerate() {
+            let row = &m.as_slice()[i * d..(i + 1) * d];
+            *mvv = row.iter().zip(next.iter()).map(|(a, b)| a * b).sum();
+        }
+        lambda = next.iter().zip(mv.iter()).map(|(a, b)| a * b).sum();
+        v = next;
+    }
+    Ok(lambda.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frobenius_of_known_matrix() {
+        let t = Tensor::from_vec(vec![1.0f32, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(frobenius_norm_sq(&t), 30.0);
+    }
+
+    #[test]
+    fn mean_rows_basic() {
+        let t = Tensor::from_vec(vec![1.0f32, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(mean_rows(&t).unwrap(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn covariance_of_identical_rows_is_zero() {
+        let t = Tensor::from_vec(vec![5.0f32, -1.0, 5.0, -1.0, 5.0, -1.0], &[3, 2]).unwrap();
+        let cov = covariance(&t).unwrap();
+        assert!(cov.as_slice().iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn covariance_diagonal_matches_variance() {
+        // Rows [0], [2] -> mean 1, var 1.
+        let t = Tensor::from_vec(vec![0.0f32, 2.0], &[2, 1]).unwrap();
+        let cov = covariance(&t).unwrap();
+        assert!((cov[[0, 0]] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_eigenvalue_of_diagonal() {
+        let m = Tensor::from_vec(vec![3.0f32, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let l = max_eigenvalue(&m, 100).unwrap();
+        assert!((l - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn max_eigenvalue_of_rank_one() {
+        // vv^T with v = [1, 2] has top eigenvalue |v|^2 = 5.
+        let m = Tensor::from_vec(vec![1.0f32, 2.0, 2.0, 4.0], &[2, 2]).unwrap();
+        let l = max_eigenvalue(&m, 100).unwrap();
+        assert!((l - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn max_eigenvalue_zero_matrix() {
+        let m = Tensor::<f32>::zeros(&[3, 3]);
+        assert_eq!(max_eigenvalue(&m, 50).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn max_eigenvalue_rejects_nonsquare() {
+        let m = Tensor::<f32>::zeros(&[2, 3]);
+        assert!(max_eigenvalue(&m, 10).is_err());
+    }
+
+    #[test]
+    fn eigenvalue_bounds_quadratic_form() {
+        // For any unit w: w' Σ w <= λ_max.
+        let t = Tensor::from_vec(
+            vec![
+                1.0f32, 0.0, 0.0, 2.0, 1.5, -0.5, -1.0, 1.0, 0.3, 0.7, 2.0, -2.0,
+            ],
+            &[6, 2],
+        )
+        .unwrap();
+        let cov = covariance(&t).unwrap();
+        let lmax = max_eigenvalue(&cov, 200).unwrap();
+        for angle_deg in (0..360).step_by(15) {
+            let a = (angle_deg as f32).to_radians();
+            let w = [a.cos(), a.sin()];
+            let quad = w[0] * (cov[[0, 0]] * w[0] + cov[[0, 1]] * w[1])
+                + w[1] * (cov[[1, 0]] * w[0] + cov[[1, 1]] * w[1]);
+            assert!(quad <= lmax + 1e-3, "quad {quad} > lmax {lmax}");
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! Owned, row-major dense tensor.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{Shape, TensorError};
+
+/// Scalar types a [`Tensor`] can hold.
+///
+/// Sealed in practice: the workspace only needs `f32`, `i8` and `i32`
+/// (floating point, CMSIS-NN-style Q7 storage, and Q7 accumulators).
+pub trait Element: Copy + Clone + Default + PartialEq + fmt::Debug + Send + Sync + 'static {
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+}
+
+impl Element for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+}
+impl Element for i8 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+}
+impl Element for i32 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+}
+
+/// A dense row-major tensor with an explicit [`Shape`].
+///
+/// This is the single in-memory representation behind the paper's three
+/// views: the *image view* is a rank-3 `(C, H, W)` tensor, the *im2col
+/// view* a rank-2 matrix, and the *memory view* is the flat `data` buffer
+/// itself (row-major, as on a Cortex-M CPU).
+///
+/// ```
+/// use greuse_tensor::Tensor;
+/// let t = Tensor::from_vec(vec![1.0f32, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+/// assert_eq!(t[[1, 0]], 3.0);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor<T: Element = f32> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Element> Tensor<T> {
+    /// Creates a tensor filled with `T::ZERO`.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![T::ZERO; shape.len()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor filled with a constant.
+    pub fn full(dims: &[usize], value: T) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![value; shape.len()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `data.len()` does not
+    /// equal the product of `dims`.
+    pub fn from_vec(data: Vec<T>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "from_vec",
+                expected: vec![shape.len()],
+                actual: vec![data.len()],
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Builds a tensor by evaluating `f` at every flat offset.
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> T) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.len()).map(&mut f).collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat row-major buffer (the *memory view*).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element access by multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates indexing errors from [`Shape::offset`].
+    pub fn get(&self, idx: &[usize]) -> Result<T, TensorError> {
+        Ok(self.data[self.shape.offset(idx)?])
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates indexing errors from [`Shape::offset`].
+    pub fn set(&mut self, idx: &[usize], value: T) -> Result<(), TensorError> {
+        let off = self.shape.offset(idx)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Reinterprets the buffer under a new shape of identical length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the element counts differ.
+    pub fn reshape(self, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims);
+        if shape.len() != self.data.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "reshape",
+                expected: vec![self.data.len()],
+                actual: vec![shape.len()],
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data,
+        })
+    }
+
+    /// Returns row `r` of a rank-2 tensor as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[T] {
+        assert_eq!(self.shape.rank(), 2, "row() requires a rank-2 tensor");
+        let cols = self.shape.dims()[1];
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Returns row `r` of a rank-2 tensor as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        assert_eq!(self.shape.rank(), 2, "row_mut() requires a rank-2 tensor");
+        let cols = self.shape.dims()[1];
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Number of rows of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.shape.rank(), 2, "rows() requires a rank-2 tensor");
+        self.shape.dims()[0]
+    }
+
+    /// Number of columns of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.rank(), 2, "cols() requires a rank-2 tensor");
+        self.shape.dims()[1]
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(T) -> T) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+}
+
+impl Tensor<f32> {
+    /// Samples a tensor with i.i.d. entries from `dist`.
+    pub fn random<D: Distribution<f32>>(dims: &[usize], dist: &D, rng: &mut impl Rng) -> Self {
+        Tensor::from_fn(dims, |_| dist.sample(rng))
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose(&self) -> Tensor<f32> {
+        let (r, c) = (self.rows(), self.cols());
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.as_mut_slice()[j * r + i] = self.data[i * c + j];
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Squared L2 norm of the whole buffer.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Element-wise `self += other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor<f32>) -> Result<(), TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_assign",
+                expected: self.shape.dims().to_vec(),
+                actual: other.shape.dims().to_vec(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Element-wise `self += scale * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn axpy(&mut self, scale: f32, other: &Tensor<f32>) -> Result<(), TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "axpy",
+                expected: self.shape.dims().to_vec(),
+                actual: other.shape.dims().to_vec(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += scale * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+}
+
+impl<T: Element> std::ops::Index<[usize; 2]> for Tensor<T> {
+    type Output = T;
+    fn index(&self, idx: [usize; 2]) -> &T {
+        let off = self.shape.offset(&idx).expect("index out of bounds");
+        &self.data[off]
+    }
+}
+
+impl<T: Element> std::ops::IndexMut<[usize; 2]> for Tensor<T> {
+    fn index_mut(&mut self, idx: [usize; 2]) -> &mut T {
+        let off = self.shape.offset(&idx).expect("index out of bounds");
+        &mut self.data[off]
+    }
+}
+
+impl<T: Element> std::ops::Index<[usize; 3]> for Tensor<T> {
+    type Output = T;
+    fn index(&self, idx: [usize; 3]) -> &T {
+        let off = self.shape.offset(&idx).expect("index out of bounds");
+        &self.data[off]
+    }
+}
+
+impl<T: Element> std::ops::IndexMut<[usize; 3]> for Tensor<T> {
+    fn index_mut(&mut self, idx: [usize; 3]) -> &mut T {
+        let off = self.shape.offset(&idx).expect("index out of bounds");
+        &mut self.data[off]
+    }
+}
+
+impl<T: Element> fmt::Debug for Tensor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(
+                f,
+                "[{:?}, {:?}, ... {} elems]",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
+        }
+    }
+}
+
+impl<T: Element> Default for Tensor<T> {
+    fn default() -> Self {
+        Tensor {
+            shape: Shape::new(&[0]),
+            data: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::<f32>::zeros(&[2, 3]);
+        assert_eq!(z.len(), 6);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let f = Tensor::full(&[2, 2], 7i8);
+        assert!(f.as_slice().iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Tensor::from_vec(vec![1.0f32; 5], &[2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0f32; 6], &[2, 3]).is_ok());
+    }
+
+    #[test]
+    fn indexing_rank2_and_rank3() {
+        let t = Tensor::from_fn(&[2, 3, 4], |i| i as f32);
+        assert_eq!(t[[1, 2, 3]], 23.0);
+        let m = Tensor::from_fn(&[3, 4], |i| i as f32);
+        assert_eq!(m[[2, 1]], 9.0);
+    }
+
+    #[test]
+    fn reshape_preserves_memory_view() {
+        let t = Tensor::from_fn(&[2, 6], |i| i as f32);
+        let r = t.clone().reshape(&[3, 4]).unwrap();
+        assert_eq!(t.as_slice(), r.as_slice());
+        assert!(t.reshape(&[5, 5]).is_err());
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let dist = rand::distributions::Uniform::new(-1.0f32, 1.0);
+        let t = Tensor::random(&[3, 5], &dist, &mut rng);
+        assert_eq!(t.transpose().transpose(), t);
+        assert_eq!(t.transpose()[[4, 2]], t[[2, 4]]);
+    }
+
+    #[test]
+    fn row_access() {
+        let t = Tensor::from_fn(&[3, 4], |i| i as f32);
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 4);
+    }
+
+    #[test]
+    fn axpy_and_add_assign() {
+        let mut a = Tensor::full(&[2, 2], 1.0f32);
+        let b = Tensor::full(&[2, 2], 2.0f32);
+        a.axpy(0.5, &b).unwrap();
+        assert!(a.as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-6));
+        a.add_assign(&b).unwrap();
+        assert!(a.as_slice().iter().all(|&v| (v - 4.0).abs() < 1e-6));
+        let c = Tensor::zeros(&[3, 3]);
+        assert!(a.add_assign(&c).is_err());
+    }
+
+    #[test]
+    fn norm_and_sum() {
+        let t = Tensor::from_vec(vec![3.0f32, 4.0], &[2]).unwrap();
+        assert_eq!(t.norm_sq(), 25.0);
+        assert_eq!(t.sum(), 7.0);
+    }
+
+    #[test]
+    fn map_inplace_applies() {
+        let mut t = Tensor::from_fn(&[4], |i| i as f32);
+        t.map_inplace(|v| v * 2.0);
+        assert_eq!(t.as_slice(), &[0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        let t = Tensor::<f32>::zeros(&[100]);
+        assert!(!format!("{t:?}").is_empty());
+    }
+}

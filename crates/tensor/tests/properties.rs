@@ -1,0 +1,135 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+
+use greuse_tensor::{
+    col2im_accumulate, conv2d_naive, gemm_f32, im2col, ConvSpec, Permutation, Shape, Tensor, Q7,
+};
+
+fn small_mat(max_r: usize, max_c: usize) -> impl Strategy<Value = Tensor<f32>> {
+    (1..=max_r, 1..=max_c).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(data, &[r, c]).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shape_offset_unravel_roundtrip(dims in proptest::collection::vec(1usize..6, 1..4), pick in any::<u64>()) {
+        let shape = Shape::new(&dims);
+        let flat = (pick as usize) % shape.len();
+        let idx = shape.unravel(flat).unwrap();
+        prop_assert_eq!(shape.offset(&idx).unwrap(), flat);
+    }
+
+    #[test]
+    fn permutation_roundtrip_rows(t in small_mat(8, 8), seed in any::<u64>()) {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let p = Permutation::random(t.rows(), &mut rng);
+        let back = p.inverse().apply_rows(&p.apply_rows(&t).unwrap()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn permutation_roundtrip_cols(t in small_mat(8, 8), seed in any::<u64>()) {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let p = Permutation::random(t.cols(), &mut rng);
+        let back = p.inverse().apply_cols(&p.apply_cols(&t).unwrap()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn permutation_preserves_multiset(t in small_mat(6, 6), seed in any::<u64>()) {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let p = Permutation::random(t.cols(), &mut rng);
+        let permuted = p.apply_cols(&t).unwrap();
+        let mut a: Vec<u32> = t.as_slice().iter().map(|v| v.to_bits()).collect();
+        let mut b: Vec<u32> = permuted.as_slice().iter().map(|v| v.to_bits()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gemm_identity(t in small_mat(10, 10)) {
+        let n = t.cols();
+        let eye = Tensor::from_fn(&[n, n], |i| if i / n == i % n { 1.0 } else { 0.0 });
+        let out = gemm_f32(&t, &eye).unwrap();
+        for (a, b) in out.as_slice().iter().zip(t.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_distributes_over_addition(seed in any::<u64>()) {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        use rand::Rng;
+        let a = Tensor::from_fn(&[5, 4], |_| rng.gen_range(-2.0f32..2.0));
+        let b1 = Tensor::from_fn(&[4, 3], |_| rng.gen_range(-1.0f32..1.0));
+        let b2 = Tensor::from_fn(&[4, 3], |_| rng.gen_range(-1.0f32..1.0));
+        let mut sum = b1.clone();
+        sum.add_assign(&b2).unwrap();
+        let lhs = gemm_f32(&a, &sum).unwrap();
+        let mut rhs = gemm_f32(&a, &b1).unwrap();
+        rhs.add_assign(&gemm_f32(&a, &b2).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_gemm_equals_direct_conv(
+        c in 1usize..3,
+        m in 1usize..3,
+        hw in 4usize..8,
+        pad in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        use rand::Rng;
+        let spec = ConvSpec::new(c, m, 3, 3).with_padding(pad);
+        let img = Tensor::from_fn(&[c, hw, hw], |_| rng.gen_range(-1.0f32..1.0));
+        let w = Tensor::from_fn(&[m, spec.patch_len()], |_| rng.gen_range(-1.0f32..1.0));
+        let x = im2col(&img, &spec).unwrap();
+        let y = gemm_f32(&x, &w.transpose()).unwrap();
+        let direct = conv2d_naive(&img, &w, &spec).unwrap();
+        let (oh, ow) = spec.output_hw(hw, hw).unwrap();
+        for mm in 0..m {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let a = y[[oy * ow + ox, mm]];
+                    let b = direct[[mm, oy, ox]];
+                    prop_assert!((a - b).abs() < 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_adjoint_property(hw in 5usize..8, seed in any::<u64>()) {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        use rand::Rng;
+        let spec = ConvSpec::new(2, 1, 3, 3).with_padding(1);
+        let img = Tensor::from_fn(&[2, hw, hw], |_| rng.gen_range(-1.0f32..1.0));
+        let x = im2col(&img, &spec).unwrap();
+        let y = Tensor::from_fn(x.shape().dims(), |_| rng.gen_range(-1.0f32..1.0));
+        let lhs: f32 = x.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let back = col2im_accumulate(&y, &spec, hw, hw).unwrap();
+        let rhs: f32 = img.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn q7_roundtrip_error_bounded(v in -0.99f32..0.99, bits in 1u8..=7) {
+        let fmt = Q7::new(bits).unwrap();
+        let err = (fmt.dequantize(fmt.quantize(v)) - v).abs();
+        prop_assert!(err <= fmt.max_rounding_error() + 1e-6);
+    }
+
+    #[test]
+    fn transpose_involution(t in small_mat(7, 9)) {
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+}

@@ -1,0 +1,65 @@
+//! OOD monitor scenario (paper §5.3.6): a deployed model watches for
+//! out-of-distribution inputs with max-softmax detection; reuse-optimized
+//! models tend to be *more* alert to OOD data.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p greuse-examples --bin ood_monitor
+//! ```
+
+use greuse::{max_softmax_detection, AdaptedHashProvider, ReuseBackend, ReusePattern};
+use greuse_data::SyntheticDataset;
+use greuse_nn::{models::CifarNet, DenseBackend, Trainer, TrainerConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("OOD monitor: max-softmax detection, threshold 0.7 (paper 5.3.6)\n");
+
+    let id_data = SyntheticDataset::cifar_like(31);
+    let ood_data = SyntheticDataset::svhn_like(31);
+    let (train, id_test) = id_data.train_test(200, 60, 9);
+    let ood_test = ood_data.generate(60, 10);
+
+    let mut rng = SmallRng::seed_from_u64(4);
+    let mut net = CifarNet::new(10, &mut rng);
+    let mut trainer = Trainer::new(TrainerConfig::fast(3, 0.01));
+    let report = trainer.train(&mut net, &train)?;
+    println!(
+        "trained: final train accuracy {:.3}\n",
+        report.final_accuracy()
+    );
+
+    let threshold = 0.7f32;
+    let reuse_backend = ReuseBackend::new(AdaptedHashProvider::new())
+        .with_pattern("conv1", ReusePattern::conventional(25, 4))
+        .with_pattern("conv2", ReusePattern::conventional(20, 2));
+
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>12}",
+        "model", "ID acc", "OOD acc", "ID flagged", "OOD flagged"
+    );
+    for (label, backend) in [
+        (
+            "traditional CNN",
+            &DenseBackend as &dyn greuse_nn::ConvBackend,
+        ),
+        ("CNN with reuse", &reuse_backend),
+    ] {
+        let id = max_softmax_detection(&net, backend, &id_test, threshold)?;
+        let ood = max_softmax_detection(&net, backend, &ood_test, threshold)?;
+        println!(
+            "{:<22} {:>10.3} {:>10.3} {:>11.1}% {:>11.1}%",
+            label,
+            id.accuracy,
+            ood.accuracy,
+            id.detection_rate * 100.0,
+            ood.detection_rate * 100.0
+        );
+    }
+    println!(
+        "\nexpected shape (paper Table 4): OOD accuracy collapses toward chance, and\n\
+         the reuse-optimized model flags a larger share of OOD inputs."
+    );
+    Ok(())
+}

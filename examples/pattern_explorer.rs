@@ -1,0 +1,98 @@
+//! Pattern explorer: run the paper's analytic–empirical selection
+//! workflow (§4.3, Fig. 8) on one layer and print every stage — candidate
+//! generation, lightweight profiling, analytic pruning, full check, and
+//! the final Pareto front.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p greuse-examples --bin pattern_explorer
+//! ```
+
+use greuse::{
+    workflow::{select_patterns_for_layer, WorkflowConfig},
+    Scope,
+};
+use greuse_data::SyntheticDataset;
+use greuse_mcu::Board;
+use greuse_nn::models::CifarNet;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("pattern explorer: selection workflow on CifarNet conv2\n");
+
+    let dataset = SyntheticDataset::cifar_like(21);
+    let (train, test) = dataset.train_test(8, 40, 13);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let net = CifarNet::new(10, &mut rng);
+
+    let config = WorkflowConfig {
+        scope: Scope::default_scope(),
+        board: Board::Stm32F469i,
+        prune_to: 6,
+        profile_samples: 2,
+        seed: 77,
+        profile_adapted: true,
+    };
+    let n_candidates = config.scope.candidates(256, 1600).len();
+    println!(
+        "scope: {} Cartesian combinations, {} valid candidates for conv2",
+        config.scope.cartesian_size(),
+        n_candidates
+    );
+
+    let selection = select_patterns_for_layer(&net, "conv2", &train, &test, &config)?;
+
+    println!(
+        "profiling {:.2?}, pruning {:.2?}, full check {:.2?}\n",
+        selection.timing.profiling, selection.timing.prune, selection.timing.full_check
+    );
+
+    println!(
+        "{:<28} {:>9} {:>7} {:>11} {:>9}",
+        "pattern", "bound", "r_t", "pred ms", "speedup"
+    );
+    let mut by_bound: Vec<_> = selection.evaluations.iter().collect();
+    by_bound.sort_by(|a, b| a.error_bound.total_cmp(&b.error_bound));
+    for e in by_bound.iter().take(10) {
+        println!(
+            "{:<28} {:>9.2} {:>7.3} {:>11.2} {:>8.2}x",
+            e.pattern.label(),
+            e.error_bound,
+            e.redundancy_ratio,
+            e.predicted_latency_ms,
+            e.predicted_speedup
+        );
+    }
+
+    println!("\npromising set (model-pruned, fully checked):");
+    println!(
+        "{:<28} {:>10} {:>12} {:>7}",
+        "pattern", "accuracy", "latency ms", "r_t"
+    );
+    for &i in &selection.promising {
+        let e = &selection.evaluations[i];
+        if let Some(mr) = e.measured {
+            println!(
+                "{:<28} {:>10.3} {:>12.2} {:>7.3}",
+                e.pattern.label(),
+                mr.accuracy,
+                mr.latency_ms,
+                mr.redundancy_ratio
+            );
+        }
+    }
+
+    println!("\nPareto-optimal patterns (latency-ascending):");
+    for &i in &selection.pareto {
+        let e = &selection.evaluations[i];
+        let mr = e.measured.expect("pareto points are measured");
+        println!(
+            "  {} -> accuracy {:.3}, latency {:.2} ms",
+            e.pattern.label(),
+            mr.accuracy,
+            mr.latency_ms
+        );
+    }
+    Ok(())
+}

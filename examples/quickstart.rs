@@ -1,0 +1,88 @@
+//! Quickstart: apply generalized reuse to one convolution-shaped GEMM and
+//! inspect the accuracy/latency trade-off of a few patterns.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p greuse-examples --bin quickstart
+//! ```
+
+use greuse::{
+    accuracy_bound, execute_reuse, key_condition_holds, LatencyModel, RandomHashProvider,
+    ReuseDirection, ReuseOrder, ReusePattern,
+};
+use greuse_mcu::Board;
+use greuse_tensor::{gemm_f32, Tensor};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build an im2col-shaped matrix with realistic redundancy: rows are
+    // noisy copies of a handful of prototype tiles (cf. paper Fig. 1).
+    let (n, k, m, protos) = (1024usize, 75usize, 64usize, 24usize);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let base = Tensor::from_fn(&[protos, k], |_| rng.gen_range(-1.0f32..1.0));
+    let x = Tensor::from_fn(&[n, k], |i| {
+        let (r, c) = (i / k, i % k);
+        base[[r % protos, c]] + rng.gen_range(-0.02..0.02)
+    });
+    let w = Tensor::from_fn(&[m, k], |_| rng.gen_range(-0.5f32..0.5));
+
+    println!("greuse quickstart: {n}x{k} im2col matrix, {m} filters\n");
+
+    let exact = gemm_f32(&x, &w.transpose())?;
+    let hashes = RandomHashProvider::new(42);
+    let model = LatencyModel::new(Board::Stm32F469i);
+    let dense_ms = model.dense(n, k, m).total_ms();
+    println!("dense baseline latency (STM32F4 model): {dense_ms:.2} ms\n");
+
+    let patterns = [
+        ("conventional deep reuse", ReusePattern::conventional(25, 4)),
+        (
+            "generalized: tiled column order",
+            ReusePattern::conventional(25, 4).with_order(ReuseOrder::Tiled(3)),
+        ),
+        (
+            "generalized: 2-D neuron block",
+            ReusePattern::conventional(25, 4).with_block_rows(2),
+        ),
+        (
+            "generalized: horizontal direction",
+            ReusePattern::conventional(64, 4).with_direction(ReuseDirection::Horizontal),
+        ),
+    ];
+
+    println!(
+        "{:<36} {:>6} {:>10} {:>12} {:>10} {:>8}",
+        "pattern", "r_t", "err bound", "measured err", "latency", "speedup"
+    );
+    for (name, pattern) in patterns {
+        let est = accuracy_bound(&x, &w, &pattern, &hashes)?;
+        let out = execute_reuse(&x, &w, &pattern, &hashes)?;
+        let err: f64 = exact
+            .as_slice()
+            .iter()
+            .zip(out.y.as_slice())
+            .map(|(a, b)| f64::from(a - b).powi(2))
+            .sum();
+        let ms = model.from_ops(&out.stats.ops).total_ms();
+        println!(
+            "{:<36} {:>6.3} {:>10.3} {:>12.3} {:>8.2}ms {:>7.2}x",
+            name,
+            out.stats.redundancy_ratio,
+            est.error_bound,
+            err,
+            ms,
+            dense_ms / ms
+        );
+        assert!(
+            est.error_bound * 1.05 + 1e-6 >= err,
+            "analytic bound must dominate the measured error"
+        );
+    }
+
+    println!(
+        "\nkey condition H/D_out < r_t (paper 4.2) holds for H=4, M={m}, r_t=0.95: {}",
+        key_condition_holds(4, m, 0.95)
+    );
+    Ok(())
+}

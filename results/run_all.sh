@@ -1,0 +1,10 @@
+#!/bin/bash
+# Regenerates every table and figure (plus ablations); outputs land in results/.
+set -x
+cd /root/repo
+for bin in table1_single_layer fig11_reuse_order fig12_reuse_direction fig13_pattern_pareto fig14_model_efficacy table2_exploration_time table3_breakdown table4_ood table5_tradeoff_tools fig16_int8 fig15_resnet18 ablation_hashing ablation_bound; do
+  cargo run --release -p greuse-bench --bin $bin > results/$bin.txt 2>&1
+done
+cargo run --release -p greuse-bench --bin fig09_end_to_end -- --board f4 > results/fig09_f4.txt 2>&1
+cargo run --release -p greuse-bench --bin fig09_end_to_end -- --board f7 > results/fig10_f7.txt 2>&1
+echo ALL_EXPERIMENTS_DONE

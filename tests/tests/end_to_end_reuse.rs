@@ -1,0 +1,119 @@
+//! Integration: train a real model on synthetic data, deploy it through
+//! the reuse backend, and check the paper's qualitative claims end to end.
+
+use greuse::{
+    workflow::network_latency, AdaptedHashProvider, RandomHashProvider, ReuseBackend, ReusePattern,
+};
+use greuse_data::SyntheticDataset;
+use greuse_mcu::Board;
+use greuse_nn::{evaluate_accuracy, evaluate_dense, models::CifarNet, Trainer, TrainerConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn trained_cifarnet() -> (CifarNet, Vec<(greuse_tensor::Tensor<f32>, usize)>) {
+    let data = SyntheticDataset::cifar_like(77);
+    let (train, test) = data.train_test(120, 60, 5);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut net = CifarNet::new(10, &mut rng);
+    let mut trainer = Trainer::new(TrainerConfig::fast(3, 0.01));
+    trainer.train(&mut net, &train).expect("training");
+    (net, test)
+}
+
+#[test]
+fn trained_model_beats_chance_and_reuse_preserves_accuracy() {
+    let (net, test) = trained_cifarnet();
+    let dense = evaluate_dense(&net, &test).expect("dense eval");
+    assert!(
+        dense.accuracy > 0.5,
+        "training should beat chance, got {}",
+        dense.accuracy
+    );
+
+    // Gentle reuse (high H): accuracy within a few points of dense.
+    let gentle = ReuseBackend::new(AdaptedHashProvider::new())
+        .with_pattern("conv1", ReusePattern::conventional(25, 12))
+        .with_pattern("conv2", ReusePattern::conventional(32, 12));
+    let with_reuse = evaluate_accuracy(&net, &gentle, &test).expect("reuse eval");
+    assert!(
+        with_reuse.accuracy >= dense.accuracy - 0.1,
+        "gentle reuse lost too much: {} vs {}",
+        with_reuse.accuracy,
+        dense.accuracy
+    );
+}
+
+#[test]
+fn reuse_removes_most_computation_on_redundant_data() {
+    // Paper: generalized reuse avoids over 96% of conv computations.
+    let (net, test) = trained_cifarnet();
+    let backend = ReuseBackend::new(AdaptedHashProvider::new())
+        .with_pattern("conv1", ReusePattern::conventional(25, 2))
+        .with_pattern("conv2", ReusePattern::conventional(20, 2));
+    for (image, _) in test.iter().take(6) {
+        let _ = greuse_nn::Network::forward(&net, image, &backend).expect("forward");
+    }
+    for (layer, stats) in backend.stats() {
+        assert!(
+            stats.redundancy_ratio() > 0.9,
+            "{layer}: r_t {} too low",
+            stats.redundancy_ratio()
+        );
+    }
+}
+
+#[test]
+fn reuse_reduces_modeled_latency_on_both_boards() {
+    let (net, test) = trained_cifarnet();
+    let backend = ReuseBackend::new(AdaptedHashProvider::new())
+        .with_pattern("conv1", ReusePattern::conventional(25, 3))
+        .with_pattern("conv2", ReusePattern::conventional(20, 3));
+    for (image, _) in test.iter().take(4) {
+        let _ = greuse_nn::Network::forward(&net, image, &backend).expect("forward");
+    }
+    let dense_stats = HashMap::new();
+    for board in Board::all() {
+        let dense_ms = network_latency(&net, &dense_stats, board);
+        let reuse_ms = network_latency(&net, &backend.stats(), board);
+        assert!(
+            reuse_ms < dense_ms,
+            "{board}: reuse {reuse_ms} should beat dense {dense_ms}"
+        );
+    }
+    // F7 roughly twice as fast as F4 (paper 5.2).
+    let f4 = network_latency(&net, &backend.stats(), Board::Stm32F469i);
+    let f7 = network_latency(&net, &backend.stats(), Board::Stm32F767zi);
+    let ratio = f4 / f7;
+    assert!(ratio > 1.6 && ratio < 2.5, "F4/F7 ratio {ratio}");
+}
+
+#[test]
+fn adapted_hashing_no_worse_redundancy_than_random() {
+    // Footnote 1 / TREC claim: learned (here: data-adapted) hashing gives
+    // higher, more stable redundancy than random hashing at equal H.
+    let (net, test) = trained_cifarnet();
+    let pattern = ReusePattern::conventional(20, 4);
+    let run = |adapted: bool| -> f64 {
+        let stats = if adapted {
+            let b = ReuseBackend::new(AdaptedHashProvider::new()).with_pattern("conv2", pattern);
+            for (image, _) in test.iter().take(5) {
+                let _ = greuse_nn::Network::forward(&net, image, &b).expect("fwd");
+            }
+            b.layer_stats("conv2").unwrap()
+        } else {
+            let b = ReuseBackend::new(RandomHashProvider::new(3)).with_pattern("conv2", pattern);
+            for (image, _) in test.iter().take(5) {
+                let _ = greuse_nn::Network::forward(&net, image, &b).expect("fwd");
+            }
+            b.layer_stats("conv2").unwrap()
+        };
+        stats.redundancy_ratio()
+    };
+    let adapted_rt = run(true);
+    let random_rt = run(false);
+    assert!(
+        adapted_rt >= random_rt - 0.02,
+        "adapted r_t {adapted_rt} unexpectedly below random {random_rt}"
+    );
+}

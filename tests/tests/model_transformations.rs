@@ -1,0 +1,126 @@
+//! Integration: quantization, pruning, HPO and reuse compose (the paper's
+//! §5.3.8–§5.3.9 claims), across models.
+
+use greuse::{AdaptedHashProvider, ReuseBackend, ReusePattern};
+use greuse_data::SyntheticDataset;
+use greuse_nn::{
+    evaluate_accuracy, evaluate_dense, model_flops,
+    models::CifarNet,
+    models::SqueezeNet,
+    models::SqueezeNetVariant,
+    prune_channels,
+    quant::{quantize_weights, Int8ActivationBackend, QuantMode},
+    DenseBackend, Trainer, TrainerConfig,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+type Split = (
+    Vec<(greuse_tensor::Tensor<f32>, usize)>,
+    Vec<(greuse_tensor::Tensor<f32>, usize)>,
+);
+
+fn data() -> Split {
+    SyntheticDataset::cifar_like(99).train_test(100, 50, 21)
+}
+
+#[test]
+fn quantization_pruning_reuse_compose() {
+    let (train, test) = data();
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut net = CifarNet::new(10, &mut rng);
+    let mut trainer = Trainer::new(TrainerConfig::fast(3, 0.01));
+    trainer.train(&mut net, &train).expect("train");
+    let dense = evaluate_dense(&net, &test).expect("eval").accuracy;
+    assert!(dense > 0.5);
+
+    // Prune 25% of channels, quantize to Q7.
+    let flops_before = model_flops(&net).total;
+    prune_channels(&mut net, 0.75).expect("prune");
+    quantize_weights(&mut net, QuantMode::FixedPointQ7).expect("quant");
+    let flops_pruned = model_flops(&net).total;
+    assert!(flops_pruned < flops_before);
+
+    let compressed = evaluate_dense(&net, &test).expect("eval").accuracy;
+    assert!(
+        compressed > dense - 0.25,
+        "CP+Q lost too much accuracy: {compressed} vs {dense}"
+    );
+
+    // Add reuse on top: effective MACs shrink far below the pruned FLOPs.
+    let backend = ReuseBackend::new(AdaptedHashProvider::new())
+        .with_pattern("conv1", ReusePattern::conventional(25, 4))
+        .with_pattern("conv2", ReusePattern::conventional(20, 3));
+    let with_reuse = evaluate_accuracy(&net, &backend, &test)
+        .expect("eval")
+        .accuracy;
+    assert!(
+        with_reuse > compressed - 0.3,
+        "reuse on compressed model collapsed: {with_reuse} vs {compressed}"
+    );
+    let reuse_macs: u64 = backend
+        .stats()
+        .values()
+        .map(|s| s.mean_ops().gemm_macs + s.mean_ops().clustering_macs)
+        .sum();
+    assert!(
+        2 * reuse_macs < flops_pruned,
+        "reuse MACs {reuse_macs} should undercut pruned FLOPs {flops_pruned}"
+    );
+}
+
+#[test]
+fn int8_linear_pipeline_runs_on_squeezenet() {
+    let (train, test) = data();
+    let mut rng = SmallRng::seed_from_u64(6);
+    let mut net = SqueezeNet::new(SqueezeNetVariant::Bypass, 10, &mut rng);
+    let mut trainer = Trainer::new(TrainerConfig::fast(1, 0.01));
+    trainer.train(&mut net, &train[..40]).expect("train");
+
+    quantize_weights(&mut net, QuantMode::Int8Linear).expect("quant");
+    let dense = evaluate_accuracy(&net, &DenseBackend, &test[..20]).expect("eval");
+    let int8 = evaluate_accuracy(&net, &Int8ActivationBackend::new(DenseBackend), &test[..20])
+        .expect("eval");
+    // INT8 activations shouldn't collapse the (weakly trained) model.
+    assert!(int8.accuracy >= dense.accuracy - 0.3);
+
+    // Reuse under INT8 activations on the expand layers.
+    let reuse = Int8ActivationBackend::new(
+        ReuseBackend::new(AdaptedHashProvider::new())
+            .with_pattern("fire2.expand3x3", ReusePattern::conventional(24, 3))
+            .with_pattern("fire5.expand3x3", ReusePattern::conventional(32, 3)),
+    );
+    let out = evaluate_accuracy(&net, &reuse, &test[..20]).expect("eval");
+    assert!(out.accuracy.is_finite());
+    let inner = reuse.into_inner();
+    assert!(
+        inner
+            .layer_stats("fire2.expand3x3")
+            .unwrap()
+            .redundancy_ratio()
+            > 0.3
+    );
+}
+
+#[test]
+fn fused_batchnorm_matches_unfused_inference() {
+    use greuse_nn::layers::{BatchNorm2d, Conv2d};
+    use greuse_tensor::ConvSpec;
+    let mut rng = SmallRng::seed_from_u64(8);
+    let conv = Conv2d::new("c", ConvSpec::new(3, 8, 3, 3).with_padding(1), &mut rng);
+    let mut bn = BatchNorm2d::new(8);
+    // Give the BN nontrivial running stats by a few training passes.
+    let img = SyntheticDataset::cifar_like(1).generate(1, 0).remove(0).0;
+    let pre = conv.forward(&img, &DenseBackend).expect("conv");
+    for _ in 0..5 {
+        let _ = bn.forward_train(&pre).expect("bn train");
+    }
+    let fused = bn.fuse_into(&conv).expect("fuse");
+    let a = bn
+        .forward(&conv.forward(&img, &DenseBackend).unwrap())
+        .unwrap();
+    let b = fused.forward(&img, &DenseBackend).unwrap();
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+    }
+}

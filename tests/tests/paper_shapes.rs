@@ -1,0 +1,120 @@
+//! Integration: the qualitative "shapes" of the paper's evaluation that
+//! this reproduction must preserve (see EXPERIMENTS.md).
+
+use greuse::{
+    accuracy_bound, execute_reuse, key_condition_holds, measured_error, LatencyModel,
+    RandomHashProvider, ReuseDirection, ReusePattern,
+};
+use greuse_data::SyntheticDataset;
+use greuse_mcu::{Board, PhaseOps};
+use greuse_tensor::{im2col, ConvSpec, Tensor};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn real_im2col() -> (Tensor<f32>, Tensor<f32>) {
+    // im2col of an actual synthetic image (the redundancy the paper's
+    // Figure 1 shows), not a toy matrix.
+    let img = SyntheticDataset::cifar_like(5).generate(1, 3).remove(0).0;
+    let spec = ConvSpec::new(3, 64, 5, 5).with_padding(2);
+    let x = im2col(&img, &spec).expect("im2col");
+    let mut rng = SmallRng::seed_from_u64(9);
+    let w = Tensor::from_fn(&[64, 75], |_| rng.gen_range(-0.5f32..0.5));
+    (x, w)
+}
+
+#[test]
+fn real_images_expose_high_redundancy() {
+    let (x, w) = real_im2col();
+    let hashes = RandomHashProvider::new(1);
+    let out = execute_reuse(&x, &w, &ReusePattern::conventional(25, 3), &hashes).unwrap();
+    assert!(
+        out.stats.redundancy_ratio > 0.8,
+        "synthetic camera images should be highly redundant, r_t = {}",
+        out.stats.redundancy_ratio
+    );
+}
+
+#[test]
+fn bound_dominates_error_across_the_reuse_space() {
+    let (x, w) = real_im2col();
+    let hashes = RandomHashProvider::new(2);
+    let patterns = [
+        ReusePattern::conventional(15, 2),
+        ReusePattern::conventional(25, 4),
+        ReusePattern::conventional(25, 4).with_block_rows(2),
+        ReusePattern::conventional(64, 3).with_direction(ReuseDirection::Horizontal),
+        ReusePattern::conventional(20, 1).with_order(greuse::ReuseOrder::Tiled(3)),
+    ];
+    for p in patterns {
+        let est = accuracy_bound(&x, &w, &p, &hashes).unwrap();
+        let err = measured_error(&x, &w, &p, &hashes).unwrap();
+        assert!(
+            est.error_bound * 1.05 + 1e-6 >= err,
+            "{p}: bound {} < measured {err}",
+            est.error_bound
+        );
+    }
+}
+
+#[test]
+fn key_condition_predicts_modeled_speedup() {
+    // §4.2: H/D_out < r_t iff the pure-FLOPs model saves computation.
+    // Check agreement between the inequality and the FLOPs comparison it
+    // was derived from.
+    for (h, d_out, r_t) in [
+        (1usize, 64usize, 0.95f64),
+        (3, 64, 0.9),
+        (32, 64, 0.4),
+        (60, 64, 0.9),
+    ] {
+        let n = 1024usize;
+        let d_in = 1600usize;
+        let dense_flops = (n * d_in * d_out) as f64;
+        let reuse_flops = (h as f64 / d_out as f64 + (1.0 - r_t)) * dense_flops;
+        assert_eq!(
+            key_condition_holds(h, d_out, r_t),
+            reuse_flops < dense_flops,
+            "inconsistent for H={h}, D_out={d_out}, r_t={r_t}"
+        );
+    }
+}
+
+#[test]
+fn f7_halves_f4_latency_at_network_scale() {
+    // §5.2, third observation.
+    let f4 = Board::Stm32F469i.spec();
+    let f7 = Board::Stm32F767zi.spec();
+    // A whole CifarNet's worth of dense conv ops.
+    let ops = PhaseOps::dense_conv(1024, 75, 64).combined(&PhaseOps::dense_conv(256, 1600, 64));
+    let ratio = f4.latency(&ops).total_ms() / f7.latency(&ops).total_ms();
+    assert!((1.8..2.3).contains(&ratio), "F4/F7 = {ratio}");
+}
+
+#[test]
+fn larger_l_allows_greater_speedup_via_fewer_hash_macs() {
+    // §5.3.1: "a larger L value typically leads to a greater speedup" —
+    // at fixed H and r_t the hashing overhead H/D_out is constant but the
+    // number of vectors (and thus clustering bookkeeping) shrinks.
+    let model = LatencyModel::new(Board::Stm32F469i);
+    let small_l = model
+        .predict(256, 1600, 64, &ReusePattern::conventional(10, 3), 0.95)
+        .total_ms();
+    let large_l = model
+        .predict(256, 1600, 64, &ReusePattern::conventional(80, 3), 0.95)
+        .total_ms();
+    assert!(
+        large_l < small_l,
+        "L=80 {large_l} should beat L=10 {small_l}"
+    );
+}
+
+#[test]
+fn imagenet_full_resolution_exceeds_mcu_memory() {
+    // §5.1: "Dataset ImageNet would run out of MCU memory."
+    let f4 = Board::Stm32F469i.spec();
+    let sram_needed = greuse_mcu::activation_bytes(112 * 112, 147, 64, 1);
+    assert!(f4.check_memory(1_000_000, sram_needed).is_err());
+    // While the CIFAR-scale deployment fits.
+    let ok = f4.check_memory(900_000, greuse_mcu::activation_bytes(256, 1600, 64, 1) / 2);
+    assert!(ok.is_ok());
+}

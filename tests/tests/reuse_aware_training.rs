@@ -1,0 +1,60 @@
+//! Integration: straight-through reuse-aware fine-tuning (the TREC
+//! ingredient the experiment suite skips for runtime) recovers accuracy
+//! lost to aggressive reuse.
+
+use greuse::{AdaptedHashProvider, ReuseBackend, ReusePattern};
+use greuse_data::SyntheticDataset;
+use greuse_nn::{
+    evaluate_accuracy, evaluate_dense, fine_tune_epoch_with, models::CifarNet, Sgd, SgdConfig,
+    Trainer, TrainerConfig,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn straight_through_fine_tuning_recovers_accuracy() {
+    let data = SyntheticDataset::cifar_like(321);
+    let (train, test) = data.train_test(120, 60, 31);
+    let mut rng = SmallRng::seed_from_u64(6);
+    let mut net = CifarNet::new(10, &mut rng);
+    let mut trainer = Trainer::new(TrainerConfig::fast(3, 0.01));
+    trainer.train(&mut net, &train).expect("train");
+    let dense_acc = evaluate_dense(&net, &test).expect("dense").accuracy;
+    assert!(dense_acc > 0.6, "base model too weak: {dense_acc}");
+
+    // Aggressive reuse: accuracy drops noticeably without adaptation.
+    let pattern1 = ReusePattern::conventional(25, 3);
+    let pattern2 = ReusePattern::conventional(20, 2);
+    let backend = ReuseBackend::new(AdaptedHashProvider::new())
+        .with_pattern("conv1", pattern1)
+        .with_pattern("conv2", pattern2);
+    let before = evaluate_accuracy(&net, &backend, &test)
+        .expect("eval")
+        .accuracy;
+
+    // Two epochs of straight-through fine-tuning *under* the reuse
+    // approximation (forward through the reuse backend, exact backward).
+    let mut opt = Sgd::new(SgdConfig {
+        lr: 0.005,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+    });
+    for _ in 0..2 {
+        let ft_backend = ReuseBackend::new(AdaptedHashProvider::new())
+            .with_pattern("conv1", pattern1)
+            .with_pattern("conv2", pattern2);
+        fine_tune_epoch_with(&mut net, &mut opt, &train, 8, 0.005, &ft_backend)
+            .expect("fine-tune epoch");
+    }
+    let after_backend = ReuseBackend::new(AdaptedHashProvider::new())
+        .with_pattern("conv1", pattern1)
+        .with_pattern("conv2", pattern2);
+    let after = evaluate_accuracy(&net, &after_backend, &test)
+        .expect("eval")
+        .accuracy;
+
+    assert!(
+        after > before + 0.02,
+        "fine-tuning should recover accuracy: before {before}, after {after} (dense {dense_acc})"
+    );
+}

@@ -1,0 +1,68 @@
+//! Integration: reuse on recurrent networks (the paper's §3.1 RNN
+//! extension) — timestep redundancy in a sensor-like sequence is
+//! exploited by the same clustering machinery.
+
+use greuse::{AdaptedHashProvider, RandomHashProvider, ReuseBackend, ReusePattern};
+use greuse_nn::layers::ElmanRnn;
+use greuse_nn::DenseBackend;
+use greuse_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A periodic "sensor" sequence with small noise: timesteps repeat with
+/// period 5, so the input projection is highly redundant.
+fn sensor_sequence(t: usize, d: usize, noise: f32, seed: u64) -> Tensor<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let protos = Tensor::from_fn(&[5, d], |i| ((i * 13 % 7) as f32 * 0.4).sin());
+    Tensor::from_fn(&[t, d], |i| {
+        let (r, c) = (i / d, i % d);
+        protos[[r % 5, c]]
+            + if noise > 0.0 {
+                rng.gen_range(-noise..noise)
+            } else {
+                0.0
+            }
+    })
+}
+
+#[test]
+fn rnn_reuse_exact_on_periodic_sequence() {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let rnn = ElmanRnn::new("rnn", 12, 8, &mut rng);
+    let xs = sensor_sequence(60, 12, 0.0, 1);
+    let dense = rnn.forward_sequence(&xs, &DenseBackend).unwrap();
+    let backend = ReuseBackend::new(RandomHashProvider::new(2))
+        .with_pattern("rnn", ReusePattern::conventional(12, 8));
+    let reuse = rnn.forward_sequence(&xs, &backend).unwrap();
+    for (a, b) in dense.as_slice().iter().zip(reuse.as_slice()) {
+        assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+    }
+    let stats = backend.layer_stats("rnn").unwrap();
+    // 5 prototypes over 60 timesteps: r_t ≈ 1 - 5/60.
+    assert!(
+        stats.redundancy_ratio() > 0.85,
+        "r_t {}",
+        stats.redundancy_ratio()
+    );
+}
+
+#[test]
+fn rnn_reuse_approximates_noisy_sequence() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let rnn = ElmanRnn::new("rnn", 12, 8, &mut rng);
+    let xs = sensor_sequence(60, 12, 0.02, 4);
+    let dense = rnn.final_state(&xs, &DenseBackend).unwrap();
+    let backend = ReuseBackend::new(AdaptedHashProvider::new())
+        .with_pattern("rnn", ReusePattern::conventional(12, 10));
+    let reuse = rnn.final_state(&xs, &backend).unwrap();
+    // The recurrence can amplify per-timestep projection error, so the
+    // check is on the mean deviation of the final state (tanh-bounded).
+    let mean_dev: f32 = dense
+        .iter()
+        .zip(reuse.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f32>()
+        / dense.len() as f32;
+    assert!(mean_dev < 0.25, "mean final-state deviation {mean_dev}");
+    assert!(backend.layer_stats("rnn").unwrap().redundancy_ratio() > 0.4);
+}

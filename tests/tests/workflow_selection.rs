@@ -1,0 +1,145 @@
+//! Integration: the analytic–empirical selection workflow (§4.3) on a
+//! trained network.
+
+use greuse::{
+    workflow::{select_patterns_for_layer, WorkflowConfig},
+    Scope,
+};
+use greuse_data::SyntheticDataset;
+use greuse_mcu::Board;
+use greuse_nn::{models::CifarNet, Trainer, TrainerConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+type Examples = Vec<(greuse_tensor::Tensor<f32>, usize)>;
+
+fn setup() -> (CifarNet, Examples, Examples) {
+    let data = SyntheticDataset::cifar_like(55);
+    let (train, test) = data.train_test(60, 30, 3);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut net = CifarNet::new(10, &mut rng);
+    let mut trainer = Trainer::new(TrainerConfig::fast(2, 0.01));
+    trainer.train(&mut net, &train).expect("training");
+    (net, train, test)
+}
+
+#[test]
+fn workflow_prunes_and_finds_pareto_patterns() {
+    let (net, train, test) = setup();
+    let config = WorkflowConfig {
+        scope: Scope::default_scope(),
+        board: Board::Stm32F469i,
+        prune_to: 4,
+        profile_samples: 2,
+        seed: 7,
+        profile_adapted: true,
+    };
+    let total_candidates = config.scope.candidates(1024, 75).len();
+    let sel = select_patterns_for_layer(&net, "conv1", &train, &test, &config).expect("workflow");
+
+    // The analytic stage scored everything; only the promising set was
+    // fully checked.
+    assert_eq!(sel.evaluations.len(), total_candidates);
+    assert_eq!(sel.promising.len(), 4);
+    let measured = sel
+        .evaluations
+        .iter()
+        .filter(|e| e.measured.is_some())
+        .count();
+    assert_eq!(measured, 4, "only the pruned set gets the full check");
+    assert!(!sel.pareto.is_empty());
+
+    // Pareto points are mutually non-dominated.
+    let pts: Vec<(f64, f64)> = sel
+        .pareto
+        .iter()
+        .map(|&i| {
+            let m = sel.evaluations[i].measured.unwrap();
+            (m.latency_ms, m.accuracy)
+        })
+        .collect();
+    for (i, a) in pts.iter().enumerate() {
+        for (j, b) in pts.iter().enumerate() {
+            if i != j {
+                let dominated = (b.0 < a.0 && b.1 >= a.1) || (b.0 <= a.0 && b.1 > a.1);
+                assert!(!dominated, "pareto point {i} dominated by {j}");
+            }
+        }
+    }
+}
+
+#[test]
+fn generalized_scope_at_least_matches_conventional() {
+    // The generalized space strictly contains the conventional one, so
+    // its best measured point can never be worse on both axes.
+    let (net, train, test) = setup();
+    let run = |scope: Scope, prune_to: usize| {
+        let config = WorkflowConfig {
+            scope,
+            board: Board::Stm32F469i,
+            prune_to,
+            profile_samples: 1,
+            seed: 11,
+            profile_adapted: true,
+        };
+        select_patterns_for_layer(&net, "conv2", &train, &test, &config).expect("workflow")
+    };
+    // The generalized space is much larger, so give its pruned set more
+    // slots; the check is a tolerance band because the pruning stage may
+    // trade a sliver of accuracy for large latency wins.
+    let conventional = run(Scope::conventional_scope(), 4);
+    let generalized = run(Scope::default_scope(), 8);
+    let best = |sel: &greuse::workflow::LayerSelection| {
+        sel.pareto
+            .iter()
+            .filter_map(|&i| sel.evaluations[i].measured)
+            .map(|m| m.accuracy)
+            .fold(0.0f64, f64::max)
+    };
+    let conv_best = best(&conventional);
+    let gen_best = best(&generalized);
+    assert!(
+        gen_best >= conv_best - 0.1,
+        "generalized best {gen_best} unexpectedly below conventional {conv_best}"
+    );
+}
+
+#[test]
+fn predicted_latency_correlates_with_measured() {
+    // Among the fully-checked patterns, the model's latency prediction
+    // must rank them consistently (Spearman-ish check: no strong inversions).
+    let (net, train, test) = setup();
+    let config = WorkflowConfig {
+        scope: Scope::default_scope(),
+        board: Board::Stm32F469i,
+        prune_to: 5,
+        profile_samples: 1,
+        seed: 3,
+        profile_adapted: true,
+    };
+    let sel = select_patterns_for_layer(&net, "conv1", &train, &test, &config).expect("wf");
+    let mut pairs: Vec<(f64, f64)> = sel
+        .promising
+        .iter()
+        .filter_map(|&i| {
+            sel.evaluations[i]
+                .measured
+                .map(|m| (sel.evaluations[i].predicted_latency_ms, m.latency_ms))
+        })
+        .collect();
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // Count inversions in the measured ordering.
+    let mut inversions = 0;
+    for i in 0..pairs.len() {
+        for j in i + 1..pairs.len() {
+            if pairs[i].1 > pairs[j].1 * 1.2 {
+                inversions += 1;
+            }
+        }
+    }
+    let total = pairs.len() * (pairs.len().saturating_sub(1)) / 2;
+    assert!(
+        inversions * 2 <= total,
+        "predicted latency ordering mostly wrong: {inversions}/{total} inversions"
+    );
+}
