@@ -1,0 +1,134 @@
+//! Execution-engine benchmark: steady-state allocation count per call
+//! and batch throughput (images/sec) of the panel executor, single
+//! thread vs the parallel batch path. Emits `BENCH_exec.json` in the
+//! current directory.
+//!
+//! ```text
+//! cargo run --release -p greuse-bench --bin bench_exec [-- --quick]
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use greuse::{
+    execute_reuse_images, execute_reuse_images_parallel, ExecWorkspace, RandomHashProvider,
+    ReusePattern,
+};
+use greuse_bench::quick_mode;
+use greuse_tensor::Tensor;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Synthetic im2col batch with plenty of row redundancy (so the reuse
+/// path has real work to skip, like a natural image would).
+fn batch(images: usize, n: usize, k: usize) -> Vec<Tensor<f32>> {
+    (0..images)
+        .map(|img| {
+            let protos = 6 + img % 3;
+            Tensor::from_fn(&[n, k], |i| {
+                let (r, c) = (i / k, i % k);
+                (((r % protos) * 131 + c * 31 + img * 17) as f32 * 0.113).sin()
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = quick_mode();
+    let (images, n, k, m, reps) = if quick {
+        (8, 96, 48, 16, 3)
+    } else {
+        (32, 256, 96, 32, 10)
+    };
+    let pattern = ReusePattern::conventional(16, 4).with_block_rows(2);
+    let hashes = RandomHashProvider::new(7);
+    let xs = batch(images, n, k);
+    let w = Tensor::from_fn(&[m, k], |i| ((i % 37) as f32 * 0.29).cos());
+
+    // --- Allocations per call in steady state (single image) ---
+    let mut ws = ExecWorkspace::new();
+    let mut y = vec![0.0f32; n * m];
+    ws.execute_into(&xs[0], &w, None, &pattern, &hashes, "bench", &mut y)
+        .expect("warm-up");
+    let calls = 100u64;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..calls {
+        ws.execute_into(&xs[0], &w, None, &pattern, &hashes, "bench", &mut y)
+            .expect("steady-state call");
+    }
+    let allocs_per_call = (ALLOCS.load(Ordering::Relaxed) - before) as f64 / calls as f64;
+
+    // --- Batch throughput, single thread vs parallel ---
+    // At least 2 so the scoped-thread path actually runs even on a
+    // single-core host (threads=1 collapses to the sequential path).
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .max(2);
+    let mut seq_best = f64::INFINITY;
+    let mut par_best = f64::INFINITY;
+    let mut seq_stats = None;
+    let mut par_stats = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (_, s) = execute_reuse_images(&xs, &w, &pattern, &hashes).expect("sequential batch");
+        seq_best = seq_best.min(t0.elapsed().as_secs_f64());
+        seq_stats = Some(s);
+
+        let t0 = Instant::now();
+        let (_, s) = execute_reuse_images_parallel(&xs, &w, &pattern, &hashes, threads)
+            .expect("parallel batch");
+        par_best = par_best.min(t0.elapsed().as_secs_f64());
+        par_stats = Some(s);
+    }
+    let seq_stats = seq_stats.expect("reps > 0");
+    let par_stats = par_stats.expect("reps > 0");
+    assert_eq!(
+        seq_stats, par_stats,
+        "parallel batch stats must be bit-identical to sequential"
+    );
+
+    let seq_ips = images as f64 / seq_best;
+    let par_ips = images as f64 / par_best;
+
+    println!("=== Execution engine benchmark ===");
+    println!("batch: {images} images of {n}x{k}, weights {m}x{k}, {pattern}");
+    println!("allocs/call (steady state): {allocs_per_call:.2}");
+    println!("single-thread:  {seq_ips:>8.1} images/sec");
+    println!("parallel ({threads} threads): {par_ips:>8.1} images/sec");
+    println!("speedup: {:.2}x", par_ips / seq_ips);
+    println!(
+        "redundancy ratio (batch total): {:.3}",
+        seq_stats.redundancy_ratio
+    );
+
+    let json = format!(
+        "{{\n  \"images\": {images},\n  \"rows\": {n},\n  \"cols\": {k},\n  \"out_channels\": {m},\n  \"threads\": {threads},\n  \"allocs_per_call\": {allocs_per_call},\n  \"single_thread_images_per_sec\": {seq_ips},\n  \"parallel_images_per_sec\": {par_ips},\n  \"parallel_speedup\": {},\n  \"redundancy_ratio\": {},\n  \"stats_bit_identical\": true\n}}\n",
+        par_ips / seq_ips,
+        seq_stats.redundancy_ratio
+    );
+    std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
+    println!("wrote BENCH_exec.json");
+}

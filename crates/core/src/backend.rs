@@ -2,8 +2,15 @@
 //! network by implementing its [`ConvBackend`] seam. Layers without an
 //! assigned pattern run dense, so partial deployments (e.g. "reuse only
 //! on conv2") are expressed naturally.
+//!
+//! The backend is built for concurrent inference: statistics live in
+//! per-layer **atomic accumulators** (one fixed slot per patterned layer,
+//! created at build time — no lock, no map mutation on the hot path), and
+//! executor state is drawn from a pool of [`ExecWorkspace`]s so parallel
+//! callers do not contend on one scratch arena.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -12,7 +19,7 @@ use greuse_mcu::PhaseOps;
 use greuse_nn::{ConvBackend, DenseBackend};
 use greuse_tensor::{ConvSpec, Tensor, TensorError};
 
-use crate::exec::execute_reuse_with_spec;
+use crate::exec::{ExecWorkspace, ReuseStats};
 use crate::hash_provider::HashProvider;
 use crate::pattern::ReusePattern;
 
@@ -32,11 +39,7 @@ pub struct LayerStats {
 impl LayerStats {
     /// Mean redundancy ratio across calls.
     pub fn redundancy_ratio(&self) -> f64 {
-        if self.n_vectors == 0 {
-            0.0
-        } else {
-            1.0 - self.n_clusters as f64 / self.n_vectors as f64
-        }
+        greuse_mcu::redundancy_ratio(self.n_vectors, self.n_clusters)
     }
 
     /// Mean per-image operation counts.
@@ -55,11 +58,71 @@ impl LayerStats {
     }
 }
 
+/// Lock-free per-layer accumulator: one atomic counter per statistic.
+/// Counters are independent `Relaxed` adds — totals are exact because
+/// every count is a plain sum, and snapshots are taken between inference
+/// runs (the backend never promises a mid-call-consistent snapshot).
+#[derive(Debug, Default)]
+struct AtomicLayerStats {
+    calls: AtomicU64,
+    transform_elems: AtomicU64,
+    clustering_macs: AtomicU64,
+    clustering_vectors: AtomicU64,
+    gemm_macs: AtomicU64,
+    recover_elems: AtomicU64,
+    n_vectors: AtomicU64,
+    n_clusters: AtomicU64,
+}
+
+impl AtomicLayerStats {
+    fn record(&self, s: &ReuseStats) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.transform_elems
+            .fetch_add(s.ops.transform_elems, Ordering::Relaxed);
+        self.clustering_macs
+            .fetch_add(s.ops.clustering_macs, Ordering::Relaxed);
+        self.clustering_vectors
+            .fetch_add(s.ops.clustering_vectors, Ordering::Relaxed);
+        self.gemm_macs.fetch_add(s.ops.gemm_macs, Ordering::Relaxed);
+        self.recover_elems
+            .fetch_add(s.ops.recover_elems, Ordering::Relaxed);
+        self.n_vectors.fetch_add(s.n_vectors, Ordering::Relaxed);
+        self.n_clusters.fetch_add(s.n_clusters, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> LayerStats {
+        LayerStats {
+            calls: self.calls.load(Ordering::Relaxed),
+            ops: PhaseOps {
+                transform_elems: self.transform_elems.load(Ordering::Relaxed),
+                clustering_macs: self.clustering_macs.load(Ordering::Relaxed),
+                clustering_vectors: self.clustering_vectors.load(Ordering::Relaxed),
+                gemm_macs: self.gemm_macs.load(Ordering::Relaxed),
+                recover_elems: self.recover_elems.load(Ordering::Relaxed),
+            },
+            n_vectors: self.n_vectors.load(Ordering::Relaxed),
+            n_clusters: self.n_clusters.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.transform_elems.store(0, Ordering::Relaxed);
+        self.clustering_macs.store(0, Ordering::Relaxed);
+        self.clustering_vectors.store(0, Ordering::Relaxed);
+        self.gemm_macs.store(0, Ordering::Relaxed);
+        self.recover_elems.store(0, Ordering::Relaxed);
+        self.n_vectors.store(0, Ordering::Relaxed);
+        self.n_clusters.store(0, Ordering::Relaxed);
+    }
+}
+
 /// A convolution backend that applies reuse patterns per layer.
 pub struct ReuseBackend<P: HashProvider> {
     patterns: HashMap<String, ReusePattern>,
     hashes: P,
-    stats: Mutex<HashMap<String, LayerStats>>,
+    stats: HashMap<String, AtomicLayerStats>,
+    workspaces: Mutex<Vec<ExecWorkspace>>,
 }
 
 impl<P: HashProvider> ReuseBackend<P> {
@@ -68,13 +131,16 @@ impl<P: HashProvider> ReuseBackend<P> {
         ReuseBackend {
             patterns: HashMap::new(),
             hashes,
-            stats: Mutex::new(HashMap::new()),
+            stats: HashMap::new(),
+            workspaces: Mutex::new(Vec::new()),
         }
     }
 
     /// Assigns a pattern to a layer (builder style).
     pub fn with_pattern(mut self, layer: impl Into<String>, pattern: ReusePattern) -> Self {
-        self.patterns.insert(layer.into(), pattern);
+        let layer = layer.into();
+        self.stats.entry(layer.clone()).or_default();
+        self.patterns.insert(layer, pattern);
         self
     }
 
@@ -85,7 +151,7 @@ impl<P: HashProvider> ReuseBackend<P> {
         S: Into<String>,
     {
         for (layer, p) in patterns {
-            self.patterns.insert(layer.into(), p);
+            self = self.with_pattern(layer, p);
         }
         self
     }
@@ -95,24 +161,61 @@ impl<P: HashProvider> ReuseBackend<P> {
         self.patterns.get(layer)
     }
 
-    /// Per-layer statistics accumulated so far (reuse layers only).
+    /// Per-layer statistics accumulated so far (executed reuse layers
+    /// only — a patterned layer that has not run yet is absent).
     pub fn stats(&self) -> HashMap<String, LayerStats> {
-        self.stats.lock().clone()
+        self.stats
+            .iter()
+            .map(|(layer, acc)| (layer.clone(), acc.snapshot()))
+            .filter(|(_, s)| s.calls > 0)
+            .collect()
     }
 
-    /// Statistics of one layer.
+    /// Statistics of one layer (`None` until it has executed with reuse).
     pub fn layer_stats(&self, layer: &str) -> Option<LayerStats> {
-        self.stats.lock().get(layer).copied()
+        self.stats
+            .get(layer)
+            .map(AtomicLayerStats::snapshot)
+            .filter(|s| s.calls > 0)
     }
 
     /// Clears accumulated statistics.
     pub fn reset_stats(&self) {
-        self.stats.lock().clear();
+        for acc in self.stats.values() {
+            acc.reset();
+        }
     }
 
     /// The hash provider in use.
     pub fn hash_provider(&self) -> &P {
         &self.hashes
+    }
+
+    /// Runs the reuse executor for a patterned layer, writing into `y`.
+    fn run_reuse(
+        &self,
+        layer: &str,
+        spec: &ConvSpec,
+        x: &Tensor<f32>,
+        weights: &Tensor<f32>,
+        pattern: &ReusePattern,
+        y: &mut [f32],
+    ) -> Result<(), TensorError> {
+        let mut ws = self.workspaces.lock().pop().unwrap_or_default();
+        let result = ws.execute_into(x, weights, Some(spec), pattern, &self.hashes, layer, y);
+        self.workspaces.lock().push(ws);
+        let stats = result.map_err(|e| match e {
+            crate::GreuseError::Tensor(t) => t,
+            other => TensorError::ShapeMismatch {
+                op: "reuse backend",
+                expected: vec![],
+                actual: vec![other.to_string().len()],
+            },
+        })?;
+        if let Some(acc) = self.stats.get(layer) {
+            acc.record(&stats);
+        }
+        Ok(())
     }
 }
 
@@ -127,22 +230,33 @@ impl<P: HashProvider> ConvBackend for ReuseBackend<P> {
         match self.patterns.get(layer) {
             None => DenseBackend.conv_gemm(layer, spec, x, weights),
             Some(pattern) => {
-                let out = execute_reuse_with_spec(x, weights, spec, pattern, &self.hashes, layer)
-                    .map_err(|e| match e {
-                    crate::GreuseError::Tensor(t) => t,
-                    other => TensorError::ShapeMismatch {
-                        op: "reuse backend",
-                        expected: vec![],
-                        actual: vec![other.to_string().len()],
-                    },
-                })?;
-                let mut stats = self.stats.lock();
-                let entry = stats.entry(layer.to_string()).or_default();
-                entry.calls += 1;
-                entry.ops = entry.ops.combined(&out.stats.ops);
-                entry.n_vectors += out.stats.n_vectors;
-                entry.n_clusters += out.stats.n_clusters;
-                Ok(out.y)
+                let mut y = Tensor::zeros(&[x.rows(), weights.rows()]);
+                self.run_reuse(layer, spec, x, weights, pattern, y.as_mut_slice())?;
+                Ok(y)
+            }
+        }
+    }
+
+    fn conv_gemm_into(
+        &self,
+        layer: &str,
+        spec: &ConvSpec,
+        x: &Tensor<f32>,
+        weights: &Tensor<f32>,
+        y: &mut Tensor<f32>,
+    ) -> Result<(), TensorError> {
+        match self.patterns.get(layer) {
+            None => DenseBackend.conv_gemm_into(layer, spec, x, weights, y),
+            Some(pattern) => {
+                let (n, m) = (x.rows(), weights.rows());
+                if y.shape().dims() != [n, m] {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "conv_gemm_into",
+                        expected: vec![n, m],
+                        actual: y.shape().dims().to_vec(),
+                    });
+                }
+                self.run_reuse(layer, spec, x, weights, pattern, y.as_mut_slice())
             }
         }
     }
@@ -203,6 +317,7 @@ mod tests {
         assert_eq!(mean.transform_elems, s.ops.transform_elems / 2);
         backend.reset_stats();
         assert!(backend.stats().is_empty());
+        assert!(backend.layer_stats("conv1").is_none());
     }
 
     #[test]
@@ -214,5 +329,37 @@ mod tests {
         assert!(backend.pattern("conv1").is_some());
         assert!(backend.pattern("conv2").is_some());
         assert!(backend.pattern("conv3").is_none());
+    }
+
+    #[test]
+    fn concurrent_inference_sums_stats_exactly() {
+        // Four threads × three images each through one shared backend:
+        // the atomic accumulators must count every call, and concurrent
+        // workspace checkout must not corrupt outputs.
+        let (net, image) = net_and_image();
+        let backend = ReuseBackend::new(RandomHashProvider::new(5))
+            .with_pattern("conv1", ReusePattern::conventional(15, 2));
+        let reference = net.forward(&image, &backend).unwrap();
+        backend.reset_stats();
+        crossbeam::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    for _ in 0..3 {
+                        let y = net.forward(&image, &backend).unwrap();
+                        assert_eq!(y, reference);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let stats = backend.layer_stats("conv1").unwrap();
+        assert_eq!(stats.calls, 12);
+        let single = {
+            backend.reset_stats();
+            let _ = net.forward(&image, &backend).unwrap();
+            backend.layer_stats("conv1").unwrap()
+        };
+        assert_eq!(stats.n_vectors, 12 * single.n_vectors);
+        assert_eq!(stats.ops.gemm_macs, 12 * single.ops.gemm_macs);
     }
 }

@@ -5,10 +5,18 @@
 //! interleaves rows of different images — so one neuron block spans tiles
 //! of two (or more) images, exactly the pattern-3 definition. Clustering
 //! then discovers similarity *across* images as well as within them.
+//!
+//! For per-image execution over many images this module also provides the
+//! throughput paths: [`execute_reuse_images`] drives one reused
+//! [`ExecWorkspace`] over the batch (allocation-free after the first
+//! image), and [`execute_reuse_images_parallel`] fans images out over
+//! crossbeam scoped threads — one workspace per worker, per-image
+//! statistics written to indexed slots and combined in image order so the
+//! totals are **bit-identical** to the sequential path.
 
 use greuse_tensor::{Permutation, Tensor};
 
-use crate::exec::{execute_reuse_named, ReuseOutput};
+use crate::exec::{execute_reuse_named, ExecWorkspace, ReuseOutput, ReuseStats};
 use crate::hash_provider::HashProvider;
 use crate::pattern::ReusePattern;
 use crate::{GreuseError, Result};
@@ -104,6 +112,118 @@ pub fn execute_reuse_batch(
     Ok((per_image, out))
 }
 
+fn check_uniform(xs: &[Tensor<f32>]) -> Result<(usize, usize)> {
+    let first = xs.first().ok_or_else(|| GreuseError::InvalidPattern {
+        detail: "empty batch".into(),
+    })?;
+    let (n, k) = (first.rows(), first.cols());
+    for x in xs {
+        if x.shape().dims() != [n, k] {
+            return Err(GreuseError::InvalidPattern {
+                detail: format!(
+                    "batch matrices must share one shape; got {:?} and {:?}",
+                    first.shape().dims(),
+                    x.shape().dims()
+                ),
+            });
+        }
+    }
+    Ok((n, k))
+}
+
+fn accumulate(total: &mut ReuseStats, s: &ReuseStats) {
+    total.n_vectors += s.n_vectors;
+    total.n_clusters += s.n_clusters;
+    total.ops = total.ops.combined(&s.ops);
+}
+
+/// Executes reuse independently per image (no cross-image stacking),
+/// driving one reused [`ExecWorkspace`] over the whole batch — after the
+/// first image the per-call heap traffic is just the output tensors.
+/// Returns the outputs (in input order) and the batch-total statistics
+/// (counter sums; `redundancy_ratio` recomputed from the totals).
+///
+/// # Errors
+///
+/// Returns [`GreuseError::InvalidPattern`] for an empty batch or
+/// mismatched matrix shapes, and propagates executor errors.
+pub fn execute_reuse_images(
+    xs: &[Tensor<f32>],
+    w: &Tensor<f32>,
+    pattern: &ReusePattern,
+    hashes: &dyn HashProvider,
+) -> Result<(Vec<Tensor<f32>>, ReuseStats)> {
+    let (n, _) = check_uniform(xs)?;
+    let m = w.rows();
+    let mut ws = ExecWorkspace::new();
+    let mut ys = Vec::with_capacity(xs.len());
+    let mut total = ReuseStats::default();
+    for x in xs {
+        let mut y = Tensor::zeros(&[n, m]);
+        let s = ws.execute_into(x, w, None, pattern, hashes, "batch", y.as_mut_slice())?;
+        accumulate(&mut total, &s);
+        ys.push(y);
+    }
+    Ok((ys, total.finish()))
+}
+
+/// Parallel variant of [`execute_reuse_images`]: images are chunked over
+/// `threads` crossbeam scoped workers, each with its own
+/// [`ExecWorkspace`]. Every image's execution is independent of workspace
+/// history, and per-image statistics land in indexed slots combined in
+/// image order afterwards — so outputs *and* statistics are bit-identical
+/// to the sequential path.
+///
+/// # Errors
+///
+/// Same conditions as [`execute_reuse_images`].
+pub fn execute_reuse_images_parallel(
+    xs: &[Tensor<f32>],
+    w: &Tensor<f32>,
+    pattern: &ReusePattern,
+    hashes: &dyn HashProvider,
+    threads: usize,
+) -> Result<(Vec<Tensor<f32>>, ReuseStats)> {
+    let (n, _) = check_uniform(xs)?;
+    let threads = threads.clamp(1, xs.len());
+    if threads <= 1 {
+        return execute_reuse_images(xs, w, pattern, hashes);
+    }
+    let m = w.rows();
+    let images = xs.len();
+    let mut ys: Vec<Tensor<f32>> = (0..images).map(|_| Tensor::zeros(&[n, m])).collect();
+    let mut stats: Vec<Result<ReuseStats>> =
+        (0..images).map(|_| Ok(ReuseStats::default())).collect();
+    let chunk = images.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for ((y_chunk, s_chunk), x_chunk) in ys
+            .chunks_mut(chunk)
+            .zip(stats.chunks_mut(chunk))
+            .zip(xs.chunks(chunk))
+        {
+            scope.spawn(move |_| {
+                let mut ws = ExecWorkspace::new();
+                for ((y, slot), x) in y_chunk.iter_mut().zip(s_chunk.iter_mut()).zip(x_chunk) {
+                    let r = ws.execute_into(x, w, None, pattern, hashes, "batch", y.as_mut_slice());
+                    let failed = r.is_err();
+                    *slot = r;
+                    if failed {
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    .map_err(|_| GreuseError::InvalidPattern {
+        detail: "batch worker panicked".into(),
+    })?;
+    let mut total = ReuseStats::default();
+    for s in stats {
+        accumulate(&mut total, &s?);
+    }
+    Ok((ys, total.finish()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,9 +309,53 @@ mod tests {
         assert!(
             execute_reuse_batch(&[], &w, &pattern, &hashes, BatchStacking::Sequential).is_err()
         );
+        assert!(execute_reuse_images(&[], &w, &pattern, &hashes).is_err());
         let xs = vec![rand_mat(8, 8, 3), rand_mat(9, 8, 4)];
         assert!(
             execute_reuse_batch(&xs, &w, &pattern, &hashes, BatchStacking::Sequential).is_err()
         );
+        assert!(execute_reuse_images_parallel(&xs, &w, &pattern, &hashes, 2).is_err());
+    }
+
+    #[test]
+    fn images_totals_are_per_image_sums() {
+        let xs: Vec<Tensor<f32>> = (0..4).map(|i| rand_mat(18, 12, 40 + i)).collect();
+        let w = rand_mat(5, 12, 50);
+        let hashes = RandomHashProvider::new(51);
+        let pattern = ReusePattern::conventional(6, 3);
+        let (ys, total) = execute_reuse_images(&xs, &w, &pattern, &hashes).unwrap();
+        assert_eq!(ys.len(), 4);
+        let mut n_vectors = 0;
+        let mut n_clusters = 0;
+        for (x, y) in xs.iter().zip(&ys) {
+            let single =
+                crate::exec::execute_reuse_named(x, &w, &pattern, &hashes, "batch").unwrap();
+            assert_eq!(&single.y, y, "per-image output must match single-image run");
+            n_vectors += single.stats.n_vectors;
+            n_clusters += single.stats.n_clusters;
+        }
+        assert_eq!(total.n_vectors, n_vectors);
+        assert_eq!(total.n_clusters, n_clusters);
+        assert_eq!(
+            total.redundancy_ratio,
+            greuse_mcu::redundancy_ratio(n_vectors, n_clusters)
+        );
+    }
+
+    #[test]
+    fn parallel_batch_bit_identical_to_sequential() {
+        // Acceptance criterion: on a fixed seed the parallel path must
+        // produce bit-identical outputs AND ReuseStats totals.
+        let xs: Vec<Tensor<f32>> = (0..7).map(|i| rand_mat(24, 16, 60 + i)).collect();
+        let w = rand_mat(6, 16, 70);
+        let hashes = RandomHashProvider::new(71);
+        let pattern = ReusePattern::conventional(8, 2).with_block_rows(2);
+        let (seq_ys, seq_stats) = execute_reuse_images(&xs, &w, &pattern, &hashes).unwrap();
+        for threads in [2, 3, 7, 16] {
+            let (par_ys, par_stats) =
+                execute_reuse_images_parallel(&xs, &w, &pattern, &hashes, threads).unwrap();
+            assert_eq!(seq_ys, par_ys, "outputs differ at {threads} threads");
+            assert_eq!(seq_stats, par_stats, "stats differ at {threads} threads");
+        }
     }
 }

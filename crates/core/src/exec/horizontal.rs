@@ -1,90 +1,106 @@
 //! Horizontal reuse (the paper's M-2 direction, Fig. 7).
 //!
-//! The im2col matrix is sliced into horizontal panels of `L` rows. Within
-//! a panel `X_i` (`L x K`), the neuron vectors are the panel's *columns*
-//! (length `L`). If columns `j` and `k` are similar, distributivity gives
-//! `x_j·w_j + x_k·w_k ≈ c × (w_j + w_k)` with `c` the centroid — so the
-//! weight matrix is *folded* (summed by cluster) instead of the output
-//! being duplicated. `Y_i = X_i^c × W_i^c`, and the panel results are
-//! concatenated.
+//! The im2col matrix is sliced into horizontal panels of `L` rows (the
+//! shared [`PanelIter`] walk). Within a panel `X_i` (`L x K`), the neuron
+//! vectors are the panel's *columns* (length `L`). If columns `j` and `k`
+//! are similar, distributivity gives `x_j·w_j + x_k·w_k ≈ c × (w_j + w_k)`
+//! with `c` the centroid — so the weight matrix is *folded* (summed by
+//! cluster) instead of the output being duplicated. `Y_i = X_i^c × W_i^c`,
+//! and the panel results are concatenated.
+//!
+//! Like the vertical kernel, this is a workspace function: all
+//! intermediates live in the caller's [`PanelBuffers`] arena.
 
-use greuse_lsh::cluster_vectors;
-use greuse_tensor::{gemm_f32, Tensor};
+use greuse_lsh::{ClusterScratch, HashFamily};
+use greuse_tensor::gemm_f32_into;
 
-use crate::exec::{ReuseOutput, ReuseStats};
+use crate::exec::workspace::{panel_family, PanelBuffers, PanelIter};
+use crate::exec::ReuseStats;
 use crate::hash_provider::HashProvider;
 use crate::pattern::ReusePattern;
 use crate::Result;
 
-pub(crate) fn horizontal_reuse(
-    x: &Tensor<f32>,
-    w: &Tensor<f32>,
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn horizontal_into(
+    x: &[f32],
+    w: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
     pattern: &ReusePattern,
     hashes: &dyn HashProvider,
     layer: &str,
-) -> Result<ReuseOutput> {
-    let (n, k) = (x.rows(), x.cols());
-    let m = w.rows();
+    buf: &mut PanelBuffers,
+    scratch: &mut ClusterScratch,
+    families: &mut Vec<HashFamily>,
+    y: &mut [f32],
+    stats: &mut ReuseStats,
+) -> Result<()> {
     let l = pattern.l.min(n);
-    let mut y = Tensor::zeros(&[n, m]);
-    let mut stats = ReuseStats::default();
 
-    let mut panel = 0usize;
-    let mut row0 = 0usize;
-    while row0 < n {
-        let row1 = (row0 + l).min(n);
-        let lh = row1 - row0;
+    for panel in PanelIter::new(n, l) {
+        let (row0, lh) = (panel.start, panel.len());
 
-        // Column vectors of the panel: k vectors of length lh.
-        let columns: Vec<Vec<f32>> = (0..k)
-            .map(|j| (row0..row1).map(|r| x.row(r)[j]).collect())
-            .collect();
-        // Hash-family lookup wants a rank-2 tensor of the vectors.
-        let mut col_mat = Tensor::zeros(&[k, lh]);
-        for (j, col) in columns.iter().enumerate() {
-            col_mat.row_mut(j).copy_from_slice(col);
+        // Column vectors of the panel: k vectors of length lh, gathered as
+        // rows of the unit matrix (the transposed panel).
+        let units = &mut buf.units[..k * lh];
+        for j in 0..k {
+            for r in 0..lh {
+                units[j * lh + r] = x[(row0 + r) * k + j];
+            }
         }
-        let family = hashes.family(layer, panel, pattern.h, &col_mat)?;
-        let clustering = cluster_vectors(&columns, &family)?;
-        let n_c = clustering.num_clusters();
+        let mut owned = None;
+        let family = panel_family(
+            families,
+            &mut owned,
+            hashes,
+            layer,
+            panel.index,
+            pattern.h,
+            units,
+            k,
+            lh,
+        )?;
+        scratch.cluster(units, k, family)?;
+        let n_c = scratch.num_clusters();
         stats.n_vectors += k as u64;
         stats.n_clusters += n_c as u64;
         stats.ops.clustering_vectors += k as u64;
         stats.ops.clustering_macs += family.hashing_macs(k);
 
         // Centroid matrix X_i^c: lh x n_c (centroids as columns).
-        let centroids = clustering.centroids_with(lh, |j| columns[j].clone());
-        let mut xc = Tensor::zeros(&[lh, n_c]);
+        let centroids = &mut buf.centroids[..n_c * lh];
+        scratch.centroids_into(units, lh, centroids)?;
+        let xc = &mut buf.stacked[..lh * n_c];
         for c in 0..n_c {
             for r in 0..lh {
-                xc[[r, c]] = centroids[[c, r]];
+                xc[r * n_c + c] = centroids[c * lh + r];
             }
         }
 
         // Folded weights W_i^c: n_c x M, row c = Σ_{j∈c} W[:, j]ᵀ = Σ w_j
         // where w_j is the j-th column of W (M x K).
-        let mut wc = Tensor::zeros(&[n_c, m]);
-        for (j, &c) in clustering.assignments().iter().enumerate() {
-            let dst = wc.row_mut(c);
+        let wc = &mut buf.folded[..n_c * m];
+        wc.fill(0.0);
+        for (j, &c) in scratch.assignments().iter().enumerate() {
+            let dst = &mut wc[c * m..(c + 1) * m];
             for (mm, d) in dst.iter_mut().enumerate() {
-                *d += w[[mm, j]];
+                *d += w[mm * k + j];
             }
         }
         // Weight folding costs one add per weight element.
         stats.ops.gemm_macs += (k * m) as u64;
 
         // Y_i = X_i^c × W_i^c : lh x M.
-        let yi = gemm_f32(&xc, &wc)?;
+        let yi = &mut buf.yc[..lh * m];
+        gemm_f32_into(xc, wc, yi, lh, n_c, m)?;
         stats.ops.gemm_macs += (lh * n_c * m) as u64;
 
         for r in 0..lh {
-            y.row_mut(row0 + r).copy_from_slice(yi.row(r));
+            y[(row0 + r) * m..(row0 + r + 1) * m].copy_from_slice(&yi[r * m..(r + 1) * m]);
         }
         stats.ops.recover_elems += (lh * m) as u64;
-
-        panel += 1;
-        row0 = row1;
     }
 
-    Ok(ReuseOutput { y, stats })
+    Ok(())
 }

@@ -6,12 +6,23 @@
 //! approximated output and the execution statistics (cluster counts,
 //! redundancy ratio `r_t`, and per-phase operation counts feeding the
 //! MCU latency model).
+//!
+//! All entry points drive one engine: the panel executor in
+//! [`workspace`], which walks the im2col matrix with a [`PanelIter`] and
+//! keeps every intermediate in an [`ExecWorkspace`] arena. The free
+//! functions below construct a throwaway workspace per call; callers with
+//! a steady shape (backends, batch loops) hold a workspace and call
+//! [`ExecWorkspace::execute_into`] directly for allocation-free repeats.
 
 mod batch;
 mod horizontal;
 mod vertical;
+mod workspace;
 
-pub use batch::{execute_reuse_batch, BatchStacking};
+pub use batch::{
+    execute_reuse_batch, execute_reuse_images, execute_reuse_images_parallel, BatchStacking,
+};
+pub use workspace::{ExecWorkspace, Panel, PanelIter};
 
 use serde::{Deserialize, Serialize};
 
@@ -19,12 +30,8 @@ use greuse_mcu::PhaseOps;
 use greuse_tensor::Tensor;
 
 use crate::hash_provider::HashProvider;
-use crate::pattern::{ReuseDirection, ReusePattern};
-use crate::reorder::{column_permutation, row_permutation};
+use crate::pattern::ReusePattern;
 use crate::Result;
-
-pub(crate) use horizontal::horizontal_reuse;
-pub(crate) use vertical::vertical_reuse;
 
 /// Statistics of one reuse execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -41,12 +48,8 @@ pub struct ReuseStats {
 }
 
 impl ReuseStats {
-    fn finish(mut self) -> Self {
-        self.redundancy_ratio = if self.n_vectors == 0 {
-            0.0
-        } else {
-            1.0 - self.n_clusters as f64 / self.n_vectors as f64
-        };
+    pub(crate) fn finish(mut self) -> Self {
+        self.redundancy_ratio = greuse_mcu::redundancy_ratio(self.n_vectors, self.n_clusters);
         self
     }
 }
@@ -94,73 +97,8 @@ pub fn execute_reuse_named(
     hashes: &dyn HashProvider,
     layer: &str,
 ) -> Result<ReuseOutput> {
-    let (n, k) = (x.rows(), x.cols());
-    if w.shape().rank() != 2 || w.cols() != k {
-        return Err(crate::GreuseError::InvalidPattern {
-            detail: format!(
-                "weight matrix {:?} incompatible with im2col width {k}",
-                w.shape().dims()
-            ),
-        });
-    }
-    pattern.validate(n, k)?;
-
-    // Materialize the reuse order as explicit reorders (Insight-2).
-    let mut layout_passes = 0u64;
-    let (xp, wp);
-    let x_work;
-    let w_work;
-    if pattern.order.needs_layout_pass() {
-        // Column reorder must hit X and W identically so the exact
-        // product is unchanged; only the reuse-unit contents change.
-        let spec_free_perm = {
-            // Column permutations are defined on ConvSpec in `reorder`,
-            // but the executor only knows K; synthesize via a pseudo-spec
-            // with a 1x1 kernel when the caller has no spec. Callers that
-            // know the ConvSpec use `execute_reuse_with_spec`.
-            use greuse_tensor::ConvSpec;
-            column_permutation(pattern.order, &ConvSpec::new(k, 1, 1, 1))
-        };
-        xp = spec_free_perm.apply_cols(x)?;
-        wp = spec_free_perm.apply_cols(w)?;
-        x_work = &xp;
-        w_work = &wp;
-        layout_passes += 1;
-    } else {
-        x_work = x;
-        w_work = w;
-    }
-
-    let row_perm = if pattern.row_order.needs_layout_pass() {
-        layout_passes += 1;
-        Some(row_permutation(pattern.row_order, n, 1))
-    } else {
-        None
-    };
-    let x_rows;
-    let x_final = match &row_perm {
-        Some(p) => {
-            x_rows = p.apply_rows(x_work)?;
-            &x_rows
-        }
-        None => x_work,
-    };
-
-    let mut out = match pattern.direction {
-        ReuseDirection::Vertical => vertical_reuse(x_final, w_work, pattern, hashes, layer)?,
-        ReuseDirection::Horizontal => horizontal_reuse(x_final, w_work, pattern, hashes, layer)?,
-    };
-
-    // Restore the original row order.
-    if let Some(p) = row_perm {
-        out.y = p.inverse().apply_rows(&out.y)?;
-    }
-
-    // Transformation phase: the base im2col pass plus one pass per layout
-    // permutation (the paper includes reorder costs in its results, §5.1).
-    out.stats.ops.transform_elems = (n * k) as u64 * (1 + layout_passes);
-    out.stats = out.stats.finish();
-    Ok(out)
+    let mut ws = ExecWorkspace::new();
+    execute_reuse_in(&mut ws, x, w, None, pattern, hashes, layer)
 }
 
 /// Variant of [`execute_reuse_named`] that applies the **spec-aware**
@@ -177,82 +115,29 @@ pub fn execute_reuse_with_spec(
     hashes: &dyn HashProvider,
     layer: &str,
 ) -> Result<ReuseOutput> {
-    let (n, k) = (x.rows(), x.cols());
-    if w.shape().rank() != 2 || w.cols() != k {
-        return Err(crate::GreuseError::InvalidPattern {
-            detail: format!(
-                "weight matrix {:?} incompatible with im2col width {k}",
-                w.shape().dims()
-            ),
-        });
-    }
-    pattern.validate(n, k)?;
-
-    let mut layout_passes = 0u64;
-    let (xp, wp);
-    let x_work;
-    let w_work;
-    if pattern.order.needs_layout_pass() {
-        let perm = column_permutation(pattern.order, spec);
-        xp = perm.apply_cols(x)?;
-        wp = perm.apply_cols(w)?;
-        x_work = &xp;
-        w_work = &wp;
-        layout_passes += 1;
-    } else {
-        x_work = x;
-        w_work = w;
-    }
-
-    let (oh, ow) = spec.output_hw_for_rows(n).unwrap_or((n, 1));
-    let row_perm = if pattern.row_order.needs_layout_pass() {
-        layout_passes += 1;
-        Some(row_permutation(pattern.row_order, oh, ow))
-    } else {
-        None
-    };
-    let x_rows;
-    let x_final = match &row_perm {
-        Some(p) => {
-            x_rows = p.apply_rows(x_work)?;
-            &x_rows
-        }
-        None => x_work,
-    };
-
-    let mut out = match pattern.direction {
-        ReuseDirection::Vertical => vertical_reuse(x_final, w_work, pattern, hashes, layer)?,
-        ReuseDirection::Horizontal => horizontal_reuse(x_final, w_work, pattern, hashes, layer)?,
-    };
-    if let Some(p) = row_perm {
-        out.y = p.inverse().apply_rows(&out.y)?;
-    }
-    out.stats.ops.transform_elems = (n * k) as u64 * (1 + layout_passes);
-    out.stats = out.stats.finish();
-    Ok(out)
+    let mut ws = ExecWorkspace::new();
+    execute_reuse_in(&mut ws, x, w, Some(spec), pattern, hashes, layer)
 }
 
-/// Helper trait giving `ConvSpec` a way to recover its output grid from a
-/// row count (square-ish factorization fallback when unknown).
-trait OutputHwForRows {
-    fn output_hw_for_rows(&self, n: usize) -> Option<(usize, usize)>;
-}
-
-impl OutputHwForRows for greuse_tensor::ConvSpec {
-    fn output_hw_for_rows(&self, n: usize) -> Option<(usize, usize)> {
-        // The executor does not know the input H/W, but output grids in
-        // this workspace are square or near-square; find the tallest
-        // factorization h <= w.
-        let mut best = None;
-        let mut h = 1usize;
-        while h * h <= n {
-            if n.is_multiple_of(h) {
-                best = Some((h, n / h));
-            }
-            h += 1;
-        }
-        best
-    }
+/// Executes one reuse GEMM through a caller-held [`ExecWorkspace`],
+/// allocating only the output tensor. `spec` selects spec-aware column
+/// permutations when present (the [`execute_reuse_with_spec`] behaviour).
+///
+/// # Errors
+///
+/// Same conditions as [`execute_reuse`].
+pub fn execute_reuse_in(
+    ws: &mut ExecWorkspace,
+    x: &Tensor<f32>,
+    w: &Tensor<f32>,
+    spec: Option<&greuse_tensor::ConvSpec>,
+    pattern: &ReusePattern,
+    hashes: &dyn HashProvider,
+    layer: &str,
+) -> Result<ReuseOutput> {
+    let mut y = Tensor::zeros(&[x.rows(), w.rows()]);
+    let stats = ws.execute_into(x, w, spec, pattern, hashes, layer, y.as_mut_slice())?;
+    Ok(ReuseOutput { y, stats })
 }
 
 #[cfg(test)]
@@ -466,5 +351,57 @@ mod tests {
         let w = rand_mat(3, 12, 31);
         let hashes = RandomHashProvider::new(32);
         assert!(execute_reuse(&x, &w, &ReusePattern::conventional(5, 4), &hashes).is_err());
+    }
+
+    #[test]
+    fn workspace_reuse_across_calls_matches_fresh_workspace() {
+        // A single workspace driven across different patterns, layers and
+        // shapes must give exactly the results of fresh executions.
+        let hashes = RandomHashProvider::new(33);
+        let cases = [
+            (
+                duplicated_rows(32, 24, 4, 34),
+                rand_mat(8, 24, 35),
+                ReusePattern::conventional(8, 4),
+            ),
+            (
+                rand_mat(30, 20, 36),
+                rand_mat(5, 20, 37),
+                ReusePattern::conventional(20, 8)
+                    .with_order(ReuseOrder::Random(3))
+                    .with_row_order(RowOrder::Random(4)),
+            ),
+            (
+                rand_mat(16, 24, 38),
+                rand_mat(5, 24, 39),
+                ReusePattern::conventional(16, 8).with_direction(crate::ReuseDirection::Horizontal),
+            ),
+        ];
+        let mut ws = ExecWorkspace::new();
+        for (i, (x, w, p)) in cases.iter().enumerate() {
+            let layer = format!("layer{i}");
+            // Run twice through the shared workspace: second call hits the
+            // prepared steady state.
+            let first = execute_reuse_in(&mut ws, x, w, None, p, &hashes, &layer).unwrap();
+            let second = execute_reuse_in(&mut ws, x, w, None, p, &hashes, &layer).unwrap();
+            let fresh = execute_reuse_named(x, w, p, &hashes, &layer).unwrap();
+            assert_eq!(first.y, fresh.y, "case {i} first call");
+            assert_eq!(second.y, fresh.y, "case {i} steady-state call");
+            assert_eq!(first.stats, fresh.stats, "case {i} stats");
+            assert_eq!(second.stats, fresh.stats, "case {i} steady-state stats");
+        }
+    }
+
+    #[test]
+    fn execute_into_rejects_wrong_output_len() {
+        let x = rand_mat(8, 10, 40);
+        let w = rand_mat(3, 10, 41);
+        let hashes = RandomHashProvider::new(42);
+        let mut ws = ExecWorkspace::new();
+        let mut y = vec![0.0f32; 8 * 3 - 1];
+        let p = ReusePattern::conventional(5, 4);
+        assert!(ws
+            .execute_into(&x, &w, None, &p, &hashes, "l", &mut y)
+            .is_err());
     }
 }

@@ -1,89 +1,108 @@
 //! Vertical reuse (the paper's M-1 direction, Fig. 3), generalized to
 //! 2-D neuron blocks (§3.3).
 //!
-//! The im2col matrix is sliced into vertical panels of width `L`. Within
-//! a panel, the reuse unit is a block of `block_rows` consecutive rows ×
-//! `L` columns (`block_rows = 1` is the conventional neuron vector).
-//! Blocks are clustered by LSH; each cluster's centroid block multiplies
-//! the panel's weight slice once, and the result is duplicated to every
-//! member (the *recovery* step). Panel results accumulate into `Y`.
+//! The im2col matrix is sliced into vertical panels of width `L` (the
+//! shared [`PanelIter`] walk). Within a panel, the reuse unit is a block
+//! of `block_rows` consecutive rows × `L` columns (`block_rows = 1` is
+//! the conventional neuron vector). Blocks are clustered by LSH; each
+//! cluster's centroid block multiplies the panel's weight slice once, and
+//! the result is duplicated to every member (the *recovery* step). Panel
+//! results accumulate into `Y`.
+//!
+//! The kernel is a workspace function: every intermediate lives in the
+//! caller's [`PanelBuffers`] arena and nothing is allocated here, which
+//! is what makes the executor's steady state allocation-free.
 
-use greuse_lsh::cluster_rows;
-use greuse_tensor::{gemm_f32, Tensor};
+use greuse_lsh::{ClusterScratch, HashFamily};
+use greuse_tensor::gemm_f32_into;
 
-use crate::exec::{ReuseOutput, ReuseStats};
+use crate::exec::workspace::{panel_family, PanelBuffers, PanelIter};
+use crate::exec::ReuseStats;
 use crate::hash_provider::HashProvider;
 use crate::pattern::ReusePattern;
 use crate::Result;
 
-pub(crate) fn vertical_reuse(
-    x: &Tensor<f32>,
-    w: &Tensor<f32>,
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn vertical_into(
+    x: &[f32],
+    w: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
     pattern: &ReusePattern,
     hashes: &dyn HashProvider,
     layer: &str,
-) -> Result<ReuseOutput> {
-    let (n, k) = (x.rows(), x.cols());
-    let m = w.rows();
+    buf: &mut PanelBuffers,
+    scratch: &mut ClusterScratch,
+    families: &mut Vec<HashFamily>,
+    y: &mut [f32],
+    stats: &mut ReuseStats,
+) -> Result<()> {
     let l = pattern.l.min(k);
     let b = pattern.block_rows.min(n);
-    let mut y = Tensor::zeros(&[n, m]);
-    let mut stats = ReuseStats::default();
+    let full_blocks = n / b;
+    let tail_rows = n - full_blocks * b;
 
-    let mut panel = 0usize;
-    let mut col0 = 0usize;
-    while col0 < k {
-        let col1 = (col0 + l).min(k);
-        let lw = col1 - col0;
-        // Weight slice Wp: M x lw.
-        let mut wp = Tensor::zeros(&[m, lw]);
+    for panel in PanelIter::new(k, l) {
+        let (col0, col1, lw) = (panel.start, panel.end, panel.len());
+        // Transposed weight slice Wpᵀ: lw x M.
+        let wp_t = &mut buf.wp_t[..lw * m];
         for r in 0..m {
-            wp.row_mut(r).copy_from_slice(&w.row(r)[col0..col1]);
+            for (c, col) in (col0..col1).enumerate() {
+                wp_t[c * m + r] = w[r * k + col];
+            }
         }
-        let wp_t = wp.transpose(); // lw x M
-
-        // Full blocks of b rows; the ragged tail is computed exactly.
-        let full_blocks = n / b;
-        let tail_rows = n - full_blocks * b;
 
         if full_blocks > 0 {
             // Gather block vectors: full_blocks x (b*lw).
             let dim = b * lw;
-            let mut blocks = Tensor::zeros(&[full_blocks, dim]);
+            let units = &mut buf.units[..full_blocks * dim];
             for g in 0..full_blocks {
-                let dst = blocks.row_mut(g);
+                let dst = &mut units[g * dim..(g + 1) * dim];
                 for br in 0..b {
-                    let src = &x.row(g * b + br)[col0..col1];
-                    dst[br * lw..(br + 1) * lw].copy_from_slice(src);
+                    let row = (g * b + br) * k;
+                    dst[br * lw..(br + 1) * lw].copy_from_slice(&x[row + col0..row + col1]);
                 }
             }
-            let family = hashes.family(layer, panel, pattern.h, &blocks)?;
-            let clustering = cluster_rows(&blocks, &family)?;
-            let n_c = clustering.num_clusters();
+            let mut owned = None;
+            let family = panel_family(
+                families,
+                &mut owned,
+                hashes,
+                layer,
+                panel.index,
+                pattern.h,
+                units,
+                full_blocks,
+                dim,
+            )?;
+            scratch.cluster(units, full_blocks, family)?;
+            let n_c = scratch.num_clusters();
             stats.n_vectors += full_blocks as u64;
             stats.n_clusters += n_c as u64;
             stats.ops.clustering_vectors += full_blocks as u64;
             stats.ops.clustering_macs += family.hashing_macs(full_blocks);
 
-            // Centroid blocks stacked: (n_c * b) x lw.
-            let centroids = clustering.centroids_with(dim, |g| blocks.row(g).to_vec());
-            let mut stacked = Tensor::zeros(&[n_c * b, lw]);
+            // Centroid blocks, then stacked as (n_c * b) x lw.
+            let centroids = &mut buf.centroids[..n_c * dim];
+            scratch.centroids_into(units, dim, centroids)?;
+            let stacked = &mut buf.stacked[..n_c * b * lw];
             for c in 0..n_c {
                 for br in 0..b {
-                    stacked
-                        .row_mut(c * b + br)
-                        .copy_from_slice(&centroids.row(c)[br * lw..(br + 1) * lw]);
+                    stacked[(c * b + br) * lw..(c * b + br + 1) * lw]
+                        .copy_from_slice(&centroids[c * dim + br * lw..c * dim + (br + 1) * lw]);
                 }
             }
             // Centroid GEMM: (n_c*b) x lw × lw x M.
-            let yc = gemm_f32(&stacked, &wp_t)?;
+            let yc = &mut buf.yc[..n_c * b * m];
+            gemm_f32_into(stacked, wp_t, yc, n_c * b, lw, m)?;
             stats.ops.gemm_macs += (n_c * b * lw * m) as u64;
 
             // Recovery: duplicate each cluster's block result to members.
-            for (g, &c) in clustering.assignments().iter().enumerate() {
+            for (g, &c) in scratch.assignments().iter().enumerate() {
                 for br in 0..b {
-                    let dst = y.row_mut(g * b + br);
-                    let src = yc.row(c * b + br);
+                    let dst = &mut y[(g * b + br) * m..(g * b + br + 1) * m];
+                    let src = &yc[(c * b + br) * m..(c * b + br + 1) * m];
                     for (d, s) in dst.iter_mut().zip(src.iter()) {
                         *d += s;
                     }
@@ -94,25 +113,23 @@ pub(crate) fn vertical_reuse(
 
         if tail_rows > 0 {
             // Exact computation for the ragged tail.
-            let mut tail = Tensor::zeros(&[tail_rows, lw]);
+            let tail = &mut buf.tail[..tail_rows * lw];
             for r in 0..tail_rows {
-                tail.row_mut(r)
-                    .copy_from_slice(&x.row(full_blocks * b + r)[col0..col1]);
+                let row = (full_blocks * b + r) * k;
+                tail[r * lw..(r + 1) * lw].copy_from_slice(&x[row + col0..row + col1]);
             }
-            let yt = gemm_f32(&tail, &wp_t)?;
+            let yt = &mut buf.yt[..tail_rows * m];
+            gemm_f32_into(tail, wp_t, yt, tail_rows, lw, m)?;
             stats.ops.gemm_macs += (tail_rows * lw * m) as u64;
             for r in 0..tail_rows {
-                let dst = y.row_mut(full_blocks * b + r);
-                for (d, s) in dst.iter_mut().zip(yt.row(r).iter()) {
+                let dst = &mut y[(full_blocks * b + r) * m..(full_blocks * b + r + 1) * m];
+                for (d, s) in dst.iter_mut().zip(yt[r * m..(r + 1) * m].iter()) {
                     *d += s;
                 }
             }
             stats.ops.recover_elems += (tail_rows * m) as u64;
         }
-
-        panel += 1;
-        col0 = col1;
     }
 
-    Ok(ReuseOutput { y, stats })
+    Ok(())
 }

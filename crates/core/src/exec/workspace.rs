@@ -1,0 +1,478 @@
+//! The panel executor's reusable workspace.
+//!
+//! [`ExecWorkspace`] owns every buffer the reuse executors need — the
+//! reordered operand copies, gathered reuse units, centroids, the
+//! centroid-GEMM output, plus the clustering scratch and cached hash
+//! families — sized once per `(layer, dims, pattern)` and reused across
+//! calls. After the first call on a given shape, [`ExecWorkspace::execute_into`]
+//! performs **zero heap allocations** (with a data-independent hash
+//! provider; data-adapted providers recompute families from the data each
+//! call and therefore allocate inside the provider).
+//!
+//! [`PanelIter`] is the shared panel walk driving both reuse directions:
+//! vertical slices the im2col matrix's *columns* into panels of width
+//! `L`, horizontal slices its *rows* into panels of height `L`. The two
+//! kernels in `vertical.rs`/`horizontal.rs` differ only in how a panel's
+//! reuse units are gathered and how centroid results are applied; the
+//! reorder → cluster → centroid-GEMM plumbing is common and lives here.
+
+use greuse_lsh::{ClusterScratch, HashFamily};
+use greuse_tensor::{ConvSpec, Permutation, Tensor};
+
+use crate::exec::horizontal::horizontal_into;
+use crate::exec::vertical::vertical_into;
+use crate::exec::ReuseStats;
+use crate::hash_provider::HashProvider;
+use crate::pattern::{ReuseDirection, ReusePattern};
+use crate::reorder::{column_permutation, row_permutation};
+use crate::Result;
+
+/// One panel of a [`PanelIter`] walk: a half-open index range plus the
+/// panel's ordinal (used to key per-panel hash families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Panel {
+    /// Ordinal of this panel (0-based).
+    pub index: usize,
+    /// First index covered (column for vertical, row for horizontal).
+    pub start: usize,
+    /// One past the last index covered.
+    pub end: usize,
+}
+
+impl Panel {
+    /// Number of indices covered (`≤ L`; smaller only for the last panel).
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the panel is empty (never yielded by [`PanelIter`]).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Iterator slicing `0..total` into consecutive panels of at most `step`
+/// indices — the panel walk shared by the vertical (columns of width `L`)
+/// and horizontal (rows of height `L`) executors.
+#[derive(Debug, Clone)]
+pub struct PanelIter {
+    total: usize,
+    step: usize,
+    pos: usize,
+    index: usize,
+}
+
+impl PanelIter {
+    /// Panels of at most `step` indices over `0..total`.
+    pub fn new(total: usize, step: usize) -> Self {
+        PanelIter {
+            total,
+            step: step.max(1),
+            pos: 0,
+            index: 0,
+        }
+    }
+}
+
+impl Iterator for PanelIter {
+    type Item = Panel;
+
+    fn next(&mut self) -> Option<Panel> {
+        if self.pos >= self.total {
+            return None;
+        }
+        let panel = Panel {
+            index: self.index,
+            start: self.pos,
+            end: (self.pos + self.step).min(self.total),
+        };
+        self.pos = panel.end;
+        self.index += 1;
+        Some(panel)
+    }
+}
+
+/// What a workspace is currently sized for.
+#[derive(Debug, Clone, PartialEq)]
+struct WsKey {
+    layer: String,
+    n: usize,
+    k: usize,
+    m: usize,
+    pattern: ReusePattern,
+    spec: Option<ConvSpec>,
+}
+
+/// Per-panel scratch buffers shared by both direction kernels. All are
+/// plain `Vec<f32>` arenas sliced to the exact per-panel size at use.
+#[derive(Debug, Default)]
+pub(crate) struct PanelBuffers {
+    /// Gathered reuse units, one per row (vertical: 2-D blocks flattened;
+    /// horizontal: panel columns).
+    pub units: Vec<f32>,
+    /// Vertical: transposed weight panel (`lw x M`).
+    pub wp_t: Vec<f32>,
+    /// Cluster centroids (`n_c x dim`).
+    pub centroids: Vec<f32>,
+    /// Vertical: stacked centroid blocks (`n_c·b x lw`); horizontal: the
+    /// centroid matrix transposed (`lh x n_c`).
+    pub stacked: Vec<f32>,
+    /// Centroid-GEMM output.
+    pub yc: Vec<f32>,
+    /// Horizontal: folded weights (`n_c x M`).
+    pub folded: Vec<f32>,
+    /// Vertical: ragged-tail rows (`tail x lw`).
+    pub tail: Vec<f32>,
+    /// Vertical: tail GEMM output (`tail x M`).
+    pub yt: Vec<f32>,
+}
+
+/// Arena of reusable executor state: reorder buffers, panel buffers,
+/// clustering scratch, and cached per-panel hash families.
+///
+/// Create once (or check out from a pool), then call
+/// [`ExecWorkspace::execute_into`] repeatedly; the workspace re-sizes
+/// itself whenever the `(layer, dims, pattern)` key changes and reaches a
+/// zero-allocation steady state on a stable key.
+#[derive(Debug, Default)]
+pub struct ExecWorkspace {
+    key: Option<WsKey>,
+    col_perm: Option<Permutation>,
+    row_perm: Option<Permutation>,
+    x_buf: Vec<f32>,
+    w_buf: Vec<f32>,
+    y_buf: Vec<f32>,
+    buf: PanelBuffers,
+    scratch: ClusterScratch,
+    families: Vec<HashFamily>,
+}
+
+impl ExecWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        ExecWorkspace::default()
+    }
+
+    /// Pre-sizes the workspace for one layer's GEMM: precompiles the
+    /// pattern's row/column permutations and allocates every buffer, so a
+    /// later [`ExecWorkspace::execute_into`] on the same key allocates
+    /// nothing. Called implicitly by `execute_into`; call it explicitly to
+    /// front-load the work (e.g. from a deployment plan).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GreuseError::InvalidPattern`] when the pattern
+    /// cannot apply to the dimensions.
+    pub fn prepare(
+        &mut self,
+        layer: &str,
+        n: usize,
+        k: usize,
+        m: usize,
+        pattern: &ReusePattern,
+        spec: Option<&ConvSpec>,
+    ) -> Result<()> {
+        pattern.validate(n, k)?;
+        let matches = self.key.as_ref().is_some_and(|key| {
+            key.layer == layer
+                && key.n == n
+                && key.k == k
+                && key.m == m
+                && key.pattern == *pattern
+                && key.spec.as_ref() == spec
+        });
+        if matches {
+            return Ok(());
+        }
+
+        self.col_perm = if pattern.order.needs_layout_pass() {
+            let perm = match spec {
+                Some(s) => column_permutation(pattern.order, s),
+                // The executor only knows K; synthesize a pseudo-spec with
+                // a 1x1 kernel (matching `execute_reuse`'s behaviour).
+                None => column_permutation(pattern.order, &ConvSpec::new(k, 1, 1, 1)),
+            };
+            Some(perm)
+        } else {
+            None
+        };
+        self.row_perm = if pattern.row_order.needs_layout_pass() {
+            let (oh, ow) = match spec {
+                Some(s) => output_hw_for_rows(s, n).unwrap_or((n, 1)),
+                None => (n, 1),
+            };
+            Some(row_permutation(pattern.row_order, oh, ow))
+        } else {
+            None
+        };
+
+        if self.col_perm.is_some() || self.row_perm.is_some() {
+            self.x_buf.resize(n * k, 0.0);
+        }
+        if self.col_perm.is_some() {
+            self.w_buf.resize(m * k, 0.0);
+        }
+        if self.row_perm.is_some() {
+            self.y_buf.resize(n * m, 0.0);
+        }
+
+        match pattern.direction {
+            ReuseDirection::Vertical => {
+                let l = pattern.l.min(k);
+                let b = pattern.block_rows.min(n);
+                let full_blocks = n / b;
+                let dim = b * l;
+                self.buf.units.resize(full_blocks * dim, 0.0);
+                self.buf.wp_t.resize(l * m, 0.0);
+                self.buf.centroids.resize(full_blocks * dim, 0.0);
+                self.buf.stacked.resize(full_blocks * dim, 0.0);
+                self.buf.yc.resize(full_blocks * b * m, 0.0);
+                let tail = n - full_blocks * b;
+                self.buf.tail.resize(tail * l, 0.0);
+                self.buf.yt.resize(tail * m, 0.0);
+                self.buf.folded.clear();
+            }
+            ReuseDirection::Horizontal => {
+                let l = pattern.l.min(n);
+                self.buf.units.resize(k * l, 0.0);
+                self.buf.centroids.resize(k * l, 0.0);
+                self.buf.stacked.resize(l * k, 0.0);
+                self.buf.folded.resize(k * m, 0.0);
+                self.buf.yc.resize(l * m, 0.0);
+                self.buf.wp_t.clear();
+                self.buf.tail.clear();
+                self.buf.yt.clear();
+            }
+        }
+
+        self.families.clear();
+        self.key = Some(WsKey {
+            layer: layer.to_string(),
+            n,
+            k,
+            m,
+            pattern: *pattern,
+            spec: spec.copied(),
+        });
+        Ok(())
+    }
+
+    /// Executes `Y ≈ X × Wᵀ` under `pattern` into the caller-provided
+    /// `y` buffer (`N x M` row-major, original row order), returning the
+    /// run's statistics. Semantically identical to
+    /// [`crate::execute_reuse_named`] / [`crate::execute_reuse_with_spec`]
+    /// (depending on `spec`), but allocation-free in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GreuseError::InvalidPattern`] when the pattern or
+    /// buffer sizes cannot apply to the operands, and propagates
+    /// tensor-shape errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_into(
+        &mut self,
+        x: &Tensor<f32>,
+        w: &Tensor<f32>,
+        spec: Option<&ConvSpec>,
+        pattern: &ReusePattern,
+        hashes: &dyn HashProvider,
+        layer: &str,
+        y: &mut [f32],
+    ) -> Result<ReuseStats> {
+        let (n, k) = (x.rows(), x.cols());
+        if w.shape().rank() != 2 || w.cols() != k {
+            return Err(crate::GreuseError::InvalidPattern {
+                detail: format!(
+                    "weight matrix {:?} incompatible with im2col width {k}",
+                    w.shape().dims()
+                ),
+            });
+        }
+        let m = w.rows();
+        if y.len() != n * m {
+            return Err(crate::GreuseError::InvalidPattern {
+                detail: format!("output buffer holds {} elements, need {}", y.len(), n * m),
+            });
+        }
+        self.prepare(layer, n, k, m, pattern, spec)?;
+
+        let ExecWorkspace {
+            col_perm,
+            row_perm,
+            x_buf,
+            w_buf,
+            y_buf,
+            buf,
+            scratch,
+            families,
+            ..
+        } = self;
+
+        // Materialize the reuse order as explicit reorders (Insight-2).
+        // Both reorders fuse into a single gather pass; the latency model
+        // still charges one transformation pass per reorder below.
+        let mut layout_passes = 0u64;
+        let x_src = x.as_slice();
+        let x_work: &[f32] = match (&col_perm, &row_perm) {
+            (None, None) => x_src,
+            (Some(cp), None) => {
+                cp.apply_cols_into(x_src, n, x_buf)?;
+                x_buf
+            }
+            (None, Some(rp)) => {
+                rp.apply_rows_into(x_src, k, x_buf)?;
+                x_buf
+            }
+            (Some(cp), Some(rp)) => {
+                for (i, &sr) in rp.as_slice().iter().enumerate() {
+                    let src_row = &x_src[sr * k..(sr + 1) * k];
+                    let dst_row = &mut x_buf[i * k..(i + 1) * k];
+                    for (d, &sc) in dst_row.iter_mut().zip(cp.as_slice()) {
+                        *d = src_row[sc];
+                    }
+                }
+                x_buf
+            }
+        };
+        if col_perm.is_some() {
+            layout_passes += 1;
+        }
+        if row_perm.is_some() {
+            layout_passes += 1;
+        }
+        // The column reorder must hit X and W identically so the exact
+        // product is unchanged; only the reuse-unit contents change.
+        let w_work: &[f32] = match &col_perm {
+            Some(cp) => {
+                cp.apply_cols_into(w.as_slice(), m, w_buf)?;
+                w_buf
+            }
+            None => w.as_slice(),
+        };
+
+        let mut stats = ReuseStats::default();
+        {
+            let y_work: &mut [f32] = match &row_perm {
+                Some(_) => y_buf,
+                None => y,
+            };
+            y_work.fill(0.0);
+            match pattern.direction {
+                ReuseDirection::Vertical => vertical_into(
+                    x_work, w_work, n, k, m, pattern, hashes, layer, buf, scratch, families,
+                    y_work, &mut stats,
+                )?,
+                ReuseDirection::Horizontal => horizontal_into(
+                    x_work, w_work, n, k, m, pattern, hashes, layer, buf, scratch, families,
+                    y_work, &mut stats,
+                )?,
+            }
+        }
+
+        // Restore the original row order: working row `i` is original row
+        // `perm[i]`, so scatter rather than build the inverse permutation.
+        if let Some(rp) = &row_perm {
+            for (i, &orig) in rp.as_slice().iter().enumerate() {
+                y[orig * m..(orig + 1) * m].copy_from_slice(&y_buf[i * m..(i + 1) * m]);
+            }
+        }
+
+        // Transformation phase: the base im2col pass plus one pass per
+        // layout permutation (the paper includes reorder costs, §5.1).
+        stats.ops.transform_elems = (n * k) as u64 * (1 + layout_passes);
+        Ok(stats.finish())
+    }
+}
+
+/// Looks up (or fetches and caches) the hash family for one panel.
+///
+/// Data-independent providers are asked once per panel per workspace key;
+/// the family is then served from the workspace cache with no provider
+/// round-trip (no key-string allocation, no family clone). Data-dependent
+/// providers see the gathered unit matrix on every call, exactly as the
+/// allocating executors passed it.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn panel_family<'a>(
+    families: &'a mut Vec<HashFamily>,
+    owned: &'a mut Option<HashFamily>,
+    hashes: &dyn HashProvider,
+    layer: &str,
+    panel: usize,
+    h: usize,
+    units: &[f32],
+    rows: usize,
+    dim: usize,
+) -> Result<&'a HashFamily> {
+    if hashes.data_independent() {
+        if families.len() <= panel {
+            debug_assert_eq!(families.len(), panel, "panels are visited in order");
+            let data = Tensor::from_vec(units[..rows * dim].to_vec(), &[rows, dim])?;
+            families.push(hashes.family(layer, panel, h, &data)?);
+        }
+        Ok(&families[panel])
+    } else {
+        let data = Tensor::from_vec(units[..rows * dim].to_vec(), &[rows, dim])?;
+        *owned = Some(hashes.family(layer, panel, h, &data)?);
+        Ok(owned.as_ref().expect("just stored"))
+    }
+}
+
+/// Recovers a conv output grid from a row count: the executor does not
+/// know the input H/W, but output grids in this workspace are square or
+/// near-square, so take the tallest factorization `h <= w`.
+pub(crate) fn output_hw_for_rows(_spec: &ConvSpec, n: usize) -> Option<(usize, usize)> {
+    let mut best = None;
+    let mut h = 1usize;
+    while h * h <= n {
+        if n.is_multiple_of(h) {
+            best = Some((h, n / h));
+        }
+        h += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_iter_covers_range_without_overlap() {
+        let panels: Vec<Panel> = PanelIter::new(25, 8).collect();
+        assert_eq!(panels.len(), 4);
+        assert_eq!(
+            panels[0],
+            Panel {
+                index: 0,
+                start: 0,
+                end: 8
+            }
+        );
+        assert_eq!(
+            panels[3],
+            Panel {
+                index: 3,
+                start: 24,
+                end: 25
+            }
+        );
+        assert_eq!(panels.iter().map(Panel::len).sum::<usize>(), 25);
+        assert!(panels.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn panel_iter_exact_division_and_empty() {
+        assert_eq!(PanelIter::new(24, 8).count(), 3);
+        assert_eq!(PanelIter::new(0, 8).count(), 0);
+        // step 0 is clamped to 1 rather than looping forever.
+        assert_eq!(PanelIter::new(3, 0).count(), 3);
+    }
+
+    #[test]
+    fn output_hw_takes_tallest_factorization() {
+        let spec = ConvSpec::new(1, 1, 1, 1);
+        assert_eq!(output_hw_for_rows(&spec, 36), Some((6, 6)));
+        assert_eq!(output_hw_for_rows(&spec, 30), Some((5, 6)));
+        assert_eq!(output_hw_for_rows(&spec, 7), Some((1, 7)));
+    }
+}

@@ -34,6 +34,14 @@ pub trait HashProvider: Sync {
 
     /// Human-readable provider name for reports.
     fn name(&self) -> &'static str;
+
+    /// Whether families depend only on `(layer, panel, h, dim)` and never
+    /// on `data`. Executors may then cache a family per panel across
+    /// calls (the zero-allocation steady-state path) instead of asking
+    /// the provider — and its internal locking/cloning — every time.
+    fn data_independent(&self) -> bool {
+        false
+    }
 }
 
 /// Seeded random Gaussian projections — the paper's "lightweight deep
@@ -84,6 +92,10 @@ impl HashProvider for RandomHashProvider {
 
     fn name(&self) -> &'static str {
         "random"
+    }
+
+    fn data_independent(&self) -> bool {
+        true
     }
 }
 

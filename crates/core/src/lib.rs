@@ -65,8 +65,9 @@ pub use adaptive::{redundancy_probe, AdaptiveBackend, AdaptivePolicy, PolicyChoi
 pub use backend::{LayerStats, ReuseBackend};
 pub use error::GreuseError;
 pub use exec::{
-    execute_reuse, execute_reuse_batch, execute_reuse_named, execute_reuse_with_spec,
-    BatchStacking, ReuseOutput, ReuseStats,
+    execute_reuse, execute_reuse_batch, execute_reuse_images, execute_reuse_images_parallel,
+    execute_reuse_in, execute_reuse_named, execute_reuse_with_spec, BatchStacking, ExecWorkspace,
+    Panel, PanelIter, ReuseOutput, ReuseStats,
 };
 pub use hash_provider::{AdaptedHashProvider, HashProvider, RandomHashProvider};
 pub use models::accuracy::{

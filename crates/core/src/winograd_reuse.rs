@@ -9,7 +9,7 @@
 //! cluster/compute/recover pipeline as im2col reuse, in a different
 //! domain.
 
-use greuse_lsh::cluster_rows;
+use greuse_lsh::cluster_rows_unrefined;
 use greuse_mcu::PhaseOps;
 use greuse_nn::layers::to_winograd_domain;
 use greuse_tensor::{ConvSpec, Tensor};
@@ -77,8 +77,14 @@ pub fn winograd_reuse_conv2d(
             dst[ch * 16..(ch + 1) * 16].copy_from_slice(domain.tiles.row(t * c + ch));
         }
     }
+    // Signature-only clustering: Winograd-domain reuse is deliberately
+    // approximate (DREW merges similar tiles and recovers a shared 2x2
+    // block). Smooth images yield near-parallel DC-dominated tile
+    // vectors, and merging them across magnitudes is exactly the
+    // redundancy this domain exploits — the scatter refinement of the
+    // strict im2col path would only strip it.
     let family = hashes.family("winograd", 0, h, &tile_vecs)?;
-    let clustering = cluster_rows(&tile_vecs, &family)?;
+    let clustering = cluster_rows_unrefined(&tile_vecs, &family)?;
     let n_c = clustering.num_clusters();
     let centroids = clustering.centroids_with(dim, |t| tile_vecs.row(t).to_vec());
 

@@ -391,15 +391,16 @@ pub fn select_patterns_for_layer(
                 },
             ))
         };
-        // Evaluate promising patterns in parallel.
-        let collected = Mutex::new(Vec::new());
+        // Evaluate promising patterns in parallel. Each worker writes its
+        // own pre-allocated slot — no lock, and the results come back in
+        // deterministic `promising` order.
+        let mut slots: Vec<Option<Result<(usize, MeasuredResult)>>> =
+            (0..promising.len()).map(|_| None).collect();
         crossbeam::scope(|s| {
-            for &idx in &promising {
-                let collected = &collected;
+            for (slot, &idx) in slots.iter_mut().zip(&promising) {
                 let eval_one = &eval_one;
                 s.spawn(move |_| {
-                    let r = eval_one(idx);
-                    collected.lock().push(r);
+                    *slot = Some(eval_one(idx));
                 });
             }
         })
@@ -407,8 +408,10 @@ pub fn select_patterns_for_layer(
             detail: "evaluation thread panicked".into(),
         })?;
         let mut out = Vec::new();
-        for r in collected.into_inner() {
-            out.push(r?);
+        for r in slots {
+            out.push(r.ok_or_else(|| GreuseError::InvalidWorkflow {
+                detail: "evaluation worker exited without a result".into(),
+            })??);
         }
         out
     };

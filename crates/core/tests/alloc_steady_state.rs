@@ -1,0 +1,97 @@
+//! Acceptance: single-image reuse execution through an [`ExecWorkspace`]
+//! performs **zero heap allocations** in steady state.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! call sizes the workspace (and the data-independent hash provider fills
+//! its per-panel family cache), repeated `execute_into` calls on the same
+//! key must not allocate at all.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use greuse::{ExecWorkspace, RandomHashProvider, ReuseDirection, ReusePattern};
+use greuse_tensor::{ConvSpec, Tensor};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn assert_zero_alloc_steady_state(pattern: ReusePattern, spec: Option<&ConvSpec>) {
+    let (n, k, m) = (64usize, 48usize, 8usize);
+    let hashes = RandomHashProvider::new(7);
+    let x = Tensor::from_fn(&[n, k], |i| ((i % 101) as f32 * 0.13).sin());
+    let w = Tensor::from_fn(&[m, k], |i| ((i % 37) as f32 * 0.29).cos());
+    let mut y = vec![0.0f32; n * m];
+
+    let mut ws = ExecWorkspace::new();
+    // Warm-up: sizes buffers, builds permutations, caches hash families.
+    let warm = ws
+        .execute_into(&x, &w, spec, &pattern, &hashes, "conv1", &mut y)
+        .unwrap();
+
+    let before = allocs();
+    let mut repeat = warm;
+    for _ in 0..5 {
+        repeat = ws
+            .execute_into(&x, &w, spec, &pattern, &hashes, "conv1", &mut y)
+            .unwrap();
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state execute_into allocated ({:?})",
+        pattern
+    );
+    assert_eq!(repeat, warm, "steady-state runs must be deterministic");
+}
+
+// One test function, not four: the allocation counter is process-global,
+// and the libtest harness runs `#[test]`s concurrently — parallel cases
+// would count each other's warm-up allocations.
+#[test]
+fn steady_state_allocates_nothing() {
+    use greuse::{ReuseOrder, RowOrder};
+
+    // Conventional vertical reuse.
+    assert_zero_alloc_steady_state(ReusePattern::conventional(16, 4), None);
+    // Ragged panels (K=48, L=20) and ragged blocks (N=64, b=3).
+    assert_zero_alloc_steady_state(ReusePattern::conventional(20, 4).with_block_rows(3), None);
+    // Horizontal (M-2) direction.
+    assert_zero_alloc_steady_state(
+        ReusePattern::conventional(16, 4).with_direction(ReuseDirection::Horizontal),
+        None,
+    );
+    // Spec-aware column reorder plus row reorder (fused gather path).
+    let spec = ConvSpec::new(3, 8, 4, 4);
+    assert_eq!(spec.patch_len(), 48);
+    assert_zero_alloc_steady_state(
+        ReusePattern::conventional(16, 4)
+            .with_order(ReuseOrder::ChannelFirst)
+            .with_row_order(RowOrder::SpatialTiles(2)),
+        Some(&spec),
+    );
+}

@@ -183,6 +183,95 @@ proptest! {
     }
 
     #[test]
+    fn column_reorder_round_trips(
+        c in 1usize..5,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        n in 1usize..10,
+        seed in 0u32..50,
+        data_seed in any::<u64>(),
+    ) {
+        // apply ∘ invert = id on actual matrices, for every column order.
+        let spec = ConvSpec::new(c, 1, kh, kw);
+        let k = spec.patch_len();
+        let mut rng = StdRng::seed_from_u64(data_seed);
+        let x = Tensor::from_fn(&[n, k], |_| rng.gen_range(-5.0f32..5.0));
+        for order in [
+            ReuseOrder::ChannelLast,
+            ReuseOrder::ChannelFirst,
+            ReuseOrder::KernelTranspose,
+            ReuseOrder::Tiled(3),
+            ReuseOrder::Random(seed),
+        ] {
+            let p = column_permutation(order, &spec);
+            let back = p.inverse().apply_cols(&p.apply_cols(&x).unwrap()).unwrap();
+            prop_assert_eq!(back.as_slice(), x.as_slice());
+        }
+    }
+
+    #[test]
+    fn row_reorder_round_trips(
+        h in 1usize..8,
+        w in 1usize..8,
+        m in 1usize..10,
+        t in 1u8..4,
+        seed in 0u32..50,
+        data_seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(data_seed);
+        let x = Tensor::from_fn(&[h * w, m], |_| rng.gen_range(-5.0f32..5.0));
+        for order in [RowOrder::Natural, RowOrder::SpatialTiles(t), RowOrder::Random(seed)] {
+            let p = row_permutation(order, h, w);
+            let back = p.inverse().apply_rows(&p.apply_rows(&x).unwrap()).unwrap();
+            prop_assert_eq!(back.as_slice(), x.as_slice());
+        }
+    }
+
+    #[test]
+    fn composed_reorders_round_trip(
+        c in 1usize..4,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        oh in 1usize..6,
+        ow in 1usize..6,
+        t in 1u8..4,
+        seed in 0u32..50,
+        data_seed in any::<u64>(),
+    ) {
+        // A full layout transform is a row perm composed with a column
+        // perm; undoing both (in either order — they act on different
+        // axes) must restore the original im2col matrix. Composition of
+        // two column perms must also invert correctly:
+        // (p ∘ q)⁻¹ = q⁻¹ ∘ p⁻¹.
+        let spec = ConvSpec::new(c, 1, kh, kw);
+        let k = spec.patch_len();
+        let mut rng = StdRng::seed_from_u64(data_seed);
+        let x = Tensor::from_fn(&[oh * ow, k], |_| rng.gen_range(-5.0f32..5.0));
+
+        let pc = column_permutation(ReuseOrder::Random(seed), &spec);
+        let pr = row_permutation(RowOrder::SpatialTiles(t), oh, ow);
+        let fwd = pr.apply_rows(&pc.apply_cols(&x).unwrap()).unwrap();
+        let back = pc
+            .inverse()
+            .apply_cols(&pr.inverse().apply_rows(&fwd).unwrap())
+            .unwrap();
+        prop_assert_eq!(back.as_slice(), x.as_slice());
+
+        let q = column_permutation(ReuseOrder::Tiled(3), &spec);
+        let composed = pc.compose(&q).unwrap();
+        prop_assert!(composed
+            .compose(&q.inverse().compose(&pc.inverse()).unwrap())
+            .unwrap()
+            .is_identity());
+        let via_composed = composed.apply_cols(&x).unwrap();
+        // `pc.compose(&q)` applies `q` first, then `pc`.
+        let via_steps = pc.apply_cols(&q.apply_cols(&x).unwrap()).unwrap();
+        prop_assert_eq!(via_composed.as_slice(), via_steps.as_slice());
+        let undone = composed.inverse().apply_cols(&via_composed).unwrap();
+        prop_assert_eq!(undone.as_slice(), x.as_slice());
+    }
+
+    #[test]
     fn pareto_front_is_nondominated(
         points in proptest::collection::vec((0.0f64..100.0, 0.0f64..1.0), 1..30),
     ) {

@@ -118,8 +118,84 @@ impl Clustering {
     }
 }
 
+/// Refinement radius multiplier (see [`refine_threshold`]).
+const REFINE_FACTOR: f32 = 3.0;
+
+/// Maximum Euclidean radius a refined cluster may span around its leader.
+///
+/// Signature equality alone does not bound how far co-bucketed vectors
+/// lie apart: sign projections are angular, so parallel vectors of very
+/// different magnitude — and, at small `H`, outright dissimilar vectors —
+/// share buckets, and substituting their centroid injects unbounded
+/// error. Refinement caps that error at `O(‖x‖/H)`: the radius scales
+/// with the data magnitude `mean_norm` and shrinks as `H` grows, so
+/// spending more hash functions monotonically tightens both the bucket
+/// resolution *and* the worst-case centroid-substitution error.
+pub fn refine_threshold(mean_norm: f32, h: usize) -> f32 {
+    REFINE_FACTOR * mean_norm / h.max(1) as f32
+}
+
+fn dist2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Single-pass leader clustering: vectors join the first cluster of their
+/// signature bucket whose leader (first member) lies within `tau`;
+/// otherwise they found a new cluster. Cluster ids are dense in global
+/// first-appearance order, matching [`Clustering::from_signatures`].
+fn cluster_refined<'a>(
+    sigs: &[Signature],
+    vector: impl Fn(usize) -> &'a [f32],
+    tau: f32,
+) -> Clustering {
+    let tau2 = tau * tau;
+    let mut buckets: HashMap<Signature, Vec<usize>> = HashMap::new();
+    let mut leaders: Vec<usize> = Vec::new();
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    let mut signatures: Vec<Signature> = Vec::new();
+    let mut assignments = Vec::with_capacity(sigs.len());
+    for (i, s) in sigs.iter().enumerate() {
+        let ids = buckets.entry(*s).or_default();
+        let found = ids
+            .iter()
+            .copied()
+            .find(|&c| dist2(vector(leaders[c]), vector(i)) <= tau2);
+        let c = found.unwrap_or_else(|| {
+            let c = members.len();
+            ids.push(c);
+            leaders.push(i);
+            members.push(Vec::new());
+            signatures.push(*s);
+            c
+        });
+        members[c].push(i);
+        assignments.push(c);
+    }
+    Clustering {
+        assignments,
+        members,
+        signatures,
+    }
+}
+
+fn mean_norm_rows<'a>(n: usize, vector: impl Fn(usize) -> &'a [f32]) -> f32 {
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = (0..n)
+        .map(|r| {
+            vector(r)
+                .iter()
+                .map(|v| f64::from(*v) * f64::from(*v))
+                .sum::<f64>()
+                .sqrt()
+        })
+        .sum();
+    (total / n as f64) as f32
+}
+
 /// Clusters the **rows** of a rank-2 tensor whose width equals the
-/// family's `L`.
+/// family's `L`, with scatter refinement (see [`refine_threshold`]).
 ///
 /// # Errors
 ///
@@ -134,10 +210,203 @@ pub fn cluster_rows(x: &Tensor<f32>, family: &HashFamily) -> Result<Clustering, 
         });
     }
     let sigs: Vec<Signature> = (0..x.rows()).map(|r| family.hash(x.row(r))).collect();
+    let tau = refine_threshold(mean_norm_rows(x.rows(), |r| x.row(r)), family.h());
+    Ok(cluster_refined(&sigs, |r| x.row(r), tau))
+}
+
+/// Clusters the **rows** of a rank-2 tensor by signature equality alone —
+/// no scatter refinement. Co-bucketed vectors merge regardless of how far
+/// apart they lie, so centroid-substitution error is unbounded; use this
+/// only for *approximate* reuse paths (e.g. Winograd-domain tile reuse)
+/// whose consumers tolerate coarse merging, and [`cluster_rows`] wherever
+/// the output must track the dense result.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `x` is not rank 2 or its
+/// width differs from `family.l()`.
+pub fn cluster_rows_unrefined(
+    x: &Tensor<f32>,
+    family: &HashFamily,
+) -> Result<Clustering, TensorError> {
+    if x.shape().rank() != 2 || x.cols() != family.l() {
+        return Err(TensorError::ShapeMismatch {
+            op: "cluster_rows_unrefined",
+            expected: vec![family.l()],
+            actual: x.shape().dims().to_vec(),
+        });
+    }
+    let sigs: Vec<Signature> = (0..x.rows()).map(|r| family.hash(x.row(r))).collect();
     Ok(Clustering::from_signatures(&sigs))
 }
 
-/// Clusters an explicit list of equal-length vectors.
+/// Reusable state for refined clustering without per-call allocation.
+///
+/// [`cluster_rows`] allocates signature and member vectors on every call;
+/// a `ClusterScratch` keeps those buffers (and the signature-bucket map)
+/// alive between calls, so repeated clustering of equally-sized inputs
+/// reaches a zero-allocation steady state. The algorithm is *identical*
+/// to [`cluster_rows`] — same signatures, same scatter threshold, same
+/// single-pass leader scan in the same order — so assignments and cluster
+/// counts match the allocating path bit for bit.
+///
+/// Buckets are kept as a signature → head-cluster map plus an intrusive
+/// `chain` of cluster ids, replacing the `Vec<usize>` per bucket of the
+/// allocating path (one heap block per bucket) with two flat arrays.
+#[derive(Debug, Default)]
+pub struct ClusterScratch {
+    sigs: Vec<Signature>,
+    buckets: HashMap<Signature, usize>,
+    chain: Vec<usize>,
+    leaders: Vec<usize>,
+    assignments: Vec<usize>,
+    sizes: Vec<usize>,
+}
+
+/// End-of-chain marker for [`ClusterScratch::chain`].
+const NONE: usize = usize::MAX;
+
+impl ClusterScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        ClusterScratch::default()
+    }
+
+    /// Clusters `n` contiguous rows of `data` (each of length
+    /// `family.l()`) exactly as [`cluster_rows`] would, reusing this
+    /// scratch's buffers. Results are read back via
+    /// [`ClusterScratch::assignments`] / [`ClusterScratch::sizes`] /
+    /// [`ClusterScratch::centroids_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `data.len()` differs
+    /// from `n * family.l()`.
+    pub fn cluster(
+        &mut self,
+        data: &[f32],
+        n: usize,
+        family: &HashFamily,
+    ) -> Result<(), TensorError> {
+        let l = family.l();
+        if data.len() != n * l {
+            return Err(TensorError::ShapeMismatch {
+                op: "ClusterScratch::cluster",
+                expected: vec![n, l],
+                actual: vec![data.len()],
+            });
+        }
+        let row = |i: usize| &data[i * l..(i + 1) * l];
+        self.sigs.clear();
+        self.sigs.extend((0..n).map(|i| family.hash(row(i))));
+        let tau = refine_threshold(mean_norm_rows(n, row), family.h());
+        let tau2 = tau * tau;
+
+        self.buckets.clear();
+        self.chain.clear();
+        self.leaders.clear();
+        self.sizes.clear();
+        self.assignments.clear();
+        for i in 0..n {
+            let s = self.sigs[i];
+            let c = match self.buckets.entry(s) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let c = self.leaders.len();
+                    e.insert(c);
+                    self.leaders.push(i);
+                    self.chain.push(NONE);
+                    self.sizes.push(0);
+                    c
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    // Walk the bucket's clusters in founding order — the
+                    // same order the allocating path scans its id list.
+                    let mut c = *e.get();
+                    loop {
+                        if dist2(row(self.leaders[c]), row(i)) <= tau2 {
+                            break c;
+                        }
+                        if self.chain[c] == NONE {
+                            let nc = self.leaders.len();
+                            self.chain[c] = nc;
+                            self.leaders.push(i);
+                            self.chain.push(NONE);
+                            self.sizes.push(0);
+                            break nc;
+                        }
+                        c = self.chain[c];
+                    }
+                }
+            };
+            self.sizes[c] += 1;
+            self.assignments.push(c);
+        }
+        Ok(())
+    }
+
+    /// Number of vectors in the last clustering.
+    pub fn num_vectors(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Number of clusters found by the last clustering.
+    pub fn num_clusters(&self) -> usize {
+        self.leaders.len()
+    }
+
+    /// Cluster id of each vector, in input order.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Cluster sizes, by cluster id.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Writes the centroid matrix (`num_clusters() x l`, row-major) of the
+    /// last clustering into `out`, given the same flat `data` the vectors
+    /// were clustered from. Matches [`Clustering::centroids_with`] bit for
+    /// bit: members accumulate in input order, then divide by the size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `data` or `out` have
+    /// unexpected lengths.
+    pub fn centroids_into(
+        &self,
+        data: &[f32],
+        l: usize,
+        out: &mut [f32],
+    ) -> Result<(), TensorError> {
+        let n = self.num_vectors();
+        let nc = self.num_clusters();
+        if data.len() != n * l || out.len() != nc * l {
+            return Err(TensorError::ShapeMismatch {
+                op: "ClusterScratch::centroids_into",
+                expected: vec![n * l, nc * l],
+                actual: vec![data.len(), out.len()],
+            });
+        }
+        out.fill(0.0);
+        for (i, &c) in self.assignments.iter().enumerate() {
+            let dst = &mut out[c * l..(c + 1) * l];
+            for (d, s) in dst.iter_mut().zip(&data[i * l..(i + 1) * l]) {
+                *d += s;
+            }
+        }
+        for (c, &size) in self.sizes.iter().enumerate() {
+            let inv = 1.0 / size as f32;
+            for v in &mut out[c * l..(c + 1) * l] {
+                *v *= inv;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Clusters an explicit list of equal-length vectors, with scatter
+/// refinement (see [`refine_threshold`]).
 ///
 /// # Errors
 ///
@@ -157,7 +426,11 @@ pub fn cluster_vectors(
         }
     }
     let sigs: Vec<Signature> = vectors.iter().map(|v| family.hash(v)).collect();
-    Ok(Clustering::from_signatures(&sigs))
+    let tau = refine_threshold(
+        mean_norm_rows(vectors.len(), |r| vectors[r].as_slice()),
+        family.h(),
+    );
+    Ok(cluster_refined(&sigs, |r| vectors[r].as_slice(), tau))
 }
 
 #[cfg(test)]
@@ -240,6 +513,41 @@ mod tests {
         let family = HashFamily::random(4, 3, &mut rng);
         let vs = vec![vec![1.0f32; 3], vec![1.0; 2]];
         assert!(cluster_vectors(&vs, &family).is_err());
+    }
+
+    #[test]
+    fn scratch_matches_cluster_rows_exactly() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let x = Tensor::random(
+            &[120, 10],
+            &rand::distributions::Uniform::new(-2.0f32, 2.0),
+            &mut rng,
+        );
+        let mut scratch = ClusterScratch::new();
+        for h in [1usize, 3, 8, 32] {
+            let mut frng = SmallRng::seed_from_u64(h as u64 + 40);
+            let family = HashFamily::random(h, 10, &mut frng);
+            let want = cluster_rows(&x, &family).unwrap();
+            scratch.cluster(x.as_slice(), 120, &family).unwrap();
+            assert_eq!(scratch.assignments(), want.assignments(), "H={h}");
+            assert_eq!(scratch.num_clusters(), want.num_clusters(), "H={h}");
+            assert_eq!(scratch.sizes(), &want.sizes()[..], "H={h}");
+            let want_cent = want.centroids_with(10, |i| x.row(i).to_vec());
+            let mut got = vec![0.0f32; want.num_clusters() * 10];
+            scratch.centroids_into(x.as_slice(), 10, &mut got).unwrap();
+            assert_eq!(&got[..], want_cent.as_slice(), "H={h}");
+        }
+    }
+
+    #[test]
+    fn scratch_validates_lengths() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let family = HashFamily::random(4, 5, &mut rng);
+        let mut scratch = ClusterScratch::new();
+        assert!(scratch.cluster(&[0.0; 11], 2, &family).is_err());
+        scratch.cluster(&[0.5; 10], 2, &family).unwrap();
+        let mut out = vec![0.0; 4];
+        assert!(scratch.centroids_into(&[0.5; 10], 5, &mut out).is_err());
     }
 
     #[test]

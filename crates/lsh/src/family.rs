@@ -57,7 +57,10 @@ pub struct HashFamily {
 
 impl HashFamily {
     /// Random Gaussian hash vectors — the paper's "lightweight deep reuse"
-    /// configuration used during profiling.
+    /// configuration used during profiling. Purely linear, so signatures
+    /// are scale-invariant: positive scaling of the input never flips a
+    /// bit. Magnitude separation is the clustering layer's job (see
+    /// `refine_threshold` in this crate).
     ///
     /// # Panics
     ///
@@ -65,10 +68,8 @@ impl HashFamily {
     pub fn random(h: usize, l: usize, rng: &mut impl Rng) -> Self {
         assert!(h > 0 && h <= 64, "H must be in 1..=64, got {h}");
         assert!(l > 0, "L must be positive");
-        let dist = StandardNormal;
-        HashFamily {
-            vectors: Tensor::random(&[h, l], &dist, rng),
-        }
+        let vectors = Tensor::random(&[h, l], &StandardNormal, rng);
+        HashFamily { vectors }
     }
 
     /// Data-adapted hash vectors: the top `h` principal directions of the

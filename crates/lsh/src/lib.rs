@@ -44,6 +44,9 @@ mod cluster;
 mod family;
 mod pca;
 
-pub use cluster::{cluster_rows, cluster_vectors, Clustering};
+pub use cluster::{
+    cluster_rows, cluster_rows_unrefined, cluster_vectors, refine_threshold, ClusterScratch,
+    Clustering,
+};
 pub use family::{HashFamily, Signature};
 pub use pca::top_principal_directions;

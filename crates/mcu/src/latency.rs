@@ -52,6 +52,18 @@ impl PhaseOps {
     }
 }
 
+/// The paper's redundancy ratio `r_t = 1 − n_c / n` (§4.2): the fraction
+/// of neuron vectors eliminated by clustering `n` vectors into `n_c`
+/// clusters. Zero when nothing was clustered — the single definition used
+/// by executor statistics and backend accumulators alike.
+pub fn redundancy_ratio(n_vectors: u64, n_clusters: u64) -> f64 {
+    if n_vectors == 0 {
+        0.0
+    } else {
+        1.0 - n_clusters as f64 / n_vectors as f64
+    }
+}
+
 /// Latency of one layer (or a whole network) split by phase, in
 /// milliseconds — the unit the paper reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -112,6 +124,13 @@ impl McuSpec {
 mod tests {
     use super::*;
     use crate::spec::Board;
+
+    #[test]
+    fn redundancy_ratio_formula() {
+        assert_eq!(redundancy_ratio(0, 0), 0.0);
+        assert_eq!(redundancy_ratio(10, 10), 0.0);
+        assert!((redundancy_ratio(100, 25) - 0.75).abs() < 1e-12);
+    }
 
     #[test]
     fn dense_conv_ops_formula() {

@@ -53,6 +53,36 @@ pub trait ConvBackend: Sync {
         x: &Tensor<f32>,
         weights: &Tensor<f32>,
     ) -> Result<Tensor<f32>, TensorError>;
+
+    /// Computes `Y = X × Wᵀ` into a caller-provided `N x M` tensor.
+    ///
+    /// Backends with reusable scratch state override this to skip the
+    /// per-call output allocation; the default delegates to
+    /// [`ConvBackend::conv_gemm`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConvBackend::conv_gemm`], plus a shape
+    /// mismatch when `y` is not `N x M`.
+    fn conv_gemm_into(
+        &self,
+        layer: &str,
+        spec: &ConvSpec,
+        x: &Tensor<f32>,
+        weights: &Tensor<f32>,
+        y: &mut Tensor<f32>,
+    ) -> Result<(), TensorError> {
+        let out = self.conv_gemm(layer, spec, x, weights)?;
+        if y.shape() != out.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv_gemm_into",
+                expected: out.shape().dims().to_vec(),
+                actual: y.shape().dims().to_vec(),
+            });
+        }
+        *y = out;
+        Ok(())
+    }
 }
 
 /// The exact dense baseline: a plain GEMM, equivalent to CMSIS-NN's
@@ -148,6 +178,24 @@ mod tests {
         let y = DenseBackend.conv_gemm("c", &spec, &x, &w).unwrap();
         let want = gemm_f32(&x, &w.transpose()).unwrap();
         assert_eq!(y, want);
+    }
+
+    #[test]
+    fn conv_gemm_into_default_matches_and_checks_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let x = Tensor::from_fn(&[6, 4], |_| rng.gen_range(-1.0f32..1.0));
+        let w = Tensor::from_fn(&[3, 4], |_| rng.gen_range(-1.0f32..1.0));
+        let spec = ConvSpec::new(1, 3, 2, 2);
+        let mut y = Tensor::<f32>::zeros(&[6, 3]);
+        DenseBackend
+            .conv_gemm_into("c", &spec, &x, &w, &mut y)
+            .unwrap();
+        let want = DenseBackend.conv_gemm("c", &spec, &x, &w).unwrap();
+        assert_eq!(y, want);
+        let mut bad = Tensor::<f32>::zeros(&[6, 4]);
+        assert!(DenseBackend
+            .conv_gemm_into("c", &spec, &x, &w, &mut bad)
+            .is_err());
     }
 
     #[test]

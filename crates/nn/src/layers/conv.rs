@@ -68,7 +68,10 @@ impl Conv2d {
         let (h, w) = (dims[1], dims[2]);
         let (oh, ow) = self.spec.output_hw(h, w)?;
         let x_cols = im2col(x, &self.spec)?;
-        let y = backend.conv_gemm(&self.name, &self.spec, &x_cols, &self.weights)?;
+        // Route through the `_into` seam so backends with reusable
+        // workspaces (the reuse executor) skip per-call allocations.
+        let mut y = Tensor::zeros(&[oh * ow, self.spec.out_channels]);
+        backend.conv_gemm_into(&self.name, &self.spec, &x_cols, &self.weights, &mut y)?;
         Ok(self.finish_output(&y, oh, ow))
     }
 

@@ -100,7 +100,7 @@ pub struct WinogradDomain {
 /// Returns [`NnError::BadInput`] for non-rank-3 input or odd spatial dims.
 pub fn to_winograd_domain(input: &Tensor<f32>) -> Result<WinogradDomain> {
     let dims = input.shape().dims();
-    if dims.len() != 3 || dims[1] % 2 != 0 || dims[2] % 2 != 0 {
+    if dims.len() != 3 || !dims[1].is_multiple_of(2) || !dims[2].is_multiple_of(2) {
         return Err(NnError::BadInput {
             expected: "rank-3 input with even H and W".into(),
             actual: dims.to_vec(),

@@ -1,0 +1,102 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::scope` with the 0.8 calling convention (spawn
+//! closures receive a `&Scope` argument, `scope` returns a `Result`
+//! carrying any worker panic) implemented on top of `std::thread::scope`.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle passed to `scope`'s closure and to each spawned worker.
+///
+/// Wraps `std::thread::Scope`; only `spawn` is exposed.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped worker thread. The closure receives a `&Scope`
+    /// (crossbeam convention) so nested spawns are possible.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || {
+                let wrapper = Scope { inner };
+                f(&wrapper)
+            }),
+        }
+    }
+}
+
+/// Join handle for a thread spawned inside a [`scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the worker and returns its result, or the panic payload
+    /// if it panicked.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller's
+/// stack. Returns `Err` with the panic payload if the closure or any
+/// *unjoined* worker panicked, matching crossbeam's contract.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        })
+    }))
+}
+
+/// `crossbeam::thread` module alias so `crossbeam::thread::scope` also works.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn worker_panic_is_reported() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let v = super::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+}

@@ -1,0 +1,48 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on value types for
+//! forward compatibility but performs no serde-based (de)serialization —
+//! persistence goes through hand-rolled text formats. This shim therefore
+//! defines the two traits with blanket impls (every type satisfies them)
+//! and re-exports no-op derive macros so `#[derive(Serialize, Deserialize)]`
+//! compiles unchanged.
+
+/// Marker trait; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Deserialize<'_> for T {}
+
+/// Owned-deserialization marker, blanket-implemented like the real
+/// `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// `serde::de` namespace (subset).
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` namespace (subset).
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn blanket_impls_cover_everything() {
+        fn assert_serialize<T: crate::Serialize>() {}
+        fn assert_deserialize<T: for<'de> crate::Deserialize<'de>>() {}
+        assert_serialize::<Vec<String>>();
+        assert_deserialize::<(u8, f64)>();
+    }
+}

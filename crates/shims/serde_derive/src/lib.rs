@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline `serde`
+//! stand-in. The workspace derives the traits for future-proofing but
+//! never serializes through serde (persistence uses hand-rolled text
+//! formats), so the derives expand to nothing — the blanket impls in the
+//! `serde` shim already cover every type.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde`'s blanket impl provides the trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde`'s blanket impl provides the trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

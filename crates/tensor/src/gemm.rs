@@ -79,6 +79,38 @@ pub fn gemm_f32(a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<f32>, TensorE
     Ok(c)
 }
 
+/// Computes `C = A × B` into a caller-provided buffer, allocating nothing.
+///
+/// Operands are raw row-major slices with explicit dimensions
+/// (`A`: `m x k`, `B`: `k x n`, `C`: `m x n`). `c` is zeroed before
+/// accumulation, so the result equals [`gemm_f32`] exactly (same blocked
+/// kernel, same summation order). This is the steady-state entry point
+/// for executors that own reusable workspaces.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when a slice length disagrees
+/// with its dimensions.
+pub fn gemm_f32_into(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Result<(), TensorError> {
+    if a.len() != m * k || b.len() != k * n || c.len() != m * n {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_f32_into",
+            expected: vec![m * k, k * n, m * n],
+            actual: vec![a.len(), b.len(), c.len()],
+        });
+    }
+    c.fill(0.0);
+    gemm_block(a, b, c, m, k, n, 0, m);
+    Ok(())
+}
+
 /// Multi-threaded variant of [`gemm_f32`]; splits rows of `A` across
 /// `threads` scoped worker threads (crossbeam).
 ///
@@ -291,6 +323,24 @@ mod tests {
             }
         }
         c
+    }
+
+    #[test]
+    fn gemm_into_matches_allocating_kernel_bitwise() {
+        let a = rand_mat(37, 41, 1);
+        let b = rand_mat(41, 29, 2);
+        let want = gemm_f32(&a, &b).unwrap();
+        let mut c = vec![f32::NAN; 37 * 29];
+        gemm_f32_into(a.as_slice(), b.as_slice(), &mut c, 37, 41, 29).unwrap();
+        assert_eq!(&c[..], want.as_slice());
+    }
+
+    #[test]
+    fn gemm_into_rejects_bad_lengths() {
+        let a = vec![0.0f32; 6];
+        let b = vec![0.0f32; 6];
+        let mut c = vec![0.0f32; 5];
+        assert!(gemm_f32_into(&a, &b, &mut c, 2, 3, 2).is_err());
     }
 
     fn rand_mat(r: usize, c: usize, seed: u64) -> Tensor<f32> {

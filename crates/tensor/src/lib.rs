@@ -40,7 +40,9 @@ mod tensor;
 
 pub use conv::{conv2d_naive, ConvSpec};
 pub use error::TensorError;
-pub use gemm::{gemm_f32, gemm_f32_parallel, gemm_q7, gemm_q7_acc, matvec_f32, Gemm};
+pub use gemm::{
+    gemm_f32, gemm_f32_into, gemm_f32_parallel, gemm_q7, gemm_q7_acc, matvec_f32, Gemm,
+};
 pub use im2col::{col2im_accumulate, im2col, im2col_into, im2col_permuted, Im2colLayout};
 pub use perm::Permutation;
 pub use quantized::{dequantize_linear, quantize_linear, LinearQuantParams, QTensor, Q7};

@@ -172,6 +172,65 @@ impl Permutation {
         }
         Ok(out)
     }
+
+    /// Slice-based, allocation-free variant of [`Permutation::apply_rows`]:
+    /// `dst` row `i` is `src` row `map[i]`, both `len() x cols` row-major.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when either slice length
+    /// differs from `len() * cols`.
+    pub fn apply_rows_into(
+        &self,
+        src: &[f32],
+        cols: usize,
+        dst: &mut [f32],
+    ) -> Result<(), TensorError> {
+        let want = self.len() * cols;
+        if src.len() != want || dst.len() != want {
+            return Err(TensorError::ShapeMismatch {
+                op: "apply_rows_into",
+                expected: vec![want, want],
+                actual: vec![src.len(), dst.len()],
+            });
+        }
+        for (i, &s) in self.map.iter().enumerate() {
+            dst[i * cols..(i + 1) * cols].copy_from_slice(&src[s * cols..(s + 1) * cols]);
+        }
+        Ok(())
+    }
+
+    /// Slice-based, allocation-free variant of [`Permutation::apply_cols`]:
+    /// `dst` column `j` is `src` column `map[j]`, both `rows x len()`
+    /// row-major.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when either slice length
+    /// differs from `rows * len()`.
+    pub fn apply_cols_into(
+        &self,
+        src: &[f32],
+        rows: usize,
+        dst: &mut [f32],
+    ) -> Result<(), TensorError> {
+        let cols = self.len();
+        let want = rows * cols;
+        if src.len() != want || dst.len() != want {
+            return Err(TensorError::ShapeMismatch {
+                op: "apply_cols_into",
+                expected: vec![want, want],
+                actual: vec![src.len(), dst.len()],
+            });
+        }
+        for r in 0..rows {
+            let base = r * cols;
+            for (j, &sj) in self.map.iter().enumerate() {
+                dst[base + j] = src[base + sj];
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +251,25 @@ mod tests {
         assert!(Permutation::from_vec(vec![0, 1, 1]).is_err());
         assert!(Permutation::from_vec(vec![0, 3]).is_err());
         assert!(Permutation::from_vec(vec![1, 0]).is_ok());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let rows = Permutation::random(6, &mut rng);
+        let cols = Permutation::random(4, &mut rng);
+        let t = Tensor::from_fn(&[6, 4], |i| i as f32 * 0.7 - 3.0);
+        let want_r = rows.apply_rows(&t).unwrap();
+        let mut got_r = vec![0.0f32; 24];
+        rows.apply_rows_into(t.as_slice(), 4, &mut got_r).unwrap();
+        assert_eq!(&got_r[..], want_r.as_slice());
+        let want_c = cols.apply_cols(&t).unwrap();
+        let mut got_c = vec![0.0f32; 24];
+        cols.apply_cols_into(t.as_slice(), 6, &mut got_c).unwrap();
+        assert_eq!(&got_c[..], want_c.as_slice());
+        // Length validation.
+        assert!(rows.apply_rows_into(t.as_slice(), 3, &mut got_r).is_err());
+        assert!(cols.apply_cols_into(t.as_slice(), 5, &mut got_c).is_err());
     }
 
     #[test]
