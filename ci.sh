@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> bench_exec --quick --check (parallel batch regression gate)"
+cargo run -q --release -p greuse-bench --bin bench_exec -- --quick --check
+
+echo "==> bench_gemm --quick --check (packed kernel + batched hashing gates)"
+cargo run -q --release -p greuse-bench --bin bench_gemm -- --quick --check
+
 echo "CI OK"

@@ -4,8 +4,15 @@
 //! current directory.
 //!
 //! ```text
-//! cargo run --release -p greuse-bench --bin bench_exec [-- --quick]
+//! cargo run --release -p greuse-bench --bin bench_exec [-- --quick] [-- --check]
 //! ```
+//!
+//! With `--check` the process exits nonzero when the pool-based parallel
+//! batch path fails to beat the sequential path (speedup < 1.0) on a
+//! host with at least two hardware threads. Single-core hosts cannot
+//! overlap compute, so the gate there only guards against pathological
+//! pool overhead (floor 0.85); `host_hw_threads` in the JSON records
+//! which regime produced the numbers.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -57,6 +64,7 @@ fn batch(images: usize, n: usize, k: usize) -> Vec<Tensor<f32>> {
 
 fn main() {
     let quick = quick_mode();
+    let check = std::env::args().any(|a| a == "--check");
     let (images, n, k, m, reps) = if quick {
         (8, 96, 48, 16, 3)
     } else {
@@ -81,12 +89,12 @@ fn main() {
     let allocs_per_call = (ALLOCS.load(Ordering::Relaxed) - before) as f64 / calls as f64;
 
     // --- Batch throughput, single thread vs parallel ---
-    // At least 2 so the scoped-thread path actually runs even on a
-    // single-core host (threads=1 collapses to the sequential path).
-    let threads = std::thread::available_parallelism()
+    // At least 2 so the pool path actually runs even on a single-core
+    // host (threads=1 collapses to the sequential path).
+    let hw_threads = std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(1)
-        .max(2);
+        .unwrap_or(1);
+    let threads = hw_threads.max(2);
     let mut seq_best = f64::INFINITY;
     let mut par_best = f64::INFINITY;
     let mut seq_stats = None;
@@ -112,23 +120,38 @@ fn main() {
 
     let seq_ips = images as f64 / seq_best;
     let par_ips = images as f64 / par_best;
+    let speedup = par_ips / seq_ips;
 
     println!("=== Execution engine benchmark ===");
     println!("batch: {images} images of {n}x{k}, weights {m}x{k}, {pattern}");
     println!("allocs/call (steady state): {allocs_per_call:.2}");
     println!("single-thread:  {seq_ips:>8.1} images/sec");
-    println!("parallel ({threads} threads): {par_ips:>8.1} images/sec");
-    println!("speedup: {:.2}x", par_ips / seq_ips);
+    println!("parallel ({threads} threads, {hw_threads} hw): {par_ips:>8.1} images/sec");
+    println!("speedup: {speedup:.2}x");
     println!(
         "redundancy ratio (batch total): {:.3}",
         seq_stats.redundancy_ratio
     );
 
     let json = format!(
-        "{{\n  \"images\": {images},\n  \"rows\": {n},\n  \"cols\": {k},\n  \"out_channels\": {m},\n  \"threads\": {threads},\n  \"allocs_per_call\": {allocs_per_call},\n  \"single_thread_images_per_sec\": {seq_ips},\n  \"parallel_images_per_sec\": {par_ips},\n  \"parallel_speedup\": {},\n  \"redundancy_ratio\": {},\n  \"stats_bit_identical\": true\n}}\n",
-        par_ips / seq_ips,
+        "{{\n  \"images\": {images},\n  \"rows\": {n},\n  \"cols\": {k},\n  \"out_channels\": {m},\n  \"threads\": {threads},\n  \"host_hw_threads\": {hw_threads},\n  \"allocs_per_call\": {allocs_per_call},\n  \"single_thread_images_per_sec\": {seq_ips},\n  \"parallel_images_per_sec\": {par_ips},\n  \"parallel_speedup\": {speedup},\n  \"redundancy_ratio\": {},\n  \"stats_bit_identical\": true\n}}\n",
         seq_stats.redundancy_ratio
     );
     std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
     println!("wrote BENCH_exec.json");
+
+    if check {
+        // With real hardware parallelism the pool must win outright; a
+        // single hardware thread can only interleave, so the gate there
+        // is a regression floor on pool overhead.
+        let floor = if hw_threads >= 2 { 1.0 } else { 0.85 };
+        if speedup < floor {
+            eprintln!(
+                "CHECK FAILED: parallel speedup {speedup:.3} < required {floor:.2} \
+                 ({hw_threads} hardware threads)"
+            );
+            std::process::exit(1);
+        }
+        println!("check passed: speedup {speedup:.3} >= {floor:.2}");
+    }
 }

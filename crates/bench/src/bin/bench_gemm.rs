@@ -1,0 +1,149 @@
+//! Kernel benchmark: GFLOP/s of the packed GEMM microkernel against the
+//! pre-pack scalar reference, single thread and pool-parallel, plus LSH
+//! hashing throughput batched vs per-row. Emits `BENCH_gemm.json` in the
+//! current directory.
+//!
+//! ```text
+//! cargo run --release -p greuse-bench --bin bench_gemm [-- --quick] [-- --check]
+//! ```
+//!
+//! With `--check` the process exits nonzero when the packed kernel fails
+//! to reach 2x the scalar reference on the 96x48x16 shape, or when
+//! batched hashing fails to beat per-row hashing.
+
+use std::time::Instant;
+
+use greuse_bench::quick_mode;
+use greuse_lsh::{HashFamily, SigScratch};
+use greuse_tensor::{gemm_f32, gemm_f32_parallel, gemm_ref_f32, Tensor};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn gflops(m: usize, k: usize, n: usize, secs: f64) -> f64 {
+    (2.0 * m as f64 * k as f64 * n as f64) / secs / 1e9
+}
+
+fn main() {
+    let quick = quick_mode();
+    let check = std::env::args().any(|a| a == "--check");
+    // The 96x48x16 shape is the acceptance shape (a CifarNet-ish im2col
+    // panel); the larger shape shows blocked-cache behaviour.
+    let shapes: &[(usize, usize, usize)] = if quick {
+        &[(96, 48, 16)]
+    } else {
+        &[(96, 48, 16), (256, 128, 64)]
+    };
+    let (gemm_reps, hash_reps) = if quick { (50, 30) } else { (200, 100) };
+    let hw_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let threads = hw_threads.max(2);
+    let mut rng = SmallRng::seed_from_u64(11);
+
+    println!("=== GEMM kernel benchmark ===");
+    let mut shape_json = Vec::new();
+    let mut first_ratio = 0.0f64;
+    for &(m, k, n) in shapes {
+        let a = Tensor::from_fn(&[m, k], |_| rng.gen_range(-1.0f32..1.0));
+        let b = Tensor::from_fn(&[k, n], |_| rng.gen_range(-1.0f32..1.0));
+
+        // Warm the pack buffers and the worker pool outside the timers.
+        let want = gemm_ref_f32(&a, &b).expect("scalar reference");
+        let got = gemm_f32(&a, &b).expect("packed gemm");
+        assert_eq!(got, want, "packed kernel must match the scalar reference");
+        gemm_f32_parallel(&a, &b, threads).expect("parallel warm-up");
+
+        let t_ref = best_of(gemm_reps, || {
+            std::hint::black_box(gemm_ref_f32(&a, &b).unwrap());
+        });
+        let t_packed = best_of(gemm_reps, || {
+            std::hint::black_box(gemm_f32(&a, &b).unwrap());
+        });
+        let t_par = best_of(gemm_reps, || {
+            std::hint::black_box(gemm_f32_parallel(&a, &b, threads).unwrap());
+        });
+
+        let (g_ref, g_packed, g_par) = (
+            gflops(m, k, n, t_ref),
+            gflops(m, k, n, t_packed),
+            gflops(m, k, n, t_par),
+        );
+        let ratio = g_packed / g_ref;
+        if first_ratio == 0.0 {
+            first_ratio = ratio;
+        }
+        println!("{m}x{k}x{n}:");
+        println!("  scalar reference: {g_ref:>7.3} GFLOP/s");
+        println!("  packed (1 thread): {g_packed:>6.3} GFLOP/s  ({ratio:.2}x scalar)");
+        println!("  packed (pool, {threads} threads): {g_par:>6.3} GFLOP/s");
+        shape_json.push(format!(
+            "    {{\n      \"m\": {m},\n      \"k\": {k},\n      \"n\": {n},\n      \"scalar_gflops\": {g_ref},\n      \"packed_gflops\": {g_packed},\n      \"parallel_gflops\": {g_par},\n      \"packed_over_scalar\": {ratio}\n    }}"
+        ));
+    }
+
+    // --- LSH hashing throughput: one projection GEMM vs a dot per row ---
+    let (rows, l, h) = if quick { (256, 48, 16) } else { (2048, 96, 24) };
+    let family = HashFamily::random(h, l, &mut rng);
+    let x: Vec<f32> = (0..rows * l).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let mut sigs = Vec::new();
+    let mut scratch = SigScratch::new();
+    family
+        .hash_rows_into(&x, rows, &mut sigs, &mut scratch)
+        .expect("warm-up");
+    let t_batched = best_of(hash_reps, || {
+        family
+            .hash_rows_into(&x, rows, &mut sigs, &mut scratch)
+            .unwrap();
+        std::hint::black_box(&sigs);
+    });
+    let t_per_row = best_of(hash_reps, || {
+        sigs.clear();
+        for r in 0..rows {
+            sigs.push(family.hash(&x[r * l..(r + 1) * l]));
+        }
+        std::hint::black_box(&sigs);
+    });
+    let batched_rps = rows as f64 / t_batched;
+    let per_row_rps = rows as f64 / t_per_row;
+    let hash_ratio = batched_rps / per_row_rps;
+    println!("hashing {rows} rows, L={l}, H={h}:");
+    println!("  per-row: {per_row_rps:>12.0} rows/sec");
+    println!("  batched: {batched_rps:>12.0} rows/sec  ({hash_ratio:.2}x)");
+
+    let json = format!(
+        "{{\n  \"host_hw_threads\": {hw_threads},\n  \"threads\": {threads},\n  \"gemm\": [\n{}\n  ],\n  \"hash_rows\": {rows},\n  \"hash_l\": {l},\n  \"hash_h\": {h},\n  \"hash_per_row_rows_per_sec\": {per_row_rps},\n  \"hash_batched_rows_per_sec\": {batched_rps},\n  \"hash_batched_over_per_row\": {hash_ratio}\n}}\n",
+        shape_json.join(",\n")
+    );
+    std::fs::write("BENCH_gemm.json", &json).expect("write BENCH_gemm.json");
+    println!("wrote BENCH_gemm.json");
+
+    if check {
+        let mut failed = false;
+        if first_ratio < 2.0 {
+            eprintln!(
+                "CHECK FAILED: packed kernel is only {first_ratio:.2}x the scalar \
+                 reference on 96x48x16 (need 2.0x)"
+            );
+            failed = true;
+        }
+        if hash_ratio < 1.0 {
+            eprintln!("CHECK FAILED: batched hashing is {hash_ratio:.2}x per-row (need >= 1.0x)");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("check passed: packed {first_ratio:.2}x scalar, batched hash {hash_ratio:.2}x");
+    }
+}

@@ -9,12 +9,18 @@
 //! For per-image execution over many images this module also provides the
 //! throughput paths: [`execute_reuse_images`] drives one reused
 //! [`ExecWorkspace`] over the batch (allocation-free after the first
-//! image), and [`execute_reuse_images_parallel`] fans images out over
-//! crossbeam scoped threads — one workspace per worker, per-image
-//! statistics written to indexed slots and combined in image order so the
-//! totals are **bit-identical** to the sequential path.
+//! image), and [`execute_reuse_images_parallel`] fans images out over the
+//! persistent [`WorkerPool`] — the pool's threads park between batches
+//! (no per-call spawning) and each keeps a **thread-local workspace**
+//! that stays warm across batches. Per-image statistics land in indexed
+//! slots and are combined in image order, so outputs and totals are
+//! **bit-identical** to the sequential path no matter which thread ran
+//! which image. [`BatchExecutor`] is the zero-alloc steady-state form:
+//! it owns the stat slots and writes into caller-provided output tensors.
 
-use greuse_tensor::{Permutation, Tensor};
+use std::cell::RefCell;
+
+use greuse_tensor::{Permutation, Tensor, WorkerPool};
 
 use crate::exec::{execute_reuse_named, ExecWorkspace, ReuseOutput, ReuseStats};
 use crate::hash_provider::HashProvider;
@@ -167,12 +173,189 @@ pub fn execute_reuse_images(
     Ok((ys, total.finish()))
 }
 
-/// Parallel variant of [`execute_reuse_images`]: images are chunked over
-/// `threads` crossbeam scoped workers, each with its own
-/// [`ExecWorkspace`]. Every image's execution is independent of workspace
-/// history, and per-image statistics land in indexed slots combined in
-/// image order afterwards — so outputs *and* statistics are bit-identical
-/// to the sequential path.
+thread_local! {
+    /// One workspace per participating thread. Pool workers are
+    /// persistent, so these stay warm (sized, permutations compiled)
+    /// across batches — a parallel batch's steady state allocates
+    /// nothing, and on a stable key skips even the re-`prepare` work.
+    static BATCH_WS: RefCell<ExecWorkspace> = RefCell::new(ExecWorkspace::new());
+}
+
+/// Wraps a raw `*mut T` so pool tasks can write disjoint elements of a
+/// caller-owned slice (task `i` touches only index `i`).
+struct SendPtr<T>(*mut T);
+// SAFETY: every task dereferences a distinct index; see `run_batch`.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the
+    /// `Sync` wrapper, not the raw pointer inside it.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Persistent batch executor: the zero-allocation steady-state form of
+/// [`execute_reuse_images_parallel`].
+///
+/// Owns the per-image statistic slots (grow-only) and writes outputs into
+/// caller-provided tensors, so once the slot vector and every
+/// thread-local workspace have reached their steady size, a whole
+/// parallel batch performs **no heap allocation**. Images are dispatched
+/// onto the global [`WorkerPool`] by index; each image's execution is
+/// independent of workspace history, and totals are folded in image
+/// order, so outputs and statistics are bit-identical to
+/// [`execute_reuse_images`] regardless of scheduling.
+#[derive(Default)]
+pub struct BatchExecutor {
+    slots: Vec<Result<ReuseStats>>,
+}
+
+impl BatchExecutor {
+    /// Creates an executor; slot storage grows on first use.
+    pub fn new() -> Self {
+        BatchExecutor::default()
+    }
+
+    /// Deterministically warms the thread-local workspace of **every**
+    /// pool thread (and the caller) on every image of `xs`.
+    ///
+    /// [`BatchExecutor::execute`] warms workspaces lazily — a thread's
+    /// workspace grows the first time that thread happens to claim an
+    /// image, which depends on scheduling; buffer sizes also depend on
+    /// data (an image with more clusters needs larger centroid storage).
+    /// Call this once before a steady-state section (or an
+    /// allocation-counting test) to pin the warm-up: it dispatches one
+    /// barrier task per pool thread, and each task runs the whole batch,
+    /// so every thread's workspace reaches the batch's maximum size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-thread executor error.
+    pub fn warm(
+        &mut self,
+        xs: &[Tensor<f32>],
+        w: &Tensor<f32>,
+        pattern: &ReusePattern,
+        hashes: &dyn HashProvider,
+    ) -> Result<()> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (n, _) = check_uniform(xs)?;
+        let warm_one = || {
+            BATCH_WS.with(|ws| {
+                let mut ws = ws.borrow_mut();
+                let mut y = vec![0.0f32; n * w.rows()];
+                for x in xs {
+                    ws.execute_into(x, w, None, pattern, hashes, "batch", &mut y)?;
+                }
+                Ok(())
+            })
+        };
+        let pool = WorkerPool::global();
+        let width = pool.workers() + 1;
+        if width <= 1 || WorkerPool::in_task() {
+            // Nested dispatch runs inline, where a cross-thread barrier
+            // would spin forever; warming this thread is all we can do.
+            return warm_one();
+        }
+        if self.slots.len() < width {
+            self.slots.resize_with(width, || Ok(ReuseStats::default()));
+        }
+        let slots = SendPtr(self.slots.as_mut_ptr());
+        let arrived = AtomicUsize::new(0);
+        pool.run_tasks(width, width, &|i| {
+            // Barrier: no task finishes until every task has started, so
+            // each of the `width` threads claims exactly one task. The
+            // spin is bounded — if a worker is never scheduled the
+            // barrier degrades to warming fewer threads, not a hang.
+            arrived.fetch_add(1, Ordering::SeqCst);
+            let mut spins = 0u32;
+            while arrived.load(Ordering::SeqCst) < width && spins < 5_000_000 {
+                std::thread::yield_now();
+                spins += 1;
+            }
+            let slot = unsafe { &mut *slots.get().add(i) };
+            *slot = warm_one().map(|()| ReuseStats::default());
+        });
+        for slot in &mut self.slots[..width] {
+            std::mem::replace(slot, Ok(ReuseStats::default()))?;
+        }
+        Ok(())
+    }
+
+    /// Executes reuse per image across the worker pool, writing image
+    /// `i`'s output into `ys[i]` (which must be an `N x M` tensor) and
+    /// returning the batch-total statistics. `threads <= 1` runs inline
+    /// on the caller (still through the thread-local workspace).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreuseError::InvalidPattern`] for an empty/ragged batch
+    /// or when `ys.len() != xs.len()`, and propagates the first
+    /// per-image executor error (in image order).
+    pub fn execute(
+        &mut self,
+        xs: &[Tensor<f32>],
+        w: &Tensor<f32>,
+        pattern: &ReusePattern,
+        hashes: &dyn HashProvider,
+        threads: usize,
+        ys: &mut [Tensor<f32>],
+    ) -> Result<ReuseStats> {
+        check_uniform(xs)?;
+        if ys.len() != xs.len() {
+            return Err(GreuseError::InvalidPattern {
+                detail: format!("{} output tensors for {} images", ys.len(), xs.len()),
+            });
+        }
+        let images = xs.len();
+        if self.slots.len() < images {
+            self.slots.resize_with(images, || Ok(ReuseStats::default()));
+        }
+        for slot in &mut self.slots[..images] {
+            *slot = Ok(ReuseStats::default());
+        }
+
+        let slots = SendPtr(self.slots.as_mut_ptr());
+        let ys_ptr = SendPtr(ys.as_mut_ptr());
+        let width = threads.clamp(1, images);
+        WorkerPool::global().run_tasks(images, width, &|i| {
+            // SAFETY: task `i` is claimed exactly once, so these are the
+            // only references to element `i`; both vectors outlive the
+            // (blocking) run_tasks call.
+            let y = unsafe { &mut *ys_ptr.get().add(i) };
+            let slot = unsafe { &mut *slots.get().add(i) };
+            BATCH_WS.with(|ws| {
+                *slot = ws.borrow_mut().execute_into(
+                    &xs[i],
+                    w,
+                    None,
+                    pattern,
+                    hashes,
+                    "batch",
+                    y.as_mut_slice(),
+                );
+            });
+        });
+
+        let mut total = ReuseStats::default();
+        for slot in &mut self.slots[..images] {
+            match std::mem::replace(slot, Ok(ReuseStats::default())) {
+                Ok(s) => accumulate(&mut total, &s),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total.finish())
+    }
+}
+
+/// Parallel variant of [`execute_reuse_images`]: images are dispatched
+/// onto the persistent [`WorkerPool`], each executed through a warm
+/// thread-local [`ExecWorkspace`]. Every image's execution is independent
+/// of workspace history, and per-image statistics land in indexed slots
+/// combined in image order afterwards — so outputs *and* statistics are
+/// bit-identical to the sequential path.
 ///
 /// # Errors
 ///
@@ -190,38 +373,9 @@ pub fn execute_reuse_images_parallel(
         return execute_reuse_images(xs, w, pattern, hashes);
     }
     let m = w.rows();
-    let images = xs.len();
-    let mut ys: Vec<Tensor<f32>> = (0..images).map(|_| Tensor::zeros(&[n, m])).collect();
-    let mut stats: Vec<Result<ReuseStats>> =
-        (0..images).map(|_| Ok(ReuseStats::default())).collect();
-    let chunk = images.div_ceil(threads);
-    crossbeam::scope(|scope| {
-        for ((y_chunk, s_chunk), x_chunk) in ys
-            .chunks_mut(chunk)
-            .zip(stats.chunks_mut(chunk))
-            .zip(xs.chunks(chunk))
-        {
-            scope.spawn(move |_| {
-                let mut ws = ExecWorkspace::new();
-                for ((y, slot), x) in y_chunk.iter_mut().zip(s_chunk.iter_mut()).zip(x_chunk) {
-                    let r = ws.execute_into(x, w, None, pattern, hashes, "batch", y.as_mut_slice());
-                    let failed = r.is_err();
-                    *slot = r;
-                    if failed {
-                        break;
-                    }
-                }
-            });
-        }
-    })
-    .map_err(|_| GreuseError::InvalidPattern {
-        detail: "batch worker panicked".into(),
-    })?;
-    let mut total = ReuseStats::default();
-    for s in stats {
-        accumulate(&mut total, &s?);
-    }
-    Ok((ys, total.finish()))
+    let mut ys: Vec<Tensor<f32>> = (0..xs.len()).map(|_| Tensor::zeros(&[n, m])).collect();
+    let stats = BatchExecutor::new().execute(xs, w, pattern, hashes, threads, &mut ys)?;
+    Ok((ys, stats))
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 //! intermediates live in the caller's [`PanelBuffers`] arena.
 
 use greuse_lsh::{ClusterScratch, HashFamily};
-use greuse_tensor::gemm_f32_into;
+use greuse_tensor::gemm_f32_into_with;
 
 use crate::exec::workspace::{panel_family, PanelBuffers, PanelIter};
 use crate::exec::ReuseStats;
@@ -93,7 +93,7 @@ pub(crate) fn horizontal_into(
 
         // Y_i = X_i^c × W_i^c : lh x M.
         let yi = &mut buf.yc[..lh * m];
-        gemm_f32_into(xc, wc, yi, lh, n_c, m)?;
+        gemm_f32_into_with(xc, wc, yi, lh, n_c, m, &mut buf.gemm)?;
         stats.ops.gemm_macs += (lh * n_c * m) as u64;
 
         for r in 0..lh {

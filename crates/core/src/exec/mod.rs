@@ -20,7 +20,8 @@ mod vertical;
 mod workspace;
 
 pub use batch::{
-    execute_reuse_batch, execute_reuse_images, execute_reuse_images_parallel, BatchStacking,
+    execute_reuse_batch, execute_reuse_images, execute_reuse_images_parallel, BatchExecutor,
+    BatchStacking,
 };
 pub use workspace::{ExecWorkspace, Panel, PanelIter};
 

@@ -14,7 +14,7 @@
 //! is what makes the executor's steady state allocation-free.
 
 use greuse_lsh::{ClusterScratch, HashFamily};
-use greuse_tensor::gemm_f32_into;
+use greuse_tensor::gemm_f32_into_with;
 
 use crate::exec::workspace::{panel_family, PanelBuffers, PanelIter};
 use crate::exec::ReuseStats;
@@ -95,7 +95,7 @@ pub(crate) fn vertical_into(
             }
             // Centroid GEMM: (n_c*b) x lw × lw x M.
             let yc = &mut buf.yc[..n_c * b * m];
-            gemm_f32_into(stacked, wp_t, yc, n_c * b, lw, m)?;
+            gemm_f32_into_with(stacked, wp_t, yc, n_c * b, lw, m, &mut buf.gemm)?;
             stats.ops.gemm_macs += (n_c * b * lw * m) as u64;
 
             // Recovery: duplicate each cluster's block result to members.
@@ -119,7 +119,7 @@ pub(crate) fn vertical_into(
                 tail[r * lw..(r + 1) * lw].copy_from_slice(&x[row + col0..row + col1]);
             }
             let yt = &mut buf.yt[..tail_rows * m];
-            gemm_f32_into(tail, wp_t, yt, tail_rows, lw, m)?;
+            gemm_f32_into_with(tail, wp_t, yt, tail_rows, lw, m, &mut buf.gemm)?;
             stats.ops.gemm_macs += (tail_rows * lw * m) as u64;
             for r in 0..tail_rows {
                 let dst = &mut y[(full_blocks * b + r) * m..(full_blocks * b + r + 1) * m];

@@ -17,7 +17,7 @@
 //! reorder → cluster → centroid-GEMM plumbing is common and lives here.
 
 use greuse_lsh::{ClusterScratch, HashFamily};
-use greuse_tensor::{ConvSpec, Permutation, Tensor};
+use greuse_tensor::{ConvSpec, GemmScratch, Permutation, Tensor};
 
 use crate::exec::horizontal::horizontal_into;
 use crate::exec::vertical::vertical_into;
@@ -125,6 +125,8 @@ pub(crate) struct PanelBuffers {
     pub tail: Vec<f32>,
     /// Vertical: tail GEMM output (`tail x M`).
     pub yt: Vec<f32>,
+    /// Pack buffers for the centroid/tail GEMMs (packed microkernel).
+    pub gemm: GemmScratch,
 }
 
 /// Arena of reusable executor state: reorder buffers, panel buffers,

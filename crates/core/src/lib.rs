@@ -66,8 +66,8 @@ pub use backend::{LayerStats, ReuseBackend};
 pub use error::GreuseError;
 pub use exec::{
     execute_reuse, execute_reuse_batch, execute_reuse_images, execute_reuse_images_parallel,
-    execute_reuse_in, execute_reuse_named, execute_reuse_with_spec, BatchStacking, ExecWorkspace,
-    Panel, PanelIter, ReuseOutput, ReuseStats,
+    execute_reuse_in, execute_reuse_named, execute_reuse_with_spec, BatchExecutor, BatchStacking,
+    ExecWorkspace, Panel, PanelIter, ReuseOutput, ReuseStats,
 };
 pub use hash_provider::{AdaptedHashProvider, HashProvider, RandomHashProvider};
 pub use models::accuracy::{

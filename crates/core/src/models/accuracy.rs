@@ -337,7 +337,7 @@ pub fn measured_error(
     pattern: &ReusePattern,
     hashes: &dyn HashProvider,
 ) -> Result<f64> {
-    let exact = greuse_tensor::gemm_f32(x, &w.transpose())?;
+    let exact = greuse_tensor::gemm_bt_f32(x, w)?;
     let approx = execute_reuse_named(x, w, pattern, hashes, "profile")?;
     let mut err = 0.0f64;
     for (a, b) in exact.as_slice().iter().zip(approx.y.as_slice()) {
@@ -362,7 +362,7 @@ pub fn measured_error_with_spec(
     pattern: &ReusePattern,
     hashes: &dyn HashProvider,
 ) -> Result<f64> {
-    let exact = greuse_tensor::gemm_f32(x, &w.transpose())?;
+    let exact = greuse_tensor::gemm_bt_f32(x, w)?;
     let approx = crate::exec::execute_reuse_with_spec(x, w, spec, pattern, hashes, "profile")?;
     let mut err = 0.0f64;
     for (a, b) in exact.as_slice().iter().zip(approx.y.as_slice()) {

@@ -9,7 +9,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use greuse::{ExecWorkspace, RandomHashProvider, ReuseDirection, ReusePattern};
+use greuse::{BatchExecutor, ExecWorkspace, RandomHashProvider, ReuseDirection, ReusePattern};
 use greuse_tensor::{ConvSpec, Tensor};
 
 struct CountingAlloc;
@@ -69,7 +69,45 @@ fn assert_zero_alloc_steady_state(pattern: ReusePattern, spec: Option<&ConvSpec>
     assert_eq!(repeat, warm, "steady-state runs must be deterministic");
 }
 
-// One test function, not four: the allocation counter is process-global,
+/// The pool-based parallel batch path must also stop allocating once the
+/// executor's slot vector, the output tensors, and every pool thread's
+/// thread-local workspace have been sized by a warm-up batch.
+///
+/// Worker threads are spawned lazily by the global pool on the first
+/// dispatch, so the warm-up run also absorbs thread-stack and
+/// workspace-growth allocations.
+fn assert_parallel_batch_steady_state() {
+    let (images, n, k, m, threads) = (6usize, 64usize, 48usize, 8usize, 2usize);
+    let pattern = ReusePattern::conventional(16, 4);
+    let hashes = RandomHashProvider::new(7);
+    let xs: Vec<Tensor<f32>> = (0..images)
+        .map(|img| Tensor::from_fn(&[n, k], |i| (((i + img * 131) % 101) as f32 * 0.13).sin()))
+        .collect();
+    let w = Tensor::from_fn(&[m, k], |i| ((i % 37) as f32 * 0.29).cos());
+    let mut ys: Vec<Tensor<f32>> = (0..images).map(|_| Tensor::zeros(&[n, m])).collect();
+
+    let mut exec = BatchExecutor::new();
+    // Deterministically size every pool thread's workspace — lazy warm-up
+    // depends on which thread claims which image, which is scheduling
+    // noise an allocation counter must not be exposed to.
+    exec.warm(&xs, &w, &pattern, &hashes).unwrap();
+    let warm = exec
+        .execute(&xs, &w, &pattern, &hashes, threads, &mut ys)
+        .unwrap();
+
+    let before = allocs();
+    let mut repeat = warm;
+    for _ in 0..5 {
+        repeat = exec
+            .execute(&xs, &w, &pattern, &hashes, threads, &mut ys)
+            .unwrap();
+    }
+    let after = allocs();
+    assert_eq!(after - before, 0, "steady-state parallel batch allocated");
+    assert_eq!(repeat, warm, "steady-state batches must be deterministic");
+}
+
+// One test function, not five: the allocation counter is process-global,
 // and the libtest harness runs `#[test]`s concurrently — parallel cases
 // would count each other's warm-up allocations.
 #[test]
@@ -94,4 +132,6 @@ fn steady_state_allocates_nothing() {
             .with_row_order(RowOrder::SpatialTiles(2)),
         Some(&spec),
     );
+    // Pool-based parallel batch path.
+    assert_parallel_batch_steady_state();
 }

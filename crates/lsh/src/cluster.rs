@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use greuse_tensor::{Tensor, TensorError};
 
-use crate::family::{HashFamily, Signature};
+use crate::family::{HashFamily, SigScratch, Signature};
 
 /// Result of clustering `n` vectors: an assignment of each vector to a
 /// cluster, cluster sizes, and per-cluster member lists.
@@ -209,7 +209,7 @@ pub fn cluster_rows(x: &Tensor<f32>, family: &HashFamily) -> Result<Clustering, 
             actual: x.shape().dims().to_vec(),
         });
     }
-    let sigs: Vec<Signature> = (0..x.rows()).map(|r| family.hash(x.row(r))).collect();
+    let sigs = family.hash_rows(x)?;
     let tau = refine_threshold(mean_norm_rows(x.rows(), |r| x.row(r)), family.h());
     Ok(cluster_refined(&sigs, |r| x.row(r), tau))
 }
@@ -236,7 +236,7 @@ pub fn cluster_rows_unrefined(
             actual: x.shape().dims().to_vec(),
         });
     }
-    let sigs: Vec<Signature> = (0..x.rows()).map(|r| family.hash(x.row(r))).collect();
+    let sigs = family.hash_rows(x)?;
     Ok(Clustering::from_signatures(&sigs))
 }
 
@@ -256,6 +256,7 @@ pub fn cluster_rows_unrefined(
 #[derive(Debug, Default)]
 pub struct ClusterScratch {
     sigs: Vec<Signature>,
+    sig_scratch: SigScratch,
     buckets: HashMap<Signature, usize>,
     chain: Vec<usize>,
     leaders: Vec<usize>,
@@ -297,8 +298,7 @@ impl ClusterScratch {
             });
         }
         let row = |i: usize| &data[i * l..(i + 1) * l];
-        self.sigs.clear();
-        self.sigs.extend((0..n).map(|i| family.hash(row(i))));
+        family.hash_rows_into(data, n, &mut self.sigs, &mut self.sig_scratch)?;
         let tau = refine_threshold(mean_norm_rows(n, row), family.h());
         let tau2 = tau * tau;
 

@@ -4,7 +4,7 @@ use rand::Rng;
 use rand_distr_shim::StandardNormal;
 use serde::{Deserialize, Serialize};
 
-use greuse_tensor::{Tensor, TensorError};
+use greuse_tensor::{gemm_bt_f32_into_with, GemmScratch, Tensor, TensorError};
 
 use crate::pca::top_principal_directions;
 
@@ -142,10 +142,97 @@ impl HashFamily {
         Signature(bits)
     }
 
+    /// Hashes `n` contiguous rows of `x` (each of length `L`) in one
+    /// batched projection GEMM: `dots = X × Vᵀ` through the packed
+    /// microkernel, then a sign extraction per row.
+    ///
+    /// Signatures are **bit-identical** to calling [`HashFamily::hash`]
+    /// per row: the packed GEMM accumulates each dot product in strictly
+    /// ascending `k` order from `0.0`, exactly like the per-row
+    /// `iter().zip().map().sum()` fold, and the sign test (`dot > 0.0`,
+    /// Equation 1) is applied to bit-equal dot values.
+    ///
+    /// `out` is cleared and refilled; `scratch` holds the dot buffer and
+    /// pack buffers, so repeated calls at steady batch sizes allocate
+    /// nothing (beyond `out`'s first growth).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `x.len() != n * L`.
+    pub fn hash_rows_into(
+        &self,
+        x: &[f32],
+        n: usize,
+        out: &mut Vec<Signature>,
+        scratch: &mut SigScratch,
+    ) -> Result<(), TensorError> {
+        let (h, l) = (self.h(), self.l());
+        if x.len() != n * l {
+            return Err(TensorError::ShapeMismatch {
+                op: "HashFamily::hash_rows_into",
+                expected: vec![n, l],
+                actual: vec![x.len()],
+            });
+        }
+        if scratch.dots.len() < n * h {
+            scratch.dots.resize(n * h, 0.0);
+        }
+        let dots = &mut scratch.dots[..n * h];
+        gemm_bt_f32_into_with(x, self.vectors.as_slice(), dots, n, l, h, &mut scratch.gemm)?;
+        out.clear();
+        out.extend(dots.chunks_exact(h).map(|row| {
+            let mut bits = 0u64;
+            for (i, d) in row.iter().enumerate() {
+                if *d > 0.0 {
+                    bits |= 1 << i;
+                }
+            }
+            Signature(bits)
+        }));
+        Ok(())
+    }
+
+    /// Allocating convenience over [`HashFamily::hash_rows_into`]: hashes
+    /// every row of a rank-2 tensor whose width equals `L`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `x` is not rank 2 or
+    /// its width differs from `L`.
+    pub fn hash_rows(&self, x: &Tensor<f32>) -> Result<Vec<Signature>, TensorError> {
+        if x.shape().rank() != 2 || x.cols() != self.l() {
+            return Err(TensorError::ShapeMismatch {
+                op: "HashFamily::hash_rows",
+                expected: vec![self.l()],
+                actual: x.shape().dims().to_vec(),
+            });
+        }
+        let mut out = Vec::with_capacity(x.rows());
+        let mut scratch = SigScratch::new();
+        self.hash_rows_into(x.as_slice(), x.rows(), &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
     /// MAC count of hashing `n` vectors (the clustering overhead charged by
     /// the latency model).
     pub fn hashing_macs(&self, n: usize) -> u64 {
         n as u64 * self.h() as u64 * self.l() as u64
+    }
+}
+
+/// Reusable buffers for [`HashFamily::hash_rows_into`]: the `n x H` dot
+/// matrix plus the GEMM pack buffers. Grow-only, so batched hashing at
+/// steady shapes is allocation-free.
+#[derive(Debug, Default)]
+pub struct SigScratch {
+    dots: Vec<f32>,
+    gemm: GemmScratch,
+}
+
+impl SigScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        SigScratch::default()
     }
 }
 
@@ -220,6 +307,48 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(8);
         let f = HashFamily::random(4, 10, &mut rng);
         let _ = f.hash(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn batched_hash_identical_to_per_row() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        // Shapes around microkernel tile edges, plus H=64 (full-width
+        // signatures) and n=1 (degenerate batch).
+        for &(h, l, n) in &[
+            (1usize, 1usize, 1usize),
+            (8, 16, 33),
+            (17, 5, 9),
+            (64, 48, 96),
+            (31, 7, 4),
+        ] {
+            let f = HashFamily::random(h, l, &mut rng);
+            let x = Tensor::random(
+                &[n, l],
+                &rand::distributions::Uniform::new(-2.0f32, 2.0),
+                &mut rng,
+            );
+            let per_row: Vec<Signature> = (0..n).map(|r| f.hash(x.row(r))).collect();
+            let batched = f.hash_rows(&x).unwrap();
+            assert_eq!(batched, per_row, "H={h} L={l} n={n}");
+
+            let mut scratch = SigScratch::new();
+            let mut out = Vec::new();
+            f.hash_rows_into(x.as_slice(), n, &mut out, &mut scratch)
+                .unwrap();
+            assert_eq!(out, per_row, "H={h} L={l} n={n} (into)");
+        }
+    }
+
+    #[test]
+    fn hash_rows_validates_shapes() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let f = HashFamily::random(4, 6, &mut rng);
+        assert!(f.hash_rows(&Tensor::zeros(&[3, 5])).is_err());
+        let mut scratch = SigScratch::new();
+        let mut out = Vec::new();
+        assert!(f
+            .hash_rows_into(&[0.0; 11], 2, &mut out, &mut scratch)
+            .is_err());
     }
 
     #[test]

@@ -48,5 +48,5 @@ pub use cluster::{
     cluster_rows, cluster_rows_unrefined, cluster_vectors, refine_threshold, ClusterScratch,
     Clustering,
 };
-pub use family::{HashFamily, Signature};
+pub use family::{HashFamily, SigScratch, Signature};
 pub use pca::top_principal_directions;

@@ -3,7 +3,7 @@
 //! materialized, so the routine stays cheap even for `L = 1600`
 //! (CifarNet Conv2).
 
-use greuse_tensor::{mean_rows, Tensor, TensorError};
+use greuse_tensor::{matvec_f32_into_with, mean_rows, GemmScratch, Tensor, TensorError};
 
 /// Computes the top `k` principal directions of the rows of `samples`
 /// (`n x L`), returned as a `k x L` matrix of unit vectors.
@@ -31,6 +31,8 @@ pub fn top_principal_directions(
     }
     let k = k.min(l);
     let mut dirs = Tensor::zeros(&[k, l]);
+    let mut u = vec![0.0f32; n];
+    let mut gemm = GemmScratch::new();
     for d in 0..k {
         // Deterministic start vector, varied per direction.
         let mut v: Vec<f32> = (0..l)
@@ -38,12 +40,9 @@ pub fn top_principal_directions(
             .collect();
         normalize(&mut v);
         for _ in 0..iters.max(1) {
-            // u = X v  (n)
-            let mut u = vec![0.0f32; n];
-            for (r, uv) in u.iter_mut().enumerate() {
-                let row = &x[r * l..(r + 1) * l];
-                *uv = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
-            }
+            // u = X v  (n) — the packed matvec, same summation order as
+            // the per-row fold it replaces.
+            matvec_f32_into_with(&x, &v, &mut u, n, l, &mut gemm)?;
             // w = Xᵀ u  (L)
             let mut w = vec![0.0f32; l];
             for (r, uv) in u.iter().enumerate() {

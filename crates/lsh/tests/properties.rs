@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use greuse_lsh::{cluster_rows, Clustering, HashFamily, Signature};
+use greuse_lsh::{cluster_rows, Clustering, HashFamily, SigScratch, Signature};
 use greuse_tensor::Tensor;
 
 fn sig_vec() -> impl Strategy<Value = Vec<Signature>> {
@@ -67,6 +67,23 @@ proptest! {
         // Positive scaling never changes any sign bit.
         let scaled: Vec<f32> = data.iter().map(|v| v * scale).collect();
         prop_assert_eq!(a, f.hash(&scaled));
+    }
+
+    #[test]
+    fn batched_hashing_identical_to_per_row(
+        seed in any::<u64>(),
+        h in 1usize..=64,
+        l in 1usize..=40,
+        n in 1usize..=24,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = HashFamily::random(h, l, &mut rng);
+        let x = Tensor::<f32>::from_fn(&[n, l], |i| ((i * 31 + 7) as f32 * 0.173).sin() * 4.0);
+        let mut batched = Vec::new();
+        let mut scratch = SigScratch::new();
+        f.hash_rows_into(x.as_slice(), n, &mut batched, &mut scratch).unwrap();
+        let per_row: Vec<Signature> = (0..n).map(|r| f.hash(x.row(r))).collect();
+        prop_assert_eq!(batched, per_row);
     }
 
     #[test]

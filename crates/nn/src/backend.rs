@@ -8,7 +8,7 @@
 
 use parking_lot_shim::Mutex;
 
-use greuse_tensor::{gemm_f32, ConvSpec, Tensor, TensorError};
+use greuse_tensor::{gemm_bt_f32, ConvSpec, Tensor, TensorError};
 
 // `parking_lot` is only needed by the core crate; keep this substrate's
 // dependency surface minimal with a std shim exposing the same call shape.
@@ -98,7 +98,9 @@ impl ConvBackend for DenseBackend {
         x: &Tensor<f32>,
         weights: &Tensor<f32>,
     ) -> Result<Tensor<f32>, TensorError> {
-        gemm_f32(x, &weights.transpose())
+        // X × Wᵀ without materializing the transpose: the GEMM packing
+        // stage reads the M x K weight matrix column-wise directly.
+        gemm_bt_f32(x, weights)
     }
 }
 
@@ -176,7 +178,7 @@ mod tests {
         let w = Tensor::from_fn(&[3, 4], |_| rng.gen_range(-1.0f32..1.0));
         let spec = ConvSpec::new(1, 3, 2, 2);
         let y = DenseBackend.conv_gemm("c", &spec, &x, &w).unwrap();
-        let want = gemm_f32(&x, &w.transpose()).unwrap();
+        let want = greuse_tensor::gemm_f32(&x, &w.transpose()).unwrap();
         assert_eq!(y, want);
     }
 

@@ -2,7 +2,7 @@
 
 use rand::Rng;
 
-use greuse_tensor::{col2im_accumulate, gemm_f32, im2col, ConvSpec, Tensor};
+use greuse_tensor::{col2im_accumulate, gemm_bt_f32, gemm_f32, im2col, ConvSpec, Tensor};
 
 use crate::backend::ConvBackend;
 use crate::init::he_normal;
@@ -91,7 +91,7 @@ impl Conv2d {
         let (h, w) = (dims[1], dims[2]);
         let (oh, ow) = self.spec.output_hw(h, w)?;
         let x_cols = im2col(x, &self.spec)?;
-        let y = gemm_f32(&x_cols, &self.weights.transpose())?;
+        let y = gemm_bt_f32(&x_cols, &self.weights)?;
         let out = self.finish_output(&y, oh, ow);
         self.cache = Some(Cache {
             x_cols,

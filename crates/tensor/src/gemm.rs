@@ -2,19 +2,39 @@
 //!
 //! Two families are provided:
 //!
-//! * [`gemm_f32`] / [`gemm_f32_parallel`] — cache-blocked `f32` kernels used
-//!   for training and for floating-point reuse experiments;
+//! * [`gemm_f32`] / [`gemm_f32_parallel`] — packed, register-blocked `f32`
+//!   kernels (see [`crate::pack`]) used for training and for
+//!   floating-point reuse experiments. The parallel variant dispatches
+//!   row blocks onto the persistent [`WorkerPool`](crate::WorkerPool).
 //! * [`gemm_q7`] — a CMSIS-NN-style fixed-point kernel: `i8` (Q7) operands,
 //!   `i32` accumulation, with a right-shift requantization, mirroring the
 //!   `arm_convolve_*` kernels the paper runs on Cortex-M.
+//!
+//! The pre-packing scalar kernel survives as [`gemm_ref_f32`] so benches
+//! can quantify the microkernel win and tests can pin bit-compatibility.
 
+use std::cell::RefCell;
+
+use crate::pack::{gemm_packed, BLayout, GemmScratch, MR};
+use crate::pool::WorkerPool;
 use crate::{Tensor, TensorError};
 
-/// Micro-kernel block sizes tuned for small L1 caches; correctness does not
-/// depend on these values.
+/// Block sizes of the scalar reference kernel ([`gemm_ref_f32`]);
+/// correctness does not depend on these values.
 const BLOCK_M: usize = 32;
 const BLOCK_N: usize = 64;
 const BLOCK_K: usize = 64;
+
+thread_local! {
+    /// Per-thread pack buffers backing the scratch-less entry points.
+    /// Pool worker threads are persistent, so this reaches a
+    /// zero-allocation steady state on the parallel path too.
+    static GEMM_TLS: RefCell<GemmScratch> = RefCell::new(GemmScratch::new());
+}
+
+fn with_tls_scratch<R>(f: impl FnOnce(&mut GemmScratch) -> R) -> R {
+    GEMM_TLS.with(|s| f(&mut s.borrow_mut()))
+}
 
 /// Marker struct grouping the GEMM entry points for documentation purposes.
 ///
@@ -63,10 +83,30 @@ fn check_rank2(
     Ok((m, k, n))
 }
 
-/// Computes `C = A × B` for row-major rank-2 `f32` tensors.
+fn check_lens(
+    op: &'static str,
+    a: &[f32],
+    b_len: usize,
+    c: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Result<(), TensorError> {
+    if a.len() != m * k || b_len != k * n || c.len() != m * n {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            expected: vec![m * k, k * n, m * n],
+            actual: vec![a.len(), b_len, c.len()],
+        });
+    }
+    Ok(())
+}
+
+/// Computes `C = A × B` for row-major rank-2 `f32` tensors via the packed
+/// microkernel pipeline.
 ///
-/// The kernel is cache-blocked with an i-k-j inner ordering so the innermost
-/// loop streams both `B` and `C` rows sequentially.
+/// Per-element sums accumulate in strictly ascending `k` order, so the
+/// result is bit-identical to a naive triple loop (see [`crate::pack`]).
 ///
 /// # Errors
 ///
@@ -75,17 +115,27 @@ fn check_rank2(
 pub fn gemm_f32(a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<f32>, TensorError> {
     let (m, k, n) = check_rank2("gemm_f32", a, b)?;
     let mut c = Tensor::zeros(&[m, n]);
-    gemm_block(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n, 0, m);
+    with_tls_scratch(|scratch| {
+        gemm_packed(
+            a.as_slice(),
+            BLayout::RowMajor(b.as_slice()),
+            c.as_mut_slice(),
+            m,
+            k,
+            n,
+            scratch,
+        );
+    });
     Ok(c)
 }
 
-/// Computes `C = A × B` into a caller-provided buffer, allocating nothing.
+/// Computes `C = A × B` into a caller-provided buffer, allocating nothing
+/// in steady state (pack buffers live in thread-local storage).
 ///
 /// Operands are raw row-major slices with explicit dimensions
 /// (`A`: `m x k`, `B`: `k x n`, `C`: `m x n`). `c` is zeroed before
-/// accumulation, so the result equals [`gemm_f32`] exactly (same blocked
-/// kernel, same summation order). This is the steady-state entry point
-/// for executors that own reusable workspaces.
+/// accumulation, so the result equals [`gemm_f32`] exactly (same packed
+/// kernel, same summation order).
 ///
 /// # Errors
 ///
@@ -99,20 +149,114 @@ pub fn gemm_f32_into(
     k: usize,
     n: usize,
 ) -> Result<(), TensorError> {
-    if a.len() != m * k || b.len() != k * n || c.len() != m * n {
-        return Err(TensorError::ShapeMismatch {
-            op: "gemm_f32_into",
-            expected: vec![m * k, k * n, m * n],
-            actual: vec![a.len(), b.len(), c.len()],
-        });
-    }
+    check_lens("gemm_f32_into", a, b.len(), c, m, k, n)?;
     c.fill(0.0);
-    gemm_block(a, b, c, m, k, n, 0, m);
+    with_tls_scratch(|scratch| {
+        gemm_packed(a, BLayout::RowMajor(b), c, m, k, n, scratch);
+    });
     Ok(())
 }
 
-/// Multi-threaded variant of [`gemm_f32`]; splits rows of `A` across
-/// `threads` scoped worker threads (crossbeam).
+/// [`gemm_f32_into`] with caller-owned pack buffers — the steady-state
+/// entry point for executors whose workspace owns a [`GemmScratch`].
+///
+/// # Errors
+///
+/// Same conditions as [`gemm_f32_into`].
+pub fn gemm_f32_into_with(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut GemmScratch,
+) -> Result<(), TensorError> {
+    check_lens("gemm_f32_into_with", a, b.len(), c, m, k, n)?;
+    c.fill(0.0);
+    gemm_packed(a, BLayout::RowMajor(b), c, m, k, n, scratch);
+    Ok(())
+}
+
+/// Computes `C = A × Bᵀ` where `bt` is the row-major `n x k` matrix whose
+/// transpose participates in the product.
+///
+/// The packing stage reads `bt` column-wise directly, so no transposed
+/// copy is ever materialized — this is how weight matrices (stored
+/// `out_channels x k`) and LSH projection matrices (`H x L`) are applied
+/// without per-call `transpose()` allocations. Bit-identical to
+/// `gemm_f32(a, bt.transpose())`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the operands are not rank-2
+/// or `a.cols() != bt.cols()`.
+pub fn gemm_bt_f32(a: &Tensor<f32>, bt: &Tensor<f32>) -> Result<Tensor<f32>, TensorError> {
+    if a.shape().rank() != 2 || bt.shape().rank() != 2 || a.cols() != bt.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_bt_f32",
+            expected: vec![a.rows(), a.cols(), bt.rows()],
+            actual: vec![bt.cols(), bt.rows()],
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), bt.rows());
+    let mut c = Tensor::zeros(&[m, n]);
+    with_tls_scratch(|scratch| {
+        gemm_packed(
+            a.as_slice(),
+            BLayout::Transposed(bt.as_slice()),
+            c.as_mut_slice(),
+            m,
+            k,
+            n,
+            scratch,
+        );
+    });
+    Ok(c)
+}
+
+/// [`gemm_bt_f32`] over raw slices with caller-owned pack buffers:
+/// `C = A × Bᵀ` with `A`: `m x k`, `bt`: `n x k`, `C`: `m x n`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when a slice length disagrees
+/// with its dimensions.
+pub fn gemm_bt_f32_into_with(
+    a: &[f32],
+    bt: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut GemmScratch,
+) -> Result<(), TensorError> {
+    check_lens("gemm_bt_f32_into_with", a, bt.len(), c, m, k, n)?;
+    c.fill(0.0);
+    gemm_packed(a, BLayout::Transposed(bt), c, m, k, n, scratch);
+    Ok(())
+}
+
+/// Wraps a raw `*mut f32` so disjoint row ranges of `C` can be written
+/// from pool workers.
+struct SendPtr(*mut f32);
+// SAFETY: every task writes a disjoint row range; see gemm_f32_parallel.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than field access) so closures capture the
+    /// `Sync` wrapper, not the raw pointer inside it.
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Multi-threaded variant of [`gemm_f32`]: splits rows of `A` into
+/// microkernel-aligned blocks dispatched onto the persistent
+/// [`WorkerPool`]. Each output row is computed exactly as in the
+/// sequential kernel (row blocks are independent), so the result is
+/// bit-identical to [`gemm_f32`] regardless of scheduling.
 ///
 /// # Errors
 ///
@@ -124,50 +268,59 @@ pub fn gemm_f32_parallel(
 ) -> Result<Tensor<f32>, TensorError> {
     let (m, k, n) = check_rank2("gemm_f32_parallel", a, b)?;
     let threads = threads.max(1).min(m.max(1));
-    if threads <= 1 || m < 2 * BLOCK_M {
+    if threads <= 1 || m <= MR {
         return gemm_f32(a, b);
     }
     let mut c = Tensor::zeros(&[m, n]);
-    let rows_per = m.div_ceil(threads);
-    {
-        let a_s = a.as_slice();
-        let b_s = b.as_slice();
-        let chunks: Vec<&mut [f32]> = c.as_mut_slice().chunks_mut(rows_per * n).collect();
-        crossbeam::scope(|scope| {
-            for (t, chunk) in chunks.into_iter().enumerate() {
-                let row0 = t * rows_per;
-                let rows = chunk.len() / n;
-                scope.spawn(move |_| {
-                    gemm_block(
-                        &a_s[row0 * k..(row0 + rows) * k],
-                        b_s,
-                        chunk,
-                        rows,
-                        k,
-                        n,
-                        0,
-                        rows,
-                    );
-                });
-            }
-        })
-        .expect("gemm worker panicked");
-    }
+    let pool = WorkerPool::global();
+    let width = threads.min(pool.workers() + 1);
+    // A few row blocks per participant so claim-based stealing can
+    // balance uneven progress, each a multiple of MR for full tiles.
+    let chunk = m.div_ceil(width * 2).div_ceil(MR).max(1) * MR;
+    let n_tasks = m.div_ceil(chunk);
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    let cp = SendPtr(c.as_mut_slice().as_mut_ptr());
+    pool.run_tasks(n_tasks, width, &|t| {
+        let r0 = t * chunk;
+        let rows = chunk.min(m - r0);
+        // SAFETY: tasks cover disjoint row ranges [r0, r0 + rows) of `C`,
+        // and `c` outlives the (blocking) run_tasks call.
+        let c_chunk = unsafe { std::slice::from_raw_parts_mut(cp.get().add(r0 * n), rows * n) };
+        with_tls_scratch(|scratch| {
+            gemm_packed(
+                &a_s[r0 * k..(r0 + rows) * k],
+                BLayout::RowMajor(b_s),
+                c_chunk,
+                rows,
+                k,
+                n,
+                scratch,
+            );
+        });
+    });
     Ok(c)
 }
 
-/// Blocked GEMM on raw slices over rows `row0..row1` of `a`/`c`.
-#[allow(clippy::too_many_arguments)]
-fn gemm_block(
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-    _m: usize,
-    k: usize,
-    n: usize,
-    row0: usize,
-    row1: usize,
-) {
+/// The pre-packing scalar blocked kernel, kept as a reference point.
+///
+/// This is the kernel `gemm_f32` used before the packed pipeline: cache
+/// blocked with an i-k-j inner ordering and a per-element `a == 0.0`
+/// skip. Benches compare against it to quantify the microkernel win;
+/// tests pin the packed kernel's bit-compatibility with it.
+///
+/// # Errors
+///
+/// Same conditions as [`gemm_f32`].
+pub fn gemm_ref_f32(a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<f32>, TensorError> {
+    let (m, k, n) = check_rank2("gemm_ref_f32", a, b)?;
+    let mut c = Tensor::zeros(&[m, n]);
+    gemm_block(a.as_slice(), b.as_slice(), c.as_mut_slice(), k, n, 0, m);
+    Ok(c)
+}
+
+/// Blocked scalar GEMM on raw slices over rows `row0..row1` of `a`/`c`.
+fn gemm_block(a: &[f32], b: &[f32], c: &mut [f32], k: usize, n: usize, row0: usize, row1: usize) {
     for i0 in (row0..row1).step_by(BLOCK_M) {
         let i1 = (i0 + BLOCK_M).min(row1);
         for k0 in (0..k).step_by(BLOCK_K) {
@@ -193,7 +346,10 @@ fn gemm_block(
     }
 }
 
-/// Computes `y = A × x` for a rank-2 `A` and vector `x`.
+/// Computes `y = A × x` for a rank-2 `A` and vector `x`, through the
+/// packed microkernel pipeline (the `n = 1` GEMM case), so matrix-vector
+/// products share the summation order — and bit-compatibility — of
+/// [`gemm_f32`].
 ///
 /// # Errors
 ///
@@ -208,11 +364,31 @@ pub fn matvec_f32(a: &Tensor<f32>, x: &[f32]) -> Result<Vec<f32>, TensorError> {
     }
     let (m, k) = (a.rows(), a.cols());
     let mut y = vec![0.0f32; m];
-    for (i, yi) in y.iter_mut().enumerate() {
-        let row = &a.as_slice()[i * k..(i + 1) * k];
-        *yi = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
-    }
+    with_tls_scratch(|scratch| {
+        gemm_packed(a.as_slice(), BLayout::RowMajor(x), &mut y, m, k, 1, scratch);
+    });
     Ok(y)
+}
+
+/// [`matvec_f32`] into a caller-provided buffer with caller-owned pack
+/// buffers: `y = A × x` with `A`: `m x k`, `x`: `k`, `y`: `m`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when a slice length disagrees
+/// with its dimensions.
+pub fn matvec_f32_into_with(
+    a: &[f32],
+    x: &[f32],
+    y: &mut [f32],
+    m: usize,
+    k: usize,
+    scratch: &mut GemmScratch,
+) -> Result<(), TensorError> {
+    check_lens("matvec_f32_into_with", a, x.len(), y, m, k, 1)?;
+    y.fill(0.0);
+    gemm_packed(a, BLayout::RowMajor(x), y, m, k, 1, scratch);
+    Ok(())
 }
 
 /// CMSIS-NN-style fixed-point GEMM: `C = requant(A × B)` where `A` and `B`
@@ -336,6 +512,17 @@ mod tests {
     }
 
     #[test]
+    fn gemm_into_with_matches_tls_path_bitwise() {
+        let a = rand_mat(19, 23, 12);
+        let b = rand_mat(23, 17, 13);
+        let want = gemm_f32(&a, &b).unwrap();
+        let mut scratch = GemmScratch::new();
+        let mut c = vec![f32::NAN; 19 * 17];
+        gemm_f32_into_with(a.as_slice(), b.as_slice(), &mut c, 19, 23, 17, &mut scratch).unwrap();
+        assert_eq!(&c[..], want.as_slice());
+    }
+
+    #[test]
     fn gemm_into_rejects_bad_lengths() {
         let a = vec![0.0f32; 6];
         let b = vec![0.0f32; 6];
@@ -354,9 +541,7 @@ mod tests {
         let b = rand_mat(5, 9, 2);
         let c = gemm_f32(&a, &b).unwrap();
         let r = naive(&a, &b);
-        for (x, y) in c.as_slice().iter().zip(r.as_slice()) {
-            assert!((x - y).abs() < 1e-4);
-        }
+        assert_eq!(c.as_slice(), r.as_slice());
     }
 
     #[test]
@@ -366,19 +551,49 @@ mod tests {
         let b = rand_mat(70, 130, 4);
         let c = gemm_f32(&a, &b).unwrap();
         let r = naive(&a, &b);
-        for (x, y) in c.as_slice().iter().zip(r.as_slice()) {
-            assert!((x - y).abs() < 1e-3);
-        }
+        assert_eq!(c.as_slice(), r.as_slice());
     }
 
     #[test]
-    fn parallel_matches_serial() {
+    fn gemm_matches_scalar_reference_bitwise() {
+        let a = rand_mat(53, 38, 21);
+        let b = rand_mat(38, 67, 22);
+        let packed = gemm_f32(&a, &b).unwrap();
+        let scalar = gemm_ref_f32(&a, &b).unwrap();
+        assert_eq!(packed.as_slice(), scalar.as_slice());
+    }
+
+    #[test]
+    fn gemm_bt_matches_materialized_transpose_bitwise() {
+        let a = rand_mat(14, 26, 30);
+        let bt = rand_mat(9, 26, 31); // n x k
+        let via_bt = gemm_bt_f32(&a, &bt).unwrap();
+        let via_t = gemm_f32(&a, &bt.transpose()).unwrap();
+        assert_eq!(via_bt.as_slice(), via_t.as_slice());
+        assert_eq!(via_bt.shape().dims(), &[14, 9]);
+
+        let mut scratch = GemmScratch::new();
+        let mut c = vec![f32::NAN; 14 * 9];
+        gemm_bt_f32_into_with(a.as_slice(), bt.as_slice(), &mut c, 14, 26, 9, &mut scratch)
+            .unwrap();
+        assert_eq!(&c[..], via_bt.as_slice());
+    }
+
+    #[test]
+    fn gemm_bt_rejects_bad_shapes() {
+        let a = rand_mat(3, 4, 32);
+        let bt = rand_mat(5, 3, 33);
+        assert!(gemm_bt_f32(&a, &bt).is_err());
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
         let a = rand_mat(97, 33, 5);
         let b = rand_mat(33, 41, 6);
         let s = gemm_f32(&a, &b).unwrap();
-        let p = gemm_f32_parallel(&a, &b, 4).unwrap();
-        for (x, y) in s.as_slice().iter().zip(p.as_slice()) {
-            assert!((x - y).abs() < 1e-4);
+        for threads in [2, 3, 4, 16] {
+            let p = gemm_f32_parallel(&a, &b, threads).unwrap();
+            assert_eq!(s.as_slice(), p.as_slice(), "threads={threads}");
         }
     }
 
@@ -400,15 +615,18 @@ mod tests {
     }
 
     #[test]
-    fn matvec_matches_gemm() {
+    fn matvec_matches_gemm_bitwise() {
         let a = rand_mat(8, 5, 10);
         let x: Vec<f32> = (0..5).map(|i| i as f32 * 0.3 - 1.0).collect();
         let xm = Tensor::from_vec(x.clone(), &[5, 1]).unwrap();
         let via_gemm = gemm_f32(&a, &xm).unwrap();
         let via_mv = matvec_f32(&a, &x).unwrap();
-        for (g, v) in via_gemm.as_slice().iter().zip(via_mv.iter()) {
-            assert!((g - v).abs() < 1e-5);
-        }
+        assert_eq!(via_gemm.as_slice(), &via_mv[..]);
+
+        let mut scratch = GemmScratch::new();
+        let mut y = vec![f32::NAN; 8];
+        matvec_f32_into_with(a.as_slice(), &x, &mut y, 8, 5, &mut scratch).unwrap();
+        assert_eq!(&y[..], &via_mv[..]);
     }
 
     #[test]

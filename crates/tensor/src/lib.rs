@@ -32,7 +32,9 @@ mod conv;
 mod error;
 mod gemm;
 mod im2col;
+mod pack;
 mod perm;
+mod pool;
 mod quantized;
 mod shape;
 mod stats;
@@ -41,10 +43,13 @@ mod tensor;
 pub use conv::{conv2d_naive, ConvSpec};
 pub use error::TensorError;
 pub use gemm::{
-    gemm_f32, gemm_f32_into, gemm_f32_parallel, gemm_q7, gemm_q7_acc, matvec_f32, Gemm,
+    gemm_bt_f32, gemm_bt_f32_into_with, gemm_f32, gemm_f32_into, gemm_f32_into_with,
+    gemm_f32_parallel, gemm_q7, gemm_q7_acc, gemm_ref_f32, matvec_f32, matvec_f32_into_with, Gemm,
 };
 pub use im2col::{col2im_accumulate, im2col, im2col_into, im2col_permuted, Im2colLayout};
+pub use pack::{GemmScratch, MR, NR};
 pub use perm::Permutation;
+pub use pool::WorkerPool;
 pub use quantized::{dequantize_linear, quantize_linear, LinearQuantParams, QTensor, Q7};
 pub use shape::Shape;
 pub use stats::{covariance, frobenius_norm_sq, max_eigenvalue, mean_rows};

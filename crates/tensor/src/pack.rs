@@ -1,0 +1,381 @@
+//! Packed, register-blocked GEMM pipeline.
+//!
+//! The scalar blocked kernel the crate started with streams `B` rows from
+//! their row-major location and carries a per-element `a == 0.0` branch
+//! in the inner loop — both defeat vectorization. This module implements
+//! the standard panel-packing pipeline instead:
+//!
+//! 1. `A` is packed into **row panels** of [`MR`] rows: panel `p` holds
+//!    rows `p·MR..p·MR+MR`, stored k-major (`ap[kk·MR + r]`), zero-padded
+//!    when fewer than `MR` rows remain.
+//! 2. `B` is packed into **column panels** of [`NR`] columns, stored
+//!    k-major (`bp[kk·NR + c]`), zero-padded likewise.
+//! 3. The [`microkernel`] multiplies one `MR x NR` tile, holding the
+//!    `MR·NR` accumulators in locals so LLVM keeps them in SIMD registers
+//!    and vectorizes the `NR`-wide inner updates (no zero-check branch).
+//!
+//! # Summation order (bit-compatibility)
+//!
+//! Every output element accumulates its `k` products in **strictly
+//! ascending, left-associated order**, exactly like the naive triple loop
+//! `for kk { c[i][j] += a[i][kk] * b[kk][j] }`: the accumulator tile is
+//! *loaded from `C`* at the start of each `k` block and stored back after
+//! it, so blocking over `k` never re-associates the sum. Results are
+//! therefore bit-identical to a naive reference (and to the pre-packing
+//! scalar kernel) up to `-0.0` vs `+0.0` — the old kernel skipped
+//! `a == 0.0` terms entirely, while this one adds the exact `0.0`
+//! product, which can turn `-0.0` into `+0.0` (equal under `==`).
+//!
+//! Packing is staged through a [`GemmScratch`], which callers own (the
+//! executors keep one inside their workspace) so steady-state GEMM calls
+//! allocate nothing.
+
+/// Microkernel tile height (rows of `A` per panel).
+pub const MR: usize = 4;
+/// Microkernel tile width (columns of `B` per panel). Two SSE vectors of
+/// `f32`; with [`MR`]` = 4` the accumulator tile occupies 8 of the 16
+/// x86-64 vector registers, leaving room for the `B` row and the
+/// broadcast `A` values.
+pub const NR: usize = 8;
+/// `k`-dimension block: one packed `A` panel (`MR x KC`) is 4 KiB.
+pub const KC: usize = 256;
+/// Rows of `A` packed per block (`MC x KC` = 64 KiB, L2-resident).
+pub const MC: usize = 64;
+/// Columns of `B` packed per block (`KC x NC` = 128 KiB).
+pub const NC: usize = 128;
+
+/// Reusable packing buffers for the GEMM pipeline.
+///
+/// Buffers only ever grow, so a scratch driven over a stable set of
+/// shapes reaches a zero-allocation steady state after the first call.
+#[derive(Debug, Default)]
+pub struct GemmScratch {
+    a_pack: Vec<f32>,
+    b_pack: Vec<f32>,
+}
+
+impl GemmScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        GemmScratch::default()
+    }
+
+    /// Grows a buffer to `len` without ever shrinking it.
+    fn ensure(buf: &mut Vec<f32>, len: usize) {
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+    }
+}
+
+/// How the `B` operand is laid out in memory.
+///
+/// `Transposed` lets callers multiply by `Wᵀ` (weights are stored `M x K`
+/// throughout the workspace) or by a hash-vector matrix without
+/// materializing the transpose — the packing stage absorbs the stride
+/// change and the microkernel never knows.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BLayout<'a> {
+    /// `b[kk * n + j]` — a row-major `k x n` matrix.
+    RowMajor(&'a [f32]),
+    /// `b[j * k + kk]` — a row-major `n x k` matrix read as its transpose.
+    Transposed(&'a [f32]),
+}
+
+impl BLayout<'_> {
+    #[inline]
+    fn get(&self, kk: usize, j: usize, k: usize, n: usize) -> f32 {
+        match self {
+            BLayout::RowMajor(b) => b[kk * n + j],
+            BLayout::Transposed(b) => {
+                let _ = n;
+                b[j * k + kk]
+            }
+        }
+    }
+}
+
+/// Packs rows `i0..i0+mc` of `A` (`m x k` row-major), k-columns
+/// `p0..p0+kc`, into `MR`-row panels (k-major inside each panel).
+fn pack_a(a: &[f32], k: usize, i0: usize, mc: usize, p0: usize, kc: usize, ap: &mut [f32]) {
+    let panels = mc.div_ceil(MR);
+    for panel in 0..panels {
+        let r0 = panel * MR;
+        let rows = MR.min(mc - r0);
+        let dst = &mut ap[panel * MR * kc..(panel + 1) * MR * kc];
+        for kk in 0..kc {
+            let col = &mut dst[kk * MR..kk * MR + MR];
+            for (r, slot) in col.iter_mut().enumerate() {
+                *slot = if r < rows {
+                    a[(i0 + r0 + r) * k + p0 + kk]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Packs k-rows `p0..p0+kc`, columns `j0..j0+nc` of `B` into `NR`-column
+/// panels (k-major inside each panel).
+#[allow(clippy::too_many_arguments)] // five block offsets + two dims + dst
+fn pack_b(
+    b: BLayout<'_>,
+    k: usize,
+    n: usize,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+    bp: &mut [f32],
+) {
+    let panels = nc.div_ceil(NR);
+    for panel in 0..panels {
+        let c0 = panel * NR;
+        let cols = NR.min(nc - c0);
+        let dst = &mut bp[panel * NR * kc..(panel + 1) * NR * kc];
+        for kk in 0..kc {
+            let row = &mut dst[kk * NR..kk * NR + NR];
+            for (c, slot) in row.iter_mut().enumerate() {
+                *slot = if c < cols {
+                    b.get(p0 + kk, j0 + c0 + c, k, n)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Multiplies one packed `MR x NR` tile over `kc` k-steps, accumulating
+/// into the `rows x cols` top-left corner of the `C` tile at `c` (row
+/// stride `ldc`). The accumulator tile is loaded from `C` first, so
+/// calling this once per `k` block preserves the strictly ascending
+/// summation order.
+#[inline]
+fn microkernel(
+    ap: &[f32],
+    bp: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    ldc: usize,
+    rows: usize,
+    cols: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if rows == MR && cols == NR && std::arch::is_x86_feature_detected!("avx2") {
+        // Safety: AVX2 was just detected, the packers guarantee
+        // `kc * MR` / `kc * NR` packed elements, and a full tile means
+        // all `MR` rows of `NR` columns are in bounds of `c`.
+        unsafe { microkernel_avx2(ap, bp, kc, c, ldc) };
+        return;
+    }
+    microkernel_generic(ap, bp, kc, c, ldc, rows, cols);
+}
+
+/// Portable tile kernel — also the edge-tile path (`rows < MR` or
+/// `cols < NR`) on x86-64.
+#[inline]
+fn microkernel_generic(
+    ap: &[f32],
+    bp: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    ldc: usize,
+    rows: usize,
+    cols: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for r in 0..rows {
+        acc[r][..cols].copy_from_slice(&c[r * ldc..r * ldc + cols]);
+    }
+    // Padded A rows / B columns are zeroed by the packers, so the spare
+    // accumulator lanes stay exactly 0.0 and are simply never stored.
+    for (ac, bc) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let av = ac[r];
+            for (j, slot) in acc_row.iter_mut().enumerate() {
+                *slot += av * bc[j];
+            }
+        }
+    }
+    for r in 0..rows {
+        c[r * ldc..r * ldc + cols].copy_from_slice(&acc[r][..cols]);
+    }
+}
+
+/// Full-tile AVX2 kernel: one 8-lane `ymm` accumulator per `A` row.
+///
+/// Uses separate `vmulps` + `vaddps` — **never FMA** — so every product
+/// is rounded before it is added, exactly as in the scalar expression
+/// `acc += a * b`. Combined with the ascending-`k` packed layout this
+/// keeps the result bit-identical to [`microkernel_generic`] and to the
+/// naive triple loop.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available, `ap.len() >= kc * MR`,
+/// `bp.len() >= kc * NR`, and `c[(MR-1)*ldc + NR - 1]` is in bounds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn microkernel_avx2(ap: &[f32], bp: &[f32], kc: usize, c: &mut [f32], ldc: usize) {
+    use std::arch::x86_64::*;
+    debug_assert!(ap.len() >= kc * MR);
+    debug_assert!(bp.len() >= kc * NR);
+    debug_assert!(c.len() >= (MR - 1) * ldc + NR);
+    let cp = c.as_mut_ptr();
+    let mut acc0 = _mm256_loadu_ps(cp);
+    let mut acc1 = _mm256_loadu_ps(cp.add(ldc));
+    let mut acc2 = _mm256_loadu_ps(cp.add(2 * ldc));
+    let mut acc3 = _mm256_loadu_ps(cp.add(3 * ldc));
+    let mut a = ap.as_ptr();
+    let mut b = bp.as_ptr();
+    for _ in 0..kc {
+        let bv = _mm256_loadu_ps(b);
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_broadcast_ss(&*a), bv));
+        acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_broadcast_ss(&*a.add(1)), bv));
+        acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_broadcast_ss(&*a.add(2)), bv));
+        acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_broadcast_ss(&*a.add(3)), bv));
+        a = a.add(MR);
+        b = b.add(NR);
+    }
+    _mm256_storeu_ps(cp, acc0);
+    _mm256_storeu_ps(cp.add(ldc), acc1);
+    _mm256_storeu_ps(cp.add(2 * ldc), acc2);
+    _mm256_storeu_ps(cp.add(3 * ldc), acc3);
+}
+
+/// Packed GEMM over raw slices: `C += A × B` for rows `0..m` of `A`/`C`.
+///
+/// `c` must be pre-zeroed by the caller when a plain product (not an
+/// accumulation) is wanted; [`crate::gemm_f32_into`] does exactly that.
+pub(crate) fn gemm_packed(
+    a: &[f32],
+    b: BLayout<'_>,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut GemmScratch,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // Zero-length inner dimension: nothing accumulates.
+        return;
+    }
+    let kc_max = k.min(KC);
+    let nc_max = n.min(NC);
+    GemmScratch::ensure(&mut scratch.a_pack, MC.min(m).div_ceil(MR) * MR * kc_max);
+    GemmScratch::ensure(&mut scratch.b_pack, nc_max.div_ceil(NR) * NR * kc_max);
+
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b(b, k, n, pc, kc, jc, nc, &mut scratch.b_pack);
+            let mut ic = 0;
+            while ic < m {
+                let mc = MC.min(m - ic);
+                pack_a(a, k, ic, mc, pc, kc, &mut scratch.a_pack);
+                let a_panels = mc.div_ceil(MR);
+                let b_panels = nc.div_ceil(NR);
+                for jr in 0..b_panels {
+                    let j0 = jr * NR;
+                    let cols = NR.min(nc - j0);
+                    let bp = &scratch.b_pack[jr * NR * kc..(jr + 1) * NR * kc];
+                    for ir in 0..a_panels {
+                        let i0 = ir * MR;
+                        let rows = MR.min(mc - i0);
+                        let ap = &scratch.a_pack[ir * MR * kc..(ir + 1) * MR * kc];
+                        let base = (ic + i0) * n + jc + j0;
+                        microkernel(ap, bp, kc, &mut c[base..], n, rows, cols);
+                    }
+                }
+                ic += mc;
+            }
+            pc += kc;
+        }
+        jc += nc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f32;
+                for kk in 0..k {
+                    s += a[i * k + kk] * b[kk * n + j];
+                }
+                c[i * n + j] = s;
+            }
+        }
+        c
+    }
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_matches_naive_bitwise_across_block_edges() {
+        let mut scratch = GemmScratch::new();
+        // Shapes straddling MR/NR/KC/MC/NC boundaries, plus degenerate 1s.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 9),
+            (MR, KC + 3, NR),
+            (MC + 2, 17, NC + 5),
+            (96, 48, 16),
+        ] {
+            let a = fill(m * k, (m * 31 + k) as u64);
+            let b = fill(k * n, (k * 17 + n) as u64);
+            let want = naive(&a, &b, m, k, n);
+            let mut c = vec![0.0f32; m * n];
+            gemm_packed(&a, BLayout::RowMajor(&b), &mut c, m, k, n, &mut scratch);
+            assert_eq!(c, want, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn transposed_b_matches_rowmajor() {
+        let (m, k, n) = (13, 21, 11);
+        let a = fill(m * k, 1);
+        let bt = fill(n * k, 2); // n x k, read as its transpose (k x n)
+        let b: Vec<f32> = (0..k * n).map(|i| bt[(i % n) * k + i / n]).collect();
+        let mut scratch = GemmScratch::new();
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        gemm_packed(&a, BLayout::RowMajor(&b), &mut c1, m, k, n, &mut scratch);
+        gemm_packed(&a, BLayout::Transposed(&bt), &mut c2, m, k, n, &mut scratch);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn all_zero_operands_give_zero() {
+        let mut scratch = GemmScratch::new();
+        let a = vec![0.0f32; 6 * 10];
+        let b = vec![0.0f32; 10 * 9];
+        let mut c = vec![0.0f32; 6 * 9];
+        gemm_packed(&a, BLayout::RowMajor(&b), &mut c, 6, 10, 9, &mut scratch);
+        assert!(c.iter().all(|v| *v == 0.0));
+    }
+}

@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 
 use greuse_tensor::{
-    col2im_accumulate, conv2d_naive, gemm_f32, im2col, ConvSpec, Permutation, Shape, Tensor, Q7,
+    col2im_accumulate, conv2d_naive, gemm_bt_f32, gemm_f32, gemm_f32_parallel, im2col, matvec_f32,
+    ConvSpec, Permutation, Shape, Tensor, MR, NR, Q7,
 };
 
 fn small_mat(max_r: usize, max_c: usize) -> impl Strategy<Value = Tensor<f32>> {
@@ -11,6 +12,66 @@ fn small_mat(max_r: usize, max_c: usize) -> impl Strategy<Value = Tensor<f32>> {
         proptest::collection::vec(-10.0f32..10.0, r * c)
             .prop_map(move |data| Tensor::from_vec(data, &[r, c]).unwrap())
     })
+}
+
+/// Naive triple-loop reference: strictly ascending-`k`, left-associated
+/// accumulation per output element — the summation order the packed
+/// microkernel is documented to preserve bit for bit.
+fn gemm_naive(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f32;
+            for kk in 0..k {
+                s += a[[i, kk]] * b[[kk, j]];
+            }
+            c[[i, j]] = s;
+        }
+    }
+    c
+}
+
+/// GEMM operand pairs whose shapes straddle the microkernel tile edges
+/// (`MR`/`NR` multiples ± remainders) and include degenerate 1s, with
+/// occasional all-zero operands.
+fn tile_edge_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        Just(MR),
+        Just(MR + 1),
+        Just(NR),
+        Just(NR + 3),
+        2usize..=40,
+    ]
+}
+
+fn gemm_pair() -> impl Strategy<Value = (Tensor<f32>, Tensor<f32>)> {
+    (
+        tile_edge_dim(),
+        tile_edge_dim(),
+        tile_edge_dim(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_flat_map(|(m, k, n, zero_a, zero_b)| {
+            let a = if zero_a {
+                Just(vec![0.0f32; m * k]).boxed()
+            } else {
+                proptest::collection::vec(-10.0f32..10.0, m * k).boxed()
+            };
+            let b = if zero_b {
+                Just(vec![0.0f32; k * n]).boxed()
+            } else {
+                proptest::collection::vec(-10.0f32..10.0, k * n).boxed()
+            };
+            (a, b).prop_map(move |(da, db)| {
+                (
+                    Tensor::from_vec(da, &[m, k]).unwrap(),
+                    Tensor::from_vec(db, &[k, n]).unwrap(),
+                )
+            })
+        })
 }
 
 proptest! {
@@ -131,5 +192,39 @@ proptest! {
     #[test]
     fn transpose_involution(t in small_mat(7, 9)) {
         prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn packed_gemm_equals_naive_bitwise(pair in gemm_pair()) {
+        let (a, b) = (&pair.0, &pair.1);
+        let packed = gemm_f32(a, b).unwrap();
+        let naive = gemm_naive(a, b);
+        prop_assert_eq!(packed.as_slice(), naive.as_slice());
+    }
+
+    #[test]
+    fn parallel_gemm_equals_naive_bitwise(pair in gemm_pair(), threads in 2usize..8) {
+        let (a, b) = (&pair.0, &pair.1);
+        let parallel = gemm_f32_parallel(a, b, threads).unwrap();
+        let naive = gemm_naive(a, b);
+        prop_assert_eq!(parallel.as_slice(), naive.as_slice());
+    }
+
+    #[test]
+    fn gemm_bt_equals_naive_on_transpose_bitwise(pair in gemm_pair()) {
+        let (a, b) = (&pair.0, &pair.1);
+        let bt = b.transpose();
+        let via_bt = gemm_bt_f32(a, &bt).unwrap();
+        let naive = gemm_naive(a, b);
+        prop_assert_eq!(via_bt.as_slice(), naive.as_slice());
+    }
+
+    #[test]
+    fn matvec_equals_naive_bitwise(a in small_mat(24, 24)) {
+        let x: Vec<f32> = (0..a.cols()).map(|i| (i as f32 * 0.7).sin() * 3.0).collect();
+        let xm = Tensor::from_vec(x.clone(), &[a.cols(), 1]).unwrap();
+        let naive = gemm_naive(&a, &xm);
+        let y = matvec_f32(&a, &x).unwrap();
+        prop_assert_eq!(naive.as_slice(), &y[..]);
     }
 }
