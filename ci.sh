@@ -13,10 +13,21 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
-echo "==> bench_exec --quick --check (parallel batch regression gate)"
-cargo run -q --release -p greuse-bench --bin bench_exec -- --quick --check
+echo "==> bench_exec baseline (telemetry compiled out)"
+cargo run -q --release -p greuse-bench --bin bench_exec --no-default-features -- --quick
+mv BENCH_exec.json BENCH_exec.baseline.json
+
+echo "==> bench_exec --quick --check (parallel batch + telemetry overhead gates)"
+cargo run -q --release -p greuse-bench --bin bench_exec -- \
+  --quick --check --overhead-against BENCH_exec.baseline.json
+rm -f BENCH_exec.baseline.json
 
 echo "==> bench_gemm --quick --check (packed kernel + batched hashing gates)"
 cargo run -q --release -p greuse-bench --bin bench_gemm -- --quick --check
+
+echo "==> greuse profile (exporters + schema validation)"
+cargo run -q --release -p greuse-cli --bin greuse -- profile \
+  --model cifarnet --samples 2 --out PROFILE_ci.json --trace TRACE_ci.json --validate
+rm -f PROFILE_ci.json TRACE_ci.json
 
 echo "CI OK"

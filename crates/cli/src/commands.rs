@@ -29,6 +29,8 @@ USAGE:
                   [--prune-to N] [--board f4|f7] [--plan-out FILE] [--all]
   greuse simulate --n N --k K --m M [--rt R] [--l L] [--h H] [--board f4|f7]
   greuse scope    --n N --k K
+  greuse profile  --model <...> [--weights FILE] [--reuse L,H] [--samples N]
+                  [--board f4|f7] [--out FILE] [--trace FILE] [--validate]
   greuse help";
 
 type AnyNet = Box<dyn TrainableNetwork>;
@@ -292,6 +294,97 @@ pub fn simulate(opts: &Options) -> Result<(), String> {
         Err(e) => println!("memory: {e}"),
     }
     let _ = PhaseOps::default();
+    Ok(())
+}
+
+/// `greuse profile` — run instrumented inference and emit both exporters:
+/// the schema-versioned JSON snapshot and a Chrome trace-event file.
+pub fn profile(opts: &Options) -> Result<(), String> {
+    let model = opts.require("model")?;
+    let samples: usize = opts.num("samples", 4)?;
+    let out = opts.get_or("out", "profile.json");
+    let trace_path = opts.get_or("trace", "trace.json");
+    let b = board(opts);
+    let mut net = build_model(model, opts.num("seed", 42u64)?)?;
+    load_weights(net.as_mut(), opts)?;
+    let (l, h) = parse_reuse(opts)?.unwrap_or((20, 3));
+    // Every conv layer gets a pattern so every row of the report carries a
+    // measured r_t — profiling wants coverage, not deployment heuristics.
+    let mut backend = ReuseBackend::new(AdaptedHashProvider::new());
+    for info in net.conv_layers() {
+        backend = backend.with_pattern(
+            info.name.clone(),
+            ReusePattern::conventional(l.min(info.gemm_k()).max(1), h),
+        );
+    }
+    let data =
+        SyntheticDataset::cifar_like(opts.num("data-seed", 2024u64)?).generate(samples.max(1), 21);
+
+    // 1M-slot ring (~24 MB host memory): adapted hash families issue many
+    // small packed GEMMs per panel, so span volume runs well past 100k
+    // events per image. Overflow drops events (reported) rather than
+    // growing, but a full ring means truncated phase timings.
+    greuse_telemetry::install(1 << 20);
+    // Warm-up pass: workspace growth, span-name interning and counter
+    // registration all allocate lazily; run them outside the recording.
+    net.forward(&data[0].0, &backend)
+        .map_err(|e| e.to_string())?;
+    backend.reset_stats();
+    greuse_telemetry::reset();
+    greuse_telemetry::enable();
+    for (image, _) in &data {
+        net.forward(image, &backend).map_err(|e| e.to_string())?;
+    }
+    greuse_telemetry::disable();
+
+    let report = greuse::network_report(net.as_ref(), &backend, b, data.len() as u64);
+    let json_text = report.to_json();
+    let trace_text = greuse_telemetry::chrome_trace();
+    if opts.flag("validate") {
+        greuse::NetworkReport::validate_json(&json_text)
+            .map_err(|e| format!("profile JSON failed schema validation: {e}"))?;
+        greuse_telemetry::json::parse(&trace_text)
+            .map_err(|e| format!("chrome trace is not valid JSON: {e}"))?;
+        println!(
+            "validated: report matches schema v{}",
+            report.schema_version
+        );
+    }
+    std::fs::write(out, &json_text).map_err(|e| format!("writing {out}: {e}"))?;
+    std::fs::write(trace_path, &trace_text).map_err(|e| format!("writing {trace_path}: {e}"))?;
+
+    println!(
+        "profiled {model} on {} images (reuse L={l} H={h}, board {b})",
+        report.samples
+    );
+    println!(
+        "{:<12} {:>5} {:>8} {:>8} {:>9} {:>10} {:>10}  drift",
+        "layer", "calls", "meas_rt", "pred_rt", "wall_ms", "meas_ms", "pred_ms"
+    );
+    for lr in &report.layers {
+        println!(
+            "{:<12} {:>5} {:>8.3} {:>8.3} {:>9.3} {:>10.3} {:>10.3}  {}",
+            lr.layer,
+            lr.calls,
+            lr.measured_rt,
+            lr.predicted_rt,
+            lr.wall_ms,
+            lr.measured_model_ms,
+            lr.predicted_model_ms,
+            if lr.drift_flagged {
+                format!("DRIFT {:.0}%", lr.drift * 100.0)
+            } else {
+                format!("{:.0}%", lr.drift * 100.0)
+            }
+        );
+    }
+    if report.dropped_events > 0 {
+        println!(
+            "warning: {} spans dropped (event ring full); phase timings undercount",
+            report.dropped_events
+        );
+    }
+    println!("report -> {out}\ntrace  -> {trace_path} (chrome://tracing / perfetto)");
     Ok(())
 }
 

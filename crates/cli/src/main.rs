@@ -6,6 +6,7 @@
 //! greuse select   --model cifarnet --weights model.grsd --layer conv2 [--prune-to 5]
 //! greuse simulate --n 256 --k 1600 --m 64 [--rt 0.95] [--l 20] [--h 3] [--board f4]
 //! greuse scope    --n 1024 --k 75
+//! greuse profile  --model cifarnet --samples 4 --out profile.json --trace trace.json
 //! ```
 //!
 //! Datasets are the workspace's seeded synthetic generators, so every
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
         "select" => commands::select(&opts),
         "simulate" => commands::simulate(&opts),
         "scope" => commands::scope(&opts),
+        "profile" => commands::profile(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -34,12 +35,26 @@ pub struct LayerStats {
     pub n_vectors: u64,
     /// Summed clusters.
     pub n_clusters: u64,
+    /// Summed host wall time spent in the reuse executor, nanoseconds.
+    /// Host-side observability only — MCU latency comes from the model.
+    pub wall_ns: u64,
 }
 
 impl LayerStats {
     /// Mean redundancy ratio across calls.
     pub fn redundancy_ratio(&self) -> f64 {
         greuse_mcu::redundancy_ratio(self.n_vectors, self.n_clusters)
+    }
+
+    /// Folds another accumulation into this one (plain counter sums).
+    /// Folding per-image snapshots equals accumulating all images into
+    /// one `LayerStats`.
+    pub fn merge(&mut self, other: &LayerStats) {
+        self.calls += other.calls;
+        self.ops = self.ops.combined(&other.ops);
+        self.n_vectors += other.n_vectors;
+        self.n_clusters += other.n_clusters;
+        self.wall_ns += other.wall_ns;
     }
 
     /// Mean per-image operation counts.
@@ -72,11 +87,17 @@ struct AtomicLayerStats {
     recover_elems: AtomicU64,
     n_vectors: AtomicU64,
     n_clusters: AtomicU64,
+    wall_ns: AtomicU64,
+    /// `f64::to_bits` of the layer's input redundancy probe, captured on
+    /// the layer's first reuse call; zero while unset (the probe is
+    /// strictly positive, so zero is unambiguous).
+    probe_bits: AtomicU64,
 }
 
 impl AtomicLayerStats {
-    fn record(&self, s: &ReuseStats) {
+    fn record(&self, s: &ReuseStats, wall_ns: u64) {
         self.calls.fetch_add(1, Ordering::Relaxed);
+        self.wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
         self.transform_elems
             .fetch_add(s.ops.transform_elems, Ordering::Relaxed);
         self.clustering_macs
@@ -102,6 +123,7 @@ impl AtomicLayerStats {
             },
             n_vectors: self.n_vectors.load(Ordering::Relaxed),
             n_clusters: self.n_clusters.load(Ordering::Relaxed),
+            wall_ns: self.wall_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -114,6 +136,10 @@ impl AtomicLayerStats {
         self.recover_elems.store(0, Ordering::Relaxed);
         self.n_vectors.store(0, Ordering::Relaxed);
         self.n_clusters.store(0, Ordering::Relaxed);
+        self.wall_ns.store(0, Ordering::Relaxed);
+        // The probe survives resets on purpose: it describes the input
+        // distribution, not the counted work, and profiling warm-up would
+        // otherwise discard it.
     }
 }
 
@@ -122,6 +148,10 @@ pub struct ReuseBackend<P: HashProvider> {
     patterns: HashMap<String, ReusePattern>,
     hashes: P,
     stats: HashMap<String, AtomicLayerStats>,
+    /// Telemetry tag per patterned layer (1-based, assignment order).
+    /// Spans recorded while a layer executes carry its tag, letting
+    /// exporters attribute phase time to layers.
+    tags: HashMap<String, u32>,
     workspaces: Mutex<Vec<ExecWorkspace>>,
 }
 
@@ -132,6 +162,7 @@ impl<P: HashProvider> ReuseBackend<P> {
             patterns: HashMap::new(),
             hashes,
             stats: HashMap::new(),
+            tags: HashMap::new(),
             workspaces: Mutex::new(Vec::new()),
         }
     }
@@ -140,6 +171,8 @@ impl<P: HashProvider> ReuseBackend<P> {
     pub fn with_pattern(mut self, layer: impl Into<String>, pattern: ReusePattern) -> Self {
         let layer = layer.into();
         self.stats.entry(layer.clone()).or_default();
+        let next_tag = self.tags.len() as u32 + 1;
+        self.tags.entry(layer.clone()).or_insert(next_tag);
         self.patterns.insert(layer, pattern);
         self
     }
@@ -191,6 +224,20 @@ impl<P: HashProvider> ReuseBackend<P> {
         &self.hashes
     }
 
+    /// The telemetry tag attached to a patterned layer's spans.
+    pub fn layer_tag(&self, layer: &str) -> Option<u32> {
+        self.tags.get(layer).copied()
+    }
+
+    /// The layer's input redundancy probe ([`crate::redundancy_probe`])
+    /// captured on its first reuse call — the *predicted* `r_t` that the
+    /// drift report compares against the measured ratio. `None` until the
+    /// layer has executed with reuse.
+    pub fn layer_probe(&self, layer: &str) -> Option<f64> {
+        let bits = self.stats.get(layer)?.probe_bits.load(Ordering::Relaxed);
+        (bits != 0).then(|| f64::from_bits(bits))
+    }
+
     /// Runs the reuse executor for a patterned layer, writing into `y`.
     fn run_reuse(
         &self,
@@ -202,7 +249,12 @@ impl<P: HashProvider> ReuseBackend<P> {
         y: &mut [f32],
     ) -> Result<(), TensorError> {
         let mut ws = self.workspaces.lock().pop().unwrap_or_default();
+        let tag = self.tags.get(layer).copied().unwrap_or(0);
+        let prev_tag = greuse_telemetry::set_tag(tag);
+        let started = Instant::now();
         let result = ws.execute_into(x, weights, Some(spec), pattern, &self.hashes, layer, y);
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        greuse_telemetry::set_tag(prev_tag);
         self.workspaces.lock().push(ws);
         let stats = result.map_err(|e| match e {
             crate::GreuseError::Tensor(t) => t,
@@ -213,7 +265,11 @@ impl<P: HashProvider> ReuseBackend<P> {
             },
         })?;
         if let Some(acc) = self.stats.get(layer) {
-            acc.record(&stats);
+            acc.record(&stats, wall_ns);
+            if acc.probe_bits.load(Ordering::Relaxed) == 0 {
+                let probe = crate::redundancy_probe(x);
+                acc.probe_bits.store(probe.to_bits(), Ordering::Relaxed);
+            }
         }
         Ok(())
     }

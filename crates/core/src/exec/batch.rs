@@ -137,12 +137,6 @@ fn check_uniform(xs: &[Tensor<f32>]) -> Result<(usize, usize)> {
     Ok((n, k))
 }
 
-fn accumulate(total: &mut ReuseStats, s: &ReuseStats) {
-    total.n_vectors += s.n_vectors;
-    total.n_clusters += s.n_clusters;
-    total.ops = total.ops.combined(&s.ops);
-}
-
 /// Executes reuse independently per image (no cross-image stacking),
 /// driving one reused [`ExecWorkspace`] over the whole batch — after the
 /// first image the per-call heap traffic is just the output tensors.
@@ -167,7 +161,7 @@ pub fn execute_reuse_images(
     for x in xs {
         let mut y = Tensor::zeros(&[n, m]);
         let s = ws.execute_into(x, w, None, pattern, hashes, "batch", y.as_mut_slice())?;
-        accumulate(&mut total, &s);
+        total.merge(&s);
         ys.push(y);
     }
     Ok((ys, total.finish()))
@@ -342,7 +336,7 @@ impl BatchExecutor {
         let mut total = ReuseStats::default();
         for slot in &mut self.slots[..images] {
             match std::mem::replace(slot, Ok(ReuseStats::default())) {
-                Ok(s) => accumulate(&mut total, &s),
+                Ok(s) => total.merge(&s),
                 Err(e) => return Err(e),
             }
         }

@@ -44,9 +44,12 @@ pub(crate) fn horizontal_into(
         // Column vectors of the panel: k vectors of length lh, gathered as
         // rows of the unit matrix (the transposed panel).
         let units = &mut buf.units[..k * lh];
-        for j in 0..k {
-            for r in 0..lh {
-                units[j * lh + r] = x[(row0 + r) * k + j];
+        {
+            let _gather = greuse_telemetry::span!("exec.gather");
+            for j in 0..k {
+                for r in 0..lh {
+                    units[j * lh + r] = x[(row0 + r) * k + j];
+                }
             }
         }
         let mut owned = None;
@@ -61,13 +64,17 @@ pub(crate) fn horizontal_into(
             k,
             lh,
         )?;
-        scratch.cluster(units, k, family)?;
+        {
+            let _cluster = greuse_telemetry::span!("exec.cluster");
+            scratch.cluster(units, k, family)?;
+        }
         let n_c = scratch.num_clusters();
         stats.n_vectors += k as u64;
         stats.n_clusters += n_c as u64;
         stats.ops.clustering_vectors += k as u64;
         stats.ops.clustering_macs += family.hashing_macs(k);
 
+        let fold_span = greuse_telemetry::span!("exec.fold");
         // Centroid matrix X_i^c: lh x n_c (centroids as columns).
         let centroids = &mut buf.centroids[..n_c * lh];
         scratch.centroids_into(units, lh, centroids)?;
@@ -90,14 +97,21 @@ pub(crate) fn horizontal_into(
         }
         // Weight folding costs one add per weight element.
         stats.ops.gemm_macs += (k * m) as u64;
+        drop(fold_span);
 
         // Y_i = X_i^c × W_i^c : lh x M.
         let yi = &mut buf.yc[..lh * m];
-        gemm_f32_into_with(xc, wc, yi, lh, n_c, m, &mut buf.gemm)?;
+        {
+            let _gemm = greuse_telemetry::span!("exec.gemm");
+            gemm_f32_into_with(xc, wc, yi, lh, n_c, m, &mut buf.gemm)?;
+        }
         stats.ops.gemm_macs += (lh * n_c * m) as u64;
 
-        for r in 0..lh {
-            y[(row0 + r) * m..(row0 + r + 1) * m].copy_from_slice(&yi[r * m..(r + 1) * m]);
+        {
+            let _recover = greuse_telemetry::span!("exec.recover");
+            for r in 0..lh {
+                y[(row0 + r) * m..(row0 + r + 1) * m].copy_from_slice(&yi[r * m..(r + 1) * m]);
+            }
         }
         stats.ops.recover_elems += (lh * m) as u64;
     }

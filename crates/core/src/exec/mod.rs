@@ -53,6 +53,18 @@ impl ReuseStats {
         self.redundancy_ratio = greuse_mcu::redundancy_ratio(self.n_vectors, self.n_clusters);
         self
     }
+
+    /// Folds another run's counters into this one: vector/cluster counts
+    /// and per-phase op counts are summed, and `redundancy_ratio` is
+    /// recomputed from the summed totals (it is not a mean of ratios).
+    /// Folding every per-image `ReuseStats` of a batch yields exactly the
+    /// batch-level totals the batch executors report.
+    pub fn merge(&mut self, other: &ReuseStats) {
+        self.n_vectors += other.n_vectors;
+        self.n_clusters += other.n_clusters;
+        self.ops = self.ops.combined(&other.ops);
+        self.redundancy_ratio = greuse_mcu::redundancy_ratio(self.n_vectors, self.n_clusters);
+    }
 }
 
 /// The result of a reuse execution: the approximated `N x M` output and

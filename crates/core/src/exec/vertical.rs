@@ -46,22 +46,29 @@ pub(crate) fn vertical_into(
     for panel in PanelIter::new(k, l) {
         let (col0, col1, lw) = (panel.start, panel.end, panel.len());
         // Transposed weight slice Wpᵀ: lw x M.
-        let wp_t = &mut buf.wp_t[..lw * m];
-        for r in 0..m {
-            for (c, col) in (col0..col1).enumerate() {
-                wp_t[c * m + r] = w[r * k + col];
+        {
+            let _gather = greuse_telemetry::span!("exec.gather");
+            let wp_t = &mut buf.wp_t[..lw * m];
+            for r in 0..m {
+                for (c, col) in (col0..col1).enumerate() {
+                    wp_t[c * m + r] = w[r * k + col];
+                }
             }
         }
+        let wp_t = &buf.wp_t[..lw * m];
 
         if full_blocks > 0 {
             // Gather block vectors: full_blocks x (b*lw).
             let dim = b * lw;
             let units = &mut buf.units[..full_blocks * dim];
-            for g in 0..full_blocks {
-                let dst = &mut units[g * dim..(g + 1) * dim];
-                for br in 0..b {
-                    let row = (g * b + br) * k;
-                    dst[br * lw..(br + 1) * lw].copy_from_slice(&x[row + col0..row + col1]);
+            {
+                let _gather = greuse_telemetry::span!("exec.gather");
+                for g in 0..full_blocks {
+                    let dst = &mut units[g * dim..(g + 1) * dim];
+                    for br in 0..b {
+                        let row = (g * b + br) * k;
+                        dst[br * lw..(br + 1) * lw].copy_from_slice(&x[row + col0..row + col1]);
+                    }
                 }
             }
             let mut owned = None;
@@ -76,7 +83,10 @@ pub(crate) fn vertical_into(
                 full_blocks,
                 dim,
             )?;
-            scratch.cluster(units, full_blocks, family)?;
+            {
+                let _cluster = greuse_telemetry::span!("exec.cluster");
+                scratch.cluster(units, full_blocks, family)?;
+            }
             let n_c = scratch.num_clusters();
             stats.n_vectors += full_blocks as u64;
             stats.n_clusters += n_c as u64;
@@ -84,27 +94,38 @@ pub(crate) fn vertical_into(
             stats.ops.clustering_macs += family.hashing_macs(full_blocks);
 
             // Centroid blocks, then stacked as (n_c * b) x lw.
-            let centroids = &mut buf.centroids[..n_c * dim];
-            scratch.centroids_into(units, dim, centroids)?;
-            let stacked = &mut buf.stacked[..n_c * b * lw];
-            for c in 0..n_c {
-                for br in 0..b {
-                    stacked[(c * b + br) * lw..(c * b + br + 1) * lw]
-                        .copy_from_slice(&centroids[c * dim + br * lw..c * dim + (br + 1) * lw]);
+            {
+                let _fold = greuse_telemetry::span!("exec.fold");
+                let centroids = &mut buf.centroids[..n_c * dim];
+                scratch.centroids_into(units, dim, centroids)?;
+                let stacked = &mut buf.stacked[..n_c * b * lw];
+                for c in 0..n_c {
+                    for br in 0..b {
+                        stacked[(c * b + br) * lw..(c * b + br + 1) * lw].copy_from_slice(
+                            &centroids[c * dim + br * lw..c * dim + (br + 1) * lw],
+                        );
+                    }
                 }
             }
+            let stacked = &buf.stacked[..n_c * b * lw];
             // Centroid GEMM: (n_c*b) x lw × lw x M.
             let yc = &mut buf.yc[..n_c * b * m];
-            gemm_f32_into_with(stacked, wp_t, yc, n_c * b, lw, m, &mut buf.gemm)?;
+            {
+                let _gemm = greuse_telemetry::span!("exec.gemm");
+                gemm_f32_into_with(stacked, wp_t, yc, n_c * b, lw, m, &mut buf.gemm)?;
+            }
             stats.ops.gemm_macs += (n_c * b * lw * m) as u64;
 
             // Recovery: duplicate each cluster's block result to members.
-            for (g, &c) in scratch.assignments().iter().enumerate() {
-                for br in 0..b {
-                    let dst = &mut y[(g * b + br) * m..(g * b + br + 1) * m];
-                    let src = &yc[(c * b + br) * m..(c * b + br + 1) * m];
-                    for (d, s) in dst.iter_mut().zip(src.iter()) {
-                        *d += s;
+            {
+                let _recover = greuse_telemetry::span!("exec.recover");
+                for (g, &c) in scratch.assignments().iter().enumerate() {
+                    for br in 0..b {
+                        let dst = &mut y[(g * b + br) * m..(g * b + br + 1) * m];
+                        let src = &yc[(c * b + br) * m..(c * b + br + 1) * m];
+                        for (d, s) in dst.iter_mut().zip(src.iter()) {
+                            *d += s;
+                        }
                     }
                 }
             }
@@ -114,17 +135,26 @@ pub(crate) fn vertical_into(
         if tail_rows > 0 {
             // Exact computation for the ragged tail.
             let tail = &mut buf.tail[..tail_rows * lw];
-            for r in 0..tail_rows {
-                let row = (full_blocks * b + r) * k;
-                tail[r * lw..(r + 1) * lw].copy_from_slice(&x[row + col0..row + col1]);
+            {
+                let _gather = greuse_telemetry::span!("exec.gather");
+                for r in 0..tail_rows {
+                    let row = (full_blocks * b + r) * k;
+                    tail[r * lw..(r + 1) * lw].copy_from_slice(&x[row + col0..row + col1]);
+                }
             }
             let yt = &mut buf.yt[..tail_rows * m];
-            gemm_f32_into_with(tail, wp_t, yt, tail_rows, lw, m, &mut buf.gemm)?;
+            {
+                let _gemm = greuse_telemetry::span!("exec.gemm");
+                gemm_f32_into_with(tail, wp_t, yt, tail_rows, lw, m, &mut buf.gemm)?;
+            }
             stats.ops.gemm_macs += (tail_rows * lw * m) as u64;
-            for r in 0..tail_rows {
-                let dst = &mut y[(full_blocks * b + r) * m..(full_blocks * b + r + 1) * m];
-                for (d, s) in dst.iter_mut().zip(yt[r * m..(r + 1) * m].iter()) {
-                    *d += s;
+            {
+                let _recover = greuse_telemetry::span!("exec.recover");
+                for r in 0..tail_rows {
+                    let dst = &mut y[(full_blocks * b + r) * m..(full_blocks * b + r + 1) * m];
+                    for (d, s) in dst.iter_mut().zip(yt[r * m..(r + 1) * m].iter()) {
+                        *d += s;
+                    }
                 }
             }
             stats.ops.recover_elems += (tail_rows * m) as u64;

@@ -314,6 +314,7 @@ impl ExecWorkspace {
         // Both reorders fuse into a single gather pass; the latency model
         // still charges one transformation pass per reorder below.
         let mut layout_passes = 0u64;
+        let reorder_span = greuse_telemetry::span!("exec.reorder");
         let x_src = x.as_slice();
         let x_work: &[f32] = match (&col_perm, &row_perm) {
             (None, None) => x_src,
@@ -351,6 +352,7 @@ impl ExecWorkspace {
             }
             None => w.as_slice(),
         };
+        drop(reorder_span);
 
         let mut stats = ReuseStats::default();
         {
@@ -374,6 +376,7 @@ impl ExecWorkspace {
         // Restore the original row order: working row `i` is original row
         // `perm[i]`, so scatter rather than build the inverse permutation.
         if let Some(rp) = &row_perm {
+            let _scatter = greuse_telemetry::span!("exec.scatter");
             for (i, &orig) in rp.as_slice().iter().enumerate() {
                 y[orig * m..(orig + 1) * m].copy_from_slice(&y_buf[i * m..(i + 1) * m]);
             }

@@ -56,6 +56,7 @@ mod ood;
 mod pattern;
 mod plan;
 mod reorder;
+mod report;
 mod scope;
 mod select;
 mod winograd_reuse;
@@ -79,6 +80,9 @@ pub use ood::{max_softmax_detection, OodReport};
 pub use pattern::{ReuseDirection, ReuseOrder, ReusePattern, RowOrder};
 pub use plan::DeploymentPlan;
 pub use reorder::{column_permutation, row_permutation};
+pub use report::{
+    network_report, LayerReport, NetworkReport, DRIFT_THRESHOLD, REPORT_SCHEMA_VERSION,
+};
 pub use scope::Scope;
 pub use select::{pareto_front, rank_patterns, PatternScore, SelectionStrategy};
 pub use winograd_reuse::{winograd_reuse_conv2d, WinogradReuseOutput};

@@ -254,6 +254,7 @@ pub fn select_patterns_for_layer(
     // the profiling images — the matrix-level error and the network-level
     // logit divergence (profile_samples images, no training, no test set).
     let t0 = Instant::now();
+    let profile_span = greuse_telemetry::span!("workflow.profile");
     let samples = capture_im2col(net, layer, train_data, config.profile_samples)?;
     let profile_images: Vec<&Example> = train_data
         .iter()
@@ -316,6 +317,7 @@ pub fn select_patterns_for_layer(
             measured: None,
         });
     }
+    drop(profile_span);
     let profiling = t0.elapsed();
 
     // Stage 2: analytic pruning — keep the model-Pareto set, but drop
@@ -324,6 +326,7 @@ pub fn select_patterns_for_layer(
     // the other axis; an error 30x the best is never worth checking), and
     // fill up to `prune_to` with the best analytic ranks.
     let t1 = Instant::now();
+    let prune_span = greuse_telemetry::span!("workflow.prune");
     let points: Vec<(f64, f64)> = evaluations
         .iter()
         .map(|e| (e.predicted_latency_ms, -e.logit_divergence)) // high "accuracy" = low divergence
@@ -357,11 +360,13 @@ pub fn select_patterns_for_layer(
             }
         }
     }
+    drop(prune_span);
     let prune = t1.elapsed();
 
     // Stage 3: full check of the promising set (data-adapted hashing —
     // the stand-in for TREC's learned hash vectors).
     let t2 = Instant::now();
+    let check_span = greuse_telemetry::span!("workflow.check");
     let results: Vec<(usize, MeasuredResult)> = {
         let eval_one = |idx: usize| -> Result<(usize, MeasuredResult)> {
             let pattern = evaluations[idx].pattern;
@@ -418,6 +423,7 @@ pub fn select_patterns_for_layer(
     for (idx, measured) in results {
         evaluations[idx].measured = Some(measured);
     }
+    drop(check_span);
     let full_check = t2.elapsed();
 
     // Measured Pareto front over the fully-checked patterns.

@@ -134,4 +134,20 @@ fn steady_state_allocates_nothing() {
     );
     // Pool-based parallel batch path.
     assert_parallel_batch_steady_state();
+
+    // Telemetry enabled: spans write to preallocated ring slots and
+    // counters to static atomics, so the instrumented steady state must
+    // also be allocation-free. The in-case warm-up call absorbs the
+    // one-time span-name interning and counter registration; ring
+    // overflow drops events rather than growing.
+    greuse_telemetry::install(1 << 15);
+    greuse_telemetry::enable();
+    assert_zero_alloc_steady_state(ReusePattern::conventional(16, 4), None);
+    assert_parallel_batch_steady_state();
+    greuse_telemetry::disable();
+    #[cfg(feature = "telemetry")]
+    assert!(
+        !greuse_telemetry::events().is_empty(),
+        "instrumented run must have recorded spans"
+    );
 }

@@ -6,9 +6,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use greuse::{
-    accuracy_bound, column_permutation, execute_reuse, measured_error, pareto_front,
-    row_permutation, PatternOps, RandomHashProvider, ReuseDirection, ReuseOrder, ReusePattern,
-    RowOrder,
+    accuracy_bound, column_permutation, execute_reuse, execute_reuse_images, execute_reuse_named,
+    measured_error, pareto_front, row_permutation, PatternOps, RandomHashProvider, ReuseDirection,
+    ReuseOrder, ReusePattern, ReuseStats, RowOrder,
 };
 use greuse_tensor::{gemm_f32, ConvSpec, Tensor};
 
@@ -150,6 +150,43 @@ proptest! {
         prop_assert_eq!(derived.ops.clustering_macs, out.stats.ops.clustering_macs);
         prop_assert_eq!(derived.ops.transform_elems, out.stats.ops.transform_elems);
         prop_assert_eq!(derived.ops.recover_elems, out.stats.ops.recover_elems);
+    }
+
+    #[test]
+    fn per_image_stats_fold_to_batch_totals(
+        seed in any::<u64>(),
+        images in 2usize..5,
+        l in 2usize..=18,
+        h in 1usize..=8,
+        b in 1usize..=3,
+    ) {
+        // Folding per-image `ReuseStats` with `merge` must reproduce the
+        // batch executor's report exactly: counters are sums and `r_t`
+        // is recomputed from the summed totals, never averaged.
+        let pattern = ReusePattern::conventional(l, h).with_block_rows(b);
+        let hashes = RandomHashProvider::new(seed ^ 10);
+        let mut rng = StdRng::seed_from_u64(seed ^ 11);
+        let w = Tensor::from_fn(&[5, 18], |_| rng.gen_range(-1.0f32..1.0));
+        let xs: Vec<Tensor<f32>> = (0..images)
+            .map(|i| redundant(24, 18, 4, 0.03, seed.wrapping_add(i as u64)))
+            .collect();
+
+        let (ys, batch_stats) = execute_reuse_images(&xs, &w, &pattern, &hashes).unwrap();
+
+        let mut folded = ReuseStats::default();
+        for (x, y) in xs.iter().zip(&ys) {
+            // Same layer name as the batch path, so the per-panel hash
+            // families (and therefore the clustering) are identical.
+            let single = execute_reuse_named(x, &w, &pattern, &hashes, "batch").unwrap();
+            prop_assert_eq!(&single.y, y);
+            folded.merge(&single.stats);
+        }
+
+        prop_assert_eq!(folded, batch_stats);
+        if folded.n_vectors > 0 {
+            let from_totals = 1.0 - folded.n_clusters as f64 / folded.n_vectors as f64;
+            prop_assert!((folded.redundancy_ratio - from_totals).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -298,7 +298,11 @@ impl ClusterScratch {
             });
         }
         let row = |i: usize| &data[i * l..(i + 1) * l];
-        family.hash_rows_into(data, n, &mut self.sigs, &mut self.sig_scratch)?;
+        {
+            let _hash = greuse_telemetry::span!("lsh.hash");
+            family.hash_rows_into(data, n, &mut self.sigs, &mut self.sig_scratch)?;
+        }
+        let _group = greuse_telemetry::span!("lsh.group");
         let tau = refine_threshold(mean_norm_rows(n, row), family.h());
         let tau2 = tau * tau;
 

@@ -1,4 +1,9 @@
 //! Training loop and evaluation utilities.
+//!
+//! The loops are instrumented with `greuse-telemetry` spans and counters
+//! (the workspace's one instrumentation idiom): epoch/eval phases get
+//! spans, example throughput goes into counters. All of it is inert until
+//! a collector is installed and enabled.
 
 use greuse_tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -105,10 +110,13 @@ pub fn train_epoch(
             detail: "empty training set".into(),
         });
     }
+    let _epoch = greuse_telemetry::span!("train.epoch");
     let bs = batch_size.max(1);
     let mut total_loss = 0.0f64;
     let mut correct = 0usize;
     for batch in data.chunks(bs) {
+        greuse_telemetry::counter!("train.batches").add(1);
+        greuse_telemetry::counter!("train.examples").add(batch.len() as u64);
         net.zero_grad();
         for (image, label) in batch {
             let logits = net.forward_train(image)?;
@@ -154,10 +162,13 @@ pub fn fine_tune_epoch_with(
             detail: "empty training set".into(),
         });
     }
+    let _epoch = greuse_telemetry::span!("train.fine_tune_epoch");
     let bs = batch_size.max(1);
     let mut total_loss = 0.0f64;
     let mut correct = 0usize;
     for batch in data.chunks(bs) {
+        greuse_telemetry::counter!("train.batches").add(1);
+        greuse_telemetry::counter!("train.examples").add(batch.len() as u64);
         net.zero_grad();
         for (image, label) in batch {
             let logits = net.forward_train_with(image, backend)?;
@@ -242,6 +253,8 @@ pub fn evaluate_accuracy(
             detail: "empty evaluation set".into(),
         });
     }
+    let _eval = greuse_telemetry::span!("train.eval");
+    greuse_telemetry::counter!("train.eval_examples").add(data.len() as u64);
     let mut correct = 0usize;
     let mut total_loss = 0.0f64;
     for (image, label) in data {

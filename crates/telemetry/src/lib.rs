@@ -1,0 +1,591 @@
+//! Lightweight, feature-gated telemetry for the reuse pipeline.
+//!
+//! The crate exposes two primitives and keeps both cheap enough to leave in
+//! production builds:
+//!
+//! - [`span!`] — an RAII timer tied to a `&'static str` call-site name.
+//!   While capture is disabled (the default at runtime, or compiled out when
+//!   the `capture` feature is off) entering a span is a single relaxed
+//!   atomic load plus a branch: no clock read, no allocation.
+//! - [`counter!`] — a per-call-site atomic counter, incremented with a
+//!   relaxed `fetch_add` while capture is active.
+//!
+//! Completed spans land in a fixed-capacity lock-free ring preallocated by
+//! [`install`]; once the ring is full further events are dropped and counted
+//! ([`dropped_events`]), never allocated. Span names are interned into small
+//! `u32` ids on first active use, so the steady state records three atomic
+//! stores per span and nothing else. This is what lets the zero-allocation
+//! steady-state tests in `greuse-core` run with capture enabled.
+//!
+//! Snapshots are taken after [`disable`] via [`events`] / [`counters`], and
+//! exported with [`chrome_trace`] (Chrome trace-event JSON, loadable in
+//! `chrome://tracing` or Perfetto) or serialized by callers using the
+//! [`json`] helpers.
+
+#![warn(missing_docs)]
+
+pub mod json;
+
+#[cfg(feature = "capture")]
+use std::cell::Cell;
+#[cfg(feature = "capture")]
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+#[cfg(feature = "capture")]
+use std::sync::{Mutex, OnceLock};
+#[cfg(feature = "capture")]
+use std::time::Instant;
+
+/// One completed span occurrence, decoded from the event ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Call-site name (e.g. `"exec.cluster"`).
+    pub name: &'static str,
+    /// Tag that was active on the recording thread (see [`set_tag`]);
+    /// zero means untagged. Backends tag work with a per-layer id.
+    pub tag: u32,
+    /// Telemetry-local id of the recording thread (1-based, assigned on
+    /// first record; unrelated to OS thread ids).
+    pub tid: u32,
+    /// Start time in nanoseconds since the collector epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Declares a span call-site and returns an RAII guard timing the enclosing
+/// scope. Bind it to keep it alive: `let _span = telemetry::span!("phase");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static META: $crate::SpanMeta = $crate::SpanMeta::new($name);
+        $crate::SpanGuard::enter(&META)
+    }};
+}
+
+/// Declares a counter call-site and returns a `&'static Counter` to `add` to:
+/// `telemetry::counter!("pool.jobs").add(1);`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static COUNTER: $crate::Counter = $crate::Counter::new($name);
+        &COUNTER
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Capture-enabled implementation.
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "capture")]
+mod state {
+    use super::*;
+
+    pub(crate) struct Slot {
+        /// `name_id << 32 | tag << 16 | tid`; zero while unwritten.
+        pub(crate) meta: AtomicU64,
+        pub(crate) start: AtomicU64,
+        pub(crate) dur: AtomicU64,
+    }
+
+    pub(crate) struct Ring {
+        pub(crate) slots: Vec<Slot>,
+        pub(crate) next: AtomicUsize,
+        pub(crate) dropped: AtomicU64,
+    }
+
+    pub(crate) static RING: OnceLock<Ring> = OnceLock::new();
+    pub(crate) static ACTIVE: AtomicBool = AtomicBool::new(false);
+    pub(crate) static EPOCH: OnceLock<Instant> = OnceLock::new();
+    pub(crate) static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+    pub(crate) static SPAN_NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    pub(crate) static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+
+    thread_local! {
+        pub(crate) static TID: Cell<u32> = const { Cell::new(0) };
+        pub(crate) static TAG: Cell<u32> = const { Cell::new(0) };
+    }
+
+    pub(crate) fn now_ns() -> u64 {
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+
+    pub(crate) fn record(name_id: u32, start_ns: u64, dur_ns: u64) {
+        let Some(ring) = RING.get() else { return };
+        let idx = ring.next.fetch_add(1, Ordering::Relaxed);
+        if idx >= ring.slots.len() {
+            ring.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let tid = TID.with(|t| {
+            let v = t.get();
+            if v != 0 {
+                v
+            } else {
+                let v = NEXT_TID
+                    .fetch_add(1, Ordering::Relaxed)
+                    .min(u16::MAX as u32);
+                t.set(v);
+                v
+            }
+        });
+        let tag = TAG.with(Cell::get) & 0xFFFF;
+        let slot = &ring.slots[idx];
+        slot.start.store(start_ns, Ordering::Relaxed);
+        slot.dur.store(dur_ns, Ordering::Relaxed);
+        let meta = ((name_id as u64) << 32) | ((tag as u64) << 16) | (tid as u64 & 0xFFFF);
+        // Release pairs with the Acquire in `events()`: a nonzero meta
+        // publishes the start/dur stores above.
+        slot.meta.store(meta, Ordering::Release);
+    }
+}
+
+/// Per-call-site span metadata; created by the [`span!`] macro.
+#[cfg(feature = "capture")]
+pub struct SpanMeta {
+    name: &'static str,
+    id: AtomicU32,
+}
+
+#[cfg(feature = "capture")]
+impl SpanMeta {
+    /// Const constructor used by [`span!`]; the id is interned lazily on the
+    /// first record so inactive call-sites cost nothing.
+    pub const fn new(name: &'static str) -> Self {
+        SpanMeta {
+            name,
+            id: AtomicU32::new(0),
+        }
+    }
+
+    fn id(&'static self) -> u32 {
+        let id = self.id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let mut names = state::SPAN_NAMES
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        // Double-check under the lock: another thread may have interned us.
+        let id = self.id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        names.push(self.name);
+        let id = names.len() as u32; // ids are 1-based; 0 means "unwritten"
+        self.id.store(id, Ordering::Relaxed);
+        id
+    }
+}
+
+/// RAII guard created by [`span!`]; records one [`SpanEvent`] on drop if
+/// capture was active when the guard was created.
+#[cfg(feature = "capture")]
+pub struct SpanGuard {
+    meta: Option<&'static SpanMeta>,
+    start_ns: u64,
+}
+
+#[cfg(feature = "capture")]
+impl SpanGuard {
+    /// Starts timing if capture is active; otherwise returns an inert guard
+    /// (one relaxed load and a branch, no clock read).
+    #[inline]
+    pub fn enter(meta: &'static SpanMeta) -> SpanGuard {
+        if !state::ACTIVE.load(Ordering::Relaxed) {
+            return SpanGuard {
+                meta: None,
+                start_ns: 0,
+            };
+        }
+        SpanGuard {
+            meta: Some(meta),
+            start_ns: state::now_ns(),
+        }
+    }
+}
+
+#[cfg(feature = "capture")]
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(meta) = self.meta else { return };
+        let end = state::now_ns();
+        state::record(meta.id(), self.start_ns, end.saturating_sub(self.start_ns));
+    }
+}
+
+/// Per-call-site atomic counter; created by the [`counter!`] macro.
+#[cfg(feature = "capture")]
+pub struct Counter {
+    name: &'static str,
+    registered: AtomicBool,
+    value: AtomicU64,
+}
+
+#[cfg(feature = "capture")]
+impl Counter {
+    /// Const constructor used by [`counter!`].
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            registered: AtomicBool::new(false),
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` while capture is active. Registration into the global
+    /// counter list happens on the first call regardless of the active
+    /// flag, so the one-time allocation lands during warm-up rather than
+    /// in the measured steady state.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+        if state::ACTIVE.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    #[cold]
+    fn register(&'static self) {
+        let mut list = state::COUNTERS
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        if !self.registered.load(Ordering::Relaxed) {
+            list.push(self);
+            self.registered.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Preallocates the event ring with capacity for `capacity` spans and pins
+/// the clock epoch. One-shot: returns `false` (leaving the original ring in
+/// place) if a collector was already installed.
+#[cfg(feature = "capture")]
+pub fn install(capacity: usize) -> bool {
+    let _ = state::EPOCH.set(Instant::now());
+    let mut slots = Vec::with_capacity(capacity);
+    for _ in 0..capacity {
+        slots.push(state::Slot {
+            meta: AtomicU64::new(0),
+            start: AtomicU64::new(0),
+            dur: AtomicU64::new(0),
+        });
+    }
+    state::RING
+        .set(state::Ring {
+            slots,
+            next: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        })
+        .is_ok()
+}
+
+/// Turns capture on. Spans and counters record until [`disable`].
+#[cfg(feature = "capture")]
+pub fn enable() {
+    state::ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Turns capture off; snapshots should be taken after this returns (and
+/// after in-flight worker tasks finish) so the ring is quiescent.
+#[cfg(feature = "capture")]
+pub fn disable() {
+    state::ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// Whether capture is currently active.
+#[cfg(feature = "capture")]
+pub fn enabled() -> bool {
+    state::ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Clears the event ring, the drop count, and every registered counter.
+#[cfg(feature = "capture")]
+pub fn reset() {
+    if let Some(ring) = state::RING.get() {
+        for slot in &ring.slots[..ring.next.load(Ordering::Relaxed).min(ring.slots.len())] {
+            slot.meta.store(0, Ordering::Relaxed);
+        }
+        ring.next.store(0, Ordering::Relaxed);
+        ring.dropped.store(0, Ordering::Relaxed);
+    }
+    let list = state::COUNTERS
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner());
+    for c in list.iter() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Sets the calling thread's tag (attached to every span it records) and
+/// returns the previous tag. Backends tag execution with a per-layer id so
+/// exporters can attribute phase time to layers.
+#[cfg(feature = "capture")]
+pub fn set_tag(tag: u32) -> u32 {
+    state::TAG.with(|t| t.replace(tag))
+}
+
+/// Number of spans dropped because the ring filled up.
+#[cfg(feature = "capture")]
+pub fn dropped_events() -> u64 {
+    state::RING
+        .get()
+        .map_or(0, |r| r.dropped.load(Ordering::Relaxed))
+}
+
+/// Decodes the event ring into a snapshot, in record order. Slots claimed
+/// but not yet fully written are skipped.
+#[cfg(feature = "capture")]
+pub fn events() -> Vec<SpanEvent> {
+    let Some(ring) = state::RING.get() else {
+        return Vec::new();
+    };
+    let names = state::SPAN_NAMES
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner());
+    let used = ring.next.load(Ordering::Relaxed).min(ring.slots.len());
+    let mut out = Vec::with_capacity(used);
+    for slot in &ring.slots[..used] {
+        let meta = slot.meta.load(Ordering::Acquire);
+        let name_id = (meta >> 32) as u32;
+        if name_id == 0 || name_id as usize > names.len() {
+            continue;
+        }
+        out.push(SpanEvent {
+            name: names[name_id as usize - 1],
+            tag: ((meta >> 16) & 0xFFFF) as u32,
+            tid: (meta & 0xFFFF) as u32,
+            start_ns: slot.start.load(Ordering::Relaxed),
+            dur_ns: slot.dur.load(Ordering::Relaxed),
+        });
+    }
+    out
+}
+
+/// Snapshot of every registered counter as `(name, value)` pairs, in
+/// registration order. Counters are per-call-site statics; call-sites
+/// sharing a name are summed into one entry.
+#[cfg(feature = "capture")]
+pub fn counters() -> Vec<(&'static str, u64)> {
+    let list = state::COUNTERS
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner());
+    let mut out: Vec<(&'static str, u64)> = Vec::with_capacity(list.len());
+    for c in list.iter() {
+        match out.iter_mut().find(|(name, _)| *name == c.name) {
+            Some((_, total)) => *total += c.get(),
+            None => out.push((c.name, c.get())),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Capture-disabled stubs: identical API shapes, all no-ops, so call-sites
+// compile unchanged and the optimizer erases them.
+// ---------------------------------------------------------------------------
+
+/// Per-call-site span metadata (inert: the `capture` feature is off).
+#[cfg(not(feature = "capture"))]
+pub struct SpanMeta {
+    /// Call-site name; kept for API parity.
+    pub name: &'static str,
+}
+
+#[cfg(not(feature = "capture"))]
+impl SpanMeta {
+    /// Const constructor used by [`span!`].
+    pub const fn new(name: &'static str) -> Self {
+        SpanMeta { name }
+    }
+}
+
+/// Inert span guard (the `capture` feature is off).
+#[cfg(not(feature = "capture"))]
+pub struct SpanGuard;
+
+#[cfg(not(feature = "capture"))]
+impl SpanGuard {
+    /// No-op.
+    #[inline(always)]
+    pub fn enter(_meta: &'static SpanMeta) -> SpanGuard {
+        SpanGuard
+    }
+}
+
+/// Inert counter (the `capture` feature is off).
+#[cfg(not(feature = "capture"))]
+pub struct Counter {
+    /// Call-site name; kept for API parity.
+    pub name: &'static str,
+}
+
+#[cfg(not(feature = "capture"))]
+impl Counter {
+    /// Const constructor used by [`counter!`].
+    pub const fn new(name: &'static str) -> Self {
+        Counter { name }
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&'static self, _n: u64) {}
+
+    /// Always zero.
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op; returns `false` (nothing to install).
+#[cfg(not(feature = "capture"))]
+pub fn install(_capacity: usize) -> bool {
+    false
+}
+
+/// No-op.
+#[cfg(not(feature = "capture"))]
+pub fn enable() {}
+
+/// No-op.
+#[cfg(not(feature = "capture"))]
+pub fn disable() {}
+
+/// Always `false`.
+#[cfg(not(feature = "capture"))]
+pub fn enabled() -> bool {
+    false
+}
+
+/// No-op.
+#[cfg(not(feature = "capture"))]
+pub fn reset() {}
+
+/// No-op; always returns zero.
+#[cfg(not(feature = "capture"))]
+pub fn set_tag(_tag: u32) -> u32 {
+    0
+}
+
+/// Always zero.
+#[cfg(not(feature = "capture"))]
+pub fn dropped_events() -> u64 {
+    0
+}
+
+/// Always empty.
+#[cfg(not(feature = "capture"))]
+pub fn events() -> Vec<SpanEvent> {
+    Vec::new()
+}
+
+/// Always empty.
+#[cfg(not(feature = "capture"))]
+pub fn counters() -> Vec<(&'static str, u64)> {
+    Vec::new()
+}
+
+/// Renders the current event snapshot in Chrome trace-event format
+/// (`chrome://tracing` / Perfetto loadable). Every span becomes a complete
+/// (`"ph":"X"`) event with microsecond timestamps; the layer tag rides in
+/// `args.tag`.
+pub fn chrome_trace() -> String {
+    let evs = events();
+    let mut out = String::with_capacity(64 + evs.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in evs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":{},\"cat\":\"greuse\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"tag\":{}}}}}",
+            json::quote(e.name),
+            e.tid,
+            e.start_ns as f64 / 1000.0,
+            e.dur_ns as f64 / 1000.0,
+            e.tag
+        ));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(all(test, feature = "capture"))]
+mod tests {
+    use super::*;
+
+    // One test function: install/enable/reset act on process-global state,
+    // and the libtest harness runs `#[test]`s concurrently.
+    #[test]
+    fn capture_round_trip() {
+        assert!(install(64));
+        assert!(!install(64), "install must be one-shot");
+        assert!(!enabled());
+
+        // Inactive spans and counters record nothing.
+        {
+            let _s = span!("test.idle");
+            counter!("test.idle_count").add(3);
+        }
+        assert!(events().is_empty());
+
+        enable();
+        let prev = set_tag(7);
+        assert_eq!(prev, 0);
+        {
+            let _s = span!("test.work");
+            counter!("test.count").add(2);
+            counter!("test.count").add(1);
+        }
+        set_tag(0);
+        disable();
+
+        let evs = events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "test.work");
+        assert_eq!(evs[0].tag, 7);
+        assert!(evs[0].tid >= 1);
+        let counts = counters();
+        assert!(counts.contains(&("test.count", 3)));
+        // The inactive counter registered (first `add`) but never counted.
+        assert!(counts.contains(&("test.idle_count", 0)));
+
+        let trace = chrome_trace();
+        let v = json::parse(&trace).expect("trace must be valid JSON");
+        let evs_json = v
+            .get("traceEvents")
+            .and_then(json::Value::as_array)
+            .unwrap();
+        assert_eq!(evs_json.len(), 1);
+        assert_eq!(
+            evs_json[0].get("name").and_then(json::Value::as_str),
+            Some("test.work")
+        );
+        assert_eq!(
+            evs_json[0].get("ph").and_then(json::Value::as_str),
+            Some("X")
+        );
+
+        // Overflow drops, never grows.
+        reset();
+        enable();
+        for _ in 0..100 {
+            let _s = span!("test.flood");
+        }
+        disable();
+        assert_eq!(events().len(), 64);
+        assert_eq!(dropped_events(), 36);
+
+        reset();
+        assert!(events().is_empty());
+        assert_eq!(dropped_events(), 0);
+        assert!(counters().contains(&("test.count", 0)));
+    }
+}

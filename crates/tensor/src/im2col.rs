@@ -109,6 +109,7 @@ pub fn im2col_into(
             actual: vec![out.len()],
         });
     }
+    let _span = greuse_telemetry::span!("im2col");
     let pad = spec.padding as isize;
     let in_s = input.as_slice();
     for oy in 0..oh {
@@ -176,6 +177,7 @@ pub fn im2col_permuted(
             actual: vec![out.len()],
         });
     }
+    let _span = greuse_telemetry::span!("im2col");
     // Inverse map: where does default column d land in the output?
     let inv = perm.inverse();
     let dest = inv.as_slice();

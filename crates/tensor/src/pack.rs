@@ -276,11 +276,18 @@ pub(crate) fn gemm_packed(
         let mut pc = 0;
         while pc < k {
             let kc = KC.min(k - pc);
-            pack_b(b, k, n, pc, kc, jc, nc, &mut scratch.b_pack);
+            {
+                let _pack = greuse_telemetry::span!("gemm.pack");
+                pack_b(b, k, n, pc, kc, jc, nc, &mut scratch.b_pack);
+            }
             let mut ic = 0;
             while ic < m {
                 let mc = MC.min(m - ic);
-                pack_a(a, k, ic, mc, pc, kc, &mut scratch.a_pack);
+                {
+                    let _pack = greuse_telemetry::span!("gemm.pack");
+                    pack_a(a, k, ic, mc, pc, kc, &mut scratch.a_pack);
+                }
+                let _kernel = greuse_telemetry::span!("gemm.kernel");
                 let a_panels = mc.div_ceil(MR);
                 let b_panels = nc.div_ceil(NR);
                 for jr in 0..b_panels {

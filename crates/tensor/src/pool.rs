@@ -64,18 +64,34 @@ struct Shared {
 }
 
 impl Shared {
-    /// Claims and runs task indices until the range is drained.
-    fn drain(&self, task: &(dyn Fn(usize) + Sync)) {
+    /// Claims and runs task indices until the range is drained; returns
+    /// how many this thread executed (telemetry: caller-drain share).
+    fn drain(&self, task: &(dyn Fn(usize) + Sync)) -> u64 {
         let n = self.n_tasks.load(Ordering::Acquire);
+        let mut done = 0u64;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= n {
                 break;
             }
             task(i);
+            done += 1;
         }
+        done
     }
 }
+
+// Pool utilization counters. Module-level statics (rather than `counter!`
+// call-sites) so `with_workers` can register them all at pool creation:
+// registration is the one allocating step, and pinning it to pool spawn
+// keeps it out of every steady-state measurement window.
+static JOBS: greuse_telemetry::Counter = greuse_telemetry::Counter::new("pool.jobs");
+static TASKS_CALLER: greuse_telemetry::Counter =
+    greuse_telemetry::Counter::new("pool.tasks.caller");
+static TASKS_WORKER: greuse_telemetry::Counter =
+    greuse_telemetry::Counter::new("pool.tasks.worker");
+static PARKS: greuse_telemetry::Counter = greuse_telemetry::Counter::new("pool.parks");
+static WAKES: greuse_telemetry::Counter = greuse_telemetry::Counter::new("pool.wakes");
 
 /// A pool of persistent worker threads parked between jobs.
 ///
@@ -115,6 +131,14 @@ impl WorkerPool {
             next: AtomicUsize::new(0),
             n_tasks: AtomicUsize::new(0),
         });
+        // Register every pool counter now (add(0) registers without
+        // counting) so the one-time registration allocation happens here,
+        // never during a measured job.
+        JOBS.add(0);
+        TASKS_CALLER.add(0);
+        TASKS_WORKER.add(0);
+        PARKS.add(0);
+        WAKES.add(0);
         for i in 0..workers {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -182,11 +206,15 @@ impl WorkerPool {
             slot.generation += 1;
             self.shared.work_cv.notify_all();
         }
+        JOBS.add(1);
         // The caller works too; a panic here must still wait out the
         // workers before unwinding frees the task closure.
         IN_POOL.with(|f| f.set(true));
         let mine = catch_unwind(AssertUnwindSafe(|| self.shared.drain(task)));
         IN_POOL.with(|f| f.set(false));
+        if let Ok(done) = &mine {
+            TASKS_CALLER.add(*done);
+        }
         let mut slot = self.shared.slot.lock().unwrap();
         while slot.remaining > 0 {
             slot = self.shared.done_cv.wait(slot).unwrap();
@@ -206,8 +234,12 @@ fn worker_loop(shared: &Shared) {
     loop {
         let job = {
             let mut slot = shared.slot.lock().unwrap();
-            while slot.generation == last_gen {
-                slot = shared.work_cv.wait(slot).unwrap();
+            if slot.generation == last_gen {
+                PARKS.add(1);
+                while slot.generation == last_gen {
+                    slot = shared.work_cv.wait(slot).unwrap();
+                }
+                WAKES.add(1);
             }
             last_gen = slot.generation;
             slot.job.expect("job published with generation")
@@ -217,6 +249,9 @@ fn worker_loop(shared: &Shared) {
         // closure behind `job` is alive until we decrement below.
         let result = catch_unwind(AssertUnwindSafe(|| shared.drain(unsafe { &*job.0 })));
         IN_POOL.with(|f| f.set(false));
+        if let Ok(done) = &result {
+            TASKS_WORKER.add(*done);
+        }
         let mut slot = shared.slot.lock().unwrap();
         if result.is_err() {
             slot.panicked = true;
