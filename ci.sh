@@ -13,6 +13,26 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> golden-vector conformance suite"
+cargo test -q -p greuse --test golden_conformance
+
+# Line coverage is advisory-but-gated: cargo-llvm-cov is not part of the
+# minimal toolchain image, so skip (loudly) when absent instead of
+# failing CI on machines without it. The baseline is a conservative
+# floor for the current suite; raise it as coverage grows, lower it
+# only with a written justification.
+COVERAGE_BASELINE=70.0
+if command -v cargo-llvm-cov >/dev/null 2>&1; then
+  echo "==> cargo llvm-cov (line coverage >= ${COVERAGE_BASELINE}%)"
+  COVERAGE=$(cargo llvm-cov --workspace --summary-only --json \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["data"][0]["totals"]["lines"]["percent"])')
+  echo "line coverage: ${COVERAGE}%"
+  python3 -c "import sys; sys.exit(0 if float('${COVERAGE}') >= float('${COVERAGE_BASELINE}') else 1)" \
+    || { echo "coverage ${COVERAGE}% below baseline ${COVERAGE_BASELINE}%"; exit 1; }
+else
+  echo "==> cargo llvm-cov not installed; skipping coverage gate (baseline ${COVERAGE_BASELINE}%)"
+fi
+
 echo "==> bench_exec baseline (telemetry compiled out)"
 cargo run -q --release -p greuse-bench --bin bench_exec --no-default-features -- --quick
 mv BENCH_exec.json BENCH_exec.baseline.json
@@ -24,6 +44,9 @@ rm -f BENCH_exec.baseline.json
 
 echo "==> bench_gemm --quick --check (packed kernel + batched hashing gates)"
 cargo run -q --release -p greuse-bench --bin bench_gemm -- --quick --check
+
+echo "==> bench_quant --quick --check (int8 kernel >= 1.5x f32 scalar gate)"
+cargo run -q --release -p greuse-bench --bin bench_quant -- --quick --check
 
 echo "==> greuse profile (exporters + schema validation)"
 cargo run -q --release -p greuse-cli --bin greuse -- profile \

@@ -1,0 +1,168 @@
+//! Int8 kernel benchmark: throughput of the packed u8×i8 GEMM against
+//! the f32 scalar reference, fixed-point requantization bandwidth, and
+//! the end-to-end quantized executor (dense vs reuse). Emits
+//! `BENCH_quant.json` in the current directory.
+//!
+//! ```text
+//! cargo run --release -p greuse-bench --bin bench_quant [-- --quick] [-- --check]
+//! ```
+//!
+//! With `--check` the process exits nonzero when the int8 kernel fails
+//! to reach 1.5x the f32 scalar reference on the 96x48x16 acceptance
+//! shape.
+
+use std::time::Instant;
+
+use greuse::{QuantWorkspace, RandomHashProvider, ReusePattern};
+use greuse_bench::quick_mode;
+use greuse_tensor::{
+    gemm_q8_into_with, gemm_q8_ref, gemm_ref_f32, requantize_i8_into, GemmScratch, Requant, Tensor,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Ops-per-second normalization shared by both kernels: 2·M·K·N "flops"
+/// (one multiply + one add per MAC), so the ratio is a direct speedup.
+fn gflops(m: usize, k: usize, n: usize, secs: f64) -> f64 {
+    (2.0 * m as f64 * k as f64 * n as f64) / secs / 1e9
+}
+
+fn main() {
+    let quick = quick_mode();
+    let check = std::env::args().any(|a| a == "--check");
+    // 96x48x16 is the acceptance shape shared with bench_gemm; the
+    // larger shape exercises the blocked-cache path.
+    let shapes: &[(usize, usize, usize)] = if quick {
+        &[(96, 48, 16)]
+    } else {
+        &[(96, 48, 16), (256, 128, 64)]
+    };
+    let (gemm_reps, exec_reps) = if quick { (50, 20) } else { (200, 60) };
+    let mut rng = SmallRng::seed_from_u64(23);
+
+    println!("=== int8 GEMM kernel benchmark ===");
+    let mut shape_json = Vec::new();
+    let mut first_ratio = 0.0f64;
+    for &(m, k, n) in shapes {
+        let a_f32 = Tensor::from_fn(&[m, k], |_| rng.gen_range(-1.0f32..1.0));
+        let b_f32 = Tensor::from_fn(&[k, n], |_| rng.gen_range(-1.0f32..1.0));
+        let a_q: Vec<u8> = (0..m * k).map(|_| rng.gen_range(0u8..=255)).collect();
+        let bt_q: Vec<i8> = (0..n * k).map(|_| rng.gen_range(-128i8..=127)).collect();
+        let mut c = vec![0i32; m * n];
+        let mut scratch = GemmScratch::default();
+
+        // Warm-up + correctness: packed must equal the naive i32 kernel.
+        gemm_q8_into_with(&a_q, &bt_q, &mut c, m, k, n, &mut scratch);
+        assert_eq!(
+            c,
+            gemm_q8_ref(&a_q, &bt_q, m, k, n),
+            "packed int8 kernel must match the naive i32 reference"
+        );
+
+        let t_ref = best_of(gemm_reps, || {
+            std::hint::black_box(gemm_ref_f32(&a_f32, &b_f32).unwrap());
+        });
+        let t_q8 = best_of(gemm_reps, || {
+            gemm_q8_into_with(&a_q, &bt_q, &mut c, m, k, n, &mut scratch);
+            std::hint::black_box(&c);
+        });
+
+        let (g_ref, g_q8) = (gflops(m, k, n, t_ref), gflops(m, k, n, t_q8));
+        let ratio = g_q8 / g_ref;
+        if first_ratio == 0.0 {
+            first_ratio = ratio;
+        }
+        println!("{m}x{k}x{n}:");
+        println!("  f32 scalar reference: {g_ref:>7.3} GFLOP/s");
+        println!("  packed u8xi8 (1 thread): {g_q8:>6.3} GMAC-eq/s  ({ratio:.2}x f32 scalar)");
+        shape_json.push(format!(
+            "    {{\n      \"m\": {m},\n      \"k\": {k},\n      \"n\": {n},\n      \"f32_scalar_gflops\": {g_ref},\n      \"int8_packed_gflops\": {g_q8},\n      \"int8_over_f32_scalar\": {ratio}\n    }}"
+        ));
+    }
+
+    // --- requantization bandwidth ---
+    let req_len = if quick { 1 << 16 } else { 1 << 20 };
+    let acc: Vec<i32> = (0..req_len)
+        .map(|_| rng.gen_range(-2_000_000i32..2_000_000))
+        .collect();
+    let mut out = vec![0i8; req_len];
+    let rq = Requant::new(127.0 / 2_000_000.0).expect("valid multiplier");
+    requantize_i8_into(&acc, &rq, &mut out); // warm-up
+    let t_req = best_of(gemm_reps, || {
+        requantize_i8_into(&acc, &rq, &mut out);
+        std::hint::black_box(&out);
+    });
+    let req_eps = req_len as f64 / t_req;
+    println!(
+        "requantize {req_len} accumulators: {:.0} Melem/s",
+        req_eps / 1e6
+    );
+
+    // --- end-to-end quantized executor: dense int8 vs int8 reuse ---
+    let (n_rows, k_cols, m_out, distinct) = (256, 96, 32, 16);
+    let base = Tensor::from_fn(&[distinct, k_cols], |i| ((i % 101) as f32 * 0.13).sin());
+    let x = Tensor::from_fn(&[n_rows, k_cols], |i| {
+        let (r, c) = (i / k_cols, i % k_cols);
+        base.as_slice()[(r % distinct) * k_cols + c]
+    });
+    let w = Tensor::from_fn(&[m_out, k_cols], |i| ((i % 37) as f32 * 0.29).cos());
+    let hashes = RandomHashProvider::new(29);
+    let pattern = ReusePattern::conventional(24, 4);
+    let mut ws = QuantWorkspace::new();
+    let mut y = vec![0.0f32; n_rows * m_out];
+    ws.execute_into(&x, &w, None, &hashes, "bench", &mut y)
+        .expect("dense warm-up");
+    let t_dense = best_of(exec_reps, || {
+        ws.execute_into(&x, &w, None, &hashes, "bench", &mut y)
+            .unwrap();
+        std::hint::black_box(&y);
+    });
+    let stats = ws
+        .execute_into(&x, &w, Some(&pattern), &hashes, "bench", &mut y)
+        .expect("reuse warm-up");
+    let t_reuse = best_of(exec_reps, || {
+        ws.execute_into(&x, &w, Some(&pattern), &hashes, "bench", &mut y)
+            .unwrap();
+        std::hint::black_box(&y);
+    });
+    let exec_speedup = t_dense / t_reuse;
+    println!(
+        "quantized executor {n_rows}x{k_cols}x{m_out} (r_t = {:.2}):",
+        stats.redundancy_ratio
+    );
+    println!("  dense int8: {:.1} us", t_dense * 1e6);
+    println!(
+        "  reuse int8: {:.1} us  ({exec_speedup:.2}x dense)",
+        t_reuse * 1e6
+    );
+
+    let json = format!(
+        "{{\n  \"gemm\": [\n{}\n  ],\n  \"requant_elems\": {req_len},\n  \"requant_elems_per_sec\": {req_eps},\n  \"exec_n\": {n_rows},\n  \"exec_k\": {k_cols},\n  \"exec_m\": {m_out},\n  \"exec_redundancy_ratio\": {},\n  \"exec_dense_secs\": {t_dense},\n  \"exec_reuse_secs\": {t_reuse},\n  \"exec_reuse_over_dense\": {exec_speedup}\n}}\n",
+        shape_json.join(",\n"),
+        stats.redundancy_ratio
+    );
+    std::fs::write("BENCH_quant.json", &json).expect("write BENCH_quant.json");
+    println!("wrote BENCH_quant.json");
+
+    if check {
+        if first_ratio < 1.5 {
+            eprintln!(
+                "CHECK FAILED: int8 kernel is only {first_ratio:.2}x the f32 scalar \
+                 reference on 96x48x16 (need 1.5x)"
+            );
+            std::process::exit(1);
+        }
+        println!("check passed: int8 packed {first_ratio:.2}x f32 scalar");
+    }
+}

@@ -2,13 +2,15 @@
 
 use greuse::{
     workflow::{network_latency, select_patterns_for_layer, WorkflowConfig},
-    AdaptedHashProvider, DeploymentPlan, LatencyModel, ReuseBackend, ReusePattern, Scope,
+    AdaptedHashProvider, DeploymentPlan, LatencyModel, QuantizedBackend, ReuseBackend,
+    ReusePattern, Scope,
 };
 use greuse_data::SyntheticDataset;
 use greuse_mcu::{inference_energy_mj, Board, PhaseOps};
 use greuse_nn::{
     evaluate_accuracy, evaluate_dense, models::CifarNet, models::SqueezeNet,
-    models::SqueezeNetVariant, models::ZfNet, StateDict, TrainableNetwork, Trainer, TrainerConfig,
+    models::SqueezeNetVariant, models::ZfNet, ptq_int8, StateDict, TrainableNetwork, Trainer,
+    TrainerConfig,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -31,6 +33,8 @@ USAGE:
   greuse scope    --n N --k K
   greuse profile  --model <...> [--weights FILE] [--reuse L,H] [--samples N]
                   [--board f4|f7] [--out FILE] [--trace FILE] [--validate]
+  greuse infer    --model <...> [--weights FILE] [--backend f32|int8]
+                  [--reuse L,H] [--samples N] [--board f4|f7]
   greuse help";
 
 type AnyNet = Box<dyn TrainableNetwork>;
@@ -385,6 +389,116 @@ pub fn profile(opts: &Options) -> Result<(), String> {
         );
     }
     println!("report -> {out}\ntrace  -> {trace_path} (chrome://tracing / perfetto)");
+    Ok(())
+}
+
+/// `greuse infer` — run inference with a selectable numeric backend.
+///
+/// `--backend f32` (default) uses the exact dense path, or the f32 reuse
+/// executor when `--reuse L,H` is given. `--backend int8` first snaps the
+/// weights to the symmetric int8 grid (post-training quantization), then
+/// routes every convolution through the quantized executor; with
+/// `--reuse L,H` the patterned layers additionally run the int8 reuse
+/// walk. Accuracy is always reported against the same synthetic set, and
+/// int8 runs also report the worst logit deviation from the f32 dense
+/// path so quantization drift is visible at the CLI.
+pub fn infer(opts: &Options) -> Result<(), String> {
+    let model = opts.require("model")?;
+    let samples: usize = opts.num("samples", 16)?;
+    let backend_name = opts.get_or("backend", "f32").to_string();
+    let mut net = build_model(model, opts.num("seed", 42u64)?)?;
+    load_weights(net.as_mut(), opts)?;
+    let test = SyntheticDataset::cifar_like(opts.num("data-seed", 2024u64)?).generate(samples, 23);
+    let reuse = parse_reuse(opts)?;
+    let b = board(opts);
+    // Pattern assignment is shape-driven, so it can be computed up front
+    // (PTQ below changes values, not layer geometry).
+    let assigned: Vec<(String, ReusePattern)> = match reuse {
+        None => Vec::new(),
+        Some((l, h)) => net
+            .conv_layers()
+            .into_iter()
+            .filter(|info| info.gemm_k() >= 27)
+            .map(|info| {
+                let l = l.min(info.gemm_k());
+                (info.name, ReusePattern::conventional(l, h))
+            })
+            .collect(),
+    };
+    match backend_name.as_str() {
+        "f32" => {
+            let t0 = std::time::Instant::now();
+            let (eval, stats) = match reuse {
+                None => (
+                    evaluate_dense(net.as_ref(), &test).map_err(|e| e.to_string())?,
+                    HashMap::new(),
+                ),
+                Some(_) => {
+                    let bk = ReuseBackend::new(AdaptedHashProvider::new())
+                        .with_patterns(assigned.clone());
+                    let eval =
+                        evaluate_accuracy(net.as_ref(), &bk, &test).map_err(|e| e.to_string())?;
+                    (eval, bk.stats())
+                }
+            };
+            let per_image_ms = t0.elapsed().as_secs_f64() * 1e3 / samples.max(1) as f64;
+            println!(
+                "f32 backend: accuracy {:.3} on {samples} images ({per_image_ms:.2} ms/image host wall)",
+                eval.accuracy
+            );
+            for (layer, s) in &stats {
+                println!("  {layer}: r_t = {:.3}", s.redundancy_ratio());
+            }
+        }
+        "int8" => {
+            // Snap weights to the symmetric int8 grid before running, so
+            // the executor's per-layer weight quantization is exact and a
+            // second pass would be a no-op.
+            let ptq = ptq_int8(net.as_mut()).map_err(|e| e.to_string())?;
+            let worst = ptq.iter().map(|p| p.mean_abs_error).fold(0.0f32, f32::max);
+            println!(
+                "post-training quantization: {} layers snapped to int8 (worst mean |err| {worst:.2e})",
+                ptq.len()
+            );
+            let bk = QuantizedBackend::new(AdaptedHashProvider::new()).with_patterns(assigned);
+            let t0 = std::time::Instant::now();
+            let eval = evaluate_accuracy(net.as_ref(), &bk, &test).map_err(|e| e.to_string())?;
+            let per_image_ms = t0.elapsed().as_secs_f64() * 1e3 / samples.max(1) as f64;
+            let dense = evaluate_dense(net.as_ref(), &test).map_err(|e| e.to_string())?;
+            let mut max_dev = 0.0f32;
+            if let Some((image, _)) = test.first() {
+                let a = net.forward(image, &bk).map_err(|e| e.to_string())?;
+                let d = net
+                    .forward(image, &greuse_nn::DenseBackend)
+                    .map_err(|e| e.to_string())?;
+                for (x, y) in a.iter().zip(d.iter()) {
+                    max_dev = max_dev.max((x - y).abs());
+                }
+            }
+            println!(
+                "int8 backend: accuracy {:.3} on {samples} images ({per_image_ms:.2} ms/image host wall)",
+                eval.accuracy
+            );
+            println!(
+                "  f32 dense accuracy {:.3}; max logit deviation on first image {max_dev:.4}",
+                dense.accuracy
+            );
+            for (layer, s) in &bk.stats() {
+                // Per-image int8 latency from the MCU model's dual-MAC /
+                // half-bandwidth factors, using the recorded phase ops.
+                let ms = b.spec().latency_int8(&s.ops).total_ms() / s.calls.max(1) as f64;
+                println!(
+                    "  {layer}: r_t = {:.3}, modeled int8 latency {ms:.2} ms/image on {b}",
+                    s.redundancy_ratio()
+                );
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown backend `{other}` (expected `f32` or `int8`)"
+            ))
+        }
+    }
     Ok(())
 }
 

@@ -7,6 +7,7 @@
 //! greuse simulate --n 256 --k 1600 --m 64 [--rt 0.95] [--l 20] [--h 3] [--board f4]
 //! greuse scope    --n 1024 --k 75
 //! greuse profile  --model cifarnet --samples 4 --out profile.json --trace trace.json
+//! greuse infer    --model cifarnet --backend int8 [--reuse L,H] [--samples N]
 //! ```
 //!
 //! Datasets are the workspace's seeded synthetic generators, so every
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate(&opts),
         "scope" => commands::scope(&opts),
         "profile" => commands::profile(&opts),
+        "infer" => commands::infer(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -78,7 +78,7 @@ impl LayerStats {
 /// every count is a plain sum, and snapshots are taken between inference
 /// runs (the backend never promises a mid-call-consistent snapshot).
 #[derive(Debug, Default)]
-struct AtomicLayerStats {
+pub(crate) struct AtomicLayerStats {
     calls: AtomicU64,
     transform_elems: AtomicU64,
     clustering_macs: AtomicU64,
@@ -91,11 +91,11 @@ struct AtomicLayerStats {
     /// `f64::to_bits` of the layer's input redundancy probe, captured on
     /// the layer's first reuse call; zero while unset (the probe is
     /// strictly positive, so zero is unambiguous).
-    probe_bits: AtomicU64,
+    pub(crate) probe_bits: AtomicU64,
 }
 
 impl AtomicLayerStats {
-    fn record(&self, s: &ReuseStats, wall_ns: u64) {
+    pub(crate) fn record(&self, s: &ReuseStats, wall_ns: u64) {
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
         self.transform_elems
@@ -111,7 +111,7 @@ impl AtomicLayerStats {
         self.n_clusters.fetch_add(s.n_clusters, Ordering::Relaxed);
     }
 
-    fn snapshot(&self) -> LayerStats {
+    pub(crate) fn snapshot(&self) -> LayerStats {
         LayerStats {
             calls: self.calls.load(Ordering::Relaxed),
             ops: PhaseOps {
@@ -127,7 +127,7 @@ impl AtomicLayerStats {
         }
     }
 
-    fn reset(&self) {
+    pub(crate) fn reset(&self) {
         self.calls.store(0, Ordering::Relaxed);
         self.transform_elems.store(0, Ordering::Relaxed);
         self.clustering_macs.store(0, Ordering::Relaxed);

@@ -22,7 +22,7 @@ use std::cell::RefCell;
 
 use greuse_tensor::{Permutation, Tensor, WorkerPool};
 
-use crate::exec::{execute_reuse_named, ExecWorkspace, ReuseOutput, ReuseStats};
+use crate::exec::{execute_reuse_named, ExecWorkspace, QuantWorkspace, ReuseOutput, ReuseStats};
 use crate::hash_provider::HashProvider;
 use crate::pattern::ReusePattern;
 use crate::{GreuseError, Result};
@@ -173,6 +173,10 @@ thread_local! {
     /// across batches — a parallel batch's steady state allocates
     /// nothing, and on a stable key skips even the re-`prepare` work.
     static BATCH_WS: RefCell<ExecWorkspace> = RefCell::new(ExecWorkspace::new());
+
+    /// The int8 sibling of [`BATCH_WS`]: one quantized workspace per
+    /// participating thread for [`BatchExecutor::execute_quantized`].
+    static BATCH_QWS: RefCell<QuantWorkspace> = RefCell::new(QuantWorkspace::new());
 }
 
 /// Wraps a raw `*mut T` so pool tasks can write disjoint elements of a
@@ -342,6 +346,71 @@ impl BatchExecutor {
         }
         Ok(total.finish())
     }
+
+    /// Int8 variant of [`BatchExecutor::execute`]: every image runs
+    /// through a thread-local [`QuantWorkspace`] (quantize → packed
+    /// u8×i8 GEMM or quantized reuse → requantize). `pattern: None`
+    /// runs each image dense-quantized. Outputs and totals are
+    /// bit-identical to a sequential [`QuantWorkspace`] loop regardless
+    /// of scheduling, for the same reasons as the f32 path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchExecutor::execute`], plus the quantized
+    /// executor's pattern restrictions (default-layout patterns only).
+    pub fn execute_quantized(
+        &mut self,
+        xs: &[Tensor<f32>],
+        w: &Tensor<f32>,
+        pattern: Option<&ReusePattern>,
+        hashes: &dyn HashProvider,
+        threads: usize,
+        ys: &mut [Tensor<f32>],
+    ) -> Result<ReuseStats> {
+        check_uniform(xs)?;
+        if ys.len() != xs.len() {
+            return Err(GreuseError::InvalidPattern {
+                detail: format!("{} output tensors for {} images", ys.len(), xs.len()),
+            });
+        }
+        let images = xs.len();
+        if self.slots.len() < images {
+            self.slots.resize_with(images, || Ok(ReuseStats::default()));
+        }
+        for slot in &mut self.slots[..images] {
+            *slot = Ok(ReuseStats::default());
+        }
+
+        let slots = SendPtr(self.slots.as_mut_ptr());
+        let ys_ptr = SendPtr(ys.as_mut_ptr());
+        let width = threads.clamp(1, images);
+        WorkerPool::global().run_tasks(images, width, &|i| {
+            // SAFETY: task `i` is claimed exactly once, so these are the
+            // only references to element `i`; both vectors outlive the
+            // (blocking) run_tasks call.
+            let y = unsafe { &mut *ys_ptr.get().add(i) };
+            let slot = unsafe { &mut *slots.get().add(i) };
+            BATCH_QWS.with(|ws| {
+                *slot = ws.borrow_mut().execute_into(
+                    &xs[i],
+                    w,
+                    pattern,
+                    hashes,
+                    "batch",
+                    y.as_mut_slice(),
+                );
+            });
+        });
+
+        let mut total = ReuseStats::default();
+        for slot in &mut self.slots[..images] {
+            match std::mem::replace(slot, Ok(ReuseStats::default())) {
+                Ok(s) => total.merge(&s),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total.finish())
+    }
 }
 
 /// Parallel variant of [`execute_reuse_images`]: images are dispatched
@@ -488,6 +557,41 @@ mod tests {
             total.redundancy_ratio,
             greuse_mcu::redundancy_ratio(n_vectors, n_clusters)
         );
+    }
+
+    #[test]
+    fn quantized_batch_bit_identical_to_sequential() {
+        // The int8 batch path must match a sequential QuantWorkspace
+        // loop bit for bit at any thread count, with and without a
+        // reuse pattern.
+        let xs: Vec<Tensor<f32>> = (0..5).map(|i| rand_mat(24, 16, 80 + i)).collect();
+        let w = rand_mat(6, 16, 90);
+        let hashes = RandomHashProvider::new(91);
+        for pattern in [None, Some(ReusePattern::conventional(8, 2))] {
+            let mut ws = QuantWorkspace::new();
+            let mut seq_ys: Vec<Tensor<f32>> =
+                (0..xs.len()).map(|_| Tensor::zeros(&[24, 6])).collect();
+            let mut seq_stats = ReuseStats::default();
+            for (x, y) in xs.iter().zip(&mut seq_ys) {
+                let s = ws
+                    .execute_into(x, &w, pattern.as_ref(), &hashes, "batch", y.as_mut_slice())
+                    .unwrap();
+                seq_stats.merge(&s);
+            }
+            for threads in [1, 2, 5] {
+                let mut par_ys: Vec<Tensor<f32>> =
+                    (0..xs.len()).map(|_| Tensor::zeros(&[24, 6])).collect();
+                let par_stats = BatchExecutor::new()
+                    .execute_quantized(&xs, &w, pattern.as_ref(), &hashes, threads, &mut par_ys)
+                    .unwrap();
+                assert_eq!(seq_ys, par_ys, "outputs differ at {threads} threads");
+                assert_eq!(
+                    (seq_stats.n_vectors, seq_stats.n_clusters, seq_stats.ops),
+                    (par_stats.n_vectors, par_stats.n_clusters, par_stats.ops),
+                    "stats differ at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 mod batch;
 mod horizontal;
+mod quant;
 mod vertical;
 mod workspace;
 
@@ -23,6 +24,7 @@ pub use batch::{
     execute_reuse_batch, execute_reuse_images, execute_reuse_images_parallel, BatchExecutor,
     BatchStacking,
 };
+pub use quant::QuantWorkspace;
 pub use workspace::{ExecWorkspace, Panel, PanelIter};
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,584 @@
+//! The int8 panel executor: vertical reuse over quantized activations.
+//!
+//! Mirrors the f32 vertical executor (`vertical.rs`) in the quantized
+//! domain. Per call the activations are quantized to asymmetric `u8`
+//! (per-tensor scale + zero point, range observed from the data) and the
+//! weights to symmetric `i8` (cached per workspace key); the panel walk,
+//! LSH clustering, centroid folding, and recovery then run over `u8`
+//! neuron blocks:
+//!
+//! - **Clustering** dequantizes blocks on the fly
+//!   ([`ClusterScratch::cluster_q8`]) so hashing and threshold refinement
+//!   see exactly the values the f32 pipeline would see after
+//!   quantization noise.
+//! - **Centroid folding** happens in the integer domain: a centroid's
+//!   code is the rounded mean of its members' codes, which equals
+//!   quantizing the mean of the dequantized members (the affine map
+//!   commutes with averaging) up to one rounding step.
+//! - The **centroid GEMM** is the packed u8×i8 kernel with `i32`
+//!   accumulators ([`greuse_tensor::gemm_q8_into_with`]); member rows
+//!   receive their centroid's accumulator rows in the recovery step, and
+//!   ragged tails are computed exactly, as in the f32 path.
+//!
+//! The activation zero point is folded out once, after all panels: every
+//! output row receives exactly one contribution per panel (centroid or
+//! tail), so the full-`K` weight row sums absorb the correction (see
+//! `qgemm`'s module docs). Outputs are requantized to `i8` with a
+//! fixed-point [`Requant`] whose output scale is chosen from the
+//! accumulator range, then dequantized to `f32` for the caller.
+//!
+//! Telemetry spans: `quant.pack` (operand quantization + packing inside
+//! the kernel), `quant.kernel` (microkernel sweeps), `quant.requant`
+//! (scale scan, requantization, and the final dequantize), plus the
+//! structural `exec.gather` / `exec.cluster` / `exec.fold` /
+//! `exec.recover` spans shared with the f32 executor.
+
+use greuse_lsh::{ClusterScratch, HashFamily};
+use greuse_tensor::{
+    apply_zero_point, gemm_q8_into_with, quantize_linear_into, quantize_u8_into,
+    requantize_i8_into, weight_row_sums_into, ActQuantParams, GemmScratch, LinearQuantParams,
+    Requant, Tensor,
+};
+
+use crate::exec::workspace::PanelIter;
+use crate::exec::ReuseStats;
+use crate::hash_provider::HashProvider;
+use crate::pattern::{ReuseDirection, ReusePattern};
+use crate::Result;
+
+/// What a quantized workspace is currently sized for.
+#[derive(Debug, Clone, PartialEq)]
+struct QKey {
+    layer: String,
+    n: usize,
+    k: usize,
+    m: usize,
+    pattern: Option<ReusePattern>,
+}
+
+/// Arena of reusable int8-executor state: quantized operand copies, the
+/// `i32` accumulator, panel buffers, clustering scratch, and cached
+/// per-panel hash families.
+///
+/// Create once (or check out from a pool), then call
+/// [`QuantWorkspace::execute_into`] repeatedly; like [`super::ExecWorkspace`]
+/// it re-sizes on key changes and reaches a zero-allocation steady state
+/// on a stable key (with a data-independent hash provider).
+///
+/// Weight quantization is cached on the key: the workspace assumes a
+/// layer's weights are stable across calls, matching the per-layer
+/// family cache.
+#[derive(Debug, Default)]
+pub struct QuantWorkspace {
+    key: Option<QKey>,
+    /// Quantized activations (`N x K` codes).
+    x_q: Vec<u8>,
+    /// Quantized weights (`M x K` codes, symmetric).
+    w_q: Vec<i8>,
+    w_scale: f32,
+    /// Per-output-channel weight code sums over full `K`.
+    w_sums: Vec<i32>,
+    /// Raw-product accumulator (`N x M`).
+    acc: Vec<i32>,
+    /// Requantized output codes (`N x M`).
+    out_q: Vec<i8>,
+    /// Gathered reuse blocks (`full_blocks x (b·lw)` codes).
+    units_q: Vec<u8>,
+    /// Integer centroid sums (`n_c x dim` staging).
+    csums: Vec<i32>,
+    /// Folded centroid codes, stacked `(n_c·b) x lw`.
+    stacked_q: Vec<u8>,
+    /// Weight panel (`M x lw` codes, rows contiguous — qgemm's Bᵀ).
+    wp_q: Vec<i8>,
+    /// Centroid GEMM output (`n_c·b x M`).
+    yc: Vec<i32>,
+    /// Ragged-tail rows (`tail x lw` codes).
+    tail_q: Vec<u8>,
+    /// Tail GEMM output (`tail x M`).
+    yt: Vec<i32>,
+    gemm: GemmScratch,
+    scratch: ClusterScratch,
+    families: Vec<HashFamily>,
+}
+
+impl QuantWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        QuantWorkspace::default()
+    }
+
+    /// Pre-sizes every buffer for one layer's quantized GEMM and caches
+    /// the quantized weights, so a later [`QuantWorkspace::execute_into`]
+    /// on the same key allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GreuseError::InvalidPattern`] when the pattern
+    /// cannot apply to the dimensions or requests a layout reorder (the
+    /// quantized path clusters in the default layout), and
+    /// [`greuse_tensor::TensorError::InvalidQuantization`] for weights
+    /// with no representable range.
+    pub fn prepare(
+        &mut self,
+        layer: &str,
+        w: &Tensor<f32>,
+        n: usize,
+        pattern: Option<&ReusePattern>,
+    ) -> Result<()> {
+        let (m, k) = (w.rows(), w.cols());
+        if let Some(p) = pattern {
+            p.validate(n, k)?;
+            if p.order.needs_layout_pass() || p.row_order.needs_layout_pass() {
+                return Err(crate::GreuseError::InvalidPattern {
+                    detail: format!(
+                        "quantized path supports only default-layout patterns, got {p:?}"
+                    ),
+                });
+            }
+        }
+        let matches = self.key.as_ref().is_some_and(|key| {
+            key.layer == layer
+                && key.n == n
+                && key.k == k
+                && key.m == m
+                && key.pattern.as_ref() == pattern
+        });
+        if matches {
+            return Ok(());
+        }
+
+        self.x_q.resize(n * k, 0);
+        self.w_q.resize(m * k, 0);
+        self.w_sums.resize(m, 0);
+        self.acc.resize(n * m, 0);
+        self.out_q.resize(n * m, 0);
+        if let Some(p) = pattern.filter(|p| p.direction == ReuseDirection::Vertical) {
+            let l = p.l.min(k);
+            let b = p.block_rows.min(n);
+            let full_blocks = n / b;
+            let dim = b * l;
+            self.units_q.resize(full_blocks * dim, 0);
+            self.csums.resize(full_blocks * dim, 0);
+            self.stacked_q.resize(full_blocks * dim, 0);
+            self.wp_q.resize(m * l, 0);
+            self.yc.resize(full_blocks * b * m, 0);
+            let tail = n - full_blocks * b;
+            self.tail_q.resize(tail * l, 0);
+            self.yt.resize(tail * m, 0);
+        } else {
+            self.units_q.clear();
+            self.csums.clear();
+            self.stacked_q.clear();
+            self.wp_q.clear();
+            self.yc.clear();
+            self.tail_q.clear();
+            self.yt.clear();
+        }
+
+        // Symmetric per-tensor weight quantization, refreshed with the key.
+        {
+            let _pack = greuse_telemetry::span!("quant.pack");
+            let absmax = w.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+            let params = LinearQuantParams::symmetric(absmax.max(f32::MIN_POSITIVE))?;
+            self.w_scale = params.scale;
+            quantize_linear_into(w.as_slice(), &params, &mut self.w_q);
+            weight_row_sums_into(&self.w_q, m, k, &mut self.w_sums);
+        }
+
+        self.families.clear();
+        self.key = Some(QKey {
+            layer: layer.to_string(),
+            n,
+            k,
+            m,
+            pattern: pattern.copied(),
+        });
+        Ok(())
+    }
+
+    /// Executes `Y ≈ X × Wᵀ` through the int8 pipeline into the
+    /// caller-provided `y` buffer (`N x M` row-major, `f32`), returning
+    /// the run's statistics.
+    ///
+    /// With `pattern: None` the layer runs dense-quantized (one packed
+    /// u8×i8 GEMM). A vertical pattern runs the reuse path; horizontal
+    /// patterns fall back to dense-quantized (the int8 executor
+    /// implements the paper's M-1 direction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GreuseError::InvalidPattern`] for incompatible
+    /// shapes or patterns, and propagates tensor/quantization errors.
+    pub fn execute_into(
+        &mut self,
+        x: &Tensor<f32>,
+        w: &Tensor<f32>,
+        pattern: Option<&ReusePattern>,
+        hashes: &dyn HashProvider,
+        layer: &str,
+        y: &mut [f32],
+    ) -> Result<ReuseStats> {
+        let (n, k) = (x.rows(), x.cols());
+        if w.shape().rank() != 2 || w.cols() != k {
+            return Err(crate::GreuseError::InvalidPattern {
+                detail: format!(
+                    "weight matrix {:?} incompatible with im2col width {k}",
+                    w.shape().dims()
+                ),
+            });
+        }
+        let m = w.rows();
+        if y.len() != n * m {
+            return Err(crate::GreuseError::InvalidPattern {
+                detail: format!("output buffer holds {} elements, need {}", y.len(), n * m),
+            });
+        }
+        self.prepare(layer, w, n, pattern)?;
+
+        // Per-call activation quantization (dynamic range).
+        let params = {
+            let _pack = greuse_telemetry::span!("quant.pack");
+            let params = ActQuantParams::from_data(x.as_slice())?;
+            quantize_u8_into(x.as_slice(), &params, &mut self.x_q);
+            params
+        };
+
+        let mut stats = ReuseStats::default();
+        match pattern.filter(|p| p.direction == ReuseDirection::Vertical) {
+            Some(p) => self.vertical_q8(n, k, m, p, &params, hashes, layer, &mut stats)?,
+            None => {
+                gemm_q8_into_with(&self.x_q, &self.w_q, &mut self.acc, n, k, m, &mut self.gemm);
+                stats.ops.gemm_macs += (n * k * m) as u64;
+            }
+        }
+
+        apply_zero_point(&mut self.acc, n, m, params.zero_point, &self.w_sums);
+
+        // Requantize: output scale covers the accumulator range.
+        let max_abs = {
+            let _rq = greuse_telemetry::span!("quant.requant");
+            self.acc.iter().fold(0i32, |a, &v| a.max(v.abs()))
+        };
+        let real = f64::from(params.scale) * f64::from(self.w_scale);
+        if max_abs == 0 {
+            y.fill(0.0);
+        } else if max_abs <= 127 {
+            // Codes already fit i8: identity requantization, output scale
+            // is the product scale itself.
+            let _rq = greuse_telemetry::span!("quant.requant");
+            for (dst, &a) in y.iter_mut().zip(&self.acc) {
+                *dst = (real * f64::from(a)) as f32;
+            }
+        } else {
+            let rq = Requant::new((127.0 / max_abs as f64) as f32)?;
+            requantize_i8_into(&self.acc, &rq, &mut self.out_q);
+            let out_scale = real / rq.effective_multiplier();
+            let _rq = greuse_telemetry::span!("quant.requant");
+            for (dst, &q) in y.iter_mut().zip(&self.out_q) {
+                *dst = (out_scale * f64::from(q)) as f32;
+            }
+        }
+
+        // Transformation phase: one im2col-equivalent pass plus the
+        // quantization pass over the activations.
+        stats.ops.transform_elems = 2 * (n * k) as u64;
+        Ok(stats.finish())
+    }
+
+    /// The vertical (M-1) reuse walk in the quantized domain.
+    #[allow(clippy::too_many_arguments)]
+    fn vertical_q8(
+        &mut self,
+        n: usize,
+        k: usize,
+        m: usize,
+        pattern: &ReusePattern,
+        params: &ActQuantParams,
+        hashes: &dyn HashProvider,
+        layer: &str,
+        stats: &mut ReuseStats,
+    ) -> Result<()> {
+        let l = pattern.l.min(k);
+        let b = pattern.block_rows.min(n);
+        let full_blocks = n / b;
+        let tail_rows = n - full_blocks * b;
+        self.acc.fill(0);
+
+        for panel in PanelIter::new(k, l) {
+            let (col0, col1, lw) = (panel.start, panel.end, panel.len());
+            // Weight panel: M x lw codes, rows contiguous (qgemm Bᵀ).
+            {
+                let _gather = greuse_telemetry::span!("exec.gather");
+                let wp = &mut self.wp_q[..m * lw];
+                for r in 0..m {
+                    wp[r * lw..(r + 1) * lw].copy_from_slice(&self.w_q[r * k + col0..r * k + col1]);
+                }
+            }
+
+            if full_blocks > 0 {
+                let dim = b * lw;
+                {
+                    let _gather = greuse_telemetry::span!("exec.gather");
+                    let units = &mut self.units_q[..full_blocks * dim];
+                    for g in 0..full_blocks {
+                        let dst = &mut units[g * dim..(g + 1) * dim];
+                        for br in 0..b {
+                            let row = (g * b + br) * k;
+                            dst[br * lw..(br + 1) * lw]
+                                .copy_from_slice(&self.x_q[row + col0..row + col1]);
+                        }
+                    }
+                }
+
+                // Hash family: cached per panel for data-independent
+                // providers; data-dependent providers see the
+                // dequantized unit matrix each call.
+                let units = &self.units_q[..full_blocks * dim];
+                let owned;
+                let family: &HashFamily = if hashes.data_independent() {
+                    if self.families.len() <= panel.index {
+                        debug_assert_eq!(self.families.len(), panel.index);
+                        let data =
+                            Tensor::from_fn(&[full_blocks, dim], |i| params.dequantize(units[i]));
+                        self.families
+                            .push(hashes.family(layer, panel.index, pattern.h, &data)?);
+                    }
+                    &self.families[panel.index]
+                } else {
+                    let data =
+                        Tensor::from_fn(&[full_blocks, dim], |i| params.dequantize(units[i]));
+                    owned = hashes.family(layer, panel.index, pattern.h, &data)?;
+                    &owned
+                };
+
+                {
+                    let _cluster = greuse_telemetry::span!("exec.cluster");
+                    self.scratch
+                        .cluster_q8(units, full_blocks, params, family)?;
+                }
+                let n_c = self.scratch.num_clusters();
+                stats.n_vectors += full_blocks as u64;
+                stats.n_clusters += n_c as u64;
+                stats.ops.clustering_vectors += full_blocks as u64;
+                stats.ops.clustering_macs += family.hashing_macs(full_blocks);
+
+                // Integer centroid fold: rounded mean of member codes,
+                // written directly in stacked `(n_c·b) x lw` order (the
+                // block layout is already row-contiguous).
+                {
+                    let _fold = greuse_telemetry::span!("exec.fold");
+                    let csums = &mut self.csums[..n_c * dim];
+                    csums.fill(0);
+                    for (g, &c) in self.scratch.assignments().iter().enumerate() {
+                        let src = &units[g * dim..(g + 1) * dim];
+                        let dst = &mut csums[c * dim..(c + 1) * dim];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d += i32::from(s);
+                        }
+                    }
+                    let stacked = &mut self.stacked_q[..n_c * dim];
+                    for (c, &size) in self.scratch.sizes().iter().enumerate() {
+                        let sz = size as i32;
+                        let src = &csums[c * dim..(c + 1) * dim];
+                        let dst = &mut stacked[c * dim..(c + 1) * dim];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d = ((s + sz / 2) / sz) as u8;
+                        }
+                    }
+                }
+
+                // Centroid GEMM: (n_c·b) x lw × (lw x M via Bᵀ).
+                let yc = &mut self.yc[..n_c * b * m];
+                gemm_q8_into_with(
+                    &self.stacked_q[..n_c * dim],
+                    &self.wp_q[..m * lw],
+                    yc,
+                    n_c * b,
+                    lw,
+                    m,
+                    &mut self.gemm,
+                );
+                stats.ops.gemm_macs += (n_c * b * lw * m) as u64;
+
+                {
+                    let _recover = greuse_telemetry::span!("exec.recover");
+                    for (g, &c) in self.scratch.assignments().iter().enumerate() {
+                        for br in 0..b {
+                            let dst = &mut self.acc[(g * b + br) * m..(g * b + br + 1) * m];
+                            let src = &yc[(c * b + br) * m..(c * b + br + 1) * m];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d += s;
+                            }
+                        }
+                    }
+                }
+                stats.ops.recover_elems += (full_blocks * b * m) as u64;
+            }
+
+            if tail_rows > 0 {
+                {
+                    let _gather = greuse_telemetry::span!("exec.gather");
+                    let tail = &mut self.tail_q[..tail_rows * lw];
+                    for r in 0..tail_rows {
+                        let row = (full_blocks * b + r) * k;
+                        tail[r * lw..(r + 1) * lw]
+                            .copy_from_slice(&self.x_q[row + col0..row + col1]);
+                    }
+                }
+                let yt = &mut self.yt[..tail_rows * m];
+                gemm_q8_into_with(
+                    &self.tail_q[..tail_rows * lw],
+                    &self.wp_q[..m * lw],
+                    yt,
+                    tail_rows,
+                    lw,
+                    m,
+                    &mut self.gemm,
+                );
+                stats.ops.gemm_macs += (tail_rows * lw * m) as u64;
+                {
+                    let _recover = greuse_telemetry::span!("exec.recover");
+                    for r in 0..tail_rows {
+                        let base = full_blocks * b + r;
+                        let dst = &mut self.acc[base * m..(base + 1) * m];
+                        for (d, &s) in dst.iter_mut().zip(&yt[r * m..(r + 1) * m]) {
+                            *d += s;
+                        }
+                    }
+                }
+                stats.ops.recover_elems += (tail_rows * m) as u64;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash_provider::RandomHashProvider;
+    use crate::pattern::ReusePattern;
+    use greuse_tensor::gemm_bt_f32;
+
+    fn operands(n: usize, k: usize, m: usize) -> (Tensor<f32>, Tensor<f32>) {
+        let x = Tensor::from_fn(&[n, k], |i| ((i % 101) as f32 * 0.13).sin());
+        let w = Tensor::from_fn(&[m, k], |i| ((i % 37) as f32 * 0.29).cos());
+        (x, w)
+    }
+
+    /// Worst-case |error| of the dense int8 path against exact f32:
+    /// activation rounding (s_a/2 per element) through the weights, weight
+    /// rounding (s_w/2) through the activations, plus the output step.
+    fn dense_tolerance(x: &Tensor<f32>, w: &Tensor<f32>, y: &[f32]) -> f32 {
+        let k = x.cols() as f32;
+        let ax = x.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let aw = w.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let ay = y.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let s_a = 2.0 * ax / 255.0;
+        let s_w = aw / 127.0;
+        k * (s_a / 2.0 * aw + s_w / 2.0 * ax) + ay / 127.0
+    }
+
+    #[test]
+    fn dense_quantized_close_to_f32() {
+        let (n, k, m) = (48, 32, 8);
+        let (x, w) = operands(n, k, m);
+        let exact = gemm_bt_f32(&x, &w).unwrap();
+        let hashes = RandomHashProvider::new(1);
+        let mut ws = QuantWorkspace::new();
+        let mut y = vec![0.0f32; n * m];
+        let stats = ws
+            .execute_into(&x, &w, None, &hashes, "conv1", &mut y)
+            .unwrap();
+        assert_eq!(stats.ops.gemm_macs, (n * k * m) as u64);
+        let tol = dense_tolerance(&x, &w, exact.as_slice());
+        for (a, b) in y.iter().zip(exact.as_slice()) {
+            assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn reuse_quantized_exact_on_duplicated_rows_up_to_quantization() {
+        // Duplicated rows quantize to identical codes, cluster together,
+        // and fold exactly — the reuse machinery adds no error on top of
+        // quantization, so the int8 reuse path must stay within the
+        // dense-quantization tolerance of the exact f32 product.
+        let (n, k, m, distinct) = (64, 48, 8, 8);
+        let base = Tensor::from_fn(&[distinct, k], |i| ((i % 101) as f32 * 0.13).sin());
+        let x = Tensor::from_fn(&[n, k], |i| {
+            let (r, c) = (i / k, i % k);
+            base.as_slice()[(r % distinct) * k + c]
+        });
+        let w = Tensor::from_fn(&[m, k], |i| ((i % 37) as f32 * 0.29).cos());
+        let exact = gemm_bt_f32(&x, &w).unwrap();
+        let pattern = ReusePattern::conventional(16, 8);
+        let hashes = RandomHashProvider::new(7);
+        let mut ws = QuantWorkspace::new();
+        let mut y = vec![0.0f32; n * m];
+        let stats = ws
+            .execute_into(&x, &w, Some(&pattern), &hashes, "conv1", &mut y)
+            .unwrap();
+        assert!(stats.n_vectors > 0);
+        assert!(
+            stats.redundancy_ratio > 0.5,
+            "r_t {}",
+            stats.redundancy_ratio
+        );
+        let tol = dense_tolerance(&x, &w, exact.as_slice());
+        for (a, b) in y.iter().zip(exact.as_slice()) {
+            assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn repeated_calls_are_deterministic() {
+        let (n, k, m) = (32, 24, 6);
+        let (x, w) = operands(n, k, m);
+        let pattern = ReusePattern::conventional(12, 4).with_block_rows(2);
+        let hashes = RandomHashProvider::new(3);
+        let mut ws = QuantWorkspace::new();
+        let mut y1 = vec![0.0f32; n * m];
+        let mut y2 = vec![0.0f32; n * m];
+        let s1 = ws
+            .execute_into(&x, &w, Some(&pattern), &hashes, "c", &mut y1)
+            .unwrap();
+        let s2 = ws
+            .execute_into(&x, &w, Some(&pattern), &hashes, "c", &mut y2)
+            .unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn rejects_layout_reorders_and_bad_shapes() {
+        use crate::pattern::ReuseOrder;
+        let (x, w) = operands(16, 12, 4);
+        let hashes = RandomHashProvider::new(5);
+        let mut ws = QuantWorkspace::new();
+        let mut y = vec![0.0f32; 16 * 4];
+        let p = ReusePattern::conventional(6, 4).with_order(ReuseOrder::ChannelFirst);
+        assert!(ws
+            .execute_into(&x, &w, Some(&p), &hashes, "c", &mut y)
+            .is_err());
+        let mut short = vec![0.0f32; 7];
+        assert!(ws
+            .execute_into(&x, &w, None, &hashes, "c", &mut short)
+            .is_err());
+    }
+
+    #[test]
+    fn horizontal_pattern_falls_back_to_dense() {
+        use crate::pattern::ReuseDirection;
+        let (n, k, m) = (24, 16, 4);
+        let (x, w) = operands(n, k, m);
+        let hashes = RandomHashProvider::new(2);
+        let mut ws = QuantWorkspace::new();
+        let mut y = vec![0.0f32; n * m];
+        let p = ReusePattern::conventional(8, 4).with_direction(ReuseDirection::Horizontal);
+        let stats = ws
+            .execute_into(&x, &w, Some(&p), &hashes, "c", &mut y)
+            .unwrap();
+        assert_eq!(stats.n_vectors, 0);
+        assert_eq!(stats.ops.gemm_macs, (n * k * m) as u64);
+    }
+}

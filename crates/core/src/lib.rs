@@ -55,6 +55,7 @@ mod models;
 mod ood;
 mod pattern;
 mod plan;
+mod qbackend;
 mod reorder;
 mod report;
 mod scope;
@@ -68,7 +69,7 @@ pub use error::GreuseError;
 pub use exec::{
     execute_reuse, execute_reuse_batch, execute_reuse_images, execute_reuse_images_parallel,
     execute_reuse_in, execute_reuse_named, execute_reuse_with_spec, BatchExecutor, BatchStacking,
-    ExecWorkspace, Panel, PanelIter, ReuseOutput, ReuseStats,
+    ExecWorkspace, Panel, PanelIter, QuantWorkspace, ReuseOutput, ReuseStats,
 };
 pub use hash_provider::{AdaptedHashProvider, HashProvider, RandomHashProvider};
 pub use models::accuracy::{
@@ -79,6 +80,7 @@ pub use models::latency::{key_condition_holds, LatencyModel, PatternOps};
 pub use ood::{max_softmax_detection, OodReport};
 pub use pattern::{ReuseDirection, ReuseOrder, ReusePattern, RowOrder};
 pub use plan::DeploymentPlan;
+pub use qbackend::QuantizedBackend;
 pub use reorder::{column_permutation, row_permutation};
 pub use report::{
     network_report, LayerReport, NetworkReport, DRIFT_THRESHOLD, REPORT_SCHEMA_VERSION,

@@ -9,7 +9,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use greuse::{BatchExecutor, ExecWorkspace, RandomHashProvider, ReuseDirection, ReusePattern};
+use greuse::{
+    BatchExecutor, ExecWorkspace, QuantWorkspace, RandomHashProvider, ReuseDirection, ReusePattern,
+};
 use greuse_tensor::{ConvSpec, Tensor};
 
 struct CountingAlloc;
@@ -64,6 +66,39 @@ fn assert_zero_alloc_steady_state(pattern: ReusePattern, spec: Option<&ConvSpec>
         after - before,
         0,
         "steady-state execute_into allocated ({:?})",
+        pattern
+    );
+    assert_eq!(repeat, warm, "steady-state runs must be deterministic");
+}
+
+/// The int8 executor re-quantizes activations on every call, but all of
+/// its buffers (quantized operands, i32 accumulators, packed panels,
+/// cluster scratch, cached hash families) are sized by the warm-up call —
+/// so its steady state must be allocation-free too, patterned or dense.
+fn assert_quantized_steady_state(pattern: Option<ReusePattern>) {
+    let (n, k, m) = (64usize, 48usize, 8usize);
+    let hashes = RandomHashProvider::new(7);
+    let x = Tensor::from_fn(&[n, k], |i| ((i % 101) as f32 * 0.13).sin());
+    let w = Tensor::from_fn(&[m, k], |i| ((i % 37) as f32 * 0.29).cos());
+    let mut y = vec![0.0f32; n * m];
+
+    let mut ws = QuantWorkspace::new();
+    let warm = ws
+        .execute_into(&x, &w, pattern.as_ref(), &hashes, "conv1", &mut y)
+        .unwrap();
+
+    let before = allocs();
+    let mut repeat = warm;
+    for _ in 0..5 {
+        repeat = ws
+            .execute_into(&x, &w, pattern.as_ref(), &hashes, "conv1", &mut y)
+            .unwrap();
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state quantized execute_into allocated ({:?})",
         pattern
     );
     assert_eq!(repeat, warm, "steady-state runs must be deterministic");
@@ -134,6 +169,9 @@ fn steady_state_allocates_nothing() {
     );
     // Pool-based parallel batch path.
     assert_parallel_batch_steady_state();
+    // Quantized executor: dense int8 and the int8 reuse walk.
+    assert_quantized_steady_state(None);
+    assert_quantized_steady_state(Some(ReusePattern::conventional(16, 4)));
 
     // Telemetry enabled: spans write to preallocated ring slots and
     // counters to static atomics, so the instrumented steady state must
@@ -144,6 +182,8 @@ fn steady_state_allocates_nothing() {
     greuse_telemetry::enable();
     assert_zero_alloc_steady_state(ReusePattern::conventional(16, 4), None);
     assert_parallel_batch_steady_state();
+    assert_quantized_steady_state(None);
+    assert_quantized_steady_state(Some(ReusePattern::conventional(16, 4)));
     greuse_telemetry::disable();
     #[cfg(feature = "telemetry")]
     assert!(

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use greuse_tensor::{Tensor, TensorError};
+use greuse_tensor::{ActQuantParams, Tensor, TensorError};
 
 use crate::family::{HashFamily, SigScratch, Signature};
 
@@ -262,6 +262,8 @@ pub struct ClusterScratch {
     leaders: Vec<usize>,
     assignments: Vec<usize>,
     sizes: Vec<usize>,
+    /// Dequantized-row staging for [`ClusterScratch::cluster_q8`].
+    deq: Vec<f32>,
 }
 
 /// End-of-chain marker for [`ClusterScratch::chain`].
@@ -346,6 +348,44 @@ impl ClusterScratch {
             self.assignments.push(c);
         }
         Ok(())
+    }
+
+    /// Quantized entry point: clusters `n` rows of `u8` activation codes
+    /// by dequantizing them on the fly (`real = scale · (q - zp)`) into
+    /// an internal buffer and running [`ClusterScratch::cluster`] on the
+    /// result — hashing, threshold refinement, and grouping all operate
+    /// on exactly the values the f32 pipeline would see after
+    /// quantization noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `data.len()` differs
+    /// from `n * family.l()`.
+    pub fn cluster_q8(
+        &mut self,
+        data: &[u8],
+        n: usize,
+        params: &ActQuantParams,
+        family: &HashFamily,
+    ) -> Result<(), TensorError> {
+        let l = family.l();
+        if data.len() != n * l {
+            return Err(TensorError::ShapeMismatch {
+                op: "ClusterScratch::cluster_q8",
+                expected: vec![n, l],
+                actual: vec![data.len()],
+            });
+        }
+        if self.deq.len() < n * l {
+            self.deq.resize(n * l, 0.0);
+        }
+        let mut deq = std::mem::take(&mut self.deq);
+        for (d, &q) in deq[..n * l].iter_mut().zip(data) {
+            *d = params.dequantize(q);
+        }
+        let result = self.cluster(&deq[..n * l], n, family);
+        self.deq = deq;
+        result
     }
 
     /// Number of vectors in the last clustering.
@@ -552,6 +592,30 @@ mod tests {
         scratch.cluster(&[0.5; 10], 2, &family).unwrap();
         let mut out = vec![0.0; 4];
         assert!(scratch.centroids_into(&[0.5; 10], 5, &mut out).is_err());
+    }
+
+    #[test]
+    fn cluster_q8_matches_clustering_dequantized_floats() {
+        use greuse_tensor::quantize_u8_into;
+        let mut rng = SmallRng::seed_from_u64(31);
+        let family = HashFamily::random(8, 6, &mut rng);
+        let n = 40usize;
+        let x = Tensor::random(
+            &[n, 6],
+            &rand::distributions::Uniform::new(-1.5f32, 1.5),
+            &mut rng,
+        );
+        let params = ActQuantParams::from_data(x.as_slice()).unwrap();
+        let mut q = vec![0u8; n * 6];
+        quantize_u8_into(x.as_slice(), &params, &mut q);
+        let deq: Vec<f32> = q.iter().map(|&v| params.dequantize(v)).collect();
+
+        let mut a = ClusterScratch::new();
+        a.cluster(&deq, n, &family).unwrap();
+        let mut b = ClusterScratch::new();
+        b.cluster_q8(&q, n, &params, &family).unwrap();
+        assert_eq!(a.assignments(), b.assignments());
+        assert_eq!(a.sizes(), b.sizes());
     }
 
     #[test]

@@ -95,6 +95,18 @@ impl PhaseLatency {
     }
 }
 
+/// Int8 MAC-rate multiplier over the baseline calibration: SMLAD issues
+/// two 16-bit multiply-accumulates per cycle on sign-extended int8
+/// operands, doubling the sustained MAC rate of the q15/f32-emulation
+/// path the base model is calibrated to.
+pub const INT8_MAC_FACTOR: f64 = 2.0;
+
+/// Int8 memory-traffic multiplier: quantized elements are one byte, so
+/// the memory-bound phases (im2col/layout moves, recovery writes,
+/// clustering bookkeeping) stream half the bytes of the 16-bit-widened
+/// baseline — their per-element cycle costs halve.
+pub const INT8_MEM_FACTOR: f64 = 0.5;
+
 impl McuSpec {
     /// Latency of the given operation counts on this core.
     ///
@@ -105,6 +117,33 @@ impl McuSpec {
     pub fn latency(&self, ops: &PhaseOps) -> PhaseLatency {
         let mac_rate = self.macs_per_cycle * self.issue_factor;
         let mem_scale = 1.0 / self.issue_factor;
+        let transform_cycles =
+            ops.transform_elems as f64 * self.transform_cycles_per_elem * mem_scale;
+        let clustering_cycles = ops.clustering_macs as f64 / mac_rate
+            + ops.clustering_vectors as f64 * self.cluster_overhead_cycles * mem_scale;
+        let gemm_cycles = ops.gemm_macs as f64 / mac_rate;
+        let recover_cycles = ops.recover_elems as f64 * self.recover_cycles_per_elem * mem_scale;
+        PhaseLatency {
+            transform_ms: self.cycles_to_ms(transform_cycles),
+            clustering_ms: self.cycles_to_ms(clustering_cycles),
+            gemm_ms: self.cycles_to_ms(gemm_cycles),
+            recover_ms: self.cycles_to_ms(recover_cycles),
+        }
+    }
+
+    /// Latency of the given operation counts executed through the int8
+    /// pipeline on this core.
+    ///
+    /// Feed it the op counts reported by the quantized executor (its
+    /// `gemm_macs` count u8×i8 products, `clustering_macs` the hashing
+    /// MACs over dequantized blocks, `transform_elems` the im2col plus
+    /// quantization passes). Compute phases speed up by
+    /// [`INT8_MAC_FACTOR`] (SMLAD dual MAC) and memory-bound phases by
+    /// `1 /` [`INT8_MEM_FACTOR`] (one-byte elements) relative to
+    /// [`McuSpec::latency`] — the CMSIS-NN q7-vs-q15 calibration.
+    pub fn latency_int8(&self, ops: &PhaseOps) -> PhaseLatency {
+        let mac_rate = self.macs_per_cycle * self.issue_factor * INT8_MAC_FACTOR;
+        let mem_scale = INT8_MEM_FACTOR / self.issue_factor;
         let transform_cycles =
             ops.transform_elems as f64 * self.transform_cycles_per_elem * mem_scale;
         let clustering_cycles = ops.clustering_macs as f64 / mac_rate
@@ -211,6 +250,39 @@ mod tests {
         let la = f4.latency(&a);
         let lc = la.combined(&la);
         assert!((lc.total_ms() - 2.0 * la.total_ms()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn int8_latency_applies_documented_factors() {
+        let f4 = Board::Stm32F469i.spec();
+        let ops = PhaseOps {
+            transform_elems: 10_000,
+            clustering_macs: 50_000,
+            clustering_vectors: 400,
+            gemm_macs: 1_000_000,
+            recover_elems: 20_000,
+        };
+        let f32_lat = f4.latency(&ops);
+        let i8_lat = f4.latency_int8(&ops);
+        // Pure-MAC phase: exactly INT8_MAC_FACTOR faster.
+        assert!((f32_lat.gemm_ms / i8_lat.gemm_ms - INT8_MAC_FACTOR).abs() < 1e-9);
+        // Pure-memory phases: exactly 1/INT8_MEM_FACTOR faster.
+        assert!((f32_lat.transform_ms / i8_lat.transform_ms - 1.0 / INT8_MEM_FACTOR).abs() < 1e-9);
+        assert!((f32_lat.recover_ms / i8_lat.recover_ms - 1.0 / INT8_MEM_FACTOR).abs() < 1e-9);
+        // Mixed clustering phase lands between the two factors.
+        let cluster_speedup = f32_lat.clustering_ms / i8_lat.clustering_ms;
+        assert!(cluster_speedup >= INT8_MAC_FACTOR.min(1.0 / INT8_MEM_FACTOR) - 1e-9);
+        assert!(cluster_speedup <= INT8_MAC_FACTOR.max(1.0 / INT8_MEM_FACTOR) + 1e-9);
+        assert!(i8_lat.total_ms() < f32_lat.total_ms());
+    }
+
+    #[test]
+    fn int8_latency_monotone_and_zero_on_empty() {
+        let f7 = Board::Stm32F767zi.spec();
+        assert_eq!(f7.latency_int8(&PhaseOps::default()).total_ms(), 0.0);
+        let small = PhaseOps::dense_conv(100, 10, 10);
+        let large = PhaseOps::dense_conv(200, 10, 10);
+        assert!(f7.latency_int8(&large).total_ms() > f7.latency_int8(&small).total_ms());
     }
 
     #[test]

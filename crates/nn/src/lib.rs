@@ -58,7 +58,7 @@ pub use loss::{softmax, softmax_cross_entropy, SoftmaxCrossEntropy};
 pub use network::{ConvLayerInfo, Network, TrainableNetwork};
 pub use optim::{LrSchedule, Sgd, SgdConfig};
 pub use prune::{prune_channels, PruneReport};
-pub use quant::Q7InferenceBackend;
+pub use quant::{ptq_int8, LayerInt8Params, Q7InferenceBackend};
 pub use state::StateDict;
 pub use train::{
     evaluate_accuracy, evaluate_dense, fine_tune_epoch_with, train_epoch, EvalSummary, Example,

@@ -89,6 +89,64 @@ pub fn quantize_weights(net: &mut dyn Network, mode: QuantMode) -> Result<Vec<La
     Ok(infos)
 }
 
+/// Per-layer parameters produced by [`ptq_int8`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerInt8Params {
+    /// Layer name.
+    pub layer: String,
+    /// Symmetric weight parameters (`zero_point == 0`); the scale maps
+    /// the layer's absmax weight to code ±127.
+    pub weight_params: LinearQuantParams,
+    /// Mean absolute weight error introduced by rounding to the grid.
+    pub mean_abs_error: f32,
+}
+
+/// Post-training quantization for the int8 execution path: rounds every
+/// convolution's trained weights to their **symmetric int8 grid** in
+/// place and returns the per-layer parameters.
+///
+/// The int8 executor derives its weight parameters from the weights it
+/// is given (symmetric, absmax → ±127). Running this pass first makes
+/// the f32 network hold exactly the dequantized int8 weights, so f32
+/// inference, accuracy evaluation, and the quantized backend all see the
+/// same effective weights — and because the grid's absmax is preserved
+/// by rounding, the executor re-derives the *same* scale, making this
+/// pass **idempotent**: a second call changes nothing.
+///
+/// All-zero layers quantize to all-zero codes under a degenerate scale
+/// and are reported with `mean_abs_error == 0`.
+///
+/// # Errors
+///
+/// Propagates quantization-parameter errors (non-finite weights).
+pub fn ptq_int8(net: &mut dyn Network) -> Result<Vec<LayerInt8Params>> {
+    let mut infos = Vec::new();
+    for conv in net.convs_mut() {
+        let absmax = conv
+            .weights
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |acc, v| acc.max(v.abs()));
+        let params = LinearQuantParams::symmetric(absmax.max(f32::MIN_POSITIVE))
+            .map_err(crate::NnError::from)?;
+        let before = conv.weights.clone();
+        conv.weights = dequantize_linear(&quantize_linear(&conv.weights, &params));
+        let err: f32 = before
+            .as_slice()
+            .iter()
+            .zip(conv.weights.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / before.len().max(1) as f32;
+        infos.push(LayerInt8Params {
+            layer: conv.name.clone(),
+            weight_params: params,
+            mean_abs_error: err,
+        });
+    }
+    Ok(infos)
+}
+
 /// A backend decorator that quantizes the im2col activations with INT8
 /// linear quantization before delegating — the activation half of §5.3.8.
 #[derive(Debug)]
@@ -227,6 +285,52 @@ mod tests {
         for (a, b) in dense.iter().zip(quant.iter()) {
             assert!((a - b).abs() < 0.25 * max_logit.max(1.0), "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn ptq_int8_rounds_to_grid_and_is_idempotent() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut net = CifarNet::new(10, &mut rng);
+        let infos = ptq_int8(&mut net).unwrap();
+        assert_eq!(infos.len(), 2);
+        // Every weight now sits on its layer's int8 grid.
+        for (conv, info) in net.convs().iter().zip(&infos) {
+            assert_eq!(info.weight_params.zero_point, 0);
+            for &w in conv.weights.as_slice() {
+                let code = w / info.weight_params.scale;
+                assert!((code - code.round()).abs() < 1e-3, "off-grid weight {w}");
+                assert!(code.round().abs() <= 127.0);
+            }
+            assert!(info.mean_abs_error <= info.weight_params.scale / 2.0 + 1e-6);
+        }
+        // Second pass re-derives the same parameters and moves nothing.
+        let before: Vec<Tensor<f32>> = net.convs().iter().map(|c| c.weights.clone()).collect();
+        let again = ptq_int8(&mut net).unwrap();
+        for ((conv, prev), (i1, i2)) in net
+            .convs()
+            .iter()
+            .zip(&before)
+            .zip(infos.iter().zip(&again))
+        {
+            assert_eq!(i1.weight_params, i2.weight_params, "{}", i1.layer);
+            assert_eq!(&conv.weights, prev, "{} weights moved", i1.layer);
+            assert_eq!(i2.mean_abs_error, 0.0);
+        }
+    }
+
+    #[test]
+    fn ptq_int8_handles_all_zero_layers() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut net = CifarNet::new(10, &mut rng);
+        for conv in net.convs_mut() {
+            conv.weights.map_inplace(|_| 0.0);
+        }
+        let infos = ptq_int8(&mut net).unwrap();
+        assert!(infos.iter().all(|i| i.mean_abs_error == 0.0));
+        assert!(net
+            .convs()
+            .iter()
+            .all(|c| c.weights.as_slice().iter().all(|&w| w == 0.0)));
     }
 
     #[test]

@@ -136,6 +136,67 @@ pub fn im2col_into(
     Ok(())
 }
 
+/// Quantized (`u8`) variant of [`im2col_into`]: expands an already
+/// quantized `(C, H, W)` image, writing `zero_point` into padding slots —
+/// the quantized code for `0.0`, so the expansion commutes with
+/// quantization: `im2col_q8(quantize(x)) == quantize(im2col(x))`
+/// elementwise.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the input or buffer size is
+/// wrong, and propagates geometry errors.
+pub fn im2col_q8_into(
+    input: &Tensor<u8>,
+    zero_point: u8,
+    spec: &ConvSpec,
+    layout: Im2colLayout,
+    out: &mut [u8],
+) -> Result<(), TensorError> {
+    let dims = input.shape().dims();
+    if dims.len() != 3 || dims[0] != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col_q8_into input",
+            expected: vec![spec.in_channels],
+            actual: dims.to_vec(),
+        });
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let k = spec.patch_len();
+    if out.len() != oh * ow * k {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col_q8_into buffer",
+            expected: vec![oh * ow * k],
+            actual: vec![out.len()],
+        });
+    }
+    let _span = greuse_telemetry::span!("im2col");
+    let pad = spec.padding as isize;
+    let in_s = input.as_slice();
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = (oy * ow + ox) * k;
+            for ch in 0..c {
+                for ky in 0..spec.kernel_h {
+                    let iy = (oy * spec.stride + ky) as isize - pad;
+                    for kx in 0..spec.kernel_w {
+                        let ix = (ox * spec.stride + kx) as isize - pad;
+                        let col = layout.column(spec, ch, ky, kx);
+                        out[base + col] =
+                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                zero_point
+                            } else {
+                                in_s[(ch * h + iy as usize) * w + ix as usize]
+                            };
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Expands into a caller-provided buffer with an arbitrary **column
 /// permutation fused into the expansion**: output column `j` receives the
 /// value that the default (channel-last) layout would place at column
@@ -331,6 +392,32 @@ mod tests {
             rb.sort_unstable();
             assert_eq!(ra, rb);
         }
+    }
+
+    #[test]
+    fn quantized_im2col_commutes_with_quantization() {
+        use crate::{quantize_u8_into, ActQuantParams};
+        let spec = ConvSpec::new(2, 1, 3, 3).with_padding(1);
+        let img = rand_image(2, 6, 6, 33);
+        let params = ActQuantParams::from_data(img.as_slice()).unwrap();
+        // Quantize-then-expand.
+        let mut q_img = Tensor::<u8>::zeros(&[2, 6, 6]);
+        quantize_u8_into(img.as_slice(), &params, q_img.as_mut_slice());
+        let (oh, ow) = spec.output_hw(6, 6).unwrap();
+        let mut q_cols = vec![0u8; oh * ow * spec.patch_len()];
+        im2col_q8_into(
+            &q_img,
+            params.zero_point,
+            &spec,
+            Im2colLayout::ChannelLast,
+            &mut q_cols,
+        )
+        .unwrap();
+        // Expand-then-quantize.
+        let cols = im2col(&img, &spec).unwrap();
+        let mut want = vec![0u8; q_cols.len()];
+        quantize_u8_into(cols.as_slice(), &params, &mut want);
+        assert_eq!(q_cols, want);
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod im2col;
 mod pack;
 mod perm;
 mod pool;
+mod qgemm;
 mod quantized;
 mod shape;
 mod stats;
@@ -46,11 +47,17 @@ pub use gemm::{
     gemm_bt_f32, gemm_bt_f32_into_with, gemm_f32, gemm_f32_into, gemm_f32_into_with,
     gemm_f32_parallel, gemm_q7, gemm_q7_acc, gemm_ref_f32, matvec_f32, matvec_f32_into_with, Gemm,
 };
-pub use im2col::{col2im_accumulate, im2col, im2col_into, im2col_permuted, Im2colLayout};
+pub use im2col::{
+    col2im_accumulate, im2col, im2col_into, im2col_permuted, im2col_q8_into, Im2colLayout,
+};
 pub use pack::{GemmScratch, MR, NR};
 pub use perm::Permutation;
 pub use pool::WorkerPool;
-pub use quantized::{dequantize_linear, quantize_linear, LinearQuantParams, QTensor, Q7};
+pub use qgemm::{apply_zero_point, gemm_q8_into_with, gemm_q8_ref, weight_row_sums_into};
+pub use quantized::{
+    dequantize_linear, quantize_linear, quantize_linear_into, quantize_u8_into, requantize_i8_into,
+    ActQuantParams, LinearQuantParams, QTensor, Requant, Q7,
+};
 pub use shape::Shape;
 pub use stats::{covariance, frobenius_norm_sq, max_eigenvalue, mean_rows};
 pub use tensor::{Element, Tensor};

@@ -52,6 +52,12 @@ pub const NC: usize = 128;
 pub struct GemmScratch {
     a_pack: Vec<f32>,
     b_pack: Vec<f32>,
+    /// `u8` activation panels for the quantized pipeline
+    /// ([`crate::qgemm`]), same `MR`-row k-major layout as `a_pack`.
+    pub(crate) a_pack_q: Vec<u8>,
+    /// `i8` weight panels for the quantized pipeline, same `NR`-column
+    /// k-major layout as `b_pack`.
+    pub(crate) b_pack_q: Vec<i8>,
 }
 
 impl GemmScratch {
@@ -61,9 +67,9 @@ impl GemmScratch {
     }
 
     /// Grows a buffer to `len` without ever shrinking it.
-    fn ensure(buf: &mut Vec<f32>, len: usize) {
+    pub(crate) fn ensure<T: Copy + Default>(buf: &mut Vec<T>, len: usize) {
         if buf.len() < len {
-            buf.resize(len, 0.0);
+            buf.resize(len, T::default());
         }
     }
 }

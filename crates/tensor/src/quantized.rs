@@ -131,6 +131,196 @@ impl Q7 {
     }
 }
 
+/// Asymmetric `u8` activation quantization parameters:
+/// `real = scale * (q - zero_point)` with `q`, `zero_point` in `0..=255`.
+///
+/// Activations are unsigned in the int8 pipeline so the packed GEMM can
+/// pair them with signed `i8` weights (the CMSIS-NN / gemmlowp operand
+/// convention). The representable range always contains `0.0` so that
+/// zero-padding in the quantized im2col is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActQuantParams {
+    /// Multiplicative scale (positive).
+    pub scale: f32,
+    /// Zero point in the quantized domain.
+    pub zero_point: u8,
+}
+
+impl ActQuantParams {
+    /// Derives parameters covering `[min, max]`, widened to include `0.0`.
+    ///
+    /// A degenerate range (`min == max == 0`) yields the identity-ish
+    /// `scale = 1, zero_point = 0` so all-zero activations stay exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidQuantization`] when the range is
+    /// non-finite or inverted.
+    pub fn from_range(min: f32, max: f32) -> Result<Self, TensorError> {
+        if !min.is_finite() || !max.is_finite() || max < min {
+            return Err(TensorError::InvalidQuantization {
+                detail: format!("invalid activation range [{min}, {max}]"),
+            });
+        }
+        let lo = min.min(0.0);
+        let hi = max.max(0.0);
+        if hi == lo {
+            return Ok(ActQuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            });
+        }
+        let scale = (hi - lo) / 255.0;
+        let zero_point = (-lo / scale).round().clamp(0.0, 255.0) as u8;
+        Ok(ActQuantParams { scale, zero_point })
+    }
+
+    /// Derives parameters from observed data (its min/max, widened to
+    /// include `0.0`). Empty or all-zero data quantizes exactly to the
+    /// zero point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidQuantization`] when the data contains
+    /// non-finite values.
+    pub fn from_data(xs: &[f32]) -> Result<Self, TensorError> {
+        let mut lo = 0.0f32;
+        let mut hi = 0.0f32;
+        for &v in xs {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        ActQuantParams::from_range(lo, hi)
+    }
+
+    /// Quantizes a real value (round-to-nearest, saturating).
+    #[inline]
+    pub fn quantize(&self, v: f32) -> u8 {
+        let q = (v / self.scale).round() + f32::from(self.zero_point);
+        q.clamp(0.0, 255.0) as u8
+    }
+
+    /// Dequantizes back to a real value.
+    #[inline]
+    pub fn dequantize(&self, q: u8) -> f32 {
+        self.scale * (f32::from(q) - f32::from(self.zero_point))
+    }
+}
+
+/// Quantizes a slice of activations into a caller-owned `u8` buffer
+/// (allocation-free; `out.len()` must equal `xs.len()`).
+pub fn quantize_u8_into(xs: &[f32], params: &ActQuantParams, out: &mut [u8]) {
+    debug_assert_eq!(xs.len(), out.len());
+    for (dst, &v) in out.iter_mut().zip(xs) {
+        *dst = params.quantize(v);
+    }
+}
+
+/// Quantizes a slice with INT8 linear parameters into a caller-owned
+/// buffer (allocation-free counterpart of [`quantize_linear`]).
+pub fn quantize_linear_into(xs: &[f32], params: &LinearQuantParams, out: &mut [i8]) {
+    debug_assert_eq!(xs.len(), out.len());
+    for (dst, &v) in out.iter_mut().zip(xs) {
+        let q = (v / params.scale).round() as i32 + params.zero_point;
+        *dst = q.clamp(-128, 127) as i8;
+    }
+}
+
+/// Fixed-point requantizer: maps `i32` GEMM accumulators to `i8` outputs
+/// by multiplying with a real factor `m ∈ (0, 1)` expressed as a Q31
+/// mantissa and a right shift (gemmlowp's `M = M0 · 2^-s`, `M0 ∈ [0.5,
+/// 1)`), then rounding half away from zero and saturating to `i8`.
+///
+/// The effective multiplier is `multiplier / 2^shift` exactly; callers
+/// that need the applied factor (for error analysis or tests) read it via
+/// [`Requant::effective_multiplier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Requant {
+    /// Q31 mantissa, in `[2^30, 2^31)`.
+    multiplier: i32,
+    /// Total right shift applied after the `i64` product (≥ 31).
+    shift: u32,
+}
+
+impl Requant {
+    /// Builds a requantizer for `real_multiplier`, which must lie in
+    /// `(0, 1)` — the usual `s_a · s_w / s_out` with the output scale
+    /// chosen to cover the accumulator range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidQuantization`] when the multiplier is
+    /// not in `(0, 1)` or is too small to represent (`< 2^-31`).
+    pub fn new(real_multiplier: f32) -> Result<Self, TensorError> {
+        if !real_multiplier.is_finite() || real_multiplier <= 0.0 || real_multiplier >= 1.0 {
+            return Err(TensorError::InvalidQuantization {
+                detail: format!("requant multiplier must be in (0, 1), got {real_multiplier}"),
+            });
+        }
+        // Decompose m = m0 * 2^-e with m0 in [0.5, 1).
+        let mut e = 0u32;
+        let mut m0 = f64::from(real_multiplier);
+        while m0 < 0.5 {
+            m0 *= 2.0;
+            e += 1;
+            if e > 31 {
+                return Err(TensorError::InvalidQuantization {
+                    detail: format!("requant multiplier {real_multiplier} underflows Q31"),
+                });
+            }
+        }
+        let mut mantissa = (m0 * f64::from(1u32 << 31)).round() as i64;
+        if mantissa == 1i64 << 31 {
+            // Rounded up to 1.0: renormalize to 0.5 with one less shift.
+            mantissa = 1i64 << 30;
+            if e == 0 {
+                return Err(TensorError::InvalidQuantization {
+                    detail: format!("requant multiplier {real_multiplier} rounds to 1.0"),
+                });
+            }
+            e -= 1;
+        }
+        Ok(Requant {
+            multiplier: mantissa as i32,
+            shift: 31 + e,
+        })
+    }
+
+    /// The exact factor this requantizer applies: `multiplier / 2^shift`.
+    pub fn effective_multiplier(&self) -> f64 {
+        f64::from(self.multiplier) / f64::from(self.shift).exp2()
+    }
+
+    /// Requantizes one accumulator: `sat_i8(round(acc · m))` with
+    /// round-half-away-from-zero — bit-exact against an `f64` reference
+    /// using [`Requant::effective_multiplier`], because the `i64` product
+    /// `acc · multiplier` is exact and the rounding shift mirrors
+    /// `f64::round`.
+    #[inline]
+    pub fn apply(&self, acc: i32) -> i8 {
+        let prod = i64::from(acc) * i64::from(self.multiplier);
+        let s = self.shift;
+        debug_assert!((31..=62).contains(&s), "shift {s} out of range");
+        let nudge = 1i64 << (s - 1);
+        let rounded = if prod >= 0 {
+            (prod + nudge) >> s
+        } else {
+            -((-prod + nudge) >> s)
+        };
+        rounded.clamp(-128, 127) as i8
+    }
+}
+
+/// Requantizes a full accumulator buffer into a caller-owned `i8` buffer
+/// (allocation-free). Telemetry span: `quant.requant`.
+pub fn requantize_i8_into(acc: &[i32], rq: &Requant, out: &mut [i8]) {
+    debug_assert_eq!(acc.len(), out.len());
+    let _span = greuse_telemetry::span!("quant.requant");
+    for (dst, &v) in out.iter_mut().zip(acc) {
+        *dst = rq.apply(v);
+    }
+}
+
 /// Quantizes a tensor with INT8 linear (affine) quantization.
 pub fn quantize_linear(t: &Tensor<f32>, params: &LinearQuantParams) -> QTensor {
     let values = Tensor::from_fn(t.shape().dims(), |i| {
@@ -216,6 +406,62 @@ mod tests {
         assert!(LinearQuantParams::symmetric(0.0).is_err());
         assert!(LinearQuantParams::symmetric(f32::NAN).is_err());
         assert!(LinearQuantParams::asymmetric(3.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn act_params_include_zero_and_roundtrip() {
+        let p = ActQuantParams::from_range(0.5, 6.0).unwrap();
+        // Range widened to [0, 6]; zero must quantize exactly.
+        assert_eq!(p.dequantize(p.quantize(0.0)), 0.0);
+        for &v in &[0.5f32, 1.7, 3.0, 5.99] {
+            let err = (p.dequantize(p.quantize(v)) - v).abs();
+            assert!(err <= p.scale / 2.0 + 1e-6, "v={v} err={err}");
+        }
+        // Saturation outside the covered range.
+        assert_eq!(p.quantize(-100.0), 0);
+        assert_eq!(p.quantize(100.0), 255);
+    }
+
+    #[test]
+    fn act_params_degenerate_all_zero() {
+        let p = ActQuantParams::from_data(&[0.0, 0.0]).unwrap();
+        assert_eq!(p.quantize(0.0), p.zero_point);
+        assert_eq!(p.dequantize(p.zero_point), 0.0);
+        assert!(ActQuantParams::from_range(f32::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn requant_matches_f64_reference_exactly() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let m: f32 = rng.gen_range(1e-6f32..0.999);
+            let rq = Requant::new(m).unwrap();
+            let em = rq.effective_multiplier();
+            for _ in 0..200 {
+                let acc: i32 = rng.gen_range(-1_000_000..1_000_000);
+                let want = (f64::from(acc) * em).round().clamp(-128.0, 127.0) as i8;
+                assert_eq!(rq.apply(acc), want, "m={m} acc={acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn requant_saturates_at_i8_bounds() {
+        let rq = Requant::new(0.5).unwrap();
+        assert_eq!(rq.apply(i32::MAX), 127);
+        assert_eq!(rq.apply(i32::MIN), -128);
+        assert_eq!(rq.apply(254), 127);
+        assert_eq!(rq.apply(255), 127); // would round to 128 → saturates
+        assert_eq!(rq.apply(-256), -128);
+        assert_eq!(rq.apply(-257), -128);
+    }
+
+    #[test]
+    fn requant_rejects_out_of_range_multipliers() {
+        assert!(Requant::new(0.0).is_err());
+        assert!(Requant::new(1.0).is_err());
+        assert!(Requant::new(-0.5).is_err());
+        assert!(Requant::new(f32::NAN).is_err());
     }
 
     #[test]

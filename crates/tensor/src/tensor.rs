@@ -26,6 +26,10 @@ impl Element for i8 {
     const ZERO: Self = 0;
     const ONE: Self = 1;
 }
+impl Element for u8 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+}
 impl Element for i32 {
     const ZERO: Self = 0;
     const ONE: Self = 1;

@@ -3,8 +3,9 @@
 use proptest::prelude::*;
 
 use greuse_tensor::{
-    col2im_accumulate, conv2d_naive, gemm_bt_f32, gemm_f32, gemm_f32_parallel, im2col, matvec_f32,
-    ConvSpec, Permutation, Shape, Tensor, MR, NR, Q7,
+    col2im_accumulate, conv2d_naive, gemm_bt_f32, gemm_f32, gemm_f32_parallel, gemm_q8_into_with,
+    gemm_q8_ref, im2col, matvec_f32, ActQuantParams, ConvSpec, GemmScratch, Permutation, Requant,
+    Shape, Tensor, MR, NR, Q7,
 };
 
 fn small_mat(max_r: usize, max_c: usize) -> impl Strategy<Value = Tensor<f32>> {
@@ -217,6 +218,59 @@ proptest! {
         let via_bt = gemm_bt_f32(a, &bt).unwrap();
         let naive = gemm_naive(a, b);
         prop_assert_eq!(via_bt.as_slice(), naive.as_slice());
+    }
+
+    #[test]
+    fn quantize_dequantize_error_at_most_half_scale(
+        vals in proptest::collection::vec(-8.0f32..8.0, 1..64),
+    ) {
+        let p = ActQuantParams::from_data(&vals).unwrap();
+        for &v in &vals {
+            // Every observed value is inside the covered range, so the
+            // round trip is pure rounding: error ≤ scale / 2.
+            let err = (p.dequantize(p.quantize(v)) - v).abs();
+            prop_assert!(err <= p.scale / 2.0 + 1e-6, "v={v} err={err} scale={}", p.scale);
+        }
+    }
+
+    #[test]
+    fn packed_q8_gemm_equals_naive_i32_bitwise(
+        m in tile_edge_dim(),
+        k in tile_edge_dim(),
+        n in tile_edge_dim(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        use rand::Rng;
+        let a: Vec<u8> = (0..m * k).map(|_| rng.gen_range(0u8..=255)).collect();
+        let bt: Vec<i8> = (0..n * k).map(|_| rng.gen_range(-128i8..=127)).collect();
+        let want = gemm_q8_ref(&a, &bt, m, k, n);
+        let mut c = vec![0i32; m * n];
+        let mut scratch = GemmScratch::new();
+        gemm_q8_into_with(&a, &bt, &mut c, m, k, n, &mut scratch);
+        prop_assert_eq!(c, want);
+    }
+
+    #[test]
+    fn requant_saturating_rounds_at_i8_boundaries(
+        m in 1e-6f32..0.999,
+        acc in any::<i32>(),
+    ) {
+        let rq = Requant::new(m).unwrap();
+        let want = (f64::from(acc) * rq.effective_multiplier())
+            .round()
+            .clamp(-128.0, 127.0) as i8;
+        prop_assert_eq!(rq.apply(acc), want);
+        // Explicit boundary probes: first codes past each end saturate.
+        let em = rq.effective_multiplier();
+        let hi = (127.5 / em).ceil() as i64;
+        if hi <= i64::from(i32::MAX) {
+            prop_assert_eq!(rq.apply(hi as i32), 127);
+        }
+        let lo = (-128.5 / em).floor() as i64;
+        if lo >= i64::from(i32::MIN) {
+            prop_assert_eq!(rq.apply(lo as i32), -128);
+        }
     }
 
     #[test]
