@@ -16,6 +16,16 @@ cargo test -q --workspace
 echo "==> golden-vector conformance suite"
 cargo test -q -p greuse --test golden_conformance
 
+echo "==> fault-injection suite (guarded fallback, panic isolation, determinism)"
+cargo test -q -p greuse --features fault-inject --test fault_injection
+cargo test -q -p greuse --features fault-inject --lib faults
+
+# The executor and guard modules carry in-source
+# `#![cfg_attr(not(test), deny(clippy::unwrap_used))]` gates; running
+# clippy with fault-inject enabled lints the hook sites those gates cover.
+echo "==> clippy with fault-inject (includes scoped unwrap gate)"
+cargo clippy -q -p greuse --features fault-inject --all-targets -- -D warnings
+
 # Line coverage is advisory-but-gated: cargo-llvm-cov is not part of the
 # minimal toolchain image, so skip (loudly) when absent instead of
 # failing CI on machines without it. The baseline is a conservative

@@ -2,8 +2,8 @@
 
 use greuse::{
     workflow::{network_latency, select_patterns_for_layer, WorkflowConfig},
-    AdaptedHashProvider, DeploymentPlan, LatencyModel, QuantizedBackend, ReuseBackend,
-    ReusePattern, Scope,
+    AdaptedHashProvider, DeploymentPlan, GuardConfig, GuardPolicy, LatencyModel, QuantizedBackend,
+    ReuseBackend, ReusePattern, Scope,
 };
 use greuse_data::SyntheticDataset;
 use greuse_mcu::{inference_energy_mj, Board, PhaseOps};
@@ -35,6 +35,7 @@ USAGE:
                   [--board f4|f7] [--out FILE] [--trace FILE] [--validate]
   greuse infer    --model <...> [--weights FILE] [--backend f32|int8]
                   [--reuse L,H] [--samples N] [--board f4|f7]
+                  [--guard strict|sanitize|off]
   greuse help";
 
 type AnyNet = Box<dyn TrainableNetwork>;
@@ -64,6 +65,15 @@ fn load_weights(net: &mut dyn TrainableNetwork, opts: &Options) -> Result<(), St
         println!("loaded {} parameters from {path}", dict.param_count());
     }
     Ok(())
+}
+
+/// Parses `--guard strict|sanitize|off` into a backend [`GuardConfig`]
+/// (fallback to the dense path is enabled whenever the policy is active).
+fn parse_guard(opts: &Options) -> Result<GuardConfig, String> {
+    match opts.get("guard") {
+        None => Ok(GuardConfig::off()),
+        Some(s) => s.parse::<GuardPolicy>().map(GuardConfig::from_policy),
+    }
 }
 
 fn parse_reuse(opts: &Options) -> Result<Option<(usize, usize)>, String> {
@@ -410,6 +420,7 @@ pub fn infer(opts: &Options) -> Result<(), String> {
     load_weights(net.as_mut(), opts)?;
     let test = SyntheticDataset::cifar_like(opts.num("data-seed", 2024u64)?).generate(samples, 23);
     let reuse = parse_reuse(opts)?;
+    let guard = parse_guard(opts)?;
     let b = board(opts);
     // Pattern assignment is shape-driven, so it can be computed up front
     // (PTQ below changes values, not layer geometry).
@@ -435,7 +446,8 @@ pub fn infer(opts: &Options) -> Result<(), String> {
                 ),
                 Some(_) => {
                     let bk = ReuseBackend::new(AdaptedHashProvider::new())
-                        .with_patterns(assigned.clone());
+                        .with_patterns(assigned.clone())
+                        .with_guard(guard);
                     let eval =
                         evaluate_accuracy(net.as_ref(), &bk, &test).map_err(|e| e.to_string())?;
                     (eval, bk.stats())
@@ -447,7 +459,15 @@ pub fn infer(opts: &Options) -> Result<(), String> {
                 eval.accuracy
             );
             for (layer, s) in &stats {
-                println!("  {layer}: r_t = {:.3}", s.redundancy_ratio());
+                if s.fallbacks > 0 {
+                    println!(
+                        "  {layer}: r_t = {:.3} ({} dense fallbacks)",
+                        s.redundancy_ratio(),
+                        s.fallbacks
+                    );
+                } else {
+                    println!("  {layer}: r_t = {:.3}", s.redundancy_ratio());
+                }
             }
         }
         "int8" => {
@@ -460,7 +480,9 @@ pub fn infer(opts: &Options) -> Result<(), String> {
                 "post-training quantization: {} layers snapped to int8 (worst mean |err| {worst:.2e})",
                 ptq.len()
             );
-            let bk = QuantizedBackend::new(AdaptedHashProvider::new()).with_patterns(assigned);
+            let bk = QuantizedBackend::new(AdaptedHashProvider::new())
+                .with_patterns(assigned)
+                .with_guard(guard);
             let t0 = std::time::Instant::now();
             let eval = evaluate_accuracy(net.as_ref(), &bk, &test).map_err(|e| e.to_string())?;
             let per_image_ms = t0.elapsed().as_secs_f64() * 1e3 / samples.max(1) as f64;
@@ -487,10 +509,18 @@ pub fn infer(opts: &Options) -> Result<(), String> {
                 // Per-image int8 latency from the MCU model's dual-MAC /
                 // half-bandwidth factors, using the recorded phase ops.
                 let ms = b.spec().latency_int8(&s.ops).total_ms() / s.calls.max(1) as f64;
-                println!(
-                    "  {layer}: r_t = {:.3}, modeled int8 latency {ms:.2} ms/image on {b}",
-                    s.redundancy_ratio()
-                );
+                if s.fallbacks > 0 {
+                    println!(
+                        "  {layer}: r_t = {:.3}, modeled int8 latency {ms:.2} ms/image on {b} ({} dense fallbacks)",
+                        s.redundancy_ratio(),
+                        s.fallbacks
+                    );
+                } else {
+                    println!(
+                        "  {layer}: r_t = {:.3}, modeled int8 latency {ms:.2} ms/image on {b}",
+                        s.redundancy_ratio()
+                    );
+                }
             }
         }
         other => {

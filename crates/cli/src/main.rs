@@ -8,6 +8,7 @@
 //! greuse scope    --n 1024 --k 75
 //! greuse profile  --model cifarnet --samples 4 --out profile.json --trace trace.json
 //! greuse infer    --model cifarnet --backend int8 [--reuse L,H] [--samples N]
+//!                 [--guard strict|sanitize|off]
 //! ```
 //!
 //! Datasets are the workspace's seeded synthetic generators, so every

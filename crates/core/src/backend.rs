@@ -10,7 +10,7 @@
 //! callers do not contend on one scratch arena.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -18,11 +18,37 @@ use serde::{Deserialize, Serialize};
 
 use greuse_mcu::PhaseOps;
 use greuse_nn::{ConvBackend, DenseBackend};
-use greuse_tensor::{ConvSpec, Tensor, TensorError};
+use greuse_telemetry::Counter;
+use greuse_tensor::{gemm_bt_f32, ConvSpec, Tensor, TensorError};
 
 use crate::exec::{ExecWorkspace, ReuseStats};
+use crate::guard::{
+    apply_non_finite_policy, should_fall_back, validate_gemm_operands, FallbackReason, GuardConfig,
+};
 use crate::hash_provider::HashProvider;
 use crate::pattern::ReusePattern;
+
+/// Counts every guarded dense fallback across all backends (f32 and
+/// int8) on the `exec.fallback` telemetry counter.
+static FALLBACKS: Counter = Counter::new("exec.fallback");
+
+/// Records one dense fallback on the shared telemetry counter.
+pub(crate) fn count_fallback() {
+    FALLBACKS.add(1);
+}
+
+/// Maps runtime errors onto the tensor-level seam of [`ConvBackend`]:
+/// tensor causes pass through unchanged, everything else becomes a typed
+/// [`TensorError::InvalidInput`] carrying the full message.
+pub(crate) fn boundary_error(e: crate::GreuseError) -> TensorError {
+    match e {
+        crate::GreuseError::Tensor(t) => t,
+        other => TensorError::InvalidInput {
+            op: "reuse backend",
+            detail: other.to_string(),
+        },
+    }
+}
 
 /// Accumulated per-layer execution statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -38,6 +64,9 @@ pub struct LayerStats {
     /// Summed host wall time spent in the reuse executor, nanoseconds.
     /// Host-side observability only — MCU latency comes from the model.
     pub wall_ns: u64,
+    /// Calls recomputed through the exact dense path by the guard (see
+    /// [`GuardConfig::fallback`]).
+    pub fallbacks: u64,
 }
 
 impl LayerStats {
@@ -55,6 +84,7 @@ impl LayerStats {
         self.n_vectors += other.n_vectors;
         self.n_clusters += other.n_clusters;
         self.wall_ns += other.wall_ns;
+        self.fallbacks += other.fallbacks;
     }
 
     /// Mean per-image operation counts.
@@ -88,6 +118,10 @@ pub(crate) struct AtomicLayerStats {
     n_vectors: AtomicU64,
     n_clusters: AtomicU64,
     wall_ns: AtomicU64,
+    fallbacks: AtomicU64,
+    /// Code of the *last* [`FallbackReason`]; zero while the layer has
+    /// never fallen back.
+    fallback_reason: AtomicU32,
     /// `f64::to_bits` of the layer's input redundancy probe, captured on
     /// the layer's first reuse call; zero while unset (the probe is
     /// strictly positive, so zero is unambiguous).
@@ -111,6 +145,15 @@ impl AtomicLayerStats {
         self.n_clusters.fetch_add(s.n_clusters, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_fallback(&self, reason: FallbackReason) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.fallback_reason.store(reason as u32, Ordering::Relaxed);
+    }
+
+    pub(crate) fn fallback_reason(&self) -> Option<FallbackReason> {
+        FallbackReason::from_code(self.fallback_reason.load(Ordering::Relaxed))
+    }
+
     pub(crate) fn snapshot(&self) -> LayerStats {
         LayerStats {
             calls: self.calls.load(Ordering::Relaxed),
@@ -124,6 +167,7 @@ impl AtomicLayerStats {
             n_vectors: self.n_vectors.load(Ordering::Relaxed),
             n_clusters: self.n_clusters.load(Ordering::Relaxed),
             wall_ns: self.wall_ns.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -137,6 +181,8 @@ impl AtomicLayerStats {
         self.n_vectors.store(0, Ordering::Relaxed);
         self.n_clusters.store(0, Ordering::Relaxed);
         self.wall_ns.store(0, Ordering::Relaxed);
+        self.fallbacks.store(0, Ordering::Relaxed);
+        self.fallback_reason.store(0, Ordering::Relaxed);
         // The probe survives resets on purpose: it describes the input
         // distribution, not the counted work, and profiling warm-up would
         // otherwise discard it.
@@ -153,10 +199,12 @@ pub struct ReuseBackend<P: HashProvider> {
     /// exporters attribute phase time to layers.
     tags: HashMap<String, u32>,
     workspaces: Mutex<Vec<ExecWorkspace>>,
+    guard: GuardConfig,
 }
 
 impl<P: HashProvider> ReuseBackend<P> {
-    /// Creates a backend with no patterns assigned (all layers dense).
+    /// Creates a backend with no patterns assigned (all layers dense)
+    /// and the guard disabled.
     pub fn new(hashes: P) -> Self {
         ReuseBackend {
             patterns: HashMap::new(),
@@ -164,7 +212,26 @@ impl<P: HashProvider> ReuseBackend<P> {
             stats: HashMap::new(),
             tags: HashMap::new(),
             workspaces: Mutex::new(Vec::new()),
+            guard: GuardConfig::off(),
         }
+    }
+
+    /// Sets the guard configuration (builder style): operand validation
+    /// at the backend boundary plus automatic dense fallback when the
+    /// measured `r_t` does not clear the latency-model break-even.
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// The active guard configuration.
+    pub fn guard_config(&self) -> &GuardConfig {
+        &self.guard
+    }
+
+    /// Why the layer last fell back to dense (`None` = never).
+    pub fn layer_fallback_reason(&self, layer: &str) -> Option<FallbackReason> {
+        self.stats.get(layer)?.fallback_reason()
     }
 
     /// Assigns a pattern to a layer (builder style).
@@ -195,21 +262,23 @@ impl<P: HashProvider> ReuseBackend<P> {
     }
 
     /// Per-layer statistics accumulated so far (executed reuse layers
-    /// only — a patterned layer that has not run yet is absent).
+    /// only — a patterned layer that has not run yet is absent; a layer
+    /// that only ever fell back to dense is present with `calls == 0`).
     pub fn stats(&self) -> HashMap<String, LayerStats> {
         self.stats
             .iter()
             .map(|(layer, acc)| (layer.clone(), acc.snapshot()))
-            .filter(|(_, s)| s.calls > 0)
+            .filter(|(_, s)| s.calls > 0 || s.fallbacks > 0)
             .collect()
     }
 
-    /// Statistics of one layer (`None` until it has executed with reuse).
+    /// Statistics of one layer (`None` until it has executed with reuse
+    /// or fallen back at least once).
     pub fn layer_stats(&self, layer: &str) -> Option<LayerStats> {
         self.stats
             .get(layer)
             .map(AtomicLayerStats::snapshot)
-            .filter(|s| s.calls > 0)
+            .filter(|s| s.calls > 0 || s.fallbacks > 0)
     }
 
     /// Clears accumulated statistics.
@@ -239,6 +308,13 @@ impl<P: HashProvider> ReuseBackend<P> {
     }
 
     /// Runs the reuse executor for a patterned layer, writing into `y`.
+    ///
+    /// With an active [`GuardConfig`] the operands are validated first
+    /// (typed errors instead of panics deep in the pipeline), and the
+    /// call is recomputed through the exact dense path — bit-identical to
+    /// [`DenseBackend`] — when the measured `r_t` does not clear the
+    /// latency-model break-even or the §4.1 error bound exceeds the
+    /// configured ceiling.
     fn run_reuse(
         &self,
         layer: &str,
@@ -248,6 +324,54 @@ impl<P: HashProvider> ReuseBackend<P> {
         pattern: &ReusePattern,
         y: &mut [f32],
     ) -> Result<(), TensorError> {
+        #[cfg(feature = "fault-inject")]
+        let corrupted = {
+            use crate::faults::{corrupt_slice, fire, FaultAction, FaultPoint};
+            match fire(FaultPoint::Im2col) {
+                Some(FaultAction::Panic) => panic!("fault-inject: panic at `im2col` boundary"),
+                Some(
+                    a @ (FaultAction::CorruptNan | FaultAction::CorruptInf | FaultAction::Saturate),
+                ) => {
+                    let mut c = x.clone();
+                    corrupt_slice(a, c.as_mut_slice());
+                    Some(c)
+                }
+                _ => None,
+            }
+        };
+        #[cfg(feature = "fault-inject")]
+        let x = corrupted.as_ref().unwrap_or(x);
+
+        let mut sanitized = None;
+        if self.guard.is_active() {
+            validate_gemm_operands(layer, x, weights).map_err(boundary_error)?;
+            sanitized = apply_non_finite_policy(layer, "activation", x, self.guard.policy)
+                .map_err(boundary_error)?;
+        }
+        let x = sanitized.as_ref().unwrap_or(x);
+
+        if self.guard.fallback {
+            if let Some(ceiling) = self.guard.max_error_bound {
+                let est = crate::models::accuracy::accuracy_bound_with_spec(
+                    x,
+                    weights,
+                    spec,
+                    pattern,
+                    &self.hashes,
+                )
+                .map_err(boundary_error)?;
+                if est.error_bound > ceiling {
+                    return self.dense_fallback(
+                        layer,
+                        x,
+                        weights,
+                        y,
+                        FallbackReason::AccuracyBound,
+                    );
+                }
+            }
+        }
+
         let mut ws = self.workspaces.lock().pop().unwrap_or_default();
         let tag = self.tags.get(layer).copied().unwrap_or(0);
         let prev_tag = greuse_telemetry::set_tag(tag);
@@ -256,20 +380,38 @@ impl<P: HashProvider> ReuseBackend<P> {
         let wall_ns = started.elapsed().as_nanos() as u64;
         greuse_telemetry::set_tag(prev_tag);
         self.workspaces.lock().push(ws);
-        let stats = result.map_err(|e| match e {
-            crate::GreuseError::Tensor(t) => t,
-            other => TensorError::ShapeMismatch {
-                op: "reuse backend",
-                expected: vec![],
-                actual: vec![other.to_string().len()],
-            },
-        })?;
+        let stats = result.map_err(boundary_error)?;
         if let Some(acc) = self.stats.get(layer) {
             acc.record(&stats, wall_ns);
             if acc.probe_bits.load(Ordering::Relaxed) == 0 {
                 let probe = crate::redundancy_probe(x);
                 acc.probe_bits.store(probe.to_bits(), Ordering::Relaxed);
             }
+        }
+        if self.guard.fallback && should_fall_back(pattern, weights.rows(), stats.redundancy_ratio)
+        {
+            return self.dense_fallback(layer, x, weights, y, FallbackReason::LowRedundancy);
+        }
+        Ok(())
+    }
+
+    /// Recomputes the call through the exact dense GEMM (the same
+    /// `gemm_bt_f32` that [`DenseBackend`] runs), overwriting the reuse
+    /// output, and records the fallback on the `exec.fallback` counter
+    /// and the layer's accumulator.
+    fn dense_fallback(
+        &self,
+        layer: &str,
+        x: &Tensor<f32>,
+        weights: &Tensor<f32>,
+        y: &mut [f32],
+        reason: FallbackReason,
+    ) -> Result<(), TensorError> {
+        let dense = gemm_bt_f32(x, weights)?;
+        y.copy_from_slice(dense.as_slice());
+        count_fallback();
+        if let Some(acc) = self.stats.get(layer) {
+            acc.record_fallback(reason);
         }
         Ok(())
     }
@@ -417,5 +559,87 @@ mod tests {
         };
         assert_eq!(stats.n_vectors, 12 * single.n_vectors);
         assert_eq!(stats.ops.gemm_macs, 12 * single.ops.gemm_macs);
+    }
+
+    /// Synthetic conv1-shaped GEMM operands (N=1024, K=75, M=64) with
+    /// low redundancy, for exercising the guard without a full network.
+    fn synthetic_gemm() -> (ConvSpec, Tensor<f32>, Tensor<f32>) {
+        let spec = greuse_nn::models::CifarNet::conv1_spec();
+        let x = Tensor::from_fn(&[1024, 75], |i| ((i % 193) as f32 * 0.17).sin());
+        let w = Tensor::from_fn(&[64, 75], |i| ((i % 41) as f32 * 0.23).cos());
+        (spec, x, w)
+    }
+
+    #[test]
+    fn guarded_low_rt_layer_falls_back_to_exact_dense() {
+        let (spec, x, w) = synthetic_gemm();
+        // H = 64 = D_out puts the break-even at r_t = 1.0, which no input
+        // can clear: the guard must recompute densely on every call.
+        let backend = ReuseBackend::new(RandomHashProvider::new(7))
+            .with_pattern("conv1", ReusePattern::conventional(25, 64))
+            .with_guard(GuardConfig::strict());
+        let y = backend.conv_gemm("conv1", &spec, &x, &w).unwrap();
+        let dense = DenseBackend.conv_gemm("conv1", &spec, &x, &w).unwrap();
+        assert_eq!(y, dense); // bit-identical, not just close
+        let s = backend.layer_stats("conv1").unwrap();
+        assert_eq!(s.fallbacks, 1);
+        assert_eq!(
+            backend.layer_fallback_reason("conv1"),
+            Some(FallbackReason::LowRedundancy)
+        );
+        // Without the guard the same pattern must NOT fall back.
+        let unguarded = ReuseBackend::new(RandomHashProvider::new(7))
+            .with_pattern("conv1", ReusePattern::conventional(25, 64));
+        let _ = unguarded.conv_gemm("conv1", &spec, &x, &w).unwrap();
+        assert_eq!(unguarded.layer_stats("conv1").unwrap().fallbacks, 0);
+        assert_eq!(unguarded.layer_fallback_reason("conv1"), None);
+    }
+
+    #[test]
+    fn accuracy_bound_ceiling_forces_pre_exec_fallback() {
+        let (spec, x, w) = synthetic_gemm();
+        let backend = ReuseBackend::new(RandomHashProvider::new(8))
+            .with_pattern("conv1", ReusePattern::conventional(25, 8))
+            .with_guard(GuardConfig::strict().with_max_error_bound(0.0));
+        let y = backend.conv_gemm("conv1", &spec, &x, &w).unwrap();
+        let dense = DenseBackend.conv_gemm("conv1", &spec, &x, &w).unwrap();
+        assert_eq!(y, dense);
+        let s = backend.layer_stats("conv1").unwrap();
+        assert_eq!(s.calls, 0, "bound breach must skip the reuse executor");
+        assert_eq!(s.fallbacks, 1);
+        assert_eq!(
+            backend.layer_fallback_reason("conv1"),
+            Some(FallbackReason::AccuracyBound)
+        );
+    }
+
+    #[test]
+    fn strict_guard_rejects_and_sanitize_recovers_non_finite() {
+        let (spec, mut x, w) = synthetic_gemm();
+        x.as_mut_slice()[10] = f32::NAN;
+        x.as_mut_slice()[500] = f32::INFINITY;
+        let strict = ReuseBackend::new(RandomHashProvider::new(9))
+            .with_pattern("conv1", ReusePattern::conventional(15, 2))
+            .with_guard(GuardConfig::strict());
+        let err = strict.conv_gemm("conv1", &spec, &x, &w).unwrap_err();
+        assert!(matches!(err, TensorError::InvalidInput { .. }), "{err}");
+        assert!(err.to_string().contains("non-finite"), "{err}");
+        let sane = ReuseBackend::new(RandomHashProvider::new(9))
+            .with_pattern("conv1", ReusePattern::conventional(15, 2))
+            .with_guard(GuardConfig::sanitize());
+        let y = sane.conv_gemm("conv1", &spec, &x, &w).unwrap();
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn guard_rejects_mismatched_operands_with_typed_error() {
+        let (spec, x, _) = synthetic_gemm();
+        let w_bad = Tensor::from_fn(&[64, 74], |i| i as f32);
+        let backend = ReuseBackend::new(RandomHashProvider::new(10))
+            .with_pattern("conv1", ReusePattern::conventional(15, 2))
+            .with_guard(GuardConfig::strict());
+        let err = backend.conv_gemm("conv1", &spec, &x, &w_bad).unwrap_err();
+        assert!(matches!(err, TensorError::InvalidInput { .. }), "{err}");
+        assert!(err.to_string().contains("inner dimensions"), "{err}");
     }
 }

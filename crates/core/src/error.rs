@@ -25,6 +25,23 @@ pub enum GreuseError {
         /// Description of the problem.
         detail: String,
     },
+    /// An input or weight tensor failed guard validation at the backend
+    /// boundary (see [`crate::GuardPolicy`]).
+    InvalidInput {
+        /// Layer whose operands were rejected.
+        layer: String,
+        /// Description of the defect (shape, non-finite value, ...).
+        detail: String,
+    },
+    /// A worker thread panicked while executing one image of a batch;
+    /// only that image's output is poisoned, the rest of the batch
+    /// completed.
+    WorkerPanic {
+        /// Layer (or batch label) being executed when the panic fired.
+        layer: String,
+        /// Index of the affected image within the batch.
+        image: usize,
+    },
 }
 
 impl fmt::Display for GreuseError {
@@ -35,6 +52,12 @@ impl fmt::Display for GreuseError {
             GreuseError::Mcu(e) => write!(f, "mcu model error: {e}"),
             GreuseError::InvalidPattern { detail } => write!(f, "invalid reuse pattern: {detail}"),
             GreuseError::InvalidWorkflow { detail } => write!(f, "invalid workflow: {detail}"),
+            GreuseError::InvalidInput { layer, detail } => {
+                write!(f, "invalid input for layer `{layer}`: {detail}")
+            }
+            GreuseError::WorkerPanic { layer, image } => {
+                write!(f, "worker panicked executing image {image} of `{layer}`")
+            }
         }
     }
 }
@@ -81,6 +104,17 @@ mod tests {
         };
         assert!(e.to_string().contains("invalid reuse pattern"));
         assert!(std::error::Error::source(&e).is_none());
+        let e = GreuseError::InvalidInput {
+            layer: "conv1".into(),
+            detail: "non-finite activation at index 7".into(),
+        };
+        assert!(e.to_string().contains("conv1"));
+        assert!(e.to_string().contains("non-finite"));
+        let e = GreuseError::WorkerPanic {
+            layer: "batch".into(),
+            image: 3,
+        };
+        assert!(e.to_string().contains("image 3"));
     }
 
     #[test]

@@ -194,6 +194,33 @@ impl<T> SendPtr<T> {
     }
 }
 
+/// Runs one image's execution with panic isolation: a panic anywhere in
+/// the per-image pipeline is caught at the task boundary and converted
+/// to [`GreuseError::WorkerPanic`], so it poisons only this image's slot
+/// instead of unwinding through the worker pool and aborting the batch.
+/// Thread-local workspaces are safe to reuse afterwards — `execute_into`
+/// re-prepares every buffer from scratch on each call, so no partial
+/// state survives the unwind. Under `fault-inject` the image index is
+/// published to the harness so image-scoped fault rules match
+/// deterministically regardless of which pool thread runs the task.
+fn run_isolated(image: usize, body: impl FnOnce() -> Result<ReuseStats>) -> Result<ReuseStats> {
+    #[cfg(feature = "fault-inject")]
+    let prev = crate::faults::set_current_image(Some(image));
+    // AssertUnwindSafe: the captured output slice and thread-local
+    // workspace are only observed again after being fully rewritten
+    // (workspaces re-prepare on every call; a poisoned slot's output is
+    // never read), so no broken invariant is witnessed across the catch.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    #[cfg(feature = "fault-inject")]
+    crate::faults::set_current_image(prev);
+    result.unwrap_or_else(|_payload| {
+        Err(GreuseError::WorkerPanic {
+            layer: "batch".into(),
+            image,
+        })
+    })
+}
+
 /// Persistent batch executor: the zero-allocation steady-state form of
 /// [`execute_reuse_images_parallel`].
 ///
@@ -287,6 +314,12 @@ impl BatchExecutor {
     /// returning the batch-total statistics. `threads <= 1` runs inline
     /// on the caller (still through the thread-local workspace).
     ///
+    /// A panic inside one image's execution is caught at the task
+    /// boundary and poisons only that image's slot: the rest of the
+    /// batch completes (their outputs are valid), and the panic surfaces
+    /// as [`GreuseError::WorkerPanic`] naming the image instead of
+    /// unwinding through the pool.
+    ///
     /// # Errors
     ///
     /// Returns [`GreuseError::InvalidPattern`] for an empty/ragged batch
@@ -324,16 +357,18 @@ impl BatchExecutor {
             // (blocking) run_tasks call.
             let y = unsafe { &mut *ys_ptr.get().add(i) };
             let slot = unsafe { &mut *slots.get().add(i) };
-            BATCH_WS.with(|ws| {
-                *slot = ws.borrow_mut().execute_into(
-                    &xs[i],
-                    w,
-                    None,
-                    pattern,
-                    hashes,
-                    "batch",
-                    y.as_mut_slice(),
-                );
+            *slot = run_isolated(i, || {
+                BATCH_WS.with(|ws| {
+                    ws.borrow_mut().execute_into(
+                        &xs[i],
+                        w,
+                        None,
+                        pattern,
+                        hashes,
+                        "batch",
+                        y.as_mut_slice(),
+                    )
+                })
             });
         });
 
@@ -390,15 +425,17 @@ impl BatchExecutor {
             // (blocking) run_tasks call.
             let y = unsafe { &mut *ys_ptr.get().add(i) };
             let slot = unsafe { &mut *slots.get().add(i) };
-            BATCH_QWS.with(|ws| {
-                *slot = ws.borrow_mut().execute_into(
-                    &xs[i],
-                    w,
-                    pattern,
-                    hashes,
-                    "batch",
-                    y.as_mut_slice(),
-                );
+            *slot = run_isolated(i, || {
+                BATCH_QWS.with(|ws| {
+                    ws.borrow_mut().execute_into(
+                        &xs[i],
+                        w,
+                        pattern,
+                        hashes,
+                        "batch",
+                        y.as_mut_slice(),
+                    )
+                })
             });
         });
 
@@ -592,6 +629,23 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn run_isolated_converts_panic_to_worker_panic() {
+        // Silence the default panic hook for the intentional panic.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = run_isolated(3, || panic!("boom"));
+        std::panic::set_hook(prev_hook);
+        match r {
+            Err(GreuseError::WorkerPanic { layer, image }) => {
+                assert_eq!(layer, "batch");
+                assert_eq!(image, 3);
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        assert!(run_isolated(0, || Ok(ReuseStats::default())).is_ok());
     }
 
     #[test]

@@ -64,9 +64,26 @@ pub(crate) fn horizontal_into(
             k,
             lh,
         )?;
+        #[cfg(feature = "fault-inject")]
+        let injected = {
+            use crate::faults::{corrupt_slice, fire, FaultAction, FaultPoint};
+            let action = fire(FaultPoint::LshHash);
+            match action {
+                Some(FaultAction::Panic) => panic!("fault-inject: panic at `lsh.hash`"),
+                Some(
+                    c @ (FaultAction::CorruptNan | FaultAction::CorruptInf | FaultAction::Saturate),
+                ) => corrupt_slice(c, units),
+                _ => {}
+            }
+            action
+        };
         {
             let _cluster = greuse_telemetry::span!("exec.cluster");
             scratch.cluster(units, k, family)?;
+        }
+        #[cfg(feature = "fault-inject")]
+        if injected == Some(crate::faults::FaultAction::DegenerateClusters) {
+            scratch.force_singletons(k);
         }
         let n_c = scratch.num_clusters();
         stats.n_vectors += k as u64;
@@ -75,6 +92,8 @@ pub(crate) fn horizontal_into(
         stats.ops.clustering_macs += family.hashing_macs(k);
 
         let fold_span = greuse_telemetry::span!("exec.fold");
+        #[cfg(feature = "fault-inject")]
+        crate::faults::panic_point(crate::faults::FaultPoint::ExecFold, "exec.fold");
         // Centroid matrix X_i^c: lh x n_c (centroids as columns).
         let centroids = &mut buf.centroids[..n_c * lh];
         scratch.centroids_into(units, lh, centroids)?;

@@ -14,6 +14,11 @@
 //! a steady shape (backends, batch loops) hold a workspace and call
 //! [`ExecWorkspace::execute_into`] directly for allocation-free repeats.
 
+// The executor sits on data-dependent paths: a stray `.unwrap()` here
+// turns a malformed input into a panic instead of a typed error, which is
+// exactly what the resilience guard exists to prevent. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 mod batch;
 mod horizontal;
 mod quant;

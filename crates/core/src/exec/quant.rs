@@ -255,6 +255,8 @@ impl QuantWorkspace {
         apply_zero_point(&mut self.acc, n, m, params.zero_point, &self.w_sums);
 
         // Requantize: output scale covers the accumulator range.
+        #[cfg(feature = "fault-inject")]
+        crate::faults::panic_point(crate::faults::FaultPoint::QuantRequant, "quant.requant");
         let max_abs = {
             let _rq = greuse_telemetry::span!("quant.requant");
             self.acc.iter().fold(0i32, |a, &v| a.max(v.abs()))

@@ -83,9 +83,28 @@ pub(crate) fn vertical_into(
                 full_blocks,
                 dim,
             )?;
+            #[cfg(feature = "fault-inject")]
+            let injected = {
+                use crate::faults::{corrupt_slice, fire, FaultAction, FaultPoint};
+                let action = fire(FaultPoint::LshHash);
+                match action {
+                    Some(FaultAction::Panic) => panic!("fault-inject: panic at `lsh.hash`"),
+                    Some(
+                        c @ (FaultAction::CorruptNan
+                        | FaultAction::CorruptInf
+                        | FaultAction::Saturate),
+                    ) => corrupt_slice(c, units),
+                    _ => {}
+                }
+                action
+            };
             {
                 let _cluster = greuse_telemetry::span!("exec.cluster");
                 scratch.cluster(units, full_blocks, family)?;
+            }
+            #[cfg(feature = "fault-inject")]
+            if injected == Some(crate::faults::FaultAction::DegenerateClusters) {
+                scratch.force_singletons(full_blocks);
             }
             let n_c = scratch.num_clusters();
             stats.n_vectors += full_blocks as u64;
@@ -96,6 +115,8 @@ pub(crate) fn vertical_into(
             // Centroid blocks, then stacked as (n_c * b) x lw.
             {
                 let _fold = greuse_telemetry::span!("exec.fold");
+                #[cfg(feature = "fault-inject")]
+                crate::faults::panic_point(crate::faults::FaultPoint::ExecFold, "exec.fold");
                 let centroids = &mut buf.centroids[..n_c * dim];
                 scratch.centroids_into(units, dim, centroids)?;
                 let stacked = &mut buf.stacked[..n_c * b * lw];

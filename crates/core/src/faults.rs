@@ -1,0 +1,383 @@
+//! Deterministic fault-injection harness (feature `fault-inject`).
+//!
+//! Compiled in only with `--features fault-inject`, this module lets the
+//! resilience test-suite corrupt the pipeline at its span points and
+//! prove that the guard, the dense fallback and the batch panic
+//! isolation behave — reproducibly. A [`FaultPlan`] is a list of
+//! [`FaultRule`]s installed process-wide; instrumented sites in the
+//! executor call [`fire`] with their [`FaultPoint`] and receive the
+//! scheduled [`FaultAction`] (or `None`). Because rules match on a call
+//! ordinal and/or the batch image index — never on wall-clock time or an
+//! unseeded RNG — the same plan produces bit-identical failures on every
+//! run, which is what makes the suite's reproducibility assertions
+//! possible. [`FaultPlan::seeded`] derives a whole schedule from one
+//! `u64` via SplitMix64.
+//!
+//! With the feature disabled none of this exists and the executor
+//! carries zero hook overhead (the call sites are `#[cfg]`-gated out).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Pipeline location where a fault can be injected — one per guarded
+/// span point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// The backend boundary where the im2col matrix enters execution
+    /// (span `im2col`): activation corruption lands here.
+    Im2col,
+    /// Just before LSH signatures are computed for a panel's reuse units
+    /// (span `lsh.hash`): degenerate clustering is forced here.
+    LshHash,
+    /// The centroid fold of a panel (span `exec.fold`).
+    ExecFold,
+    /// The int8 requantization stage (span `quant.requant`).
+    QuantRequant,
+}
+
+impl FaultPoint {
+    /// All points, in a stable order (used by [`FaultPlan::seeded`]).
+    pub const ALL: [FaultPoint; 4] = [
+        FaultPoint::Im2col,
+        FaultPoint::LshHash,
+        FaultPoint::ExecFold,
+        FaultPoint::QuantRequant,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            FaultPoint::Im2col => 0,
+            FaultPoint::LshHash => 1,
+            FaultPoint::ExecFold => 2,
+            FaultPoint::QuantRequant => 3,
+        }
+    }
+}
+
+/// What happens when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic at the site (exercises pool/batch panic isolation).
+    Panic,
+    /// Write `NaN` into the site's working buffer at a fixed stride.
+    CorruptNan,
+    /// Write `+∞` into the site's working buffer at a fixed stride.
+    CorruptInf,
+    /// Write `f32::MAX` (saturation) into the site's working buffer at a
+    /// fixed stride.
+    Saturate,
+    /// Force the panel clustering into one-cluster-per-vector (measured
+    /// `r_t` collapses to zero — the guard's fallback trigger).
+    DegenerateClusters,
+}
+
+impl FaultAction {
+    /// All actions, in a stable order (used by [`FaultPlan::seeded`]).
+    pub const ALL: [FaultAction; 5] = [
+        FaultAction::Panic,
+        FaultAction::CorruptNan,
+        FaultAction::CorruptInf,
+        FaultAction::Saturate,
+        FaultAction::DegenerateClusters,
+    ];
+}
+
+/// One scheduled fault: fire `action` at `point` when the selectors
+/// match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Where to fire.
+    pub point: FaultPoint,
+    /// 1-based ordinal of the matching [`fire`] call at this point;
+    /// `None` fires on every call. Ordinals are counted per point under
+    /// a lock, so they are deterministic in single-threaded flows; in
+    /// parallel batches use `image` instead.
+    pub nth: Option<u64>,
+    /// Batch image the fault is scoped to (set by the batch executor via
+    /// [`with_image`]); `None` matches any context. Image scoping is the
+    /// deterministic selector under parallel scheduling.
+    pub image: Option<usize>,
+    /// What to do.
+    pub action: FaultAction,
+}
+
+/// A fault schedule: every rule is checked on every [`fire`] call, first
+/// match wins.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a rule firing on *every* call at `point`.
+    pub fn inject(mut self, point: FaultPoint, action: FaultAction) -> Self {
+        self.rules.push(FaultRule {
+            point,
+            nth: None,
+            image: None,
+            action,
+        });
+        self
+    }
+
+    /// Adds a rule firing on the `nth` (1-based) call at `point`.
+    pub fn inject_at(mut self, point: FaultPoint, nth: u64, action: FaultAction) -> Self {
+        self.rules.push(FaultRule {
+            point,
+            nth: Some(nth),
+            image: None,
+            action,
+        });
+        self
+    }
+
+    /// Adds a rule scoped to one batch image: fires on every call at
+    /// `point` made while that image executes.
+    pub fn inject_image(mut self, point: FaultPoint, image: usize, action: FaultAction) -> Self {
+        self.rules.push(FaultRule {
+            point,
+            nth: None,
+            image: Some(image),
+            action,
+        });
+        self
+    }
+
+    /// Derives a schedule of `n_rules` single-shot rules from `seed`
+    /// alone (SplitMix64): same seed, same rules, same failures.
+    /// Panic actions are excluded so a seeded soak run corrupts data
+    /// without tearing the harness down mid-batch; schedule panics
+    /// explicitly with [`FaultPlan::inject_at`] when testing isolation.
+    pub fn seeded(seed: u64, n_rules: usize) -> Self {
+        let mut state = seed;
+        let corrupting = [
+            FaultAction::CorruptNan,
+            FaultAction::CorruptInf,
+            FaultAction::Saturate,
+            FaultAction::DegenerateClusters,
+        ];
+        let mut plan = FaultPlan::new();
+        for _ in 0..n_rules {
+            let point = FaultPoint::ALL[(splitmix64(&mut state) % 4) as usize];
+            let action = corrupting[(splitmix64(&mut state) % 4) as usize];
+            let nth = 1 + splitmix64(&mut state) % 8;
+            plan = plan.inject_at(point, nth, action);
+        }
+        plan
+    }
+
+    /// The rules in order.
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+}
+
+/// One fault that actually fired, for reproducibility assertions. Call
+/// ordinals are omitted on purpose: under parallel scheduling they vary,
+/// while `(point, image, action)` multisets do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FiredFault {
+    /// Point that fired.
+    pub point_idx: usize,
+    /// Image context at fire time (`usize::MAX` when outside a batch).
+    pub image: usize,
+    /// Index of the action in [`FaultAction::ALL`].
+    pub action_idx: usize,
+}
+
+struct PlanState {
+    plan: FaultPlan,
+    counts: [u64; 4],
+    fired: Vec<FiredFault>,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<PlanState>> = Mutex::new(None);
+
+thread_local! {
+    static CURRENT_IMAGE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Installs `plan` process-wide, resetting call counters and the fired
+/// log. Tests sharing a binary must serialize around install/clear.
+pub fn install(plan: FaultPlan) {
+    let mut state = STATE.lock().unwrap_or_else(|p| p.into_inner());
+    *state = Some(PlanState {
+        plan,
+        counts: [0; 4],
+        fired: Vec::new(),
+    });
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Removes the installed plan; subsequent [`fire`] calls are free no-ops.
+pub fn clear() {
+    ACTIVE.store(false, Ordering::Release);
+    let mut state = STATE.lock().unwrap_or_else(|p| p.into_inner());
+    *state = None;
+}
+
+/// Faults that fired since [`install`], sorted for stable comparison.
+pub fn fired() -> Vec<FiredFault> {
+    let state = STATE.lock().unwrap_or_else(|p| p.into_inner());
+    let mut out = state.as_ref().map(|s| s.fired.clone()).unwrap_or_default();
+    out.sort();
+    out
+}
+
+/// Sets this thread's batch-image context, returning the previous value.
+/// The batch executor brackets each per-image task with this so
+/// image-scoped rules match deterministically under any scheduling.
+pub fn set_current_image(image: Option<usize>) -> Option<usize> {
+    CURRENT_IMAGE.with(|c| c.replace(image))
+}
+
+/// Runs `f` with the thread's image context set to `image`.
+pub fn with_image<R>(image: usize, f: impl FnOnce() -> R) -> R {
+    let prev = set_current_image(Some(image));
+    let out = f();
+    set_current_image(prev);
+    out
+}
+
+/// Checks the installed plan at `point`: increments the point's call
+/// counter and returns the first matching rule's action. Cheap
+/// (one relaxed atomic load) when no plan is installed.
+pub fn fire(point: FaultPoint) -> Option<FaultAction> {
+    if !ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    let image = CURRENT_IMAGE.with(Cell::get);
+    let mut guard = STATE.lock().unwrap_or_else(|p| p.into_inner());
+    let state = guard.as_mut()?;
+    state.counts[point.idx()] += 1;
+    let call = state.counts[point.idx()];
+    let hit = state
+        .plan
+        .rules
+        .iter()
+        .find(|r| {
+            r.point == point
+                && r.nth.is_none_or(|n| n == call)
+                && r.image.is_none_or(|i| Some(i) == image)
+        })
+        .map(|r| r.action);
+    if let Some(action) = hit {
+        let action_idx = FaultAction::ALL
+            .iter()
+            .position(|a| *a == action)
+            .unwrap_or(usize::MAX);
+        state.fired.push(FiredFault {
+            point_idx: point.idx(),
+            image: image.unwrap_or(usize::MAX),
+            action_idx,
+        });
+    }
+    hit
+}
+
+/// Convenience hook for span points that only honor `Panic` (the fold
+/// and requantize stages): fires the point and panics when a panic is
+/// scheduled; any other scheduled action is recorded in the fired log
+/// but has no effect at these sites.
+pub fn panic_point(point: FaultPoint, site: &'static str) {
+    if let Some(FaultAction::Panic) = fire(point) {
+        panic!("fault-inject: panic at `{site}`");
+    }
+}
+
+/// Stride at which corruption actions overwrite buffer elements; prime so
+/// repeated corruptions of differently-shaped buffers stay spread out.
+const CORRUPT_STRIDE: usize = 97;
+
+/// Applies a corruption action to a working buffer in place (NaN, +∞, or
+/// `f32::MAX` saturation at a fixed stride starting from element 0).
+/// `Panic` and `DegenerateClusters` are handled at the call site and
+/// ignored here.
+pub fn corrupt_slice(action: FaultAction, data: &mut [f32]) {
+    let value = match action {
+        FaultAction::CorruptNan => f32::NAN,
+        FaultAction::CorruptInf => f32::INFINITY,
+        FaultAction::Saturate => f32::MAX,
+        FaultAction::Panic | FaultAction::DegenerateClusters => return,
+    };
+    for v in data.iter_mut().step_by(CORRUPT_STRIDE) {
+        *v = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // Plan state is process-global; serialize the unit tests.
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn nth_rule_fires_exactly_once() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        install(FaultPlan::new().inject_at(FaultPoint::Im2col, 2, FaultAction::CorruptNan));
+        assert_eq!(fire(FaultPoint::Im2col), None);
+        assert_eq!(fire(FaultPoint::Im2col), Some(FaultAction::CorruptNan));
+        assert_eq!(fire(FaultPoint::Im2col), None);
+        assert_eq!(fire(FaultPoint::LshHash), None);
+        assert_eq!(fired().len(), 1);
+        clear();
+        assert_eq!(fire(FaultPoint::Im2col), None);
+    }
+
+    #[test]
+    fn image_scoped_rule_matches_only_that_image() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        install(FaultPlan::new().inject_image(FaultPoint::ExecFold, 2, FaultAction::Panic));
+        assert_eq!(fire(FaultPoint::ExecFold), None);
+        assert_eq!(with_image(1, || fire(FaultPoint::ExecFold)), None);
+        assert_eq!(
+            with_image(2, || fire(FaultPoint::ExecFold)),
+            Some(FaultAction::Panic)
+        );
+        clear();
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_seed_sensitive() {
+        let a = FaultPlan::seeded(42, 6);
+        let b = FaultPlan::seeded(42, 6);
+        assert_eq!(a, b);
+        assert_eq!(a.rules().len(), 6);
+        assert_ne!(a, FaultPlan::seeded(43, 6));
+        assert!(a
+            .rules()
+            .iter()
+            .all(|r| r.action != FaultAction::Panic && r.nth.is_some()));
+    }
+
+    #[test]
+    fn corrupt_slice_writes_at_stride() {
+        let mut v = vec![0.0f32; 200];
+        corrupt_slice(FaultAction::CorruptNan, &mut v);
+        assert!(v[0].is_nan());
+        assert!(v[97].is_nan());
+        assert!(v[1].is_finite());
+        let mut w = vec![0.0f32; 4];
+        corrupt_slice(FaultAction::Saturate, &mut w);
+        assert_eq!(w[0], f32::MAX);
+        corrupt_slice(FaultAction::Panic, &mut w); // no-op by contract
+        assert_eq!(w[1], 0.0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Input guarding and dense-fallback policy for the reuse backends.
+//!
+//! The paper's speedup condition (`H/D_out < r_t`, §4.2) and accuracy
+//! bound (§4.1) only hold when clustering finds redundancy. A degenerate
+//! input — flat tiles, adversarial noise, NaN/Inf activations — can make
+//! the reuse path *slower and less accurate* than the dense GEMM it
+//! replaces. This module is the guardrail: it validates operands at the
+//! [`crate::ReuseBackend`] boundary (typed [`GreuseError::InvalidInput`]
+//! instead of a panic deep in the pipeline), optionally sanitizes
+//! non-finite activations, and monitors the *measured* per-call `r_t`
+//! so the backend can fall back to the exact dense path when reuse
+//! stopped paying off. Every fallback is counted on the `exec.fallback`
+//! telemetry counter and surfaced per layer in [`crate::LayerReport`].
+
+// The guard is the crate's error boundary — it must never panic on the
+// data it exists to reject. Tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use crate::models::latency::key_condition_holds;
+use crate::pattern::ReusePattern;
+use crate::{GreuseError, Result};
+use greuse_tensor::Tensor;
+
+/// How the guard treats operands at the backend boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum GuardPolicy {
+    /// No validation: operands pass straight through (seed behaviour).
+    #[default]
+    Off,
+    /// Reject non-finite or malformed operands with
+    /// [`GreuseError::InvalidInput`].
+    Strict,
+    /// Replace non-finite activation/weight values with `0.0` (the one
+    /// substitution that cannot overflow downstream products) and
+    /// continue.
+    Sanitize,
+}
+
+impl std::str::FromStr for GuardPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "off" => Ok(GuardPolicy::Off),
+            "strict" => Ok(GuardPolicy::Strict),
+            "sanitize" => Ok(GuardPolicy::Sanitize),
+            other => Err(format!(
+                "unknown guard policy `{other}` (expected `strict`, `sanitize` or `off`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for GuardPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuardPolicy::Off => write!(f, "off"),
+            GuardPolicy::Strict => write!(f, "strict"),
+            GuardPolicy::Sanitize => write!(f, "sanitize"),
+        }
+    }
+}
+
+/// Full guard configuration for a backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GuardConfig {
+    /// Operand validation policy.
+    pub policy: GuardPolicy,
+    /// When true, a patterned layer whose measured `r_t` falls below the
+    /// latency-model break-even (`r_t <= H/D_out`) is recomputed through
+    /// the dense path, bit-identical to [`greuse_nn::DenseBackend`].
+    pub fallback: bool,
+    /// Optional ceiling on the §4.1 analytic error bound `‖Y − Ŷ‖²_F`;
+    /// when the bound computed for the call's operands exceeds it, the
+    /// layer falls back to dense. `None` skips the (non-trivial) bound
+    /// computation entirely.
+    pub max_error_bound: Option<f64>,
+}
+
+impl GuardConfig {
+    /// Guard disabled: seed behaviour, no validation, no fallback.
+    pub fn off() -> Self {
+        GuardConfig::default()
+    }
+
+    /// Reject bad operands, fall back on low measured redundancy.
+    pub fn strict() -> Self {
+        GuardConfig {
+            policy: GuardPolicy::Strict,
+            fallback: true,
+            max_error_bound: None,
+        }
+    }
+
+    /// Zero out non-finite values, fall back on low measured redundancy.
+    pub fn sanitize() -> Self {
+        GuardConfig {
+            policy: GuardPolicy::Sanitize,
+            fallback: true,
+            max_error_bound: None,
+        }
+    }
+
+    /// Builds the config for a CLI-style policy name, enabling fallback
+    /// whenever the policy is not `off`.
+    pub fn from_policy(policy: GuardPolicy) -> Self {
+        GuardConfig {
+            policy,
+            fallback: policy != GuardPolicy::Off,
+            max_error_bound: None,
+        }
+    }
+
+    /// Sets the accuracy-bound ceiling (builder style).
+    pub fn with_max_error_bound(mut self, bound: f64) -> Self {
+        self.max_error_bound = Some(bound);
+        self
+    }
+
+    /// True when any guard work must run at the boundary.
+    pub fn is_active(&self) -> bool {
+        self.policy != GuardPolicy::Off || self.fallback
+    }
+}
+
+/// Why a guarded layer fell back to the dense path. Stored per layer as
+/// the *last* fallback cause and reported in [`crate::LayerReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum FallbackReason {
+    /// Measured `r_t` at or below the latency-model break-even
+    /// (`H/D_out`): reuse would not have saved computation.
+    LowRedundancy = 1,
+    /// The §4.1 analytic error bound exceeded the configured ceiling.
+    AccuracyBound = 2,
+}
+
+impl FallbackReason {
+    /// Stable string used in reports and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FallbackReason::LowRedundancy => "low_rt",
+            FallbackReason::AccuracyBound => "accuracy_bound",
+        }
+    }
+
+    /// Decodes the atomic reason code (`0` = never fell back).
+    pub(crate) fn from_code(code: u32) -> Option<FallbackReason> {
+        match code {
+            1 => Some(FallbackReason::LowRedundancy),
+            2 => Some(FallbackReason::AccuracyBound),
+            _ => None,
+        }
+    }
+}
+
+/// Validates the GEMM operands of one convolution call: both rank 2,
+/// matching inner dimension, no zero-sized axes.
+///
+/// # Errors
+///
+/// Returns [`GreuseError::InvalidInput`] naming the layer and defect.
+pub fn validate_gemm_operands(layer: &str, x: &Tensor<f32>, w: &Tensor<f32>) -> Result<()> {
+    let reject = |detail: String| {
+        Err(GreuseError::InvalidInput {
+            layer: layer.to_string(),
+            detail,
+        })
+    };
+    if x.shape().rank() != 2 {
+        return reject(format!(
+            "im2col matrix must be rank 2, got shape {:?}",
+            x.shape().dims()
+        ));
+    }
+    if w.shape().rank() != 2 {
+        return reject(format!(
+            "weight matrix must be rank 2, got shape {:?}",
+            w.shape().dims()
+        ));
+    }
+    let (n, k) = (x.rows(), x.cols());
+    let (m, kw) = (w.rows(), w.cols());
+    if n == 0 || k == 0 || m == 0 {
+        return reject(format!("degenerate GEMM shape {n}x{k} · {m}x{kw}"));
+    }
+    if kw != k {
+        return reject(format!(
+            "inner dimensions disagree: x is {n}x{k}, w is {m}x{kw}"
+        ));
+    }
+    Ok(())
+}
+
+/// Index of the first non-finite value, if any.
+pub fn first_non_finite(data: &[f32]) -> Option<usize> {
+    data.iter().position(|v| !v.is_finite())
+}
+
+/// Replaces every non-finite value with `0.0`, returning how many were
+/// replaced. Zero is the only substitution that cannot re-introduce
+/// overflow in downstream products, so `sanitize` guarantees finite
+/// outputs for finite weights.
+pub fn sanitize_non_finite(data: &mut [f32]) -> usize {
+    let mut replaced = 0;
+    for v in data.iter_mut() {
+        if !v.is_finite() {
+            *v = 0.0;
+            replaced += 1;
+        }
+    }
+    replaced
+}
+
+/// Applies the non-finite policy to one operand. Returns `None` when the
+/// operand passed untouched, or `Some(sanitized_copy)` when `Sanitize`
+/// had to rewrite values.
+///
+/// # Errors
+///
+/// Under `Strict`, returns [`GreuseError::InvalidInput`] naming the first
+/// offending index.
+pub fn apply_non_finite_policy(
+    layer: &str,
+    what: &str,
+    t: &Tensor<f32>,
+    policy: GuardPolicy,
+) -> Result<Option<Tensor<f32>>> {
+    match policy {
+        GuardPolicy::Off => Ok(None),
+        GuardPolicy::Strict => match first_non_finite(t.as_slice()) {
+            None => Ok(None),
+            Some(i) => Err(GreuseError::InvalidInput {
+                layer: layer.to_string(),
+                detail: format!("non-finite {what} value at flat index {i}"),
+            }),
+        },
+        GuardPolicy::Sanitize => {
+            if first_non_finite(t.as_slice()).is_none() {
+                return Ok(None);
+            }
+            let mut copy = t.clone();
+            sanitize_non_finite(copy.as_mut_slice());
+            Ok(Some(copy))
+        }
+    }
+}
+
+/// The latency-model break-even for a pattern on a layer with `m = D_out`
+/// output channels: reuse saves computation iff `r_t > H/D_out` (§4.2).
+pub fn breakeven_rt(pattern: &ReusePattern, m: usize) -> f64 {
+    if m == 0 {
+        return f64::INFINITY;
+    }
+    pattern.h as f64 / m as f64
+}
+
+/// Whether a guarded layer should fall back to dense given its measured
+/// per-call redundancy ratio — the negation of the paper's key condition.
+pub fn should_fall_back(pattern: &ReusePattern, m: usize, measured_rt: f64) -> bool {
+    !key_condition_holds(pattern.h, m, measured_rt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parses_and_prints() {
+        for (s, p) in [
+            ("off", GuardPolicy::Off),
+            ("strict", GuardPolicy::Strict),
+            ("sanitize", GuardPolicy::Sanitize),
+        ] {
+            assert_eq!(s.parse::<GuardPolicy>().unwrap(), p);
+            assert_eq!(p.to_string(), s);
+        }
+        assert!("lenient".parse::<GuardPolicy>().is_err());
+    }
+
+    #[test]
+    fn config_presets() {
+        assert!(!GuardConfig::off().is_active());
+        assert!(GuardConfig::strict().fallback);
+        assert!(GuardConfig::sanitize().fallback);
+        assert_eq!(
+            GuardConfig::from_policy(GuardPolicy::Off),
+            GuardConfig::off()
+        );
+        let c = GuardConfig::strict().with_max_error_bound(0.5);
+        assert_eq!(c.max_error_bound, Some(0.5));
+    }
+
+    #[test]
+    fn operand_validation_rejects_bad_shapes() {
+        let x = Tensor::<f32>::zeros(&[4, 6]);
+        let w = Tensor::<f32>::zeros(&[3, 6]);
+        assert!(validate_gemm_operands("c", &x, &w).is_ok());
+        let w_bad = Tensor::<f32>::zeros(&[3, 5]);
+        let err = validate_gemm_operands("c", &x, &w_bad).unwrap_err();
+        assert!(matches!(err, GreuseError::InvalidInput { .. }), "{err}");
+        let x3 = Tensor::<f32>::zeros(&[2, 2, 2]);
+        assert!(validate_gemm_operands("c", &x3, &w).is_err());
+    }
+
+    #[test]
+    fn non_finite_policies() {
+        let mut t = Tensor::<f32>::zeros(&[2, 3]);
+        t.as_mut_slice()[4] = f32::NAN;
+        assert_eq!(first_non_finite(t.as_slice()), Some(4));
+        assert!(
+            apply_non_finite_policy("c", "activation", &t, GuardPolicy::Off)
+                .unwrap()
+                .is_none()
+        );
+        let err = apply_non_finite_policy("c", "activation", &t, GuardPolicy::Strict).unwrap_err();
+        assert!(err.to_string().contains("index 4"), "{err}");
+        let cleaned = apply_non_finite_policy("c", "activation", &t, GuardPolicy::Sanitize)
+            .unwrap()
+            .expect("sanitize must copy");
+        assert!(cleaned.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(cleaned.as_slice()[4], 0.0);
+        // Finite operands pass through with no copy under every policy.
+        let ok = Tensor::<f32>::zeros(&[2, 2]);
+        for p in [GuardPolicy::Strict, GuardPolicy::Sanitize] {
+            assert!(apply_non_finite_policy("c", "w", &ok, p).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn sanitize_counts_and_zeroes() {
+        let mut v = vec![1.0, f32::INFINITY, f32::NEG_INFINITY, f32::NAN, 2.0];
+        assert_eq!(sanitize_non_finite(&mut v), 3);
+        assert_eq!(v, vec![1.0, 0.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn breakeven_matches_key_condition() {
+        let p = ReusePattern::conventional(16, 4);
+        assert!((breakeven_rt(&p, 16) - 0.25).abs() < 1e-12);
+        // r_t above break-even: reuse pays, no fallback.
+        assert!(!should_fall_back(&p, 16, 0.5));
+        // r_t at/below break-even: fall back.
+        assert!(should_fall_back(&p, 16, 0.25));
+        assert!(should_fall_back(&p, 16, 0.0));
+    }
+
+    #[test]
+    fn fallback_reason_codes_round_trip() {
+        for r in [FallbackReason::LowRedundancy, FallbackReason::AccuracyBound] {
+            assert_eq!(FallbackReason::from_code(r as u32), Some(r));
+            assert!(!r.as_str().is_empty());
+        }
+        assert_eq!(FallbackReason::from_code(0), None);
+    }
+}

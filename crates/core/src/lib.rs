@@ -50,6 +50,9 @@ mod adaptive;
 mod backend;
 mod error;
 mod exec;
+#[cfg(feature = "fault-inject")]
+pub mod faults;
+mod guard;
 mod hash_provider;
 mod models;
 mod ood;
@@ -70,6 +73,10 @@ pub use exec::{
     execute_reuse, execute_reuse_batch, execute_reuse_images, execute_reuse_images_parallel,
     execute_reuse_in, execute_reuse_named, execute_reuse_with_spec, BatchExecutor, BatchStacking,
     ExecWorkspace, Panel, PanelIter, QuantWorkspace, ReuseOutput, ReuseStats,
+};
+pub use guard::{
+    breakeven_rt, first_non_finite, sanitize_non_finite, should_fall_back, validate_gemm_operands,
+    FallbackReason, GuardConfig, GuardPolicy,
 };
 pub use hash_provider::{AdaptedHashProvider, HashProvider, RandomHashProvider};
 pub use models::accuracy::{

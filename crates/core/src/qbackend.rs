@@ -21,8 +21,11 @@ use parking_lot::Mutex;
 use greuse_nn::ConvBackend;
 use greuse_tensor::{ConvSpec, Tensor, TensorError};
 
-use crate::backend::{AtomicLayerStats, LayerStats};
+use crate::backend::{boundary_error, count_fallback, AtomicLayerStats, LayerStats};
 use crate::exec::QuantWorkspace;
+use crate::guard::{
+    apply_non_finite_policy, should_fall_back, validate_gemm_operands, FallbackReason, GuardConfig,
+};
 use crate::hash_provider::HashProvider;
 use crate::pattern::ReusePattern;
 
@@ -36,11 +39,12 @@ pub struct QuantizedBackend<P: HashProvider> {
     /// same scheme as [`crate::ReuseBackend`].
     tags: HashMap<String, u32>,
     workspaces: Mutex<Vec<QuantWorkspace>>,
+    guard: GuardConfig,
 }
 
 impl<P: HashProvider> QuantizedBackend<P> {
     /// Creates a backend with no patterns assigned: every convolution
-    /// runs dense-quantized.
+    /// runs dense-quantized. The guard starts disabled.
     pub fn new(hashes: P) -> Self {
         QuantizedBackend {
             patterns: HashMap::new(),
@@ -48,7 +52,26 @@ impl<P: HashProvider> QuantizedBackend<P> {
             stats: HashMap::new(),
             tags: HashMap::new(),
             workspaces: Mutex::new(Vec::new()),
+            guard: GuardConfig::off(),
         }
+    }
+
+    /// Sets the guard configuration (builder style): operand validation
+    /// before quantization plus automatic dense-quantized fallback when
+    /// a patterned layer's measured `r_t` misses the break-even.
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// The active guard configuration.
+    pub fn guard_config(&self) -> &GuardConfig {
+        &self.guard
+    }
+
+    /// Why the layer last fell back to dense-quantized (`None` = never).
+    pub fn layer_fallback_reason(&self, layer: &str) -> Option<FallbackReason> {
+        self.stats.get(layer)?.fallback_reason()
     }
 
     /// Assigns a pattern to a layer (builder style). The quantized
@@ -119,6 +142,11 @@ impl<P: HashProvider> QuantizedBackend<P> {
 
     /// Runs the quantized executor, writing into `y`. `pattern` is
     /// `None` for dense-quantized layers.
+    ///
+    /// With an active [`GuardConfig`] the f32 operands are validated
+    /// before quantization, and a patterned call whose measured `r_t`
+    /// misses the break-even is re-run with no pattern — identical to an
+    /// unpatterned layer's dense int8 path.
     fn run_quantized(
         &self,
         layer: &str,
@@ -127,11 +155,27 @@ impl<P: HashProvider> QuantizedBackend<P> {
         pattern: Option<&ReusePattern>,
         y: &mut [f32],
     ) -> Result<(), TensorError> {
+        let mut sanitized = None;
+        if self.guard.is_active() {
+            validate_gemm_operands(layer, x, weights).map_err(boundary_error)?;
+            sanitized = apply_non_finite_policy(layer, "activation", x, self.guard.policy)
+                .map_err(boundary_error)?;
+        }
+        let x = sanitized.as_ref().unwrap_or(x);
         let mut ws = self.workspaces.lock().pop().unwrap_or_default();
         let tag = self.tags.get(layer).copied().unwrap_or(0);
         let prev_tag = greuse_telemetry::set_tag(tag);
         let started = Instant::now();
-        let result = ws.execute_into(x, weights, pattern, &self.hashes, layer, y);
+        let mut result = ws.execute_into(x, weights, pattern, &self.hashes, layer, y);
+        let needs_fallback = match (&result, pattern) {
+            (Ok(stats), Some(p)) => {
+                self.guard.fallback && should_fall_back(p, weights.rows(), stats.redundancy_ratio)
+            }
+            _ => false,
+        };
+        if needs_fallback {
+            result = ws.execute_into(x, weights, None, &self.hashes, layer, y);
+        }
         let wall_ns = started.elapsed().as_nanos() as u64;
         greuse_telemetry::set_tag(prev_tag);
         self.workspaces.lock().push(ws);
@@ -141,6 +185,12 @@ impl<P: HashProvider> QuantizedBackend<P> {
                 detail: format!("quantized backend: {other}"),
             },
         })?;
+        if needs_fallback {
+            count_fallback();
+            if let Some(acc) = self.stats.get(layer) {
+                acc.record_fallback(FallbackReason::LowRedundancy);
+            }
+        }
         if let Some(acc) = self.stats.get(layer) {
             acc.record(&stats, wall_ns);
             if acc.probe_bits.load(Ordering::Relaxed) == 0 {
@@ -277,5 +327,26 @@ mod tests {
         })
         .unwrap();
         assert_eq!(backend.layer_stats("conv1").unwrap().calls, 8);
+    }
+
+    #[test]
+    fn guarded_quantized_layer_falls_back_to_dense_quantized() {
+        let (net, image) = net_and_image();
+        // H = 64 = D_out: break-even r_t = 1.0, unreachable, so every
+        // guarded call must re-run the dense int8 path — identical to an
+        // unpatterned quantized backend.
+        let guarded = QuantizedBackend::new(RandomHashProvider::new(6))
+            .with_pattern("conv1", ReusePattern::conventional(25, 64))
+            .with_guard(GuardConfig::strict());
+        let plain = QuantizedBackend::new(RandomHashProvider::new(6));
+        let a = net.forward(&image, &guarded).unwrap();
+        let b = net.forward(&image, &plain).unwrap();
+        assert_eq!(a, b);
+        let s = guarded.layer_stats("conv1").unwrap();
+        assert!(s.fallbacks >= 1, "fallbacks = {}", s.fallbacks);
+        assert_eq!(
+            guarded.layer_fallback_reason("conv1"),
+            Some(FallbackReason::LowRedundancy)
+        );
     }
 }

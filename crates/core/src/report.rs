@@ -22,7 +22,8 @@ use crate::pattern::ReusePattern;
 use greuse_telemetry::json;
 
 /// Version stamped into every JSON report; bump when the schema changes.
-pub const REPORT_SCHEMA_VERSION: u32 = 1;
+/// v2 added the guard's `fallbacks` / `fallback_reason` per-layer fields.
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// Layers whose model prediction deviates from the measured-op latency by
 /// more than this relative fraction are flagged as drifting.
@@ -68,6 +69,11 @@ pub struct LayerReport {
     pub drift: f64,
     /// True when `drift > DRIFT_THRESHOLD` (and the layer executed).
     pub drift_flagged: bool,
+    /// Calls the guard recomputed through the exact dense path.
+    pub fallbacks: u64,
+    /// Stable name of the last fallback cause (`"low_rt"` /
+    /// `"accuracy_bound"`), empty when the layer never fell back.
+    pub fallback_reason: String,
 }
 
 impl LayerReport {
@@ -86,6 +92,7 @@ impl LayerReport {
         predicted_rt: f64,
         phase_ns: Vec<(String, u64)>,
         model: &LatencyModel,
+        fallback_reason: Option<crate::guard::FallbackReason>,
     ) -> LayerReport {
         let mean = stats.mean_ops();
         let measured_model_ms = if stats.calls > 0 {
@@ -124,6 +131,10 @@ impl LayerReport {
             phase_ns,
             drift,
             drift_flagged: stats.calls > 0 && drift > DRIFT_THRESHOLD,
+            fallbacks: stats.fallbacks,
+            fallback_reason: fallback_reason
+                .map(|r| r.as_str().to_string())
+                .unwrap_or_default(),
         }
     }
 }
@@ -214,14 +225,19 @@ impl NetworkReport {
             }
             out.push_str("}, ");
             out.push_str(&format!("\"drift\": {}, ", json_num(l.drift)));
-            out.push_str(&format!("\"drift_flagged\": {}", l.drift_flagged));
+            out.push_str(&format!("\"drift_flagged\": {}, ", l.drift_flagged));
+            out.push_str(&format!("\"fallbacks\": {}, ", l.fallbacks));
+            out.push_str(&format!(
+                "\"fallback_reason\": {}",
+                json::quote(&l.fallback_reason)
+            ));
             out.push('}');
         }
         out.push_str("\n  ]\n}\n");
         out
     }
 
-    /// Validates a serialized report against the v1 schema: version match,
+    /// Validates a serialized report against the v2 schema: version match,
     /// required fields with the right types on every layer entry.
     pub fn validate_json(src: &str) -> Result<(), String> {
         let v = json::parse(src)?;
@@ -270,6 +286,7 @@ impl NetworkReport {
                 "n_clusters",
                 "flops_executed",
                 "flops_dense",
+                "fallbacks",
             ] {
                 if l.get(key).and_then(json::Value::as_u64).is_none() {
                     return Err(format!("layer[{i}]: missing integer field {key}"));
@@ -295,6 +312,12 @@ impl NetworkReport {
             }
             if l.get("phase_ns").and_then(json::Value::as_object).is_none() {
                 return Err(format!("layer[{i}]: missing phase_ns object"));
+            }
+            if l.get("fallback_reason")
+                .and_then(json::Value::as_str)
+                .is_none()
+            {
+                return Err(format!("layer[{i}]: missing string fallback_reason"));
             }
         }
         Ok(())
@@ -339,6 +362,7 @@ pub fn network_report<P: HashProvider>(
                 .map(|tag| phase_times(&events, tag))
                 .unwrap_or_default();
             let pattern = backend.pattern(&info.name).copied();
+            let fallback_reason = backend.layer_fallback_reason(&info.name);
             LayerReport::from_stats(
                 info.name,
                 n,
@@ -349,6 +373,7 @@ pub fn network_report<P: HashProvider>(
                 predicted_rt,
                 phase_ns,
                 &model,
+                fallback_reason,
             )
         })
         .collect();
@@ -384,6 +409,7 @@ mod tests {
             n_vectors: 128,
             n_clusters: 40,
             wall_ns: 3_000_000,
+            fallbacks: 0,
         }
     }
 
@@ -401,6 +427,7 @@ mod tests {
             0.7,
             vec![("exec.cluster".into(), 1000), ("exec.gemm".into(), 2000)],
             &model,
+            Some(crate::guard::FallbackReason::LowRedundancy),
         );
         assert!((layer.measured_rt - (1.0 - 40.0 / 128.0)).abs() < 1e-12);
         assert_eq!(layer.flops_dense, 2 * 64 * 48 * 8);
@@ -424,6 +451,11 @@ mod tests {
                 .and_then(|p| p.get("exec.gemm"))
                 .and_then(json::Value::as_u64),
             Some(2000)
+        );
+        assert_eq!(l0.get("fallbacks").and_then(json::Value::as_u64), Some(0));
+        assert_eq!(
+            l0.get("fallback_reason").and_then(json::Value::as_str),
+            Some("low_rt")
         );
     }
 
@@ -454,6 +486,7 @@ mod tests {
             0.0,
             Vec::new(),
             &model,
+            None,
         );
         assert_eq!(idle.calls, 0);
         assert!(!idle.drift_flagged);
@@ -470,6 +503,7 @@ mod tests {
             0.999,
             Vec::new(),
             &model,
+            None,
         );
         // measured ratio is ~0.69; the model at r_t=0.999 predicts far
         // less centroid-GEMM work than was measured.

@@ -86,7 +86,7 @@ pub fn winograd_reuse_conv2d(
     let family = hashes.family("winograd", 0, h, &tile_vecs)?;
     let clustering = cluster_rows_unrefined(&tile_vecs, &family)?;
     let n_c = clustering.num_clusters();
-    let centroids = clustering.centroids_with(dim, |t| tile_vecs.row(t).to_vec());
+    let centroids = clustering.centroids_with(dim, |t| tile_vecs.row(t).to_vec())?;
 
     // Pre-transform kernels into the Winograd domain (weights are dense
     // per deployment, so this is a one-time cost; charged as transform).

@@ -7,9 +7,10 @@ use rand::{Rng, SeedableRng};
 
 use greuse::{
     accuracy_bound, column_permutation, execute_reuse, execute_reuse_images, execute_reuse_named,
-    measured_error, pareto_front, row_permutation, PatternOps, RandomHashProvider, ReuseDirection,
-    ReuseOrder, ReusePattern, ReuseStats, RowOrder,
+    measured_error, pareto_front, row_permutation, GuardConfig, PatternOps, RandomHashProvider,
+    ReuseBackend, ReuseDirection, ReuseOrder, ReusePattern, ReuseStats, RowOrder,
 };
+use greuse_nn::ConvBackend;
 use greuse_tensor::{gemm_f32, ConvSpec, Tensor};
 
 /// A matrix with controlled redundancy: rows are noisy copies of a few
@@ -327,5 +328,30 @@ proptest! {
         for w in front.windows(2) {
             prop_assert!(points[w[0]].0 <= points[w[1]].0);
         }
+    }
+
+    #[test]
+    fn sanitize_guard_yields_finite_outputs(
+        seed in any::<u64>(),
+        n_bad in 1usize..30,
+        h in 1usize..=8,
+    ) {
+        // However many NaN/Inf values land in the activations, a
+        // sanitize-guarded backend must complete with an all-finite
+        // output (whether the call runs reuse or the dense fallback).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = redundant(64, 75, 4, 0.05, seed);
+        for _ in 0..n_bad {
+            let i = rng.gen_range(0..x.as_slice().len());
+            x.as_mut_slice()[i] =
+                [f32::NAN, f32::INFINITY, f32::NEG_INFINITY][rng.gen_range(0..3)];
+        }
+        let w = Tensor::from_fn(&[8, 75], |i| (i as f32 * 0.3).cos());
+        let spec = greuse_nn::models::CifarNet::conv1_spec();
+        let backend = ReuseBackend::new(RandomHashProvider::new(1))
+            .with_pattern("conv", ReusePattern::conventional(25, h))
+            .with_guard(GuardConfig::sanitize());
+        let y = backend.conv_gemm("conv", &spec, &x, &w).unwrap();
+        prop_assert!(y.as_slice().iter().all(|v| v.is_finite()));
     }
 }

@@ -92,19 +92,39 @@ impl Clustering {
         1.0 - self.num_clusters() as f64 / self.num_vectors() as f64
     }
 
+    /// `true` when clustering found no redundancy at all: more than one
+    /// vector, yet every vector is its own cluster (`n_c == n`). A
+    /// degenerate clustering makes the reuse path strictly more expensive
+    /// than the dense GEMM it replaces, which is exactly the condition the
+    /// runtime guard's dense fallback exists for.
+    pub fn is_degenerate(&self) -> bool {
+        self.num_vectors() > 1 && self.num_clusters() == self.num_vectors()
+    }
+
     /// Computes the centroid matrix (`n_c x dim`) for vectors provided by
     /// `vector(i)` returning the `i`-th input vector.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any provided vector's length differs from `dim`.
-    pub fn centroids_with(&self, dim: usize, vector: impl Fn(usize) -> Vec<f32>) -> Tensor<f32> {
+    /// Returns [`TensorError::ShapeMismatch`] when any provided vector's
+    /// length differs from `dim`.
+    pub fn centroids_with(
+        &self,
+        dim: usize,
+        vector: impl Fn(usize) -> Vec<f32>,
+    ) -> Result<Tensor<f32>, TensorError> {
         let mut out = Tensor::zeros(&[self.num_clusters(), dim]);
         for (c, members) in self.members.iter().enumerate() {
             let row = out.row_mut(c);
             for &m in members {
                 let v = vector(m);
-                assert_eq!(v.len(), dim, "vector length mismatch in centroids_with");
+                if v.len() != dim {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "Clustering::centroids_with",
+                        expected: vec![dim],
+                        actual: vec![v.len()],
+                    });
+                }
                 for (r, x) in row.iter_mut().zip(v.iter()) {
                     *r += x;
                 }
@@ -114,7 +134,7 @@ impl Clustering {
                 *r *= inv;
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -408,6 +428,31 @@ impl ClusterScratch {
         &self.sizes
     }
 
+    /// `true` when the last clustering found no redundancy at all (see
+    /// [`Clustering::is_degenerate`]).
+    pub fn is_degenerate(&self) -> bool {
+        self.num_vectors() > 1 && self.num_clusters() == self.num_vectors()
+    }
+
+    /// Overwrites the last clustering with the fully degenerate one:
+    /// each of the `n` vectors becomes its own singleton cluster.
+    ///
+    /// This is the worst case for reuse (`r_t = 0`) and exists so fault
+    /// harnesses can force the guard's dense-fallback path
+    /// deterministically — constructing real input data that is
+    /// *guaranteed* to defeat the scatter-refined clustering is fragile,
+    /// because the refinement radius scales with the data's magnitude.
+    /// Internal bucket state is left stale; the next call to
+    /// [`ClusterScratch::cluster`] rebuilds it from scratch.
+    pub fn force_singletons(&mut self, n: usize) {
+        self.leaders.clear();
+        self.leaders.extend(0..n);
+        self.assignments.clear();
+        self.assignments.extend(0..n);
+        self.sizes.clear();
+        self.sizes.resize(n, 1);
+    }
+
     /// Writes the centroid matrix (`num_clusters() x l`, row-major) of the
     /// last clustering into `out`, given the same flat `data` the vectors
     /// were clustered from. Matches [`Clustering::centroids_with`] bit for
@@ -520,7 +565,7 @@ mod tests {
     fn centroids_average_members() {
         let c = Clustering::from_signatures(&sigs(&[1, 1, 2]));
         let data = [vec![1.0f32, 0.0], vec![3.0, 0.0], vec![0.0, 5.0]];
-        let cent = c.centroids_with(2, |i| data[i].clone());
+        let cent = c.centroids_with(2, |i| data[i].clone()).unwrap();
         assert_eq!(cent.row(0), &[2.0, 0.0]);
         assert_eq!(cent.row(1), &[0.0, 5.0]);
     }
@@ -576,7 +621,7 @@ mod tests {
             assert_eq!(scratch.assignments(), want.assignments(), "H={h}");
             assert_eq!(scratch.num_clusters(), want.num_clusters(), "H={h}");
             assert_eq!(scratch.sizes(), &want.sizes()[..], "H={h}");
-            let want_cent = want.centroids_with(10, |i| x.row(i).to_vec());
+            let want_cent = want.centroids_with(10, |i| x.row(i).to_vec()).unwrap();
             let mut got = vec![0.0f32; want.num_clusters() * 10];
             scratch.centroids_into(x.as_slice(), 10, &mut got).unwrap();
             assert_eq!(&got[..], want_cent.as_slice(), "H={h}");
@@ -616,6 +661,47 @@ mod tests {
         b.cluster_q8(&q, n, &params, &family).unwrap();
         assert_eq!(a.assignments(), b.assignments());
         assert_eq!(a.sizes(), b.sizes());
+    }
+
+    #[test]
+    fn centroids_with_rejects_ragged_vectors() {
+        let c = Clustering::from_signatures(&sigs(&[1, 1, 2]));
+        let data = [vec![1.0f32, 0.0], vec![3.0, 0.0, 9.0], vec![0.0, 5.0]];
+        assert!(c.centroids_with(2, |i| data[i].clone()).is_err());
+    }
+
+    #[test]
+    fn degeneracy_detection() {
+        assert!(Clustering::from_signatures(&sigs(&[1, 2, 3])).is_degenerate());
+        assert!(!Clustering::from_signatures(&sigs(&[1, 1, 3])).is_degenerate());
+        // A single vector is trivially its own cluster, not degenerate.
+        assert!(!Clustering::from_signatures(&sigs(&[1])).is_degenerate());
+        assert!(!Clustering::from_signatures(&[]).is_degenerate());
+    }
+
+    #[test]
+    fn force_singletons_overwrites_clustering() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let family = HashFamily::random(4, 3, &mut rng);
+        let mut scratch = ClusterScratch::new();
+        // All-identical rows collapse to one cluster...
+        scratch.cluster(&[0.5; 12], 4, &family).unwrap();
+        assert_eq!(scratch.num_clusters(), 1);
+        assert!(!scratch.is_degenerate());
+        // ...until the degenerate clustering is forced.
+        scratch.force_singletons(4);
+        assert_eq!(scratch.num_clusters(), 4);
+        assert_eq!(scratch.assignments(), &[0, 1, 2, 3]);
+        assert_eq!(scratch.sizes(), &[1, 1, 1, 1]);
+        assert!(scratch.is_degenerate());
+        // Centroids of singleton clusters are the vectors themselves.
+        let data: Vec<f32> = (0..12).map(|v| v as f32).collect();
+        let mut out = vec![0.0f32; 12];
+        scratch.centroids_into(&data, 3, &mut out).unwrap();
+        assert_eq!(out, data);
+        // The stale bucket state must not leak into the next clustering.
+        scratch.cluster(&[0.5; 12], 4, &family).unwrap();
+        assert_eq!(scratch.num_clusters(), 1);
     }
 
     #[test]

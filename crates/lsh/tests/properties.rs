@@ -4,8 +4,19 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use greuse_lsh::{cluster_rows, Clustering, HashFamily, SigScratch, Signature};
+use greuse_lsh::{cluster_rows, ClusterScratch, Clustering, HashFamily, SigScratch, Signature};
 use greuse_tensor::Tensor;
+
+/// Mostly-finite floats with NaN and ±∞ mixed in — the adversarial
+/// activations the resilience guard exists for.
+fn maybe_nonfinite() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -10.0f32..10.0,
+        Just(f32::NAN),
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+    ]
+}
 
 fn sig_vec() -> impl Strategy<Value = Vec<Signature>> {
     proptest::collection::vec((0u64..16).prop_map(Signature), 0..60)
@@ -114,10 +125,36 @@ proptest! {
         prop_assert_eq!(c.num_clusters(), sigs.len());
         let data: Vec<Vec<f32>> =
             (0..sigs.len()).map(|i| vec![i as f32, (i * 2) as f32]).collect();
-        let centroids = c.centroids_with(2, |i| data[i].clone());
+        let centroids = c.centroids_with(2, |i| data[i].clone()).unwrap();
         for (i, d) in data.iter().enumerate() {
             prop_assert_eq!(centroids.row(i), &d[..]);
         }
+    }
+
+    #[test]
+    fn hashing_and_clustering_never_panic_on_non_finite(
+        seed in any::<u64>(),
+        h in 1usize..=16,
+        rows in proptest::collection::vec(proptest::collection::vec(maybe_nonfinite(), 6), 1..16),
+    ) {
+        // NaN/Inf inputs must flow through hashing, clustering, and
+        // centroid computation as ordinary (if useless) values — typed
+        // errors are fine, panics are not.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let family = HashFamily::random(h, 6, &mut rng);
+        let n = rows.len();
+        let data: Vec<f32> = rows.concat();
+        let mut sigs = Vec::new();
+        let mut sig_scratch = SigScratch::new();
+        family.hash_rows_into(&data, n, &mut sigs, &mut sig_scratch).unwrap();
+        prop_assert_eq!(sigs.len(), n);
+        let mut scratch = ClusterScratch::new();
+        scratch.cluster(&data, n, &family).unwrap();
+        prop_assert!(scratch.num_clusters() >= 1);
+        prop_assert!(scratch.num_clusters() <= n);
+        prop_assert_eq!(scratch.assignments().len(), n);
+        let mut out = vec![0.0f32; scratch.num_clusters() * 6];
+        scratch.centroids_into(&data, 6, &mut out).unwrap();
     }
 
     #[test]

@@ -38,6 +38,14 @@ pub enum TensorError {
         /// Description of the invalid parameter.
         detail: String,
     },
+    /// An input operand failed validation at an execution boundary
+    /// (degenerate dimensions, non-finite values under a strict guard).
+    InvalidInput {
+        /// Human-readable description of the operation that rejected it.
+        op: &'static str,
+        /// Description of the defect.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -62,6 +70,9 @@ impl fmt::Display for TensorError {
             }
             TensorError::InvalidQuantization { detail } => {
                 write!(f, "invalid quantization parameter: {detail}")
+            }
+            TensorError::InvalidInput { op, detail } => {
+                write!(f, "invalid input to {op}: {detail}")
             }
         }
     }
@@ -91,6 +102,10 @@ mod tests {
             },
             TensorError::InvalidQuantization {
                 detail: "scale must be positive".into(),
+            },
+            TensorError::InvalidInput {
+                op: "conv_gemm",
+                detail: "non-finite activation at index 3".into(),
             },
         ];
         for e in errs {

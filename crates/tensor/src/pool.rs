@@ -19,6 +19,7 @@
 //! (GEMM pack buffers, executor workspaces) stay warm across batches —
 //! this is what makes the parallel steady state allocation-free.
 
+use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -49,8 +50,10 @@ struct Slot {
     job: Option<JobPtr>,
     /// Workers that have not yet finished the current generation.
     remaining: usize,
-    /// Set when any task panicked in a worker; rethrown by the caller.
-    panicked: bool,
+    /// The first worker panic's payload, captured so the caller can
+    /// rethrow the *original* panic (message intact) exactly once.
+    /// Later worker panics in the same generation are dropped.
+    panic_payload: Option<Box<dyn Any + Send>>,
 }
 
 struct Shared {
@@ -124,7 +127,7 @@ impl WorkerPool {
                 generation: 0,
                 job: None,
                 remaining: 0,
-                panicked: false,
+                panic_payload: None,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -178,6 +181,9 @@ impl WorkerPool {
     ///
     /// Propagates a panic from any task to the caller (after all other
     /// workers have finished the job, so no borrow outlives the call).
+    /// A panic in the caller's own drain takes precedence; otherwise the
+    /// first captured worker payload is rethrown exactly once with
+    /// [`resume_unwind`], so the original panic message survives.
     pub fn run_tasks(&self, n_tasks: usize, width: usize, task: &(dyn Fn(usize) + Sync)) {
         if n_tasks == 0 {
             return;
@@ -188,7 +194,13 @@ impl WorkerPool {
             }
             return;
         }
-        let _own = self.dispatch.lock().unwrap();
+        // All pool locks tolerate poisoning: a propagated task panic
+        // unwinds through `run_tasks` while guards are live, which would
+        // otherwise wedge the process-global pool for every later batch.
+        // The protected state stays consistent across a panic — `dispatch`
+        // guards no data, and `slot` is re-published from scratch each
+        // generation — so recovering the inner guard is sound.
+        let _own = self.dispatch.lock().unwrap_or_else(|p| p.into_inner());
         self.shared.n_tasks.store(n_tasks, Ordering::Release);
         self.shared.next.store(0, Ordering::Release);
         // SAFETY: lifetime erasure only; the completion latch below keeps
@@ -200,7 +212,7 @@ impl WorkerPool {
             >(task as *const (dyn Fn(usize) + Sync))
         });
         {
-            let mut slot = self.shared.slot.lock().unwrap();
+            let mut slot = self.shared.slot.lock().unwrap_or_else(|p| p.into_inner());
             slot.job = Some(job);
             slot.remaining = self.workers;
             slot.generation += 1;
@@ -215,17 +227,23 @@ impl WorkerPool {
         if let Ok(done) = &mine {
             TASKS_CALLER.add(*done);
         }
-        let mut slot = self.shared.slot.lock().unwrap();
+        let mut slot = self.shared.slot.lock().unwrap_or_else(|p| p.into_inner());
         while slot.remaining > 0 {
-            slot = self.shared.done_cv.wait(slot).unwrap();
+            slot = self
+                .shared
+                .done_cv
+                .wait(slot)
+                .unwrap_or_else(|p| p.into_inner());
         }
         slot.job = None;
-        let worker_panicked = std::mem::take(&mut slot.panicked);
+        let worker_payload = slot.panic_payload.take();
         drop(slot);
         if let Err(payload) = mine {
             resume_unwind(payload);
         }
-        assert!(!worker_panicked, "worker pool task panicked");
+        if let Some(payload) = worker_payload {
+            resume_unwind(payload);
+        }
     }
 }
 
@@ -233,11 +251,11 @@ fn worker_loop(shared: &Shared) {
     let mut last_gen = 0u64;
     loop {
         let job = {
-            let mut slot = shared.slot.lock().unwrap();
+            let mut slot = shared.slot.lock().unwrap_or_else(|p| p.into_inner());
             if slot.generation == last_gen {
                 PARKS.add(1);
                 while slot.generation == last_gen {
-                    slot = shared.work_cv.wait(slot).unwrap();
+                    slot = shared.work_cv.wait(slot).unwrap_or_else(|p| p.into_inner());
                 }
                 WAKES.add(1);
             }
@@ -252,9 +270,11 @@ fn worker_loop(shared: &Shared) {
         if let Ok(done) = &result {
             TASKS_WORKER.add(*done);
         }
-        let mut slot = shared.slot.lock().unwrap();
-        if result.is_err() {
-            slot.panicked = true;
+        let mut slot = shared.slot.lock().unwrap_or_else(|p| p.into_inner());
+        if let Err(payload) = result {
+            if slot.panic_payload.is_none() {
+                slot.panic_payload = Some(payload);
+            }
         }
         slot.remaining -= 1;
         if slot.remaining == 0 {
@@ -293,6 +313,33 @@ mod tests {
             });
         });
         assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn panic_payload_propagates_once_with_message() {
+        // Whichever thread claims the poisoned index, the caller must
+        // observe the original payload (not a generic assert), and the
+        // pool must stay usable afterwards.
+        let result = std::panic::catch_unwind(|| {
+            WorkerPool::global().run_tasks(64, 4, &|i| {
+                if i == 13 {
+                    panic!("task 13 exploded");
+                }
+            });
+        });
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("task 13 exploded"), "payload lost: {msg:?}");
+        let total = AtomicUsize::new(0);
+        WorkerPool::global().run_tasks(8, 4, &|_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8);
     }
 
     #[test]
