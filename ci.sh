@@ -55,8 +55,8 @@ rm -f BENCH_exec.baseline.json
 echo "==> bench_gemm --quick --check (packed kernel + batched hashing gates)"
 cargo run -q --release -p greuse-bench --bin bench_gemm -- --quick --check
 
-echo "==> bench_quant --quick --check (int8 kernel >= 1.5x f32 scalar gate)"
-cargo run -q --release -p greuse-bench --bin bench_quant -- --quick --check
+echo "==> bench_quant --quick --check --check-breakeven (int8 kernel >= 1.5x f32 scalar gate + fused break-even shape sweep)"
+cargo run -q --release -p greuse-bench --bin bench_quant -- --quick --check --check-breakeven
 
 echo "==> greuse profile (exporters + schema validation)"
 cargo run -q --release -p greuse-cli --bin greuse -- profile \

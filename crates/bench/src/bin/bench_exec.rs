@@ -9,10 +9,11 @@
 //!
 //! With `--check` the process exits nonzero when the pool-based parallel
 //! batch path fails to beat the sequential path (speedup < 1.0) on a
-//! host with at least two hardware threads. Single-core hosts cannot
-//! overlap compute, so the gate there only guards against pathological
-//! pool overhead (floor 0.85); `host_hw_threads` in the JSON records
-//! which regime produced the numbers.
+//! host with at least two hardware threads. A single hardware thread
+//! cannot overlap compute at all, so the speedup there is scheduling
+//! noise — the assertion is skipped outright; `host_hw_threads` and
+//! `parallel_speedup_gate` in the JSON record which regime produced the
+//! numbers.
 //!
 //! `--overhead-against FILE` compares this run's single-thread
 //! throughput against a previously written `BENCH_exec.json` (typically
@@ -151,8 +152,13 @@ fn main() {
     );
 
     let telemetry_enabled = cfg!(feature = "telemetry");
+    let speedup_gate = if hw_threads >= 2 {
+        "enforced"
+    } else {
+        "skipped_single_core"
+    };
     let json = format!(
-        "{{\n  \"images\": {images},\n  \"rows\": {n},\n  \"cols\": {k},\n  \"out_channels\": {m},\n  \"threads\": {threads},\n  \"host_hw_threads\": {hw_threads},\n  \"telemetry_enabled\": {telemetry_enabled},\n  \"allocs_per_call\": {allocs_per_call},\n  \"single_thread_images_per_sec\": {seq_ips},\n  \"parallel_images_per_sec\": {par_ips},\n  \"parallel_speedup\": {speedup},\n  \"redundancy_ratio\": {},\n  \"stats_bit_identical\": true\n}}\n",
+        "{{\n  \"images\": {images},\n  \"rows\": {n},\n  \"cols\": {k},\n  \"out_channels\": {m},\n  \"threads\": {threads},\n  \"host_hw_threads\": {hw_threads},\n  \"parallel_speedup_gate\": \"{speedup_gate}\",\n  \"telemetry_enabled\": {telemetry_enabled},\n  \"allocs_per_call\": {allocs_per_call},\n  \"single_thread_images_per_sec\": {seq_ips},\n  \"parallel_images_per_sec\": {par_ips},\n  \"parallel_speedup\": {speedup},\n  \"redundancy_ratio\": {},\n  \"stats_bit_identical\": true\n}}\n",
         seq_stats.redundancy_ratio
     );
     std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
@@ -187,17 +193,23 @@ fn main() {
     }
 
     if check {
-        // With real hardware parallelism the pool must win outright; a
-        // single hardware thread can only interleave, so the gate there
-        // is a regression floor on pool overhead.
-        let floor = if hw_threads >= 2 { 1.0 } else { 0.85 };
-        if speedup < floor {
+        // With real hardware parallelism the pool must win outright. On
+        // a single hardware thread the two paths merely interleave, so
+        // any measured "speedup" is scheduling noise; assert nothing and
+        // leave the regime in the JSON for downstream consumers.
+        if hw_threads < 2 {
+            println!(
+                "check SKIPPED: parallel speedup gate needs >= 2 hardware threads \
+                 (host has {hw_threads}); recorded parallel_speedup_gate = \"{speedup_gate}\""
+            );
+        } else if speedup < 1.0 {
             eprintln!(
-                "CHECK FAILED: parallel speedup {speedup:.3} < required {floor:.2} \
+                "CHECK FAILED: parallel speedup {speedup:.3} < required 1.00 \
                  ({hw_threads} hardware threads)"
             );
             std::process::exit(1);
+        } else {
+            println!("check passed: speedup {speedup:.3} >= 1.00");
         }
-        println!("check passed: speedup {speedup:.3} >= {floor:.2}");
     }
 }

@@ -388,8 +388,12 @@ impl<P: HashProvider> ReuseBackend<P> {
                 acc.probe_bits.store(probe.to_bits(), Ordering::Relaxed);
             }
         }
-        if self.guard.fallback && should_fall_back(pattern, weights.rows(), stats.redundancy_ratio)
-        {
+        let below_breakeven = if self.guard.fused_breakeven {
+            crate::guard::should_fall_back_fused(pattern, weights.rows(), stats.redundancy_ratio)
+        } else {
+            should_fall_back(pattern, weights.rows(), stats.redundancy_ratio)
+        };
+        if self.guard.fallback && below_breakeven {
             return self.dense_fallback(layer, x, weights, y, FallbackReason::LowRedundancy);
         }
         Ok(())

@@ -11,10 +11,10 @@
 //! Like the vertical kernel, this is a workspace function: all
 //! intermediates live in the caller's [`PanelBuffers`] arena.
 
-use greuse_lsh::{ClusterScratch, HashFamily};
+use greuse_lsh::{ClusterScratch, FusedPanelSource, HashFamily};
 use greuse_tensor::gemm_f32_into_with;
 
-use crate::exec::workspace::{panel_family, PanelBuffers, PanelIter};
+use crate::exec::workspace::{panel_family, PanelBuffers, PanelIter, PipelineMode};
 use crate::exec::ReuseStats;
 use crate::hash_provider::HashProvider;
 use crate::pattern::ReusePattern;
@@ -33,6 +33,8 @@ pub(crate) fn horizontal_into(
     buf: &mut PanelBuffers,
     scratch: &mut ClusterScratch,
     families: &mut Vec<HashFamily>,
+    fsrc: &mut FusedPanelSource,
+    mode: PipelineMode,
     y: &mut [f32],
     stats: &mut ReuseStats,
 ) -> Result<()> {
@@ -42,9 +44,25 @@ pub(crate) fn horizontal_into(
         let (row0, lh) = (panel.start, panel.len());
 
         // Column vectors of the panel: k vectors of length lh, gathered as
-        // rows of the unit matrix (the transposed panel).
+        // rows of the unit matrix (the transposed panel). With the fused
+        // pipeline and a cached family, each column is hashed and
+        // norm-scanned as it is transposed out of the activation matrix.
         let units = &mut buf.units[..k * lh];
-        {
+        let fused_ready = mode == PipelineMode::Fused
+            && hashes.data_independent()
+            && families.len() > panel.index;
+        if fused_ready {
+            let _fused = greuse_telemetry::span!("exec.fused_pack_hash");
+            fsrc.begin_panel(&families[panel.index]);
+            for j in 0..k {
+                let dst = &mut units[j * lh..(j + 1) * lh];
+                for (r, d) in dst.iter_mut().enumerate() {
+                    *d = x[(row0 + r) * k + j];
+                }
+                fsrc.feed(dst);
+                fsrc.finish_unit();
+            }
+        } else {
             let _gather = greuse_telemetry::span!("exec.gather");
             for j in 0..k {
                 for r in 0..lh {
@@ -77,9 +95,26 @@ pub(crate) fn horizontal_into(
             }
             action
         };
+        // See vertical.rs: corrupting faults invalidate the fused
+        // signatures, so fall back to the staged hash over the
+        // now-corrupted units.
+        #[cfg(feature = "fault-inject")]
+        let fused_ready = fused_ready
+            && !matches!(
+                injected,
+                Some(
+                    crate::faults::FaultAction::CorruptNan
+                        | crate::faults::FaultAction::CorruptInf
+                        | crate::faults::FaultAction::Saturate
+                )
+            );
         {
             let _cluster = greuse_telemetry::span!("exec.cluster");
-            scratch.cluster(units, k, family)?;
+            if fused_ready {
+                scratch.cluster_presigned(units, k, lh, fsrc.signatures(), fsrc.tau())?;
+            } else {
+                scratch.cluster(units, k, family)?;
+            }
         }
         #[cfg(feature = "fault-inject")]
         if injected == Some(crate::faults::FaultAction::DegenerateClusters) {

@@ -30,7 +30,7 @@ pub use batch::{
     BatchStacking,
 };
 pub use quant::QuantWorkspace;
-pub use workspace::{ExecWorkspace, Panel, PanelIter};
+pub use workspace::{ExecWorkspace, Panel, PanelIter, PipelineMode};
 
 use serde::{Deserialize, Serialize};
 

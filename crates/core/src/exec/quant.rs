@@ -33,14 +33,14 @@
 //! structural `exec.gather` / `exec.cluster` / `exec.fold` /
 //! `exec.recover` spans shared with the f32 executor.
 
-use greuse_lsh::{ClusterScratch, HashFamily};
+use greuse_lsh::{ClusterScratch, FusedPanelSource, HashFamily};
 use greuse_tensor::{
-    apply_zero_point, gemm_q8_into_with, quantize_linear_into, quantize_u8_into,
-    requantize_i8_into, weight_row_sums_into, ActQuantParams, GemmScratch, LinearQuantParams,
-    Requant, Tensor,
+    add_assign_i32, apply_zero_point, gemm_q8_into_with, quantize_linear_into, quantize_u8_into,
+    recover_rows_i32, requantize_i8_into, scatter_accumulate_u8_i32, weight_row_sums_into,
+    ActQuantParams, GemmScratch, LinearQuantParams, Requant, Tensor,
 };
 
-use crate::exec::workspace::PanelIter;
+use crate::exec::workspace::{PanelIter, PipelineMode};
 use crate::exec::ReuseStats;
 use crate::hash_provider::HashProvider;
 use crate::pattern::{ReuseDirection, ReusePattern};
@@ -99,12 +99,30 @@ pub struct QuantWorkspace {
     gemm: GemmScratch,
     scratch: ClusterScratch,
     families: Vec<HashFamily>,
+    /// Dequantized unit staging for the fused sweep (`full_blocks x dim`):
+    /// the refinement walk measures distances on these floats, exactly as
+    /// [`ClusterScratch::cluster_q8`] would.
+    deq: Vec<f32>,
+    fused: FusedPanelSource,
+    mode: PipelineMode,
 }
 
 impl QuantWorkspace {
     /// Creates an empty workspace; buffers are sized on first use.
     pub fn new() -> Self {
         QuantWorkspace::default()
+    }
+
+    /// Selects the per-panel pipeline (see
+    /// [`crate::PipelineMode`]). The default is fused; switching
+    /// modes never changes results, only the number of memory sweeps.
+    pub fn set_pipeline(&mut self, mode: PipelineMode) {
+        self.mode = mode;
+    }
+
+    /// The currently selected per-panel pipeline.
+    pub fn pipeline(&self) -> PipelineMode {
+        self.mode
     }
 
     /// Pre-sizes every buffer for one layer's quantized GEMM and caches
@@ -162,6 +180,8 @@ impl QuantWorkspace {
             self.stacked_q.resize(full_blocks * dim, 0);
             self.wp_q.resize(m * l, 0);
             self.yc.resize(full_blocks * b * m, 0);
+            self.deq.resize(full_blocks * dim, 0.0);
+            self.fused.reserve(p.h, dim, full_blocks);
             let tail = n - full_blocks * b;
             self.tail_q.resize(tail * l, 0);
             self.yt.resize(tail * m, 0);
@@ -171,6 +191,7 @@ impl QuantWorkspace {
             self.stacked_q.clear();
             self.wp_q.clear();
             self.yc.clear();
+            self.deq.clear();
             self.tail_q.clear();
             self.yt.clear();
         }
@@ -319,7 +340,50 @@ impl QuantWorkspace {
 
             if full_blocks > 0 {
                 let dim = b * lw;
-                {
+                let fused_ready = self.mode == PipelineMode::Fused
+                    && hashes.data_independent()
+                    && self.families.len() > panel.index;
+                // With a block height of 1 every unit is a contiguous
+                // row slice of `x_q`, so the fused path needs no gather
+                // copy at all — clustering reads the dequantized
+                // staging and the centroid fold reads `x_q` directly.
+                let fused_direct = fused_ready && b == 1;
+                if fused_ready {
+                    // Fused sweep: dequantize the panel's codes in one
+                    // vectorized pass, then hash + norm-scan the result
+                    // in one batched sweep while it is still cache-hot.
+                    let _fused = greuse_telemetry::span!("exec.fused_pack_hash");
+                    self.fused.begin_panel(&self.families[panel.index]);
+                    let deq = &mut self.deq[..full_blocks * dim];
+                    if fused_direct {
+                        for (g, d) in deq.chunks_exact_mut(dim).enumerate() {
+                            let row = g * k;
+                            greuse_tensor::dequantize_u8_slice(
+                                &self.x_q[row + col0..row + col1],
+                                params.scale,
+                                params.zero_point,
+                                d,
+                            );
+                        }
+                    } else {
+                        let units = &mut self.units_q[..full_blocks * dim];
+                        for g in 0..full_blocks {
+                            let u = &mut units[g * dim..(g + 1) * dim];
+                            for br in 0..b {
+                                let row = (g * b + br) * k;
+                                u[br * lw..(br + 1) * lw]
+                                    .copy_from_slice(&self.x_q[row + col0..row + col1]);
+                            }
+                        }
+                        greuse_tensor::dequantize_u8_slice(
+                            units,
+                            params.scale,
+                            params.zero_point,
+                            deq,
+                        );
+                    }
+                    self.fused.feed_rows(deq, full_blocks);
+                } else {
                     let _gather = greuse_telemetry::span!("exec.gather");
                     let units = &mut self.units_q[..full_blocks * dim];
                     for g in 0..full_blocks {
@@ -355,8 +419,18 @@ impl QuantWorkspace {
 
                 {
                     let _cluster = greuse_telemetry::span!("exec.cluster");
-                    self.scratch
-                        .cluster_q8(units, full_blocks, params, family)?;
+                    if fused_ready {
+                        self.scratch.cluster_presigned(
+                            &self.deq[..full_blocks * dim],
+                            full_blocks,
+                            dim,
+                            self.fused.signatures(),
+                            self.fused.tau(),
+                        )?;
+                    } else {
+                        self.scratch
+                            .cluster_q8(units, full_blocks, params, family)?;
+                    }
                 }
                 let n_c = self.scratch.num_clusters();
                 stats.n_vectors += full_blocks as u64;
@@ -371,12 +445,24 @@ impl QuantWorkspace {
                     let _fold = greuse_telemetry::span!("exec.fold");
                     let csums = &mut self.csums[..n_c * dim];
                     csums.fill(0);
-                    for (g, &c) in self.scratch.assignments().iter().enumerate() {
-                        let src = &units[g * dim..(g + 1) * dim];
-                        let dst = &mut csums[c * dim..(c + 1) * dim];
-                        for (d, &s) in dst.iter_mut().zip(src) {
-                            *d += i32::from(s);
-                        }
+                    if fused_direct {
+                        // `units` was never filled on this path; member
+                        // rows live contiguously in `x_q` at stride `k`.
+                        scatter_accumulate_u8_i32(
+                            &self.x_q[col0..],
+                            k,
+                            lw,
+                            self.scratch.assignments(),
+                            csums,
+                        );
+                    } else {
+                        scatter_accumulate_u8_i32(
+                            units,
+                            dim,
+                            dim,
+                            self.scratch.assignments(),
+                            csums,
+                        );
                     }
                     let stacked = &mut self.stacked_q[..n_c * dim];
                     for (c, &size) in self.scratch.sizes().iter().enumerate() {
@@ -404,15 +490,13 @@ impl QuantWorkspace {
 
                 {
                     let _recover = greuse_telemetry::span!("exec.recover");
-                    for (g, &c) in self.scratch.assignments().iter().enumerate() {
-                        for br in 0..b {
-                            let dst = &mut self.acc[(g * b + br) * m..(g * b + br + 1) * m];
-                            let src = &yc[(c * b + br) * m..(c * b + br + 1) * m];
-                            for (d, &s) in dst.iter_mut().zip(src) {
-                                *d += s;
-                            }
-                        }
-                    }
+                    recover_rows_i32(
+                        &mut self.acc[..full_blocks * b * m],
+                        yc,
+                        self.scratch.assignments(),
+                        b,
+                        m,
+                    );
                 }
                 stats.ops.recover_elems += (full_blocks * b * m) as u64;
             }
@@ -443,9 +527,7 @@ impl QuantWorkspace {
                     for r in 0..tail_rows {
                         let base = full_blocks * b + r;
                         let dst = &mut self.acc[base * m..(base + 1) * m];
-                        for (d, &s) in dst.iter_mut().zip(&yt[r * m..(r + 1) * m]) {
-                            *d += s;
-                        }
+                        add_assign_i32(dst, &yt[r * m..(r + 1) * m]);
                     }
                 }
                 stats.ops.recover_elems += (tail_rows * m) as u64;

@@ -13,10 +13,10 @@
 //! caller's [`PanelBuffers`] arena and nothing is allocated here, which
 //! is what makes the executor's steady state allocation-free.
 
-use greuse_lsh::{ClusterScratch, HashFamily};
-use greuse_tensor::gemm_f32_into_with;
+use greuse_lsh::{ClusterScratch, FusedPanelSource, HashFamily};
+use greuse_tensor::{add_assign_f32, gemm_f32_into_with};
 
-use crate::exec::workspace::{panel_family, PanelBuffers, PanelIter};
+use crate::exec::workspace::{panel_family, PanelBuffers, PanelIter, PipelineMode};
 use crate::exec::ReuseStats;
 use crate::hash_provider::HashProvider;
 use crate::pattern::ReusePattern;
@@ -35,6 +35,8 @@ pub(crate) fn vertical_into(
     buf: &mut PanelBuffers,
     scratch: &mut ClusterScratch,
     families: &mut Vec<HashFamily>,
+    fsrc: &mut FusedPanelSource,
+    mode: PipelineMode,
     y: &mut [f32],
     stats: &mut ReuseStats,
 ) -> Result<()> {
@@ -58,10 +60,29 @@ pub(crate) fn vertical_into(
         let wp_t = &buf.wp_t[..lw * m];
 
         if full_blocks > 0 {
-            // Gather block vectors: full_blocks x (b*lw).
+            // Gather block vectors: full_blocks x (b*lw). With the fused
+            // pipeline and a cached family, each block is hashed and
+            // norm-scanned *as it is copied* — one sweep instead of three
+            // (gather, packed-projection hash, norm scan).
             let dim = b * lw;
             let units = &mut buf.units[..full_blocks * dim];
-            {
+            let fused_ready = mode == PipelineMode::Fused
+                && hashes.data_independent()
+                && families.len() > panel.index;
+            if fused_ready {
+                let _fused = greuse_telemetry::span!("exec.fused_pack_hash");
+                fsrc.begin_panel(&families[panel.index]);
+                for g in 0..full_blocks {
+                    let dst = &mut units[g * dim..(g + 1) * dim];
+                    for br in 0..b {
+                        let row = (g * b + br) * k;
+                        dst[br * lw..(br + 1) * lw].copy_from_slice(&x[row + col0..row + col1]);
+                    }
+                }
+                // One batched hash + norm sweep over the just-gathered
+                // (cache-hot) panel.
+                fsrc.feed_rows(units, full_blocks);
+            } else {
                 let _gather = greuse_telemetry::span!("exec.gather");
                 for g in 0..full_blocks {
                     let dst = &mut units[g * dim..(g + 1) * dim];
@@ -98,9 +119,33 @@ pub(crate) fn vertical_into(
                 }
                 action
             };
+            // A corrupting fault rewrites the units *after* the fused
+            // sweep hashed them; re-derive signatures from the corrupted
+            // data through the staged path so the fault is observed
+            // exactly as in staged mode.
+            #[cfg(feature = "fault-inject")]
+            let fused_ready = fused_ready
+                && !matches!(
+                    injected,
+                    Some(
+                        crate::faults::FaultAction::CorruptNan
+                            | crate::faults::FaultAction::CorruptInf
+                            | crate::faults::FaultAction::Saturate
+                    )
+                );
             {
                 let _cluster = greuse_telemetry::span!("exec.cluster");
-                scratch.cluster(units, full_blocks, family)?;
+                if fused_ready {
+                    scratch.cluster_presigned(
+                        units,
+                        full_blocks,
+                        dim,
+                        fsrc.signatures(),
+                        fsrc.tau(),
+                    )?;
+                } else {
+                    scratch.cluster(units, full_blocks, family)?;
+                }
             }
             #[cfg(feature = "fault-inject")]
             if injected == Some(crate::faults::FaultAction::DegenerateClusters) {
@@ -144,9 +189,7 @@ pub(crate) fn vertical_into(
                     for br in 0..b {
                         let dst = &mut y[(g * b + br) * m..(g * b + br + 1) * m];
                         let src = &yc[(c * b + br) * m..(c * b + br + 1) * m];
-                        for (d, s) in dst.iter_mut().zip(src.iter()) {
-                            *d += s;
-                        }
+                        add_assign_f32(dst, src);
                     }
                 }
             }
@@ -173,9 +216,7 @@ pub(crate) fn vertical_into(
                 let _recover = greuse_telemetry::span!("exec.recover");
                 for r in 0..tail_rows {
                     let dst = &mut y[(full_blocks * b + r) * m..(full_blocks * b + r + 1) * m];
-                    for (d, s) in dst.iter_mut().zip(yt[r * m..(r + 1) * m].iter()) {
-                        *d += s;
-                    }
+                    add_assign_f32(dst, &yt[r * m..(r + 1) * m]);
                 }
             }
             stats.ops.recover_elems += (tail_rows * m) as u64;

@@ -16,7 +16,7 @@
 //! reuse units are gathered and how centroid results are applied; the
 //! reorder → cluster → centroid-GEMM plumbing is common and lives here.
 
-use greuse_lsh::{ClusterScratch, HashFamily};
+use greuse_lsh::{ClusterScratch, FusedPanelSource, HashFamily};
 use greuse_tensor::{ConvSpec, GemmScratch, Permutation, Tensor};
 
 use crate::exec::horizontal::horizontal_into;
@@ -92,6 +92,30 @@ impl Iterator for PanelIter {
     }
 }
 
+/// Which per-panel pipeline drives the hash/cluster/pack stages.
+///
+/// [`PipelineMode::Fused`] (the default) materializes, hashes, and
+/// norm-scans every reuse unit in **one memory sweep** via
+/// [`greuse_lsh::FusedPanelSource`], then groups with precomputed
+/// signatures. [`PipelineMode::Staged`] is the legacy three-sweep walk
+/// (gather, packed-projection hash, norm scan). The two produce
+/// **bit-identical** outputs and statistics; `Staged` exists as the
+/// differential-testing oracle and for A/B benchmarking.
+///
+/// The fused sweep needs the panel's hash family *before* the data is
+/// gathered, so it engages only once the family is cached — i.e. from
+/// the second call on a stable workspace key, with a data-independent
+/// hash provider. The first call (and every call of data-adapted
+/// providers) runs staged regardless of the mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineMode {
+    /// Hash-during-pack single sweep (default).
+    #[default]
+    Fused,
+    /// Legacy gather → hash → norm-scan three-sweep pipeline.
+    Staged,
+}
+
 /// What a workspace is currently sized for.
 #[derive(Debug, Clone, PartialEq)]
 struct WsKey {
@@ -147,12 +171,26 @@ pub struct ExecWorkspace {
     buf: PanelBuffers,
     scratch: ClusterScratch,
     families: Vec<HashFamily>,
+    fused: FusedPanelSource,
+    mode: PipelineMode,
 }
 
 impl ExecWorkspace {
     /// Creates an empty workspace; buffers are sized on first use.
     pub fn new() -> Self {
         ExecWorkspace::default()
+    }
+
+    /// Selects the per-panel pipeline (see [`PipelineMode`]). The default
+    /// is [`PipelineMode::Fused`]; switching modes never changes results,
+    /// only the number of memory sweeps per panel.
+    pub fn set_pipeline(&mut self, mode: PipelineMode) {
+        self.mode = mode;
+    }
+
+    /// The currently selected per-panel pipeline.
+    pub fn pipeline(&self) -> PipelineMode {
+        self.mode
     }
 
     /// Pre-sizes the workspace for one layer's GEMM: precompiles the
@@ -233,6 +271,7 @@ impl ExecWorkspace {
                 self.buf.tail.resize(tail * l, 0.0);
                 self.buf.yt.resize(tail * m, 0.0);
                 self.buf.folded.clear();
+                self.fused.reserve(pattern.h, dim, full_blocks);
             }
             ReuseDirection::Horizontal => {
                 let l = pattern.l.min(n);
@@ -244,6 +283,7 @@ impl ExecWorkspace {
                 self.buf.wp_t.clear();
                 self.buf.tail.clear();
                 self.buf.yt.clear();
+                self.fused.reserve(pattern.h, l, k);
             }
         }
 
@@ -307,6 +347,8 @@ impl ExecWorkspace {
             buf,
             scratch,
             families,
+            fused,
+            mode,
             ..
         } = self;
 
@@ -363,12 +405,12 @@ impl ExecWorkspace {
             y_work.fill(0.0);
             match pattern.direction {
                 ReuseDirection::Vertical => vertical_into(
-                    x_work, w_work, n, k, m, pattern, hashes, layer, buf, scratch, families,
-                    y_work, &mut stats,
+                    x_work, w_work, n, k, m, pattern, hashes, layer, buf, scratch, families, fused,
+                    *mode, y_work, &mut stats,
                 )?,
                 ReuseDirection::Horizontal => horizontal_into(
-                    x_work, w_work, n, k, m, pattern, hashes, layer, buf, scratch, families,
-                    y_work, &mut stats,
+                    x_work, w_work, n, k, m, pattern, hashes, layer, buf, scratch, families, fused,
+                    *mode, y_work, &mut stats,
                 )?,
             }
         }

@@ -16,7 +16,7 @@
 // data it exists to reject. Tests are exempt.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
-use crate::models::latency::key_condition_holds;
+use crate::models::latency::{key_condition_holds, key_condition_holds_fused};
 use crate::pattern::ReusePattern;
 use crate::{GreuseError, Result};
 use greuse_tensor::Tensor;
@@ -75,6 +75,12 @@ pub struct GuardConfig {
     /// layer falls back to dense. `None` skips the (non-trivial) bound
     /// computation entirely.
     pub max_error_bound: Option<f64>,
+    /// When true, the redundancy fallback uses the **fused** break-even
+    /// ([`breakeven_rt_fused`]): with hash-during-pack hiding part of the
+    /// hashing cost, reuse stays profitable at lower `r_t`, so the guard
+    /// tolerates a wider redundancy band before recomputing dense.
+    /// Default `false` (the paper's classic `H/D_out` threshold).
+    pub fused_breakeven: bool,
 }
 
 impl GuardConfig {
@@ -88,7 +94,7 @@ impl GuardConfig {
         GuardConfig {
             policy: GuardPolicy::Strict,
             fallback: true,
-            max_error_bound: None,
+            ..GuardConfig::default()
         }
     }
 
@@ -97,7 +103,7 @@ impl GuardConfig {
         GuardConfig {
             policy: GuardPolicy::Sanitize,
             fallback: true,
-            max_error_bound: None,
+            ..GuardConfig::default()
         }
     }
 
@@ -107,13 +113,20 @@ impl GuardConfig {
         GuardConfig {
             policy,
             fallback: policy != GuardPolicy::Off,
-            max_error_bound: None,
+            ..GuardConfig::default()
         }
     }
 
     /// Sets the accuracy-bound ceiling (builder style).
     pub fn with_max_error_bound(mut self, bound: f64) -> Self {
         self.max_error_bound = Some(bound);
+        self
+    }
+
+    /// Switches the redundancy fallback to the fused break-even
+    /// threshold (builder style; see [`GuardConfig::fused_breakeven`]).
+    pub fn with_fused_breakeven(mut self) -> Self {
+        self.fused_breakeven = true;
         self
     }
 
@@ -255,10 +268,27 @@ pub fn breakeven_rt(pattern: &ReusePattern, m: usize) -> f64 {
     pattern.h as f64 / m as f64
 }
 
+/// The break-even under the fused hash-during-pack pipeline: with a
+/// fraction [`greuse_mcu::FUSED_HASH_HIDDEN_FRAC`] of the hashing cost
+/// hidden inside the gather sweep, reuse saves computation already at
+/// `r_t > H·(1 − frac)/D_out` — always at or below [`breakeven_rt`].
+pub fn breakeven_rt_fused(pattern: &ReusePattern, m: usize) -> f64 {
+    if m == 0 {
+        return f64::INFINITY;
+    }
+    pattern.h as f64 * (1.0 - greuse_mcu::FUSED_HASH_HIDDEN_FRAC) / m as f64
+}
+
 /// Whether a guarded layer should fall back to dense given its measured
 /// per-call redundancy ratio — the negation of the paper's key condition.
 pub fn should_fall_back(pattern: &ReusePattern, m: usize, measured_rt: f64) -> bool {
     !key_condition_holds(pattern.h, m, measured_rt)
+}
+
+/// [`should_fall_back`] against the fused break-even — the threshold a
+/// [`GuardConfig`] with [`GuardConfig::fused_breakeven`] applies.
+pub fn should_fall_back_fused(pattern: &ReusePattern, m: usize, measured_rt: f64) -> bool {
+    !key_condition_holds_fused(pattern.h, m, measured_rt)
 }
 
 #[cfg(test)]

@@ -72,18 +72,20 @@ pub use error::GreuseError;
 pub use exec::{
     execute_reuse, execute_reuse_batch, execute_reuse_images, execute_reuse_images_parallel,
     execute_reuse_in, execute_reuse_named, execute_reuse_with_spec, BatchExecutor, BatchStacking,
-    ExecWorkspace, Panel, PanelIter, QuantWorkspace, ReuseOutput, ReuseStats,
+    ExecWorkspace, Panel, PanelIter, PipelineMode, QuantWorkspace, ReuseOutput, ReuseStats,
 };
 pub use guard::{
-    breakeven_rt, first_non_finite, sanitize_non_finite, should_fall_back, validate_gemm_operands,
-    FallbackReason, GuardConfig, GuardPolicy,
+    breakeven_rt, breakeven_rt_fused, first_non_finite, sanitize_non_finite, should_fall_back,
+    should_fall_back_fused, validate_gemm_operands, FallbackReason, GuardConfig, GuardPolicy,
 };
 pub use hash_provider::{AdaptedHashProvider, HashProvider, RandomHashProvider};
 pub use models::accuracy::{
     accuracy_bound, accuracy_bound_with_spec, measured_error, measured_error_with_spec,
     AccuracyEstimate,
 };
-pub use models::latency::{key_condition_holds, LatencyModel, PatternOps};
+pub use models::latency::{
+    key_condition_holds, key_condition_holds_fused, LatencyModel, PatternOps,
+};
 pub use ood::{max_softmax_detection, OodReport};
 pub use pattern::{ReuseDirection, ReuseOrder, ReusePattern, RowOrder};
 pub use plan::DeploymentPlan;

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use greuse_mcu::{Board, PhaseLatency, PhaseOps};
+use greuse_mcu::{Board, PhaseLatency, PhaseOps, FUSED_HASH_HIDDEN_FRAC};
 
 use crate::pattern::{ReuseDirection, ReusePattern};
 
@@ -16,6 +16,18 @@ use crate::pattern::{ReuseDirection, ReusePattern};
 /// `H / D_out < r_t`.
 pub fn key_condition_holds(h: usize, d_out: usize, r_t: f64) -> bool {
     (h as f64) / (d_out as f64) < r_t
+}
+
+/// The key condition under the fused hash-during-pack pipeline: with a
+/// fraction [`FUSED_HASH_HIDDEN_FRAC`] of the hashing cost hidden inside
+/// the gather sweep, the effective hashing term shrinks to
+/// `H · (1 − frac)`, so reuse saves computation iff
+/// `H · (1 − frac) / D_out < r_t`. Strictly weaker than
+/// [`key_condition_holds`]: every shape that paid off staged still pays
+/// off fused, plus a band of borderline shapes that used to lose to the
+/// hashing overhead.
+pub fn key_condition_holds_fused(h: usize, d_out: usize, r_t: f64) -> bool {
+    (h as f64) * (1.0 - FUSED_HASH_HIDDEN_FRAC) / (d_out as f64) < r_t
 }
 
 /// Analytically derived per-phase operation counts for a pattern on a
@@ -114,6 +126,21 @@ impl LatencyModel {
     ) -> PhaseLatency {
         let derived = PatternOps::derive(n, k, m, pattern, r_t);
         self.board.spec().latency(&derived.ops)
+    }
+
+    /// Predicted latency of `pattern` under the fused hash-during-pack
+    /// pipeline: the hashing term is discounted by
+    /// [`FUSED_HASH_HIDDEN_FRAC`] (see [`greuse_mcu::PhaseOps::fused`]).
+    pub fn predict_fused(
+        &self,
+        n: usize,
+        k: usize,
+        m: usize,
+        pattern: &ReusePattern,
+        r_t: f64,
+    ) -> PhaseLatency {
+        let derived = PatternOps::derive(n, k, m, pattern, r_t);
+        self.board.spec().latency_fused(&derived.ops)
     }
 
     /// Latency of the dense (CMSIS-NN) baseline for the same layer.

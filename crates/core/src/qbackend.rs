@@ -169,7 +169,12 @@ impl<P: HashProvider> QuantizedBackend<P> {
         let mut result = ws.execute_into(x, weights, pattern, &self.hashes, layer, y);
         let needs_fallback = match (&result, pattern) {
             (Ok(stats), Some(p)) => {
-                self.guard.fallback && should_fall_back(p, weights.rows(), stats.redundancy_ratio)
+                let below = if self.guard.fused_breakeven {
+                    crate::guard::should_fall_back_fused(p, weights.rows(), stats.redundancy_ratio)
+                } else {
+                    should_fall_back(p, weights.rows(), stats.redundancy_ratio)
+                };
+                self.guard.fallback && below
             }
             _ => false,
         };

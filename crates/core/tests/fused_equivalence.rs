@@ -1,0 +1,242 @@
+//! Property-based equivalence of the fused single-sweep pipeline and
+//! the staged pipeline.
+//!
+//! The fused pipeline ([`PipelineMode::Fused`], the default) hashes each
+//! neuron vector *as it is gathered* instead of in a separate sweep, and
+//! feeds the precomputed signatures into the clusterer via
+//! `cluster_presigned`. Its contract is **bit-identity** with the staged
+//! pipeline on the f32 path: identical output bits and identical
+//! [`ReuseStats`] for every shape, pattern, reorder, direction and block
+//! height — the fusion only reorders *when* work happens, never *what*
+//! arithmetic is performed or in which accumulation order.
+//!
+//! On the int8 path the same property holds (the fused sweep dequantizes
+//! with the same `scale * (q - zero_point)` expression the staged
+//! clusterer uses), and both pipelines must additionally stay within the
+//! documented worst-case quantization tolerance of the f32 reference —
+//! the same bound the golden-vector conformance suite enforces.
+//!
+//! Each workspace is executed twice per property case: the fused
+//! pipeline engages on the second call, once the data-independent hash
+//! families are cached (the first call always runs staged, which is
+//! itself part of the contract being checked).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use greuse::{
+    ExecWorkspace, PipelineMode, QuantWorkspace, RandomHashProvider, ReuseDirection, ReuseOrder,
+    ReusePattern, RowOrder,
+};
+use greuse_tensor::{gemm_ref_f32, Tensor};
+
+/// A matrix with controlled redundancy: rows are noisy copies of a few
+/// prototypes (same construction as the core property suite).
+fn redundant(n: usize, k: usize, protos: usize, noise: f32, seed: u64) -> Tensor<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = Tensor::from_fn(&[protos.max(1), k], |_| rng.gen_range(-1.0f32..1.0));
+    Tensor::from_fn(&[n, k], |i| {
+        let (r, c) = (i / k, i % k);
+        base[[r % protos.max(1), c]]
+            + if noise > 0.0 {
+                rng.gen_range(-noise..noise)
+            } else {
+                0.0
+            }
+    })
+}
+
+fn arb_pattern(n: usize, k: usize) -> impl Strategy<Value = ReusePattern> {
+    (
+        prop_oneof![
+            Just(ReuseOrder::ChannelLast),
+            Just(ReuseOrder::Tiled(3)),
+            (0u32..100).prop_map(ReuseOrder::Random),
+        ],
+        prop_oneof![
+            Just(RowOrder::Natural),
+            Just(RowOrder::SpatialTiles(2)),
+            (0u32..100).prop_map(RowOrder::Random),
+        ],
+        prop_oneof![
+            Just(ReuseDirection::Vertical),
+            Just(ReuseDirection::Horizontal)
+        ],
+        1usize..=16,
+        1usize..=3,
+        1usize..=16,
+    )
+        .prop_map(move |(order, row_order, direction, l, b, h)| {
+            let block_rows = if direction == ReuseDirection::Horizontal {
+                1
+            } else {
+                b
+            };
+            let l = match direction {
+                ReuseDirection::Vertical => l.min(k).max(1),
+                ReuseDirection::Horizontal => l.min(n).max(1),
+            };
+            ReusePattern {
+                order,
+                row_order,
+                direction,
+                l,
+                block_rows,
+                h,
+            }
+        })
+}
+
+/// Randomized GEMM shape plus a pattern valid for it. Shapes are small
+/// enough for 32 cases but deliberately not multiples of the block
+/// height, so ragged panel widths and tail rows are exercised.
+fn arb_case() -> impl Strategy<Value = (usize, usize, usize, ReusePattern)> {
+    (8usize..=33, 6usize..=25, 3usize..=9)
+        .prop_flat_map(|(n, k, m)| (Just(n), Just(k), Just(m), arb_pattern(n, k)))
+}
+
+/// Documented worst-case dense-quantization tolerance (the bound the
+/// golden conformance suite derives in its module docs).
+fn quant_tolerance(x: &Tensor<f32>, w: &Tensor<f32>, y: &[f32]) -> f32 {
+    let k = x.cols() as f32;
+    let ax = x.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+    let aw = w.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+    let ay = y.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+    let s_a = 2.0 * ax / 255.0;
+    let s_w = aw / 127.0;
+    k * (s_a / 2.0 * aw + s_w / 2.0 * ax) + ay / 127.0
+}
+
+/// Scalar-reference `x · wᵀ`, the f32 ground truth for the int8 bound.
+fn reference_output(x: &Tensor<f32>, w: &Tensor<f32>) -> Tensor<f32> {
+    let (m, k) = (w.rows(), w.cols());
+    let wt = Tensor::from_fn(&[k, m], |i| {
+        let (r, c) = (i / m, i % m);
+        w.as_slice()[c * k + r]
+    });
+    gemm_ref_f32(x, &wt).expect("reference gemm")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fused_f32_bit_identical_to_staged(
+        seed in any::<u64>(),
+        case in arb_case(),
+    ) {
+        let (n, k, m, pattern) = case;
+        let x = redundant(n, k, 5, 0.05, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let w = Tensor::from_fn(&[m, k], |_| rng.gen_range(-1.0f32..1.0));
+        let hashes = RandomHashProvider::new(seed ^ 2);
+
+        let mut staged = ExecWorkspace::new();
+        staged.set_pipeline(PipelineMode::Staged);
+        let mut fused = ExecWorkspace::new();
+        prop_assert_eq!(fused.pipeline(), PipelineMode::Fused); // the default
+
+        let mut ys = vec![0.0f32; n * m];
+        let mut yf = vec![0.0f32; n * m];
+        let mut stats_s = None;
+        let mut stats_f = None;
+        // Two calls each: the fused sweep engages on the second call,
+        // once the hash families are cached. Both calls must agree.
+        for _ in 0..2 {
+            stats_s = Some(
+                staged
+                    .execute_into(&x, &w, None, &pattern, &hashes, "prop", &mut ys)
+                    .unwrap(),
+            );
+            stats_f = Some(
+                fused
+                    .execute_into(&x, &w, None, &pattern, &hashes, "prop", &mut yf)
+                    .unwrap(),
+            );
+            for (i, (a, b)) in ys.iter().zip(&yf).enumerate() {
+                prop_assert!(
+                    a.to_bits() == b.to_bits(),
+                    "y[{}] diverged: staged {} vs fused {} under {}",
+                    i, a, b, pattern
+                );
+            }
+            prop_assert_eq!(stats_s.as_ref(), stats_f.as_ref());
+        }
+        let _ = (stats_s, stats_f);
+    }
+
+    #[test]
+    fn fused_int8_bit_identical_to_staged_and_within_tolerance(
+        seed in any::<u64>(),
+        n in 8usize..=33,
+        k in 6usize..=25,
+        m in 3usize..=9,
+        l in 2usize..=16,
+        b in 1usize..=3,
+        h in 1usize..=12,
+    ) {
+        // The int8 executor implements the vertical (M-1) direction;
+        // other directions run dense-quantized, where there is nothing
+        // to fuse.
+        let pattern = ReusePattern::conventional(l.min(k), h).with_block_rows(b);
+        let x = redundant(n, k, 4, 0.03, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 3);
+        let w = Tensor::from_fn(&[m, k], |_| rng.gen_range(-1.0f32..1.0));
+        let hashes = RandomHashProvider::new(seed ^ 4);
+
+        let mut staged = QuantWorkspace::new();
+        staged.set_pipeline(PipelineMode::Staged);
+        let mut fused = QuantWorkspace::new();
+        prop_assert_eq!(fused.pipeline(), PipelineMode::Fused);
+
+        let mut ys = vec![0.0f32; n * m];
+        let mut yf = vec![0.0f32; n * m];
+        for _ in 0..2 {
+            let stats_s = staged
+                .execute_into(&x, &w, Some(&pattern), &hashes, "prop", &mut ys)
+                .unwrap();
+            let stats_f = fused
+                .execute_into(&x, &w, Some(&pattern), &hashes, "prop", &mut yf)
+                .unwrap();
+            // The fused sweep dequantizes with the exact expression the
+            // staged clusterer uses, so the int8 path is bit-identical
+            // too, not merely tolerance-close.
+            for (i, (a, bq)) in ys.iter().zip(&yf).enumerate() {
+                prop_assert!(
+                    a.to_bits() == bq.to_bits(),
+                    "y[{}] diverged: staged {} vs fused {} under {}",
+                    i, a, bq, pattern
+                );
+            }
+            prop_assert_eq!(stats_s, stats_f);
+        }
+
+        // And the fused path stays within the documented quantization
+        // bound of the f32 reference (same bound as the golden
+        // conformance suite). The bound covers quantization error only,
+        // so it is checked on exact-duplicate activations where the
+        // clustering itself is lossless — noisy prototypes above stress
+        // bit-identity, not the accuracy bound.
+        let xd = redundant(n, k, 1, 0.0, seed ^ 5);
+        let mut yd = vec![0.0f32; n * m];
+        for _ in 0..2 {
+            fused
+                .execute_into(&xd, &w, Some(&pattern), &hashes, "prop-exact", &mut yd)
+                .unwrap();
+        }
+        let reference = reference_output(&xd, &w);
+        let tol = quant_tolerance(&xd, &w, reference.as_slice());
+        let worst = yd
+            .iter()
+            .zip(reference.as_slice())
+            .map(|(a, r)| (a - r).abs())
+            .fold(0.0f32, f32::max);
+        prop_assert!(
+            worst <= tol,
+            "fused int8 output deviates {} from the f32 reference (tolerance {})",
+            worst,
+            tol
+        );
+    }
+}

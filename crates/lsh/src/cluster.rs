@@ -2,10 +2,47 @@
 //! redundancy-ratio bookkeeping used by the paper's latency model.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use greuse_tensor::{ActQuantParams, Tensor, TensorError};
 
 use crate::family::{HashFamily, SigScratch, Signature};
+
+/// Multiplicative hasher for [`Signature`] bucket keys.
+///
+/// The default SipHash is keyed and DoS-resistant but costs tens of
+/// nanoseconds per lookup — measurable when every neuron block of every
+/// panel probes the bucket map. Signatures are at most 64 bits of
+/// sign-projection output produced from the data itself, so a
+/// Fibonacci-multiply mix is enough spread and an order of magnitude
+/// cheaper. Only lookups/inserts ever touch the map (iteration order is
+/// never observed), so swapping the hasher cannot change clustering
+/// results.
+#[derive(Debug, Default, Clone)]
+pub struct SigHasher(u64);
+
+impl Hasher for SigHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let x = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = x ^ (x >> 29);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`SigHasher`]-keyed maps.
+pub type SigBuildHasher = BuildHasherDefault<SigHasher>;
 
 /// Result of clustering `n` vectors: an assignment of each vector to a
 /// cluster, cluster sizes, and per-cluster member lists.
@@ -155,8 +192,52 @@ pub fn refine_threshold(mean_norm: f32, h: usize) -> f32 {
     REFINE_FACTOR * mean_norm / h.max(1) as f32
 }
 
+/// Squared Euclidean distance between two equal-length vectors — the
+/// scatter-refinement leader test.
+///
+/// The AVX2 tier reduces in 8 lanes, so the summation *order* differs
+/// from the scalar fold. The distance is only ever compared against the
+/// refinement radius `tau²` (it never enters the output arithmetic), and
+/// every clustering entry point — staged, presigned/fused, and the
+/// allocating reference — shares this one function, so all paths still
+/// agree with each other exactly; only vectors sitting within float
+/// reassociation error of the radius could cluster differently than
+/// under the scalar fold (for exact duplicates every term is zero in any
+/// order).
 fn dist2(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if a.len() >= 8 && std::arch::is_x86_feature_detected!("avx2") {
+        // Safety: AVX2 detected; the kernel only reads in bounds.
+        return unsafe { dist2_avx2(a, b) };
+    }
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dist2_avx2(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        let d = _mm256_sub_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+        i += 8;
+    }
+    let hi = _mm256_extractf128_ps(acc, 1);
+    let mut q = _mm_add_ps(_mm256_castps256_ps128(acc), hi);
+    q = _mm_add_ps(q, _mm_movehl_ps(q, q));
+    q = _mm_add_ss(q, _mm_shuffle_ps(q, q, 1));
+    let mut sum = _mm_cvtss_f32(q);
+    while i < n {
+        let d = *ap.add(i) - *bp.add(i);
+        sum += d * d;
+        i += 1;
+    }
+    sum
 }
 
 /// Single-pass leader clustering: vectors join the first cluster of their
@@ -277,7 +358,7 @@ pub fn cluster_rows_unrefined(
 pub struct ClusterScratch {
     sigs: Vec<Signature>,
     sig_scratch: SigScratch,
-    buckets: HashMap<Signature, usize>,
+    buckets: HashMap<Signature, usize, SigBuildHasher>,
     chain: Vec<usize>,
     leaders: Vec<usize>,
     assignments: Vec<usize>,
@@ -319,15 +400,58 @@ impl ClusterScratch {
                 actual: vec![data.len()],
             });
         }
-        let row = |i: usize| &data[i * l..(i + 1) * l];
         {
             let _hash = greuse_telemetry::span!("lsh.hash");
             family.hash_rows_into(data, n, &mut self.sigs, &mut self.sig_scratch)?;
         }
-        let _group = greuse_telemetry::span!("lsh.group");
-        let tau = refine_threshold(mean_norm_rows(n, row), family.h());
-        let tau2 = tau * tau;
+        let tau = {
+            let row = |i: usize| &data[i * l..(i + 1) * l];
+            refine_threshold(mean_norm_rows(n, row), family.h())
+        };
+        self.group(data, n, l, tau);
+        Ok(())
+    }
 
+    /// Groups `n` rows of `data` using **precomputed** signatures and a
+    /// precomputed refinement radius — the grouping half of
+    /// [`ClusterScratch::cluster`], for callers that already produced
+    /// signatures in a fused materialize-and-hash sweep (see
+    /// [`crate::FusedPanelSource`]). When `sigs` and `tau` are
+    /// bit-identical to what the staged path would compute (the fused
+    /// source guarantees this), the resulting clustering matches
+    /// [`ClusterScratch::cluster`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `data.len() != n * l`
+    /// or `sigs.len() != n`.
+    pub fn cluster_presigned(
+        &mut self,
+        data: &[f32],
+        n: usize,
+        l: usize,
+        sigs: &[Signature],
+        tau: f32,
+    ) -> Result<(), TensorError> {
+        if data.len() != n * l || sigs.len() != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "ClusterScratch::cluster_presigned",
+                expected: vec![n * l, n],
+                actual: vec![data.len(), sigs.len()],
+            });
+        }
+        self.sigs.clear();
+        self.sigs.extend_from_slice(sigs);
+        self.group(data, n, l, tau);
+        Ok(())
+    }
+
+    /// The single-pass leader walk over `self.sigs` — shared by the
+    /// staged and presigned entry points. Telemetry span: `lsh.group`.
+    fn group(&mut self, data: &[f32], n: usize, l: usize, tau: f32) {
+        let _group = greuse_telemetry::span!("lsh.group");
+        let row = |i: usize| &data[i * l..(i + 1) * l];
+        let tau2 = tau * tau;
         self.buckets.clear();
         self.chain.clear();
         self.leaders.clear();
@@ -367,7 +491,6 @@ impl ClusterScratch {
             self.sizes[c] += 1;
             self.assignments.push(c);
         }
-        Ok(())
     }
 
     /// Quantized entry point: clusters `n` rows of `u8` activation codes

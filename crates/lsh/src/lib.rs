@@ -42,11 +42,13 @@
 
 mod cluster;
 mod family;
+mod fused;
 mod pca;
 
 pub use cluster::{
     cluster_rows, cluster_rows_unrefined, cluster_vectors, refine_threshold, ClusterScratch,
-    Clustering,
+    Clustering, SigBuildHasher, SigHasher,
 };
 pub use family::{HashFamily, SigScratch, Signature};
+pub use fused::FusedPanelSource;
 pub use pca::top_principal_directions;

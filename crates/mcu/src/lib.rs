@@ -35,6 +35,9 @@ mod memory;
 mod spec;
 
 pub use energy::{duty_cycled_power_w, inference_energy_mj, PowerSpec};
-pub use latency::{redundancy_ratio, PhaseLatency, PhaseOps, INT8_MAC_FACTOR, INT8_MEM_FACTOR};
+pub use latency::{
+    redundancy_ratio, PhaseLatency, PhaseOps, FUSED_HASH_HIDDEN_FRAC, INT8_MAC_FACTOR,
+    INT8_MEM_FACTOR,
+};
 pub use memory::{activation_bytes, model_weight_bytes, MemoryReport};
 pub use spec::{Board, McuError, McuSpec};

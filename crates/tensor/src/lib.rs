@@ -38,6 +38,7 @@ mod pool;
 mod qgemm;
 mod quantized;
 mod shape;
+mod simd;
 mod stats;
 mod tensor;
 
@@ -59,6 +60,10 @@ pub use quantized::{
     ActQuantParams, LinearQuantParams, QTensor, Requant, Q7,
 };
 pub use shape::Shape;
+pub use simd::{
+    accumulate_u8_i32, add_assign_f32, add_assign_i32, dequantize_u8_slice, min_max_f32,
+    recover_rows_i32, scatter_accumulate_u8_i32,
+};
 pub use stats::{covariance, frobenius_norm_sq, max_eigenvalue, mean_rows};
 pub use tensor::{Element, Tensor};
 

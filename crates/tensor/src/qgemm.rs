@@ -226,6 +226,32 @@ pub fn gemm_q8_into_with(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    // Small products (per-panel centroid GEMMs, ragged tails) are
+    // dominated by packing; below this many MACs a direct accumulation
+    // is cheaper, and integer adds make it bit-identical to the packed
+    // path. Products stay in range: k <= 16384 here, and
+    // 16384 * 255 * 128 < 2^31.
+    const SMALL_GEMM_MACS: usize = 16384;
+    if m * n * k <= SMALL_GEMM_MACS {
+        let _kernel = greuse_telemetry::span!("quant.kernel");
+        #[cfg(target_arch = "x86_64")]
+        if k >= 8 && std::arch::is_x86_feature_detected!("avx2") {
+            // Safety: AVX2 just detected; slice bounds checked above.
+            unsafe { gemm_q8_small_avx2(a, bt, c, m, k, n) };
+            return;
+        }
+        for (i, crow) in c.chunks_exact_mut(n).enumerate() {
+            let arow = &a[i * k..(i + 1) * k];
+            for (slot, brow) in crow.iter_mut().zip(bt.chunks_exact(k)) {
+                let mut s = 0i32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    s += i32::from(av) * i32::from(bv);
+                }
+                *slot = s;
+            }
+        }
+        return;
+    }
     let kc_max = k.min(KC);
     let nc_max = n.min(NC);
     GemmScratch::ensure(&mut scratch.a_pack_q, MC.min(m).div_ceil(MR) * MR * kc_max);
@@ -268,6 +294,80 @@ pub fn gemm_q8_into_with(
             pc += kc;
         }
         jc += nc;
+    }
+}
+
+/// Direct dot-product kernel for the small-GEMM path (no packing):
+/// four `Bᵀ` rows share each 16-wide activation load, `vpmaddwd` pairs
+/// `u8 × i8` products into `i32` lanes (`255·128` fits `i16 × i16` with
+/// no saturation), and a `hadd` tree collapses the four accumulators
+/// into one `xmm` of four outputs. Integer adds are associative and
+/// nothing overflows, so the result is bit-identical to the naive
+/// triple loop regardless of summation order.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and the slice-length invariants
+/// of [`gemm_q8_into_with`] hold (`a: m·k`, `bt: n·k`, `c: m·n`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_q8_small_avx2(a: &[u8], bt: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    use std::arch::x86_64::*;
+    let k16 = k / 16 * 16;
+    let k8 = if k - k16 >= 8 { k16 + 8 } else { k16 };
+    let ap = a.as_ptr();
+    let bp = bt.as_ptr();
+    for i in 0..m {
+        let arow = ap.add(i * k);
+        let crow = &mut c[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let mut acc = [_mm256_setzero_si256(); 4];
+            let mut kk = 0;
+            while kk < k16 {
+                let va = _mm256_cvtepu8_epi16(_mm_loadu_si128(arow.add(kk) as *const __m128i));
+                for (t, lane) in acc.iter_mut().enumerate() {
+                    let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                        bp.add((j + t) * k + kk) as *const __m128i
+                    ));
+                    *lane = _mm256_add_epi32(*lane, _mm256_madd_epi16(va, vb));
+                }
+                kk += 16;
+            }
+            if k8 > k16 {
+                let va = _mm_cvtepu8_epi16(_mm_loadl_epi64(arow.add(kk) as *const __m128i));
+                for (t, lane) in acc.iter_mut().enumerate() {
+                    let vb = _mm_cvtepi8_epi16(_mm_loadl_epi64(
+                        bp.add((j + t) * k + kk) as *const __m128i
+                    ));
+                    let prod = _mm256_set_m128i(_mm_setzero_si128(), _mm_madd_epi16(va, vb));
+                    *lane = _mm256_add_epi32(*lane, prod);
+                }
+            }
+            // hadd(acc0,acc1) per 128-bit lane pairs within-register sums;
+            // a second hadd leaves [ΣA,ΣB,ΣC,ΣD] split across lanes.
+            let h01 = _mm256_hadd_epi32(acc[0], acc[1]);
+            let h23 = _mm256_hadd_epi32(acc[2], acc[3]);
+            let h = _mm256_hadd_epi32(h01, h23);
+            let sum = _mm_add_epi32(_mm256_castsi256_si128(h), _mm256_extracti128_si256(h, 1));
+            let mut out = [0i32; 4];
+            _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, sum);
+            for (t, o) in out.iter_mut().enumerate() {
+                for kt in k8..k {
+                    *o += i32::from(*arow.add(kt)) * i32::from(*bp.add((j + t) * k + kt));
+                }
+            }
+            crow[j..j + 4].copy_from_slice(&out);
+            j += 4;
+        }
+        while j < n {
+            let mut s = 0i32;
+            for kt in 0..k {
+                s += i32::from(*arow.add(kt)) * i32::from(*bp.add(j * k + kt));
+            }
+            crow[j] = s;
+            j += 1;
+        }
     }
 }
 
@@ -351,6 +451,32 @@ mod tests {
         ] {
             let a = fill_u8(m * k, (m * 31 + k) as u64);
             let bt = fill_i8(n * k, (k * 17 + n) as u64);
+            let want = gemm_q8_ref(&a, &bt, m, k, n);
+            let mut c = vec![0i32; m * n];
+            gemm_q8_into_with(&a, &bt, &mut c, m, k, n, &mut scratch);
+            assert_eq!(c, want, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn small_gemm_matches_naive_across_k_and_n_tails() {
+        // Shapes that stay under SMALL_GEMM_MACS and exercise the direct
+        // kernel's 16-chunk / 8-chunk / scalar-tail k splits and the
+        // 4-column / remainder n splits.
+        let mut scratch = GemmScratch::new();
+        for &(m, k, n) in &[
+            (3usize, 7usize, 5usize),
+            (4, 8, 4),
+            (5, 15, 6),
+            (2, 16, 9),
+            (3, 17, 3),
+            (16, 24, 32),
+            (7, 31, 5),
+            (2, 33, 7),
+        ] {
+            assert!(m * n * k <= 16384);
+            let a = fill_u8(m * k, (m * 131 + k * 7 + n) as u64);
+            let bt = fill_i8(n * k, (k * 113 + m) as u64);
             let want = gemm_q8_ref(&a, &bt, m, k, n);
             let mut c = vec![0i32; m * n];
             gemm_q8_into_with(&a, &bt, &mut c, m, k, n, &mut scratch);

@@ -184,12 +184,7 @@ impl ActQuantParams {
     /// Returns [`TensorError::InvalidQuantization`] when the data contains
     /// non-finite values.
     pub fn from_data(xs: &[f32]) -> Result<Self, TensorError> {
-        let mut lo = 0.0f32;
-        let mut hi = 0.0f32;
-        for &v in xs {
-            lo = lo.min(v);
-            hi = hi.max(v);
-        }
+        let (lo, hi) = crate::simd::min_max_f32(xs);
         ActQuantParams::from_range(lo, hi)
     }
 
@@ -208,12 +203,12 @@ impl ActQuantParams {
 }
 
 /// Quantizes a slice of activations into a caller-owned `u8` buffer
-/// (allocation-free; `out.len()` must equal `xs.len()`).
+/// (allocation-free; `out.len()` must equal `xs.len()`). Dispatches to
+/// the vectorized tiers in [`crate::simd`]; the result is bit-identical
+/// to calling [`ActQuantParams::quantize`] per element.
 pub fn quantize_u8_into(xs: &[f32], params: &ActQuantParams, out: &mut [u8]) {
     debug_assert_eq!(xs.len(), out.len());
-    for (dst, &v) in out.iter_mut().zip(xs) {
-        *dst = params.quantize(v);
-    }
+    crate::simd::quantize_u8_slice(xs, params.scale, params.zero_point, out);
 }
 
 /// Quantizes a slice with INT8 linear parameters into a caller-owned
@@ -291,6 +286,13 @@ impl Requant {
         f64::from(self.multiplier) / f64::from(self.shift).exp2()
     }
 
+    /// The raw `(multiplier, shift)` pair for the crate's vectorized
+    /// requantize kernel.
+    #[inline]
+    pub(crate) fn parts(&self) -> (i32, u32) {
+        (self.multiplier, self.shift)
+    }
+
     /// Requantizes one accumulator: `sat_i8(round(acc · m))` with
     /// round-half-away-from-zero — bit-exact against an `f64` reference
     /// using [`Requant::effective_multiplier`], because the `i64` product
@@ -312,13 +314,14 @@ impl Requant {
 }
 
 /// Requantizes a full accumulator buffer into a caller-owned `i8` buffer
-/// (allocation-free). Telemetry span: `quant.requant`.
+/// (allocation-free). Dispatches to the vectorized tiers in
+/// [`crate::simd`]; bit-identical to [`Requant::apply`] per element.
+/// Telemetry span: `quant.requant`.
 pub fn requantize_i8_into(acc: &[i32], rq: &Requant, out: &mut [i8]) {
     debug_assert_eq!(acc.len(), out.len());
     let _span = greuse_telemetry::span!("quant.requant");
-    for (dst, &v) in out.iter_mut().zip(acc) {
-        *dst = rq.apply(v);
-    }
+    let (multiplier, shift) = rq.parts();
+    crate::simd::requantize_i8_slice(acc, multiplier, shift, out);
 }
 
 /// Quantizes a tensor with INT8 linear (affine) quantization.
