@@ -58,6 +58,15 @@ cargo run -q --release -p greuse-bench --bin bench_gemm -- --quick --check
 echo "==> bench_quant --quick --check --check-breakeven (int8 kernel >= 1.5x f32 scalar gate + fused break-even shape sweep)"
 cargo run -q --release -p greuse-bench --bin bench_quant -- --quick --check --check-breakeven
 
+# Runs after bench_quant so BENCH_quant.json exists for the
+# cache-disabled-executor cross-check.
+echo "==> bench_stream --quick --check (temporal cache: warm >= 1.3x cold, zero-alloc warm path, cache-on == cache-off bitwise)"
+cargo run -q --release -p greuse-bench --bin bench_stream -- \
+  --quick --check --quant-baseline BENCH_quant.json
+
+echo "==> stream-cache equivalence suite (incl. never-commit-under-fault)"
+cargo test -q -p greuse --features fault-inject --test stream_cache
+
 echo "==> greuse profile (exporters + schema validation)"
 cargo run -q --release -p greuse-cli --bin greuse -- profile \
   --model cifarnet --samples 2 --out PROFILE_ci.json --trace TRACE_ci.json --validate

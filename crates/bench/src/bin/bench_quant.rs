@@ -21,8 +21,13 @@
 
 use std::time::Instant;
 
-use greuse::{key_condition_holds_fused, QuantWorkspace, RandomHashProvider, ReusePattern};
+use greuse::{
+    key_condition_holds_fused, FallbackReason, GuardConfig, QuantWorkspace, QuantizedBackend,
+    RandomHashProvider, ReusePattern,
+};
 use greuse_bench::quick_mode;
+use greuse_nn::ConvBackend;
+use greuse_tensor::ConvSpec;
 use greuse_tensor::{
     gemm_q8_into_with, gemm_q8_ref, gemm_ref_f32, requantize_i8_into, GemmScratch, Requant, Tensor,
 };
@@ -226,6 +231,47 @@ fn main() {
                 pattern.h
             ));
         }
+
+        // Negative coverage: a low-redundancy shape on which the fused
+        // key condition predicts a dense *win* must drive the guard's
+        // break-even fallback. All-distinct random rows keep r_t far
+        // below the H·(1−hidden)/M threshold of an expensive hash
+        // (H = 24 on M = 32 → break-even at r_t = 0.375).
+        let (nn, nk, nm) = (256usize, 96usize, 32usize);
+        let neg_pattern = ReusePattern::conventional(24, 24);
+        let neg_x = Tensor::from_fn(&[nn, nk], |_| rng.gen_range(-1.0f32..1.0));
+        let neg_w = Tensor::from_fn(&[nm, nk], |_| rng.gen_range(-1.0f32..1.0));
+        let guarded = QuantizedBackend::new(RandomHashProvider::new(31))
+            .with_pattern("neg", neg_pattern)
+            .with_guard(GuardConfig::strict().with_fused_breakeven());
+        let spec = ConvSpec::new(nk, 1, 1, 1);
+        guarded
+            .conv_gemm("neg", &spec, &neg_x, &neg_w)
+            .expect("guarded negative-shape run");
+        let neg_stats = guarded.layer_stats("neg").expect("layer ran");
+        let neg_rt = neg_stats.redundancy_ratio();
+        let neg_predicted = key_condition_holds_fused(neg_pattern.h, nm, neg_rt);
+        let fell_back = neg_stats.fallbacks >= 1
+            && guarded.layer_fallback_reason("neg") == Some(FallbackReason::LowRedundancy);
+        println!(
+            "  {nn}x{nk}x{nm} H={}: r_t = {neg_rt:.3}, predicted win = {neg_predicted}, \
+             guard fallback = {fell_back}",
+            neg_pattern.h
+        );
+        if neg_predicted {
+            breakeven_losses.push(format!(
+                "negative shape {nn}x{nk}x{nm} unexpectedly predicted a reuse win \
+                 (r_t {neg_rt:.3} >= break-even)"
+            ));
+        } else if !fell_back {
+            breakeven_losses.push(format!(
+                "guard kept reuse on predicted-loss shape {nn}x{nk}x{nm} (r_t {neg_rt:.3})"
+            ));
+        }
+        breakeven_json.push(format!(
+            "    {{\n      \"n\": {nn},\n      \"k\": {nk},\n      \"m\": {nm},\n      \"h\": {},\n      \"redundancy_ratio\": {neg_rt},\n      \"predicted_win\": {neg_predicted},\n      \"guard_fell_back\": {fell_back}\n    }}",
+            neg_pattern.h
+        ));
     }
     let breakeven_field = if breakeven_json.is_empty() {
         String::new()

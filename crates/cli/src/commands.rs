@@ -2,16 +2,18 @@
 
 use greuse::{
     workflow::{network_latency, select_patterns_for_layer, WorkflowConfig},
-    AdaptedHashProvider, DeploymentPlan, GuardConfig, GuardPolicy, LatencyModel, QuantizedBackend,
-    ReuseBackend, ReusePattern, Scope,
+    AdaptedHashProvider, DeploymentPlan, ExecWorkspace, GuardConfig, GuardPolicy, LatencyModel,
+    QuantWorkspace, QuantizedBackend, RandomHashProvider, ReuseBackend, ReusePattern, ReuseStats,
+    Scope,
 };
-use greuse_data::SyntheticDataset;
+use greuse_data::{FrameStream, SyntheticDataset};
 use greuse_mcu::{inference_energy_mj, Board, PhaseOps};
 use greuse_nn::{
     evaluate_accuracy, evaluate_dense, models::CifarNet, models::SqueezeNet,
     models::SqueezeNetVariant, models::ZfNet, ptq_int8, StateDict, TrainableNetwork, Trainer,
     TrainerConfig,
 };
+use greuse_tensor::Tensor;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -36,6 +38,9 @@ USAGE:
   greuse infer    --model <...> [--weights FILE] [--backend f32|int8]
                   [--reuse L,H] [--samples N] [--board f4|f7]
                   [--guard strict|sanitize|off]
+  greuse stream   --n N --k K --m M [--frames N] [--rate R] [--distinct D]
+                  [--l L] [--h H] [--backend f32|int8] [--no-cache]
+                  [--board f4|f7] [--seed S]
   greuse help";
 
 type AnyNet = Box<dyn TrainableNetwork>;
@@ -529,6 +534,114 @@ pub fn infer(opts: &Options) -> Result<(), String> {
             ))
         }
     }
+    Ok(())
+}
+
+/// `greuse stream` — run a correlated frame stream through the reuse
+/// executor with the temporal (cross-call) cache and report warm-path
+/// behaviour: cache hit/miss/invalidate counters, the warm-hit fraction,
+/// host wall time split into cold (first frames) and steady state, and
+/// the modeled on-device latency of dense vs. fused vs. streamed
+/// execution. `--no-cache` disables the cache for A/B comparison;
+/// results are bit-identical either way (hits are validated by exact
+/// data comparison), only the cost changes.
+pub fn stream(opts: &Options) -> Result<(), String> {
+    let n: usize = opts.num("n", 256)?;
+    let k: usize = opts.num("k", 96)?;
+    let m: usize = opts.num("m", 64)?;
+    let frames: usize = opts.num("frames", 30)?.max(3);
+    let rate: f64 = opts.num("rate", 0.05)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--rate must be in [0, 1], got {rate}"));
+    }
+    let distinct: usize = opts.num("distinct", 32usize.min(n))?;
+    let l: usize = opts.num("l", 24)?.min(k).max(1);
+    let h: usize = opts.num("h", 4)?;
+    let seed: u64 = opts.num("seed", 42u64)?;
+    let backend_name = opts.get_or("backend", "f32").to_string();
+    let cache_on = !opts.flag("no-cache");
+    let b = board(opts);
+
+    let pattern = ReusePattern::conventional(l, h);
+    // Tile width == panel width L, so one perturbed tile maps to exactly
+    // one cache panel.
+    let mut frames_src = FrameStream::new(n, k, distinct.clamp(1, n), l, rate, seed);
+    let w = Tensor::from_fn(&[m, k], |i| ((i % 37) as f32 * 0.29).cos());
+    let hashes = RandomHashProvider::new(seed);
+    let mut y = vec![0.0f32; n * m];
+    let mut total = ReuseStats::default();
+    // Frames 1-2 are structurally cold (family caching + first cache
+    // store); steady state is everything after.
+    let mut cold_ms = 0.0f64;
+    let mut steady_ms = 0.0f64;
+    let mut exec_f32 = ExecWorkspace::new();
+    let mut exec_q8 = QuantWorkspace::new();
+    match backend_name.as_str() {
+        "f32" => exec_f32.set_temporal_cache(cache_on),
+        "int8" => exec_q8.set_temporal_cache(cache_on),
+        other => {
+            return Err(format!(
+                "unknown backend `{other}` (expected `f32` or `int8`)"
+            ))
+        }
+    }
+    for frame in 0..frames {
+        let x =
+            Tensor::from_vec(frames_src.frame().to_vec(), &[n, k]).map_err(|e| e.to_string())?;
+        let t0 = std::time::Instant::now();
+        let stats = match backend_name.as_str() {
+            "f32" => exec_f32
+                .execute_into(&x, &w, None, &pattern, &hashes, "stream", &mut y)
+                .map_err(|e| e.to_string())?,
+            _ => exec_q8
+                .execute_into(&x, &w, Some(&pattern), &hashes, "stream", &mut y)
+                .map_err(|e| e.to_string())?,
+        };
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if frame < 2 {
+            cold_ms += ms;
+        } else {
+            steady_ms += ms;
+        }
+        total.merge(&stats);
+        frames_src.advance();
+    }
+
+    let warm_frac = total.warm_hit_fraction();
+    println!(
+        "stream N={n} K={k} M={m} L={l} H={h}: {frames} frames at perturbation rate {rate} \
+         ({} backend, cache {})",
+        backend_name,
+        if cache_on { "on" } else { "off" }
+    );
+    println!(
+        "  r_t = {:.3}; cache: {} hits / {} misses / {} invalidations (warm-hit fraction {:.3})",
+        total.redundancy_ratio,
+        total.cache_hits,
+        total.cache_misses,
+        total.cache_invalidations,
+        warm_frac
+    );
+    println!(
+        "  host wall: cold {:.3} ms/frame (first 2), steady {:.3} ms/frame (last {})",
+        cold_ms / 2.0,
+        steady_ms / (frames - 2) as f64,
+        frames - 2
+    );
+    let model = LatencyModel::new(b);
+    let dense = model.dense(n, k, m).total_ms();
+    let fused = model
+        .predict_fused(n, k, m, &pattern, total.redundancy_ratio)
+        .total_ms();
+    let streamed = model
+        .predict_streamed(n, k, m, &pattern, total.redundancy_ratio, warm_frac)
+        .total_ms();
+    println!(
+        "  modeled on {b}: dense {dense:.2} ms, fused {fused:.2} ms ({:.2}x), \
+         streamed {streamed:.2} ms ({:.2}x)",
+        dense / fused,
+        dense / streamed
+    );
     Ok(())
 }
 

@@ -9,6 +9,8 @@
 //! greuse profile  --model cifarnet --samples 4 --out profile.json --trace trace.json
 //! greuse infer    --model cifarnet --backend int8 [--reuse L,H] [--samples N]
 //!                 [--guard strict|sanitize|off]
+//! greuse stream   --n 256 --k 96 --m 64 [--frames 30] [--rate 0.05]
+//!                 [--backend f32|int8] [--no-cache]
 //! ```
 //!
 //! Datasets are the workspace's seeded synthetic generators, so every
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
         "scope" => commands::scope(&opts),
         "profile" => commands::profile(&opts),
         "infer" => commands::infer(&opts),
+        "stream" => commands::stream(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -20,6 +20,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod batch;
+mod cache;
 mod horizontal;
 mod quant;
 mod vertical;
@@ -53,6 +54,16 @@ pub struct ReuseStats {
     pub redundancy_ratio: f64,
     /// Per-phase operation counts for the MCU latency model.
     pub ops: PhaseOps,
+    /// Temporal-cache panel hits: the panel replayed a cached clustering
+    /// and centroid-GEMM output (zero when the cache is disabled).
+    pub cache_hits: u64,
+    /// Temporal-cache panel misses: the cache was enabled but the panel
+    /// ran the cold path (first frame, changed signatures, staged mode,
+    /// or a fault kept the probe from running).
+    pub cache_misses: u64,
+    /// Temporal-cache invalidations: signatures matched a cached frame
+    /// but the data did not bit-compare equal, evicting the entry.
+    pub cache_invalidations: u64,
 }
 
 impl ReuseStats {
@@ -70,7 +81,23 @@ impl ReuseStats {
         self.n_vectors += other.n_vectors;
         self.n_clusters += other.n_clusters;
         self.ops = self.ops.combined(&other.ops);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_invalidations += other.cache_invalidations;
         self.redundancy_ratio = greuse_mcu::redundancy_ratio(self.n_vectors, self.n_clusters);
+    }
+
+    /// Fraction of probed panels that hit the temporal cache
+    /// (`hits / (hits + misses + invalidations)`), or `0.0` when the
+    /// cache never probed — the measured `warm_frac` feeding
+    /// [`greuse_mcu::McuSpec::latency_streamed`].
+    pub fn warm_hit_fraction(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses + self.cache_invalidations;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 }
 

@@ -40,6 +40,7 @@ use greuse_tensor::{
     ActQuantParams, GemmScratch, LinearQuantParams, Requant, Tensor,
 };
 
+use crate::exec::cache::{Probe, ReuseCache};
 use crate::exec::workspace::{PanelIter, PipelineMode};
 use crate::exec::ReuseStats;
 use crate::hash_provider::HashProvider;
@@ -105,12 +106,37 @@ pub struct QuantWorkspace {
     deq: Vec<f32>,
     fused: FusedPanelSource,
     mode: PipelineMode,
+    /// Temporal (cross-call) reuse cache over quantized unit codes; the
+    /// cached accumulators are the pre-zero-point panel GEMM outputs.
+    cache: Option<ReuseCache<u8, i32>>,
+    /// Activation params the cache entries were built under. The
+    /// clustering operates on *dequantized* values, so a params change
+    /// makes cached groupings describe different real data even when the
+    /// codes match — the whole cache is cleared.
+    cache_params: Option<ActQuantParams>,
 }
 
 impl QuantWorkspace {
     /// Creates an empty workspace; buffers are sized on first use.
     pub fn new() -> Self {
         QuantWorkspace::default()
+    }
+
+    /// Enables or disables the temporal (cross-call) reuse cache. Off by
+    /// default; see [`super::ExecWorkspace::set_temporal_cache`] — hits
+    /// are validated by exact code comparison, so results never change.
+    pub fn set_temporal_cache(&mut self, enabled: bool) {
+        if enabled == self.cache.is_some() {
+            return;
+        }
+        self.cache = enabled.then(ReuseCache::default);
+        self.cache_params = None;
+        self.key = None;
+    }
+
+    /// Whether the temporal reuse cache is enabled.
+    pub fn temporal_cache_enabled(&self) -> bool {
+        self.cache.is_some()
     }
 
     /// Selects the per-panel pipeline (see
@@ -182,6 +208,10 @@ impl QuantWorkspace {
             self.yc.resize(full_blocks * b * m, 0);
             self.deq.resize(full_blocks * dim, 0.0);
             self.fused.reserve(p.h, dim, full_blocks);
+            if let Some(cache) = self.cache.as_mut() {
+                cache.reserve(k.div_ceil(l), full_blocks, b, k, m);
+                self.cache_params = None;
+            }
             let tail = n - full_blocks * b;
             self.tail_q.resize(tail * l, 0);
             self.yt.resize(tail * m, 0);
@@ -263,6 +293,19 @@ impl QuantWorkspace {
             quantize_u8_into(x.as_slice(), &params, &mut self.x_q);
             params
         };
+
+        // Cached clusterings were computed on values dequantized under
+        // the params of their frame; new params mean the same codes map
+        // to different reals, so every entry is stale.
+        if let Some(cache) = self.cache.as_mut() {
+            let same = self.cache_params.is_some_and(|p| {
+                p.scale.to_bits() == params.scale.to_bits() && p.zero_point == params.zero_point
+            });
+            if !same {
+                cache.clear();
+                self.cache_params = Some(params);
+            }
+        }
 
         let mut stats = ReuseStats::default();
         match pattern.filter(|p| p.direction == ReuseDirection::Vertical) {
@@ -417,7 +460,52 @@ impl QuantWorkspace {
                     &owned
                 };
 
-                {
+                // Temporal-reuse probe over the quantized codes (this
+                // path has no payload-corrupting fault points, so fused
+                // signatures are the only gate). On the direct path the
+                // unit rows live strided in `x_q`; otherwise they were
+                // gathered into `units_q`.
+                let mut warm = false;
+                if let Some(c) = self.cache.as_mut() {
+                    if fused_ready {
+                        let (pdata, stride): (&[u8], usize) = if fused_direct {
+                            (&self.x_q[col0..], k)
+                        } else {
+                            (units, dim)
+                        };
+                        let rlen = if fused_direct { lw } else { dim };
+                        match c.probe(
+                            panel,
+                            self.fused.signatures(),
+                            self.fused.tau(),
+                            pdata,
+                            stride,
+                            rlen,
+                        ) {
+                            Probe::Hit => {
+                                let _warm = greuse_telemetry::span!("exec.warm_cluster");
+                                self.scratch
+                                    .restore(c.assignments(panel.index), c.sizes(panel.index));
+                                stats.cache_hits += 1;
+                                greuse_telemetry::counter!("cache.hit").add(1);
+                                warm = true;
+                            }
+                            Probe::ChangedData => {
+                                stats.cache_invalidations += 1;
+                                greuse_telemetry::counter!("cache.invalidate").add(1);
+                            }
+                            Probe::Cold | Probe::ChangedSigs => {
+                                stats.cache_misses += 1;
+                                greuse_telemetry::counter!("cache.miss").add(1);
+                            }
+                        }
+                    } else {
+                        stats.cache_misses += 1;
+                        greuse_telemetry::counter!("cache.miss").add(1);
+                    }
+                }
+
+                if !warm {
                     let _cluster = greuse_telemetry::span!("exec.cluster");
                     if fused_ready {
                         self.scratch.cluster_presigned(
@@ -435,70 +523,113 @@ impl QuantWorkspace {
                 let n_c = self.scratch.num_clusters();
                 stats.n_vectors += full_blocks as u64;
                 stats.n_clusters += n_c as u64;
-                stats.ops.clustering_vectors += full_blocks as u64;
+                if !warm {
+                    stats.ops.clustering_vectors += full_blocks as u64;
+                }
                 stats.ops.clustering_macs += family.hashing_macs(full_blocks);
 
-                // Integer centroid fold: rounded mean of member codes,
-                // written directly in stacked `(n_c·b) x lw` order (the
-                // block layout is already row-contiguous).
-                {
-                    let _fold = greuse_telemetry::span!("exec.fold");
-                    let csums = &mut self.csums[..n_c * dim];
-                    csums.fill(0);
-                    if fused_direct {
-                        // `units` was never filled on this path; member
-                        // rows live contiguously in `x_q` at stride `k`.
-                        scatter_accumulate_u8_i32(
-                            &self.x_q[col0..],
-                            k,
-                            lw,
+                if warm {
+                    // Replay the cached pre-zero-point accumulators; the
+                    // zero-point fold and requantization run globally
+                    // after the panel walk, exactly as on a cold call.
+                    let _recover = greuse_telemetry::span!("exec.recover");
+                    if let Some(c) = self.cache.as_ref() {
+                        recover_rows_i32(
+                            &mut self.acc[..full_blocks * b * m],
+                            c.yc(panel.index, n_c * b * m),
                             self.scratch.assignments(),
-                            csums,
-                        );
-                    } else {
-                        scatter_accumulate_u8_i32(
-                            units,
-                            dim,
-                            dim,
-                            self.scratch.assignments(),
-                            csums,
+                            b,
+                            m,
                         );
                     }
-                    let stacked = &mut self.stacked_q[..n_c * dim];
-                    for (c, &size) in self.scratch.sizes().iter().enumerate() {
-                        let sz = size as i32;
-                        let src = &csums[c * dim..(c + 1) * dim];
-                        let dst = &mut stacked[c * dim..(c + 1) * dim];
-                        for (d, &s) in dst.iter_mut().zip(src) {
-                            *d = ((s + sz / 2) / sz) as u8;
+                    stats.ops.recover_elems += (full_blocks * b * m) as u64;
+                } else {
+                    // Integer centroid fold: rounded mean of member codes,
+                    // written directly in stacked `(n_c·b) x lw` order (the
+                    // block layout is already row-contiguous).
+                    {
+                        let _fold = greuse_telemetry::span!("exec.fold");
+                        let csums = &mut self.csums[..n_c * dim];
+                        csums.fill(0);
+                        if fused_direct {
+                            // `units` was never filled on this path; member
+                            // rows live contiguously in `x_q` at stride `k`.
+                            scatter_accumulate_u8_i32(
+                                &self.x_q[col0..],
+                                k,
+                                lw,
+                                self.scratch.assignments(),
+                                csums,
+                            );
+                        } else {
+                            scatter_accumulate_u8_i32(
+                                units,
+                                dim,
+                                dim,
+                                self.scratch.assignments(),
+                                csums,
+                            );
+                        }
+                        let stacked = &mut self.stacked_q[..n_c * dim];
+                        for (c, &size) in self.scratch.sizes().iter().enumerate() {
+                            let sz = size as i32;
+                            let src = &csums[c * dim..(c + 1) * dim];
+                            let dst = &mut stacked[c * dim..(c + 1) * dim];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d = ((s + sz / 2) / sz) as u8;
+                            }
+                        }
+                    }
+
+                    // Centroid GEMM: (n_c·b) x lw × (lw x M via Bᵀ).
+                    let yc = &mut self.yc[..n_c * b * m];
+                    gemm_q8_into_with(
+                        &self.stacked_q[..n_c * dim],
+                        &self.wp_q[..m * lw],
+                        yc,
+                        n_c * b,
+                        lw,
+                        m,
+                        &mut self.gemm,
+                    );
+                    stats.ops.gemm_macs += (n_c * b * lw * m) as u64;
+
+                    {
+                        let _recover = greuse_telemetry::span!("exec.recover");
+                        recover_rows_i32(
+                            &mut self.acc[..full_blocks * b * m],
+                            yc,
+                            self.scratch.assignments(),
+                            b,
+                            m,
+                        );
+                    }
+                    stats.ops.recover_elems += (full_blocks * b * m) as u64;
+
+                    // Commit this genuine cold-path result (fused signatures
+                    // required: the staged first call has none to key on).
+                    if fused_ready {
+                        if let Some(c) = self.cache.as_mut() {
+                            let (pdata, stride): (&[u8], usize) = if fused_direct {
+                                (&self.x_q[col0..], k)
+                            } else {
+                                (&self.units_q[..full_blocks * dim], dim)
+                            };
+                            let rlen = if fused_direct { lw } else { dim };
+                            c.store(
+                                panel,
+                                self.fused.signatures(),
+                                self.fused.tau(),
+                                pdata,
+                                stride,
+                                rlen,
+                                self.scratch.assignments(),
+                                self.scratch.sizes(),
+                                &self.yc[..n_c * b * m],
+                            );
                         }
                     }
                 }
-
-                // Centroid GEMM: (n_c·b) x lw × (lw x M via Bᵀ).
-                let yc = &mut self.yc[..n_c * b * m];
-                gemm_q8_into_with(
-                    &self.stacked_q[..n_c * dim],
-                    &self.wp_q[..m * lw],
-                    yc,
-                    n_c * b,
-                    lw,
-                    m,
-                    &mut self.gemm,
-                );
-                stats.ops.gemm_macs += (n_c * b * lw * m) as u64;
-
-                {
-                    let _recover = greuse_telemetry::span!("exec.recover");
-                    recover_rows_i32(
-                        &mut self.acc[..full_blocks * b * m],
-                        yc,
-                        self.scratch.assignments(),
-                        b,
-                        m,
-                    );
-                }
-                stats.ops.recover_elems += (full_blocks * b * m) as u64;
             }
 
             if tail_rows > 0 {

@@ -16,6 +16,7 @@
 use greuse_lsh::{ClusterScratch, FusedPanelSource, HashFamily};
 use greuse_tensor::{add_assign_f32, gemm_f32_into_with};
 
+use crate::exec::cache::{Probe, ReuseCache};
 use crate::exec::workspace::{panel_family, PanelBuffers, PanelIter, PipelineMode};
 use crate::exec::ReuseStats;
 use crate::hash_provider::HashProvider;
@@ -37,6 +38,7 @@ pub(crate) fn vertical_into(
     families: &mut Vec<HashFamily>,
     fsrc: &mut FusedPanelSource,
     mode: PipelineMode,
+    mut cache: Option<&mut ReuseCache<f32, f32>>,
     y: &mut [f32],
     stats: &mut ReuseStats,
 ) -> Result<()> {
@@ -133,63 +135,140 @@ pub(crate) fn vertical_into(
                             | crate::faults::FaultAction::Saturate
                     )
                 );
-            {
-                let _cluster = greuse_telemetry::span!("exec.cluster");
-                if fused_ready {
-                    scratch.cluster_presigned(
-                        units,
-                        full_blocks,
-                        dim,
-                        fsrc.signatures(),
-                        fsrc.tau(),
-                    )?;
+            #[cfg(feature = "fault-inject")]
+            let fault_clean = injected.is_none();
+            #[cfg(not(feature = "fault-inject"))]
+            let fault_clean = true;
+            let units = &buf.units[..full_blocks * dim];
+
+            // Temporal-reuse probe: with signatures from the fused sweep
+            // and no fault fired this panel, an unchanged tile (validated
+            // bitwise — see `cache.rs`) replays its cached clustering and
+            // centroid-GEMM output outright.
+            let mut warm = false;
+            if let Some(c) = cache.as_deref_mut() {
+                if fused_ready && fault_clean {
+                    match c.probe(panel, fsrc.signatures(), fsrc.tau(), units, dim, dim) {
+                        Probe::Hit => {
+                            let _warm = greuse_telemetry::span!("exec.warm_cluster");
+                            scratch.restore(c.assignments(panel.index), c.sizes(panel.index));
+                            stats.cache_hits += 1;
+                            greuse_telemetry::counter!("cache.hit").add(1);
+                            warm = true;
+                        }
+                        Probe::ChangedData => {
+                            stats.cache_invalidations += 1;
+                            greuse_telemetry::counter!("cache.invalidate").add(1);
+                        }
+                        Probe::Cold | Probe::ChangedSigs => {
+                            stats.cache_misses += 1;
+                            greuse_telemetry::counter!("cache.miss").add(1);
+                        }
+                    }
                 } else {
-                    scratch.cluster(units, full_blocks, family)?;
+                    stats.cache_misses += 1;
+                    greuse_telemetry::counter!("cache.miss").add(1);
                 }
             }
-            #[cfg(feature = "fault-inject")]
-            if injected == Some(crate::faults::FaultAction::DegenerateClusters) {
-                scratch.force_singletons(full_blocks);
+
+            if !warm {
+                {
+                    let _cluster = greuse_telemetry::span!("exec.cluster");
+                    if fused_ready {
+                        scratch.cluster_presigned(
+                            units,
+                            full_blocks,
+                            dim,
+                            fsrc.signatures(),
+                            fsrc.tau(),
+                        )?;
+                    } else {
+                        scratch.cluster(units, full_blocks, family)?;
+                    }
+                }
+                #[cfg(feature = "fault-inject")]
+                if injected == Some(crate::faults::FaultAction::DegenerateClusters) {
+                    scratch.force_singletons(full_blocks);
+                }
             }
             let n_c = scratch.num_clusters();
             stats.n_vectors += full_blocks as u64;
             stats.n_clusters += n_c as u64;
-            stats.ops.clustering_vectors += full_blocks as u64;
+            // The hash always ran (staged or in the fused sweep); the
+            // leader walk is skipped on a warm hit.
+            if !warm {
+                stats.ops.clustering_vectors += full_blocks as u64;
+            }
             stats.ops.clustering_macs += family.hashing_macs(full_blocks);
 
-            // Centroid blocks, then stacked as (n_c * b) x lw.
-            {
-                let _fold = greuse_telemetry::span!("exec.fold");
-                #[cfg(feature = "fault-inject")]
-                crate::faults::panic_point(crate::faults::FaultPoint::ExecFold, "exec.fold");
-                let centroids = &mut buf.centroids[..n_c * dim];
-                scratch.centroids_into(units, dim, centroids)?;
-                let stacked = &mut buf.stacked[..n_c * b * lw];
-                for c in 0..n_c {
-                    for br in 0..b {
-                        stacked[(c * b + br) * lw..(c * b + br + 1) * lw].copy_from_slice(
-                            &centroids[c * dim + br * lw..c * dim + (br + 1) * lw],
-                        );
+            if warm {
+                // Replay the cached centroid-GEMM output: fold and GEMM
+                // are skipped entirely, only recovery runs.
+                let _recover = greuse_telemetry::span!("exec.recover");
+                if let Some(c) = cache.as_deref() {
+                    let yc = c.yc(panel.index, n_c * b * m);
+                    for (g, &cl) in scratch.assignments().iter().enumerate() {
+                        for br in 0..b {
+                            let dst = &mut y[(g * b + br) * m..(g * b + br + 1) * m];
+                            let src = &yc[(cl * b + br) * m..(cl * b + br + 1) * m];
+                            add_assign_f32(dst, src);
+                        }
                     }
                 }
-            }
-            let stacked = &buf.stacked[..n_c * b * lw];
-            // Centroid GEMM: (n_c*b) x lw × lw x M.
-            let yc = &mut buf.yc[..n_c * b * m];
-            {
-                let _gemm = greuse_telemetry::span!("exec.gemm");
-                gemm_f32_into_with(stacked, wp_t, yc, n_c * b, lw, m, &mut buf.gemm)?;
-            }
-            stats.ops.gemm_macs += (n_c * b * lw * m) as u64;
+            } else {
+                // Centroid blocks, then stacked as (n_c * b) x lw.
+                {
+                    let _fold = greuse_telemetry::span!("exec.fold");
+                    #[cfg(feature = "fault-inject")]
+                    crate::faults::panic_point(crate::faults::FaultPoint::ExecFold, "exec.fold");
+                    let centroids = &mut buf.centroids[..n_c * dim];
+                    scratch.centroids_into(units, dim, centroids)?;
+                    let stacked = &mut buf.stacked[..n_c * b * lw];
+                    for c in 0..n_c {
+                        for br in 0..b {
+                            stacked[(c * b + br) * lw..(c * b + br + 1) * lw].copy_from_slice(
+                                &centroids[c * dim + br * lw..c * dim + (br + 1) * lw],
+                            );
+                        }
+                    }
+                }
+                let stacked = &buf.stacked[..n_c * b * lw];
+                // Centroid GEMM: (n_c*b) x lw × lw x M.
+                let yc = &mut buf.yc[..n_c * b * m];
+                {
+                    let _gemm = greuse_telemetry::span!("exec.gemm");
+                    gemm_f32_into_with(stacked, wp_t, yc, n_c * b, lw, m, &mut buf.gemm)?;
+                }
+                stats.ops.gemm_macs += (n_c * b * lw * m) as u64;
 
-            // Recovery: duplicate each cluster's block result to members.
-            {
-                let _recover = greuse_telemetry::span!("exec.recover");
-                for (g, &c) in scratch.assignments().iter().enumerate() {
-                    for br in 0..b {
-                        let dst = &mut y[(g * b + br) * m..(g * b + br + 1) * m];
-                        let src = &yc[(c * b + br) * m..(c * b + br + 1) * m];
-                        add_assign_f32(dst, src);
+                // Recovery: duplicate each cluster's block result to members.
+                {
+                    let _recover = greuse_telemetry::span!("exec.recover");
+                    for (g, &c) in scratch.assignments().iter().enumerate() {
+                        for br in 0..b {
+                            let dst = &mut y[(g * b + br) * m..(g * b + br + 1) * m];
+                            let src = &yc[(c * b + br) * m..(c * b + br + 1) * m];
+                            add_assign_f32(dst, src);
+                        }
+                    }
+                }
+                // Commit to the cache only results of a genuine,
+                // fault-free cold run with fused signatures: everything a
+                // later hit replays must be exactly what the cold path
+                // produced.
+                if fused_ready && fault_clean {
+                    if let Some(c) = cache.as_deref_mut() {
+                        c.store(
+                            panel,
+                            fsrc.signatures(),
+                            fsrc.tau(),
+                            units,
+                            dim,
+                            dim,
+                            scratch.assignments(),
+                            scratch.sizes(),
+                            &buf.yc[..n_c * b * m],
+                        );
                     }
                 }
             }

@@ -143,6 +143,26 @@ impl LatencyModel {
         self.board.spec().latency_fused(&derived.ops)
     }
 
+    /// Predicted amortized per-frame latency of `pattern` on a streaming
+    /// workload whose temporal reuse cache hits on a `warm_frac` fraction
+    /// of panels (measured as
+    /// [`crate::ReuseStats::warm_hit_fraction`]): clustering vectors and
+    /// centroid-GEMM MACs shrink to their cold fraction on top of the
+    /// fused discount (see [`greuse_mcu::PhaseOps::streamed`]).
+    /// `warm_frac = 0` reduces to [`LatencyModel::predict_fused`].
+    pub fn predict_streamed(
+        &self,
+        n: usize,
+        k: usize,
+        m: usize,
+        pattern: &ReusePattern,
+        r_t: f64,
+        warm_frac: f64,
+    ) -> PhaseLatency {
+        let derived = PatternOps::derive(n, k, m, pattern, r_t);
+        self.board.spec().latency_streamed(&derived.ops, warm_frac)
+    }
+
     /// Latency of the dense (CMSIS-NN) baseline for the same layer.
     pub fn dense(&self, n: usize, k: usize, m: usize) -> PhaseLatency {
         self.board.spec().latency(&PhaseOps::dense_conv(n, k, m))
@@ -207,6 +227,21 @@ mod tests {
         // costs nearly a full GEMM.
         let p = ReusePattern::conventional(20, 60);
         assert!(model.speedup(256, 1600, 64, &p, 0.05) < 1.0);
+    }
+
+    #[test]
+    fn streamed_prediction_below_fused_and_reduces_at_zero() {
+        let model = LatencyModel::new(Board::Stm32F469i);
+        let p = ReusePattern::conventional(20, 3);
+        let fused = model.predict_fused(1024, 75, 64, &p, 0.9).total_ms();
+        let cold = model
+            .predict_streamed(1024, 75, 64, &p, 0.9, 0.0)
+            .total_ms();
+        let warm = model
+            .predict_streamed(1024, 75, 64, &p, 0.9, 0.95)
+            .total_ms();
+        assert!((cold - fused).abs() < 1e-12);
+        assert!(warm < fused, "warm {warm} fused {fused}");
     }
 
     #[test]

@@ -147,6 +147,7 @@ pub fn winograd_reuse_conv2d(
             // 2x2 writes per (tile, m).
             recover_elems: (n_tiles * m * 4) as u64,
         },
+        ..ReuseStats::default()
     };
     Ok(WinogradReuseOutput { y, stats })
 }

@@ -142,6 +142,55 @@ fn assert_parallel_batch_steady_state() {
     assert_eq!(repeat, warm, "steady-state batches must be deterministic");
 }
 
+/// The temporal cache's warm path must be allocation-free too: after
+/// the staged call, the storing call, and the first hit have sized the
+/// cache, repeated identical frames replay cached centroid outputs
+/// without allocating — on both executors.
+fn assert_temporal_cache_steady_state() {
+    let (n, k, m) = (64usize, 48usize, 8usize);
+    let pattern = ReusePattern::conventional(12, 4);
+    let hashes = RandomHashProvider::new(7);
+    let x = Tensor::from_fn(&[n, k], |i| ((i % 101) as f32 * 0.13).sin());
+    let w = Tensor::from_fn(&[m, k], |i| ((i % 37) as f32 * 0.29).cos());
+    let mut y = vec![0.0f32; n * m];
+
+    let mut ws = ExecWorkspace::new();
+    ws.set_temporal_cache(true);
+    let mut warm = Default::default();
+    for _ in 0..3 {
+        warm = ws
+            .execute_into(&x, &w, None, &pattern, &hashes, "conv1", &mut y)
+            .unwrap();
+    }
+    assert!(warm.cache_hits > 0, "third identical frame must hit");
+    let before = allocs();
+    for _ in 0..5 {
+        let repeat = ws
+            .execute_into(&x, &w, None, &pattern, &hashes, "conv1", &mut y)
+            .unwrap();
+        assert!(repeat.cache_hits > 0, "steady frames must stay warm");
+    }
+    assert_eq!(allocs() - before, 0, "warm f32 cache replay allocated");
+
+    let mut qws = QuantWorkspace::new();
+    qws.set_temporal_cache(true);
+    let mut qwarm = Default::default();
+    for _ in 0..3 {
+        qwarm = qws
+            .execute_into(&x, &w, Some(&pattern), &hashes, "conv1", &mut y)
+            .unwrap();
+    }
+    assert!(qwarm.cache_hits > 0, "third identical int8 frame must hit");
+    let before = allocs();
+    for _ in 0..5 {
+        let repeat = qws
+            .execute_into(&x, &w, Some(&pattern), &hashes, "conv1", &mut y)
+            .unwrap();
+        assert!(repeat.cache_hits > 0, "steady int8 frames must stay warm");
+    }
+    assert_eq!(allocs() - before, 0, "warm int8 cache replay allocated");
+}
+
 // One test function, not five: the allocation counter is process-global,
 // and the libtest harness runs `#[test]`s concurrently — parallel cases
 // would count each other's warm-up allocations.
@@ -172,6 +221,8 @@ fn steady_state_allocates_nothing() {
     // Quantized executor: dense int8 and the int8 reuse walk.
     assert_quantized_steady_state(None);
     assert_quantized_steady_state(Some(ReusePattern::conventional(16, 4)));
+    // Temporal cache's warm replay path.
+    assert_temporal_cache_steady_state();
 
     // Telemetry enabled: spans write to preallocated ring slots and
     // counters to static atomics, so the instrumented steady state must

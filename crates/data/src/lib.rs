@@ -32,5 +32,7 @@
 #![warn(missing_docs)]
 
 mod generator;
+mod stream;
 
 pub use generator::{DatasetSpec, Example, SyntheticDataset};
+pub use stream::FrameStream;

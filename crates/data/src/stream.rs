@@ -1,0 +1,248 @@
+//! Correlated frame streams for temporal-reuse workloads.
+//!
+//! Streaming sensors (cameras, microphones) produce *successive* inputs
+//! that overlap heavily: most of a frame is identical to the previous
+//! one, and only a few regions change. [`FrameStream`] models that
+//! structure directly at the im2col level — it emits `rows x cols`
+//! activation matrices in which consecutive frames differ only in a
+//! tunable fraction of column *tiles*. A temporal reuse cache keyed on
+//! column panels (width = the tile width) sees exactly
+//! `1 − perturbation_rate` of its panels unchanged frame over frame.
+//!
+//! Two properties are maintained deliberately:
+//!
+//! 1. **Exact redundancy** — every row is a bitwise copy of one of a
+//!    small set of prototype rows, so within-frame clustering redundancy
+//!    is high and *exact* (no tolerance games).
+//! 2. **Stable quantization range** — all values live in `[-1, 1]` and
+//!    two pinned elements hold exactly `+1.0` / `-1.0` in every frame,
+//!    so per-frame min/max activation quantization parameters are
+//!    bit-identical across the stream and never spuriously invalidate a
+//!    quantized temporal cache.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic stream of correlated `rows x cols` activation frames.
+///
+/// Frames are built from `distinct` prototype rows (row `i` copies
+/// prototype `i % distinct`). [`FrameStream::advance`] perturbs each
+/// column tile independently with probability `rate`, rewriting that
+/// tile's span in *every* prototype — so a perturbed tile changes the
+/// corresponding column panel of the whole frame, and an unperturbed
+/// tile leaves its panel bitwise untouched.
+#[derive(Debug, Clone)]
+pub struct FrameStream {
+    rows: usize,
+    cols: usize,
+    tile_cols: usize,
+    rate: f64,
+    /// `distinct` prototype rows, each `cols` long.
+    prototypes: Vec<Vec<f32>>,
+    frame: Vec<f32>,
+    rng: SmallRng,
+}
+
+impl FrameStream {
+    /// Creates a stream of `rows x cols` frames built from `distinct`
+    /// prototype rows, with column tiles of width `tile_cols` perturbed
+    /// at probability `rate` per [`FrameStream::advance`] call.
+    ///
+    /// Align `tile_cols` with the reuse pattern's panel width `L` so a
+    /// perturbed tile maps to exactly one cache panel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, `distinct > rows`, `cols < 2`
+    /// (the quantization range pins need two elements) or `rate` is
+    /// outside `[0, 1]`.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        distinct: usize,
+        tile_cols: usize,
+        rate: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(rows > 0 && cols > 0 && tile_cols > 0, "degenerate shape");
+        assert!(
+            distinct > 0 && distinct <= rows,
+            "need 1..=rows prototype rows"
+        );
+        assert!(cols >= 2, "range pins need at least two columns");
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut prototypes = Vec::with_capacity(distinct);
+        for _ in 0..distinct {
+            let mut row = Vec::with_capacity(cols);
+            for _ in 0..cols {
+                row.push(rng.gen_range(-0.95..0.95));
+            }
+            prototypes.push(row);
+        }
+        let mut stream = FrameStream {
+            rows,
+            cols,
+            tile_cols,
+            rate,
+            prototypes,
+            frame: vec![0.0; rows * cols],
+            rng,
+        };
+        stream.pin_range();
+        stream.materialize();
+        stream
+    }
+
+    /// Number of rows per frame.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns per frame.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of column tiles (`ceil(cols / tile_cols)`).
+    pub fn num_tiles(&self) -> usize {
+        self.cols.div_ceil(self.tile_cols)
+    }
+
+    /// The current frame, row-major `rows x cols`.
+    pub fn frame(&self) -> &[f32] {
+        &self.frame
+    }
+
+    /// Advances to the next frame: each column tile is independently
+    /// rewritten with probability `rate` (fresh values in every
+    /// prototype), the rest stay bitwise identical. Returns the number
+    /// of tiles perturbed.
+    pub fn advance(&mut self) -> usize {
+        let mut perturbed = 0;
+        for t in 0..self.num_tiles() {
+            if self.rng.gen::<f64>() >= self.rate {
+                continue;
+            }
+            perturbed += 1;
+            let c0 = t * self.tile_cols;
+            let c1 = (c0 + self.tile_cols).min(self.cols);
+            for proto in &mut self.prototypes {
+                for v in &mut proto[c0..c1] {
+                    *v = self.rng.gen_range(-0.95..0.95);
+                }
+            }
+        }
+        if perturbed > 0 {
+            self.pin_range();
+            self.materialize();
+        }
+        perturbed
+    }
+
+    /// Keeps the frame's min/max pinned at exactly `-1.0` / `+1.0` so
+    /// min/max activation quantization parameters never drift between
+    /// frames (perturbed values are drawn strictly inside the range).
+    fn pin_range(&mut self) {
+        self.prototypes[0][0] = 1.0;
+        self.prototypes[0][1] = -1.0;
+    }
+
+    fn materialize(&mut self) {
+        let distinct = self.prototypes.len();
+        for r in 0..self.rows {
+            self.frame[r * self.cols..(r + 1) * self.cols]
+                .copy_from_slice(&self.prototypes[r % distinct]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FrameStream::new(16, 24, 4, 8, 0.5, 7);
+        let mut b = FrameStream::new(16, 24, 4, 8, 0.5, 7);
+        for _ in 0..5 {
+            assert_eq!(a.frame(), b.frame());
+            assert_eq!(a.advance(), b.advance());
+        }
+    }
+
+    #[test]
+    fn zero_rate_frames_are_bit_identical() {
+        let mut s = FrameStream::new(8, 12, 2, 4, 0.0, 3);
+        let first = s.frame().to_vec();
+        for _ in 0..3 {
+            assert_eq!(s.advance(), 0);
+            assert_eq!(s.frame(), &first[..]);
+        }
+    }
+
+    #[test]
+    fn full_rate_perturbs_every_tile() {
+        let mut s = FrameStream::new(8, 12, 2, 4, 1.0, 3);
+        let before = s.frame().to_vec();
+        assert_eq!(s.advance(), s.num_tiles());
+        for t in 0..s.num_tiles() {
+            let c0 = t * 4;
+            let changed = (0..8).any(|r| {
+                (c0..(c0 + 4).min(12)).any(|c| before[r * 12 + c] != s.frame()[r * 12 + c])
+            });
+            assert!(changed, "tile {t} unchanged at rate 1.0");
+        }
+    }
+
+    #[test]
+    fn unperturbed_tiles_stay_bitwise_identical() {
+        // With a low rate, some advance eventually perturbs a strict
+        // subset of tiles; untouched tiles must compare bitwise equal.
+        let mut s = FrameStream::new(16, 40, 4, 8, 0.3, 11);
+        for _ in 0..20 {
+            let before = s.frame().to_vec();
+            let n = s.advance();
+            if n == 0 || n == s.num_tiles() {
+                continue;
+            }
+            let mut same_tiles = 0;
+            for t in 0..s.num_tiles() {
+                let c0 = t * 8;
+                let c1 = (c0 + 8).min(40);
+                let same = (0..16).all(|r| {
+                    (c0..c1)
+                        .all(|c| before[r * 40 + c].to_bits() == s.frame()[r * 40 + c].to_bits())
+                });
+                if same {
+                    same_tiles += 1;
+                }
+            }
+            assert_eq!(same_tiles, s.num_tiles() - n);
+            return;
+        }
+        panic!("never saw a partial perturbation at rate 0.3");
+    }
+
+    #[test]
+    fn rows_are_prototype_copies() {
+        let s = FrameStream::new(12, 10, 3, 5, 0.5, 9);
+        let f = s.frame();
+        for r in 3..12 {
+            assert_eq!(f[r * 10..(r + 1) * 10], f[(r % 3) * 10..(r % 3 + 1) * 10]);
+        }
+    }
+
+    #[test]
+    fn quantization_range_is_pinned() {
+        let mut s = FrameStream::new(8, 16, 2, 4, 1.0, 5);
+        for _ in 0..4 {
+            let f = s.frame();
+            let max = f.iter().cloned().fold(f32::MIN, f32::max);
+            let min = f.iter().cloned().fold(f32::MAX, f32::min);
+            assert_eq!(max, 1.0);
+            assert_eq!(min, -1.0);
+            s.advance();
+        }
+    }
+}

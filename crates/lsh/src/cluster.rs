@@ -576,6 +576,34 @@ impl ClusterScratch {
         self.sizes.resize(n, 1);
     }
 
+    /// Restores a previously captured clustering (its `assignments` and
+    /// `sizes` as read back from [`ClusterScratch::assignments`] /
+    /// [`ClusterScratch::sizes`]) — the temporal-reuse warm start: a
+    /// caller that proved the current panel's data identical to a cached
+    /// frame skips the leader walk entirely and replays the cached
+    /// grouping. Leaders are rebuilt as the first occurrence of each
+    /// cluster id, which is exactly where the single-pass walk founds
+    /// them. Internal bucket state is left stale, like
+    /// [`ClusterScratch::force_singletons`]; the next
+    /// [`ClusterScratch::cluster`] call rebuilds it from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignments` references a cluster id `>= sizes.len()`.
+    pub fn restore(&mut self, assignments: &[usize], sizes: &[usize]) {
+        self.assignments.clear();
+        self.assignments.extend_from_slice(assignments);
+        self.sizes.clear();
+        self.sizes.extend_from_slice(sizes);
+        self.leaders.clear();
+        self.leaders.resize(sizes.len(), NONE);
+        for (i, &c) in assignments.iter().enumerate() {
+            if self.leaders[c] == NONE {
+                self.leaders[c] = i;
+            }
+        }
+    }
+
     /// Writes the centroid matrix (`num_clusters() x l`, row-major) of the
     /// last clustering into `out`, given the same flat `data` the vectors
     /// were clustered from. Matches [`Clustering::centroids_with`] bit for
@@ -824,6 +852,40 @@ mod tests {
         assert_eq!(out, data);
         // The stale bucket state must not leak into the next clustering.
         scratch.cluster(&[0.5; 12], 4, &family).unwrap();
+        assert_eq!(scratch.num_clusters(), 1);
+    }
+
+    #[test]
+    fn restore_replays_captured_clustering() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let family = HashFamily::random(6, 5, &mut rng);
+        let x = Tensor::random(
+            &[30, 5],
+            &rand::distributions::Uniform::new(-1.0f32, 1.0),
+            &mut rng,
+        );
+        let mut scratch = ClusterScratch::new();
+        scratch.cluster(x.as_slice(), 30, &family).unwrap();
+        let assignments = scratch.assignments().to_vec();
+        let sizes = scratch.sizes().to_vec();
+        let mut cent_want = vec![0.0f32; scratch.num_clusters() * 5];
+        scratch
+            .centroids_into(x.as_slice(), 5, &mut cent_want)
+            .unwrap();
+
+        // Clobber the scratch with an unrelated clustering, then restore.
+        scratch.cluster(&[0.25; 40], 8, &family).unwrap();
+        scratch.restore(&assignments, &sizes);
+        assert_eq!(scratch.assignments(), &assignments[..]);
+        assert_eq!(scratch.sizes(), &sizes[..]);
+        assert_eq!(scratch.num_clusters(), sizes.len());
+        let mut cent_got = vec![0.0f32; sizes.len() * 5];
+        scratch
+            .centroids_into(x.as_slice(), 5, &mut cent_got)
+            .unwrap();
+        assert_eq!(cent_got, cent_want);
+        // Stale bucket state must not leak into the next clustering.
+        scratch.cluster(&[0.5; 20], 4, &family).unwrap();
         assert_eq!(scratch.num_clusters(), 1);
     }
 

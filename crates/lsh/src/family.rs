@@ -46,6 +46,18 @@ impl std::fmt::Display for Signature {
     }
 }
 
+/// `true` when two signature slices are equal element-wise — the
+/// temporal-reuse tile diff: a panel whose per-unit signatures match the
+/// previous frame's is a *candidate* for reusing the cached clustering.
+///
+/// Equal signatures do **not** imply equal data (the sign projection is
+/// many-to-one and the leader walk measures real distances), so callers
+/// that need bit-identical results must still validate the underlying
+/// rows before committing to a cached grouping.
+pub fn signatures_match(a: &[Signature], b: &[Signature]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x == y)
+}
+
 /// A family of `H` hash vectors, each of length `L` (the neuron-vector /
 /// granularity length). Hashing an input vector costs `H·L` MACs — the
 /// `X_i · Hash` overhead term of the paper's latency model (§4.2).
@@ -432,6 +444,21 @@ mod tests {
         assert!(f
             .hash_rows_into(&[0.0; 11], 2, &mut out, &mut scratch)
             .is_err());
+    }
+
+    #[test]
+    fn signatures_match_is_elementwise_equality() {
+        let a = [Signature(1), Signature(2), Signature(3)];
+        assert!(signatures_match(
+            &a,
+            &[Signature(1), Signature(2), Signature(3)]
+        ));
+        assert!(!signatures_match(
+            &a,
+            &[Signature(1), Signature(9), Signature(3)]
+        ));
+        assert!(!signatures_match(&a, &a[..2]));
+        assert!(signatures_match(&[], &[]));
     }
 
     #[test]

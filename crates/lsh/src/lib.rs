@@ -49,6 +49,6 @@ pub use cluster::{
     cluster_rows, cluster_rows_unrefined, cluster_vectors, refine_threshold, ClusterScratch,
     Clustering, SigBuildHasher, SigHasher,
 };
-pub use family::{HashFamily, SigScratch, Signature};
+pub use family::{signatures_match, HashFamily, SigScratch, Signature};
 pub use fused::FusedPanelSource;
 pub use pca::top_principal_directions;

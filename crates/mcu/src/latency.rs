@@ -78,6 +78,27 @@ impl PhaseOps {
             ..*self
         }
     }
+
+    /// The same counts as executed by the streaming pipeline with a
+    /// temporal reuse cache hitting on a `warm_frac` fraction of panels
+    /// (`0.0..=1.0`), on top of the fused discount.
+    ///
+    /// A warm panel replays its cached clustering and centroid-GEMM
+    /// output: the hashing projection still runs (it produces the
+    /// signatures the cache is probed with), but the leader walk, the
+    /// centroid fold, and the centroid GEMM are skipped. Amortized over a
+    /// stream, clustering MACs, clustering vectors, and GEMM MACs all
+    /// shrink to their cold fraction `1 − warm_frac`; transformation and
+    /// recovery run on every frame regardless.
+    pub fn streamed(&self, warm_frac: f64) -> PhaseOps {
+        let cold = (1.0 - warm_frac).clamp(0.0, 1.0);
+        let fused = self.fused();
+        PhaseOps {
+            clustering_vectors: (fused.clustering_vectors as f64 * cold).ceil() as u64,
+            gemm_macs: (fused.gemm_macs as f64 * cold).ceil() as u64,
+            ..fused
+        }
+    }
 }
 
 /// The paper's redundancy ratio `r_t = 1 − n_c / n` (§4.2): the fraction
@@ -197,6 +218,19 @@ impl McuSpec {
     /// [`PhaseOps::fused`]).
     pub fn latency_int8_fused(&self, ops: &PhaseOps) -> PhaseLatency {
         self.latency_int8(&ops.fused())
+    }
+
+    /// Amortized per-frame latency of a streaming workload whose temporal
+    /// cache hits on a `warm_frac` fraction of panels (see
+    /// [`PhaseOps::streamed`]). `warm_frac = 0` reduces to
+    /// [`McuSpec::latency_fused`].
+    pub fn latency_streamed(&self, ops: &PhaseOps, warm_frac: f64) -> PhaseLatency {
+        self.latency(&ops.streamed(warm_frac))
+    }
+
+    /// Int8 variant of [`McuSpec::latency_streamed`].
+    pub fn latency_int8_streamed(&self, ops: &PhaseOps, warm_frac: f64) -> PhaseLatency {
+        self.latency_int8(&ops.streamed(warm_frac))
     }
 }
 
@@ -324,6 +358,53 @@ mod tests {
         let small = PhaseOps::dense_conv(100, 10, 10);
         let large = PhaseOps::dense_conv(200, 10, 10);
         assert!(f7.latency_int8(&large).total_ms() > f7.latency_int8(&small).total_ms());
+    }
+
+    #[test]
+    fn streamed_ops_scale_cold_fraction() {
+        let ops = PhaseOps {
+            transform_elems: 10_000,
+            clustering_macs: 40_000,
+            clustering_vectors: 1_000,
+            gemm_macs: 2_000_000,
+            recover_elems: 20_000,
+        };
+        // warm_frac = 0 reduces exactly to the fused counts.
+        assert_eq!(ops.streamed(0.0), ops.fused());
+        let s = ops.streamed(0.75);
+        assert_eq!(s.clustering_macs, ops.fused().clustering_macs);
+        assert_eq!(s.clustering_vectors, 250);
+        assert_eq!(s.gemm_macs, 500_000);
+        assert_eq!(s.transform_elems, ops.transform_elems);
+        assert_eq!(s.recover_elems, ops.recover_elems);
+        // Fully warm: only the always-on phases remain.
+        let w = ops.streamed(1.0);
+        assert_eq!(w.clustering_vectors, 0);
+        assert_eq!(w.gemm_macs, 0);
+        // Out-of-range fractions clamp instead of wrapping.
+        assert_eq!(ops.streamed(2.0), ops.streamed(1.0));
+        assert_eq!(ops.streamed(-1.0), ops.streamed(0.0));
+    }
+
+    #[test]
+    fn streamed_latency_monotone_in_warm_fraction() {
+        let f4 = Board::Stm32F469i.spec();
+        let ops = PhaseOps {
+            transform_elems: 10_000,
+            clustering_macs: 40_000,
+            clustering_vectors: 1_000,
+            gemm_macs: 2_000_000,
+            recover_elems: 20_000,
+        };
+        let cold = f4.latency_streamed(&ops, 0.0).total_ms();
+        let half = f4.latency_streamed(&ops, 0.5).total_ms();
+        let warm = f4.latency_streamed(&ops, 0.95).total_ms();
+        assert!((cold - f4.latency_fused(&ops).total_ms()).abs() < 1e-12);
+        assert!(cold > half && half > warm, "{cold} > {half} > {warm}");
+        let i8_cold = f4.latency_int8_streamed(&ops, 0.0).total_ms();
+        let i8_warm = f4.latency_int8_streamed(&ops, 0.95).total_ms();
+        assert!(i8_cold > i8_warm);
+        assert!((i8_cold - f4.latency_int8_fused(&ops).total_ms()).abs() < 1e-12);
     }
 
     #[test]
