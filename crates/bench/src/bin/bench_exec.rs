@@ -11,15 +11,16 @@
 //! batch path fails to beat the sequential path (speedup < 1.0) on a
 //! host with at least two hardware threads. A single hardware thread
 //! cannot overlap compute at all, so the speedup there is scheduling
-//! noise — the assertion is skipped outright; `host_hw_threads` and
-//! `parallel_speedup_gate` in the JSON record which regime produced the
-//! numbers.
+//! noise — the assertion is skipped outright; the envelope's
+//! `host.hw_threads` and the `parallel_speedup_gate` note record which
+//! regime produced the numbers.
 //!
 //! `--overhead-against FILE` compares this run's single-thread
 //! throughput against a previously written `BENCH_exec.json` (typically
 //! a `--no-default-features` build with telemetry compiled out). Under
 //! `--check` the run fails when this build is more than 2% slower — the
-//! disabled-telemetry overhead budget.
+//! disabled-telemetry overhead budget. `--reps N` overrides the sample
+//! count (best-of-N); on contended hosts more reps stabilise the min.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -78,6 +79,11 @@ fn main() {
         .position(|a| a == "--overhead-against")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let reps_override = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok());
     let (images, n, k, m, mut reps) = if quick {
         (8, 96, 48, 16, 3)
     } else {
@@ -87,6 +93,9 @@ fn main() {
         // Best-of-N against another process's best-of-N: take more
         // samples so the min is stable enough for a 2% gate.
         reps = reps.max(6);
+    }
+    if let Some(r) = reps_override {
+        reps = r.max(1);
     }
     let pattern = ReusePattern::conventional(16, 4).with_block_rows(2);
     let hashes = RandomHashProvider::new(7);
@@ -165,28 +174,36 @@ fn main() {
     // raised to 2 so the machinery and the stats bit-identity check are
     // exercised), but the two paths merely interleave on one core — the
     // measured ratio is scheduling noise, not a speedup. Null the field
-    // rather than publish a misleading number, and record the handling
-    // so downstream consumers need not re-derive it from the gate.
-    let (speedup_field, speedup_handling) = if hw_threads >= 2 {
-        (format!("{speedup}"), "measured")
+    // rather than publish a misleading number; the envelope's
+    // `host.hw_threads` plus the handling note let a comparison
+    // distinguish "unmeasurable host" from a regression.
+    let mut rec = greuse_bench::record::BenchRecord::new("exec")
+        .param("images", images as f64)
+        .param("rows", n as f64)
+        .param("cols", k as f64)
+        .param("out_channels", m as f64)
+        // Machine-dependent, so a note rather than an exact-match param.
+        .note("threads", threads.to_string())
+        .metric("allocs_per_call", allocs_per_call)
+        .metric("single_thread_images_per_sec", seq_ips)
+        .metric("parallel_images_per_sec", par_ips);
+    rec = if hw_threads >= 2 {
+        rec.metric("parallel_speedup", speedup)
     } else {
-        ("null".to_string(), "nulled_oversubscribed")
+        rec.nulled_metric("parallel_speedup", "nulled_oversubscribed")
     };
-    let json = format!(
-        "{{\n  \"images\": {images},\n  \"rows\": {n},\n  \"cols\": {k},\n  \"out_channels\": {m},\n  \"threads\": {threads},\n  \"host_hw_threads\": {hw_threads},\n  \"parallel_speedup_gate\": \"{speedup_gate}\",\n  \"telemetry_enabled\": {telemetry_enabled},\n  \"allocs_per_call\": {allocs_per_call},\n  \"single_thread_images_per_sec\": {seq_ips},\n  \"parallel_images_per_sec\": {par_ips},\n  \"parallel_speedup\": {speedup_field},\n  \"parallel_speedup_handling\": \"{speedup_handling}\",\n  \"redundancy_ratio\": {},\n  \"stats_bit_identical\": true\n}}\n",
-        seq_stats.redundancy_ratio
-    );
-    std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
-    println!("wrote BENCH_exec.json");
+    rec.metric("redundancy_ratio", seq_stats.redundancy_ratio)
+        .note("parallel_speedup_gate", speedup_gate)
+        .flag("telemetry_enabled", telemetry_enabled)
+        .flag("stats_bit_identical", true)
+        .write();
 
     if let Some(path) = &overhead_against {
         let src = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
         let v = greuse_telemetry::json::parse(&src)
             .unwrap_or_else(|e| panic!("baseline {path} is not valid JSON: {e}"));
-        let base_ips = v
-            .get("single_thread_images_per_sec")
-            .and_then(greuse_telemetry::json::Value::as_f64)
+        let base_ips = greuse_bench::record::read_metric(&v, "single_thread_images_per_sec")
             .unwrap_or_else(|| panic!("baseline {path}: missing single_thread_images_per_sec"));
         let overhead = (base_ips - seq_ips) / base_ips;
         println!(

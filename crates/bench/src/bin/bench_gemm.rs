@@ -121,12 +121,18 @@ fn main() {
     println!("  per-row: {per_row_rps:>12.0} rows/sec");
     println!("  batched: {batched_rps:>12.0} rows/sec  ({hash_ratio:.2}x)");
 
-    let json = format!(
-        "{{\n  \"host_hw_threads\": {hw_threads},\n  \"threads\": {threads},\n  \"gemm\": [\n{}\n  ],\n  \"hash_rows\": {rows},\n  \"hash_l\": {l},\n  \"hash_h\": {h},\n  \"hash_per_row_rows_per_sec\": {per_row_rps},\n  \"hash_batched_rows_per_sec\": {batched_rps},\n  \"hash_batched_over_per_row\": {hash_ratio}\n}}\n",
-        shape_json.join(",\n")
-    );
-    std::fs::write("BENCH_gemm.json", &json).expect("write BENCH_gemm.json");
-    println!("wrote BENCH_gemm.json");
+    greuse_bench::record::BenchRecord::new("gemm")
+        // Machine-dependent, so a note rather than an exact-match param.
+        .note("threads", threads.to_string())
+        .param("hash_rows", rows as f64)
+        .param("hash_l", l as f64)
+        .param("hash_h", h as f64)
+        .metric("first_shape_packed_over_scalar", first_ratio)
+        .metric("hash_per_row_rows_per_sec", per_row_rps)
+        .metric("hash_batched_rows_per_sec", batched_rps)
+        .metric("hash_batched_over_per_row", hash_ratio)
+        .raw("gemm", format!("[\n{}\n  ]", shape_json.join(",\n")))
+        .write();
 
     if check {
         let mut failed = false;

@@ -273,18 +273,25 @@ fn main() {
             neg_pattern.h
         ));
     }
-    let breakeven_field = if breakeven_json.is_empty() {
-        String::new()
-    } else {
-        format!(",\n  \"breakeven\": [\n{}\n  ]", breakeven_json.join(",\n"))
-    };
-
-    let json = format!(
-        "{{\n  \"gemm\": [\n{}\n  ],\n  \"requant_elems\": {req_len},\n  \"requant_elems_per_sec\": {req_eps},\n  \"exec_n\": {n_rows},\n  \"exec_k\": {k_cols},\n  \"exec_m\": {m_out},\n  \"exec_redundancy_ratio\": {r_t},\n  \"exec_dense_secs\": {t_dense},\n  \"exec_reuse_secs\": {t_reuse},\n  \"exec_reuse_over_dense\": {exec_speedup}{breakeven_field}\n}}\n",
-        shape_json.join(",\n"),
-    );
-    std::fs::write("BENCH_quant.json", &json).expect("write BENCH_quant.json");
-    println!("wrote BENCH_quant.json");
+    let mut rec = greuse_bench::record::BenchRecord::new("quant")
+        .param("requant_elems", req_len as f64)
+        .param("exec_n", n_rows as f64)
+        .param("exec_k", k_cols as f64)
+        .param("exec_m", m_out as f64)
+        .metric("first_shape_int8_over_f32_scalar", first_ratio)
+        .metric("requant_elems_per_sec", req_eps)
+        .metric("exec_redundancy_ratio", r_t)
+        .metric("exec_dense_secs", t_dense)
+        .metric("exec_reuse_secs", t_reuse)
+        .metric("exec_reuse_over_dense", exec_speedup)
+        .raw("gemm", format!("[\n{}\n  ]", shape_json.join(",\n")));
+    if !breakeven_json.is_empty() {
+        rec = rec.raw(
+            "breakeven",
+            format!("[\n{}\n  ]", breakeven_json.join(",\n")),
+        );
+    }
+    rec.write();
 
     if check {
         if first_ratio < 1.5 {

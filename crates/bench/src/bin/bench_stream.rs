@@ -221,6 +221,18 @@ fn run_int8(
     }
 }
 
+/// Warm-mode per-frame latency percentiles `[p50, p95, p99]` in ns for
+/// one backend, read from the metrics registry after the instrumented
+/// replay. `None` when telemetry is compiled out or nothing recorded.
+fn frame_percentiles(backend: &str) -> Option<[u64; 3]> {
+    let key = format!("exec.layer_latency{{layer=\"stream\",backend=\"{backend}\",mode=\"warm\"}}");
+    greuse_telemetry::metrics::hist_snapshots()
+        .into_iter()
+        .find(|s| s.key == key)
+        .filter(|s| s.count > 0)
+        .map(|s| [s.quantile(0.5), s.quantile(0.95), s.quantile(0.99)])
+}
+
 /// Frame-by-frame bitwise comparison of two runs' outputs.
 fn bit_identical(a: &StreamRun, b: &StreamRun) -> bool {
     a.outputs.len() == b.outputs.len()
@@ -346,9 +358,7 @@ fn main() {
             .unwrap_or_else(|e| panic!("reading quant baseline {path}: {e}"));
         let v = greuse_telemetry::json::parse(&src)
             .unwrap_or_else(|e| panic!("quant baseline {path} is not valid JSON: {e}"));
-        let theirs = v
-            .get("exec_reuse_secs")
-            .and_then(greuse_telemetry::json::Value::as_f64)
+        let theirs = greuse_bench::record::read_metric(&v, "exec_reuse_secs")
             .unwrap_or_else(|| panic!("quant baseline {path}: missing exec_reuse_secs"));
         let ratio = ours / theirs;
         quant_agreement = format!("{ratio}");
@@ -361,21 +371,63 @@ fn main() {
         );
     }
 
-    let json = format!(
-        "{{\n  \"frames\": {frames_n},\n  \"rows\": {n},\n  \"cols\": {k},\n  \"out_channels\": {m},\n  \"distinct_rows\": {distinct},\n  \"perturbation_rate\": {rate},\n  \"l\": {},\n  \"h\": {},\n  \"f32_warm_frame_secs\": {},\n  \"f32_cold_frame_secs\": {},\n  \"f32_warm_over_cold\": {f32_warm_over_cold},\n  \"f32_warm_hit_fraction\": {},\n  \"f32_bit_identical\": {f32_identical},\n  \"int8_warm_frame_secs\": {},\n  \"int8_cold_frame_secs\": {},\n  \"int8_warm_over_cold\": {q_warm_over_cold},\n  \"int8_dense_frame_secs\": {},\n  \"reuse_over_dense\": {q_reuse_over_dense},\n  \"int8_warm_hit_fraction\": {},\n  \"int8_bit_identical\": {q_identical},\n  \"forced_invalidation_f32_bit_identical\": {storm_f32_identical},\n  \"forced_invalidation_int8_bit_identical\": {storm_q_identical},\n  \"allocs_per_call\": {allocs_warm},\n  \"redundancy_ratio\": {},\n  \"modeled_fused_ms\": {modeled_fused},\n  \"modeled_streamed_ms\": {modeled_streamed},\n  \"quant_baseline_ratio\": {quant_agreement}\n}}\n",
-        pattern.l,
-        pattern.h,
-        f32_warm.best_frame_secs,
-        f32_cold.best_frame_secs,
-        f32_warm.warm_hit_fraction,
-        q_warm.best_frame_secs,
-        q_cold.best_frame_secs,
-        q_dense.best_frame_secs,
-        q_warm.warm_hit_fraction,
-        f32_warm.redundancy_ratio,
-    );
-    std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");
-    println!("wrote BENCH_stream.json");
+    // --- per-frame latency distributions, via the metrics registry ---
+    // One untimed instrumented replay with capture on: the timed
+    // sections above stay telemetry-free, while the history record
+    // still carries the full percentile set the regression tracker
+    // diffs. (With telemetry compiled out these metrics are nulled.)
+    greuse_telemetry::metrics::reset();
+    greuse_telemetry::enable();
+    let _ = run_f32(&frames, &w, &pattern, true, 1);
+    let _ = run_int8(&frames, &w, Some(&pattern), true, 1);
+    greuse_telemetry::disable();
+    let f32_pct = frame_percentiles("f32");
+    let q_pct = frame_percentiles("int8");
+
+    let mut rec = greuse_bench::record::BenchRecord::new("stream")
+        .param("frames", frames_n as f64)
+        .param("rows", n as f64)
+        .param("cols", k as f64)
+        .param("out_channels", m as f64)
+        .param("distinct_rows", distinct as f64)
+        .param("perturbation_rate", rate)
+        .param("l", pattern.l as f64)
+        .param("h", pattern.h as f64)
+        .metric("f32_warm_frame_secs", f32_warm.best_frame_secs)
+        .metric("f32_cold_frame_secs", f32_cold.best_frame_secs)
+        .metric("f32_warm_over_cold", f32_warm_over_cold)
+        .metric("f32_warm_hit_fraction", f32_warm.warm_hit_fraction)
+        .metric("int8_warm_frame_secs", q_warm.best_frame_secs)
+        .metric("int8_cold_frame_secs", q_cold.best_frame_secs)
+        .metric("int8_warm_over_cold", q_warm_over_cold)
+        .metric("int8_dense_frame_secs", q_dense.best_frame_secs)
+        .metric("reuse_over_dense", q_reuse_over_dense)
+        .metric("int8_warm_hit_fraction", q_warm.warm_hit_fraction)
+        .metric("allocs_per_call", allocs_warm)
+        .metric("redundancy_ratio", f32_warm.redundancy_ratio)
+        .metric("modeled_fused_ms", modeled_fused)
+        .metric("modeled_streamed_ms", modeled_streamed);
+    for (backend, pct) in [("f32", &f32_pct), ("int8", &q_pct)] {
+        rec = match pct {
+            Some([p50, p95, p99]) => rec
+                .metric(&format!("{backend}_warm_frame_p50_ns"), *p50 as f64)
+                .metric(&format!("{backend}_warm_frame_p95_ns"), *p95 as f64)
+                .metric(&format!("{backend}_warm_frame_p99_ns"), *p99 as f64),
+            None => rec.nulled_metric(
+                &format!("{backend}_warm_frame_p50_ns"),
+                "telemetry_compiled_out",
+            ),
+        };
+    }
+    rec = match quant_agreement.parse::<f64>() {
+        Ok(r) => rec.metric("quant_baseline_ratio", r),
+        Err(_) => rec.nulled_metric("quant_baseline_ratio", "no_baseline_supplied"),
+    };
+    rec.flag("f32_bit_identical", f32_identical)
+        .flag("int8_bit_identical", q_identical)
+        .flag("forced_invalidation_f32_bit_identical", storm_f32_identical)
+        .flag("forced_invalidation_int8_bit_identical", storm_q_identical)
+        .write();
 
     // Correctness invariants hold unconditionally, --check or not.
     assert!(

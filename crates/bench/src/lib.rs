@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod plot;
+pub mod record;
 
 use std::collections::HashMap;
 

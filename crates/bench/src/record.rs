@@ -1,0 +1,394 @@
+//! Unified benchmark record writer.
+//!
+//! Every `BENCH_*` binary emits its results through one [`BenchRecord`]
+//! builder, so the on-disk files share an envelope (schema version, git
+//! SHA, host fingerprint, timestamp) and every run appends one compact
+//! line to a cross-run history file (`results/bench_history.jsonl` by
+//! default) that `greuse bench-compare` diffs against a baseline.
+//!
+//! The record distinguishes three kinds of values:
+//! - **params** — the run configuration (shape sizes, rep counts). A
+//!   baseline comparison treats these as exact-match: comparing a
+//!   `--quick` run against a full-size baseline is a config mismatch,
+//!   not a regression.
+//! - **metrics** — measured results. A metric can be *nulled* with a
+//!   reason (e.g. parallel speedup on a single-hardware-thread host),
+//!   which downstream comparison treats as "unmeasurable here", not as
+//!   a missing or regressed value.
+//! - **notes** — free-form string annotations (gate outcomes, handling
+//!   markers).
+//!
+//! Raw JSON sections (per-shape arrays) ride along unchanged via
+//! [`BenchRecord::raw`].
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use greuse_telemetry::json::{self, Value};
+
+/// Envelope schema version. Bump when the record layout changes
+/// incompatibly; `greuse bench-compare` refuses to diff across
+/// versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Environment variable overriding the history path. Set to `off` to
+/// disable history appends entirely (e.g. throwaway local runs).
+pub const HISTORY_ENV: &str = "GREUSE_BENCH_HISTORY";
+
+/// Default cross-run history file, relative to the working directory.
+pub const DEFAULT_HISTORY: &str = "results/bench_history.jsonl";
+
+enum Field {
+    Num(f64),
+    Null,
+}
+
+/// Builder for one benchmark run's record. See the module docs for the
+/// param / metric / note distinction.
+pub struct BenchRecord {
+    bench: String,
+    params: Vec<(String, f64)>,
+    metrics: Vec<(String, Field)>,
+    notes: Vec<(String, String)>,
+    raw: Vec<(String, String)>,
+}
+
+impl BenchRecord {
+    /// Starts a record for the bench named `bench` (the `BENCH_<bench>`
+    /// file stem, e.g. `"exec"`).
+    pub fn new(bench: impl Into<String>) -> Self {
+        BenchRecord {
+            bench: bench.into(),
+            params: Vec::new(),
+            metrics: Vec::new(),
+            notes: Vec::new(),
+            raw: Vec::new(),
+        }
+    }
+
+    /// Records a run-configuration value (exact-match in comparisons).
+    pub fn param(mut self, key: &str, v: impl Into<f64>) -> Self {
+        self.params.push((key.into(), v.into()));
+        self
+    }
+
+    /// Records a measured metric. Non-finite values are stored as null
+    /// with an explanatory note rather than producing invalid JSON.
+    pub fn metric(mut self, key: &str, v: f64) -> Self {
+        if v.is_finite() {
+            self.metrics.push((key.into(), Field::Num(v)));
+            self
+        } else {
+            self.nulled_metric(key, "non_finite")
+        }
+    }
+
+    /// Records a metric that could not be measured on this host, with a
+    /// machine-readable reason under `notes.<key>_handling`. Comparison
+    /// skips nulled metrics instead of flagging them as regressions.
+    pub fn nulled_metric(mut self, key: &str, reason: &str) -> Self {
+        self.metrics.push((key.into(), Field::Null));
+        self.notes.push((format!("{key}_handling"), reason.into()));
+        self
+    }
+
+    /// Records a free-form string annotation.
+    pub fn note(mut self, key: &str, v: impl Into<String>) -> Self {
+        self.notes.push((key.into(), v.into()));
+        self
+    }
+
+    /// Records a boolean annotation (stored as `"true"` / `"false"`).
+    pub fn flag(self, key: &str, v: bool) -> Self {
+        self.note(key, if v { "true" } else { "false" })
+    }
+
+    /// Attaches a pre-rendered JSON value (array or object) under
+    /// `key`. The caller is responsible for its validity.
+    pub fn raw(mut self, key: &str, rendered_json: impl Into<String>) -> Self {
+        self.raw.push((key.into(), rendered_json.into()));
+        self
+    }
+
+    /// Renders the record. `pretty` selects the indented multi-line
+    /// form (the `BENCH_*.json` file); the compact form is one line for
+    /// the history file.
+    pub fn render(&self, pretty: bool) -> String {
+        let (nl, ind, ind2, sp) = if pretty {
+            ("\n", "  ", "    ", " ")
+        } else {
+            ("", "", "", " ")
+        };
+        let mut out = String::new();
+        out.push('{');
+        let mut first = true;
+        let push_field = |out: &mut String, first: &mut bool, key: &str, val: &str| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push_str(nl);
+            out.push_str(ind);
+            out.push_str(&json::quote(key));
+            out.push(':');
+            out.push_str(sp);
+            out.push_str(val);
+        };
+        push_field(
+            &mut out,
+            &mut first,
+            "schema_version",
+            &SCHEMA_VERSION.to_string(),
+        );
+        push_field(&mut out, &mut first, "bench", &json::quote(&self.bench));
+        push_field(&mut out, &mut first, "git_sha", &json::quote(&git_sha()));
+        push_field(
+            &mut out,
+            &mut first,
+            "timestamp_unix",
+            &unix_now().to_string(),
+        );
+        let host = format!(
+            "{{{nl}{ind2}\"hw_threads\":{sp}{},{nl}{ind2}\"os\":{sp}{},{nl}{ind2}\"arch\":{sp}{}{nl}{ind}}}",
+            hw_threads(),
+            json::quote(std::env::consts::OS),
+            json::quote(std::env::consts::ARCH),
+        );
+        push_field(&mut out, &mut first, "host", &host);
+        push_field(
+            &mut out,
+            &mut first,
+            "params",
+            &render_map(&self.params, |v| fmt_num(*v), nl, ind, ind2),
+        );
+        push_field(
+            &mut out,
+            &mut first,
+            "metrics",
+            &render_map(
+                &self.metrics,
+                |v| match v {
+                    Field::Num(x) => fmt_num(*x),
+                    Field::Null => "null".into(),
+                },
+                nl,
+                ind,
+                ind2,
+            ),
+        );
+        push_field(
+            &mut out,
+            &mut first,
+            "notes",
+            &render_map(&self.notes, |v| json::quote(v), nl, ind, ind2),
+        );
+        for (key, rendered) in &self.raw {
+            let rendered = if pretty {
+                rendered.clone()
+            } else {
+                // Raw fragments arrive pretty-printed; the history line
+                // must stay a single line of JSONL.
+                strip_newlines(rendered)
+            };
+            push_field(&mut out, &mut first, key, &rendered);
+        }
+        out.push_str(nl);
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Writes `BENCH_<bench>.json` in the working directory and appends
+    /// the compact form to the history file (see [`HISTORY_ENV`]).
+    /// History-append failures warn on stderr but never fail the bench.
+    pub fn write(&self) {
+        let path = format!("BENCH_{}.json", self.bench);
+        std::fs::write(&path, self.render(true)).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+        let history = std::env::var(HISTORY_ENV).unwrap_or_else(|_| DEFAULT_HISTORY.into());
+        if history == "off" {
+            return;
+        }
+        if let Some(parent) = std::path::Path::new(&history).parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        let append = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&history)
+            .and_then(|mut f| {
+                use std::io::Write;
+                writeln!(f, "{}", self.render(false).trim_end())
+            });
+        match append {
+            Ok(()) => println!("appended history record to {history}"),
+            Err(e) => eprintln!("warning: could not append bench history to {history}: {e}"),
+        }
+    }
+}
+
+fn render_map<T>(
+    entries: &[(String, T)],
+    mut fmt: impl FnMut(&T) -> String,
+    nl: &str,
+    ind: &str,
+    ind2: &str,
+) -> String {
+    if entries.is_empty() {
+        return "{}".into();
+    }
+    let body: Vec<String> = entries
+        .iter()
+        .map(|(k, v)| format!("{ind2}{}: {}", json::quote(k), fmt(v)))
+        .collect();
+    format!("{{{nl}{}{nl}{ind}}}", body.join(&format!(",{nl}")))
+}
+
+/// Removes newlines (and the indentation that follows them) outside of
+/// string literals, turning a pretty-printed JSON fragment into one
+/// line without touching string contents.
+fn strip_newlines(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let (mut in_str, mut escaped, mut skipping_indent) = (false, false, false);
+    for c in src.chars() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '\n' | '\r' => skipping_indent = true,
+            ' ' | '\t' if skipping_indent => {}
+            _ => {
+                skipping_indent = false;
+                if c == '"' {
+                    in_str = true;
+                }
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Formats a number so it round-trips through the JSON parser:
+/// integer-valued floats print without an exponent or fraction.
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Current commit SHA, or `"unknown"` outside a git checkout.
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn unix_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Hardware thread count of this host.
+pub fn hw_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Reads metric `key` from a parsed bench record: the schema-1 envelope
+/// location (`metrics.<key>`) first, then the legacy flat layout
+/// (`<key>` at top level). Returns `None` for absent or nulled values.
+pub fn read_metric(v: &Value, key: &str) -> Option<f64> {
+    v.get("metrics")
+        .and_then(|m| m.get(key))
+        .and_then(Value::as_f64)
+        .or_else(|| v.get(key).and_then(Value::as_f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_round_trips_through_parser() {
+        let rec = BenchRecord::new("unit")
+            .param("rows", 256.0)
+            .metric("throughput", 123.456)
+            .nulled_metric("parallel_speedup", "nulled_oversubscribed")
+            .flag("bit_identical", true)
+            .raw("shapes", "[\n    {\"m\": 4, \"s\": \"a b\"}\n  ]");
+        for pretty in [true, false] {
+            let text = rec.render(pretty);
+            let v = json::parse(&text).expect("record parses");
+            assert_eq!(v.get("schema_version").and_then(Value::as_u64), Some(1));
+            assert_eq!(
+                v.get("bench").and_then(Value::as_str),
+                Some("unit"),
+                "bench name survives"
+            );
+            assert_eq!(
+                v.get("params")
+                    .and_then(|p| p.get("rows"))
+                    .and_then(Value::as_f64),
+                Some(256.0)
+            );
+            assert_eq!(read_metric(&v, "throughput"), Some(123.456));
+            assert_eq!(read_metric(&v, "parallel_speedup"), None);
+            assert_eq!(
+                v.get("notes")
+                    .and_then(|n| n.get("parallel_speedup_handling"))
+                    .and_then(Value::as_str),
+                Some("nulled_oversubscribed")
+            );
+            assert!(
+                v.get("host")
+                    .and_then(|h| h.get("hw_threads"))
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0)
+                    >= 1
+            );
+            assert!(v.get("shapes").and_then(Value::as_array).is_some());
+        }
+        assert!(
+            !rec.render(false).trim_end().contains('\n'),
+            "compact form must be a single history line"
+        );
+    }
+
+    #[test]
+    fn read_metric_falls_back_to_legacy_layout() {
+        let v = json::parse("{\"exec_reuse_secs\": 0.5}").unwrap();
+        assert_eq!(read_metric(&v, "exec_reuse_secs"), Some(0.5));
+        let v = json::parse("{\"metrics\": {\"exec_reuse_secs\": 0.25}}").unwrap();
+        assert_eq!(read_metric(&v, "exec_reuse_secs"), Some(0.25));
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        assert_eq!(fmt_num(256.0), "256");
+        assert_eq!(fmt_num(0.05), "0.05");
+        let tricky = 123.456789e-7;
+        let parsed = json::parse(&fmt_num(tricky)).unwrap();
+        assert_eq!(parsed.as_f64(), Some(tricky));
+    }
+}

@@ -40,7 +40,11 @@ USAGE:
                   [--guard strict|sanitize|off]
   greuse stream   --n N --k K --m M [--frames N] [--rate R] [--distinct D]
                   [--l L] [--h H] [--backend f32|int8] [--no-cache]
-                  [--board f4|f7] [--seed S]
+                  [--board f4|f7] [--seed S] [--serve HOST:PORT]
+                  [--watch] [--frame-delay-ms N]
+  greuse monitor  [--addr HOST:PORT] [--watch] [--interval-ms N] [--validate]
+  greuse bench-compare --baseline FILE [--dir DIR] [--write-baseline FILE]
+                  [--portable] [--perturb bench:metric:FACTOR]
   greuse help";
 
 type AnyNet = Box<dyn TrainableNetwork>;
@@ -540,11 +544,18 @@ pub fn infer(opts: &Options) -> Result<(), String> {
 /// `greuse stream` — run a correlated frame stream through the reuse
 /// executor with the temporal (cross-call) cache and report warm-path
 /// behaviour: cache hit/miss/invalidate counters, the warm-hit fraction,
-/// host wall time split into cold (first frames) and steady state, and
-/// the modeled on-device latency of dense vs. fused vs. streamed
-/// execution. `--no-cache` disables the cache for A/B comparison;
-/// results are bit-identical either way (hits are validated by exact
-/// data comparison), only the cost changes.
+/// host wall time split into cold (first frames) and steady state,
+/// per-layer latency percentiles (warm vs cold) from the metrics
+/// registry, and the modeled on-device latency of dense vs. fused vs.
+/// streamed execution. `--no-cache` disables the cache for A/B
+/// comparison; results are bit-identical either way (hits are validated
+/// by exact data comparison), only the cost changes.
+///
+/// `--serve HOST:PORT` exposes the live metrics registry at
+/// `http://HOST:PORT/metrics` (Prometheus text format) for the duration
+/// of the run; `--frame-delay-ms` paces the stream so there is
+/// something to scrape, and `--watch` prints live percentiles as the
+/// stream advances (see also `greuse monitor --watch`).
 pub fn stream(opts: &Options) -> Result<(), String> {
     let n: usize = opts.num("n", 256)?;
     let k: usize = opts.num("k", 96)?;
@@ -560,7 +571,22 @@ pub fn stream(opts: &Options) -> Result<(), String> {
     let seed: u64 = opts.num("seed", 42u64)?;
     let backend_name = opts.get_or("backend", "f32").to_string();
     let cache_on = !opts.flag("no-cache");
+    let watch = opts.flag("watch");
+    let frame_delay_ms: u64 = opts.num("frame-delay-ms", 0u64)?;
     let b = board(opts);
+
+    // Live metrics: distributions record only while capture is on.
+    greuse_telemetry::metrics::reset();
+    greuse_telemetry::enable();
+    let server = match opts.get("serve") {
+        None => None,
+        Some(addr) => {
+            let srv = greuse_telemetry::http::serve(addr)
+                .map_err(|e| format!("starting metrics server on {addr}: {e}"))?;
+            println!("serving metrics at http://{}/metrics", srv.local_addr());
+            Some(srv)
+        }
+    };
 
     let pattern = ReusePattern::conventional(l, h);
     // Tile width == panel width L, so one perturbed tile maps to exactly
@@ -605,7 +631,29 @@ pub fn stream(opts: &Options) -> Result<(), String> {
         }
         total.merge(&stats);
         frames_src.advance();
+        if frame_delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(frame_delay_ms));
+        }
+        if watch && (frame % 10 == 9 || frame + 1 == frames) {
+            let line = latency_snapshot("stream", &backend_name, "warm")
+                .map(|s| {
+                    format!(
+                        "warm p50 {:.1} us, p95 {:.1} us, p99 {:.1} us over {} frames",
+                        s.quantile(0.5) as f64 / 1e3,
+                        s.quantile(0.95) as f64 / 1e3,
+                        s.quantile(0.99) as f64 / 1e3,
+                        s.count
+                    )
+                })
+                .unwrap_or_else(|| "no warm frames yet".into());
+            println!(
+                "  frame {:>4}/{frames}: warm-hit fraction {:.3}; {line}",
+                frame + 1,
+                total.warm_hit_fraction()
+            );
+        }
     }
+    greuse_telemetry::disable();
 
     let warm_frac = total.warm_hit_fraction();
     println!(
@@ -642,7 +690,411 @@ pub fn stream(opts: &Options) -> Result<(), String> {
         dense / fused,
         dense / streamed
     );
+
+    // Per-layer latency percentiles from the metrics registry: the warm
+    // (fully cache-hit) mode against the cold modes (staged first call,
+    // fused cache-miss frames), plus the per-panel hit/miss split.
+    println!("  per-layer latency (layer \"stream\", backend {backend_name}):");
+    for mode in ["warm", "fused", "staged"] {
+        match latency_snapshot("stream", &backend_name, mode) {
+            Some(s) => println!(
+                "    {:<6} {:>6} frames: p50 {:>9.1} us  p95 {:>9.1} us  p99 {:>9.1} us  max {:>9.1} us",
+                mode,
+                s.count,
+                s.quantile(0.5) as f64 / 1e3,
+                s.quantile(0.95) as f64 / 1e3,
+                s.quantile(0.99) as f64 / 1e3,
+                s.max_ns as f64 / 1e3,
+            ),
+            None => println!("    {mode:<6}      0 frames"),
+        }
+    }
+    for result in ["hit", "miss"] {
+        let key = format!("cache.panel_latency{{backend=\"{backend_name}\",result=\"{result}\"}}");
+        if let Some(s) = greuse_telemetry::metrics::hist_snapshots()
+            .into_iter()
+            .find(|s| s.key == key)
+            .filter(|s| s.count > 0)
+        {
+            println!(
+                "    panel {result:<4} {:>8} panels: p50 {:>7.2} us  p99 {:>7.2} us",
+                s.count,
+                s.quantile(0.5) as f64 / 1e3,
+                s.quantile(0.99) as f64 / 1e3,
+            );
+        }
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
     Ok(())
+}
+
+/// Snapshot of one `exec.layer_latency` series, if it recorded anything.
+fn latency_snapshot(
+    layer: &str,
+    backend: &str,
+    mode: &str,
+) -> Option<greuse_telemetry::metrics::HistSnapshot> {
+    let key =
+        format!("exec.layer_latency{{layer=\"{layer}\",backend=\"{backend}\",mode=\"{mode}\"}}");
+    greuse_telemetry::metrics::hist_snapshots()
+        .into_iter()
+        .find(|s| s.key == key)
+        .filter(|s| s.count > 0)
+}
+
+/// `greuse monitor` — scrape a live `/metrics` endpoint (typically one
+/// exposed by `greuse stream --serve`).
+///
+/// Default (or `--once`): fetch once and print the Prometheus text
+/// body. `--watch` refreshes a terminal view of the sample lines every
+/// `--interval-ms` until the endpoint goes away or the process is
+/// interrupted. `--validate` additionally checks the body against the
+/// Prometheus text exposition grammar and fails on violations.
+pub fn monitor(opts: &Options) -> Result<(), String> {
+    let addr = opts.get_or("addr", "127.0.0.1:9898");
+    let interval_ms: u64 = opts.num("interval-ms", 1000u64)?;
+    let validate = opts.flag("validate");
+    let watch = opts.flag("watch");
+    let fetch = || -> Result<String, String> {
+        let (status, body) = greuse_telemetry::http::get(addr, "/metrics")
+            .map_err(|e| format!("fetching http://{addr}/metrics: {e}"))?;
+        if status != 200 {
+            return Err(format!("http://{addr}/metrics returned HTTP {status}"));
+        }
+        if validate {
+            greuse_telemetry::prom::validate(&body)
+                .map_err(|e| format!("/metrics body violates the Prometheus text format: {e}"))?;
+        }
+        Ok(body)
+    };
+    if !watch {
+        let body = fetch()?;
+        print!("{body}");
+        if validate {
+            println!("# body is valid Prometheus text format");
+        }
+        return Ok(());
+    }
+    let mut refreshes = 0u64;
+    loop {
+        let body = fetch()?;
+        // ANSI clear + home: a terminal dashboard, not a scrollback log.
+        print!("\x1b[2J\x1b[H");
+        println!(
+            "greuse monitor — http://{addr}/metrics (refresh {refreshes}, every {interval_ms} ms; ctrl-c to quit)\n"
+        );
+        for line in body.lines().filter(|l| !l.starts_with('#')) {
+            println!("{line}");
+        }
+        refreshes += 1;
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// One tolerance band of a bench-compare baseline.
+struct Band {
+    value: f64,
+    rel_tol: f64,
+    abs_tol: f64,
+    direction: String,
+}
+
+impl Band {
+    /// Checks `current` against the band. `Ok(None)` means pass,
+    /// `Ok(Some(msg))` an informational note, `Err(msg)` a regression.
+    fn check(&self, current: f64) -> Result<Option<String>, String> {
+        let slack = self.rel_tol * self.value.abs() + self.abs_tol;
+        let delta = (current - self.value) / if self.value != 0.0 { self.value } else { 1.0 };
+        let detail = format!(
+            "baseline {:.6} -> current {:.6} ({:+.1}%)",
+            self.value,
+            current,
+            delta * 100.0
+        );
+        match self.direction.as_str() {
+            "higher" if current < self.value - slack => {
+                Err(format!("regressed below band: {detail}"))
+            }
+            "lower" if current > self.value + slack => {
+                Err(format!("regressed above band: {detail}"))
+            }
+            "equal" if (current - self.value).abs() > slack => {
+                Err(format!("drifted out of band: {detail}"))
+            }
+            "info" => Ok(Some(detail)),
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Derives the default tolerance band for a metric from its name. In
+/// `portable` mode, machine-dependent wall-clock and throughput metrics
+/// are demoted to informational so a committed baseline stays
+/// meaningful across hosts, while deterministic quantities and
+/// relative speedups keep enforcement.
+fn default_band(key: &str, value: f64, portable: bool) -> Band {
+    let band = |direction: &str, rel_tol: f64, abs_tol: f64| Band {
+        value,
+        rel_tol,
+        abs_tol,
+        direction: direction.into(),
+    };
+    if key == "allocs_per_call" {
+        // Zero-alloc steady state is exact, not a noisy measurement.
+        return band("lower", 0.0, 0.0);
+    }
+    if key.contains("fraction") || key.contains("redundancy") {
+        // Seeded and deterministic: drift means behaviour changed.
+        return band("equal", 0.02, 1e-9);
+    }
+    if key.ends_with("_ns") || key.ends_with("_secs") || key.ends_with("_ms") {
+        return if portable {
+            band("info", 0.0, 0.0)
+        } else {
+            band("lower", 0.08, 0.0)
+        };
+    }
+    if key.contains("per_sec") || key.contains("gflops") {
+        return if portable {
+            band("info", 0.0, 0.0)
+        } else {
+            band("higher", 0.25, 0.0)
+        };
+    }
+    if key.contains("over") || key.contains("speedup") {
+        let rel = if portable { 0.40 } else { 0.25 };
+        return band("higher", rel, 0.0);
+    }
+    band("info", 0.0, 0.0)
+}
+
+/// `greuse bench-compare` — diff the current `BENCH_*.json` records in
+/// `--dir` against a baseline with per-metric tolerance bands, exiting
+/// nonzero on any regression.
+///
+/// `--write-baseline FILE` instead generates a baseline from the
+/// current records (with `--portable` demoting machine-dependent
+/// absolute numbers to informational). `--perturb bench:metric:FACTOR`
+/// multiplies one current value before comparison — a synthetic
+/// regression for self-testing the gate.
+pub fn bench_compare(opts: &Options) -> Result<(), String> {
+    use greuse_telemetry::json::{self, Value};
+    let dir = opts.get_or("dir", ".");
+    let portable = opts.flag("portable");
+    let read_bench = |bench: &str| -> Result<Value, String> {
+        let path = format!("{dir}/BENCH_{bench}.json");
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        let v = json::parse(&src).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+        match v.get("schema_version").and_then(Value::as_u64) {
+            Some(1) => Ok(v),
+            Some(other) => Err(format!("{path}: schema version {other}, expected 1")),
+            None => Err(format!("{path}: not a schema-versioned bench record")),
+        }
+    };
+
+    if let Some(out) = opts.get("write-baseline") {
+        // Collect every schema-1 record in the directory.
+        let mut benches: Vec<(String, Value)> = Vec::new();
+        let mut entries: Vec<_> = std::fs::read_dir(dir)
+            .map_err(|e| format!("reading {dir}: {e}"))?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter_map(|f| {
+                f.strip_prefix("BENCH_")
+                    .and_then(|s| s.strip_suffix(".json"))
+                    .map(String::from)
+            })
+            .collect();
+        entries.sort();
+        for bench in entries {
+            match read_bench(&bench) {
+                Ok(v) => benches.push((bench, v)),
+                Err(e) => eprintln!("warning: skipping {bench}: {e}"),
+            }
+        }
+        if benches.is_empty() {
+            return Err(format!("no schema-versioned BENCH_*.json records in {dir}"));
+        }
+        let mut body = String::from("{\n  \"schema_version\": 1,\n  \"benches\": {\n");
+        for (bi, (bench, v)) in benches.iter().enumerate() {
+            body.push_str(&format!("    {}: {{\n", json::quote(bench)));
+            let params: Vec<(String, f64)> = map_entries(v.get("params"));
+            body.push_str("      \"params\": {");
+            let rendered: Vec<String> = params
+                .iter()
+                .map(|(key, val)| format!("{}: {val}", json::quote(key)))
+                .collect();
+            body.push_str(&rendered.join(", "));
+            body.push_str("},\n      \"metrics\": {\n");
+            let metrics: Vec<(String, f64)> = map_entries(v.get("metrics"));
+            let rendered: Vec<String> = metrics
+                .iter()
+                .map(|(key, val)| {
+                    let band = default_band(key, *val, portable);
+                    format!(
+                        "        {}: {{\"value\": {val}, \"rel_tol\": {}, \"abs_tol\": {}, \"direction\": {}}}",
+                        json::quote(key),
+                        band.rel_tol,
+                        band.abs_tol,
+                        json::quote(&band.direction)
+                    )
+                })
+                .collect();
+            body.push_str(&rendered.join(",\n"));
+            body.push_str("\n      }\n    }");
+            body.push_str(if bi + 1 < benches.len() { ",\n" } else { "\n" });
+        }
+        body.push_str("  }\n}\n");
+        json::parse(&body).map_err(|e| format!("generated baseline is invalid JSON: {e}"))?;
+        std::fs::write(out, &body).map_err(|e| format!("writing {out}: {e}"))?;
+        println!(
+            "wrote baseline {out} covering {} benches{}",
+            benches.len(),
+            if portable { " (portable bands)" } else { "" }
+        );
+        return Ok(());
+    }
+
+    let baseline_path = opts.require("baseline")?;
+    let perturb = match opts.get("perturb") {
+        None => None,
+        Some(spec) => {
+            let parts: Vec<&str> = spec.split(':').collect();
+            let [bench, metric, factor] = parts.as_slice() else {
+                return Err(format!(
+                    "--perturb expects bench:metric:FACTOR, got `{spec}`"
+                ));
+            };
+            let factor: f64 = factor
+                .parse()
+                .map_err(|_| format!("bad factor in --perturb `{spec}`"))?;
+            Some((bench.to_string(), metric.to_string(), factor))
+        }
+    };
+    let src = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+    let base =
+        json::parse(&src).map_err(|e| format!("baseline {baseline_path}: invalid JSON: {e}"))?;
+    if base.get("schema_version").and_then(Value::as_u64) != Some(1) {
+        return Err(format!(
+            "baseline {baseline_path}: unsupported schema version"
+        ));
+    }
+    let benches = base
+        .get("benches")
+        .and_then(Value::as_object)
+        .ok_or_else(|| format!("baseline {baseline_path}: missing `benches`"))?;
+
+    let (mut checked, mut skipped) = (0usize, 0usize);
+    let mut failures: Vec<String> = Vec::new();
+    for (bench, spec) in benches {
+        let current = read_bench(bench)?;
+        for (key, want) in map_entries(spec.get("params")) {
+            match current
+                .get("params")
+                .and_then(|p| p.get(&key))
+                .and_then(Value::as_f64)
+            {
+                Some(got) if got == want => checked += 1,
+                Some(got) => failures.push(format!(
+                    "{bench}: param {key} mismatch (baseline {want}, current {got}) — \
+                     runs are not comparable"
+                )),
+                None => failures.push(format!("{bench}: param {key} missing from current run")),
+            }
+        }
+        let Some(metric_specs) = spec.get("metrics").and_then(Value::as_object) else {
+            continue;
+        };
+        for (key, bspec) in metric_specs {
+            let band = Band {
+                value: bspec
+                    .get("value")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("baseline {bench}.{key}: missing numeric `value`"))?,
+                rel_tol: bspec.get("rel_tol").and_then(Value::as_f64).unwrap_or(0.0),
+                abs_tol: bspec.get("abs_tol").and_then(Value::as_f64).unwrap_or(0.0),
+                direction: bspec
+                    .get("direction")
+                    .and_then(Value::as_str)
+                    .unwrap_or("info")
+                    .to_string(),
+            };
+            let mut cur = current
+                .get("metrics")
+                .and_then(|ms| ms.get(key))
+                .and_then(Value::as_f64);
+            if cur.is_none() {
+                // A nulled metric with a recorded handling note means
+                // "unmeasurable on this host" (e.g. parallel speedup
+                // with one hardware thread), not a regression.
+                let handling = current
+                    .get("notes")
+                    .and_then(|ns| ns.get(&format!("{key}_handling")))
+                    .and_then(Value::as_str);
+                match handling {
+                    Some(reason) => {
+                        println!("SKIP  {bench}.{key}: {reason}");
+                        skipped += 1;
+                        continue;
+                    }
+                    None => {
+                        failures.push(format!(
+                            "{bench}: metric {key} missing without a handling note"
+                        ));
+                        continue;
+                    }
+                }
+            }
+            if let Some((pb, pm, factor)) = &perturb {
+                if pb == bench && pm == key {
+                    cur = cur.map(|v| v * factor);
+                    println!("PERTURB {bench}.{key} by x{factor} (synthetic)");
+                }
+            }
+            let cur = cur.expect("checked above");
+            match band.check(cur) {
+                Ok(None) => {
+                    checked += 1;
+                }
+                Ok(Some(info)) => {
+                    println!("INFO  {bench}.{key}: {info}");
+                    checked += 1;
+                }
+                Err(msg) => failures.push(format!("{bench}.{key}: {msg}")),
+            }
+        }
+    }
+    for f in &failures {
+        eprintln!("FAIL  {f}");
+    }
+    println!(
+        "bench-compare: {checked} checks passed, {skipped} skipped, {} failed",
+        failures.len()
+    );
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} metric(s) regressed against {baseline_path}",
+            failures.len()
+        ))
+    }
+}
+
+/// Numeric entries of a JSON object, in file order.
+fn map_entries(v: Option<&greuse_telemetry::json::Value>) -> Vec<(String, f64)> {
+    use greuse_telemetry::json::Value;
+    v.and_then(Value::as_object)
+        .map(|pairs| {
+            pairs
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|x| (k.clone(), x)))
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 /// `greuse scope` — show the candidate space for a layer shape.

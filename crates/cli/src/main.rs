@@ -10,7 +10,11 @@
 //! greuse infer    --model cifarnet --backend int8 [--reuse L,H] [--samples N]
 //!                 [--guard strict|sanitize|off]
 //! greuse stream   --n 256 --k 96 --m 64 [--frames 30] [--rate 0.05]
-//!                 [--backend f32|int8] [--no-cache]
+//!                 [--backend f32|int8] [--no-cache] [--serve HOST:PORT]
+//!                 [--watch] [--frame-delay-ms N]
+//! greuse monitor  [--addr HOST:PORT] [--watch] [--interval-ms N] [--validate]
+//! greuse bench-compare --baseline FILE [--dir DIR] [--write-baseline FILE]
+//!                 [--portable] [--perturb bench:metric:FACTOR]
 //! ```
 //!
 //! Datasets are the workspace's seeded synthetic generators, so every
@@ -37,6 +41,8 @@ fn main() -> ExitCode {
         "profile" => commands::profile(&opts),
         "infer" => commands::infer(&opts),
         "stream" => commands::stream(&opts),
+        "monitor" => commands::monitor(&opts),
+        "bench-compare" => commands::bench_compare(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -148,6 +148,17 @@ impl AtomicLayerStats {
     pub(crate) fn record_fallback(&self, reason: FallbackReason) {
         self.fallbacks.fetch_add(1, Ordering::Relaxed);
         self.fallback_reason.store(reason as u32, Ordering::Relaxed);
+        // Reason-labeled series next to the aggregate `exec.fallback`
+        // counter, so dashboards can tell break-even demotions from
+        // accuracy-bound ones. Shared by the f32 and int8 backends.
+        match reason {
+            FallbackReason::LowRedundancy => {
+                greuse_telemetry::counter!(r#"guard.fallback{reason="low_rt"}"#).add(1);
+            }
+            FallbackReason::AccuracyBound => {
+                greuse_telemetry::counter!(r#"guard.fallback{reason="accuracy_bound"}"#).add(1);
+            }
+        }
     }
 
     pub(crate) fn fallback_reason(&self) -> Option<FallbackReason> {

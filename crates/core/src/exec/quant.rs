@@ -114,6 +114,9 @@ pub struct QuantWorkspace {
     /// makes cached groupings describe different real data even when the
     /// codes match — the whole cache is cleared.
     cache_params: Option<ActQuantParams>,
+    /// Per-call latency histograms for this layer, `[warm, fused, staged]`;
+    /// resolved in `prepare()` (the allocating phase).
+    lat: Option<[&'static greuse_telemetry::metrics::Hist; 3]>,
 }
 
 impl QuantWorkspace {
@@ -237,6 +240,7 @@ impl QuantWorkspace {
         }
 
         self.families.clear();
+        self.lat = Some(crate::exec::workspace::layer_latency_hists(layer, "int8"));
         self.key = Some(QKey {
             layer: layer.to_string(),
             n,
@@ -285,6 +289,12 @@ impl QuantWorkspace {
             });
         }
         self.prepare(layer, w, n, pattern)?;
+
+        // Clock reads only while capture is active; handles were resolved
+        // in `prepare`, so the steady state stays alloc-free.
+        let lat = self.lat;
+        let t0 = greuse_telemetry::enabled().then(std::time::Instant::now);
+        let fused_engaged = self.mode == PipelineMode::Fused && !self.families.is_empty();
 
         // Per-call activation quantization (dynamic range).
         let params = {
@@ -348,6 +358,10 @@ impl QuantWorkspace {
         // Transformation phase: one im2col-equivalent pass plus the
         // quantization pass over the activations.
         stats.ops.transform_elems = 2 * (n * k) as u64;
+        if let (Some(t0), Some(lat)) = (t0, lat) {
+            lat[crate::exec::workspace::latency_mode_index(&stats, fused_engaged)]
+                .record_ns(t0.elapsed().as_nanos() as u64);
+        }
         Ok(stats.finish())
     }
 
@@ -369,6 +383,13 @@ impl QuantWorkspace {
         let full_blocks = n / b;
         let tail_rows = n - full_blocks * b;
         self.acc.fill(0);
+
+        // Resolved unconditionally so the one-time registry allocation
+        // lands during warm-up, not a measured steady-state window.
+        let hit_hist =
+            greuse_telemetry::hist!(r#"cache.panel_latency{backend="int8",result="hit"}"#);
+        let miss_hist =
+            greuse_telemetry::hist!(r#"cache.panel_latency{backend="int8",result="miss"}"#);
 
         for panel in PanelIter::new(k, l) {
             let (col0, col1, lw) = (panel.start, panel.end, panel.len());
@@ -459,6 +480,11 @@ impl QuantWorkspace {
                     owned = hashes.family(layer, panel.index, pattern.h, &data)?;
                     &owned
                 };
+
+                // Per-panel latency, split by cache outcome (clock reads
+                // only with an active cache and capture on).
+                let panel_t0 = (self.cache.is_some() && greuse_telemetry::enabled())
+                    .then(std::time::Instant::now);
 
                 // Temporal-reuse probe over the quantized codes (this
                 // path has no payload-corrupting fault points, so fused
@@ -629,6 +655,10 @@ impl QuantWorkspace {
                             );
                         }
                     }
+                }
+                if let Some(t0) = panel_t0 {
+                    let hist = if warm { hit_hist } else { miss_hist };
+                    hist.record_ns(t0.elapsed().as_nanos() as u64);
                 }
             }
 

@@ -47,6 +47,12 @@ pub(crate) fn vertical_into(
     let full_blocks = n / b;
     let tail_rows = n - full_blocks * b;
 
+    // Resolved unconditionally so the one-time registry allocation lands
+    // during warm-up rather than inside a measured steady-state window
+    // (same idiom as `Counter` registration).
+    let hit_hist = greuse_telemetry::hist!(r#"cache.panel_latency{backend="f32",result="hit"}"#);
+    let miss_hist = greuse_telemetry::hist!(r#"cache.panel_latency{backend="f32",result="miss"}"#);
+
     for panel in PanelIter::new(k, l) {
         let (col0, col1, lw) = (panel.start, panel.end, panel.len());
         // Transposed weight slice Wpᵀ: lw x M.
@@ -140,6 +146,12 @@ pub(crate) fn vertical_into(
             #[cfg(not(feature = "fault-inject"))]
             let fault_clean = true;
             let units = &buf.units[..full_blocks * dim];
+
+            // Per-panel latency, split by cache outcome. Clock reads only
+            // with an active cache and capture on; the panel is coarse
+            // (cluster + fold + GEMM + recover) so two reads amortize.
+            let panel_t0 =
+                (cache.is_some() && greuse_telemetry::enabled()).then(std::time::Instant::now);
 
             // Temporal-reuse probe: with signatures from the fused sweep
             // and no fault fired this panel, an unchanged tile (validated
@@ -273,6 +285,10 @@ pub(crate) fn vertical_into(
                 }
             }
             stats.ops.recover_elems += (full_blocks * b * m) as u64;
+            if let Some(t0) = panel_t0 {
+                let hist = if warm { hit_hist } else { miss_hist };
+                hist.record_ns(t0.elapsed().as_nanos() as u64);
+            }
         }
 
         if tail_rows > 0 {

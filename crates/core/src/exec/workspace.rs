@@ -175,6 +175,10 @@ pub struct ExecWorkspace {
     fused: FusedPanelSource,
     mode: PipelineMode,
     cache: Option<ReuseCache<f32, f32>>,
+    /// Per-call latency histograms for this layer, `[warm, fused, staged]`.
+    /// Resolved in `prepare()` (the allocating phase — registry lookup
+    /// builds a key string) so `execute_into` only records.
+    lat: Option<[&'static greuse_telemetry::metrics::Hist; 3]>,
 }
 
 impl ExecWorkspace {
@@ -315,6 +319,7 @@ impl ExecWorkspace {
         }
 
         self.families.clear();
+        self.lat = Some(layer_latency_hists(layer, "f32"));
         self.key = Some(WsKey {
             layer: layer.to_string(),
             n,
@@ -364,6 +369,11 @@ impl ExecWorkspace {
             });
         }
         self.prepare(layer, n, k, m, pattern, spec)?;
+
+        // Clock reads only while capture is active; the handles were
+        // resolved in `prepare`, so the steady state stays alloc-free.
+        let lat = self.lat;
+        let t0 = greuse_telemetry::enabled().then(std::time::Instant::now);
 
         let ExecWorkspace {
             col_perm,
@@ -424,6 +434,10 @@ impl ExecWorkspace {
         };
         drop(reorder_span);
 
+        // The fused sweep only engages once the panel families are cached
+        // (second call onward); label the series accordingly.
+        let fused_engaged = *mode == PipelineMode::Fused && !families.is_empty();
+
         let mut stats = ReuseStats::default();
         {
             let y_work: &mut [f32] = match &row_perm {
@@ -469,7 +483,39 @@ impl ExecWorkspace {
         // Transformation phase: the base im2col pass plus one pass per
         // layout permutation (the paper includes reorder costs, §5.1).
         stats.ops.transform_elems = (n * k) as u64 * (1 + layout_passes);
+        if let (Some(t0), Some(lat)) = (t0, lat) {
+            lat[latency_mode_index(&stats, fused_engaged)]
+                .record_ns(t0.elapsed().as_nanos() as u64);
+        }
         Ok(stats.finish())
+    }
+}
+
+/// Resolves the `[warm, fused, staged]` per-layer latency histograms under
+/// the canonical `exec.layer_latency{layer=..,backend=..,mode=..}` keys.
+/// Allocates (key strings + first-use shard storage) — prepare-phase only.
+pub(crate) fn layer_latency_hists(
+    layer: &str,
+    backend: &str,
+) -> [&'static greuse_telemetry::metrics::Hist; 3] {
+    ["warm", "fused", "staged"].map(|m| {
+        greuse_telemetry::metrics::hist_labeled(
+            "exec.layer_latency",
+            &[("layer", layer), ("backend", backend), ("mode", m)],
+        )
+    })
+}
+
+/// Which latency series a finished call belongs to: fully warm calls
+/// (every panel replayed from the temporal cache) report as `warm`;
+/// anything that clustered reports as `fused` or `staged` by pipeline.
+pub(crate) fn latency_mode_index(stats: &ReuseStats, fused_engaged: bool) -> usize {
+    if stats.cache_hits > 0 && stats.cache_misses == 0 && stats.cache_invalidations == 0 {
+        0
+    } else if fused_engaged {
+        1
+    } else {
+        2
     }
 }
 

@@ -1,0 +1,197 @@
+//! A tiny hand-rolled HTTP/1.1 listener serving the live telemetry state
+//! as Prometheus text at `GET /metrics`. No external dependencies — one
+//! accept-loop thread, blocking reads with a short timeout, one response
+//! per connection (`Connection: close`).
+//!
+//! This is deliberately minimal: it exists so `greuse stream --serve` and
+//! the future serve layer can expose `/metrics` to `greuse monitor`,
+//! Prometheus, or `curl`, not to be a general web server. Request bodies
+//! are ignored; anything that is not `GET /metrics` (or `GET /`, a tiny
+//! index) gets a 404.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a running metrics listener; dropping it (or calling
+/// [`MetricsServer::shutdown`]) stops the accept loop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address — useful when serving on port 0.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the listener thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock accept() with a throwaway connection to ourselves.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9184`, or port 0 for ephemeral) and
+/// serves `/metrics` from a background thread until the returned handle is
+/// shut down or dropped.
+pub fn serve(addr: impl ToSocketAddrs) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("greuse-metrics-http".into())
+        .spawn(move || accept_loop(listener, &thread_stop))?;
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        // One short-lived connection at a time: responses are a few KB and
+        // scrapes are rare, so serial handling keeps this dependency-free
+        // and immune to slow-loris (reads time out).
+        let _ = handle_conn(stream);
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 2048];
+    let mut len = 0usize;
+    // Read until the header terminator; ignore anything past it.
+    while len < buf.len() {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = request.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            crate::prom::render(),
+        ),
+        ("GET", "/") => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "greuse metrics endpoint — scrape /metrics\n".to_string(),
+        ),
+        ("GET", _) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".into(),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".into(),
+        ),
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Performs one blocking `GET` against a greuse metrics server and returns
+/// `(status_code, body)`. Shared by `greuse monitor` and tests; not a
+/// general HTTP client (no TLS, no redirects, no chunked encoding).
+pub fn get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let sock_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let req = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let header_end = text
+        .find("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header end"))?;
+    let status: u16 = text
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, text[header_end + 4..].to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_and_404s() {
+        let server = serve("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.local_addr().to_string();
+
+        let (status, body) = get(&addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        crate::prom::validate(&body).expect("served /metrics must validate");
+        assert!(body.contains("greuse_telemetry_dropped_events"));
+
+        let (status, _) = get(&addr, "/nope").unwrap();
+        assert_eq!(status, 404);
+
+        let (status, body) = get(&addr, "/").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("/metrics"));
+
+        server.shutdown();
+    }
+}

@@ -24,7 +24,10 @@
 
 #![warn(missing_docs)]
 
+pub mod http;
 pub mod json;
+pub mod metrics;
+pub mod prom;
 
 #[cfg(feature = "capture")]
 use std::cell::Cell;
@@ -72,6 +75,33 @@ macro_rules! counter {
     }};
 }
 
+/// Declares a histogram call-site and returns a `&'static Hist` to record
+/// nanosecond values into:
+/// `telemetry::hist!("pool.job_latency").record_ns(dur);`.
+///
+/// The key may carry a canonical label block when the series is statically
+/// known: `hist!(r#"cache.panel_latency{result="hit"}"#)`. Dynamically
+/// labeled series go through [`metrics::hist_labeled`] from a setup phase
+/// instead. The registry lookup runs once per call-site; after that the
+/// handle is a single atomic load.
+#[macro_export]
+macro_rules! hist {
+    ($key:expr) => {{
+        static HANDLE: $crate::metrics::HistHandle = $crate::metrics::HistHandle::new($key);
+        HANDLE.get()
+    }};
+}
+
+/// Declares a gauge call-site and returns a `&'static Gauge` to `set`:
+/// `telemetry::gauge!("pool.workers").set(n as f64);`.
+#[macro_export]
+macro_rules! gauge {
+    ($key:expr) => {{
+        static HANDLE: $crate::metrics::GaugeHandle = $crate::metrics::GaugeHandle::new($key);
+        HANDLE.get()
+    }};
+}
+
 // ---------------------------------------------------------------------------
 // Capture-enabled implementation.
 // ---------------------------------------------------------------------------
@@ -109,14 +139,9 @@ mod state {
         EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
     }
 
-    pub(crate) fn record(name_id: u32, start_ns: u64, dur_ns: u64) {
-        let Some(ring) = RING.get() else { return };
-        let idx = ring.next.fetch_add(1, Ordering::Relaxed);
-        if idx >= ring.slots.len() {
-            ring.dropped.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        let tid = TID.with(|t| {
+    /// Telemetry-local id of the calling thread, assigned on first use.
+    pub(crate) fn tid() -> u32 {
+        TID.with(|t| {
             let v = t.get();
             if v != 0 {
                 v
@@ -127,7 +152,17 @@ mod state {
                 t.set(v);
                 v
             }
-        });
+        })
+    }
+
+    pub(crate) fn record(name_id: u32, start_ns: u64, dur_ns: u64) {
+        let Some(ring) = RING.get() else { return };
+        let idx = ring.next.fetch_add(1, Ordering::Relaxed);
+        if idx >= ring.slots.len() {
+            ring.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let tid = tid();
         let tag = TAG.with(Cell::get) & 0xFFFF;
         let slot = &ring.slots[idx];
         slot.start.store(start_ns, Ordering::Relaxed);
@@ -331,6 +366,14 @@ pub fn set_tag(tag: u32) -> u32 {
     state::TAG.with(|t| t.replace(tag))
 }
 
+/// Telemetry-local id of the calling thread (1-based, assigned on first
+/// use). Stable for the thread's lifetime; histogram shard selection keys
+/// off it.
+#[cfg(feature = "capture")]
+pub fn state_tid() -> u32 {
+    state::tid()
+}
+
 /// Number of spans dropped because the ring filled up.
 #[cfg(feature = "capture")]
 pub fn dropped_events() -> u64 {
@@ -470,6 +513,12 @@ pub fn reset() {}
 /// No-op; always returns zero.
 #[cfg(not(feature = "capture"))]
 pub fn set_tag(_tag: u32) -> u32 {
+    0
+}
+
+/// Always zero.
+#[cfg(not(feature = "capture"))]
+pub fn state_tid() -> u32 {
     0
 }
 

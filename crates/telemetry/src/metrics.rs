@@ -1,0 +1,797 @@
+//! Metrics registry: lock-free log-linear latency histograms plus gauges,
+//! unified with the crate's counters under one stable naming scheme.
+//!
+//! A metric key is either a bare name (`pool.job_latency`) or a name with a
+//! canonical label block (`exec.layer_latency{layer="conv1",backend="f32",
+//! mode="warm"}`). Labels are part of the key string — the registry does no
+//! label algebra at record time, so the hot path is label-free.
+//!
+//! ## Histogram design
+//!
+//! [`Hist`] buckets nanosecond values on a log-linear grid: values below 32
+//! get exact unit buckets; above that, each power-of-two octave is split
+//! into 32 linear sub-buckets, which bounds the relative quantile error at
+//! half a sub-bucket width — ≤ 1/64 ≈ 1.6%. The grid covers `[0, 2^40)` ns
+//! (~18 minutes); larger values clamp into the top bucket. The true
+//! minimum and maximum are tracked exactly, so `quantile(0.0)` and
+//! `quantile(1.0)` are exact, and interior quantiles are clamped into
+//! `[min, max]`.
+//!
+//! Recording is a handful of relaxed `fetch_add`s into one of
+//! [`NSHARDS`] shards selected by the recording thread's telemetry id, so
+//! concurrent writers rarely share cache lines. Shard storage is allocated
+//! once when the histogram is created (registry lookup — a cold path);
+//! [`Hist::record_ns`] itself never allocates and is a no-op while capture
+//! is inactive, preserving the zero-alloc steady state.
+//!
+//! Snapshots ([`hist_snapshots`]) merge the shards bucket-wise; the merge
+//! is a plain vector sum and therefore associative and commutative, which
+//! the tests pin down.
+//!
+//! When the `capture` feature is off every type here is an inert stub:
+//! [`Hist`] and [`Gauge`] are zero-sized, [`hist!`](crate::hist) /
+//! [`gauge!`](crate::gauge) resolve to references to static unit values,
+//! and `record_ns` / `set` are empty inline functions the optimizer erases.
+
+#[cfg(feature = "capture")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "capture")]
+use std::sync::{Mutex, OnceLock};
+
+/// Number of per-histogram shards; writers pick `tid % NSHARDS`.
+pub const NSHARDS: usize = 4;
+
+/// Unit buckets below this value; also the linear sub-bucket count per
+/// octave above it. Must be a power of two.
+const LINEAR: u64 = 32;
+/// log2(LINEAR).
+const LINEAR_BITS: u32 = 5;
+/// Values at or above `2^MAX_OCTAVE` clamp into the top bucket.
+const MAX_OCTAVE: u32 = 40;
+/// Total bucket count: 32 exact unit buckets + 35 octaves × 32 sub-buckets.
+const NBUCKETS: usize = LINEAR as usize + ((MAX_OCTAVE - LINEAR_BITS) as usize) * LINEAR as usize;
+
+/// Maps a nanosecond value to its bucket index.
+#[cfg(feature = "capture")]
+fn bucket_of(v: u64) -> usize {
+    let v = v.min((1u64 << MAX_OCTAVE) - 1);
+    if v < LINEAR {
+        return v as usize;
+    }
+    let oct = 63 - v.leading_zeros(); // >= LINEAR_BITS
+    let sub = (v >> (oct - LINEAR_BITS)) & (LINEAR - 1);
+    LINEAR as usize + ((oct - LINEAR_BITS) as usize) * LINEAR as usize + sub as usize
+}
+
+/// Midpoint representative of a bucket, used for quantile extraction.
+fn bucket_value(idx: usize) -> u64 {
+    if idx < LINEAR as usize {
+        return idx as u64;
+    }
+    let rel = idx - LINEAR as usize;
+    let oct = LINEAR_BITS + (rel / LINEAR as usize) as u32;
+    let sub = (rel % LINEAR as usize) as u64;
+    let width = 1u64 << (oct - LINEAR_BITS);
+    (1u64 << oct) + sub * width + width / 2
+}
+
+/// Splits a metric key into its name and `key="value"` label pairs.
+/// `exec.latency{layer="c1",mode="warm"}` → `("exec.latency",
+/// [("layer","c1"),("mode","warm")])`. Keys without a label block return an
+/// empty label list; a malformed block is returned as zero labels rather
+/// than an error (the key is still usable as an opaque identity).
+pub fn split_key(key: &str) -> (&str, Vec<(&str, &str)>) {
+    let Some(open) = key.find('{') else {
+        return (key, Vec::new());
+    };
+    let name = &key[..open];
+    let Some(body) = key[open + 1..].strip_suffix('}') else {
+        return (key, Vec::new());
+    };
+    let mut labels = Vec::new();
+    for pair in body.split(',') {
+        if pair.is_empty() {
+            continue;
+        }
+        let Some((k, v)) = pair.split_once('=') else {
+            return (key, Vec::new());
+        };
+        let v = v
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .unwrap_or(v);
+        labels.push((k, v));
+    }
+    (name, labels)
+}
+
+/// Builds the canonical key string for a name plus label pairs. Labels are
+/// kept in the order given — call-sites must use one consistent order per
+/// metric name so identical series map to identical keys.
+pub fn make_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Point-in-time copy of one histogram, mergeable across histograms of the
+/// same key (or across processes, once deserialized).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Full metric key, labels included.
+    pub key: String,
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of all recorded values, ns.
+    pub sum_ns: u64,
+    /// Exact minimum recorded value, ns (0 when `count == 0`).
+    pub min_ns: u64,
+    /// Exact maximum recorded value, ns.
+    pub max_ns: u64,
+    /// Per-bucket sample counts on the log-linear grid.
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot for `key`.
+    pub fn empty(key: &str) -> Self {
+        HistSnapshot {
+            key: key.to_string(),
+            count: 0,
+            sum_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            buckets: vec![0; NBUCKETS],
+        }
+    }
+
+    /// Bucket-wise sum of two snapshots. Associative and commutative: the
+    /// buckets add element-wise, `count`/`sum` add, and min/max combine by
+    /// min/max — so shards (and runs) can be merged in any grouping.
+    pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
+        let mut buckets = self.buckets.clone();
+        for (b, o) in buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        let min_ns = match (self.count, other.count) {
+            (0, _) => other.min_ns,
+            (_, 0) => self.min_ns,
+            _ => self.min_ns.min(other.min_ns),
+        };
+        HistSnapshot {
+            key: self.key.clone(),
+            count: self.count + other.count,
+            sum_ns: self.sum_ns + other.sum_ns,
+            min_ns,
+            max_ns: self.max_ns.max(other.max_ns),
+            buckets,
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, in ns. `q = 0` returns the exact
+    /// minimum and `q = 1` the exact maximum; interior quantiles carry the
+    /// grid's ≤ 1/64 relative error and are clamped into `[min, max]`.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min_ns;
+        }
+        if q >= 1.0 {
+            return self.max_ns;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // max-then-min (not `clamp`): a snapshot taken mid-record
+                // can transiently hold min > max, which `clamp` panics on.
+                return bucket_value(i).max(self.min_ns).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Mean recorded value, ns. 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Capture-enabled implementation.
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "capture")]
+struct Shard {
+    counts: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+#[cfg(feature = "capture")]
+impl Shard {
+    fn new() -> Shard {
+        let mut counts = Vec::with_capacity(NBUCKETS);
+        counts.resize_with(NBUCKETS, || AtomicU64::new(0));
+        Shard {
+            counts: counts.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-free log-linear histogram of nanosecond values. Obtain one from
+/// [`hist`], [`hist_labeled`], or the [`hist!`](crate::hist) macro; record
+/// with [`Hist::record_ns`].
+#[cfg(feature = "capture")]
+pub struct Hist {
+    key: &'static str,
+    shards: [Shard; NSHARDS],
+    /// Exact extrema of all recorded values; `min` starts at `u64::MAX`.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+#[cfg(feature = "capture")]
+impl std::fmt::Debug for Hist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Hist").field(&self.key).finish()
+    }
+}
+
+#[cfg(feature = "capture")]
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.key).finish()
+    }
+}
+
+#[cfg(feature = "capture")]
+impl Hist {
+    fn new(key: &'static str) -> Hist {
+        Hist {
+            key,
+            shards: std::array::from_fn(|_| Shard::new()),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Full metric key, labels included.
+    pub fn key(&self) -> &'static str {
+        self.key
+    }
+
+    /// Records one nanosecond value while capture is active; no-op (one
+    /// relaxed load and a branch) otherwise. Never allocates.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.record_always(ns);
+    }
+
+    /// Records unconditionally (used by tests and by call-sites that gate
+    /// on [`crate::enabled`] themselves before reading the clock).
+    #[inline]
+    pub fn record_always(&self, ns: u64) {
+        let shard = &self.shards[crate::state_tid() as usize % NSHARDS];
+        shard.counts[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(ns, Ordering::Relaxed);
+        self.min.fetch_min(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Merges all shards into a [`HistSnapshot`].
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut out = HistSnapshot::empty(self.key);
+        for shard in &self.shards {
+            for (b, c) in out.buckets.iter_mut().zip(shard.counts.iter()) {
+                *b += c.load(Ordering::Relaxed);
+            }
+            out.count += shard.count.load(Ordering::Relaxed);
+            out.sum_ns += shard.sum.load(Ordering::Relaxed);
+        }
+        if out.count > 0 {
+            // A snapshot racing an in-flight record can observe the bucket
+            // increments before the extrema updates; normalize so the
+            // invariant min ≤ max always holds in the snapshot.
+            out.max_ns = self.max.load(Ordering::Relaxed);
+            out.min_ns = self.min.load(Ordering::Relaxed).min(out.max_ns);
+        }
+        out
+    }
+
+    /// Snapshot of a single shard (merge-associativity tests).
+    #[cfg(test)]
+    fn shard_snapshot(&self, idx: usize) -> HistSnapshot {
+        let mut out = HistSnapshot::empty(self.key);
+        let shard = &self.shards[idx];
+        for (b, c) in out.buckets.iter_mut().zip(shard.counts.iter()) {
+            *b += c.load(Ordering::Relaxed);
+        }
+        out.count = shard.count.load(Ordering::Relaxed);
+        out.sum_ns = shard.sum.load(Ordering::Relaxed);
+        if out.count > 0 {
+            // Extrema are tracked per-histogram, not per-shard; reconstruct
+            // loose per-shard bounds from the bucket grid for merge tests.
+            let lo = out.buckets.iter().position(|&c| c > 0).unwrap_or(0);
+            let hi = out.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+            out.min_ns = bucket_value(lo);
+            out.max_ns = bucket_value(hi);
+        }
+        out
+    }
+
+    /// Records into an explicit shard (tests only — exercises cross-shard
+    /// merging without needing `NSHARDS` live threads).
+    #[cfg(test)]
+    fn record_shard(&self, idx: usize, ns: u64) {
+        let shard = &self.shards[idx % NSHARDS];
+        shard.counts[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(ns, Ordering::Relaxed);
+        self.min.fetch_min(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        for shard in &self.shards {
+            for c in shard.counts.iter() {
+                c.store(0, Ordering::Relaxed);
+            }
+            shard.count.store(0, Ordering::Relaxed);
+            shard.sum.store(0, Ordering::Relaxed);
+        }
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value gauge storing an `f64`. Obtain one from [`gauge`] or the
+/// [`gauge!`](crate::gauge) macro.
+#[cfg(feature = "capture")]
+pub struct Gauge {
+    key: &'static str,
+    bits: AtomicU64,
+}
+
+#[cfg(feature = "capture")]
+impl Gauge {
+    fn new(key: &'static str) -> Gauge {
+        Gauge {
+            key,
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Full metric key.
+    pub fn key(&self) -> &'static str {
+        self.key
+    }
+
+    /// Stores `v` while capture is active (one relaxed store).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(feature = "capture")]
+static HISTS: Mutex<Vec<&'static Hist>> = Mutex::new(Vec::new());
+#[cfg(feature = "capture")]
+static GAUGES: Mutex<Vec<&'static Gauge>> = Mutex::new(Vec::new());
+
+/// Looks up (or creates and leaks) the histogram registered under `key`.
+/// Creation allocates the shard storage — call this from setup/`prepare()`
+/// phases and cache the `&'static` handle; never from a measured loop.
+#[cfg(feature = "capture")]
+pub fn hist(key: &'static str) -> &'static Hist {
+    let mut list = HISTS.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(h) = list.iter().find(|h| h.key == key) {
+        return h;
+    }
+    let h: &'static Hist = Box::leak(Box::new(Hist::new(key)));
+    list.push(h);
+    h
+}
+
+/// Looks up (or creates) the histogram for `name` with `labels`, building
+/// the canonical key with [`make_key`]. Allocates the key string on every
+/// call — cold paths only; cache the returned handle.
+#[cfg(feature = "capture")]
+pub fn hist_labeled(name: &str, labels: &[(&str, &str)]) -> &'static Hist {
+    let key = make_key(name, labels);
+    let mut list = HISTS.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(h) = list.iter().find(|h| h.key == key) {
+        return h;
+    }
+    let key: &'static str = Box::leak(key.into_boxed_str());
+    let h: &'static Hist = Box::leak(Box::new(Hist::new(key)));
+    list.push(h);
+    h
+}
+
+/// Looks up (or creates and leaks) the gauge registered under `key`.
+#[cfg(feature = "capture")]
+pub fn gauge(key: &'static str) -> &'static Gauge {
+    let mut list = GAUGES.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(g) = list.iter().find(|g| g.key == key) {
+        return g;
+    }
+    let g: &'static Gauge = Box::leak(Box::new(Gauge::new(key)));
+    list.push(g);
+    g
+}
+
+/// Snapshots every registered histogram, in registration order. Empty
+/// histograms (count 0) are included so exporters can render stable series.
+#[cfg(feature = "capture")]
+pub fn hist_snapshots() -> Vec<HistSnapshot> {
+    let list = HISTS.lock().unwrap_or_else(|p| p.into_inner());
+    list.iter().map(|h| h.snapshot()).collect()
+}
+
+/// Snapshots every registered gauge as `(key, value)` pairs.
+#[cfg(feature = "capture")]
+pub fn gauge_values() -> Vec<(&'static str, f64)> {
+    let list = GAUGES.lock().unwrap_or_else(|p| p.into_inner());
+    list.iter().map(|g| (g.key, g.get())).collect()
+}
+
+/// Zeroes every registered histogram and gauge. Deliberately *not* part of
+/// [`crate::reset`]: the span ring is cleared between measurement windows,
+/// but long-running monitors want latency distributions to keep
+/// accumulating across those resets — clear them explicitly when a fresh
+/// window matters.
+#[cfg(feature = "capture")]
+pub fn reset() {
+    let list = HISTS.lock().unwrap_or_else(|p| p.into_inner());
+    for h in list.iter() {
+        h.reset();
+    }
+    let gauges = GAUGES.lock().unwrap_or_else(|p| p.into_inner());
+    for g in gauges.iter() {
+        g.bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Per-call-site lazy handle used by the [`hist!`](crate::hist) macro: the
+/// registry lookup (and its one-time allocation) happens on first `get`,
+/// after which the handle is a single atomic load.
+#[cfg(feature = "capture")]
+pub struct HistHandle {
+    key: &'static str,
+    cell: OnceLock<&'static Hist>,
+}
+
+#[cfg(feature = "capture")]
+impl HistHandle {
+    /// Const constructor used by [`hist!`](crate::hist).
+    pub const fn new(key: &'static str) -> Self {
+        HistHandle {
+            key,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Resolves (once) and returns the histogram.
+    #[inline]
+    pub fn get(&'static self) -> &'static Hist {
+        self.cell.get_or_init(|| hist(self.key))
+    }
+}
+
+/// Per-call-site lazy handle used by the [`gauge!`](crate::gauge) macro.
+#[cfg(feature = "capture")]
+pub struct GaugeHandle {
+    key: &'static str,
+    cell: OnceLock<&'static Gauge>,
+}
+
+#[cfg(feature = "capture")]
+impl GaugeHandle {
+    /// Const constructor used by [`gauge!`](crate::gauge).
+    pub const fn new(key: &'static str) -> Self {
+        GaugeHandle {
+            key,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Resolves (once) and returns the gauge.
+    #[inline]
+    pub fn get(&'static self) -> &'static Gauge {
+        self.cell.get_or_init(|| gauge(self.key))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Capture-disabled stubs: zero-sized types, empty inline bodies.
+// ---------------------------------------------------------------------------
+
+/// Inert histogram (the `capture` feature is off). Zero-sized.
+#[cfg(not(feature = "capture"))]
+#[derive(Debug)]
+pub struct Hist;
+
+#[cfg(not(feature = "capture"))]
+impl Hist {
+    /// Always the empty key.
+    pub fn key(&self) -> &'static str {
+        ""
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record_ns(&self, _ns: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record_always(&self, _ns: u64) {}
+
+    /// Always empty.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot::empty("")
+    }
+}
+
+/// Inert gauge (the `capture` feature is off). Zero-sized.
+#[cfg(not(feature = "capture"))]
+#[derive(Debug)]
+pub struct Gauge;
+
+#[cfg(not(feature = "capture"))]
+impl Gauge {
+    /// Always the empty key.
+    pub fn key(&self) -> &'static str {
+        ""
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn set(&self, _v: f64) {}
+
+    /// Always zero.
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(not(feature = "capture"))]
+static INERT_HIST: Hist = Hist;
+#[cfg(not(feature = "capture"))]
+static INERT_GAUGE: Gauge = Gauge;
+
+/// Always the shared inert histogram; never allocates.
+#[cfg(not(feature = "capture"))]
+#[inline(always)]
+pub fn hist(_key: &'static str) -> &'static Hist {
+    &INERT_HIST
+}
+
+/// Always the shared inert histogram; never allocates.
+#[cfg(not(feature = "capture"))]
+#[inline(always)]
+pub fn hist_labeled(_name: &str, _labels: &[(&str, &str)]) -> &'static Hist {
+    &INERT_HIST
+}
+
+/// Always the shared inert gauge; never allocates.
+#[cfg(not(feature = "capture"))]
+#[inline(always)]
+pub fn gauge(_key: &'static str) -> &'static Gauge {
+    &INERT_GAUGE
+}
+
+/// Always empty.
+#[cfg(not(feature = "capture"))]
+pub fn hist_snapshots() -> Vec<HistSnapshot> {
+    Vec::new()
+}
+
+/// Always empty.
+#[cfg(not(feature = "capture"))]
+pub fn gauge_values() -> Vec<(&'static str, f64)> {
+    Vec::new()
+}
+
+/// No-op.
+#[cfg(not(feature = "capture"))]
+pub fn reset() {}
+
+/// Inert handle used by [`hist!`](crate::hist) (the `capture` feature is
+/// off). Zero-sized.
+#[cfg(not(feature = "capture"))]
+pub struct HistHandle;
+
+#[cfg(not(feature = "capture"))]
+impl HistHandle {
+    /// Const constructor used by [`hist!`](crate::hist).
+    pub const fn new(_key: &'static str) -> Self {
+        HistHandle
+    }
+
+    /// Always the shared inert histogram.
+    #[inline(always)]
+    pub fn get(&'static self) -> &'static Hist {
+        &INERT_HIST
+    }
+}
+
+/// Inert handle used by [`gauge!`](crate::gauge) (the `capture` feature is
+/// off). Zero-sized.
+#[cfg(not(feature = "capture"))]
+pub struct GaugeHandle;
+
+#[cfg(not(feature = "capture"))]
+impl GaugeHandle {
+    /// Const constructor used by [`gauge!`](crate::gauge).
+    pub const fn new(_key: &'static str) -> Self {
+        GaugeHandle
+    }
+
+    /// Always the shared inert gauge.
+    #[inline(always)]
+    pub fn get(&'static self) -> &'static Gauge {
+        &INERT_GAUGE
+    }
+}
+
+#[cfg(all(test, feature = "capture"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_bounded() {
+        // Unit buckets are exact.
+        for v in 0..LINEAR {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_value(v as usize), v);
+        }
+        // Monotone over a log sweep, representative within 1/64 relative
+        // error of any value mapping into the bucket.
+        let mut last = 0usize;
+        let mut v = 1u64;
+        while v < (1u64 << 41) {
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket index must be monotone");
+            assert!(b < NBUCKETS);
+            last = b;
+            if (LINEAR..(1u64 << MAX_OCTAVE)).contains(&v) {
+                let rep = bucket_value(b);
+                let err = (rep as f64 - v as f64).abs() / v as f64;
+                assert!(err <= 1.0 / 64.0 + 1e-12, "v={v} rep={rep} err={err}");
+            }
+            v = v * 13 / 11 + 1;
+        }
+        // Top clamp: anything ≥ 2^40 lands in the last bucket.
+        assert_eq!(bucket_of(1u64 << MAX_OCTAVE), NBUCKETS - 1);
+        assert_eq!(bucket_of(u64::MAX), NBUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let h = hist("test.quantiles");
+        // 1..=1000 µs in ns, recorded across shards round-robin.
+        for i in 1..=1000u64 {
+            h.record_shard(i as usize, i * 1_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min_ns, 1_000);
+        assert_eq!(s.max_ns, 1_000_000);
+        assert_eq!(s.quantile(0.0), 1_000);
+        assert_eq!(s.quantile(1.0), 1_000_000, "max must be exact");
+        for (q, expect) in [(0.5, 500_000.0), (0.95, 950_000.0), (0.99, 990_000.0)] {
+            let got = s.quantile(q) as f64;
+            let err = (got - expect).abs() / expect;
+            assert!(err <= 1.0 / 64.0 + 1e-3, "q={q} got={got} err={err}");
+        }
+        let mean = s.mean();
+        assert!((mean - 500_500.0).abs() / 500_500.0 < 1e-9);
+    }
+
+    #[test]
+    fn shard_merge_is_associative_and_matches_full_snapshot() {
+        let h = hist("test.merge");
+        for i in 0..400u64 {
+            h.record_shard(i as usize, (i * 37) % 100_000 + 1);
+        }
+        let parts: Vec<HistSnapshot> = (0..NSHARDS).map(|i| h.shard_snapshot(i)).collect();
+        // ((a ⊕ b) ⊕ c) ⊕ d  ==  a ⊕ (b ⊕ (c ⊕ d))
+        let left = parts[0].merge(&parts[1]).merge(&parts[2]).merge(&parts[3]);
+        let right = parts[0].merge(&parts[1].merge(&parts[2].merge(&parts[3])));
+        assert_eq!(left.buckets, right.buckets);
+        assert_eq!(left.count, right.count);
+        assert_eq!(left.sum_ns, right.sum_ns);
+        assert_eq!(left.min_ns, right.min_ns);
+        assert_eq!(left.max_ns, right.max_ns);
+        // Commutative too.
+        let swapped = parts[3].merge(&parts[2]).merge(&parts[1]).merge(&parts[0]);
+        assert_eq!(left.buckets, swapped.buckets);
+        assert_eq!(left.count, swapped.count);
+        // And the bucket-wise merge reproduces the full snapshot's counts.
+        let full = h.snapshot();
+        assert_eq!(left.buckets, full.buckets);
+        assert_eq!(left.count, full.count);
+        assert_eq!(left.sum_ns, full.sum_ns);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = hist("test.threads");
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let h = hist("test.threads");
+                    for i in 0..1000u64 {
+                        h.record_always(t * 1_000 + i + 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8_000);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.max_ns, 8_000);
+    }
+
+    #[test]
+    fn keys_round_trip_through_make_and_split() {
+        let key = make_key(
+            "exec.layer_latency",
+            &[("layer", "conv1"), ("backend", "f32"), ("mode", "warm")],
+        );
+        assert_eq!(
+            key,
+            "exec.layer_latency{layer=\"conv1\",backend=\"f32\",mode=\"warm\"}"
+        );
+        let (name, labels) = split_key(&key);
+        assert_eq!(name, "exec.layer_latency");
+        assert_eq!(
+            labels,
+            vec![("layer", "conv1"), ("backend", "f32"), ("mode", "warm")]
+        );
+        assert_eq!(split_key("pool.job_latency"), ("pool.job_latency", vec![]));
+        // Same key → same histogram instance.
+        let a = hist_labeled("test.identity", &[("k", "v")]);
+        let b = hist_labeled("test.identity", &[("k", "v")]);
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -95,6 +95,12 @@ static TASKS_WORKER: greuse_telemetry::Counter =
     greuse_telemetry::Counter::new("pool.tasks.worker");
 static PARKS: greuse_telemetry::Counter = greuse_telemetry::Counter::new("pool.parks");
 static WAKES: greuse_telemetry::Counter = greuse_telemetry::Counter::new("pool.wakes");
+/// Wall time of each dispatched job (publish → completion latch), ns.
+static JOB_LATENCY: greuse_telemetry::metrics::HistHandle =
+    greuse_telemetry::metrics::HistHandle::new("pool.job_latency");
+/// Worker-thread count, exported so a scrape can normalize job latency.
+static WORKERS_GAUGE: greuse_telemetry::metrics::GaugeHandle =
+    greuse_telemetry::metrics::GaugeHandle::new("pool.workers");
 
 /// A pool of persistent worker threads parked between jobs.
 ///
@@ -142,6 +148,8 @@ impl WorkerPool {
         TASKS_WORKER.add(0);
         PARKS.add(0);
         WAKES.add(0);
+        JOB_LATENCY.get();
+        WORKERS_GAUGE.get();
         for i in 0..workers {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -201,6 +209,7 @@ impl WorkerPool {
         // guards no data, and `slot` is re-published from scratch each
         // generation — so recovering the inner guard is sound.
         let _own = self.dispatch.lock().unwrap_or_else(|p| p.into_inner());
+        let t0 = greuse_telemetry::enabled().then(std::time::Instant::now);
         self.shared.n_tasks.store(n_tasks, Ordering::Release);
         self.shared.next.store(0, Ordering::Release);
         // SAFETY: lifetime erasure only; the completion latch below keeps
@@ -219,6 +228,7 @@ impl WorkerPool {
             self.shared.work_cv.notify_all();
         }
         JOBS.add(1);
+        WORKERS_GAUGE.get().set(self.workers as f64);
         // The caller works too; a panic here must still wait out the
         // workers before unwinding frees the task closure.
         IN_POOL.with(|f| f.set(true));
@@ -238,6 +248,9 @@ impl WorkerPool {
         slot.job = None;
         let worker_payload = slot.panic_payload.take();
         drop(slot);
+        if let Some(t0) = t0 {
+            JOB_LATENCY.get().record_ns(t0.elapsed().as_nanos() as u64);
+        }
         if let Err(payload) = mine {
             resume_unwind(payload);
         }
