@@ -13,6 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+# The Pareto front is the pruning primitive every selection result and
+# the whole-network gate sit on; run its property suite explicitly so a
+# failure is attributed to the invariant, not buried in the workspace run.
+echo "==> pareto_front property suite"
+cargo test -q -p greuse --test pareto_props
+
 # The capture-off build must keep the whole telemetry surface (spans,
 # counters, histograms, gauges) a true zero-cost no-op; the crate's
 # no_op test asserts zero-sized types and a zero-allocation hot loop.
@@ -122,6 +128,21 @@ if cargo run -q --release -p greuse-cli --bin greuse -- bench-compare \
   exit 1
 fi
 rm -f bench_selftest_baseline.json
+
+# Whole-network reproduction gate: drive all five zoo networks through
+# train -> int8 -> §4.3 selection -> MCU model on both boards at smoke
+# scale, then hold the emitted BenchRecord against the committed
+# portable baseline. Budget: < 60 s (the smoke sweep itself runs in
+# ~3 s release; the bound leaves 20x headroom for slow hosts). All
+# gated metrics are modeled from op counts, so the step is
+# deterministic across machines.
+echo "==> greuse reproduce --smoke (whole-network paper-shape + regression gate)"
+REPRO_DIR=$(mktemp -d)
+(cd "${REPRO_DIR}" && GREUSE_BENCH_HISTORY=off \
+  "${OLDPWD}/target/release/greuse" reproduce --smoke --out RESULTS_smoke.md)
+cargo run -q --release -p greuse-cli --bin greuse -- bench-compare \
+  --baseline results/bench_network_baseline.json --dir "${REPRO_DIR}"
+rm -rf "${REPRO_DIR}"
 
 echo "==> live /metrics endpoint (greuse stream --serve scraped by greuse monitor --validate)"
 cargo build -q --release -p greuse-cli

@@ -147,17 +147,23 @@ fn main() {
 
     let seq_ips = images as f64 / seq_best;
     let par_ips = images as f64 / par_best;
-    let speedup = par_ips / seq_ips;
+    // On a single hardware thread the measured ratio is scheduling noise,
+    // not a speedup: represent it as absent so no downstream path — JSON
+    // emission or the --check gate — can accidentally treat the noise as
+    // a measurement.
+    let speedup: Option<f64> = (hw_threads >= 2).then(|| par_ips / seq_ips);
 
     println!("=== Execution engine benchmark ===");
     println!("batch: {images} images of {n}x{k}, weights {m}x{k}, {pattern}");
     println!("allocs/call (steady state): {allocs_per_call:.2}");
     println!("single-thread:  {seq_ips:>8.1} images/sec");
     println!("parallel ({threads} threads, {hw_threads} hw): {par_ips:>8.1} images/sec");
-    if hw_threads >= 2 {
-        println!("speedup: {speedup:.2}x");
-    } else {
-        println!("speedup: n/a ({speedup:.2}x measured, but oversubscribed on 1 hw thread)");
+    match speedup {
+        Some(s) => println!("speedup: {s:.2}x"),
+        None => println!(
+            "speedup: n/a ({:.2}x measured, but oversubscribed on 1 hw thread)",
+            par_ips / seq_ips
+        ),
     }
     println!(
         "redundancy ratio (batch total): {:.3}",
@@ -165,18 +171,17 @@ fn main() {
     );
 
     let telemetry_enabled = cfg!(feature = "telemetry");
-    let speedup_gate = if hw_threads >= 2 {
+    let speedup_gate = if speedup.is_some() {
         "enforced"
     } else {
         "skipped_single_core"
     };
-    // On a single hardware thread the pool still runs (threads is
-    // raised to 2 so the machinery and the stats bit-identity check are
-    // exercised), but the two paths merely interleave on one core — the
-    // measured ratio is scheduling noise, not a speedup. Null the field
-    // rather than publish a misleading number; the envelope's
-    // `host.hw_threads` plus the handling note let a comparison
-    // distinguish "unmeasurable host" from a regression.
+    // The pool still runs on a single hardware thread (threads is raised
+    // to 2 so the machinery and the stats bit-identity check are
+    // exercised), but the field is nulled rather than published as a
+    // misleading number; the envelope's `host.hw_threads` plus the
+    // handling note let a comparison distinguish "unmeasurable host"
+    // from a regression.
     let mut rec = greuse_bench::record::BenchRecord::new("exec")
         .param("images", images as f64)
         .param("rows", n as f64)
@@ -187,10 +192,9 @@ fn main() {
         .metric("allocs_per_call", allocs_per_call)
         .metric("single_thread_images_per_sec", seq_ips)
         .metric("parallel_images_per_sec", par_ips);
-    rec = if hw_threads >= 2 {
-        rec.metric("parallel_speedup", speedup)
-    } else {
-        rec.nulled_metric("parallel_speedup", "nulled_oversubscribed")
+    rec = match speedup {
+        Some(s) => rec.metric("parallel_speedup", s),
+        None => rec.nulled_metric("parallel_speedup", "nulled_oversubscribed"),
     };
     rec.metric("redundancy_ratio", seq_stats.redundancy_ratio)
         .note("parallel_speedup_gate", speedup_gate)
@@ -226,22 +230,21 @@ fn main() {
 
     if check {
         // With real hardware parallelism the pool must win outright. On
-        // a single hardware thread the two paths merely interleave, so
-        // any measured "speedup" is scheduling noise; assert nothing and
-        // leave the regime in the JSON for downstream consumers.
-        if hw_threads < 2 {
-            println!(
+        // a single hardware thread the speedup is None — the gate never
+        // sees a noise value, by construction.
+        match speedup {
+            None => println!(
                 "check SKIPPED: parallel speedup gate needs >= 2 hardware threads \
                  (host has {hw_threads}); recorded parallel_speedup_gate = \"{speedup_gate}\""
-            );
-        } else if speedup < 1.0 {
-            eprintln!(
-                "CHECK FAILED: parallel speedup {speedup:.3} < required 1.00 \
-                 ({hw_threads} hardware threads)"
-            );
-            std::process::exit(1);
-        } else {
-            println!("check passed: speedup {speedup:.3} >= 1.00");
+            ),
+            Some(s) if s < 1.0 => {
+                eprintln!(
+                    "CHECK FAILED: parallel speedup {s:.3} < required 1.00 \
+                     ({hw_threads} hardware threads)"
+                );
+                std::process::exit(1);
+            }
+            Some(s) => println!("check passed: speedup {s:.3} >= 1.00"),
         }
     }
 }

@@ -1,0 +1,104 @@
+//! Whole-network reproduction sweep: every model-zoo network through
+//! train/surrogate → int8 PTQ → §4.3 pattern selection → MCU-model
+//! measurement on both boards.
+//!
+//! Usage: `bench_network [--quick] [--check] [--out PATH] [--models a,b]`
+//!
+//! - `--quick`: smoke scale (narrow ResNet, tiny scope/splits; the CI tier-1
+//!   configuration). Default is paper scale.
+//! - `--check`: gate on the paper's shape (F4≈2×F7 per network, at least one
+//!   per-layer crossover in each direction); exit non-zero on violation.
+//! - `--out PATH`: where to write the markdown report (default `RESULTS.md`).
+//! - `--models a,b`: restrict the sweep to a comma-separated subset of zoo
+//!   model ids (debugging aid; the paper-shape check still applies).
+//!
+//! Always writes `BENCH_network.json` and appends to the bench history
+//! (`GREUSE_BENCH_HISTORY`, `off` to disable).
+
+use std::process::exit;
+use std::time::Instant;
+
+use greuse::workflow::reproduce::{reproduce_network, ReproduceConfig, ReproduceReport};
+use greuse_bench::network::{bench_record, render_results_md};
+use greuse_nn::models::zoo::ZooModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "RESULTS.md".into());
+    let models: Vec<ZooModel> = match args.iter().position(|a| a == "--models") {
+        Some(i) => args
+            .get(i + 1)
+            .map(|s| s.split(',').filter_map(ZooModel::parse).collect())
+            .unwrap_or_default(),
+        None => ZooModel::all().to_vec(),
+    };
+    if models.is_empty() {
+        eprintln!("bench_network: --models matched no zoo model");
+        exit(2);
+    }
+
+    let config = if quick {
+        ReproduceConfig::smoke()
+    } else {
+        ReproduceConfig::full()
+    };
+    println!("# bench_network: scale={} check={check}", config.scale.id());
+
+    let started = Instant::now();
+    let mut networks = Vec::new();
+    for model in models {
+        let t = Instant::now();
+        match reproduce_network(model, &config) {
+            Ok(net) => {
+                println!(
+                    "  {:<22} dense {:8.2} ms  reuse {:8.2} ms  speedup {:.2}x  \
+                     ({:.1}s, explore {:.1}s)",
+                    net.label,
+                    net.dense_ms[0],
+                    net.reuse_ms[0],
+                    net.speedup(0),
+                    t.elapsed().as_secs_f64(),
+                    net.explore_secs,
+                );
+                networks.push(net);
+            }
+            Err(e) => {
+                eprintln!("bench_network: {} failed: {e}", model.id());
+                exit(1);
+            }
+        }
+    }
+    let report = ReproduceReport { config, networks };
+    println!(
+        "# swept {} networks in {:.1}s",
+        report.networks.len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    std::fs::write(&out, render_results_md(&report))
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("# wrote {out}");
+    bench_record(&report).write();
+
+    if check {
+        match report.check_paper_shape() {
+            Ok(notes) => {
+                for n in notes {
+                    println!("  OK {n}");
+                }
+                println!("# paper-shape check passed");
+            }
+            Err(e) => {
+                eprintln!("# paper-shape check FAILED:\n{e}");
+                exit(1);
+            }
+        }
+    }
+}

@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod network;
 pub mod plot;
 pub mod record;
 

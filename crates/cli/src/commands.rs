@@ -1,21 +1,20 @@
 //! CLI subcommand implementations.
 
 use greuse::{
+    workflow::reproduce::{reproduce_network, ReproduceConfig, ReproduceReport},
     workflow::{network_latency, select_patterns_for_layer, WorkflowConfig},
     AdaptedHashProvider, DeploymentPlan, ExecWorkspace, GuardConfig, GuardPolicy, LatencyModel,
     QuantWorkspace, QuantizedBackend, RandomHashProvider, ReuseBackend, ReusePattern, ReuseStats,
     Scope,
 };
+use greuse_bench::network::{bench_record, render_results_md};
 use greuse_data::{FrameStream, SyntheticDataset};
 use greuse_mcu::{inference_energy_mj, Board, PhaseOps};
 use greuse_nn::{
-    evaluate_accuracy, evaluate_dense, models::CifarNet, models::SqueezeNet,
-    models::SqueezeNetVariant, models::ZfNet, ptq_int8, StateDict, TrainableNetwork, Trainer,
-    TrainerConfig,
+    evaluate_accuracy, evaluate_dense, models::zoo::ZooModel, models::zoo::ZooScale, ptq_int8,
+    StateDict, TrainableNetwork, Trainer, TrainerConfig,
 };
 use greuse_tensor::Tensor;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::collections::HashMap;
 
 use crate::args::Options;
@@ -25,7 +24,7 @@ pub const USAGE: &str = "\
 greuse — generalized reuse patterns for DNN inference on MCUs
 
 USAGE:
-  greuse train    --model <cifarnet|zfnet|squeezenet|squeezenet-bypass>
+  greuse train    --model <cifarnet|zfnet|squeezenet|squeezenet-bypass|resnet18>
                   [--epochs N] [--samples N] [--out FILE]
   greuse eval     --model <...> [--weights FILE] [--reuse L,H | --plan FILE]
                   [--board f4|f7] [--samples N]
@@ -45,19 +44,25 @@ USAGE:
   greuse monitor  [--addr HOST:PORT] [--watch] [--interval-ms N] [--validate]
   greuse bench-compare --baseline FILE [--dir DIR] [--write-baseline FILE]
                   [--portable] [--perturb bench:metric:FACTOR]
+  greuse reproduce [--smoke] [--out FILE] [--models a,b] [--no-check]
   greuse help";
 
 type AnyNet = Box<dyn TrainableNetwork>;
 
 fn build_model(name: &str, seed: u64) -> Result<AnyNet, String> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    Ok(match name {
-        "cifarnet" => Box::new(CifarNet::new(10, &mut rng)),
-        "zfnet" => Box::new(ZfNet::new(10, &mut rng)),
-        "squeezenet" => Box::new(SqueezeNet::new(SqueezeNetVariant::Vanilla, 10, &mut rng)),
-        "squeezenet-bypass" => Box::new(SqueezeNet::new(SqueezeNetVariant::Bypass, 10, &mut rng)),
-        other => return Err(format!("unknown model `{other}`")),
-    })
+    ZooModel::parse(name)
+        .map(|m| m.build(ZooScale::Paper, 10, seed))
+        .ok_or_else(|| format!("unknown model `{name}`"))
+}
+
+/// Synthetic dataset matching the network's input geometry (64×64 models
+/// like ResNet-18 get the ImageNet-64-like generator).
+fn dataset_for(net: &dyn TrainableNetwork, seed: u64) -> SyntheticDataset {
+    if net.input_shape() == [3, 64, 64] {
+        SyntheticDataset::imagenet64_like(seed)
+    } else {
+        SyntheticDataset::cifar_like(seed)
+    }
 }
 
 fn board(opts: &Options) -> Board {
@@ -109,7 +114,7 @@ pub fn train(opts: &Options) -> Result<(), String> {
     let samples: usize = opts.num("samples", 200)?;
     let out = opts.get_or("out", "model.grsd");
     let mut net = build_model(model, opts.num("seed", 42u64)?)?;
-    let (train_set, test_set) = SyntheticDataset::cifar_like(opts.num("data-seed", 2024u64)?)
+    let (train_set, test_set) = dataset_for(net.as_ref(), opts.num("data-seed", 2024u64)?)
         .train_test(samples, samples / 4, 17);
     println!("training {model}: {epochs} epochs on {samples} synthetic images...");
     let mut trainer = Trainer::new(TrainerConfig::fast(epochs, 0.01));
@@ -132,7 +137,7 @@ pub fn eval(opts: &Options) -> Result<(), String> {
     let samples: usize = opts.num("samples", 80)?;
     let mut net = build_model(model, opts.num("seed", 42u64)?)?;
     load_weights(net.as_mut(), opts)?;
-    let test = SyntheticDataset::cifar_like(opts.num("data-seed", 2024u64)?).generate(samples, 18);
+    let test = dataset_for(net.as_ref(), opts.num("data-seed", 2024u64)?).generate(samples, 18);
     let b = board(opts);
     if let Some(path) = opts.get("plan") {
         let plan = DeploymentPlan::load(path).map_err(|e| e.to_string())?;
@@ -200,7 +205,7 @@ pub fn select(opts: &Options) -> Result<(), String> {
     let layer = opts.require("layer")?;
     let mut net = build_model(model, opts.num("seed", 42u64)?)?;
     load_weights(net.as_mut(), opts)?;
-    let data = SyntheticDataset::cifar_like(opts.num("data-seed", 2024u64)?);
+    let data = dataset_for(net.as_ref(), opts.num("data-seed", 2024u64)?);
     let (train_set, test_set) = data.train_test(8, opts.num("samples", 40)?, 19);
     let config = WorkflowConfig {
         scope: Scope::default_scope(),
@@ -209,6 +214,7 @@ pub fn select(opts: &Options) -> Result<(), String> {
         profile_samples: 2,
         seed: 7,
         profile_adapted: true,
+        deploy_adapted: true,
     };
     let sel = select_patterns_for_layer(net.as_ref(), layer, &train_set, &test_set, &config)
         .map_err(|e| e.to_string())?;
@@ -341,7 +347,7 @@ pub fn profile(opts: &Options) -> Result<(), String> {
         );
     }
     let data =
-        SyntheticDataset::cifar_like(opts.num("data-seed", 2024u64)?).generate(samples.max(1), 21);
+        dataset_for(net.as_ref(), opts.num("data-seed", 2024u64)?).generate(samples.max(1), 21);
 
     // 1M-slot ring (~24 MB host memory): adapted hash families issue many
     // small packed GEMMs per panel, so span volume runs well past 100k
@@ -427,7 +433,7 @@ pub fn infer(opts: &Options) -> Result<(), String> {
     let backend_name = opts.get_or("backend", "f32").to_string();
     let mut net = build_model(model, opts.num("seed", 42u64)?)?;
     load_weights(net.as_mut(), opts)?;
-    let test = SyntheticDataset::cifar_like(opts.num("data-seed", 2024u64)?).generate(samples, 23);
+    let test = dataset_for(net.as_ref(), opts.num("data-seed", 2024u64)?).generate(samples, 23);
     let reuse = parse_reuse(opts)?;
     let guard = parse_guard(opts)?;
     let b = board(opts);
@@ -849,6 +855,16 @@ fn default_band(key: &str, value: f64, portable: bool) -> Band {
         // Seeded and deterministic: drift means behaviour changed.
         return band("equal", 0.02, 1e-9);
     }
+    if key.contains("modeled_ms") || key.contains("f4_over_f7") {
+        // MCU-model latencies derive from seeded operation counts, not
+        // wall clocks — enforceable even in portable baselines.
+        return band("equal", 0.05, 1e-6);
+    }
+    if key.contains("accuracy") {
+        // Seeded data + seeded weights: allow one test-image flip at the
+        // smoke split size, fail on anything larger.
+        return band("equal", 0.0, 0.17);
+    }
     if key.ends_with("_ns") || key.ends_with("_secs") || key.ends_with("_ms") {
         return if portable {
             band("info", 0.0, 0.0)
@@ -1119,5 +1135,61 @@ pub fn scope(opts: &Options) -> Result<(), String> {
         println!("  {c}");
     }
     println!("  ...");
+    Ok(())
+}
+
+/// `greuse reproduce` — the whole-network reproduction sweep: every zoo
+/// model through train/surrogate → int8 PTQ → §4.3 selection → MCU-model
+/// measurement on both boards. Writes the markdown report (`--out`,
+/// default `RESULTS.md`) and `BENCH_network.json`, then gates on the
+/// paper's shape unless `--no-check` is given.
+pub fn reproduce(opts: &Options) -> Result<(), String> {
+    let config = if opts.flag("smoke") {
+        ReproduceConfig::smoke()
+    } else {
+        ReproduceConfig::full()
+    };
+    let out = opts.get_or("out", "RESULTS.md");
+    let models: Vec<ZooModel> = match opts.get("models") {
+        Some(list) => list.split(',').filter_map(ZooModel::parse).collect(),
+        None => ZooModel::all().to_vec(),
+    };
+    if models.is_empty() {
+        return Err("--models matched no zoo model".into());
+    }
+    println!(
+        "reproduce: scale={}, {} network(s), boards f4+f7",
+        config.scale.id(),
+        models.len()
+    );
+    let mut networks = Vec::new();
+    for model in models {
+        let t = std::time::Instant::now();
+        let net = reproduce_network(model, &config).map_err(|e| e.to_string())?;
+        println!(
+            "  {:<22} dense {:8.2} ms  reuse {:8.2} ms  speedup {:.2}x  \
+             acc {:.3}/{:.3}/{:.3}  ({:.1}s)",
+            net.label,
+            net.dense_ms[0],
+            net.reuse_ms[0],
+            net.speedup(0),
+            net.accuracy_dense,
+            net.accuracy_reuse,
+            net.accuracy_int8,
+            t.elapsed().as_secs_f64(),
+        );
+        networks.push(net);
+    }
+    let report = ReproduceReport { config, networks };
+    std::fs::write(out, render_results_md(&report)).map_err(|e| format!("writing {out}: {e}"))?;
+    bench_record(&report).write();
+    println!("wrote {out} and BENCH_network.json");
+    if !opts.flag("no-check") {
+        let passed = report.check_paper_shape().map_err(|e| e.to_string())?;
+        for p in &passed {
+            println!("  OK {p}");
+        }
+        println!("paper-shape check: {} assertions passed", passed.len());
+    }
     Ok(())
 }

@@ -15,6 +15,7 @@
 //! greuse monitor  [--addr HOST:PORT] [--watch] [--interval-ms N] [--validate]
 //! greuse bench-compare --baseline FILE [--dir DIR] [--write-baseline FILE]
 //!                 [--portable] [--perturb bench:metric:FACTOR]
+//! greuse reproduce [--smoke] [--out FILE] [--models a,b] [--no-check]
 //! ```
 //!
 //! Datasets are the workspace's seeded synthetic generators, so every
@@ -43,6 +44,7 @@ fn main() -> ExitCode {
         "stream" => commands::stream(&opts),
         "monitor" => commands::monitor(&opts),
         "bench-compare" => commands::bench_compare(&opts),
+        "reproduce" => commands::reproduce(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

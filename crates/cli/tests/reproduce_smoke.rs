@@ -1,0 +1,104 @@
+//! Integration test for `greuse reproduce --smoke`: the sweep must emit a
+//! schema-v1 [`BenchRecord`] that `greuse bench-compare` accepts against
+//! the committed portable baseline, plus a markdown report covering every
+//! zoo network — the same two artifacts the tier-1 CI step gates on.
+
+use greuse_telemetry::json::{self, Value};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn greuse() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_greuse"))
+}
+
+/// Repo root (the workspace), for the committed baseline.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/cli has a workspace root")
+        .to_path_buf()
+}
+
+/// Scratch dir unique to this test binary run.
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("greuse-reproduce-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn smoke_run_emits_valid_record_and_passes_baseline() {
+    let dir = scratch();
+    let out = greuse()
+        .current_dir(&dir)
+        .env("GREUSE_BENCH_HISTORY", "off")
+        .args(["reproduce", "--smoke", "--out", "RESULTS_smoke.md"])
+        .output()
+        .expect("run greuse reproduce");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "reproduce --smoke failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("paper-shape check"),
+        "smoke run must run the paper-shape gate\nstdout:\n{stdout}"
+    );
+
+    // The markdown report names every zoo network.
+    let md = std::fs::read_to_string(dir.join("RESULTS_smoke.md")).expect("RESULTS_smoke.md");
+    for label in [
+        "CifarNet",
+        "ZfNet",
+        "SqueezeNet (vanilla)",
+        "SqueezeNet (bypass)",
+        "ResNet-18",
+    ] {
+        assert!(md.contains(label), "RESULTS_smoke.md missing {label}");
+    }
+
+    // The bench record parses as a schema-v1 envelope with the
+    // network-level metrics the regression gate keys on.
+    let src = std::fs::read_to_string(dir.join("BENCH_network.json")).expect("BENCH_network.json");
+    let v = json::parse(&src).expect("BENCH_network.json parses");
+    assert_eq!(v.get("schema_version").and_then(Value::as_u64), Some(1));
+    assert_eq!(v.get("bench").and_then(Value::as_str), Some("network"));
+    let metrics = v.get("metrics").expect("metrics object");
+    for key in [
+        "cifarnet_dense_f4_modeled_ms",
+        "resnet18_f4_over_f7_dense",
+        "zfnet_speedup_f4",
+        "layers_reuse_beats_dense",
+        "layers_dense_beats_reuse",
+    ] {
+        assert!(
+            metrics.get(key).and_then(Value::as_f64).is_some(),
+            "metric {key} missing from BENCH_network.json"
+        );
+    }
+
+    // bench-compare must accept the fresh record against the committed
+    // portable baseline — the exact tier-1 CI invocation.
+    let baseline = repo_root()
+        .join("results")
+        .join("bench_network_baseline.json");
+    let cmp = greuse()
+        .current_dir(&dir)
+        .args([
+            "bench-compare",
+            "--baseline",
+            baseline.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("run greuse bench-compare");
+    assert!(
+        cmp.status.success(),
+        "bench-compare rejected the smoke record\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&cmp.stdout),
+        String::from_utf8_lossy(&cmp.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -130,6 +130,58 @@ impl HashProvider for AdaptedHashProvider {
     }
 }
 
+/// Runtime choice between the two providers behind one concrete type, so
+/// configs can pick a hashing configuration dynamically while executors
+/// stay generic (no boxing on the hot path).
+#[derive(Debug)]
+pub enum EitherHashProvider {
+    /// Seeded random Gaussian projections (cacheable, data-independent).
+    Random(RandomHashProvider),
+    /// Data-adapted principal directions (recomputed per panel).
+    Adapted(AdaptedHashProvider),
+}
+
+impl EitherHashProvider {
+    /// Random projections, all families derived from `seed`.
+    pub fn random(seed: u64) -> Self {
+        EitherHashProvider::Random(RandomHashProvider::new(seed))
+    }
+
+    /// Data-adapted principal directions.
+    pub fn adapted() -> Self {
+        EitherHashProvider::Adapted(AdaptedHashProvider::new())
+    }
+}
+
+impl HashProvider for EitherHashProvider {
+    fn family(
+        &self,
+        layer: &str,
+        panel: usize,
+        h: usize,
+        data: &Tensor<f32>,
+    ) -> Result<HashFamily> {
+        match self {
+            EitherHashProvider::Random(p) => p.family(layer, panel, h, data),
+            EitherHashProvider::Adapted(p) => p.family(layer, panel, h, data),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            EitherHashProvider::Random(p) => p.name(),
+            EitherHashProvider::Adapted(p) => p.name(),
+        }
+    }
+
+    fn data_independent(&self) -> bool {
+        match self {
+            EitherHashProvider::Random(p) => p.data_independent(),
+            EitherHashProvider::Adapted(p) => p.data_independent(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +209,20 @@ mod tests {
     fn providers_report_names() {
         assert_eq!(RandomHashProvider::new(0).name(), "random");
         assert_eq!(AdaptedHashProvider::new().name(), "data-adapted");
+    }
+
+    #[test]
+    fn either_provider_delegates() {
+        let d = sample_data(2);
+        let r = EitherHashProvider::random(7);
+        assert!(r.data_independent());
+        assert_eq!(
+            r.family("c", 0, 4, &d).unwrap(),
+            RandomHashProvider::new(7).family("c", 0, 4, &d).unwrap()
+        );
+        let a = EitherHashProvider::adapted();
+        assert_eq!(a.name(), "data-adapted");
+        assert!(!a.data_independent());
     }
 
     #[test]

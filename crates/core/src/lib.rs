@@ -78,7 +78,9 @@ pub use guard::{
     breakeven_rt, breakeven_rt_fused, first_non_finite, sanitize_non_finite, should_fall_back,
     should_fall_back_fused, validate_gemm_operands, FallbackReason, GuardConfig, GuardPolicy,
 };
-pub use hash_provider::{AdaptedHashProvider, HashProvider, RandomHashProvider};
+pub use hash_provider::{
+    AdaptedHashProvider, EitherHashProvider, HashProvider, RandomHashProvider,
+};
 pub use models::accuracy::{
     accuracy_bound, accuracy_bound_with_spec, measured_error, measured_error_with_spec,
     AccuracyEstimate,

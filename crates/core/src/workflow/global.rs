@@ -224,6 +224,7 @@ mod tests {
             profile_samples: 1,
             seed: 3,
             profile_adapted: true,
+            deploy_adapted: true,
         };
         let sel = select_patterns_global(
             &net,

@@ -4,8 +4,13 @@
 //! fully check only the promising set and report the Pareto optimals.
 
 mod global;
+pub mod reproduce;
 
 pub use global::{select_patterns_global, GlobalAssignment, GlobalSelection};
+pub use reproduce::{
+    reproduce_network, run_reproduction, LayerCross, NetworkReproduction, ReproduceConfig,
+    ReproduceReport,
+};
 
 use std::time::{Duration, Instant};
 
@@ -43,6 +48,25 @@ pub struct WorkflowConfig {
     /// its learned vectors require training; our data-adapted stand-in is
     /// training-free, so deployment-matched profiling is the default.
     pub profile_adapted: bool,
+    /// Run the logit-divergence probe and the full check with data-adapted
+    /// hashing — the deployment configuration the selection is meant to
+    /// predict. `false` freezes seeded random families instead (the
+    /// paper's lightweight configuration), trading some clustering
+    /// quality for a large constant-factor saving on wide layers, where
+    /// re-deriving principal directions per panel dominates the forward.
+    pub deploy_adapted: bool,
+}
+
+impl WorkflowConfig {
+    /// Hash provider matching the deployment configuration this workflow
+    /// evaluates (see [`WorkflowConfig::deploy_adapted`]).
+    pub fn deploy_provider(&self) -> crate::EitherHashProvider {
+        if self.deploy_adapted {
+            crate::EitherHashProvider::adapted()
+        } else {
+            crate::EitherHashProvider::random(self.seed)
+        }
+    }
 }
 
 impl Default for WorkflowConfig {
@@ -54,6 +78,7 @@ impl Default for WorkflowConfig {
             profile_samples: 2,
             seed: 0xA5A5,
             profile_adapted: true,
+            deploy_adapted: true,
         }
     }
 }
@@ -290,8 +315,8 @@ pub fn select_patterns_for_layer(
         rt /= samples.len() as f64;
         // Network-level probe: forward the profile images with the
         // candidate applied to this layer only.
-        let probe_provider = AdaptedHashProvider::new();
-        let probe_backend = crate::ReuseBackend::new(probe_provider).with_pattern(layer, *pattern);
+        let probe_backend =
+            crate::ReuseBackend::new(config.deploy_provider()).with_pattern(layer, *pattern);
         let mut logit_divergence = 0.0f64;
         for ((image, _), dense) in profile_images.iter().zip(dense_logits.iter()) {
             let logits = net.forward(image, &probe_backend)?;
@@ -370,8 +395,7 @@ pub fn select_patterns_for_layer(
     let results: Vec<(usize, MeasuredResult)> = {
         let eval_one = |idx: usize| -> Result<(usize, MeasuredResult)> {
             let pattern = evaluations[idx].pattern;
-            let backend =
-                ReuseBackend::new(AdaptedHashProvider::new()).with_pattern(layer, pattern);
+            let backend = ReuseBackend::new(config.deploy_provider()).with_pattern(layer, pattern);
             let mut correct = 0usize;
             for (image, label) in test_data {
                 let logits = net.forward(image, &backend)?;

@@ -1,0 +1,530 @@
+//! Whole-network reproduction sweep: drives every zoo model through the
+//! paper's full pipeline — train (or deterministic seeded-weight
+//! surrogate) → post-training int8 quantization → §4.3 pattern selection
+//! (accuracy model + latency model + Pareto pruning) → MCU-model
+//! measurement on both boards — and checks the result against the
+//! paper's reported shape (the F4-vs-F7 ≈2× relation and the per-layer
+//! reuse-vs-dense crossovers).
+//!
+//! Everything is seeded and synthetic, so a `(config)` pair reproduces
+//! bit-identically; the smoke configuration is sized for tier-1 CI.
+
+use std::time::Duration;
+
+use greuse_data::SyntheticDataset;
+use greuse_mcu::{board_ratio, network_speedup, Board, NetworkLatency, PhaseOps};
+use greuse_nn::models::zoo::{self, ZooModel, ZooScale};
+use greuse_nn::{evaluate_accuracy, evaluate_dense, ptq_int8, Example, Trainer, TrainerConfig};
+
+use super::{select_patterns_for_layer, LayerSelection, WorkflowConfig};
+use crate::pattern::{ReuseDirection, ReuseOrder, ReusePattern, RowOrder};
+use crate::scope::Scope;
+use crate::{QuantizedBackend, Result, ReuseBackend};
+
+/// The two modeled boards, in report order: `[F469I, F767ZI]`.
+pub const BOARDS: [Board; 2] = [Board::Stm32F469i, Board::Stm32F767zi];
+
+/// Pareto points within this accuracy margin of the best count as
+/// "matched accuracy"; the deployment pick is the fastest of them.
+const MATCHED_ACCURACY_EPS: f64 = 0.02;
+
+/// Configuration of the multi-network reproduction sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReproduceConfig {
+    /// Model build scale (paper-exact or CI-sized).
+    pub scale: ZooScale,
+    /// Candidate-generation scope for pattern selection.
+    pub scope: Scope,
+    /// Promising patterns carried into each layer's full check.
+    pub prune_to: usize,
+    /// Images profiled by the lightweight selection pass.
+    pub profile_samples: usize,
+    /// Training-set size (profiling draws from this split).
+    pub train_samples: usize,
+    /// Test-set size (full check + accuracy measurement).
+    pub test_samples: usize,
+    /// SGD epochs; 0 uses the deterministic seeded-weight surrogate
+    /// (training from scratch is too heavy for the CI tier).
+    pub train_epochs: usize,
+    /// Conv layers selected per network (largest by dense MACs, plus the
+    /// smallest eligible layer to probe the crossover regime).
+    pub layers_per_network: usize,
+    /// Data-adapted hashing end to end (profiling, full check and the
+    /// deployed backends). `false` freezes seeded random projections —
+    /// the paper's lightweight configuration — whose families are cached
+    /// per layer instead of re-derived per panel; the smoke tier needs
+    /// that constant factor to stay inside its CI budget.
+    pub adapted: bool,
+    /// Seed for data generation, weight init and profiling.
+    pub seed: u64,
+}
+
+impl ReproduceConfig {
+    /// The tier-1 CI configuration: seeded-weight surrogates, a small
+    /// two-ended scope (aggressive L=32/H=1 through conservative
+    /// L=8/H=6) and single-sample profiling. Sized so the whole
+    /// five-network sweep finishes well inside the 60 s budget.
+    pub fn smoke() -> Self {
+        ReproduceConfig {
+            scale: ZooScale::Smoke,
+            scope: Scope {
+                orders: vec![ReuseOrder::ChannelLast, ReuseOrder::ChannelFirst],
+                row_orders: vec![RowOrder::Natural],
+                directions: vec![ReuseDirection::Vertical],
+                ls: vec![8, 32],
+                hs: vec![1, 6],
+                block_rows: vec![1],
+            },
+            prune_to: 2,
+            profile_samples: 1,
+            train_samples: 6,
+            test_samples: 6,
+            train_epochs: 0,
+            layers_per_network: 2,
+            adapted: false,
+            seed: 2025,
+        }
+    }
+
+    /// The full reproduction: paper-scale models, the default scope and
+    /// a short training schedule. Takes minutes, not seconds.
+    pub fn full() -> Self {
+        ReproduceConfig {
+            scale: ZooScale::Paper,
+            scope: Scope::default_scope(),
+            prune_to: 4,
+            profile_samples: 2,
+            train_samples: 32,
+            test_samples: 24,
+            train_epochs: 1,
+            layers_per_network: 3,
+            adapted: true,
+            seed: 2025,
+        }
+    }
+}
+
+/// Per-layer reuse-vs-dense comparison of the deployed pattern, priced
+/// on both boards from the executor-measured operation counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerCross {
+    /// Layer name.
+    pub layer: String,
+    /// GEMM shape `(N, K, M)`.
+    pub shape: (usize, usize, usize),
+    /// Deployed pattern label.
+    pub pattern: String,
+    /// Measured redundancy ratio under the deployed pattern.
+    pub redundancy_ratio: f64,
+    /// Modeled dense layer latency (ms), indexed like [`BOARDS`].
+    pub dense_ms: [f64; 2],
+    /// Modeled reuse layer latency (ms), indexed like [`BOARDS`].
+    pub reuse_ms: [f64; 2],
+}
+
+impl LayerCross {
+    /// Whether reuse beats dense on the board at [`BOARDS`] index `b`.
+    pub fn reuse_wins(&self, b: usize) -> bool {
+        self.reuse_ms[b] < self.dense_ms[b]
+    }
+}
+
+/// One network's trip through the full pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkReproduction {
+    /// Stable identifier (e.g. `"squeezenet-bypass"`).
+    pub id: String,
+    /// Paper-figure label.
+    pub label: String,
+    /// Total trainable parameters.
+    pub params: usize,
+    /// Number of convolution layers.
+    pub conv_layers: usize,
+    /// Per-layer selection outcomes (deployment picks).
+    pub selected: Vec<LayerCross>,
+    /// Dense f32 test accuracy.
+    pub accuracy_dense: f64,
+    /// Test accuracy under the deployed reuse patterns (f32).
+    pub accuracy_reuse: f64,
+    /// Test accuracy under the deployed patterns on the int8 path.
+    pub accuracy_int8: f64,
+    /// Worst per-layer mean |error| of the int8 weight snap.
+    pub int8_worst_snap_err: f64,
+    /// Whole-network dense latency (ms), indexed like [`BOARDS`].
+    pub dense_ms: [f64; 2],
+    /// Whole-network latency with the deployed patterns (ms).
+    pub reuse_ms: [f64; 2],
+    /// Wall-clock spent in the selection workflow (host, informative).
+    pub explore_secs: f64,
+}
+
+impl NetworkReproduction {
+    /// Network-level reuse-over-dense speedup on [`BOARDS`] index `b`.
+    pub fn speedup(&self, b: usize) -> f64 {
+        self.dense_ms[b] / self.reuse_ms[b].max(f64::MIN_POSITIVE)
+    }
+
+    /// F4-over-F7 total-latency ratio of the dense network.
+    pub fn f4_over_f7_dense(&self) -> f64 {
+        self.dense_ms[0] / self.dense_ms[1].max(f64::MIN_POSITIVE)
+    }
+
+    /// F4-over-F7 total-latency ratio of the deployed network.
+    pub fn f4_over_f7_reuse(&self) -> f64 {
+        self.reuse_ms[0] / self.reuse_ms[1].max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The whole sweep: every zoo network on both boards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReproduceReport {
+    /// Configuration the sweep ran with.
+    pub config: ReproduceConfig,
+    /// Per-network outcomes, in [`ZooModel::all`] order.
+    pub networks: Vec<NetworkReproduction>,
+}
+
+impl ReproduceReport {
+    /// Counts of selected layers where reuse beats dense / dense beats
+    /// reuse, on the F4 (the paper's per-layer crossover shape).
+    pub fn crossover_counts(&self) -> (usize, usize) {
+        let mut wins = 0usize;
+        let mut losses = 0usize;
+        for net in &self.networks {
+            for layer in &net.selected {
+                if layer.reuse_wins(0) {
+                    wins += 1;
+                } else {
+                    losses += 1;
+                }
+            }
+        }
+        (wins, losses)
+    }
+
+    /// Asserts the sweep matches the paper's reported shape. Returns the
+    /// list of passed checks, or an error describing every violation.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the F4-vs-F7 ordering falls outside the ≈2× relation
+    /// for any network, or when the per-layer crossovers are one-sided.
+    pub fn check_paper_shape(&self) -> Result<Vec<String>> {
+        let mut passed = Vec::new();
+        let mut failures = Vec::new();
+        for net in &self.networks {
+            let dense_ratio = net.f4_over_f7_dense();
+            let reuse_ratio = net.f4_over_f7_reuse();
+            if (1.6..=2.6).contains(&dense_ratio) {
+                passed.push(format!(
+                    "{}: dense F4/F7 ratio {dense_ratio:.2} within the paper's ≈2x relation",
+                    net.id
+                ));
+            } else {
+                failures.push(format!(
+                    "{}: dense F4/F7 ratio {dense_ratio:.2} outside [1.6, 2.6]",
+                    net.id
+                ));
+            }
+            if (1.4..=2.8).contains(&reuse_ratio) {
+                passed.push(format!(
+                    "{}: reuse F4/F7 ratio {reuse_ratio:.2} preserves the board ordering",
+                    net.id
+                ));
+            } else {
+                failures.push(format!(
+                    "{}: reuse F4/F7 ratio {reuse_ratio:.2} outside [1.4, 2.8]",
+                    net.id
+                ));
+            }
+        }
+        let (wins, losses) = self.crossover_counts();
+        if wins >= 1 {
+            passed.push(format!(
+                "{wins} selected layer(s) where reuse beats dense on the F4"
+            ));
+        } else {
+            failures.push("no selected layer has reuse beating dense on the F4".into());
+        }
+        if losses >= 1 {
+            passed.push(format!(
+                "{losses} selected layer(s) where dense beats reuse on the F4 \
+                 (the paper's per-layer crossover)"
+            ));
+        } else {
+            failures.push("no selected layer has dense beating reuse on the F4".into());
+        }
+        if failures.is_empty() {
+            Ok(passed)
+        } else {
+            Err(crate::GreuseError::InvalidWorkflow {
+                detail: format!("paper-shape check failed: {}", failures.join("; ")),
+            })
+        }
+    }
+}
+
+/// Train/test splits matched to a network's input geometry.
+fn splits_for(input_shape: [usize; 3], config: &ReproduceConfig) -> (Vec<Example>, Vec<Example>) {
+    let data = if input_shape == [3, 64, 64] {
+        SyntheticDataset::imagenet64_like(config.seed)
+    } else {
+        SyntheticDataset::cifar_like(config.seed)
+    };
+    data.train_test(config.train_samples, config.test_samples, 31)
+}
+
+/// Eligible conv layers (K ≥ 27, matching the harness convention) with
+/// their dense MAC counts, largest first.
+fn eligible_layers(net: &dyn greuse_nn::Network) -> Vec<(String, usize, usize, usize, u64)> {
+    let mut out: Vec<_> = net
+        .conv_layers()
+        .into_iter()
+        .filter(|i| i.gemm_k() >= 27)
+        .map(|i| {
+            let (n, k, m) = (i.gemm_n(), i.gemm_k(), i.gemm_m());
+            (i.name.clone(), n, k, m, (n * k * m) as u64)
+        })
+        .collect();
+    out.sort_by(|a, b| b.4.cmp(&a.4).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Deployment pick from a layer's measured Pareto front: the fastest
+/// point whose accuracy is within [`MATCHED_ACCURACY_EPS`] of the best.
+fn deployment_pick(sel: &LayerSelection) -> Option<(ReusePattern, f64)> {
+    let best_acc = sel
+        .pareto
+        .iter()
+        .filter_map(|&i| sel.evaluations[i].measured.map(|m| m.accuracy))
+        .fold(f64::NEG_INFINITY, f64::max);
+    sel.pareto
+        .iter()
+        .filter_map(|&i| {
+            let e = &sel.evaluations[i];
+            e.measured.map(|m| (e.pattern, m))
+        })
+        .filter(|(_, m)| m.accuracy >= best_acc - MATCHED_ACCURACY_EPS)
+        .min_by(|a, b| a.1.latency_ms.total_cmp(&b.1.latency_ms))
+        .map(|(p, m)| (p, m.latency_ms))
+}
+
+/// Runs one network through the full pipeline.
+///
+/// # Errors
+///
+/// Propagates training, quantization, selection and evaluation errors.
+pub fn reproduce_network(model: ZooModel, config: &ReproduceConfig) -> Result<NetworkReproduction> {
+    let mut net = model.build(config.scale, 10, config.seed);
+    let (train, test) = splits_for(net.input_shape(), config);
+
+    if config.train_epochs > 0 {
+        // Mirror the experiment harness's schedules: the deep
+        // normalization-free SqueezeNet stack needs a hotter schedule
+        // than the two-conv models at these data scales.
+        let trainer_config = match model {
+            ZooModel::SqueezeNetVanilla | ZooModel::SqueezeNetBypass => {
+                TrainerConfig::fast(config.train_epochs * 4, 0.02)
+            }
+            ZooModel::ResNet18 => TrainerConfig::fast(config.train_epochs, 0.02),
+            _ => TrainerConfig::fast(config.train_epochs, 0.01),
+        };
+        Trainer::new(trainer_config).train(net.as_mut(), &train)?;
+    }
+
+    // PTQ before selection: the workflow then sees the weights the int8
+    // deployment will actually run (f32 values snapped to the int8 grid).
+    let ptq = ptq_int8(net.as_mut())?;
+    let int8_worst_snap_err = ptq
+        .iter()
+        .map(|p| f64::from(p.mean_abs_error))
+        .fold(0.0f64, f64::max);
+    let params = zoo::param_count(net.as_mut());
+
+    // Largest layers dominate network latency; the smallest eligible
+    // layer is swapped in as the final pick to probe the regime where
+    // clustering overhead can outweigh the GEMM savings (the paper's
+    // dense-beats-reuse crossovers live there).
+    let eligible = eligible_layers(net.as_ref());
+    let mut chosen: Vec<_> = eligible
+        .iter()
+        .take(config.layers_per_network.max(1))
+        .cloned()
+        .collect();
+    if eligible.len() > chosen.len() {
+        if let Some(smallest) = eligible.last() {
+            let last = chosen.len() - 1;
+            chosen[last] = smallest.clone();
+        }
+    }
+
+    let workflow = WorkflowConfig {
+        scope: config.scope.clone(),
+        board: BOARDS[0],
+        prune_to: config.prune_to,
+        profile_samples: config.profile_samples,
+        seed: config.seed,
+        profile_adapted: config.adapted,
+        deploy_adapted: config.adapted,
+    };
+    let mut explore = Duration::ZERO;
+    let mut picks: Vec<(String, ReusePattern)> = Vec::new();
+    for (name, ..) in &chosen {
+        let sel = select_patterns_for_layer(net.as_ref(), name, &train, &test, &workflow)?;
+        explore += sel.timing.profiling + sel.timing.prune + sel.timing.full_check;
+        if std::env::var_os("GREUSE_REPRODUCE_VERBOSE").is_some() {
+            eprintln!(
+                "    {}/{name}: profiling {:.2}s prune {:.2}s full_check {:.2}s",
+                model.id(),
+                sel.timing.profiling.as_secs_f64(),
+                sel.timing.prune.as_secs_f64(),
+                sel.timing.full_check.as_secs_f64(),
+            );
+        }
+        if let Some((pattern, _)) = deployment_pick(&sel) {
+            picks.push((name.clone(), pattern));
+        }
+    }
+
+    // Deploy the picks and measure: f32 accuracy + per-layer op counts,
+    // dense f32 accuracy, int8 accuracy under the same patterns.
+    let backend =
+        ReuseBackend::new(workflow.deploy_provider()).with_patterns(picks.iter().cloned());
+    let accuracy_reuse = f64::from(evaluate_accuracy(net.as_ref(), &backend, &test)?.accuracy);
+    let stats = backend.stats();
+    let accuracy_dense = f64::from(evaluate_dense(net.as_ref(), &test)?.accuracy);
+    // The int8 executor rejects patterns needing a layout pass; on the
+    // quantized deployment those layers run dense-quantized instead.
+    let q_picks = picks
+        .iter()
+        .filter(|(_, p)| !p.order.needs_layout_pass() && !p.row_order.needs_layout_pass());
+    let q_backend =
+        QuantizedBackend::new(workflow.deploy_provider()).with_patterns(q_picks.cloned());
+    let accuracy_int8 = f64::from(evaluate_accuracy(net.as_ref(), &q_backend, &test)?.accuracy);
+
+    // Price the network on both boards from the same (board-independent)
+    // operation profile: reuse layers use executor-measured mean ops,
+    // everything else is dense, FC parameters cost one MAC each.
+    let conv_infos = net.conv_layers();
+    let conv_params: usize = net.convs().iter().map(|c| c.param_count()).sum();
+    let fc_macs = params.saturating_sub(conv_params) as u64;
+    let mut dense_ms = [0.0f64; 2];
+    let mut reuse_ms = [0.0f64; 2];
+    for (b, board) in BOARDS.into_iter().enumerate() {
+        let mut dense_net = NetworkLatency::new(board);
+        let mut reuse_net = NetworkLatency::new(board);
+        for info in &conv_infos {
+            let (n, k, m) = (info.gemm_n(), info.gemm_k(), info.gemm_m());
+            dense_net.push_dense(&info.name, n, k, m);
+            match stats.get(&info.name) {
+                Some(s) if s.calls > 0 => reuse_net.push_ops(&info.name, &s.mean_ops()),
+                _ => reuse_net.push_dense(&info.name, n, k, m),
+            }
+        }
+        let fc_ops = PhaseOps {
+            gemm_macs: fc_macs,
+            ..PhaseOps::default()
+        };
+        dense_net.push_ops("fc", &fc_ops);
+        reuse_net.push_ops("fc", &fc_ops);
+        dense_ms[b] = dense_net.total_ms();
+        reuse_ms[b] = reuse_net.total_ms();
+        // Aggregation sanity: the ratio helpers agree with the totals.
+        debug_assert!(
+            (network_speedup(&dense_net, &reuse_net)
+                - dense_ms[b] / reuse_ms[b].max(f64::MIN_POSITIVE))
+            .abs()
+                < 1e-12
+        );
+        debug_assert!(board_ratio(&dense_net, &dense_net) == 1.0);
+    }
+
+    let selected: Vec<LayerCross> = picks
+        .iter()
+        .map(|(name, pattern)| {
+            let (_, n, k, m, _) = chosen
+                .iter()
+                .find(|(l, ..)| l == name)
+                .cloned()
+                .expect("pick came from chosen");
+            let s = stats.get(name).cloned().unwrap_or_default();
+            let mean = s.mean_ops();
+            let mut dense_ms = [0.0f64; 2];
+            let mut reuse_ms = [0.0f64; 2];
+            for (b, board) in BOARDS.into_iter().enumerate() {
+                dense_ms[b] = board
+                    .spec()
+                    .latency(&PhaseOps::dense_conv(n, k, m))
+                    .total_ms();
+                reuse_ms[b] = board.spec().latency(&mean).total_ms();
+            }
+            LayerCross {
+                layer: name.clone(),
+                shape: (n, k, m),
+                pattern: pattern.label(),
+                redundancy_ratio: s.redundancy_ratio(),
+                dense_ms,
+                reuse_ms,
+            }
+        })
+        .collect();
+
+    Ok(NetworkReproduction {
+        id: model.id().into(),
+        label: model.label().into(),
+        params,
+        conv_layers: conv_infos.len(),
+        selected,
+        accuracy_dense,
+        accuracy_reuse,
+        accuracy_int8,
+        int8_worst_snap_err,
+        dense_ms,
+        reuse_ms,
+        explore_secs: explore.as_secs_f64(),
+    })
+}
+
+/// Runs the whole sweep across [`ZooModel::all`].
+///
+/// # Errors
+///
+/// Propagates the first per-network failure.
+pub fn run_reproduction(config: &ReproduceConfig) -> Result<ReproduceReport> {
+    let mut networks = Vec::new();
+    for model in ZooModel::all() {
+        networks.push(reproduce_network(model, config)?);
+    }
+    Ok(ReproduceReport {
+        config: config.clone(),
+        networks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_config_is_small() {
+        let c = ReproduceConfig::smoke();
+        assert!(c.scope.cartesian_size() <= 8);
+        assert_eq!(c.train_epochs, 0, "smoke uses the seeded surrogate");
+    }
+
+    #[test]
+    fn single_network_smoke_reproduces() {
+        let config = ReproduceConfig::smoke();
+        let net = reproduce_network(ZooModel::CifarNet, &config).unwrap();
+        assert_eq!(net.id, "cifarnet");
+        assert_eq!(net.conv_layers, 2);
+        assert!(!net.selected.is_empty());
+        assert!(net.params > 0);
+        for b in 0..2 {
+            assert!(net.dense_ms[b] > 0.0 && net.reuse_ms[b] > 0.0);
+        }
+        // The board ordering must hold for a single network already.
+        let ratio = net.f4_over_f7_dense();
+        assert!((1.6..=2.6).contains(&ratio), "F4/F7 dense ratio {ratio}");
+    }
+}

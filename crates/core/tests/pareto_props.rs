@@ -1,0 +1,127 @@
+//! Property-based tests for [`pareto_front`]: the pruning primitive the
+//! selection workflow and the whole-network reproduction harness gate on.
+//!
+//! Invariants: the kept set is a valid, duplicate-free subset of the
+//! candidates; no kept point is dominated by *any* candidate; no pruned
+//! point is undominated (the front is exactly the non-dominated set); the
+//! result is latency-ascending; and the front is invariant under input
+//! shuffling up to index relabeling.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use greuse::pareto_front;
+
+/// Dominance rule mirrored from the implementation: `a` dominates `b`
+/// when it is no worse in both coordinates and strictly better in one
+/// (lower latency is better, higher accuracy is better).
+fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    (a.0 < b.0 && a.1 >= b.1) || (a.0 <= b.0 && a.1 > b.1)
+}
+
+/// Discrete grids so shuffles exercise ties in both coordinates.
+fn arb_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0u8..12, 0u8..12), 0..24).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(lat, acc)| (f64::from(lat) * 0.5, f64::from(acc) * 0.1))
+            .collect()
+    })
+}
+
+/// Seeded Fisher–Yates so shuffles are reproducible from the proptest
+/// seed alone.
+fn shuffled(points: &[(f64, f64)], seed: u64) -> Vec<(f64, f64)> {
+    let mut out = points.to_vec();
+    let mut state = seed | 1;
+    for i in (1..out.len()).rev() {
+        // xorshift64* — deterministic, no external RNG needed.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let j = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Canonical value-set of a front (bit-exact, order-independent).
+fn value_set(points: &[(f64, f64)], front: &[usize]) -> BTreeSet<(u64, u64)> {
+    front
+        .iter()
+        .map(|&i| (points[i].0.to_bits(), points[i].1.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn front_is_valid_subset(points in arb_points()) {
+        let front = pareto_front(&points);
+        prop_assert!(front.len() <= points.len());
+        let mut seen = BTreeSet::new();
+        for &i in &front {
+            prop_assert!(i < points.len(), "front index {i} out of bounds");
+            prop_assert!(seen.insert(i), "front index {i} duplicated");
+        }
+    }
+
+    #[test]
+    fn kept_points_are_undominated(points in arb_points()) {
+        let front = pareto_front(&points);
+        for &i in &front {
+            for (j, &p) in points.iter().enumerate() {
+                if i != j {
+                    prop_assert!(
+                        !dominates(p, points[i]),
+                        "kept point {i} {:?} dominated by candidate {j} {p:?}",
+                        points[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_points_are_dominated(points in arb_points()) {
+        let front = pareto_front(&points);
+        let kept = value_set(&points, &front);
+        for (i, &p) in points.iter().enumerate() {
+            if front.contains(&i) {
+                continue;
+            }
+            // A pruned point is either dominated outright or a bit-exact
+            // duplicate of a kept point (ties keep one representative).
+            let dominated = points
+                .iter()
+                .enumerate()
+                .any(|(j, &q)| j != i && dominates(q, p));
+            let duplicate_of_kept = kept.contains(&(p.0.to_bits(), p.1.to_bits()));
+            prop_assert!(
+                dominated || duplicate_of_kept,
+                "pruned point {i} {p:?} is neither dominated nor a kept duplicate"
+            );
+        }
+    }
+
+    #[test]
+    fn front_is_latency_ascending(points in arb_points()) {
+        let front = pareto_front(&points);
+        for w in front.windows(2) {
+            prop_assert!(
+                points[w[0]].0 <= points[w[1]].0,
+                "front not latency-ascending: {:?} then {:?}",
+                points[w[0]],
+                points[w[1]]
+            );
+        }
+    }
+
+    #[test]
+    fn front_is_shuffle_invariant(points in arb_points(), seed in any::<u64>()) {
+        let base = pareto_front(&points);
+        let perm = shuffled(&points, seed);
+        let shuf = pareto_front(&perm);
+        prop_assert_eq!(value_set(&points, &base), value_set(&perm, &shuf));
+    }
+}

@@ -32,6 +32,7 @@
 mod energy;
 mod latency;
 mod memory;
+mod network;
 mod spec;
 
 pub use energy::{duty_cycled_power_w, inference_energy_mj, PowerSpec};
@@ -40,4 +41,5 @@ pub use latency::{
     INT8_MEM_FACTOR,
 };
 pub use memory::{activation_bytes, model_weight_bytes, MemoryReport};
+pub use network::{board_ratio, network_speedup, NetworkLatency};
 pub use spec::{Board, McuError, McuSpec};

@@ -1,0 +1,130 @@
+//! Per-network latency aggregation: sums per-layer phase latencies into
+//! whole-network figures and compares boards.
+//!
+//! The paper reports network-level numbers (Figures 9/15): each layer's
+//! four-phase latency is computed from its operation counts — measured
+//! (reuse layers) or analytic dense — and the network total is the sum.
+//! Operation counts are board-independent, so the same per-layer profile
+//! can be priced on every [`Board`]; the F4-vs-F7 total ratio is the
+//! paper's ≈2× relation.
+
+use crate::latency::{PhaseLatency, PhaseOps};
+use crate::spec::Board;
+
+/// Whole-network latency on one board, accumulated layer by layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkLatency {
+    /// Board the per-layer latencies were priced on.
+    pub board: Board,
+    /// Per-layer phase latency, in accumulation (execution) order.
+    pub layers: Vec<(String, PhaseLatency)>,
+}
+
+impl NetworkLatency {
+    /// Starts an empty accumulation for `board`.
+    pub fn new(board: Board) -> Self {
+        NetworkLatency {
+            board,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer with an already-priced phase latency.
+    pub fn push(&mut self, name: impl Into<String>, latency: PhaseLatency) {
+        self.layers.push((name.into(), latency));
+    }
+
+    /// Appends a layer priced from its operation counts on this board.
+    pub fn push_ops(&mut self, name: impl Into<String>, ops: &PhaseOps) {
+        let latency = self.board.spec().latency(ops);
+        self.push(name, latency);
+    }
+
+    /// Appends a dense convolution layer of GEMM shape `n × k × m`.
+    pub fn push_dense(&mut self, name: impl Into<String>, n: usize, k: usize, m: usize) {
+        self.push_ops(name, &PhaseOps::dense_conv(n, k, m));
+    }
+
+    /// Element-wise phase sum across all layers.
+    pub fn combined(&self) -> PhaseLatency {
+        self.layers
+            .iter()
+            .fold(PhaseLatency::default(), |acc, (_, l)| acc.combined(l))
+    }
+
+    /// Total network latency in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.combined().total_ms()
+    }
+
+    /// Latency of one named layer, if present.
+    pub fn layer_ms(&self, name: &str) -> Option<f64> {
+        self.layers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, l)| l.total_ms())
+    }
+}
+
+/// Speedup of `reuse` over `dense` network totals (same board).
+pub fn network_speedup(dense: &NetworkLatency, reuse: &NetworkLatency) -> f64 {
+    dense.total_ms() / reuse.total_ms().max(f64::MIN_POSITIVE)
+}
+
+/// Ratio of the same network's total latency across two boards —
+/// `slow.total_ms() / fast.total_ms()`. With the F4 as `slow` and the F7
+/// as `fast` this is the paper's ≈2× relation.
+pub fn board_ratio(slow: &NetworkLatency, fast: &NetworkLatency) -> f64 {
+    slow.total_ms() / fast.total_ms().max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_net(board: Board) -> NetworkLatency {
+        let mut net = NetworkLatency::new(board);
+        net.push_dense("conv1", 1024, 75, 64);
+        net.push_dense("conv2", 256, 1600, 64);
+        net
+    }
+
+    #[test]
+    fn total_is_sum_of_layers() {
+        let net = dense_net(Board::Stm32F469i);
+        let by_layer: f64 = net.layers.iter().map(|(_, l)| l.total_ms()).sum();
+        assert!((net.total_ms() - by_layer).abs() < 1e-9);
+        assert!(net.layer_ms("conv1").unwrap() > 0.0);
+        assert!(net.layer_ms("missing").is_none());
+    }
+
+    #[test]
+    fn f4_over_f7_near_two() {
+        let f4 = dense_net(Board::Stm32F469i);
+        let f7 = dense_net(Board::Stm32F767zi);
+        let ratio = board_ratio(&f4, &f7);
+        assert!(
+            (1.8..2.3).contains(&ratio),
+            "network-level F4/F7 ratio {ratio} outside the paper's ≈2× relation"
+        );
+    }
+
+    #[test]
+    fn speedup_reflects_cheaper_ops() {
+        let dense = dense_net(Board::Stm32F469i);
+        let mut reuse = NetworkLatency::new(Board::Stm32F469i);
+        reuse.push_dense("conv1", 1024, 75, 64);
+        // conv2 with 80% of its GEMM work removed and modest overheads.
+        reuse.push_ops(
+            "conv2",
+            &PhaseOps {
+                transform_elems: 256 * 1600,
+                clustering_macs: (256 * 1600) as u64,
+                clustering_vectors: 256 * 50,
+                gemm_macs: (256 * 1600 * 64 / 5) as u64,
+                recover_elems: (256 * 64) as u64,
+            },
+        );
+        assert!(network_speedup(&dense, &reuse) > 1.0);
+    }
+}

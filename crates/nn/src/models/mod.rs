@@ -2,6 +2,7 @@
 //! (vanilla and with bypass) and ResNet-18.
 
 pub mod common;
+pub mod zoo;
 
 mod cifarnet;
 mod resnet;
@@ -12,3 +13,4 @@ pub use cifarnet::CifarNet;
 pub use resnet::ResNet18;
 pub use squeezenet::{SqueezeNet, SqueezeNetVariant};
 pub use zfnet::ZfNet;
+pub use zoo::{ZooModel, ZooScale};

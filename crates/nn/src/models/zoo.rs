@@ -1,0 +1,172 @@
+//! The paper's model zoo: one registry enumerating the five networks the
+//! evaluation reproduces (CifarNet, ZfNet, SqueezeNet vanilla/bypass,
+//! ResNet-18/64×64) with deterministic seeded builders.
+//!
+//! Two build scales exist. [`ZooScale::Paper`] instantiates the
+//! architectures exactly as the paper evaluates them (ResNet-18 at its
+//! standard base width 64). [`ZooScale::Smoke`] shrinks only what is
+//! width-scalable (ResNet-18 drops to base width 8) so the CI-tier
+//! reproduction sweep stays inside its time budget; the fixed-size
+//! CIFAR-scale models are identical at both scales. Every builder seeds
+//! its own RNG, so a `(model, scale, classes, seed)` tuple always yields
+//! bit-identical initial weights — the golden-vector suite pins the
+//! resulting layer shapes and parameter counts.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use super::{CifarNet, ResNet18, SqueezeNet, SqueezeNetVariant, ZfNet};
+use crate::{StateDict, TrainableNetwork};
+
+/// Base width of the smoke-scale ResNet-18 instance.
+pub const SMOKE_RESNET_WIDTH: usize = 8;
+
+/// One of the five networks of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZooModel {
+    /// CifarNet (2 conv layers, Table 1a).
+    CifarNet,
+    /// ZfNet (2 large conv layers, Table 1b).
+    ZfNet,
+    /// SqueezeNet without bypass connections.
+    SqueezeNetVanilla,
+    /// SqueezeNet with bypass connections.
+    SqueezeNetBypass,
+    /// ResNet-18 on 64×64 inputs (§5.5).
+    ResNet18,
+}
+
+/// Build scale of a zoo model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZooScale {
+    /// The architecture exactly as the paper evaluates it.
+    Paper,
+    /// CI-sized instance: identical structure, ResNet-18 narrowed to
+    /// [`SMOKE_RESNET_WIDTH`] so whole-network sweeps fit a smoke budget.
+    Smoke,
+}
+
+impl ZooScale {
+    /// Short name used in reports and fixtures.
+    pub fn id(self) -> &'static str {
+        match self {
+            ZooScale::Paper => "paper",
+            ZooScale::Smoke => "smoke",
+        }
+    }
+}
+
+impl ZooModel {
+    /// Every network of the evaluation, in the paper's figure order.
+    pub fn all() -> [ZooModel; 5] {
+        [
+            ZooModel::CifarNet,
+            ZooModel::ZfNet,
+            ZooModel::SqueezeNetVanilla,
+            ZooModel::SqueezeNetBypass,
+            ZooModel::ResNet18,
+        ]
+    }
+
+    /// Stable machine-readable identifier (CLI `--model` values).
+    pub fn id(self) -> &'static str {
+        match self {
+            ZooModel::CifarNet => "cifarnet",
+            ZooModel::ZfNet => "zfnet",
+            ZooModel::SqueezeNetVanilla => "squeezenet",
+            ZooModel::SqueezeNetBypass => "squeezenet-bypass",
+            ZooModel::ResNet18 => "resnet18",
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ZooModel::CifarNet => "CifarNet",
+            ZooModel::ZfNet => "ZfNet",
+            ZooModel::SqueezeNetVanilla => "SqueezeNet (vanilla)",
+            ZooModel::SqueezeNetBypass => "SqueezeNet (bypass)",
+            ZooModel::ResNet18 => "ResNet-18",
+        }
+    }
+
+    /// Parses a CLI identifier (the inverse of [`ZooModel::id`]).
+    pub fn parse(name: &str) -> Option<ZooModel> {
+        ZooModel::all().into_iter().find(|m| m.id() == name)
+    }
+
+    /// ResNet-18 base width at the given scale (the other models are
+    /// fixed-size and ignore it).
+    pub fn resnet_width(scale: ZooScale) -> usize {
+        match scale {
+            ZooScale::Paper => 64,
+            ZooScale::Smoke => SMOKE_RESNET_WIDTH,
+        }
+    }
+
+    /// Builds the model with deterministic seeded initial weights.
+    pub fn build(self, scale: ZooScale, classes: usize, seed: u64) -> Box<dyn TrainableNetwork> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match self {
+            ZooModel::CifarNet => Box::new(CifarNet::new(classes, &mut rng)),
+            ZooModel::ZfNet => Box::new(ZfNet::new(classes, &mut rng)),
+            ZooModel::SqueezeNetVanilla => Box::new(SqueezeNet::new(
+                SqueezeNetVariant::Vanilla,
+                classes,
+                &mut rng,
+            )),
+            ZooModel::SqueezeNetBypass => Box::new(SqueezeNet::new(
+                SqueezeNetVariant::Bypass,
+                classes,
+                &mut rng,
+            )),
+            ZooModel::ResNet18 => Box::new(ResNet18::with_width(
+                classes,
+                ZooModel::resnet_width(scale),
+                &mut rng,
+            )),
+        }
+    }
+}
+
+/// Total trainable parameter count of a network (every tensor the
+/// training visitor exposes, not just convolutions).
+pub fn param_count(net: &mut dyn TrainableNetwork) -> usize {
+    StateDict::capture(net).param_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for m in ZooModel::all() {
+            assert_eq!(ZooModel::parse(m.id()), Some(m));
+        }
+        assert_eq!(ZooModel::parse("nope"), None);
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        let mut a = ZooModel::CifarNet.build(ZooScale::Smoke, 10, 7);
+        let mut b = ZooModel::CifarNet.build(ZooScale::Smoke, 10, 7);
+        let da = StateDict::capture(a.as_mut());
+        let db = StateDict::capture(b.as_mut());
+        assert_eq!(da.param_count(), db.param_count());
+        let wa = &a.convs()[0].weights;
+        let wb = &b.convs()[0].weights;
+        assert_eq!(wa.as_slice(), wb.as_slice());
+    }
+
+    #[test]
+    fn smoke_resnet_is_narrow() {
+        let paper = ZooModel::ResNet18.build(ZooScale::Paper, 10, 1);
+        let smoke = ZooModel::ResNet18.build(ZooScale::Smoke, 10, 1);
+        assert!(paper.convs().len() == smoke.convs().len());
+        assert!(
+            paper.convs()[0].spec.out_channels > smoke.convs()[0].spec.out_channels,
+            "paper-scale ResNet must be wider"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Golden-vector test pinning the model zoo's architecture: per model and
+//! scale, the total parameter count and every conv layer's name and GEMM
+//! shape `(N, K, M)`. The committed fixture under `tests/golden/` makes
+//! any drift — a changed stride, a resized stage, a renamed layer — show
+//! up in review instead of silently shifting every latency and selection
+//! result built on top of these shapes.
+//!
+//! Regenerate (after an *intentional* architecture change) with:
+//!
+//! ```text
+//! cargo test -p greuse-nn --test zoo_golden -- --ignored regenerate
+//! ```
+
+use greuse_nn::models::zoo::{self, ZooModel, ZooScale};
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("model_zoo.txt")
+}
+
+/// Renders the whole zoo as the fixture text: one `model` block per
+/// (model, scale) pair, deterministic order.
+fn render_zoo() -> String {
+    let mut text = String::new();
+    text.push_str("# Model-zoo architecture golden vectors.\n");
+    text.push_str(
+        "# regenerate: cargo test -p greuse-nn --test zoo_golden -- --ignored regenerate\n",
+    );
+    for scale in [ZooScale::Paper, ZooScale::Smoke] {
+        for model in ZooModel::all() {
+            let mut net = model.build(scale, 10, 42);
+            text.push_str(&format!(
+                "\nmodel {} scale {} params {}\n",
+                model.id(),
+                scale.id(),
+                zoo::param_count(net.as_mut()),
+            ));
+            for info in net.conv_layers() {
+                text.push_str(&format!(
+                    "conv {} {} {} {}\n",
+                    info.name,
+                    info.gemm_n(),
+                    info.gemm_k(),
+                    info.gemm_m(),
+                ));
+            }
+        }
+    }
+    text
+}
+
+#[test]
+fn zoo_matches_golden_fixture() {
+    let path = fixture_path();
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "reading {}: {e}; regenerate with the --ignored test",
+            path.display()
+        )
+    });
+    let current = render_zoo();
+    assert!(
+        committed == current,
+        "model-zoo architecture drifted from {}.\n\
+         If the change is intentional, regenerate with:\n\
+         cargo test -p greuse-nn --test zoo_golden -- --ignored regenerate\n\
+         \n--- committed ---\n{committed}\n--- current ---\n{current}",
+        path.display()
+    );
+}
+
+/// The fixture itself must cover every zoo model at both scales — guards
+/// against a stale fixture surviving a zoo extension.
+#[test]
+fn fixture_covers_every_model_and_scale() {
+    let committed = std::fs::read_to_string(fixture_path()).expect("fixture present");
+    for scale in [ZooScale::Paper, ZooScale::Smoke] {
+        for model in ZooModel::all() {
+            let header = format!("model {} scale {} ", model.id(), scale.id());
+            assert!(
+                committed.contains(&header),
+                "fixture missing block for {header}"
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "writes tests/golden/model_zoo.txt; run on intentional architecture changes only"]
+fn regenerate_golden_fixture() {
+    let path = fixture_path();
+    std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+    std::fs::write(&path, render_zoo()).expect("write fixture");
+    println!("wrote {}", path.display());
+}

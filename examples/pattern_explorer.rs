@@ -33,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         profile_samples: 2,
         seed: 77,
         profile_adapted: true,
+        deploy_adapted: true,
     };
     let n_candidates = config.scope.candidates(256, 1600).len();
     println!(

@@ -79,6 +79,7 @@ fn global_selection_yields_usable_assignment() {
         profile_samples: 1,
         seed: 4,
         profile_adapted: true,
+        deploy_adapted: true,
     };
     let sel = select_patterns_global(
         &net,

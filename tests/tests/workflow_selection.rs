@@ -33,6 +33,7 @@ fn workflow_prunes_and_finds_pareto_patterns() {
         profile_samples: 2,
         seed: 7,
         profile_adapted: true,
+        deploy_adapted: true,
     };
     let total_candidates = config.scope.candidates(1024, 75).len();
     let sel = select_patterns_for_layer(&net, "conv1", &train, &test, &config).expect("workflow");
@@ -81,6 +82,7 @@ fn generalized_scope_at_least_matches_conventional() {
             profile_samples: 1,
             seed: 11,
             profile_adapted: true,
+            deploy_adapted: true,
         };
         select_patterns_for_layer(&net, "conv2", &train, &test, &config).expect("workflow")
     };
@@ -116,6 +118,7 @@ fn predicted_latency_correlates_with_measured() {
         profile_samples: 1,
         seed: 3,
         profile_adapted: true,
+        deploy_adapted: true,
     };
     let sel = select_patterns_for_layer(&net, "conv1", &train, &test, &config).expect("wf");
     let mut pairs: Vec<(f64, f64)> = sel
