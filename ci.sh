@@ -156,6 +156,56 @@ wait "$STREAM_PID"
 echo "==> stream-cache equivalence suite (incl. never-commit-under-fault)"
 cargo test -q -p greuse --features fault-inject --test stream_cache
 
+echo "==> serve chaos suite (panic isolation, breaker lifecycle, cache equivalence under fault)"
+cargo test -q -p greuse --features fault-inject --test serve_chaos
+
+# The serving gate drives a real server over loopback: boot at a
+# deliberately tiny capacity (queue-cap == max-batch == 2, one engine
+# thread) so a 500 rps open-loop stress phase overloads it several
+# times over, then hold bench-serve's degradation criteria (nonzero
+# shed under overload, admitted p99 within 3x unloaded, error rate
+# bounded) and the emitted BenchRecord against the committed portable
+# baseline. The latency phases are host-sensitive, so retry like the
+# other wall-clock gates; the record is written into a scratch dir so
+# it never leaks into the main bench-compare sweep above.
+echo "==> greuse serve + bench-serve (overload shedding + p99 degradation gate)"
+SERVE_ADDR=127.0.0.1:19899
+SERVE_DIR=$(mktemp -d)
+./target/release/greuse serve "${SERVE_ADDR}" --model cifarnet --smoke \
+  --queue-cap 2 --max-batch 2 --threads 1 > "${SERVE_DIR}/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+  if ./target/release/greuse monitor --addr "${SERVE_ADDR}" --validate \
+      > /dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+serve_ok=0
+for attempt in 1 2 3; do
+  if (cd "${SERVE_DIR}" && GREUSE_BENCH_HISTORY=off \
+      "${OLDPWD}/target/release/greuse" bench-serve --addr "${SERVE_ADDR}" \
+      --unloaded-rps 80 --rps 500 --secs 2 --threads 16 --deadline-ms 25 \
+      --check); then
+    serve_ok=1
+    break
+  fi
+  echo "bench-serve gate attempt ${attempt}/3 failed; retrying (host noise)"
+done
+# Scrape the live serve.* metrics through the exposition validator,
+# then drain: the raw /dev/tcp POST avoids needing a curl binary.
+./target/release/greuse monitor --addr "${SERVE_ADDR}" --validate > /dev/null
+printf 'POST /shutdown HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}' \
+  > "/dev/tcp/${SERVE_ADDR%:*}/${SERVE_ADDR#*:}" || true
+wait "${SERVE_PID}"
+if [ "${serve_ok}" != 1 ]; then
+  echo "bench-serve degradation gate failed on all attempts"
+  exit 1
+fi
+cargo run -q --release -p greuse-cli --bin greuse -- bench-compare \
+  --baseline results/bench_serve_baseline.json --dir "${SERVE_DIR}"
+rm -rf "${SERVE_DIR}"
+
 echo "==> greuse profile (exporters + schema validation)"
 cargo run -q --release -p greuse-cli --bin greuse -- profile \
   --model cifarnet --samples 2 --out PROFILE_ci.json --trace TRACE_ci.json --validate

@@ -41,6 +41,13 @@ USAGE:
                   [--l L] [--h H] [--backend f32|int8] [--no-cache]
                   [--board f4|f7] [--seed S] [--serve HOST:PORT]
                   [--watch] [--frame-delay-ms N]
+  greuse serve    HOST:PORT [--model <...>] [--backend f32|int8] [--smoke]
+                  [--max-batch N] [--max-delay-ms N] [--queue-cap N]
+                  [--deadline-ms N] [--slo-ms N] [--window N] [--trip-after N]
+                  [--cooldown-ms N] [--no-cache] [--distinct D] [--seed S]
+  greuse bench-serve --addr HOST:PORT [--unloaded-rps R] [--rps R] [--secs S]
+                  [--threads T] [--deadline-ms N] [--p99-budget X]
+                  [--check] [--stop-server]
   greuse monitor  [--addr HOST:PORT] [--watch] [--interval-ms N] [--validate]
   greuse bench-compare --baseline FILE [--dir DIR] [--write-baseline FILE]
                   [--portable] [--perturb bench:metric:FACTOR]
@@ -588,7 +595,7 @@ pub fn stream(opts: &Options) -> Result<(), String> {
         None => None,
         Some(addr) => {
             let srv = greuse_telemetry::http::serve(addr)
-                .map_err(|e| format!("starting metrics server on {addr}: {e}"))?;
+                .map_err(|e| greuse::serve::bind_error(addr, &e).to_string())?;
             println!("serving metrics at http://{}/metrics", srv.local_addr());
             Some(srv)
         }

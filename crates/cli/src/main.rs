@@ -12,6 +12,11 @@
 //! greuse stream   --n 256 --k 96 --m 64 [--frames 30] [--rate 0.05]
 //!                 [--backend f32|int8] [--no-cache] [--serve HOST:PORT]
 //!                 [--watch] [--frame-delay-ms N]
+//! greuse serve    HOST:PORT --model cifarnet [--backend f32|int8] [--max-batch N]
+//!                 [--max-delay-ms N] [--queue-cap N] [--deadline-ms N]
+//!                 [--slo-ms N] [--no-cache] [--smoke]
+//! greuse bench-serve --addr HOST:PORT [--unloaded-rps N] [--rps N] [--secs N]
+//!                 [--threads N] [--deadline-ms N] [--check] [--stop-server]
 //! greuse monitor  [--addr HOST:PORT] [--watch] [--interval-ms N] [--validate]
 //! greuse bench-compare --baseline FILE [--dir DIR] [--write-baseline FILE]
 //!                 [--portable] [--perturb bench:metric:FACTOR]
@@ -23,6 +28,7 @@
 
 mod args;
 mod commands;
+mod serve;
 
 use std::process::ExitCode;
 
@@ -42,6 +48,10 @@ fn main() -> ExitCode {
         "profile" => commands::profile(&opts),
         "infer" => commands::infer(&opts),
         "stream" => commands::stream(&opts),
+        // `serve` takes a positional HOST:PORT, so it parses the raw
+        // argument slice itself.
+        "serve" => serve::serve(rest),
+        "bench-serve" => serve::bench_serve(&opts),
         "monitor" => commands::monitor(&opts),
         "bench-compare" => commands::bench_compare(&opts),
         "reproduce" => commands::reproduce(&opts),

@@ -42,6 +42,15 @@ pub enum GreuseError {
         /// Index of the affected image within the batch.
         image: usize,
     },
+    /// A listener could not bind its address (`greuse serve`,
+    /// `greuse stream --serve`). The OS error is carried as text because
+    /// this type is `Clone + PartialEq` and `std::io::Error` is neither.
+    Bind {
+        /// Address that failed to bind, e.g. `127.0.0.1:9898`.
+        addr: String,
+        /// The underlying OS error, stringified.
+        source: String,
+    },
 }
 
 impl fmt::Display for GreuseError {
@@ -57,6 +66,13 @@ impl fmt::Display for GreuseError {
             }
             GreuseError::WorkerPanic { layer, image } => {
                 write!(f, "worker panicked executing image {image} of `{layer}`")
+            }
+            GreuseError::Bind { addr, source } => {
+                write!(
+                    f,
+                    "cannot bind `{addr}`: {source} — is another greuse serve/stream \
+                     already listening there? Pick a free port (or port 0 for ephemeral)"
+                )
             }
         }
     }
@@ -115,6 +131,14 @@ mod tests {
             image: 3,
         };
         assert!(e.to_string().contains("image 3"));
+        let e = GreuseError::Bind {
+            addr: "127.0.0.1:9898".into(),
+            source: "Address already in use (os error 98)".into(),
+        };
+        assert!(e.to_string().contains("127.0.0.1:9898"));
+        assert!(e.to_string().contains("already in use"));
+        assert!(e.to_string().contains("free port"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

@@ -203,7 +203,11 @@ impl<T> SendPtr<T> {
 /// state survives the unwind. Under `fault-inject` the image index is
 /// published to the harness so image-scoped fault rules match
 /// deterministically regardless of which pool thread runs the task.
-fn run_isolated(image: usize, body: impl FnOnce() -> Result<ReuseStats>) -> Result<ReuseStats> {
+fn run_isolated(
+    layer: &str,
+    image: usize,
+    body: impl FnOnce() -> Result<ReuseStats>,
+) -> Result<ReuseStats> {
     #[cfg(feature = "fault-inject")]
     let prev = crate::faults::set_current_image(Some(image));
     // AssertUnwindSafe: the captured output slice and thread-local
@@ -215,7 +219,7 @@ fn run_isolated(image: usize, body: impl FnOnce() -> Result<ReuseStats>) -> Resu
     crate::faults::set_current_image(prev);
     result.unwrap_or_else(|_payload| {
         Err(GreuseError::WorkerPanic {
-            layer: "batch".into(),
+            layer: layer.into(),
             image,
         })
     })
@@ -235,12 +239,82 @@ fn run_isolated(image: usize, body: impl FnOnce() -> Result<ReuseStats>) -> Resu
 #[derive(Default)]
 pub struct BatchExecutor {
     slots: Vec<Result<ReuseStats>>,
+    temporal_cache: bool,
 }
 
 impl BatchExecutor {
     /// Creates an executor; slot storage grows on first use.
     pub fn new() -> Self {
         BatchExecutor::default()
+    }
+
+    /// Enables (or disables) the cross-call [`crate::exec::ReuseCache`]
+    /// on every thread-local workspace this executor drives. The flag is
+    /// applied inside each task, so it reaches whichever pool thread
+    /// claims an image; a workspace already in the requested state is
+    /// left untouched (toggling resets its cache). With the cache on and
+    /// a single batcher thread, panel clusterings survive *across*
+    /// batches — the serve layer's cross-request reuse. Off by default:
+    /// the one-shot batch paths keep their stateless semantics.
+    pub fn set_temporal_cache(&mut self, enabled: bool) {
+        self.temporal_cache = enabled;
+    }
+
+    /// Whether cross-call caching is applied to driven workspaces.
+    pub fn temporal_cache_enabled(&self) -> bool {
+        self.temporal_cache
+    }
+
+    /// Dispatches `images` panic-isolated tasks over the pool, writing
+    /// per-image results into `self.slots[..images]`. `body(i, y)` runs
+    /// with the thread's image context set to `i`.
+    fn run_batch_tasks(
+        &mut self,
+        images: usize,
+        threads: usize,
+        layer: &str,
+        ys: &mut [Tensor<f32>],
+        body: &(dyn Fn(usize, &mut [f32]) -> Result<ReuseStats> + Sync),
+    ) {
+        if self.slots.len() < images {
+            self.slots.resize_with(images, || Ok(ReuseStats::default()));
+        }
+        for slot in &mut self.slots[..images] {
+            *slot = Ok(ReuseStats::default());
+        }
+        let slots = SendPtr(self.slots.as_mut_ptr());
+        let ys_ptr = SendPtr(ys.as_mut_ptr());
+        let width = threads.clamp(1, images);
+        WorkerPool::global().run_tasks(images, width, &|i| {
+            // SAFETY: task `i` is claimed exactly once, so these are the
+            // only references to element `i`; both vectors outlive the
+            // (blocking) run_tasks call.
+            let y = unsafe { &mut *ys_ptr.get().add(i) };
+            let slot = unsafe { &mut *slots.get().add(i) };
+            *slot = run_isolated(layer, i, || body(i, y.as_mut_slice()));
+        });
+    }
+
+    /// Folds `self.slots[..images]` in image order, aborting on the
+    /// first error (the semantics of the all-or-first-error paths).
+    fn fold_slots(&mut self, images: usize) -> Result<ReuseStats> {
+        let mut total = ReuseStats::default();
+        for slot in &mut self.slots[..images] {
+            match std::mem::replace(slot, Ok(ReuseStats::default())) {
+                Ok(s) => total.merge(&s),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total.finish())
+    }
+
+    /// Takes `self.slots[..images]` as per-image results, in image
+    /// order — one `Ok(stats)` or typed error per slot.
+    fn take_slots(&mut self, images: usize) -> Vec<Result<ReuseStats>> {
+        self.slots[..images]
+            .iter_mut()
+            .map(|slot| std::mem::replace(slot, Ok(ReuseStats::default())))
+            .collect()
     }
 
     /// Deterministically warms the thread-local workspace of **every**
@@ -334,52 +408,69 @@ impl BatchExecutor {
         threads: usize,
         ys: &mut [Tensor<f32>],
     ) -> Result<ReuseStats> {
+        self.dispatch_f32(xs, w, pattern, hashes, threads, "batch", ys)?;
+        self.fold_slots(xs.len())
+    }
+
+    /// Per-request variant of [`BatchExecutor::execute`]: instead of
+    /// aborting the whole batch on the first error, every image's
+    /// outcome is returned in its own slot — `Ok(stats)` with `ys[i]`
+    /// valid, or that image's typed error (`WorkerPanic`, guard
+    /// rejection, ...) with `ys[i]` unspecified. The serving layer maps
+    /// each slot onto one request's response, so one poisoned request
+    /// fails alone while its batch-mates succeed. `layer` labels the
+    /// execution (it becomes the workspace cache key component and the
+    /// `WorkerPanic` layer), letting a server key its shared cache per
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GreuseError::InvalidPattern`] for an empty/ragged batch
+    /// or a `ys` length mismatch — defects of the batch as a whole.
+    /// Per-image failures land in the returned slots, not here.
+    #[allow(clippy::too_many_arguments)] // batch operands + threading + layer key
+    pub fn execute_each(
+        &mut self,
+        xs: &[Tensor<f32>],
+        w: &Tensor<f32>,
+        pattern: &ReusePattern,
+        hashes: &dyn HashProvider,
+        threads: usize,
+        layer: &str,
+        ys: &mut [Tensor<f32>],
+    ) -> Result<Vec<Result<ReuseStats>>> {
+        self.dispatch_f32(xs, w, pattern, hashes, threads, layer, ys)?;
+        Ok(self.take_slots(xs.len()))
+    }
+
+    #[allow(clippy::too_many_arguments)] // batch operands + threading + layer key
+    fn dispatch_f32(
+        &mut self,
+        xs: &[Tensor<f32>],
+        w: &Tensor<f32>,
+        pattern: &ReusePattern,
+        hashes: &dyn HashProvider,
+        threads: usize,
+        layer: &str,
+        ys: &mut [Tensor<f32>],
+    ) -> Result<()> {
         check_uniform(xs)?;
         if ys.len() != xs.len() {
             return Err(GreuseError::InvalidPattern {
                 detail: format!("{} output tensors for {} images", ys.len(), xs.len()),
             });
         }
-        let images = xs.len();
-        if self.slots.len() < images {
-            self.slots.resize_with(images, || Ok(ReuseStats::default()));
-        }
-        for slot in &mut self.slots[..images] {
-            *slot = Ok(ReuseStats::default());
-        }
-
-        let slots = SendPtr(self.slots.as_mut_ptr());
-        let ys_ptr = SendPtr(ys.as_mut_ptr());
-        let width = threads.clamp(1, images);
-        WorkerPool::global().run_tasks(images, width, &|i| {
-            // SAFETY: task `i` is claimed exactly once, so these are the
-            // only references to element `i`; both vectors outlive the
-            // (blocking) run_tasks call.
-            let y = unsafe { &mut *ys_ptr.get().add(i) };
-            let slot = unsafe { &mut *slots.get().add(i) };
-            *slot = run_isolated(i, || {
-                BATCH_WS.with(|ws| {
-                    ws.borrow_mut().execute_into(
-                        &xs[i],
-                        w,
-                        None,
-                        pattern,
-                        hashes,
-                        "batch",
-                        y.as_mut_slice(),
-                    )
-                })
-            });
+        let want_cache = self.temporal_cache;
+        self.run_batch_tasks(xs.len(), threads, layer, ys, &|i, y| {
+            BATCH_WS.with(|ws| {
+                let mut ws = ws.borrow_mut();
+                if ws.temporal_cache_enabled() != want_cache {
+                    ws.set_temporal_cache(want_cache);
+                }
+                ws.execute_into(&xs[i], w, None, pattern, hashes, layer, y)
+            })
         });
-
-        let mut total = ReuseStats::default();
-        for slot in &mut self.slots[..images] {
-            match std::mem::replace(slot, Ok(ReuseStats::default())) {
-                Ok(s) => total.merge(&s),
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(total.finish())
+        Ok(())
     }
 
     /// Int8 variant of [`BatchExecutor::execute`]: every image runs
@@ -402,51 +493,60 @@ impl BatchExecutor {
         threads: usize,
         ys: &mut [Tensor<f32>],
     ) -> Result<ReuseStats> {
+        self.dispatch_quantized(xs, w, pattern, hashes, threads, "batch", ys)?;
+        self.fold_slots(xs.len())
+    }
+
+    /// Int8 sibling of [`BatchExecutor::execute_each`]: per-image
+    /// results through thread-local [`QuantWorkspace`]s, `pattern: None`
+    /// running each image dense-quantized.
+    ///
+    /// # Errors
+    ///
+    /// Same whole-batch conditions as [`BatchExecutor::execute_each`].
+    #[allow(clippy::too_many_arguments)] // batch operands + threading + layer key
+    pub fn execute_quantized_each(
+        &mut self,
+        xs: &[Tensor<f32>],
+        w: &Tensor<f32>,
+        pattern: Option<&ReusePattern>,
+        hashes: &dyn HashProvider,
+        threads: usize,
+        layer: &str,
+        ys: &mut [Tensor<f32>],
+    ) -> Result<Vec<Result<ReuseStats>>> {
+        self.dispatch_quantized(xs, w, pattern, hashes, threads, layer, ys)?;
+        Ok(self.take_slots(xs.len()))
+    }
+
+    #[allow(clippy::too_many_arguments)] // batch operands + threading + layer key
+    fn dispatch_quantized(
+        &mut self,
+        xs: &[Tensor<f32>],
+        w: &Tensor<f32>,
+        pattern: Option<&ReusePattern>,
+        hashes: &dyn HashProvider,
+        threads: usize,
+        layer: &str,
+        ys: &mut [Tensor<f32>],
+    ) -> Result<()> {
         check_uniform(xs)?;
         if ys.len() != xs.len() {
             return Err(GreuseError::InvalidPattern {
                 detail: format!("{} output tensors for {} images", ys.len(), xs.len()),
             });
         }
-        let images = xs.len();
-        if self.slots.len() < images {
-            self.slots.resize_with(images, || Ok(ReuseStats::default()));
-        }
-        for slot in &mut self.slots[..images] {
-            *slot = Ok(ReuseStats::default());
-        }
-
-        let slots = SendPtr(self.slots.as_mut_ptr());
-        let ys_ptr = SendPtr(ys.as_mut_ptr());
-        let width = threads.clamp(1, images);
-        WorkerPool::global().run_tasks(images, width, &|i| {
-            // SAFETY: task `i` is claimed exactly once, so these are the
-            // only references to element `i`; both vectors outlive the
-            // (blocking) run_tasks call.
-            let y = unsafe { &mut *ys_ptr.get().add(i) };
-            let slot = unsafe { &mut *slots.get().add(i) };
-            *slot = run_isolated(i, || {
-                BATCH_QWS.with(|ws| {
-                    ws.borrow_mut().execute_into(
-                        &xs[i],
-                        w,
-                        pattern,
-                        hashes,
-                        "batch",
-                        y.as_mut_slice(),
-                    )
-                })
-            });
+        let want_cache = self.temporal_cache;
+        self.run_batch_tasks(xs.len(), threads, layer, ys, &|i, y| {
+            BATCH_QWS.with(|ws| {
+                let mut ws = ws.borrow_mut();
+                if ws.temporal_cache_enabled() != want_cache {
+                    ws.set_temporal_cache(want_cache);
+                }
+                ws.execute_into(&xs[i], w, pattern, hashes, layer, y)
+            })
         });
-
-        let mut total = ReuseStats::default();
-        for slot in &mut self.slots[..images] {
-            match std::mem::replace(slot, Ok(ReuseStats::default())) {
-                Ok(s) => total.merge(&s),
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(total.finish())
+        Ok(())
     }
 }
 
@@ -636,16 +736,87 @@ mod tests {
         // Silence the default panic hook for the intentional panic.
         let prev_hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let r = run_isolated(3, || panic!("boom"));
+        let r = run_isolated("serve/cifarnet", 3, || panic!("boom"));
         std::panic::set_hook(prev_hook);
         match r {
             Err(GreuseError::WorkerPanic { layer, image }) => {
-                assert_eq!(layer, "batch");
+                assert_eq!(layer, "serve/cifarnet");
                 assert_eq!(image, 3);
             }
             other => panic!("expected WorkerPanic, got {other:?}"),
         }
-        assert!(run_isolated(0, || Ok(ReuseStats::default())).is_ok());
+        assert!(run_isolated("batch", 0, || Ok(ReuseStats::default())).is_ok());
+    }
+
+    #[test]
+    fn execute_each_matches_execute_and_reports_per_slot() {
+        let xs: Vec<Tensor<f32>> = (0..4).map(|i| rand_mat(20, 12, 100 + i)).collect();
+        let w = rand_mat(5, 12, 110);
+        let hashes = RandomHashProvider::new(111);
+        let pattern = ReusePattern::conventional(6, 3);
+        let mut all_ys: Vec<Tensor<f32>> = (0..4).map(|_| Tensor::zeros(&[20, 5])).collect();
+        let total = BatchExecutor::new()
+            .execute(&xs, &w, &pattern, &hashes, 2, &mut all_ys)
+            .unwrap();
+        // Same layer label: hash families are keyed on it, so only an
+        // identical label is bit-comparable with `execute`.
+        let mut each_ys: Vec<Tensor<f32>> = (0..4).map(|_| Tensor::zeros(&[20, 5])).collect();
+        let slots = BatchExecutor::new()
+            .execute_each(&xs, &w, &pattern, &hashes, 2, "batch", &mut each_ys)
+            .unwrap();
+        assert_eq!(all_ys, each_ys);
+        assert_eq!(slots.len(), 4);
+        let mut folded = ReuseStats::default();
+        for s in &slots {
+            folded.merge(s.as_ref().unwrap());
+        }
+        assert_eq!(folded.finish(), total);
+        // Whole-batch defects stay on the outer Result.
+        assert!(BatchExecutor::new()
+            .execute_each(&xs, &w, &pattern, &hashes, 2, "serve", &mut each_ys[..2])
+            .is_err());
+    }
+
+    #[test]
+    fn temporal_cache_flag_reaches_thread_local_workspaces() {
+        // Same batch twice through one executor with the cache on and a
+        // single thread: the second pass must be all warm hits. A third
+        // pass with the flag off must not see (or grow) the cache.
+        let xs: Vec<Tensor<f32>> = (0..3).map(|_| rand_mat(24, 12, 7)).collect();
+        let w = rand_mat(5, 12, 8);
+        let hashes = RandomHashProvider::new(9);
+        let pattern = ReusePattern::conventional(6, 3);
+        let mut ys: Vec<Tensor<f32>> = (0..3).map(|_| Tensor::zeros(&[24, 5])).collect();
+        let mut ex = BatchExecutor::new();
+        ex.set_temporal_cache(true);
+        assert!(ex.temporal_cache_enabled());
+        let cold = ex
+            .execute_each(&xs, &w, &pattern, &hashes, 1, "serve", &mut ys)
+            .unwrap();
+        let cold_hits: u64 = cold.iter().map(|s| s.as_ref().unwrap().cache_hits).sum();
+        let warm = ex
+            .execute_each(&xs, &w, &pattern, &hashes, 1, "serve", &mut ys)
+            .unwrap();
+        let warm_total = warm
+            .iter()
+            .fold(ReuseStats::default(), |mut acc, s| {
+                acc.merge(s.as_ref().unwrap());
+                acc
+            })
+            .finish();
+        assert!(
+            warm_total.cache_hits > cold_hits,
+            "second identical pass must hit the cross-call cache \
+             (cold {cold_hits}, warm {})",
+            warm_total.cache_hits
+        );
+        ex.set_temporal_cache(false);
+        let off = ex
+            .execute_each(&xs, &w, &pattern, &hashes, 1, "serve", &mut ys)
+            .unwrap();
+        assert!(off
+            .iter()
+            .all(|s| s.as_ref().unwrap().cache_hits == 0 && s.as_ref().unwrap().cache_misses == 0));
     }
 
     #[test]

@@ -34,15 +34,20 @@ pub enum FaultPoint {
     ExecFold,
     /// The int8 requantization stage (span `quant.requant`).
     QuantRequant,
+    /// The serve engine, once per admitted batch, on the *reuse* path
+    /// only (the dense breaker-open branch never fires it) — the hook
+    /// server-scoped schedules use to slow or kill whole batches.
+    ServeBatch,
 }
 
 impl FaultPoint {
     /// All points, in a stable order (used by [`FaultPlan::seeded`]).
-    pub const ALL: [FaultPoint; 4] = [
+    pub const ALL: [FaultPoint; 5] = [
         FaultPoint::Im2col,
         FaultPoint::LshHash,
         FaultPoint::ExecFold,
         FaultPoint::QuantRequant,
+        FaultPoint::ServeBatch,
     ];
 
     fn idx(self) -> usize {
@@ -51,6 +56,7 @@ impl FaultPoint {
             FaultPoint::LshHash => 1,
             FaultPoint::ExecFold => 2,
             FaultPoint::QuantRequant => 3,
+            FaultPoint::ServeBatch => 4,
         }
     }
 }
@@ -70,18 +76,26 @@ pub enum FaultAction {
     /// Force the panel clustering into one-cluster-per-vector (measured
     /// `r_t` collapses to zero — the guard's fallback trigger).
     DegenerateClusters,
+    /// Sleep [`STALL_MS`] at the site (honored by [`stall_point`] sites
+    /// only) — an injected slowdown for circuit-breaker tests. The
+    /// duration is a fixed constant so the variant stays `Copy + Eq`.
+    Stall,
 }
 
 impl FaultAction {
     /// All actions, in a stable order (used by [`FaultPlan::seeded`]).
-    pub const ALL: [FaultAction; 5] = [
+    pub const ALL: [FaultAction; 6] = [
         FaultAction::Panic,
         FaultAction::CorruptNan,
         FaultAction::CorruptInf,
         FaultAction::Saturate,
         FaultAction::DegenerateClusters,
+        FaultAction::Stall,
     ];
 }
+
+/// How long [`FaultAction::Stall`] sleeps at a [`stall_point`] site.
+pub const STALL_MS: u64 = 25;
 
 /// One scheduled fault: fire `action` at `point` when the selectors
 /// match.
@@ -172,6 +186,9 @@ impl FaultPlan {
         ];
         let mut plan = FaultPlan::new();
         for _ in 0..n_rules {
+            // Only the four in-pipeline points (not ServeBatch): a seeded
+            // soak corrupts data inside the executor; server-scoped
+            // schedules are composed explicitly by the chaos tests.
             let point = FaultPoint::ALL[(splitmix64(&mut state) % 4) as usize];
             let action = corrupting[(splitmix64(&mut state) % 4) as usize];
             let nth = 1 + splitmix64(&mut state) % 8;
@@ -201,7 +218,7 @@ pub struct FiredFault {
 
 struct PlanState {
     plan: FaultPlan,
-    counts: [u64; 4],
+    counts: [u64; 5],
     fired: Vec<FiredFault>,
 }
 
@@ -218,7 +235,7 @@ pub fn install(plan: FaultPlan) {
     let mut state = STATE.lock().unwrap_or_else(|p| p.into_inner());
     *state = Some(PlanState {
         plan,
-        counts: [0; 4],
+        counts: [0; 5],
         fired: Vec::new(),
     });
     ACTIVE.store(true, Ordering::Release);
@@ -300,6 +317,16 @@ pub fn panic_point(point: FaultPoint, site: &'static str) {
     }
 }
 
+/// Convenience hook for sites that only honor `Stall` (the serve
+/// engine's per-batch point): fires the point and sleeps [`STALL_MS`]
+/// when a stall is scheduled; any other scheduled action is recorded in
+/// the fired log but has no effect at these sites.
+pub fn stall_point(point: FaultPoint) {
+    if let Some(FaultAction::Stall) = fire(point) {
+        std::thread::sleep(std::time::Duration::from_millis(STALL_MS));
+    }
+}
+
 /// Stride at which corruption actions overwrite buffer elements; prime so
 /// repeated corruptions of differently-shaped buffers stay spread out.
 const CORRUPT_STRIDE: usize = 97;
@@ -313,7 +340,7 @@ pub fn corrupt_slice(action: FaultAction, data: &mut [f32]) {
         FaultAction::CorruptNan => f32::NAN,
         FaultAction::CorruptInf => f32::INFINITY,
         FaultAction::Saturate => f32::MAX,
-        FaultAction::Panic | FaultAction::DegenerateClusters => return,
+        FaultAction::Panic | FaultAction::DegenerateClusters | FaultAction::Stall => return,
     };
     for v in data.iter_mut().step_by(CORRUPT_STRIDE) {
         *v = value;
@@ -365,6 +392,29 @@ mod tests {
             .rules()
             .iter()
             .all(|r| r.action != FaultAction::Panic && r.nth.is_some()));
+    }
+
+    #[test]
+    fn serve_point_and_stall_action_are_schedulable() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        install(FaultPlan::new().inject_at(FaultPoint::ServeBatch, 2, FaultAction::Stall));
+        // Ordinal 1: no fault; ordinal 2: stall fires (and sleeps).
+        let t0 = std::time::Instant::now();
+        stall_point(FaultPoint::ServeBatch);
+        assert!(t0.elapsed().as_millis() < u128::from(STALL_MS));
+        let t0 = std::time::Instant::now();
+        stall_point(FaultPoint::ServeBatch);
+        assert!(t0.elapsed().as_millis() >= u128::from(STALL_MS));
+        let log = fired();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].point_idx, 4);
+        assert_eq!(log[0].action_idx, 5);
+        clear();
+        // Seeded soaks never touch the serve point or the stall action.
+        assert!(FaultPlan::seeded(7, 32)
+            .rules()
+            .iter()
+            .all(|r| { r.point != FaultPoint::ServeBatch && r.action != FaultAction::Stall }));
     }
 
     #[test]

@@ -63,6 +63,7 @@ mod reorder;
 mod report;
 mod scope;
 mod select;
+pub mod serve;
 mod winograd_reuse;
 pub mod workflow;
 

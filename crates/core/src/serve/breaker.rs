@@ -1,0 +1,206 @@
+//! Circuit breaker over the reuse pipeline — rung 3 of the degradation
+//! ladder.
+//!
+//! Admitted-request latencies are collected into fixed-size windows;
+//! when the p99 of `trip_after` *consecutive* windows exceeds the SLO,
+//! the breaker opens and the server flips to the bit-identical dense
+//! path (the PR-5 fallback), taking the reuse pipeline — and whatever is
+//! slowing it — out of the request path. After `cooldown` the breaker
+//! closes again and reuse resumes; if the pressure is still there it
+//! simply re-trips after another `trip_after` windows.
+//!
+//! Time is passed in explicitly (`Instant` arguments), so unit tests
+//! drive transitions deterministically without sleeping.
+
+use std::time::{Duration, Instant};
+
+/// Breaker tuning; see the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// p99 target for one window of admitted requests.
+    pub slo: Duration,
+    /// Requests per evaluation window (min 1).
+    pub window: usize,
+    /// Consecutive SLO-violating windows required to open (min 1).
+    pub trip_after: usize,
+    /// How long the breaker stays open before closing again.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            slo: Duration::from_millis(50),
+            window: 32,
+            trip_after: 3,
+            cooldown: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Which path the server should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation: the reuse pipeline serves requests.
+    Closed,
+    /// Tripped: batches run the dense fallback until cool-down.
+    Open,
+}
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    window: Vec<u64>,
+    bad_windows: usize,
+    opened_at: Option<Instant>,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            window: Vec::with_capacity(cfg.window.max(1)),
+            cfg,
+            bad_windows: 0,
+            opened_at: None,
+            trips: 0,
+        }
+    }
+
+    /// The current state without side effects.
+    pub fn state(&self) -> BreakerState {
+        if self.opened_at.is_some() {
+            BreakerState::Open
+        } else {
+            BreakerState::Closed
+        }
+    }
+
+    /// How many times the breaker has opened.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Decides the path for the next batch: while open, checks the
+    /// cool-down and closes (resetting the latency window) once it has
+    /// elapsed.
+    pub fn check(&mut self, now: Instant) -> BreakerState {
+        if let Some(since) = self.opened_at {
+            if now.duration_since(since) >= self.cfg.cooldown {
+                self.opened_at = None;
+                self.window.clear();
+                self.bad_windows = 0;
+            }
+        }
+        self.state()
+    }
+
+    /// Records one admitted request's end-to-end latency. While open,
+    /// samples are ignored — dense-path latencies say nothing about the
+    /// reuse pipeline, and closing is cool-down-driven. Returns the
+    /// state after the sample.
+    pub fn record(&mut self, latency: Duration, now: Instant) -> BreakerState {
+        if self.opened_at.is_some() {
+            return BreakerState::Open;
+        }
+        self.window
+            .push(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+        if self.window.len() >= self.cfg.window.max(1) {
+            let p99 = window_p99(&mut self.window);
+            self.window.clear();
+            if p99 > self.cfg.slo.as_nanos().min(u128::from(u64::MAX)) as u64 {
+                self.bad_windows += 1;
+                if self.bad_windows >= self.cfg.trip_after.max(1) {
+                    self.opened_at = Some(now);
+                    self.bad_windows = 0;
+                    self.trips += 1;
+                }
+            } else {
+                self.bad_windows = 0;
+            }
+        }
+        self.state()
+    }
+}
+
+/// p99 of a full window (sorts in place; the caller clears afterwards).
+fn window_p99(window: &mut [u64]) -> u64 {
+    window.sort_unstable();
+    let idx = (window.len() * 99 / 100).min(window.len() - 1);
+    window[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(window: usize, trip_after: usize, slo_ms: u64, cooldown_ms: u64) -> BreakerConfig {
+        BreakerConfig {
+            slo: Duration::from_millis(slo_ms),
+            window,
+            trip_after,
+            cooldown: Duration::from_millis(cooldown_ms),
+        }
+    }
+
+    #[test]
+    fn trips_only_after_consecutive_bad_windows() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(cfg(4, 2, 10, 100));
+        let slow = Duration::from_millis(50);
+        let fast = Duration::from_millis(1);
+        // One bad window: not yet.
+        for _ in 0..4 {
+            b.record(slow, t0);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // A good window in between resets the streak.
+        for _ in 0..4 {
+            b.record(fast, t0);
+        }
+        for _ in 0..4 {
+            b.record(slow, t0);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Two consecutive bad windows: open.
+        for _ in 0..4 {
+            b.record(slow, t0);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn open_ignores_samples_and_closes_after_cooldown() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(cfg(2, 1, 10, 100));
+        let slow = Duration::from_millis(50);
+        b.record(slow, t0);
+        b.record(slow, t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Samples while open do not extend or re-trip.
+        assert_eq!(b.record(slow, t0), BreakerState::Open);
+        // Before cool-down: still open; after: closed with a clean window.
+        assert_eq!(b.check(t0 + Duration::from_millis(50)), BreakerState::Open);
+        assert_eq!(
+            b.check(t0 + Duration::from_millis(100)),
+            BreakerState::Closed
+        );
+        // The pre-open window was discarded: one fast sample must not
+        // combine with stale slow ones.
+        assert_eq!(
+            b.record(Duration::from_millis(1), t0 + Duration::from_millis(101)),
+            BreakerState::Closed
+        );
+    }
+
+    #[test]
+    fn window_p99_is_near_max_for_small_windows() {
+        let mut w = vec![5, 1, 9, 3];
+        assert_eq!(window_p99(&mut w), 9);
+        let mut w: Vec<u64> = (1..=100).collect();
+        assert_eq!(window_p99(&mut w), 100);
+    }
+}

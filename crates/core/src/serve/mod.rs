@@ -1,0 +1,115 @@
+//! The serving layer: deadline-aware batching over the reuse executor,
+//! degrading gracefully under overload and faults.
+//!
+//! This module is HTTP-free on purpose: [`Server`] exposes an in-process
+//! `submit → ticket.wait` API that the CLI wires to a socket and the
+//! chaos suite drives directly, deterministically. The pipeline is
+//!
+//! ```text
+//! submit ──► AdmissionQueue ──► batcher thread ──► Engine ──► tickets
+//!            (bounded, sheds)   (deadline filter,  (reuse or
+//!                                max-batch/delay)   dense; per-
+//!                                      │            request
+//!                                      ▼            isolation)
+//!                               CircuitBreaker
+//!                               (p99 vs SLO; open = dense fallback)
+//! ```
+//!
+//! The degradation ladder, rung by rung:
+//!
+//! 1. **Load shedding** — the admission queue is bounded; past
+//!    `queue_cap` a submit is rejected *immediately* (the HTTP layer
+//!    maps this to `503`) instead of queueing into timeout death.
+//! 2. **Deadline cancellation** — a request whose deadline passed while
+//!    queued is dropped *before* compute, counted, and never occupies a
+//!    batch slot.
+//! 3. **Pressure fallback** — when the per-window p99 of admitted
+//!    requests exceeds the SLO for N consecutive windows, the breaker
+//!    opens and batches run the bit-identical dense path (no clustering,
+//!    no reuse pipeline, no reuse-pipeline fault surface) until a
+//!    cool-down elapses.
+//! 4. **Graceful shutdown** — `shutdown()` rejects new work, drains
+//!    everything already admitted (every ticket resolves; zero lost
+//!    responses), then joins the batcher.
+//!
+//! A worker panic inside one request's execution fails only that
+//! request's ticket ([`crate::GreuseError::WorkerPanic`] via the batch
+//! executor's per-image isolation); batch-mates complete normally.
+//!
+//! Cross-request reuse comes from running the batcher single-threaded by
+//! default with the executor's temporal cache on: the thread-local
+//! workspace's `ReuseCache` then persists across batches,
+//! so panels shared between requests (popular/similar inputs) skip
+//! re-clustering — commit-gated exactly like the streaming path, so a
+//! faulted request never contaminates the cache.
+
+mod breaker;
+mod engine;
+mod queue;
+mod server;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use engine::{checksum_f32, Engine, ModelSpec, ServeBackend};
+pub use queue::{AdmissionQueue, SubmitError};
+pub use server::{Response, ResponseStatus, ServeConfig, ServeStats, Server, Ticket};
+
+/// Histogram of end-to-end admitted-request latency (submit → response),
+/// labelled by outcome.
+pub const METRIC_REQUEST_LATENCY: &str = "serve.request_latency";
+/// Gauge: size of the most recent executed batch.
+pub const METRIC_BATCH_SIZE: &str = "serve.batch_size";
+/// Gauge: admission-queue depth sampled at each batch pop.
+pub const METRIC_QUEUE_DEPTH: &str = "serve.queue_depth";
+/// Counter: requests rejected at admission (queue full or shutting down).
+pub const METRIC_SHED: &str = "serve.shed";
+/// Counter: requests dropped at the batch boundary because their
+/// deadline had already passed (never entered compute).
+pub const METRIC_DEADLINE_MISS: &str = "serve.deadline_miss";
+/// Gauge: circuit-breaker state (0 = closed/reuse, 1 = open/dense).
+pub const METRIC_BREAKER_STATE: &str = "serve.breaker_state";
+
+/// Maps a listener bind failure to the typed
+/// [`crate::GreuseError::Bind`] with an actionable message.
+pub fn bind_error(addr: &str, source: &std::io::Error) -> crate::GreuseError {
+    crate::GreuseError::Bind {
+        addr: addr.to_string(),
+        source: source.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_error_is_typed_and_actionable() {
+        let os = std::io::Error::new(std::io::ErrorKind::AddrInUse, "Address already in use");
+        let err = bind_error("127.0.0.1:19898", &os);
+        match &err {
+            crate::GreuseError::Bind { addr, source } => {
+                assert_eq!(addr, "127.0.0.1:19898");
+                assert!(source.contains("in use"));
+            }
+            other => panic!("expected Bind, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("127.0.0.1:19898"));
+        assert!(
+            msg.contains("free port"),
+            "message must suggest a fix: {msg}"
+        );
+    }
+
+    /// The canonical metric names, pinned. The prom exposition test in
+    /// greuse-telemetry pins the same literals on the rendering side;
+    /// renaming either end without the other fails CI.
+    #[test]
+    fn metric_names_are_pinned() {
+        assert_eq!(METRIC_REQUEST_LATENCY, "serve.request_latency");
+        assert_eq!(METRIC_BATCH_SIZE, "serve.batch_size");
+        assert_eq!(METRIC_QUEUE_DEPTH, "serve.queue_depth");
+        assert_eq!(METRIC_SHED, "serve.shed");
+        assert_eq!(METRIC_DEADLINE_MISS, "serve.deadline_miss");
+        assert_eq!(METRIC_BREAKER_STATE, "serve.breaker_state");
+    }
+}

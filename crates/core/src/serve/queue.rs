@@ -1,0 +1,230 @@
+//! Bounded admission queue with load shedding — rung 1 of the
+//! degradation ladder.
+//!
+//! A fixed-capacity FIFO guarded by one mutex/condvar pair. Producers
+//! never block: past capacity a push is rejected immediately, so an
+//! overloaded server answers "overloaded" in microseconds instead of
+//! stringing callers along into timeout death. The single consumer (the
+//! batcher thread) blocks in [`AdmissionQueue::pop_batch`], which
+//! implements the deadline-aware grouping: wait for the first item, then
+//! collect up to `max_batch` items arriving within `max_delay` of it.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a submit was rejected at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — the caller should shed (HTTP `503`).
+    Overloaded {
+        /// The configured capacity that was hit.
+        cap: usize,
+    },
+    /// The server is draining; no new work is admitted.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded { cap } => {
+                write!(f, "admission queue full ({cap} queued); request shed")
+            }
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded multi-producer single-consumer queue; see the module docs.
+pub struct AdmissionQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    cap: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// Creates a queue admitting at most `cap` items (min 1).
+    pub fn new(cap: usize) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(cap.max(1)),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current depth (racy by nature; for telemetry).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty (racy; for telemetry).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Admits `item`, or rejects it without blocking. The item rides
+    /// back on the error so the caller can still resolve its ticket.
+    pub fn push(&self, item: T) -> Result<(), (T, SubmitError)> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err((item, SubmitError::ShuttingDown));
+        }
+        if state.items.len() >= self.cap {
+            return Err((item, SubmitError::Overloaded { cap: self.cap }));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Closes admission: subsequent pushes fail with `ShuttingDown`,
+    /// while [`AdmissionQueue::pop_batch`] keeps returning what was
+    /// already admitted until the queue drains.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Whether [`AdmissionQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Blocks for the next batch: waits for a first item, then keeps
+    /// collecting until `out` holds `max_batch` items or `max_delay` has
+    /// passed since the first item was taken. Returns `false` only when
+    /// the queue is closed *and* fully drained (`out` left empty) — the
+    /// batcher's exit signal.
+    pub fn pop_batch(&self, max_batch: usize, max_delay: Duration, out: &mut Vec<T>) -> bool {
+        let max_batch = max_batch.max(1);
+        let mut state = self.lock();
+        // Phase 1: block for the first item (or closed-and-empty).
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                out.push(item);
+                break;
+            }
+            if state.closed {
+                return false;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+        // Phase 2: fill the batch within the delay budget. Once closed
+        // there is nothing more to wait for — take what is here and go.
+        let batch_deadline = Instant::now() + max_delay;
+        while out.len() < max_batch {
+            if let Some(item) = state.items.pop_front() {
+                out.push(item);
+                continue;
+            }
+            if state.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= batch_deadline {
+                break;
+            }
+            let (next, timeout) = self
+                .available
+                .wait_timeout(state, batch_deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            state = next;
+            if timeout.timed_out() && state.items.is_empty() {
+                break;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_past_capacity_and_returns_the_item() {
+        let q = AdmissionQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        match q.push(3) {
+            Err((item, SubmitError::Overloaded { cap })) => {
+                assert_eq!(item, 3);
+                assert_eq!(cap, 2);
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_batch_groups_up_to_max_batch() {
+        let q = AdmissionQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert!(q.pop_batch(3, Duration::from_millis(1), &mut out));
+        assert_eq!(out, vec![0, 1, 2]);
+        out.clear();
+        assert!(q.pop_batch(3, Duration::from_millis(1), &mut out));
+        assert_eq!(out, vec![3, 4]);
+    }
+
+    #[test]
+    fn close_rejects_new_work_but_drains_admitted() {
+        let q = AdmissionQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert!(matches!(q.push(3), Err((3, SubmitError::ShuttingDown))));
+        let mut out = Vec::new();
+        assert!(q.pop_batch(8, Duration::from_millis(1), &mut out));
+        assert_eq!(out, vec![1, 2]);
+        out.clear();
+        assert!(!q.pop_batch(8, Duration::from_millis(1), &mut out));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_wakes_on_cross_thread_push() {
+        let q = Arc::new(AdmissionQueue::new(4));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                q.push(7u32).unwrap();
+                q.close();
+            })
+        };
+        let mut out = Vec::new();
+        // Blocks until the producer delivers, then collects it.
+        assert!(q.pop_batch(4, Duration::from_millis(5), &mut out));
+        assert_eq!(out, vec![7]);
+        out.clear();
+        assert!(!q.pop_batch(4, Duration::from_millis(5), &mut out));
+        producer.join().unwrap();
+    }
+}

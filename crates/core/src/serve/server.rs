@@ -1,0 +1,524 @@
+//! The batching server: submit → ticket, one batcher thread, the full
+//! degradation ladder. See the parent module docs for the pipeline
+//! picture; this file is the wiring.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use greuse_tensor::Tensor;
+
+use crate::GreuseError;
+
+use super::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use super::engine::Engine;
+use super::queue::{AdmissionQueue, SubmitError};
+use super::{
+    METRIC_BATCH_SIZE, METRIC_BREAKER_STATE, METRIC_DEADLINE_MISS, METRIC_QUEUE_DEPTH,
+    METRIC_REQUEST_LATENCY, METRIC_SHED,
+};
+
+/// Server tuning: batching, admission, deadlines, breaker.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Largest batch handed to the engine at once.
+    pub max_batch: usize,
+    /// How long the batcher waits past the first request to fill a batch.
+    pub max_delay: Duration,
+    /// Admission-queue capacity; past it requests are shed.
+    pub queue_cap: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Duration,
+    /// Circuit-breaker tuning (rung 3).
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            queue_cap: 64,
+            default_deadline: Duration::from_millis(250),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// How a request's journey ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseStatus {
+    /// Computed successfully; the checksum identifies the output.
+    Ok,
+    /// Rejected at admission: queue full (HTTP `503`).
+    Shed,
+    /// Rejected at admission: the server is draining (HTTP `503`).
+    ShuttingDown,
+    /// Dropped at the batch boundary — its deadline had already passed,
+    /// so it never entered compute (HTTP `504`).
+    DeadlineMiss,
+    /// Execution failed with the typed error in [`Response::error`]
+    /// (HTTP `500`); batch-mates were unaffected.
+    Failed,
+}
+
+/// The resolution of one ticket.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Outcome class; see [`ResponseStatus`].
+    pub status: ResponseStatus,
+    /// FNV-1a checksum of the output (set only on `Ok`).
+    pub checksum: Option<u64>,
+    /// The typed failure (set only on `Failed`).
+    pub error: Option<GreuseError>,
+    /// Whether the dense fallback served this request (breaker open).
+    pub dense: bool,
+    /// Submit-to-resolution latency as observed by the server.
+    pub latency: Duration,
+}
+
+/// A claim on one request's eventual [`Response`]. Every submitted
+/// ticket resolves — shed, missed, failed, or served — including through
+/// shutdown (the drain guarantee).
+pub struct Ticket {
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> Response {
+        self.rx.recv().unwrap_or_else(|_| lost_response())
+    }
+
+    /// Blocks up to `timeout`; `None` means still in flight.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Response> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(resp) => Some(resp),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(lost_response()),
+        }
+    }
+}
+
+/// Only reachable if the batcher died without resolving a ticket — a
+/// server bug, reported as such rather than a hang.
+fn lost_response() -> Response {
+    Response {
+        status: ResponseStatus::Failed,
+        checksum: None,
+        error: Some(GreuseError::InvalidWorkflow {
+            detail: "server dropped the request without resolving it".into(),
+        }),
+        dense: false,
+        latency: Duration::ZERO,
+    }
+}
+
+/// Monotonic counters, snapshot via [`Server::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests that resolved `Ok`.
+    pub completed: u64,
+    /// Requests that resolved `Failed`.
+    pub failed: u64,
+    /// Requests rejected at admission (full or draining).
+    pub shed: u64,
+    /// Requests dropped at the batch boundary past their deadline.
+    pub deadline_missed: u64,
+    /// Batches executed (after deadline filtering).
+    pub batches: u64,
+    /// Requests served by the dense fallback while the breaker was open.
+    pub served_dense: u64,
+    /// Times the breaker opened.
+    pub breaker_trips: u64,
+    /// Whether the breaker was open at the last batch decision.
+    pub breaker_open: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    shed: AtomicU64,
+    deadline_missed: AtomicU64,
+    batches: AtomicU64,
+    served_dense: AtomicU64,
+    breaker_trips: AtomicU64,
+    breaker_open: AtomicBool,
+}
+
+struct Pending {
+    input: Tensor<f32>,
+    deadline: Instant,
+    submitted: Instant,
+    tx: mpsc::Sender<Response>,
+}
+
+/// See the module docs.
+pub struct Server {
+    queue: Arc<AdmissionQueue<Pending>>,
+    counters: Arc<Counters>,
+    batcher: Mutex<Option<JoinHandle<()>>>,
+    cfg: ServeConfig,
+    input_dims: [usize; 2],
+    layer: String,
+}
+
+impl Server {
+    /// Takes ownership of `engine` and starts the batcher thread.
+    pub fn start(engine: Engine, cfg: ServeConfig) -> Server {
+        let queue = Arc::new(AdmissionQueue::new(cfg.queue_cap));
+        let counters = Arc::new(Counters::default());
+        let input_dims = [engine.spec().n, engine.spec().k];
+        let layer = engine.spec().layer.clone();
+        let batcher = {
+            let queue = Arc::clone(&queue);
+            let counters = Arc::clone(&counters);
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name("greuse-serve-batcher".into())
+                .spawn(move || batcher_loop(engine, queue, counters, &cfg))
+                .expect("spawn serve batcher")
+        };
+        Server {
+            queue,
+            counters,
+            batcher: Mutex::new(Some(batcher)),
+            cfg,
+            input_dims,
+            layer,
+        }
+    }
+
+    /// Submits one request. Always returns a ticket that will resolve;
+    /// shed/draining/shape-mismatch outcomes resolve immediately.
+    /// `deadline` overrides [`ServeConfig::default_deadline`].
+    pub fn submit(&self, input: Tensor<f32>, deadline: Option<Duration>) -> Ticket {
+        let now = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket { rx };
+        if input.shape().dims() != self.input_dims {
+            let _ = tx.send(Response {
+                status: ResponseStatus::Failed,
+                checksum: None,
+                error: Some(GreuseError::InvalidInput {
+                    layer: self.layer.clone(),
+                    detail: format!(
+                        "expected a {}x{} input, got {:?}",
+                        self.input_dims[0],
+                        self.input_dims[1],
+                        input.shape().dims()
+                    ),
+                }),
+                dense: false,
+                latency: Duration::ZERO,
+            });
+            return ticket;
+        }
+        let pending = Pending {
+            input,
+            deadline: now + deadline.unwrap_or(self.cfg.default_deadline),
+            submitted: now,
+            tx,
+        };
+        match self.queue.push(pending) {
+            Ok(()) => {
+                self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err((pending, reason)) => {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                greuse_telemetry::counter!(METRIC_SHED).add(1);
+                let status = match reason {
+                    SubmitError::Overloaded { .. } => ResponseStatus::Shed,
+                    SubmitError::ShuttingDown => ResponseStatus::ShuttingDown,
+                };
+                let _ = pending.tx.send(Response {
+                    status,
+                    checksum: None,
+                    error: None,
+                    dense: false,
+                    latency: now.elapsed(),
+                });
+            }
+        }
+        ticket
+    }
+
+    /// Live queue depth (telemetry).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_draining(&self) -> bool {
+        self.queue.is_closed()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.counters;
+        ServeStats {
+            admitted: c.admitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            deadline_missed: c.deadline_missed.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            served_dense: c.served_dense.load(Ordering::Relaxed),
+            breaker_trips: c.breaker_trips.load(Ordering::Relaxed),
+            breaker_open: c.breaker_open.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown (rung 4): rejects new work, drains everything
+    /// already admitted — every outstanding ticket resolves — joins the
+    /// batcher, and returns the final stats. Idempotent; later calls
+    /// return the same final snapshot.
+    pub fn shutdown(&self) -> ServeStats {
+        self.queue.close();
+        let handle = self
+            .batcher
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn batcher_loop(
+    mut engine: Engine,
+    queue: Arc<AdmissionQueue<Pending>>,
+    counters: Arc<Counters>,
+    cfg: &ServeConfig,
+) {
+    let mut breaker = CircuitBreaker::new(cfg.breaker);
+    let mut pending: Vec<Pending> = Vec::with_capacity(cfg.max_batch);
+    let mut inputs: Vec<Tensor<f32>> = Vec::with_capacity(cfg.max_batch);
+    let mut tickets: Vec<Pending> = Vec::with_capacity(cfg.max_batch);
+    loop {
+        pending.clear();
+        if !queue.pop_batch(cfg.max_batch, cfg.max_delay, &mut pending) {
+            break; // closed and fully drained — rung 4's exit.
+        }
+        greuse_telemetry::gauge!(METRIC_QUEUE_DEPTH).set(queue.len() as f64);
+
+        // Rung 2: expired requests are resolved here and never occupy a
+        // batch slot.
+        let now = Instant::now();
+        inputs.clear();
+        tickets.clear();
+        for p in pending.drain(..) {
+            if p.deadline <= now {
+                counters.deadline_missed.fetch_add(1, Ordering::Relaxed);
+                greuse_telemetry::counter!(METRIC_DEADLINE_MISS).add(1);
+                let _ = p.tx.send(Response {
+                    status: ResponseStatus::DeadlineMiss,
+                    checksum: None,
+                    error: None,
+                    dense: false,
+                    latency: now.duration_since(p.submitted),
+                });
+            } else {
+                inputs.push(p.input.clone());
+                tickets.push(p);
+            }
+        }
+        if inputs.is_empty() {
+            continue;
+        }
+
+        // Rung 3: path decision for this batch.
+        let dense = breaker.check(now) == BreakerState::Open;
+        counters.breaker_open.store(dense, Ordering::Relaxed);
+        greuse_telemetry::gauge!(METRIC_BREAKER_STATE).set(if dense { 1.0 } else { 0.0 });
+        greuse_telemetry::gauge!(METRIC_BATCH_SIZE).set(inputs.len() as f64);
+
+        let outcomes = engine.run_batch(&inputs, dense);
+        let done = Instant::now();
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        let latency_hist = greuse_telemetry::hist!(METRIC_REQUEST_LATENCY);
+        for (p, outcome) in tickets.drain(..).zip(outcomes) {
+            let latency = done.duration_since(p.submitted);
+            if dense {
+                counters.served_dense.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // Only reuse-path samples feed the breaker: dense-path
+                // latencies say nothing about the reuse pipeline.
+                breaker.record(latency, done);
+            }
+            latency_hist.record_ns(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+            let resp = match outcome {
+                Ok(checksum) => {
+                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                    Response {
+                        status: ResponseStatus::Ok,
+                        checksum: Some(checksum),
+                        error: None,
+                        dense,
+                        latency,
+                    }
+                }
+                Err(error) => {
+                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                    Response {
+                        status: ResponseStatus::Failed,
+                        checksum: None,
+                        error: Some(error),
+                        dense,
+                        latency,
+                    }
+                }
+            };
+            let _ = p.tx.send(resp);
+        }
+        counters
+            .breaker_trips
+            .store(breaker.trips(), Ordering::Relaxed);
+    }
+    // Final metric flush: the queue is empty and no more batches run.
+    greuse_telemetry::gauge!(METRIC_QUEUE_DEPTH).set(0.0);
+    counters
+        .breaker_open
+        .store(breaker.state() == BreakerState::Open, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::ReusePattern;
+    use crate::serve::{ModelSpec, ServeBackend};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_mat(r: usize, c: usize, seed: u64) -> Tensor<f32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Tensor::from_fn(&[r, c], |_| rng.gen_range(-1.0f32..1.0))
+    }
+
+    fn engine(cache: bool) -> Engine {
+        let spec = ModelSpec {
+            layer: "serve/unit".into(),
+            n: 16,
+            k: 12,
+            m: 5,
+            weights: rand_mat(5, 12, 7),
+            pattern: ReusePattern::conventional(8, 4),
+        };
+        Engine::new(spec, ServeBackend::F32, cache, 1, 42).unwrap()
+    }
+
+    #[test]
+    fn serves_requests_and_shuts_down_cleanly() {
+        let server = Server::start(engine(true), ServeConfig::default());
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| server.submit(rand_mat(16, 12, 100 + i), None))
+            .collect();
+        for t in tickets {
+            let resp = t.wait();
+            assert_eq!(resp.status, ResponseStatus::Ok, "{resp:?}");
+            assert!(resp.checksum.is_some());
+            assert!(!resp.dense);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.failed + stats.shed + stats.deadline_missed, 0);
+        // Idempotent.
+        assert_eq!(server.shutdown(), stats);
+    }
+
+    #[test]
+    fn same_input_reproduces_its_checksum() {
+        let server = Server::start(engine(true), ServeConfig::default());
+        let x = rand_mat(16, 12, 3);
+        let a = server.submit(x.clone(), None).wait();
+        let b = server.submit(x, None).wait();
+        assert_eq!(a.status, ResponseStatus::Ok);
+        assert_eq!(a.checksum, b.checksum);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shape_mismatch_resolves_immediately_with_typed_error() {
+        let server = Server::start(engine(false), ServeConfig::default());
+        let resp = server.submit(rand_mat(3, 3, 0), None).wait();
+        assert_eq!(resp.status, ResponseStatus::Failed);
+        match resp.error {
+            Some(GreuseError::InvalidInput { layer, .. }) => assert_eq!(layer, "serve/unit"),
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.admitted, 0);
+    }
+
+    #[test]
+    fn expired_deadline_is_dropped_before_compute() {
+        // A deadline of zero expires by the time the batcher sees it.
+        let server = Server::start(engine(false), ServeConfig::default());
+        let resp = server
+            .submit(rand_mat(16, 12, 1), Some(Duration::ZERO))
+            .wait();
+        assert_eq!(resp.status, ResponseStatus::DeadlineMiss);
+        let stats = server.shutdown();
+        assert_eq!(stats.deadline_missed, 1);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.batches, 0, "expired request must not reach compute");
+    }
+
+    #[test]
+    fn submit_after_shutdown_resolves_as_shutting_down() {
+        let server = Server::start(engine(false), ServeConfig::default());
+        server.shutdown();
+        let resp = server.submit(rand_mat(16, 12, 2), None).wait();
+        assert_eq!(resp.status, ResponseStatus::ShuttingDown);
+        assert_eq!(server.stats().shed, 1);
+    }
+
+    #[test]
+    fn drain_resolves_every_admitted_ticket() {
+        // Long max_delay so admitted work is still queued when shutdown
+        // begins; the drain guarantee says every ticket still resolves.
+        let cfg = ServeConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(50),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(engine(true), cfg);
+        let tickets: Vec<Ticket> = (0..10)
+            .map(|i| server.submit(rand_mat(16, 12, 200 + i), None))
+            .collect();
+        let stats = server.shutdown();
+        let mut ok = 0;
+        for t in tickets {
+            let resp = t.wait();
+            assert!(
+                matches!(
+                    resp.status,
+                    ResponseStatus::Ok | ResponseStatus::DeadlineMiss
+                ),
+                "drained ticket must resolve cleanly, got {resp:?}"
+            );
+            if resp.status == ResponseStatus::Ok {
+                ok += 1;
+            }
+        }
+        assert_eq!(stats.completed, ok);
+        assert_eq!(
+            stats.admitted,
+            stats.completed + stats.deadline_missed,
+            "zero lost responses through shutdown"
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Seeded chaos suite for the serving layer (run with
+//! `--features fault-inject`).
+//!
+//! Three promises under deterministic fault schedules:
+//!
+//! 1. **Panic isolation** — a panic injected into one request's
+//!    execution fails exactly that request with a typed
+//!    [`GreuseError::WorkerPanic`]; its batch-mates complete normally.
+//! 2. **Breaker lifecycle** — an injected stall on the reuse pipeline
+//!    pushes admitted p99 past the SLO, the breaker opens (requests flip
+//!    to the dense fallback), and once the fault clears and the
+//!    cool-down elapses the breaker closes and reuse resumes.
+//! 3. **Cache equivalence** — with the temporal cache on vs off, the
+//!    same request sequence under the same always-firing fault schedule
+//!    yields bitwise-identical response checksums (the commit gate keeps
+//!    faulted clusterings out of the cache).
+//!
+//! Plus the drain guarantee under fault: shutdown mid-fault still
+//! resolves every admitted ticket.
+//!
+//! The fault plan is process-global, so every test serializes on
+//! `SUITE_LOCK`.
+
+#![cfg(feature = "fault-inject")]
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use greuse::faults::{self, FaultAction, FaultPlan, FaultPoint};
+use greuse::serve::{
+    BreakerConfig, Engine, ModelSpec, ResponseStatus, ServeBackend, ServeConfig, Server,
+};
+use greuse::{GreuseError, ReusePattern};
+use greuse_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+static SUITE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    SUITE_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+const N: usize = 32;
+const K: usize = 24;
+const M: usize = 8;
+
+fn rand_mat(r: usize, c: usize, seed: u64) -> Tensor<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Tensor::from_fn(&[r, c], |_| rng.gen_range(-1.0f32..1.0))
+}
+
+fn engine(backend: ServeBackend, cache: bool) -> Engine {
+    let spec = ModelSpec {
+        layer: "serve/chaos".into(),
+        n: N,
+        k: K,
+        m: M,
+        weights: rand_mat(M, K, 5),
+        pattern: ReusePattern::conventional(8, 4),
+    };
+    Engine::new(spec, backend, cache, 1, 42).expect("valid chaos spec")
+}
+
+/// One batch of four, image 1 panic-injected: exactly that request fails
+/// as `WorkerPanic`, the other three succeed.
+#[test]
+fn injected_panic_fails_only_its_request() {
+    let _guard = lock();
+    faults::install(FaultPlan::new().inject_image(FaultPoint::ExecFold, 1, FaultAction::Panic));
+    let cfg = ServeConfig {
+        max_batch: 4,
+        // Wide enough that all four submissions land in one batch.
+        max_delay: Duration::from_millis(300),
+        queue_cap: 8,
+        default_deadline: Duration::from_secs(5),
+        breaker: BreakerConfig::default(),
+    };
+    let server = Server::start(engine(ServeBackend::F32, false), cfg);
+    let tickets: Vec<_> = (0..4)
+        .map(|i| server.submit(rand_mat(N, K, 100 + i), None))
+        .collect();
+    let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+    let stats = server.shutdown();
+    faults::clear();
+
+    assert_eq!(stats.batches, 1, "all four requests must share one batch");
+    for (i, resp) in responses.iter().enumerate() {
+        if i == 1 {
+            assert_eq!(resp.status, ResponseStatus::Failed, "image 1: {resp:?}");
+            match &resp.error {
+                Some(GreuseError::WorkerPanic { layer, image }) => {
+                    assert_eq!(layer, "serve/chaos");
+                    assert_eq!(*image, 1);
+                }
+                other => panic!("expected WorkerPanic for image 1, got {other:?}"),
+            }
+        } else {
+            assert_eq!(
+                resp.status,
+                ResponseStatus::Ok,
+                "batch-mate {i} must succeed: {resp:?}"
+            );
+        }
+    }
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.failed, 1);
+}
+
+/// An injected stall (25 ms per reuse batch vs a 5 ms SLO) trips the
+/// breaker; open batches run dense (no stall point on that path); after
+/// the fault clears and the cool-down elapses, reuse resumes closed.
+#[test]
+fn breaker_opens_under_stall_and_closes_after_cooldown() {
+    let _guard = lock();
+    faults::install(FaultPlan::new().inject(FaultPoint::ServeBatch, FaultAction::Stall));
+    let cfg = ServeConfig {
+        max_batch: 1,
+        max_delay: Duration::from_millis(1),
+        queue_cap: 8,
+        default_deadline: Duration::from_secs(5),
+        breaker: BreakerConfig {
+            slo: Duration::from_millis(5),
+            window: 4,
+            trip_after: 2,
+            cooldown: Duration::from_millis(250),
+        },
+    };
+    let server = Server::start(engine(ServeBackend::F32, true), cfg);
+    let x = rand_mat(N, K, 7);
+
+    // 8 stalled requests = two SLO-violating windows = trip.
+    let mut saw_dense = false;
+    for _ in 0..12 {
+        let resp = server.submit(x.clone(), None).wait();
+        assert_eq!(resp.status, ResponseStatus::Ok, "{resp:?}");
+        saw_dense |= resp.dense;
+    }
+    let mid = server.stats();
+    assert!(
+        mid.breaker_trips >= 1,
+        "stall must trip the breaker: {mid:?}"
+    );
+    assert!(
+        saw_dense,
+        "open breaker must route requests to the dense path"
+    );
+    assert!(mid.served_dense > 0);
+
+    // Fault gone + cool-down elapsed: the breaker closes and stays
+    // closed (healthy latencies are far under the SLO).
+    faults::clear();
+    std::thread::sleep(Duration::from_millis(400));
+    let trips_before = server.stats().breaker_trips;
+    let mut reuse_after = 0;
+    for _ in 0..8 {
+        let resp = server.submit(x.clone(), None).wait();
+        assert_eq!(resp.status, ResponseStatus::Ok);
+        if !resp.dense {
+            reuse_after += 1;
+        }
+    }
+    let stats = server.shutdown();
+    assert!(
+        reuse_after > 0,
+        "reuse must resume after cool-down: {stats:?}"
+    );
+    assert_eq!(
+        stats.breaker_trips, trips_before,
+        "healthy traffic must not re-trip: {stats:?}"
+    );
+    assert!(!stats.breaker_open, "breaker must end closed: {stats:?}");
+}
+
+/// Drives one request sequence through a fresh server, half under an
+/// always-firing degenerate-clustering fault, half after it clears.
+/// Returns each request's checksum.
+fn drive_sequence(backend: ServeBackend, cache: bool) -> Vec<u64> {
+    let cfg = ServeConfig {
+        max_batch: 1,
+        max_delay: Duration::from_millis(1),
+        queue_cap: 8,
+        default_deadline: Duration::from_secs(5),
+        breaker: BreakerConfig::default(),
+    };
+    let server = Server::start(engine(backend, cache), cfg);
+    // A small id pool with repeats, so the cache (when on) sees the same
+    // panels again — under fault it must not serve them from store.
+    let ids = [0u64, 1, 0, 2, 1, 0, 2, 0];
+    let mut sums = Vec::new();
+    faults::install(FaultPlan::new().inject(FaultPoint::LshHash, FaultAction::DegenerateClusters));
+    for id in ids {
+        let resp = server.submit(rand_mat(N, K, 300 + id), None).wait();
+        assert_eq!(resp.status, ResponseStatus::Ok, "faulted phase: {resp:?}");
+        sums.push(resp.checksum.expect("ok response carries a checksum"));
+    }
+    faults::clear();
+    for id in ids {
+        let resp = server.submit(rand_mat(N, K, 300 + id), None).wait();
+        assert_eq!(resp.status, ResponseStatus::Ok, "healthy phase: {resp:?}");
+        sums.push(resp.checksum.expect("ok response carries a checksum"));
+    }
+    server.shutdown();
+    sums
+}
+
+/// Cache-on and cache-off must be bitwise-identical request for request,
+/// through the fault window and after it clears — the never-commit-
+/// under-fault gate seen from the serving API.
+#[test]
+fn cache_on_equals_cache_off_bitwise_under_fault_schedule() {
+    let _guard = lock();
+    for backend in [ServeBackend::F32, ServeBackend::Int8] {
+        let warm = drive_sequence(backend, true);
+        let cold = drive_sequence(backend, false);
+        assert_eq!(
+            warm, cold,
+            "{backend}: cache-on must equal cache-off bitwise under the fault schedule"
+        );
+    }
+}
+
+/// Shutdown mid-fault: every admitted ticket still resolves (drain
+/// guarantee), with the injected panics reported per request, not lost.
+#[test]
+fn shutdown_mid_fault_resolves_every_ticket() {
+    let _guard = lock();
+    faults::install(FaultPlan::new().inject_image(FaultPoint::ExecFold, 0, FaultAction::Panic));
+    let cfg = ServeConfig {
+        max_batch: 2,
+        max_delay: Duration::from_millis(20),
+        queue_cap: 16,
+        default_deadline: Duration::from_secs(5),
+        breaker: BreakerConfig::default(),
+    };
+    let server = Server::start(engine(ServeBackend::F32, true), cfg);
+    let tickets: Vec<_> = (0..10)
+        .map(|i| server.submit(rand_mat(N, K, 400 + i), None))
+        .collect();
+    let stats = server.shutdown();
+    faults::clear();
+
+    let mut resolved = 0u64;
+    for t in tickets {
+        let resp = t.wait();
+        assert!(
+            matches!(
+                resp.status,
+                ResponseStatus::Ok | ResponseStatus::Failed | ResponseStatus::DeadlineMiss
+            ),
+            "drained ticket must resolve, got {resp:?}"
+        );
+        resolved += 1;
+    }
+    assert_eq!(resolved, 10);
+    assert_eq!(
+        stats.admitted,
+        stats.completed + stats.failed + stats.deadline_missed,
+        "zero lost responses through a faulted shutdown: {stats:?}"
+    );
+    assert!(stats.failed > 0, "image-0 panics must surface: {stats:?}");
+}

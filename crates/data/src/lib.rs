@@ -32,7 +32,9 @@
 #![warn(missing_docs)]
 
 mod generator;
+mod requests;
 mod stream;
 
 pub use generator::{DatasetSpec, Example, SyntheticDataset};
+pub use requests::RequestPool;
 pub use stream::FrameStream;

@@ -1,23 +1,121 @@
-//! A tiny hand-rolled HTTP/1.1 listener serving the live telemetry state
-//! as Prometheus text at `GET /metrics`. No external dependencies — one
-//! accept-loop thread, blocking reads with a short timeout, one response
-//! per connection (`Connection: close`).
+//! A tiny hand-rolled HTTP/1.1 server and client. No external
+//! dependencies — one accept-loop thread, one handler thread per
+//! connection, blocking reads with short timeouts, one response per
+//! connection (`Connection: close`).
 //!
-//! This is deliberately minimal: it exists so `greuse stream --serve` and
-//! the future serve layer can expose `/metrics` to `greuse monitor`,
-//! Prometheus, or `curl`, not to be a general web server. Request bodies
-//! are ignored; anything that is not `GET /metrics` (or `GET /`, a tiny
-//! index) gets a 404.
+//! Two entry points: [`serve`] exposes the live telemetry state as
+//! Prometheus text at `GET /metrics` (the original use, behind
+//! `greuse stream --serve`), and [`serve_with`] takes an arbitrary
+//! request handler — the seam `greuse serve` builds its inference
+//! endpoints on. This is deliberately minimal: no TLS, no keep-alive, no
+//! chunked encoding. Malformed traffic is answered with a clean `400`
+//! (bad request line or header), `431` (header block over
+//! [`MAX_HEADER_BYTES`]), or `413` (declared body over
+//! [`MAX_BODY_BYTES`]); a client that disconnects mid-body gets its
+//! connection closed without wedging the accept loop.
 
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Handle to a running metrics listener; dropping it (or calling
-/// [`MetricsServer::shutdown`]) stops the accept loop.
+/// Largest accepted request head (request line + headers, including the
+/// terminating blank line). Anything larger is answered `431`.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+
+/// Largest accepted request body (via `Content-Length`). Anything larger
+/// is answered `413` without reading the body.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, ...), upper-cased as sent.
+    pub method: String,
+    /// Request target path, e.g. `/metrics`.
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One response a handler returns.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code (`200`, `503`, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        HttpResponse {
+            status,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: body.into(),
+        }
+    }
+
+    /// A `application/json` response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        HttpResponse {
+            status,
+            content_type: "application/json".into(),
+            body: body.into(),
+        }
+    }
+
+    fn status_line(&self) -> &'static str {
+        match self.status {
+            200 => "200 OK",
+            400 => "400 Bad Request",
+            404 => "404 Not Found",
+            405 => "405 Method Not Allowed",
+            413 => "413 Content Too Large",
+            431 => "431 Request Header Fields Too Large",
+            500 => "500 Internal Server Error",
+            503 => "503 Service Unavailable",
+            504 => "504 Gateway Timeout",
+            _ => "200 OK",
+        }
+    }
+}
+
+/// Why a request could not be parsed off the wire.
+#[derive(Debug)]
+enum RecvError {
+    /// Peer closed (or timed out) before a full request arrived —
+    /// including mid-body. No response is owed; just close.
+    Disconnected,
+    /// The request line or a header line is not HTTP.
+    Malformed,
+    /// Head exceeded [`MAX_HEADER_BYTES`].
+    HeadTooLarge,
+    /// Declared `Content-Length` exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+}
+
+/// Handle to a running HTTP listener; dropping it (or calling
+/// [`MetricsServer::shutdown`]) stops the accept loop. Named for its
+/// original `/metrics`-only role; [`serve_with`] returns the same type.
 pub struct MetricsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -30,7 +128,9 @@ impl MetricsServer {
         self.addr
     }
 
-    /// Stops the accept loop and joins the listener thread.
+    /// Stops the accept loop and joins the listener thread. In-flight
+    /// connection handlers finish on their own (reads and writes carry
+    /// timeouts, so "finish" is bounded).
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
@@ -53,17 +153,33 @@ impl Drop for MetricsServer {
     }
 }
 
+/// The handler signature for [`serve_with`]: requests come in parsed,
+/// and whatever comes back is written as the response. Handlers run on
+/// per-connection threads, so they may block (e.g. on a batch ticket).
+pub type Handler = dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync;
+
 /// Binds `addr` (e.g. `127.0.0.1:9184`, or port 0 for ephemeral) and
-/// serves `/metrics` from a background thread until the returned handle is
-/// shut down or dropped.
+/// serves `/metrics` from a background thread until the returned handle
+/// is shut down or dropped.
 pub fn serve(addr: impl ToSocketAddrs) -> std::io::Result<MetricsServer> {
+    serve_with(addr, Arc::new(metrics_handler))
+}
+
+/// Binds `addr` and dispatches every request to `handler` from a
+/// per-connection thread until the returned handle is shut down or
+/// dropped. Parse failures never reach the handler: they are answered
+/// directly (`400`/`413`/`431`) or closed (mid-body disconnect).
+pub fn serve_with(
+    addr: impl ToSocketAddrs,
+    handler: Arc<Handler>,
+) -> std::io::Result<MetricsServer> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let thread_stop = Arc::clone(&stop);
     let handle = std::thread::Builder::new()
-        .name("greuse-metrics-http".into())
-        .spawn(move || accept_loop(listener, &thread_stop))?;
+        .name("greuse-http-accept".into())
+        .spawn(move || accept_loop(listener, &thread_stop, &handler))?;
     Ok(MetricsServer {
         addr,
         stop,
@@ -71,7 +187,21 @@ pub fn serve(addr: impl ToSocketAddrs) -> std::io::Result<MetricsServer> {
     })
 }
 
-fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
+/// The default `/metrics` handler (the behavior of [`serve`]).
+fn metrics_handler(req: &HttpRequest) -> HttpResponse {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/metrics") => HttpResponse {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8".into(),
+            body: crate::prom::render(),
+        },
+        ("GET", "/") => HttpResponse::text(200, "greuse metrics endpoint — scrape /metrics\n"),
+        ("GET", _) => HttpResponse::text(404, "not found\n"),
+        _ => HttpResponse::text(405, "method not allowed\n"),
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: &Arc<AtomicBool>, handler: &Arc<Handler>) {
     loop {
         let Ok((stream, _)) = listener.accept() else {
             if stop.load(Ordering::Relaxed) {
@@ -82,79 +212,181 @@ fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
         if stop.load(Ordering::Relaxed) {
             return;
         }
-        // One short-lived connection at a time: responses are a few KB and
-        // scrapes are rare, so serial handling keeps this dependency-free
-        // and immune to slow-loris (reads time out).
-        let _ = handle_conn(stream);
-        if stop.load(Ordering::Relaxed) {
-            return;
+        // One thread per connection so a handler blocked on a batch
+        // ticket never stalls the accept loop (required for batching:
+        // several in-flight requests must overlap). Threads are bounded
+        // in lifetime by the read/write timeouts plus handler time, and
+        // detached — shutdown does not wait for stragglers.
+        let conn_handler = Arc::clone(handler);
+        let spawned = std::thread::Builder::new()
+            .name("greuse-http-conn".into())
+            .spawn(move || {
+                let _ = handle_conn(stream, &conn_handler);
+            });
+        if spawned.is_err() {
+            // Spawn failure (fd/thread exhaustion): drop the connection
+            // rather than wedging the loop.
+            continue;
         }
     }
 }
 
-fn handle_conn(mut stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+fn handle_conn(mut stream: TcpStream, handler: &Arc<Handler>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(2000)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    let mut buf = [0u8; 2048];
-    let mut len = 0usize;
-    // Read until the header terminator; ignore anything past it.
-    while len < buf.len() {
-        let n = stream.read(&mut buf[len..])?;
-        if n == 0 {
-            break;
-        }
-        len += n;
-        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
-            break;
-        }
-    }
-    let request = String::from_utf8_lossy(&buf[..len]);
-    let mut parts = request.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let (status, content_type, body) = match (method, path) {
-        ("GET", "/metrics") => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            crate::prom::render(),
-        ),
-        ("GET", "/") => (
-            "200 OK",
-            "text/plain; charset=utf-8",
-            "greuse metrics endpoint — scrape /metrics\n".to_string(),
-        ),
-        ("GET", _) => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n".into(),
-        ),
-        _ => (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "method not allowed\n".into(),
-        ),
+    let response = match read_request(&mut stream) {
+        Ok(req) => handler(&req),
+        // The peer is gone; nothing to answer and nobody to answer to.
+        Err(RecvError::Disconnected) => return Ok(()),
+        Err(RecvError::Malformed) => HttpResponse::text(400, "malformed request\n"),
+        Err(RecvError::HeadTooLarge) => HttpResponse::text(431, "request header block too large\n"),
+        Err(RecvError::BodyTooLarge) => HttpResponse::text(413, "request body too large\n"),
     };
+    write_response(&mut stream, &response)
+}
+
+fn write_response(stream: &mut TcpStream, response: &HttpResponse) -> std::io::Result<()> {
     let header = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status_line(),
+        response.content_type,
+        response.body.len()
     );
     stream.write_all(header.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
     stream.flush()
 }
 
-/// Performs one blocking `GET` against a greuse metrics server and returns
+/// Reads and parses one request off `stream`. Every failure mode maps to
+/// a [`RecvError`]; I/O errors (timeouts included) collapse into
+/// `Disconnected` — from the server's side an unresponsive peer and a
+/// gone peer get the same treatment: close.
+fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, RecvError> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    // Read until the blank line ending the head, within MAX_HEADER_BYTES.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() >= MAX_HEADER_BYTES {
+            return Err(RecvError::HeadTooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(io_to_recv)?;
+        if n == 0 {
+            // EOF before a complete head: an empty probe connection (the
+            // shutdown self-connect does exactly this) or a truncated
+            // request — nothing to parse either way.
+            return Err(RecvError::Disconnected);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| RecvError::Malformed)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(RecvError::Malformed)?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = (
+        parts.next().unwrap_or(""),
+        parts.next().unwrap_or(""),
+        parts.next().unwrap_or(""),
+    );
+    if method.is_empty()
+        || path.is_empty()
+        || !version.starts_with("HTTP/")
+        || parts.next().is_some()
+        || !method.bytes().all(|b| b.is_ascii_alphabetic())
+    {
+        return Err(RecvError::Malformed);
+    }
+
+    let mut headers = Vec::new();
+    for line in lines.filter(|l| !l.is_empty()) {
+        let (name, value) = line.split_once(':').ok_or(RecvError::Malformed)?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(RecvError::Malformed);
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    let content_length = match request.header("content-length") {
+        None => 0usize,
+        Some(v) => v.parse().map_err(|_| RecvError::Malformed)?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(RecvError::BodyTooLarge);
+    }
+    // Body bytes already read past the head, then the remainder.
+    let body_start = head_end + 4;
+    request.body = buf[body_start.min(buf.len())..].to_vec();
+    while request.body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(io_to_recv)?;
+        if n == 0 {
+            // Mid-body disconnect: the peer promised more than it sent.
+            return Err(RecvError::Disconnected);
+        }
+        request.body.extend_from_slice(&chunk[..n]);
+    }
+    request.body.truncate(content_length);
+    Ok(request)
+}
+
+/// Index of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn io_to_recv(e: std::io::Error) -> RecvError {
+    match e.kind() {
+        // A read timeout is indistinguishable (and treated identically):
+        // the peer is not going to complete this request.
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => RecvError::Disconnected,
+        _ => RecvError::Disconnected,
+    }
+}
+
+/// Performs one blocking `GET` against a greuse HTTP server and returns
 /// `(status_code, body)`. Shared by `greuse monitor` and tests; not a
 /// general HTTP client (no TLS, no redirects, no chunked encoding).
 pub fn get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "GET", path, None)
+}
+
+/// Performs one blocking `POST` with the given body (sent as
+/// `application/json`) and returns `(status_code, body)`. Used by
+/// `greuse bench-serve` against `greuse serve`.
+pub fn post(addr: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "POST", path, Some(body))
+}
+
+fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
     let sock_addr = addr
         .to_socket_addrs()?
         .next()
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad address"))?;
     let mut stream = TcpStream::connect_timeout(&sock_addr, Duration::from_secs(2))?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    let req = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    let req = match body {
+        None => format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"),
+        Some(b) => format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{b}",
+            b.len()
+        ),
+    };
     stream.write_all(req.as_bytes())?;
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;
@@ -192,6 +424,125 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("/metrics"));
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn custom_handler_sees_method_path_and_body() {
+        let server = serve_with(
+            "127.0.0.1:0",
+            Arc::new(|req: &HttpRequest| {
+                HttpResponse::json(
+                    200,
+                    format!(
+                        "{} {} {}",
+                        req.method,
+                        req.path,
+                        String::from_utf8_lossy(&req.body)
+                    ),
+                )
+            }),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let (status, body) = post(&addr, "/infer", "{\"seed\":7}").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "POST /infer {\"seed\":7}");
+        server.shutdown();
+    }
+
+    /// Writes raw bytes, optionally closing early, and returns the raw
+    /// response (empty if the server just closed).
+    fn raw_exchange(addr: &str, payload: &[u8], close_after_write: bool) -> Vec<u8> {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        // The server may respond and close before the whole payload is
+        // written (e.g. an early 431 on an oversized header), so a write
+        // error here just means "response already on the wire".
+        let _ = stream.write_all(payload);
+        if close_after_write {
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+        }
+        let mut out = Vec::new();
+        let _ = stream.read_to_end(&mut out);
+        out
+    }
+
+    #[test]
+    fn malformed_request_line_gets_400_and_loop_survives() {
+        let server = serve("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+
+        for junk in [
+            &b"GARBAGE\r\n\r\n"[..],
+            &b"GET /metrics\r\n\r\n"[..], // missing version
+            &b"GET /metrics HTTP/1.1 extra\r\n\r\n"[..], // trailing token
+            &b"G@T /metrics HTTP/1.1\r\n\r\n"[..], // bad method chars
+            &b"GET /metrics HTTP/1.1\r\nno-colon-here\r\n\r\n"[..], // bad header
+            &b"\xff\xfe\r\n\r\n"[..],     // not UTF-8
+        ] {
+            let resp = raw_exchange(&addr, junk, true);
+            let text = String::from_utf8_lossy(&resp);
+            assert!(
+                text.starts_with("HTTP/1.1 400"),
+                "expected 400 for {junk:?}, got {text:?}"
+            );
+        }
+
+        // The accept loop must still serve after every rejection.
+        let (status, _) = get(&addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_header_gets_431() {
+        let server = serve("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+        let mut req = b"GET /metrics HTTP/1.1\r\n".to_vec();
+        req.extend_from_slice(format!("X-Pad: {}\r\n", "a".repeat(MAX_HEADER_BYTES)).as_bytes());
+        req.extend_from_slice(b"\r\n");
+        let resp = raw_exchange(&addr, &req, true);
+        let text = String::from_utf8_lossy(&resp);
+        assert!(text.starts_with("HTTP/1.1 431"), "got {text:?}");
+
+        let (status, _) = get(&addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_gets_413_without_reading_it() {
+        let server = serve("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+        let req = format!(
+            "POST /infer HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let resp = raw_exchange(&addr, req.as_bytes(), true);
+        let text = String::from_utf8_lossy(&resp);
+        assert!(text.starts_with("HTTP/1.1 413"), "got {text:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn mid_body_disconnect_closes_cleanly_and_loop_survives() {
+        let server = serve("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+        // Promise 100 body bytes, deliver 10, hang up.
+        let req = b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n0123456789";
+        let resp = raw_exchange(&addr, req, true);
+        assert!(
+            resp.is_empty(),
+            "no response owed on mid-body disconnect, got {:?}",
+            String::from_utf8_lossy(&resp)
+        );
+
+        // The listener must not be wedged by the aborted upload.
+        let (status, _) = get(&addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
         server.shutdown();
     }
 }

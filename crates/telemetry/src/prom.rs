@@ -330,6 +330,43 @@ something_weird{problem=\"division by zero\"} +Inf\n";
         assert!(validate("m{l=\"bad\\q\"} 1\n").is_err());
     }
 
+    /// Pins the serving-layer metric names as they cross the exposition
+    /// boundary. `greuse::serve` pins the same literals on its side
+    /// (`metric_names_are_pinned`); together the two tests make a rename
+    /// fail in both crates. The sample document below is exactly the
+    /// shape `greuse monitor --validate` scrapes from a serve process.
+    #[test]
+    fn serve_metric_families_survive_exposition() {
+        let pinned = [
+            ("serve.request_latency", "serve_request_latency"),
+            ("serve.batch_size", "serve_batch_size"),
+            ("serve.queue_depth", "serve_queue_depth"),
+            ("serve.shed", "serve_shed"),
+            ("serve.deadline_miss", "serve_deadline_miss"),
+            ("serve.breaker_state", "serve_breaker_state"),
+        ];
+        for (dotted, family) in pinned {
+            assert_eq!(sanitize_name(dotted), family, "rename breaks scrapers");
+        }
+        let text = "\
+# TYPE serve_shed counter\n\
+serve_shed 12\n\
+# TYPE serve_deadline_miss counter\n\
+serve_deadline_miss 3\n\
+# TYPE serve_batch_size gauge\n\
+serve_batch_size 4\n\
+# TYPE serve_queue_depth gauge\n\
+serve_queue_depth 7\n\
+# TYPE serve_breaker_state gauge\n\
+serve_breaker_state 1\n\
+# TYPE serve_request_latency_seconds summary\n\
+serve_request_latency_seconds{quantile=\"0.5\"} 0.0021\n\
+serve_request_latency_seconds{quantile=\"0.99\"} 0.0087\n\
+serve_request_latency_seconds_sum 1.93\n\
+serve_request_latency_seconds_count 640\n";
+        validate(text).expect("serve exposition must stay grammatical");
+    }
+
     #[test]
     #[cfg(feature = "capture")]
     fn render_is_valid_and_round_trips_labels() {
